@@ -1,0 +1,46 @@
+//! E4/E6/E7 machinery benchmark: cost of constructing the covering-argument
+//! violations as the instance size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonreg_lower::consensus_cover::disagreement;
+use anonreg_lower::mutex_cover::unknown_n_attack;
+use anonreg_lower::renaming_cover::duplicate_name;
+
+fn bench_consensus_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_consensus_cover");
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("disagreement", n), &n, |b, &n| {
+            b.iter(|| disagreement(n, n - 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_renaming_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_renaming_cover");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("duplicate_name", n), &n, |b, &n| {
+            b.iter(|| duplicate_name(n, n - 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutex_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_mutex_cover");
+    for m in [1usize, 3, 5, 9] {
+        group.bench_with_input(BenchmarkId::new("unknown_n", m), &m, |b, &m| {
+            b.iter(|| unknown_n_attack(m, 40_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_consensus_cover,
+    bench_renaming_cover,
+    bench_mutex_cover
+);
+criterion_main!(benches);

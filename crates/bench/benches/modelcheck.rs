@@ -1,0 +1,110 @@
+//! E1 machinery benchmark: exhaustive exploration cost of the Figure 1
+//! mutex state space as the register count grows, plus the price of the
+//! SCC-based fair-livelock analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::ordered::OrderedMutex;
+use anonreg::{Pid, View};
+use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::Simulation;
+
+fn two_proc_sim(m: usize) -> Simulation<AnonMutex> {
+    Simulation::builder()
+        .process(
+            AnonMutex::new(Pid::new(1).unwrap(), m).unwrap(),
+            View::identity(m),
+        )
+        .process(
+            AnonMutex::new(Pid::new(2).unwrap(), m).unwrap(),
+            View::rotated(m, m / 2),
+        )
+        .build()
+        .unwrap()
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_explore");
+    group.sample_size(10);
+    for m in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("mutex_states", m), &m, |b, &m| {
+            b.iter(|| {
+                let graph = explore(two_proc_sim(m), &ExploreLimits::default()).unwrap();
+                graph.state_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_analysis");
+    group.sample_size(10);
+    for m in [3usize, 4] {
+        let graph = explore(two_proc_sim(m), &ExploreLimits::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("safety_scan", m), &m, |b, _| {
+            b.iter(|| {
+                graph.find_state(|s| {
+                    s.machines()
+                        .filter(|mach| mach.section() == Section::Critical)
+                        .count()
+                        >= 2
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("livelock_scc", m), &m, |b, _| {
+            b.iter(|| {
+                graph.find_fair_livelock(
+                    |mach| mach.section() == Section::Entry,
+                    |event| *event == MutexEvent::Enter,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_e13_explore");
+    group.sample_size(10);
+    for m in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("hybrid_states", m), &m, |b, &m| {
+            b.iter(|| {
+                let sim = Simulation::builder()
+                    .process(
+                        HybridMutex::new(Pid::new(1).unwrap(), m).unwrap(),
+                        named_view(m, (0..m).collect()).unwrap(),
+                    )
+                    .process(
+                        HybridMutex::new(Pid::new(2).unwrap(), m).unwrap(),
+                        named_view(m, (0..m).map(|j| (j + 1) % m).collect()).unwrap(),
+                    )
+                    .build()
+                    .unwrap();
+                explore(sim, &ExploreLimits::default()).unwrap().state_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ordered_states", m), &m, |b, &m| {
+            b.iter(|| {
+                let sim = Simulation::builder()
+                    .process(
+                        OrderedMutex::new(Pid::new(1).unwrap(), m).unwrap(),
+                        View::identity(m),
+                    )
+                    .process(
+                        OrderedMutex::new(Pid::new(2).unwrap(), m).unwrap(),
+                        View::rotated(m, 1),
+                    )
+                    .build()
+                    .unwrap();
+                explore(sim, &ExploreLimits::default()).unwrap().state_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_analysis, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 machinery benchmark: lock-step ring rounds with the per-round
+//! rotation-symmetry verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonreg_lower::ring::ring_starvation;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ring");
+    for (m, l) in [(4usize, 2usize), (6, 3), (8, 4), (12, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("lockstep_500_rounds", format!("m{m}_l{l}")),
+            &(m, l),
+            |b, &(m, l)| {
+                b.iter(|| {
+                    let outcome = ring_starvation(m, l, 500).unwrap();
+                    assert!(outcome.starved());
+                    outcome
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E10 benchmark: solo completion cost of the obstruction-free algorithms
+//! as `n` grows — the proofs predict `Θ(n²)` memory operations, so the
+//! measured time should grow quadratically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::renaming::AnonRenaming;
+use anonreg::Pid;
+use anonreg_model::View;
+use anonreg_sim::Simulation;
+
+fn solo_run<M: anonreg_model::Machine>(machine: M) -> usize {
+    let m = machine.register_count();
+    let mut sim = Simulation::builder()
+        .process(machine, View::identity(m))
+        .build()
+        .unwrap();
+    let (ops, halted) = sim.run_solo(0, 10_000_000).unwrap();
+    assert!(halted);
+    ops
+}
+
+fn bench_solo_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_solo_consensus");
+    for n in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("decide", n), &n, |b, &n| {
+            b.iter(|| solo_run(AnonConsensus::new(Pid::new(5).unwrap(), n, 9).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_solo_renaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_solo_renaming");
+    for n in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("acquire", n), &n, |b, &n| {
+            b.iter(|| solo_run(AnonRenaming::new(Pid::new(5).unwrap(), n).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo_consensus, bench_solo_renaming);
+criterion_main!(benches);

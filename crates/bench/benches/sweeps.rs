@@ -1,0 +1,81 @@
+//! E3/E5/E8 machinery benchmark: cost of one full seeded-adversary
+//! validation run per algorithm (simulation + specification checking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::election::AnonElection;
+use anonreg::renaming::AnonRenaming;
+use anonreg::spec::{check_consensus, check_election, check_renaming};
+use anonreg::Pid;
+use anonreg_bench::workload::run_randomized;
+
+fn bench_consensus_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_one_validated_run");
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("consensus", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let inputs: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
+                let machines: Vec<AnonConsensus> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &input)| {
+                        AnonConsensus::new(Pid::new(100 + i as u64).unwrap(), n, input).unwrap()
+                    })
+                    .collect();
+                let sim = run_randomized(machines, seed, 8 * n, 40_000 * n);
+                check_consensus(sim.trace(), &inputs).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_renaming_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_one_validated_run");
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("renaming", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let machines: Vec<AnonRenaming> = (0..n)
+                    .map(|i| AnonRenaming::new(Pid::new(1000 + i as u64).unwrap(), n).unwrap())
+                    .collect();
+                let sim = run_randomized(machines, seed, 16 * n, 60_000 * n);
+                check_renaming(sim.trace(), n as u32).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_election_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_one_validated_run");
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("election", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let pids: Vec<Pid> =
+                    (0..n).map(|i| Pid::new(7000 + i as u64).unwrap()).collect();
+                let machines: Vec<AnonElection> = pids
+                    .iter()
+                    .map(|&pid| AnonElection::new(pid, n).unwrap())
+                    .collect();
+                let sim = run_randomized(machines, seed, 8 * n, 40_000 * n);
+                check_election(sim.trace(), &pids).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_consensus_sweep,
+    bench_renaming_sweep,
+    bench_election_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E9 benchmark: real threads over real atomics — memory-anonymous
+//! algorithms vs named-register baselines.
+//!
+//! Expected shape (matching the paper's model comparison): Peterson beats
+//! the anonymous mutex by a small constant factor; lock-based consensus and
+//! splitter renaming beat their anonymous counterparts increasingly as the
+//! thread count grows, because the anonymous algorithms pay `O(n)` extra
+//! registers and scans for the missing agreement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use anonreg_bench::e9_threads;
+
+fn bench_mutex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_mutex_2threads");
+    group.sample_size(10);
+    for m in [3usize, 5, 9] {
+        group.bench_with_input(BenchmarkId::new("anonymous_fig1", m), &m, |b, &m| {
+            b.iter(|| e9_threads::anonymous_mutex(m, 1_000));
+        });
+    }
+    group.bench_function("peterson_named", |b| {
+        b.iter(|| e9_threads::peterson_mutex(1_000));
+    });
+    group.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_consensus");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("anonymous_fig2", n), &n, |b, &n| {
+            b.iter(|| e9_threads::anonymous_consensus(n, 5));
+        });
+        group.bench_with_input(BenchmarkId::new("lock_named", n), &n, |b, &n| {
+            b.iter(|| e9_threads::lock_consensus(n, 5));
+        });
+    }
+    group.finish();
+}
+
+fn bench_renaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_renaming");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("anonymous_fig3", n), &n, |b, &n| {
+            b.iter(|| e9_threads::anonymous_renaming(n, 5));
+        });
+        group.bench_with_input(BenchmarkId::new("splitter_named", n), &n, |b, &n| {
+            b.iter(|| e9_threads::splitter_renaming(n, 5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutex, bench_consensus, bench_renaming);
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! `check` — exhaustively verify a configuration of the paper's algorithms
+//! from the command line.
+//!
+//! ```text
+//! check mutex     --m 4 --shift 2           # Figure 1, 2 procs, rotated view
+//! check hybrid    --m 4 --shift 1           # §8 hybrid (m anonymous + 1 named)
+//! check consensus --n 2 --registers 1       # Figure 2, possibly under-provisioned
+//! check renaming  --n 2
+//! check mutex     --m 4 --dot livelock.dot  # export the livelock component
+//! ```
+//!
+//! Every verdict is decided by exhaustive state-space exploration; the tool
+//! prints reachable-state counts, safety, deadlock-freedom and
+//! starvation-freedom (for mutual exclusion), or agreement/validity and
+//! obstruction freedom (for the one-shot algorithms).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::ordered::OrderedMutex;
+use anonreg::renaming::AnonRenaming;
+use anonreg::{Pid, View};
+use anonreg_sim::explore::{explore, ExploreLimits, StateGraph};
+use anonreg_sim::obstruction::check_obstruction_freedom;
+use anonreg_sim::viz::{to_dot, DotOptions};
+use anonreg_sim::Simulation;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: check <mutex|hybrid|ordered|consensus|renaming> [--m N] [--n N] \
+         [--registers N] [--shift N] [--max-states N] [--crashes] [--dot FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+struct Args {
+    m: usize,
+    n: usize,
+    registers: Option<usize>,
+    shift: usize,
+    max_states: usize,
+    crashes: bool,
+    dot: Option<String>,
+}
+
+fn parse(raw: &[String]) -> Option<Args> {
+    let mut args = Args {
+        m: 3,
+        n: 2,
+        registers: None,
+        shift: 1,
+        max_states: 4_000_000,
+        crashes: false,
+        dot: None,
+    };
+    let mut map: HashMap<String, String> = HashMap::new();
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--crashes" {
+            args.crashes = true;
+            continue;
+        }
+        let value = it.next()?;
+        map.insert(flag.clone(), value.clone());
+    }
+    if let Some(v) = map.get("--m") {
+        args.m = v.parse().ok()?;
+    }
+    if let Some(v) = map.get("--n") {
+        args.n = v.parse().ok()?;
+    }
+    if let Some(v) = map.get("--registers") {
+        args.registers = Some(v.parse().ok()?);
+    }
+    if let Some(v) = map.get("--shift") {
+        args.shift = v.parse().ok()?;
+    }
+    if let Some(v) = map.get("--max-states") {
+        args.max_states = v.parse().ok()?;
+    }
+    if let Some(v) = map.get("--dot") {
+        args.dot = Some(v.clone());
+    }
+    Some(args)
+}
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+fn mutex_report<M>(
+    graph: &StateGraph<M>,
+    section: impl Fn(&M) -> Section + Copy,
+    dot: Option<&str>,
+) where
+    M: anonreg::Machine<Event = MutexEvent> + Eq + std::hash::Hash,
+{
+    println!(
+        "reachable states: {}  transitions: {}",
+        graph.state_count(),
+        graph.edge_count()
+    );
+    let unsafe_state = graph.find_state(|s| {
+        s.machines().filter(|m| section(m) == Section::Critical).count() >= 2
+    });
+    match unsafe_state {
+        Some(id) => {
+            println!("mutual exclusion : VIOLATED (state {id})");
+            println!("  adversary schedule: {:?}", graph.schedule_to(id));
+        }
+        None => println!("mutual exclusion : holds in every reachable state"),
+    }
+    let livelock = graph.find_fair_livelock(
+        |m| section(m) == Section::Entry,
+        |e| *e == MutexEvent::Enter,
+    );
+    match &livelock {
+        Some(scc) => println!("deadlock-freedom : VIOLATED (fair livelock, {} states)", scc.len()),
+        None => println!("deadlock-freedom : holds (no fair livelock)"),
+    }
+    for victim in 0..2 {
+        let starvation = graph.find_fair_starvation(
+            victim,
+            |m| section(m) == Section::Entry,
+            |e| *e == MutexEvent::Enter,
+        );
+        match starvation {
+            Some(scc) => println!(
+                "starvation (p{victim})  : possible (fair component of {} states)",
+                scc.len()
+            ),
+            None => println!("starvation (p{victim})  : impossible (starvation-free for p{victim})"),
+        }
+    }
+    if let Some(path) = dot {
+        let highlight = livelock.unwrap_or_default();
+        let rendered = to_dot(
+            graph,
+            &DotOptions {
+                name: "check".into(),
+                max_states: 400,
+                highlight,
+            },
+            |s| format!("{:?}", s.registers()),
+        );
+        std::fs::write(path, rendered).expect("write dot file");
+        println!("state graph written to {path} (first 400 states)");
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(kind) = raw.first().cloned() else {
+        return usage();
+    };
+    let Some(args) = parse(&raw[1..]) else {
+        return usage();
+    };
+    let limits = ExploreLimits {
+        max_states: args.max_states,
+        crashes: args.crashes,
+    };
+
+    match kind.as_str() {
+        "mutex" => {
+            println!(
+                "Figure 1 mutex: m = {}, 2 processes, second view rotated by {}",
+                args.m, args.shift
+            );
+            let sim = Simulation::builder()
+                .process(AnonMutex::new(pid(1), args.m).unwrap(), View::identity(args.m))
+                .process(
+                    AnonMutex::new(pid(2), args.m).unwrap(),
+                    View::rotated(args.m, args.shift % args.m),
+                )
+                .build()
+                .unwrap();
+            match explore(sim, &limits) {
+                Ok(graph) => mutex_report(&graph, AnonMutex::section, args.dot.as_deref()),
+                Err(e) => {
+                    eprintln!("exploration failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "ordered" => {
+            println!(
+                "Ordered mutex (§2 arbitrary comparisons): m = {}, 2 processes, shift {}",
+                args.m, args.shift
+            );
+            let sim = Simulation::builder()
+                .process(
+                    OrderedMutex::new(pid(1), args.m).unwrap(),
+                    View::identity(args.m),
+                )
+                .process(
+                    OrderedMutex::new(pid(2), args.m).unwrap(),
+                    View::rotated(args.m, args.shift % args.m),
+                )
+                .build()
+                .unwrap();
+            match explore(sim, &limits) {
+                Ok(graph) => mutex_report(&graph, OrderedMutex::section, args.dot.as_deref()),
+                Err(e) => {
+                    eprintln!("exploration failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "hybrid" => {
+            println!(
+                "Hybrid mutex: {} anonymous + 1 named, 2 processes, shift {}",
+                args.m, args.shift
+            );
+            let anon: Vec<usize> = (0..args.m).map(|j| (j + args.shift) % args.m).collect();
+            let sim = Simulation::builder()
+                .process(
+                    HybridMutex::new(pid(1), args.m).unwrap(),
+                    named_view(args.m, (0..args.m).collect()).unwrap(),
+                )
+                .process(
+                    HybridMutex::new(pid(2), args.m).unwrap(),
+                    named_view(args.m, anon).unwrap(),
+                )
+                .build()
+                .unwrap();
+            match explore(sim, &limits) {
+                Ok(graph) => mutex_report(&graph, HybridMutex::section, args.dot.as_deref()),
+                Err(e) => {
+                    eprintln!("exploration failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "consensus" => {
+            let registers = args.registers.unwrap_or(2 * args.n - 1);
+            println!(
+                "Figure 2 consensus: n = {}, {} registers{}",
+                args.n,
+                registers,
+                if registers < 2 * args.n - 1 {
+                    " (UNDER-PROVISIONED)"
+                } else {
+                    ""
+                }
+            );
+            let mut builder = Simulation::builder();
+            for i in 0..args.n {
+                builder = builder.process(
+                    AnonConsensus::new(pid(i as u64 + 1), args.n, i as u64 + 1)
+                        .unwrap()
+                        .with_registers(registers),
+                    View::rotated(registers, (i * args.shift) % registers),
+                );
+            }
+            let sim = builder.build().unwrap();
+            match explore(sim, &limits) {
+                Ok(graph) => {
+                    println!(
+                        "reachable states: {}  transitions: {}",
+                        graph.state_count(),
+                        graph.edge_count()
+                    );
+                    let disagreement = graph.find_state(|s| {
+                        let d: Vec<u64> = s
+                            .machines()
+                            .filter(|m| m.has_decided())
+                            .map(|m| m.preference())
+                            .collect();
+                        d.windows(2).any(|w| w[0] != w[1])
+                    });
+                    match disagreement {
+                        Some(id) => {
+                            println!("agreement        : VIOLATED (state {id})");
+                            println!("  adversary schedule: {:?}", graph.schedule_to(id));
+                        }
+                        None => println!("agreement        : holds in every reachable state"),
+                    }
+                    match check_obstruction_freedom(&graph, 4 * registers * (registers + 2) + 64) {
+                        Ok(report) => println!(
+                            "obstruction-free : holds (worst solo cost {} ops over {} runs)",
+                            report.max_solo_ops, report.solo_runs
+                        ),
+                        Err(v) => println!("obstruction-free : VIOLATED ({v})"),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("exploration failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "renaming" => {
+            let registers = args.registers.unwrap_or(2 * args.n - 1);
+            println!("Figure 3 renaming: n = {}, {} registers", args.n, registers);
+            let mut builder = Simulation::builder();
+            for i in 0..args.n {
+                builder = builder.process(
+                    AnonRenaming::new(pid(i as u64 + 1), args.n)
+                        .unwrap()
+                        .with_registers(registers),
+                    View::rotated(registers, (i * args.shift) % registers),
+                );
+            }
+            let sim = builder.build().unwrap();
+            match explore(sim, &limits) {
+                Ok(graph) => {
+                    println!(
+                        "reachable states: {}  transitions: {}",
+                        graph.state_count(),
+                        graph.edge_count()
+                    );
+                    // Replay every terminal state and spec-check names.
+                    let mut violations = 0;
+                    let mut terminals = 0;
+                    for (id, state) in graph.states() {
+                        if !state.all_halted() {
+                            continue;
+                        }
+                        terminals += 1;
+                        let schedule = graph.schedule_to(id);
+                        let mut replay_builder = Simulation::builder();
+                        for i in 0..args.n {
+                            replay_builder = replay_builder.process(
+                                AnonRenaming::new(pid(i as u64 + 1), args.n)
+                                    .unwrap()
+                                    .with_registers(registers),
+                                View::rotated(registers, (i * args.shift) % registers),
+                            );
+                        }
+                        let mut sim = replay_builder.build().unwrap();
+                        for &p in &schedule {
+                            sim.step(p).unwrap();
+                        }
+                        if anonreg::spec::check_renaming(sim.trace(), args.n as u32).is_err() {
+                            violations += 1;
+                        }
+                    }
+                    println!(
+                        "uniqueness+range : {} ({} terminal states checked)",
+                        if violations == 0 { "hold" } else { "VIOLATED" },
+                        terminals
+                    );
+                }
+                Err(e) => {
+                    eprintln!("exploration failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,105 @@
+//! `repro` — regenerates every experiment table of the reproduction.
+//!
+//! ```text
+//! cargo run --release -p anonreg-bench --bin repro            # everything
+//! cargo run --release -p anonreg-bench --bin repro -- --quick # smaller sweeps
+//! cargo run --release -p anonreg-bench --bin repro -- e1 e4   # selected experiments
+//! ```
+
+use std::env;
+use std::time::Instant;
+
+use anonreg_bench::{
+    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e1_parity, e2_ring, e3_consensus, e4_consensus_space,
+    e5_renaming, e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
+};
+
+struct Config {
+    quick: bool,
+    selected: Vec<String>,
+}
+
+impl Config {
+    fn wants(&self, id: &str) -> bool {
+        self.selected.is_empty() || self.selected.iter().any(|s| s == id)
+    }
+}
+
+fn main() {
+    let mut config = Config {
+        quick: false,
+        selected: Vec::new(),
+    };
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [e1 .. e13]\n\
+                     Regenerates the experiment tables of the PODC'17\n\
+                     'Coordination Without Prior Agreement' reproduction."
+                );
+                return;
+            }
+            other => config.selected.push(other.trim_start_matches("--").to_string()),
+        }
+    }
+
+    let section = |id: &str, title: &str, body: &dyn Fn() -> String| {
+        if !config.wants(id) {
+            return;
+        }
+        let start = Instant::now();
+        let rendered = body();
+        println!("== {} — {title}", id.to_uppercase());
+        println!("{rendered}");
+        println!("({id} took {:?})\n", start.elapsed());
+    };
+
+    let q = config.quick;
+
+    section("e1", "mutex register parity (Theorem 3.1), exhaustive model checking", &|| {
+        e1_parity::render(&e1_parity::rows(if q { 4 } else { 6 }))
+    });
+    section("e2", "lock-step ring starvation (Theorem 3.4)", &|| {
+        e2_ring::render(&e2_ring::rows(
+            if q { 8 } else { 12 },
+            4,
+            if q { 300 } else { 2_000 },
+        ))
+    });
+    section("e3", "consensus agreement/validity sweeps (Theorems 4.1, 4.2)", &|| {
+        e3_consensus::render(&e3_consensus::rows(if q { 4 } else { 6 }, if q { 50 } else { 400 }))
+    });
+    section("e4", "consensus space lower bound via covering (Theorem 6.3)", &|| {
+        e4_consensus_space::render(&e4_consensus_space::rows(if q { 5 } else { 8 }))
+    });
+    section("e5", "renaming uniqueness + adaptivity (Theorems 5.1–5.3)", &|| {
+        e5_renaming::render(&e5_renaming::rows(if q { 4 } else { 6 }, if q { 30 } else { 200 }))
+    });
+    section("e6", "renaming space lower bound via covering (Theorem 6.5)", &|| {
+        e6_renaming_space::render(&e6_renaming_space::rows(if q { 5 } else { 8 }))
+    });
+    section("e7", "unknown process count attacks (Theorem 6.2)", &|| {
+        e7_unknown_n::render(&e7_unknown_n::rows(if q { 4 } else { 7 }))
+    });
+    section("e8", "election sweeps (§4 note)", &|| {
+        e8_election::render(&e8_election::rows(if q { 4 } else { 6 }, if q { 30 } else { 200 }))
+    });
+    section("e9", "real-thread throughput vs named baselines (§1 plasticity)", &|| {
+        let (entries, reps) = if q { (2_000, 20) } else { (20_000, 200) };
+        e9_threads::render(&e9_threads::rows(entries, reps, reps))
+    });
+    section("e10", "solo step complexity vs proof bounds", &|| {
+        e10_solo_steps::render(&e10_solo_steps::rows(if q { 6 } else { 10 }))
+    });
+    section("e11", "hybrid model: m anonymous + 1 named register (§8)", &|| {
+        e11_hybrid::render(&e11_hybrid::rows(if q { 3 } else { 4 }))
+    });
+    section("e12", "fair starvation across mutual exclusion algorithms (§8)", &|| {
+        e12_starvation::render(&e12_starvation::rows())
+    });
+    section("e13", "arbitrary-comparisons model: id order breaks ties (§2)", &|| {
+        e13_ordered::render(&e13_ordered::rows(if q { 3 } else { 4 }))
+    });
+}

@@ -1,0 +1,133 @@
+//! E10 — solo step complexity vs the proofs' bounds.
+//!
+//! The proofs of Theorems 4.1 and 5.1 bound the cost of a solo run: a lone
+//! consensus process writes each of the `2n − 1` registers once, paying
+//! `2n − 1` reads per write; a lone renaming participant does the same for
+//! one round. This table measures the exact solo memory-operation counts
+//! of our implementations against those bounds — the measured counts must
+//! sit *on or under* the analytical line.
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::mutex::AnonMutex;
+use anonreg::renaming::AnonRenaming;
+use anonreg::Pid;
+use anonreg_model::View;
+use anonreg_sim::Simulation;
+
+use crate::table::Table;
+
+/// One row of the solo-complexity table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Algorithm measured.
+    pub algo: &'static str,
+    /// Processes the instance is sized for.
+    pub n: usize,
+    /// Registers.
+    pub registers: usize,
+    /// Measured solo memory operations to completion.
+    pub measured: usize,
+    /// The analytical bound.
+    pub bound: usize,
+}
+
+impl Row {
+    /// Is the measurement within the proof's bound?
+    #[must_use]
+    pub fn within_bound(&self) -> bool {
+        self.measured <= self.bound
+    }
+}
+
+fn solo_ops<M: anonreg_model::Machine>(machine: M) -> usize {
+    let m = machine.register_count();
+    let mut sim = Simulation::builder()
+        .process(machine, View::identity(m))
+        .build()
+        .expect("single-process simulation");
+    let (ops, halted) = sim.run_solo(0, 1_000_000).expect("slot 0 exists");
+    assert!(halted, "solo runs terminate (obstruction freedom)");
+    ops
+}
+
+/// Measures solo completion cost for `n ∈ 1..=max_n`.
+#[must_use]
+pub fn rows(max_n: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        let m = 2 * n - 1;
+        // Consensus: each of the m write-iterations costs m reads + 1
+        // write, plus the final all-read scan.
+        out.push(Row {
+            algo: "consensus (Fig.2)",
+            n,
+            registers: m,
+            measured: solo_ops(AnonConsensus::new(Pid::new(5).unwrap(), n, 9).unwrap()),
+            bound: m * (m + 1) + m,
+        });
+        // Renaming: one solo round of the same shape (the participant wins
+        // round 1 immediately).
+        out.push(Row {
+            algo: "renaming (Fig.3)",
+            n,
+            registers: m,
+            measured: solo_ops(AnonRenaming::new(Pid::new(5).unwrap(), n).unwrap()),
+            bound: m * (m + 1) + m,
+        });
+    }
+    for m in [3usize, 5, 7, 9, 15] {
+        // Mutex solo entry+exit: m reads + m writes (claim scan) + m view
+        // reads + m exit writes = 4m.
+        out.push(Row {
+            algo: "mutex (Fig.1), 1 cycle",
+            n: 2,
+            registers: m,
+            measured: solo_ops(
+                AnonMutex::new(Pid::new(5).unwrap(), m)
+                    .unwrap()
+                    .with_cycles(1),
+            ),
+            bound: 4 * m,
+        });
+    }
+    out
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["algorithm", "n", "regs", "measured ops", "bound", "within"]);
+    for r in rows {
+        t.row(vec![
+            r.algo.into(),
+            r.n.to_string(),
+            r.registers.to_string(),
+            r.measured.to_string(),
+            r.bound.to_string(),
+            if r.within_bound() { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_measurements_respect_the_bounds() {
+        for row in rows(6) {
+            assert!(row.within_bound(), "{row:?}");
+            assert!(row.measured > 0);
+        }
+    }
+
+    #[test]
+    fn mutex_solo_cost_is_exactly_4m() {
+        for row in rows(2) {
+            if row.algo.starts_with("mutex") {
+                assert_eq!(row.measured, 4 * row.registers);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! E11 — the hybrid-model table (§8 exploration).
+//!
+//! One named register added to `m` anonymous ones changes the Theorem 3.1
+//! landscape: the tie that forces the odd-`m` requirement can now be broken
+//! by a Peterson-style announcement. This table mirrors E1 for the hybrid
+//! algorithm: exhaustive model checking per `m`, every anonymous-view
+//! rotation — and the expected result column is "safe+live" for **every**
+//! `m ≥ 2`, even ones included.
+
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{MutexEvent, Section};
+use anonreg::Pid;
+use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::Simulation;
+
+use crate::table::Table;
+
+/// One row of the hybrid table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Anonymous register count (total registers = `m + 1`).
+    pub m: usize,
+    /// Rotation views checked (exhaustive per view).
+    pub views_checked: usize,
+    /// Largest reachable state count among the checked views.
+    pub max_states: usize,
+    /// Mutual exclusion held in every reachable state of every view.
+    pub safe: bool,
+    /// No fair livelock exists in any checked view.
+    pub live: bool,
+}
+
+impl Row {
+    /// The hybrid claim: safe and live for every `m ≥ 2`.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.safe && self.live
+    }
+}
+
+/// Runs the hybrid experiment for `m` in `2..=max_m` (state spaces grow
+/// quickly; `max_m = 4` is exhaustive within seconds, `5` within minutes).
+#[must_use]
+pub fn rows(max_m: usize) -> Vec<Row> {
+    (2..=max_m)
+        .map(|m| {
+            let mut safe = true;
+            let mut live = true;
+            let mut max_states = 0;
+            for shift in 0..m {
+                let anon_identity: Vec<usize> = (0..m).collect();
+                let anon_rotated: Vec<usize> = (0..m).map(|j| (j + shift) % m).collect();
+                let sim = Simulation::builder()
+                    .process(
+                        HybridMutex::new(Pid::new(1).unwrap(), m).expect("m >= 2"),
+                        named_view(m, anon_identity).expect("valid permutation"),
+                    )
+                    .process(
+                        HybridMutex::new(Pid::new(2).unwrap(), m).expect("m >= 2"),
+                        named_view(m, anon_rotated).expect("valid permutation"),
+                    )
+                    .build()
+                    .expect("uniform configuration");
+                let graph = explore(
+                    sim,
+                    &ExploreLimits {
+                        max_states: 8_000_000,
+                        crashes: false,
+                    },
+                )
+                .expect("hybrid state spaces fit the limit");
+                max_states = max_states.max(graph.state_count());
+                if graph
+                    .find_state(|s| {
+                        s.machines()
+                            .filter(|mach| mach.section() == Section::Critical)
+                            .count()
+                            >= 2
+                    })
+                    .is_some()
+                {
+                    safe = false;
+                }
+                if graph
+                    .find_fair_livelock(
+                        |mach| mach.section() == Section::Entry,
+                        |event| *event == MutexEvent::Enter,
+                    )
+                    .is_some()
+                {
+                    live = false;
+                }
+            }
+            Row {
+                m,
+                views_checked: m,
+                max_states,
+                safe,
+                live,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "m (anon) + 1 named",
+        "views",
+        "max states",
+        "mutual excl",
+        "deadlock-free",
+        "Fig.1 alone",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("{} + 1", r.m),
+            r.views_checked.to_string(),
+            r.max_states.to_string(),
+            if r.safe { "HOLDS" } else { "VIOLATED" }.into(),
+            if r.live { "HOLDS" } else { "LIVELOCK" }.into(),
+            if r.m % 2 == 0 { "livelocks" } else { "works" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_and_odd_m_both_verify() {
+        for row in rows(3) {
+            assert!(row.verified(), "m={}: {row:?}", row.m);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! E12 — the starvation table (§8 open-problem context).
+//!
+//! The paper proves Figure 1 deadlock-free and lists starvation-free
+//! memory-anonymous mutual exclusion as open. This table separates the two
+//! properties mechanically: for each algorithm, the checker searches for a
+//! *fair starvation* schedule — the victim steps forever without entering
+//! while the other process enters again and again. Deadlock-freedom permits
+//! such schedules; starvation-freedom forbids them.
+
+use anonreg::baseline::{Bakery, Peterson};
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::ordered::OrderedMutex;
+use anonreg::{Machine, Pid, View};
+use anonreg_sim::explore::{explore, ExploreLimits, StateGraph};
+use anonreg_sim::Simulation;
+
+use crate::table::Table;
+
+/// One row of the starvation table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Algorithm analyzed.
+    pub algo: &'static str,
+    /// Register configuration description.
+    pub registers: String,
+    /// Whether a fair starvation schedule exists for some victim.
+    pub starvable: bool,
+    /// The expected verdict.
+    pub expected_starvable: bool,
+}
+
+impl Row {
+    /// Did the analysis match the expectation?
+    #[must_use]
+    pub fn matches(&self) -> bool {
+        self.starvable == self.expected_starvable
+    }
+}
+
+fn starvable<M>(graph: &StateGraph<M>, section: impl Fn(&M) -> Section) -> bool
+where
+    M: Machine<Event = MutexEvent> + Eq + std::hash::Hash,
+{
+    (0..2).any(|victim| {
+        graph
+            .find_fair_starvation(
+                victim,
+                |mach| section(mach) == Section::Entry,
+                |event| *event == MutexEvent::Enter,
+            )
+            .is_some()
+    })
+}
+
+/// Runs the starvation analysis across the mutual exclusion algorithms.
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let pid = |n: u64| Pid::new(n).unwrap();
+    let mut out = Vec::new();
+
+    // Figure 1, m = 3 (the paper's smallest correct instance).
+    let sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+        .process(AnonMutex::new(pid(2), 3).unwrap(), View::identity(3))
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    out.push(Row {
+        algo: "Figure 1 (anonymous)",
+        registers: "3 anonymous".into(),
+        starvable: starvable(&graph, AnonMutex::section),
+        expected_starvable: true,
+    });
+
+    // Hybrid, m = 2 + 1 named.
+    let sim = Simulation::builder()
+        .process(
+            HybridMutex::new(pid(1), 2).unwrap(),
+            named_view(2, vec![0, 1]).unwrap(),
+        )
+        .process(
+            HybridMutex::new(pid(2), 2).unwrap(),
+            named_view(2, vec![0, 1]).unwrap(),
+        )
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    out.push(Row {
+        algo: "Hybrid (§8)",
+        registers: "2 anonymous + 1 named".into(),
+        starvable: starvable(&graph, HybridMutex::section),
+        expected_starvable: true,
+    });
+
+    // Ordered (§2 arbitrary comparisons): the smaller id always yields, so
+    // it starves whenever the larger keeps competing.
+    let sim = Simulation::builder()
+        .process(OrderedMutex::new(pid(1), 2).unwrap(), View::identity(2))
+        .process(OrderedMutex::new(pid(2), 2).unwrap(), View::identity(2))
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    out.push(Row {
+        algo: "Ordered (§2 comparisons)",
+        registers: "2 anonymous".into(),
+        starvable: starvable(&graph, OrderedMutex::section),
+        expected_starvable: true,
+    });
+
+    // Peterson (named): starvation-free by bounded bypass.
+    let sim = Simulation::builder()
+        .process_identity(Peterson::new(pid(1), 0).unwrap())
+        .process_identity(Peterson::new(pid(2), 1).unwrap())
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    out.push(Row {
+        algo: "Peterson (named)",
+        registers: "3 named".into(),
+        starvable: starvable(&graph, Peterson::section),
+        expected_starvable: false,
+    });
+
+    // Bakery (named): FCFS. Bounded cycles keep the state space finite.
+    let sim = Simulation::builder()
+        .process_identity(Bakery::new(pid(1), 0, 2).unwrap().with_cycles(3))
+        .process_identity(Bakery::new(pid(2), 1, 2).unwrap().with_cycles(3))
+        .build()
+        .unwrap();
+    let graph = explore(
+        sim,
+        &ExploreLimits {
+            max_states: 4_000_000,
+            crashes: false,
+        },
+    )
+    .unwrap();
+    out.push(Row {
+        algo: "Bakery (named)",
+        registers: "4 named".into(),
+        starvable: starvable(&graph, Bakery::section),
+        expected_starvable: false,
+    });
+
+    out
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["algorithm", "registers", "fair starvation", "expected", "match"]);
+    for r in rows {
+        t.row(vec![
+            r.algo.into(),
+            r.registers.clone(),
+            if r.starvable { "EXISTS (schedule found)" } else { "none (starvation-free)" }.into(),
+            if r.expected_starvable { "starvable" } else { "starvation-free" }.into(),
+            if r.matches() { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_verdicts_match_theory() {
+        for row in rows() {
+            assert!(row.matches(), "{row:?}");
+        }
+    }
+}

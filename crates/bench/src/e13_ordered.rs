@@ -1,0 +1,136 @@
+//! E13 — the arbitrary-comparisons table (§2 variant).
+//!
+//! Theorem 3.1's odd-`m` requirement is proved for the *symmetric with
+//! equality* model. Under the paper's other variant — *symmetric with
+//! arbitrary comparisons* (§2) — identifier order can break the tie, and
+//! `anonreg::ordered` does so with zero extra registers. This table mirrors
+//! E1 for that algorithm: the expected column is "safe+live" for every
+//! `m ≥ 2`, even values included.
+
+use anonreg::mutex::{MutexEvent, Section};
+use anonreg::ordered::OrderedMutex;
+use anonreg::{Pid, View};
+use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::Simulation;
+
+use crate::table::Table;
+
+/// One row of the ordered-model table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Register count.
+    pub m: usize,
+    /// Rotation views checked (exhaustive per view).
+    pub views_checked: usize,
+    /// Largest reachable state count among the checked views.
+    pub max_states: usize,
+    /// Mutual exclusion held in every reachable state of every view.
+    pub safe: bool,
+    /// No fair livelock exists in any checked view.
+    pub live: bool,
+}
+
+impl Row {
+    /// The ordered-model claim: safe and live for every `m ≥ 2`.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.safe && self.live
+    }
+}
+
+/// Runs the ordered-model experiment for `m` in `2..=max_m`.
+#[must_use]
+pub fn rows(max_m: usize) -> Vec<Row> {
+    (2..=max_m)
+        .map(|m| {
+            let mut safe = true;
+            let mut live = true;
+            let mut max_states = 0;
+            for shift in 0..m {
+                let sim = Simulation::builder()
+                    .process(
+                        OrderedMutex::new(Pid::new(1).unwrap(), m).expect("m >= 2"),
+                        View::identity(m),
+                    )
+                    .process(
+                        OrderedMutex::new(Pid::new(2).unwrap(), m).expect("m >= 2"),
+                        View::rotated(m, shift),
+                    )
+                    .build()
+                    .expect("uniform configuration");
+                let graph = explore(
+                    sim,
+                    &ExploreLimits {
+                        max_states: 8_000_000,
+                        crashes: false,
+                    },
+                )
+                .expect("ordered-mutex state spaces fit the limit");
+                max_states = max_states.max(graph.state_count());
+                if graph
+                    .find_state(|s| {
+                        s.machines()
+                            .filter(|mach| mach.section() == Section::Critical)
+                            .count()
+                            >= 2
+                    })
+                    .is_some()
+                {
+                    safe = false;
+                }
+                if graph
+                    .find_fair_livelock(
+                        |mach| mach.section() == Section::Entry,
+                        |event| *event == MutexEvent::Enter,
+                    )
+                    .is_some()
+                {
+                    live = false;
+                }
+            }
+            Row {
+                m,
+                views_checked: m,
+                max_states,
+                safe,
+                live,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "m",
+        "views",
+        "max states",
+        "mutual excl",
+        "deadlock-free",
+        "equality-only model (Fig.1)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.m.to_string(),
+            r.views_checked.to_string(),
+            r.max_states.to_string(),
+            if r.safe { "HOLDS" } else { "VIOLATED" }.into(),
+            if r.live { "HOLDS" } else { "LIVELOCK" }.into(),
+            if r.m % 2 == 0 { "livelocks" } else { "works" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_and_odd_m_both_verify() {
+        for row in rows(3) {
+            assert!(row.verified(), "m={}: {row:?}", row.m);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! E1 — the mutex parity table (Theorem 3.1).
+//!
+//! For each register count `m`, exhaustively model-check the Figure 1
+//! algorithm for two processes under every rotation view (and, for even
+//! `m`, specifically the ring adversary's spacing): report state-space
+//! size, whether mutual exclusion held in every reachable state, and
+//! whether a fair livelock exists. The paper predicts SAFE+LIVE exactly
+//! for odd `m ≥ 3`, livelock for even `m`, and a safety violation for
+//! `m = 1` (Theorem 3.1 requires `m ≥ 2`).
+
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::{Pid, View};
+use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::Simulation;
+
+use crate::table::Table;
+
+/// One row of the parity table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Register count.
+    pub m: usize,
+    /// Rotation views checked (exhaustive per view).
+    pub views_checked: usize,
+    /// Largest reachable state count among the checked views.
+    pub max_states: usize,
+    /// Mutual exclusion held in every reachable state of every view.
+    pub safe: bool,
+    /// No fair livelock exists in any checked view.
+    pub live: bool,
+    /// The paper's prediction for this `m`.
+    pub expected: &'static str,
+}
+
+impl Row {
+    /// Does the measured outcome match Theorem 3.1's prediction?
+    #[must_use]
+    pub fn matches_paper(&self) -> bool {
+        match self.expected {
+            "safe+live" => self.safe && self.live,
+            "livelock" => self.safe && !self.live,
+            "unsafe" => !self.safe,
+            _ => false,
+        }
+    }
+}
+
+fn expected_for(m: usize) -> &'static str {
+    if m == 1 {
+        // m = 1 is excluded by the theorem's m ≥ 2; the covering run of
+        // Theorem 6.2 shows it is actually unsafe even for two processes.
+        "unsafe"
+    } else if m % 2 == 1 {
+        "safe+live"
+    } else {
+        "livelock"
+    }
+}
+
+/// Runs the parity experiment for `m` in `1..=max_m`.
+///
+/// For `m ≤ 5` every rotation of the second process's view is checked; for
+/// larger `m` (state spaces in the millions) only the ring-adversary
+/// spacing `⌊m/2⌋` is checked, which is where the theorem's construction
+/// lives.
+#[must_use]
+pub fn rows(max_m: usize) -> Vec<Row> {
+    (1..=max_m).map(row_for).collect()
+}
+
+fn row_for(m: usize) -> Row {
+    let shifts: Vec<usize> = if m <= 5 { (0..m).collect() } else { vec![m / 2] };
+    let mut safe = true;
+    let mut live = true;
+    let mut max_states = 0;
+    for &shift in &shifts {
+        let sim = Simulation::builder()
+            .process(
+                AnonMutex::new(Pid::new(1).unwrap(), m).expect("m >= 1"),
+                View::identity(m),
+            )
+            .process(
+                AnonMutex::new(Pid::new(2).unwrap(), m).expect("m >= 1"),
+                View::rotated(m, shift),
+            )
+            .build()
+            .expect("uniform configuration");
+        let graph = explore(
+            sim,
+            &ExploreLimits {
+                max_states: 4_000_000,
+                crashes: false,
+            },
+        )
+        .expect("two-process mutex state spaces fit in the limit");
+        max_states = max_states.max(graph.state_count());
+        let both_in_cs = graph.find_state(|s| {
+            s.machines()
+                .filter(|mach| mach.section() == Section::Critical)
+                .count()
+                >= 2
+        });
+        if both_in_cs.is_some() {
+            safe = false;
+        }
+        let livelock = graph.find_fair_livelock(
+            |mach| mach.section() == Section::Entry,
+            |event| *event == MutexEvent::Enter,
+        );
+        if livelock.is_some() {
+            live = false;
+        }
+    }
+    Row {
+        m,
+        views_checked: shifts.len(),
+        max_states,
+        safe,
+        live,
+        expected: expected_for(m),
+    }
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "m", "views", "max states", "mutual excl", "deadlock-free", "paper says", "match",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.m.to_string(),
+            r.views_checked.to_string(),
+            r.max_states.to_string(),
+            if r.safe { "HOLDS" } else { "VIOLATED" }.into(),
+            if r.live { "HOLDS" } else { "LIVELOCK" }.into(),
+            r.expected.into(),
+            if r.matches_paper() { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_ms_match_theorem_3_1() {
+        for row in rows(4) {
+            assert!(row.matches_paper(), "m={}: {row:?}", row.m);
+        }
+    }
+
+    #[test]
+    fn m1_is_unsafe() {
+        let row = row_for(1);
+        assert!(!row.safe);
+        assert_eq!(row.expected, "unsafe");
+        assert!(row.matches_paper());
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rs = rows(3);
+        let s = render(&rs);
+        assert!(s.contains("HOLDS"));
+        assert_eq!(s.lines().count(), 2 + rs.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! E2 — the ring symmetry table (Theorem 3.4).
+//!
+//! For a grid of `(m, ℓ)` pairs, run the lock-step ring adversary where it
+//! exists (`ℓ | m`) and report whether rotation symmetry survived and
+//! whether anyone entered the critical section. The theorem predicts
+//! starvation — symmetry intact, zero entries — for every divisible pair;
+//! where `gcd(m, ℓ) = 1` the adversary cannot even be built, which is why
+//! odd `m` works for two processes.
+
+use anonreg_lower::ring::{gcd, ring_starvation};
+
+use crate::table::Table;
+
+/// One row of the ring table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Registers on the ring.
+    pub m: usize,
+    /// Processes on the ring.
+    pub l: usize,
+    /// `gcd(m, ℓ)`.
+    pub gcd: usize,
+    /// `Some(starved)` if the adversary ran (`ℓ | m`); `None` if the ring
+    /// does not fit.
+    pub starved: Option<bool>,
+}
+
+/// Runs the ring experiment on the grid `m × ℓ` for `m ∈ 2..=max_m`,
+/// `ℓ ∈ 2..=max_l`, with `rounds` lock-step rounds per divisible pair.
+#[must_use]
+pub fn rows(max_m: usize, max_l: usize, rounds: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    for m in 2..=max_m {
+        for l in 2..=max_l.min(m) {
+            let starved = if m % l == 0 {
+                let outcome =
+                    ring_starvation(m, l, rounds).expect("divisible rings are constructible");
+                Some(outcome.starved())
+            } else {
+                None
+            };
+            out.push(Row {
+                m,
+                l,
+                gcd: gcd(m, l),
+                starved,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["m", "l", "gcd", "ring adversary", "outcome"]);
+    for r in rows {
+        let (fits, outcome) = match r.starved {
+            Some(true) => ("l | m", "STARVED (symmetry never broke)"),
+            Some(false) => ("l | m", "progress?! (unexpected)"),
+            None => ("does not fit", "-"),
+        };
+        t.row(vec![
+            r.m.to_string(),
+            r.l.to_string(),
+            r.gcd.to_string(),
+            fits.into(),
+            outcome.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisible_pairs_starve_and_coprime_pairs_do_not_fit() {
+        for row in rows(8, 4, 300) {
+            if row.m % row.l == 0 {
+                assert_eq!(row.starved, Some(true), "m={}, l={}", row.m, row.l);
+                assert!(row.gcd > 1);
+            } else {
+                assert_eq!(row.starved, None);
+            }
+        }
+    }
+
+    #[test]
+    fn render_marks_unfit_pairs() {
+        let s = render(&rows(4, 3, 50));
+        assert!(s.contains("does not fit"));
+        assert!(s.contains("STARVED"));
+    }
+}

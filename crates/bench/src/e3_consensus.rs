@@ -1,0 +1,105 @@
+//! E3 — consensus validation sweeps (Theorems 4.1, 4.2).
+//!
+//! For each `n`, run many seeded adversary schedules over the Figure 2
+//! algorithm with fresh random views per process and check every completed
+//! run against the consensus specification (agreement + validity). The
+//! exhaustive `n = 2` check lives in the integration tests; this sweep
+//! scales the evidence to larger `n`.
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::spec::check_consensus;
+use anonreg::Pid;
+
+use crate::table::Table;
+use crate::workload::run_randomized;
+
+/// One row of the consensus sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Processes (registers = `2n − 1`).
+    pub n: usize,
+    /// Seeded schedules executed.
+    pub runs: usize,
+    /// Runs in which every process decided within the budget.
+    pub completed: usize,
+    /// Specification violations found (agreement or validity) — the paper
+    /// predicts zero.
+    pub violations: usize,
+}
+
+/// Runs the sweep for `n ∈ 2..=max_n`, `seeds` schedules each.
+///
+/// # Panics
+///
+/// Panics if a specification violation is *detected in the checker*
+/// — no: violations are counted, not panicked on; the table reports them.
+#[must_use]
+pub fn rows(max_n: usize, seeds: u64) -> Vec<Row> {
+    (2..=max_n)
+        .map(|n| {
+            let mut completed = 0;
+            let mut violations = 0;
+            for seed in 0..seeds {
+                let inputs: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
+                let machines: Vec<AnonConsensus> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &input)| {
+                        AnonConsensus::new(Pid::new(100 + i as u64).unwrap(), n, input)
+                            .expect("valid configuration")
+                    })
+                    .collect();
+                let budget = 40_000 * n;
+                let sim = run_randomized(machines, seed, 8 * n, budget);
+                if sim.all_halted() {
+                    completed += 1;
+                }
+                if check_consensus(sim.trace(), &inputs).is_err() {
+                    violations += 1;
+                }
+            }
+            Row {
+                n,
+                runs: seeds as usize,
+                completed,
+                violations,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["n", "registers", "runs", "all decided", "violations"]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            (2 * r.n - 1).to_string(),
+            r.runs.to_string(),
+            r.completed.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_across_seeds() {
+        for row in rows(4, 25) {
+            assert_eq!(row.violations, 0, "n={}", row.n);
+            // Burst scheduling should let most runs finish.
+            assert!(row.completed * 2 >= row.runs, "n={}: {row:?}", row.n);
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let s = render(&rows(2, 3));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! E4 — the consensus space-bound table (Theorem 6.3).
+//!
+//! For each `n` and each under-provisioned register count `r < n`, mount
+//! the covering attack of `anonreg-lower` and report the manufactured
+//! disagreement. For `r ≥ 2n − 1` the attack is (correctly) impossible.
+
+use anonreg_lower::consensus_cover::disagreement;
+
+use crate::table::Table;
+
+/// One row of the space-bound table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Processes.
+    pub n: usize,
+    /// Registers provided.
+    pub registers: usize,
+    /// Whether the covering attack produced a disagreement.
+    pub violated: bool,
+    /// Size of the victim's write set (`= |P|`, the coverers needed).
+    pub coverers: usize,
+}
+
+/// Runs the attack for every `n ∈ 2..=max_n` and `r ∈ 1..n`.
+#[must_use]
+pub fn rows(max_n: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    for n in 2..=max_n {
+        for r in 1..n {
+            match disagreement(n, r) {
+                Ok(d) => out.push(Row {
+                    n,
+                    registers: r,
+                    violated: true,
+                    coverers: d.write_set.len(),
+                }),
+                Err(_) => out.push(Row {
+                    n,
+                    registers: r,
+                    violated: false,
+                    coverers: 0,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["n", "registers", "required (2n-1)", "agreement", "coverers"]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.registers.to_string(),
+            (2 * r.n - 1).to_string(),
+            if r.violated { "VIOLATED (attack)" } else { "held?!" }.into(),
+            r.coverers.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_underprovisioned_count_is_attacked() {
+        for row in rows(5) {
+            assert!(row.violated, "n={}, r={}", row.n, row.registers);
+            assert!(row.coverers >= 1);
+            assert!(row.coverers <= row.registers);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! E6 — the renaming space-bound table (Theorem 6.5).
+//!
+//! Mirror of E4: for each under-provisioned register count, the covering
+//! attack makes the victim and a coverer both acquire name 1.
+
+use anonreg_lower::renaming_cover::duplicate_name;
+
+use crate::table::Table;
+
+/// One row of the renaming space-bound table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Processes.
+    pub n: usize,
+    /// Registers provided.
+    pub registers: usize,
+    /// Whether the attack produced a duplicate name.
+    pub violated: bool,
+    /// The duplicated name (1, by adaptivity) when violated.
+    pub name: u32,
+}
+
+/// Runs the attack for every `n ∈ 2..=max_n` and `r ∈ 1..n`.
+#[must_use]
+pub fn rows(max_n: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    for n in 2..=max_n {
+        for r in 1..n {
+            match duplicate_name(n, r) {
+                Ok(d) => out.push(Row {
+                    n,
+                    registers: r,
+                    violated: true,
+                    name: d.name,
+                }),
+                Err(_) => out.push(Row {
+                    n,
+                    registers: r,
+                    violated: false,
+                    name: 0,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["n", "registers", "required (2n-1)", "uniqueness", "dup name"]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.registers.to_string(),
+            (2 * r.n - 1).to_string(),
+            if r.violated { "VIOLATED (attack)" } else { "held?!" }.into(),
+            if r.violated { r.name.to_string() } else { "-".into() },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_underprovisioned_count_is_attacked() {
+        for row in rows(5) {
+            assert!(row.violated, "n={}, r={}", row.n, row.registers);
+            assert_eq!(row.name, 1);
+        }
+    }
+}

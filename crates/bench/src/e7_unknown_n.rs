@@ -1,0 +1,83 @@
+//! E7 — the unknown-process-count table (Theorem 6.2).
+//!
+//! For each register count `m`, mount the covering attack with `m + 1`
+//! processes against the two-process Figure 1 algorithm and report how it
+//! fails: a direct mutual exclusion violation (`m = 1`), or starvation
+//! behind an indistinguishable fresh-looking memory (`m ≥ 2`). Either way
+//! no fixed `m` survives an unknown number of processes.
+
+use anonreg_lower::mutex_cover::{unknown_n_attack, MutexFailure};
+
+use crate::table::Table;
+
+/// One row of the unknown-n table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Register count attacked.
+    pub m: usize,
+    /// Size of the victim's write set (always `m`: Figure 1 writes every
+    /// register on a solo entry).
+    pub write_set: usize,
+    /// Whether memory after the block write was indistinguishable from the
+    /// victim-free world (Theorem 6.1's engine; always true).
+    pub indistinguishable: bool,
+    /// The observed failure mode.
+    pub failure: MutexFailure,
+}
+
+/// Runs the attack for every `m ∈ 1..=max_m`.
+#[must_use]
+pub fn rows(max_m: usize) -> Vec<Row> {
+    (1..=max_m)
+        .map(|m| {
+            let outcome = unknown_n_attack(m, 40_000);
+            Row {
+                m,
+                write_set: outcome.write_set.len(),
+                indistinguishable: outcome.indistinguishable,
+                failure: outcome.failure,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["m", "covered", "indistinguishable", "failure mode"]);
+    for r in rows {
+        let failure = match &r.failure {
+            MutexFailure::MutualExclusionViolated { .. } => {
+                "MUTUAL EXCLUSION VIOLATED (two in CS)".to_string()
+            }
+            MutexFailure::Starvation { .. } => {
+                "STARVATION (deadlock-freedom violated)".to_string()
+            }
+        };
+        t.row(vec![
+            r.m.to_string(),
+            r.write_set.to_string(),
+            if r.indistinguishable { "yes" } else { "NO" }.into(),
+            failure,
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_m_fails_and_memory_is_indistinguishable() {
+        let rs = rows(5);
+        assert!(rs.iter().all(|r| r.indistinguishable));
+        assert!(matches!(
+            rs[0].failure,
+            MutexFailure::MutualExclusionViolated { .. }
+        ));
+        for r in &rs[1..] {
+            assert!(matches!(r.failure, MutexFailure::Starvation { .. }));
+        }
+    }
+}

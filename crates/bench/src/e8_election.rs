@@ -1,0 +1,84 @@
+//! E8 — election sweeps (§4 note: election = consensus on identifiers).
+
+use anonreg::election::AnonElection;
+use anonreg::spec::check_election;
+use anonreg::Pid;
+
+use crate::table::Table;
+use crate::workload::run_randomized;
+
+/// One row of the election sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Participants.
+    pub n: usize,
+    /// Seeded schedules executed.
+    pub runs: usize,
+    /// Runs in which every participant learned the leader.
+    pub completed: usize,
+    /// Specification violations (split votes or non-participant leaders).
+    pub violations: usize,
+}
+
+/// Runs the sweep for `n ∈ 2..=max_n`, `seeds` schedules each.
+#[must_use]
+pub fn rows(max_n: usize, seeds: u64) -> Vec<Row> {
+    (2..=max_n)
+        .map(|n| {
+            let mut completed = 0;
+            let mut violations = 0;
+            for seed in 0..seeds {
+                let pids: Vec<Pid> = (0..n)
+                    .map(|i| Pid::new(7000 + 13 * i as u64).unwrap())
+                    .collect();
+                let machines: Vec<AnonElection> = pids
+                    .iter()
+                    .map(|&pid| AnonElection::new(pid, n).expect("valid configuration"))
+                    .collect();
+                let budget = 40_000 * n;
+                let sim = run_randomized(machines, seed.wrapping_add(777), 8 * n, budget);
+                if sim.all_halted() {
+                    completed += 1;
+                }
+                if check_election(sim.trace(), &pids).is_err() {
+                    violations += 1;
+                }
+            }
+            Row {
+                n,
+                runs: seeds as usize,
+                completed,
+                violations,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["n", "registers", "runs", "all elected", "violations"]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            (2 * r.n - 1).to_string(),
+            r.runs.to_string(),
+            r.completed.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_across_seeds() {
+        for row in rows(4, 20) {
+            assert_eq!(row.violations, 0, "n={}", row.n);
+            assert!(row.completed * 2 >= row.runs, "n={}: {row:?}", row.n);
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! E9 — real-thread throughput: memory-anonymous algorithms vs classic
+//! named-register baselines, on real atomics under the OS scheduler.
+//!
+//! The paper's introduction argues memory-anonymous algorithms have
+//! practical "plasticity" (each thread may scan registers in its own
+//! order). This experiment quantifies the price of anonymity today:
+//!
+//! * **mutex** — Figure 1 (`m` anonymous registers, random views) vs
+//!   Peterson (3 named registers): two threads, critical sections per
+//!   second;
+//! * **consensus** — Figure 2 (`2n − 1` anonymous registers, backoff) vs
+//!   lock-based consensus (Bakery + decision register): wall time for all
+//!   `n` threads to decide;
+//! * **renaming** — Figure 3 (`2n − 1` wide anonymous registers) vs the
+//!   Moir–Anderson splitter grid (`n(n+1)` named registers): wall time for
+//!   all participants to acquire names.
+//!
+//! Expected shape: the named baselines win (they exploit the agreement the
+//! anonymous model forbids — fewer registers for mutex, wait-freedom for
+//! renaming), while the anonymous algorithms stay within small constant
+//! factors at low process counts and degrade as `n` grows (their register
+//! arrays and scan lengths grow with `n`). Absolute numbers are
+//! machine-dependent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use anonreg::baseline::{LockConsensus, Peterson, SplitterRenaming};
+use anonreg::consensus::ConsensusEvent;
+use anonreg::mutex::Section;
+use anonreg::ordered::OrderedMutex;
+use anonreg::renaming::RenamingEvent;
+use anonreg_model::{Pid, View};
+use anonreg_runtime::{
+    AnonymousConsensus, AnonymousMemory, AnonymousMutex, AnonymousRenaming, Driver,
+    HybridAnonymousMutex, PackedAtomicRegister,
+};
+
+use crate::table::Table;
+
+/// One throughput/latency measurement.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Experiment family (`mutex`, `consensus`, `renaming`).
+    pub family: &'static str,
+    /// Algorithm measured.
+    pub algo: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Registers used.
+    pub registers: usize,
+    /// Completed operations (critical sections / decisions / names).
+    pub completed: u64,
+    /// Wall time.
+    pub elapsed: Duration,
+}
+
+impl Row {
+    /// Operations per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+/// Figure 1 mutex: two threads, `entries` critical sections each.
+#[must_use]
+pub fn anonymous_mutex(m: usize, entries: u64) -> Row {
+    let lock = AnonymousMutex::new(m).expect("odd m >= 3");
+    let mut a = lock.handle(pid(1)).unwrap();
+    let mut b = lock.handle(pid(2)).unwrap();
+    let counter = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for handle in [&mut a, &mut b] {
+            s.spawn(|| {
+                for _ in 0..entries {
+                    let _guard = handle.enter();
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    Row {
+        family: "mutex",
+        algo: format!("anonymous (Fig.1, m={m})"),
+        threads: 2,
+        registers: m,
+        completed: counter.load(Ordering::Relaxed) as u64,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The §8 hybrid mutex (`m` anonymous + 1 named): two threads.
+#[must_use]
+pub fn hybrid_mutex(m: usize, entries: u64) -> Row {
+    let lock = HybridAnonymousMutex::new(m).expect("m >= 2");
+    let mut a = lock.handle(pid(1)).unwrap();
+    let mut b = lock.handle(pid(2)).unwrap();
+    let counter = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for handle in [&mut a, &mut b] {
+            s.spawn(|| {
+                for _ in 0..entries {
+                    let _guard = handle.enter();
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    Row {
+        family: "mutex",
+        algo: format!("hybrid §8 ({m} anon + 1 named)"),
+        threads: 2,
+        registers: m + 1,
+        completed: counter.load(Ordering::Relaxed) as u64,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The §2 ordered mutex (identifier-order tie-break): two threads.
+#[must_use]
+pub fn ordered_mutex(m: usize, entries: u64) -> Row {
+    let memory: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(m);
+    let counter = AtomicUsize::new(0);
+    let mut drv_a = Driver::new(
+        OrderedMutex::new(pid(1), m).expect("m >= 2"),
+        memory.view(View::identity(m)),
+    );
+    let mut drv_b = Driver::new(
+        OrderedMutex::new(pid(2), m).expect("m >= 2"),
+        memory.view(View::rotated(m, m / 2)),
+    );
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for driver in [&mut drv_a, &mut drv_b] {
+            let counter = &counter;
+            s.spawn(move || {
+                for _ in 0..entries {
+                    driver.run_until(|mach| mach.section() == Section::Critical);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    driver.run_until(|mach| mach.section() == Section::Remainder);
+                }
+            });
+        }
+    });
+    Row {
+        family: "mutex",
+        algo: format!("ordered §2 (m={m})"),
+        threads: 2,
+        registers: m,
+        completed: counter.load(Ordering::Relaxed) as u64,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Peterson baseline: two threads, `entries` critical sections each.
+#[must_use]
+pub fn peterson_mutex(entries: u64) -> Row {
+    let memory: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(3);
+    let counter = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for slot in 0..2usize {
+            let view = memory.view(View::identity(3));
+            let counter = &counter;
+            s.spawn(move || {
+                let machine = Peterson::new(pid(slot as u64 + 1), slot).unwrap();
+                let mut driver = Driver::new(machine, view);
+                for _ in 0..entries {
+                    driver.run_until(|mach| mach.section() == Section::Critical);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    driver.run_until(|mach| mach.section() == Section::Remainder);
+                }
+            });
+        }
+    });
+    Row {
+        family: "mutex",
+        algo: "Peterson (named, 3 regs)".into(),
+        threads: 2,
+        registers: 3,
+        completed: counter.load(Ordering::Relaxed) as u64,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Figure 2 consensus: `n` threads decide once per repetition.
+#[must_use]
+pub fn anonymous_consensus(n: usize, reps: u64) -> Row {
+    let start = Instant::now();
+    let mut completed = 0;
+    for rep in 0..reps {
+        let consensus = AnonymousConsensus::new(n).unwrap();
+        let decided: Vec<u64> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..n)
+                .map(|i| {
+                    let h = consensus.handle(pid(1 + i as u64 + rep * 64)).unwrap();
+                    s.spawn(move || h.propose(i as u64 + 1).unwrap())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        assert!(decided.windows(2).all(|w| w[0] == w[1]));
+        completed += n as u64;
+    }
+    Row {
+        family: "consensus",
+        algo: format!("anonymous (Fig.2, {} regs)", 2 * n - 1),
+        threads: n,
+        registers: 2 * n - 1,
+        completed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Lock-based consensus baseline (Bakery + decision register).
+#[must_use]
+pub fn lock_consensus(n: usize, reps: u64) -> Row {
+    let start = Instant::now();
+    let mut completed = 0;
+    for rep in 0..reps {
+        let memory: AnonymousMemory<PackedAtomicRegister<u64>> =
+            AnonymousMemory::new(2 * n + 1);
+        let decided: Vec<u64> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..n)
+                .map(|slot| {
+                    let view = memory.view(View::identity(2 * n + 1));
+                    s.spawn(move || {
+                        let machine = LockConsensus::new(
+                            pid(1 + slot as u64 + rep * 64),
+                            slot,
+                            n,
+                            slot as u64 + 1,
+                        )
+                        .unwrap();
+                        let mut driver = Driver::new(machine, view);
+                        match driver.run_until_event() {
+                            Some(ConsensusEvent::Decide(v)) => v,
+                            None => unreachable!("lock consensus decides"),
+                        }
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        assert!(decided.windows(2).all(|w| w[0] == w[1]));
+        completed += n as u64;
+    }
+    Row {
+        family: "consensus",
+        algo: format!("lock-based (named, {} regs)", 2 * n + 1),
+        threads: n,
+        registers: 2 * n + 1,
+        completed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Figure 3 renaming: `n` threads acquire names once per repetition.
+#[must_use]
+pub fn anonymous_renaming(n: usize, reps: u64) -> Row {
+    let start = Instant::now();
+    let mut completed = 0;
+    for rep in 0..reps {
+        let renaming = AnonymousRenaming::new(n).unwrap();
+        let mut names: Vec<u32> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..n)
+                .map(|i| {
+                    let h = renaming.handle(pid(1 + i as u64 + rep * 64)).unwrap();
+                    s.spawn(move || h.acquire())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        names.sort_unstable();
+        assert_eq!(names, (1..=n as u32).collect::<Vec<_>>());
+        completed += n as u64;
+    }
+    Row {
+        family: "renaming",
+        algo: format!("anonymous (Fig.3, {} wide regs)", 2 * n - 1),
+        threads: n,
+        registers: 2 * n - 1,
+        completed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Moir–Anderson splitter-grid baseline.
+#[must_use]
+pub fn splitter_renaming(n: usize, reps: u64) -> Row {
+    let registers = 2 * SplitterRenaming::splitters(n);
+    let start = Instant::now();
+    let mut completed = 0;
+    for rep in 0..reps {
+        let memory: AnonymousMemory<PackedAtomicRegister<u64>> =
+            AnonymousMemory::new(registers);
+        let names: Vec<u32> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..n)
+                .map(|i| {
+                    let view = memory.view(View::identity(registers));
+                    s.spawn(move || {
+                        let machine =
+                            SplitterRenaming::new(pid(1 + i as u64 + rep * 64), n).unwrap();
+                        let mut driver = Driver::new(machine, view);
+                        match driver.run_until_event() {
+                            Some(RenamingEvent::Named(name)) => name,
+                            None => unreachable!("splitters always name"),
+                        }
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "splitter names must be distinct");
+        completed += n as u64;
+    }
+    Row {
+        family: "renaming",
+        algo: format!("splitter grid (named, {registers} regs)"),
+        threads: n,
+        registers,
+        completed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The full E9 table at the given scale.
+#[must_use]
+pub fn rows(mutex_entries: u64, consensus_reps: u64, renaming_reps: u64) -> Vec<Row> {
+    let mut out = Vec::new();
+    for m in [3, 5, 9, 15] {
+        out.push(anonymous_mutex(m, mutex_entries));
+    }
+    for m in [2, 4] {
+        out.push(hybrid_mutex(m, mutex_entries));
+        out.push(ordered_mutex(m, mutex_entries));
+    }
+    out.push(peterson_mutex(mutex_entries));
+    for n in [2, 4, 8] {
+        out.push(anonymous_consensus(n, consensus_reps));
+        out.push(lock_consensus(n, consensus_reps));
+    }
+    for n in [2, 4, 8] {
+        out.push(anonymous_renaming(n, renaming_reps));
+        out.push(splitter_renaming(n, renaming_reps));
+    }
+    out
+}
+
+/// Renders the table for the given rows.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "family", "algorithm", "threads", "regs", "ops", "elapsed", "ops/s",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.family.into(),
+            r.algo.clone(),
+            r.threads.to_string(),
+            r.registers.to_string(),
+            r.completed.to_string(),
+            format!("{:?}", r.elapsed),
+            format!("{:.0}", r.throughput()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_measurements_complete() {
+        let anon = anonymous_mutex(3, 50);
+        assert_eq!(anon.completed, 100);
+        let named = peterson_mutex(50);
+        assert_eq!(named.completed, 100);
+        assert_eq!(hybrid_mutex(2, 50).completed, 100);
+        assert_eq!(ordered_mutex(2, 50).completed, 100);
+    }
+
+    #[test]
+    fn consensus_measurements_complete() {
+        assert_eq!(anonymous_consensus(3, 3).completed, 9);
+        assert_eq!(lock_consensus(3, 3).completed, 9);
+    }
+
+    #[test]
+    fn renaming_measurements_complete() {
+        assert_eq!(anonymous_renaming(3, 3).completed, 9);
+        assert_eq!(splitter_renaming(3, 3).completed, 9);
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let row = anonymous_mutex(3, 10);
+        assert!(row.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Lamport's Bakery algorithm — the canonical *named-register* n-process
+//! mutual exclusion baseline.
+//!
+//! Bakery needs `2n` named registers (`choosing[0..n]` and `number[0..n]`)
+//! and breaks ties by **ordering** `(ticket, slot)` pairs. Both ingredients
+//! — agreed register names and an agreed total order on process slots — are
+//! unavailable in the paper's memory-anonymous symmetric-with-equality
+//! model, which is why no Bakery-style n-process algorithm appears there
+//! (the existence of an anonymous mutex for `n > 2` is the paper's headline
+//! open problem).
+
+use std::fmt;
+
+use anonreg_model::{Machine, Pid, Step};
+
+use crate::mutex::{MutexConfigError, MutexEvent, Section};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    Remainder,
+    /// `choosing[s] := 1` just issued.
+    SetChoosing,
+    /// Read of `number[j]` issued while computing the maximum ticket.
+    ScanNumber,
+    /// `number[s] := max + 1` just issued.
+    SetNumber,
+    /// `choosing[s] := 0` just issued.
+    ClearChoosing,
+    /// Read of `choosing[j]` issued (first wait loop for process `j`).
+    WaitChoosing,
+    /// Read of `number[j]` issued (second wait loop for process `j`).
+    WaitNumber,
+    /// In the critical section.
+    Critical,
+    /// `Event(Exit)` emitted; `number[s] := 0` follows.
+    ExitWrite,
+}
+
+/// Lamport's Bakery: deadlock-free (in fact first-come-first-served)
+/// mutual exclusion for `n` processes over `2n` *named* registers.
+///
+/// Register layout: `choosing[j]` at index `j`, `number[j]` at index
+/// `n + j`. Each process must know its own `slot` in `0..n` — prior
+/// agreement that the memory-anonymous model forbids.
+///
+/// Tickets grow without bound over a long run; they are `u64`, which
+/// overflows only after ~10¹⁹ critical sections.
+///
+/// # Example
+///
+/// ```
+/// use anonreg::baseline::Bakery;
+/// use anonreg::Machine;
+/// use anonreg::Pid;
+///
+/// let machine = Bakery::new(Pid::new(3).unwrap(), 1, 4)?;
+/// assert_eq!(machine.register_count(), 8);
+/// # Ok::<(), anonreg::mutex::MutexConfigError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bakery {
+    pid: Pid,
+    slot: usize,
+    n: usize,
+    cycles_remaining: Option<u64>,
+    /// Maximum ticket seen during the scan.
+    maxnum: u64,
+    /// Our ticket (`number[s]` value).
+    mynum: u64,
+    /// Loop index over processes.
+    j: usize,
+    pc: Pc,
+}
+
+impl Bakery {
+    /// Creates the Bakery machine for process `pid` playing `slot` among
+    /// `n` agreed-upon slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `slot >= n`.
+    pub fn new(pid: Pid, slot: usize, n: usize) -> Result<Self, MutexConfigError> {
+        if n == 0 {
+            return Err(MutexConfigError::ZeroRegisters);
+        }
+        if slot >= n {
+            return Err(MutexConfigError::slot(slot));
+        }
+        Ok(Bakery {
+            pid,
+            slot,
+            n,
+            cycles_remaining: None,
+            maxnum: 0,
+            mynum: 0,
+            j: 0,
+            pc: Pc::Remainder,
+        })
+    }
+
+    /// Bounds the machine to `cycles` critical-section entries.
+    #[must_use]
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles_remaining = Some(cycles);
+        self
+    }
+
+    /// The code section the process is currently in.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        match self.pc {
+            Pc::Remainder => Section::Remainder,
+            Pc::SetChoosing | Pc::ScanNumber | Pc::SetNumber | Pc::ClearChoosing
+            | Pc::WaitChoosing | Pc::WaitNumber => Section::Entry,
+            Pc::Critical => Section::Critical,
+            Pc::ExitWrite => Section::Exit,
+        }
+    }
+
+    fn choosing_reg(&self, j: usize) -> usize {
+        j
+    }
+
+    fn number_reg(&self, j: usize) -> usize {
+        self.n + j
+    }
+
+    /// Moves the wait loop to the next process (skipping ourselves), or
+    /// enters the critical section when all have been passed.
+    fn next_wait_target(&mut self) -> Step<u64, MutexEvent> {
+        self.j += 1;
+        if self.j == self.slot {
+            self.j += 1;
+        }
+        if self.j < self.n {
+            self.pc = Pc::WaitChoosing;
+            Step::Read(self.choosing_reg(self.j))
+        } else {
+            self.pc = Pc::Critical;
+            Step::Event(MutexEvent::Enter)
+        }
+    }
+
+    /// `(number[j], j) < (number[s], s)` — the Bakery tie-break order.
+    fn other_goes_first(&self, other_num: u64) -> bool {
+        (other_num, self.j) < (self.mynum, self.slot)
+    }
+}
+
+impl Machine for Bakery {
+    type Value = u64;
+    type Event = MutexEvent;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        2 * self.n
+    }
+
+    fn resume(&mut self, read: Option<u64>) -> Step<u64, MutexEvent> {
+        match self.pc {
+            Pc::Remainder => {
+                debug_assert!(read.is_none());
+                match self.cycles_remaining {
+                    Some(0) => Step::Halt,
+                    other => {
+                        if let Some(c) = other {
+                            self.cycles_remaining = Some(c - 1);
+                        }
+                        self.pc = Pc::SetChoosing;
+                        Step::Write(self.choosing_reg(self.slot), 1)
+                    }
+                }
+            }
+            Pc::SetChoosing => {
+                debug_assert!(read.is_none());
+                self.maxnum = 0;
+                self.j = 0;
+                self.pc = Pc::ScanNumber;
+                Step::Read(self.number_reg(0))
+            }
+            Pc::ScanNumber => {
+                let num = read.expect("number read result expected");
+                self.maxnum = self.maxnum.max(num);
+                self.j += 1;
+                if self.j < self.n {
+                    Step::Read(self.number_reg(self.j))
+                } else {
+                    self.mynum = self.maxnum + 1;
+                    self.pc = Pc::SetNumber;
+                    Step::Write(self.number_reg(self.slot), self.mynum)
+                }
+            }
+            Pc::SetNumber => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::ClearChoosing;
+                Step::Write(self.choosing_reg(self.slot), 0)
+            }
+            Pc::ClearChoosing => {
+                debug_assert!(read.is_none());
+                // Start the wait loop at process 0 (or 1 if we are slot 0).
+                self.j = if self.slot == 0 { 1 } else { 0 };
+                if self.n == 1 {
+                    self.pc = Pc::Critical;
+                    return Step::Event(MutexEvent::Enter);
+                }
+                self.pc = Pc::WaitChoosing;
+                Step::Read(self.choosing_reg(self.j))
+            }
+            Pc::WaitChoosing => {
+                let choosing = read.expect("choosing read result expected");
+                if choosing != 0 {
+                    // Process j is still picking a ticket: spin here.
+                    Step::Read(self.choosing_reg(self.j))
+                } else {
+                    self.pc = Pc::WaitNumber;
+                    Step::Read(self.number_reg(self.j))
+                }
+            }
+            Pc::WaitNumber => {
+                let num = read.expect("number read result expected");
+                if num != 0 && self.other_goes_first(num) {
+                    // Process j holds an earlier ticket: spin here.
+                    Step::Read(self.number_reg(self.j))
+                } else {
+                    self.next_wait_target()
+                }
+            }
+            Pc::Critical => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::ExitWrite;
+                Step::Event(MutexEvent::Exit)
+            }
+            Pc::ExitWrite => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::Remainder;
+                Step::Write(self.number_reg(self.slot), 0)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bakery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bakery")
+            .field("pid", &self.pid)
+            .field("slot", &self.slot)
+            .field("n", &self.n)
+            .field("pc", &self.pc)
+            .field("mynum", &self.mynum)
+            .field("j", &self.j)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn run_solo(mut machine: Bakery) -> (Vec<MutexEvent>, Vec<u64>) {
+        let mut regs = vec![0u64; machine.register_count()];
+        let mut read = None;
+        let mut events = Vec::new();
+        for _ in 0..100_000 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(e) => events.push(e),
+                Step::Halt => return (events, regs),
+            }
+        }
+        panic!("machine did not halt");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Bakery::new(pid(1), 0, 0).is_err());
+        assert!(Bakery::new(pid(1), 3, 3).is_err());
+        assert!(Bakery::new(pid(1), 2, 3).is_ok());
+    }
+
+    #[test]
+    fn solo_enters_and_exits_any_slot() {
+        for n in [1, 2, 4, 7] {
+            for slot in 0..n {
+                let (events, regs) =
+                    run_solo(Bakery::new(pid(5), slot, n).unwrap().with_cycles(1));
+                assert_eq!(
+                    events,
+                    vec![MutexEvent::Enter, MutexEvent::Exit],
+                    "n={n} slot={slot}"
+                );
+                assert!(regs.iter().all(|&v| v == 0), "n={n} slot={slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn tickets_increase_across_cycles() {
+        let mut machine = Bakery::new(pid(5), 0, 2).unwrap().with_cycles(3);
+        let mut regs = vec![0u64; 4];
+        let mut read = None;
+        let mut tickets = Vec::new();
+        loop {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => {
+                    regs[j] = v;
+                    if j == 2 && v != 0 {
+                        tickets.push(v);
+                    }
+                }
+                Step::Event(_) => {}
+                Step::Halt => break,
+            }
+        }
+        // Registers reset to 0 between cycles, so solo tickets are all 1.
+        assert_eq!(tickets, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn waits_for_choosing_process() {
+        // Slot 1's choosing flag is up: slot 0 must spin on it.
+        let mut machine = Bakery::new(pid(5), 0, 2).unwrap();
+        let mut regs = vec![0u64, 1, 0, 0];
+        let mut read = None;
+        for _ in 0..50 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(MutexEvent::Enter) => panic!("must not enter while other chooses"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(machine.section(), Section::Entry);
+    }
+
+    #[test]
+    fn waits_for_earlier_ticket() {
+        // Slot 1 holds ticket 1; slot 0 will draw ticket 2 and must wait.
+        let mut machine = Bakery::new(pid(5), 0, 2).unwrap();
+        let mut regs = vec![0u64, 0, 0, 1];
+        let mut read = None;
+        for _ in 0..50 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(MutexEvent::Enter) => panic!("must not pass an earlier ticket"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(machine.section(), Section::Entry);
+    }
+
+    #[test]
+    fn ties_break_by_slot() {
+        // Both hold ticket 1: slot 0 wins the (ticket, slot) order, slot 1
+        // must wait. Simulate slot 1 against a frozen slot 0 with ticket 1.
+        let mut machine = Bakery::new(pid(5), 1, 2).unwrap();
+        // regs: choosing0, choosing1, number0, number1
+        let mut regs = vec![0u64, 0, 1, 0];
+        let mut read = None;
+        let mut entered = false;
+        for _ in 0..50 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(MutexEvent::Enter) => {
+                    entered = true;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Slot 1 drew ticket 2 (max was 1), so slot 0's ticket 1 is earlier:
+        // no entry.
+        assert!(!entered);
+
+        // Mirror image: slot 0 against frozen slot 1 with an equal ticket.
+        // Force equality by presetting number1 = 1 *after* the scan; easier:
+        // slot 0 with other's ticket equal to what it will draw (scan sees 0
+        // then we bump). Instead verify the pure comparator:
+        let m0 = Bakery::new(pid(5), 0, 2).unwrap();
+        let mut m0 = m0;
+        m0.mynum = 1;
+        m0.j = 1;
+        assert!(!m0.other_goes_first(1), "(1,1) is not before (1,0)");
+        let mut m1 = Bakery::new(pid(6), 1, 2).unwrap();
+        m1.mynum = 1;
+        m1.j = 0;
+        assert!(m1.other_goes_first(1), "(1,0) is before (1,1)");
+    }
+}

@@ -1,0 +1,225 @@
+//! Consensus in the failure-free *named-register* model: grab a lock, then
+//! read-or-set a decision register.
+//!
+//! This is the textbook demonstration that consensus is trivial when
+//! processes cannot crash and registers have agreed names: `2n` Bakery
+//! registers implement mutual exclusion, one extra named register holds the
+//! decision. The first process into the critical section writes its input;
+//! everyone else reads it. Contrast with the paper's Figure 2, which needs
+//! neither named registers nor a critical section — but only guarantees
+//! obstruction-free progress, the price of crash tolerance (FLP) and
+//! anonymity.
+
+use std::fmt;
+
+use anonreg_model::{Machine, Pid, Step};
+
+use crate::baseline::bakery::Bakery;
+use crate::consensus::{ConsensusConfigError, ConsensusEvent};
+use crate::mutex::MutexEvent;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Running the Bakery entry code.
+    Locking,
+    /// Inside the critical section; read of the decision register issued.
+    ReadDecision,
+    /// Wrote our input into the decision register.
+    WroteDecision,
+    /// Running the Bakery exit code; the decided value is latched.
+    Unlocking(u64),
+    /// Decision announced; next step halts.
+    Decided,
+}
+
+/// Lock-based consensus for `n` processes over `2n + 1` *named* registers
+/// (a Bakery lock plus one decision register).
+///
+/// Deadlock-free rather than obstruction-free, and **not crash-tolerant**:
+/// a process that stops inside the critical section blocks everyone — the
+/// exact failure mode the paper's register-only algorithms are designed to
+/// avoid. It serves as the named-model performance baseline in
+/// experiment E9.
+///
+/// # Example
+///
+/// ```
+/// use anonreg::baseline::LockConsensus;
+/// use anonreg::Machine;
+/// use anonreg::Pid;
+///
+/// let machine = LockConsensus::new(Pid::new(3).unwrap(), 0, 2, 99)?;
+/// assert_eq!(machine.register_count(), 5); // 2n Bakery + 1 decision
+/// # Ok::<(), anonreg::consensus::ConsensusConfigError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LockConsensus {
+    lock: Bakery,
+    n: usize,
+    input: u64,
+    phase: Phase,
+}
+
+impl LockConsensus {
+    /// Creates the machine for process `pid` playing `slot` among `n`
+    /// agreed-upon slots, proposing `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConsensusConfigError`] if `n == 0`, `input == 0` (zero
+    /// encodes "no decision yet"), or `slot >= n`.
+    pub fn new(pid: Pid, slot: usize, n: usize, input: u64) -> Result<Self, ConsensusConfigError> {
+        if input == 0 {
+            return Err(ConsensusConfigError::ZeroInput);
+        }
+        let lock = Bakery::new(pid, slot, n)
+            .map_err(|_| ConsensusConfigError::NoProcesses)?
+            .with_cycles(1);
+        Ok(LockConsensus {
+            lock,
+            n,
+            input,
+            phase: Phase::Locking,
+        })
+    }
+
+    /// The index of the decision register (after the `2n` Bakery registers).
+    fn decision_reg(&self) -> usize {
+        2 * self.n
+    }
+}
+
+impl Machine for LockConsensus {
+    type Value = u64;
+    type Event = ConsensusEvent;
+
+    fn pid(&self) -> Pid {
+        self.lock.pid()
+    }
+
+    fn register_count(&self) -> usize {
+        2 * self.n + 1
+    }
+
+    fn resume(&mut self, read: Option<u64>) -> Step<u64, ConsensusEvent> {
+        match self.phase {
+            Phase::Locking => match self.lock.resume(read) {
+                Step::Read(j) => Step::Read(j),
+                Step::Write(j, v) => Step::Write(j, v),
+                Step::Event(MutexEvent::Enter) => {
+                    self.phase = Phase::ReadDecision;
+                    Step::Read(self.decision_reg())
+                }
+                Step::Event(MutexEvent::Exit | MutexEvent::Aborted) | Step::Halt => {
+                    unreachable!("lock exits only after the decision phase")
+                }
+            },
+            Phase::ReadDecision => {
+                let d = read.expect("decision read result expected");
+                if d == 0 {
+                    self.phase = Phase::WroteDecision;
+                    Step::Write(self.decision_reg(), self.input)
+                } else {
+                    self.phase = Phase::Unlocking(d);
+                    // The Bakery machine is still parked in its critical
+                    // section; resuming it emits Exit first.
+                    self.resume(None)
+                }
+            }
+            Phase::WroteDecision => {
+                debug_assert!(read.is_none());
+                self.phase = Phase::Unlocking(self.input);
+                self.resume(None)
+            }
+            Phase::Unlocking(decided) => match self.lock.resume(read) {
+                Step::Event(MutexEvent::Exit) => self.resume(None),
+                Step::Read(j) => Step::Read(j),
+                Step::Write(j, v) => Step::Write(j, v),
+                Step::Halt => {
+                    self.phase = Phase::Decided;
+                    Step::Event(ConsensusEvent::Decide(decided))
+                }
+                Step::Event(MutexEvent::Enter | MutexEvent::Aborted) => {
+                    unreachable!("single-cycle lock cannot re-enter or abort")
+                }
+            },
+            Phase::Decided => Step::Halt,
+        }
+    }
+}
+
+impl fmt::Debug for LockConsensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockConsensus")
+            .field("pid", &self.lock.pid())
+            .field("n", &self.n)
+            .field("input", &self.input)
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn run_solo(mut machine: LockConsensus, regs: &mut [u64]) -> u64 {
+        let mut read = None;
+        for _ in 0..100_000 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(ConsensusEvent::Decide(v)) => return v,
+                Step::Halt => panic!("halt before decide"),
+            }
+        }
+        panic!("machine did not decide");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LockConsensus::new(pid(1), 0, 2, 0).is_err());
+        assert!(LockConsensus::new(pid(1), 2, 2, 5).is_err());
+        assert!(LockConsensus::new(pid(1), 0, 0, 5).is_err());
+        assert!(LockConsensus::new(pid(1), 1, 2, 5).is_ok());
+    }
+
+    #[test]
+    fn solo_decides_own_input() {
+        let machine = LockConsensus::new(pid(9), 0, 3, 44).unwrap();
+        let mut regs = vec![0u64; machine.register_count()];
+        assert_eq!(run_solo(machine, &mut regs), 44);
+        // Decision register retains the value; lock registers are released.
+        assert_eq!(regs[6], 44);
+        assert!(regs[..6].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn second_process_adopts_existing_decision() {
+        let mut regs = vec![0u64; 5];
+        let first = LockConsensus::new(pid(1), 0, 2, 11).unwrap();
+        assert_eq!(run_solo(first, &mut regs), 11);
+        let second = LockConsensus::new(pid(2), 1, 2, 22).unwrap();
+        assert_eq!(run_solo(second, &mut regs), 11);
+    }
+
+    #[test]
+    fn decided_machine_halts() {
+        let mut machine = LockConsensus::new(pid(9), 0, 1, 7).unwrap();
+        let mut regs = vec![0u64; 3];
+        let mut read = None;
+        loop {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(ConsensusEvent::Decide(7)) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(machine.resume(None), Step::Halt);
+    }
+}

@@ -1,0 +1,33 @@
+//! Classic *named-register* baselines.
+//!
+//! The paper's central contrast is between the standard model — where
+//! processes a priori agree on the names of the shared registers — and the
+//! strictly weaker memory-anonymous model. These modules implement canonical
+//! algorithms of the standard model as [`Machine`](anonreg_model::Machine)s
+//! so the two models can be compared head-to-head under the same simulator,
+//! checkers and thread runtime (experiment E9):
+//!
+//! * [`peterson`] — Peterson's two-process mutual exclusion (3 registers).
+//! * [`bakery`] — Lamport's Bakery: n-process mutual exclusion (2n
+//!   registers). Note that Bakery *orders* identifiers, which the
+//!   memory-anonymous symmetric model forbids — precisely the kind of prior
+//!   agreement the paper removes.
+//! * [`lock_consensus`] — consensus in the failure-free named model: acquire
+//!   a mutex, then read-or-set a decision register.
+//! * [`splitter`] — Moir–Anderson splitter-grid renaming: wait-free one-shot
+//!   renaming to `{1..k(k+1)/2}`, the classic named-register renaming
+//!   network.
+//!
+//! All baselines run with [`View::identity`](anonreg_model::View::identity):
+//! giving them an anonymous (permuted) view breaks them, which is itself an
+//! instructive demonstration of Theorem 6.1.
+
+pub mod bakery;
+pub mod lock_consensus;
+pub mod peterson;
+pub mod splitter;
+
+pub use bakery::Bakery;
+pub use lock_consensus::LockConsensus;
+pub use peterson::Peterson;
+pub use splitter::SplitterRenaming;

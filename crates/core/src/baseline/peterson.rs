@@ -1,0 +1,315 @@
+//! Peterson's two-process mutual exclusion — the canonical *named-register*
+//! baseline for the Figure 1 algorithm.
+//!
+//! Peterson's algorithm needs only 3 registers for any two processes, but it
+//! fundamentally relies on prior agreement: process 0 and process 1 must
+//! know *which* register is `flag[0]`, which is `flag[1]` and which is
+//! `turn`, and each process must know whether it is process 0 or 1. None of
+//! that agreement is available in the memory-anonymous model.
+
+use std::fmt;
+
+use anonreg_model::{Machine, Pid, Step};
+
+use crate::mutex::{MutexConfigError, MutexEvent, Section};
+
+/// Register layout: `flag[0]` at index 0, `flag[1]` at index 1, `turn` at
+/// index 2.
+const FLAG0: usize = 0;
+const FLAG1: usize = 1;
+const TURN: usize = 2;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    Remainder,
+    /// `flag[me] := 1` just issued.
+    SetFlag,
+    /// `turn := other` just issued.
+    SetTurn,
+    /// Read of `flag[other]` issued (spin-loop head).
+    ReadFlag,
+    /// Read of `turn` issued (spin-loop tail).
+    ReadTurn,
+    /// In the critical section.
+    Critical,
+    /// `Event(Exit)` emitted; `flag[me] := 0` follows.
+    ExitWrite,
+}
+
+/// Peterson's two-process mutual exclusion algorithm over 3 *named*
+/// registers.
+///
+/// Unlike the memory-anonymous [`AnonMutex`](crate::mutex::AnonMutex), the
+/// constructor takes a `slot` (0 or 1): Peterson's processes are not
+/// symmetric — they run different register indices — which is exactly the
+/// prior agreement the paper's model removes.
+///
+/// # Example
+///
+/// ```
+/// use anonreg::baseline::Peterson;
+/// use anonreg::{Machine, Pid};
+///
+/// let machine = Peterson::new(Pid::new(9).unwrap(), 0)?;
+/// assert_eq!(machine.register_count(), 3);
+/// # Ok::<(), anonreg::mutex::MutexConfigError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Peterson {
+    pid: Pid,
+    /// Which of the two agreed-upon roles this process plays (0 or 1).
+    slot: usize,
+    cycles_remaining: Option<u64>,
+    pc: Pc,
+}
+
+impl Peterson {
+    /// Creates Peterson's machine for the process `pid` playing `slot`
+    /// (0 or 1). The two competing processes must use different slots —
+    /// that is the prior agreement the named model grants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `slot > 1`.
+    pub fn new(pid: Pid, slot: usize) -> Result<Self, MutexConfigError> {
+        if slot > 1 {
+            // Reuse the mutex config error type for a uniform API surface.
+            return Err(MutexConfigError::slot(slot));
+        }
+        Ok(Peterson {
+            pid,
+            slot,
+            cycles_remaining: None,
+            pc: Pc::Remainder,
+        })
+    }
+
+    /// Bounds the machine to `cycles` critical-section entries.
+    #[must_use]
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles_remaining = Some(cycles);
+        self
+    }
+
+    /// The code section the process is currently in.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        match self.pc {
+            Pc::Remainder => Section::Remainder,
+            Pc::SetFlag | Pc::SetTurn | Pc::ReadFlag | Pc::ReadTurn => Section::Entry,
+            Pc::Critical => Section::Critical,
+            Pc::ExitWrite => Section::Exit,
+        }
+    }
+
+    fn my_flag(&self) -> usize {
+        if self.slot == 0 {
+            FLAG0
+        } else {
+            FLAG1
+        }
+    }
+
+    fn other_flag(&self) -> usize {
+        if self.slot == 0 {
+            FLAG1
+        } else {
+            FLAG0
+        }
+    }
+
+    /// The value written to `turn`: the *other* slot, encoded as 1 or 2 so
+    /// the initial register value 0 means "no one has yielded yet".
+    fn other_turn_token(&self) -> u64 {
+        (1 - self.slot) as u64 + 1
+    }
+}
+
+impl Machine for Peterson {
+    type Value = u64;
+    type Event = MutexEvent;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        3
+    }
+
+    fn resume(&mut self, read: Option<u64>) -> Step<u64, MutexEvent> {
+        match self.pc {
+            Pc::Remainder => {
+                debug_assert!(read.is_none());
+                match self.cycles_remaining {
+                    Some(0) => Step::Halt,
+                    other => {
+                        if let Some(c) = other {
+                            self.cycles_remaining = Some(c - 1);
+                        }
+                        self.pc = Pc::SetFlag;
+                        Step::Write(self.my_flag(), 1)
+                    }
+                }
+            }
+            Pc::SetFlag => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::SetTurn;
+                Step::Write(TURN, self.other_turn_token())
+            }
+            Pc::SetTurn => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::ReadFlag;
+                Step::Read(self.other_flag())
+            }
+            Pc::ReadFlag => {
+                let flag = read.expect("flag read result expected");
+                if flag == 0 {
+                    self.pc = Pc::Critical;
+                    Step::Event(MutexEvent::Enter)
+                } else {
+                    self.pc = Pc::ReadTurn;
+                    Step::Read(TURN)
+                }
+            }
+            Pc::ReadTurn => {
+                let turn = read.expect("turn read result expected");
+                if turn == self.other_turn_token() {
+                    // Still the other's priority: spin.
+                    self.pc = Pc::ReadFlag;
+                    Step::Read(self.other_flag())
+                } else {
+                    self.pc = Pc::Critical;
+                    Step::Event(MutexEvent::Enter)
+                }
+            }
+            Pc::Critical => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::ExitWrite;
+                Step::Event(MutexEvent::Exit)
+            }
+            Pc::ExitWrite => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::Remainder;
+                Step::Write(self.my_flag(), 0)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Peterson {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Peterson")
+            .field("pid", &self.pid)
+            .field("slot", &self.slot)
+            .field("pc", &self.pc)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn run_solo(mut machine: Peterson) -> (Vec<MutexEvent>, Vec<u64>) {
+        let mut regs = vec![0u64; 3];
+        let mut read = None;
+        let mut events = Vec::new();
+        for _ in 0..10_000 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(e) => events.push(e),
+                Step::Halt => return (events, regs),
+            }
+        }
+        panic!("machine did not halt");
+    }
+
+    #[test]
+    fn invalid_slot_rejected() {
+        assert!(Peterson::new(pid(1), 2).is_err());
+        assert!(Peterson::new(pid(1), 0).is_ok());
+        assert!(Peterson::new(pid(1), 1).is_ok());
+    }
+
+    #[test]
+    fn solo_enters_and_exits() {
+        for slot in [0, 1] {
+            let (events, regs) = run_solo(Peterson::new(pid(5), slot).unwrap().with_cycles(2));
+            assert_eq!(
+                events,
+                vec![
+                    MutexEvent::Enter,
+                    MutexEvent::Exit,
+                    MutexEvent::Enter,
+                    MutexEvent::Exit
+                ]
+            );
+            // Flag is down again; turn keeps its last value.
+            assert_eq!(regs[slot], 0);
+        }
+    }
+
+    #[test]
+    fn blocks_when_other_has_priority() {
+        // flag[1] = 1 and turn says "slot 1's priority token" — slot 0 wrote
+        // turn := 2 (token of slot 1) and must spin.
+        let mut machine = Peterson::new(pid(5), 0).unwrap();
+        let mut regs = vec![0u64, 1, 0];
+        let mut read = None;
+        let mut spins = 0;
+        for _ in 0..100 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(MutexEvent::Enter) => panic!("must not enter while blocked"),
+                other => panic!("unexpected {other:?}"),
+            }
+            if machine.section() == Section::Entry {
+                spins += 1;
+            }
+        }
+        assert!(spins > 10);
+    }
+
+    #[test]
+    fn enters_when_other_yields_turn() {
+        // flag[1] = 1 but turn = 1 (slot 0's token): slot 0 may enter.
+        let mut machine = Peterson::new(pid(5), 0).unwrap();
+        let mut regs = vec![0u64, 1, 0];
+        let mut read = None;
+        let mut entered = false;
+        for _ in 0..20 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => {
+                    // After the machine writes turn := 2, the other process
+                    // "overwrites" it with 1 (its own yield).
+                    if j == TURN {
+                        regs[TURN] = 1;
+                    }
+                    read = Some(regs[j]);
+                }
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(MutexEvent::Enter) => {
+                    entered = true;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(entered);
+    }
+
+    #[test]
+    fn section_tracking() {
+        let mut machine = Peterson::new(pid(5), 0).unwrap().with_cycles(1);
+        assert_eq!(machine.section(), Section::Remainder);
+        machine.resume(None); // write flag
+        assert_eq!(machine.section(), Section::Entry);
+    }
+}

@@ -1,0 +1,302 @@
+//! Moir–Anderson splitter-grid renaming — the classic *named-register*
+//! renaming baseline.
+//!
+//! A *splitter* is a two-register (X, Y) gadget with the property that of
+//! the processes entering it, at most one *stops*, and not all of them can
+//! leave in the same direction. Arranged in a triangular `n × n` grid, the
+//! splitters give each of `k ≤ n` participants a distinct grid position
+//! within the first `k` diagonals, i.e. a distinct name in
+//! `{1 .. k(k+1)/2}` — wait-free, but **not perfect** renaming (the paper's
+//! Figure 3 achieves names `{1..k}`, at the cost of obstruction-free
+//! progress) and entirely dependent on agreed register names: every process
+//! must find splitter (0,0) first.
+
+use std::fmt;
+
+use anonreg_model::{Machine, Pid, Step};
+
+use crate::renaming::{RenamingConfigError, RenamingEvent};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    /// About to write X at the current splitter.
+    WriteX,
+    /// X written; read of Y issued next.
+    ReadY,
+    /// Y was clear; we set Y and will re-read X.
+    WriteY,
+    /// Y set; read of X issued next.
+    ReadX,
+    /// Name announced; next step halts.
+    Named,
+}
+
+/// Moir–Anderson grid renaming: `k ≤ n` participants wait-free acquire
+/// distinct names from `{1 .. k(k+1)/2}` using `n(n+1)` *named* registers
+/// (an X and a Y register per splitter in a triangular grid).
+///
+/// Splitters are numbered along diagonals — splitter `(row, col)` has index
+/// `d(d+1)/2 + row` with `d = row + col` — so that the names reachable by
+/// `k` processes (which never leave the first `k` diagonals) are exactly
+/// `{1 .. k(k+1)/2}`, making the algorithm adaptive in the weaker,
+/// quadratic sense.
+///
+/// # Example
+///
+/// ```
+/// use anonreg::baseline::SplitterRenaming;
+/// use anonreg::Machine;
+/// use anonreg::Pid;
+///
+/// let machine = SplitterRenaming::new(Pid::new(4).unwrap(), 3)?;
+/// assert_eq!(machine.register_count(), 12); // 6 splitters × 2 registers
+/// # Ok::<(), anonreg::renaming::RenamingConfigError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SplitterRenaming {
+    pid: Pid,
+    n: usize,
+    row: usize,
+    col: usize,
+    pc: Pc,
+}
+
+impl SplitterRenaming {
+    /// Creates the machine for process `pid`, one of at most `n`
+    /// participants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingConfigError`] if `n == 0`.
+    pub fn new(pid: Pid, n: usize) -> Result<Self, RenamingConfigError> {
+        // Reuse the renaming config error for a uniform API surface.
+        let _probe = crate::renaming::AnonRenaming::new(pid, n)?;
+        Ok(SplitterRenaming {
+            pid,
+            n,
+            row: 0,
+            col: 0,
+            pc: Pc::WriteX,
+        })
+    }
+
+    /// The number of splitters in the triangular grid.
+    #[must_use]
+    pub fn splitters(n: usize) -> usize {
+        n * (n + 1) / 2
+    }
+
+    /// Diagonal-major index of the current splitter.
+    fn splitter_index(&self) -> usize {
+        let d = self.row + self.col;
+        d * (d + 1) / 2 + self.row
+    }
+
+    fn x_reg(&self) -> usize {
+        2 * self.splitter_index()
+    }
+
+    fn y_reg(&self) -> usize {
+        2 * self.splitter_index() + 1
+    }
+
+    /// Moves to the next splitter, panicking if the grid is exhausted
+    /// (which requires more than `n` participants — a contract violation).
+    fn advance(&mut self, down: bool) -> Step<u64, RenamingEvent> {
+        if down {
+            self.row += 1;
+        } else {
+            self.col += 1;
+        }
+        assert!(
+            self.row + self.col < self.n,
+            "splitter grid exhausted: more than n = {} participants",
+            self.n
+        );
+        self.pc = Pc::ReadY;
+        Step::Write(self.x_reg(), self.pid.get())
+    }
+}
+
+impl Machine for SplitterRenaming {
+    type Value = u64;
+    type Event = RenamingEvent;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        2 * Self::splitters(self.n)
+    }
+
+    fn resume(&mut self, read: Option<u64>) -> Step<u64, RenamingEvent> {
+        match self.pc {
+            Pc::WriteX => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::ReadY;
+                Step::Write(self.x_reg(), self.pid.get())
+            }
+            Pc::ReadY => match read {
+                None => Step::Read(self.y_reg()),
+                Some(y) => {
+                    if y != 0 {
+                        // Someone already passed through: go right.
+                        self.advance(false)
+                    } else {
+                        self.pc = Pc::WriteY;
+                        Step::Write(self.y_reg(), 1)
+                    }
+                }
+            },
+            Pc::WriteY => {
+                debug_assert!(read.is_none());
+                self.pc = Pc::ReadX;
+                Step::Read(self.x_reg())
+            }
+            Pc::ReadX => {
+                let x = read.expect("X read result expected");
+                if x == self.pid.get() {
+                    // Stopped: our name is this splitter's index + 1.
+                    let name = (self.splitter_index() + 1) as u32;
+                    self.pc = Pc::Named;
+                    Step::Event(RenamingEvent::Named(name))
+                } else {
+                    // Someone overwrote X: go down.
+                    self.advance(true)
+                }
+            }
+            Pc::Named => Step::Halt,
+        }
+    }
+}
+
+impl fmt::Debug for SplitterRenaming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SplitterRenaming")
+            .field("pid", &self.pid)
+            .field("n", &self.n)
+            .field("row", &self.row)
+            .field("col", &self.col)
+            .field("pc", &self.pc)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn run_solo(mut machine: SplitterRenaming, regs: &mut [u64]) -> u32 {
+        let mut read = None;
+        for _ in 0..100_000 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(RenamingEvent::Named(name)) => return name,
+                Step::Halt => panic!("halt before naming"),
+            }
+        }
+        panic!("machine did not acquire a name");
+    }
+
+    #[test]
+    fn grid_sizes() {
+        assert_eq!(SplitterRenaming::splitters(1), 1);
+        assert_eq!(SplitterRenaming::splitters(3), 6);
+        assert_eq!(SplitterRenaming::splitters(4), 10);
+        let m = SplitterRenaming::new(pid(1), 4).unwrap();
+        assert_eq!(m.register_count(), 20);
+    }
+
+    #[test]
+    fn solo_process_stops_at_first_splitter() {
+        let machine = SplitterRenaming::new(pid(9), 3).unwrap();
+        let mut regs = vec![0u64; machine.register_count()];
+        assert_eq!(run_solo(machine, &mut regs), 1);
+    }
+
+    #[test]
+    fn sequential_processes_get_distinct_names_within_bound() {
+        // Sequential runs: each later process sees the earlier trails and
+        // moves right along the top row.
+        let n = 4;
+        let mut regs = vec![0u64; 2 * SplitterRenaming::splitters(n)];
+        let mut names = Vec::new();
+        for id in 1..=4u64 {
+            let machine = SplitterRenaming::new(pid(id), n).unwrap();
+            names.push(run_solo(machine, &mut regs));
+        }
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "names must be distinct: {names:?}");
+        let k = 4;
+        assert!(names.iter().all(|&nm| nm as usize <= k * (k + 1) / 2));
+    }
+
+    #[test]
+    fn diagonal_indexing_matches_adaptivity() {
+        // Splitter (0,0) → 1; diagonal 1 → names 2,3; diagonal 2 → 4,5,6.
+        let mut m = SplitterRenaming::new(pid(1), 3).unwrap();
+        assert_eq!(m.splitter_index(), 0);
+        m.row = 0;
+        m.col = 1;
+        assert_eq!(m.splitter_index(), 1);
+        m.row = 1;
+        m.col = 0;
+        assert_eq!(m.splitter_index(), 2);
+        m.row = 2;
+        m.col = 0;
+        assert_eq!(m.splitter_index(), 5);
+    }
+
+    #[test]
+    fn contender_in_x_pushes_us_down() {
+        // Pre-set X of splitter 0 to another pid; Y clear. We write X, read
+        // Y (0), write Y, read X — but the other process overwrites X in
+        // between. We must go down to splitter (1,0), index 2, name 3.
+        let mut machine = SplitterRenaming::new(pid(5), 3).unwrap();
+        let mut regs = vec![0u64; machine.register_count()];
+        let mut read = None;
+        let mut step_count = 0;
+        loop {
+            match machine.resume(read.take()) {
+                Step::Read(j) => {
+                    if j == 0 && step_count >= 2 {
+                        // Simulate the overwrite of X at splitter 0.
+                        regs[0] = 7;
+                    }
+                    read = Some(regs[j]);
+                }
+                Step::Write(j, v) => regs[j] = v,
+                Step::Event(RenamingEvent::Named(name)) => {
+                    assert_eq!(name, 3); // splitter (1,0) in diagonal order
+                    return;
+                }
+                Step::Halt => panic!("halt before naming"),
+            }
+            step_count += 1;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "splitter grid exhausted")]
+    fn too_many_participants_panics() {
+        // n = 1: a single splitter. Force a right move by pre-setting Y.
+        let mut machine = SplitterRenaming::new(pid(5), 1).unwrap();
+        let regs = vec![0u64, 1]; // Y already set
+        let mut read = None;
+        for _ in 0..10 {
+            match machine.resume(read.take()) {
+                Step::Read(j) => read = Some(regs[j]),
+                Step::Write(..) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

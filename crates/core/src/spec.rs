@@ -1,0 +1,654 @@
+//! Specification checkers: the paper's correctness properties as executable
+//! predicates over recorded [`Trace`]s.
+//!
+//! Every experiment in the workspace funnels its runs — simulated, model-
+//! checked or recorded from real threads — through these checkers:
+//!
+//! * [`check_mutual_exclusion`] — §3.1: no two processes in their critical
+//!   sections at the same time, and well-formed enter/exit bracketing.
+//! * [`check_consensus`] — §4: agreement (all deciders decide the same
+//!   value), validity (the decision is some participant's input), and at
+//!   most one decision per process.
+//! * [`check_election`] — §4 note: all outputs name the same participant.
+//! * [`check_renaming`] — §5: uniqueness and range (names within `{1..b}`
+//!   for a caller-chosen bound `b` — `k` for the adaptivity check of
+//!   Theorem 5.3, `n` for plain perfect renaming).
+//!
+//! Checkers return a [`SpecViolation`] describing the *first* violation in
+//! trace order, which — together with the deterministic simulator — makes
+//! every counterexample replayable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use anonreg_model::trace::Trace;
+use anonreg_model::Pid;
+
+use crate::consensus::ConsensusEvent;
+use crate::election::ElectionEvent;
+use crate::mutex::MutexEvent;
+use crate::renaming::RenamingEvent;
+
+/// A violation of one of the paper's correctness properties, as found in a
+/// trace. `proc` fields are process slots (`0..n`), not identifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// Two processes were inside their critical sections at the same time
+    /// (§3.1 "Mutual exclusion").
+    MutualExclusion {
+        /// The process already in its critical section.
+        holder: usize,
+        /// The process that entered while `holder` was inside.
+        intruder: usize,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+    /// A process exited a critical section it had not entered, or entered
+    /// twice without exiting.
+    MalformedCriticalSection {
+        /// The offending process.
+        proc: usize,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+    /// Two processes decided different values (§4 "Agreement").
+    Disagreement {
+        /// The first decided value.
+        first: u64,
+        /// The conflicting value.
+        second: u64,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+    /// A decided value was not any participant's input (§4 "Validity").
+    InvalidDecision {
+        /// The decided value.
+        value: u64,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+    /// A process decided (or acquired a name) more than once.
+    DoubleOutput {
+        /// The offending process.
+        proc: usize,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+    /// Two processes acquired the same new name (§5 "Uniqueness").
+    DuplicateName {
+        /// The duplicated name.
+        name: u32,
+        /// The process that held the name first.
+        holder: usize,
+        /// The process that acquired it again.
+        intruder: usize,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+    /// An acquired name fell outside the permitted range (§5 "Adaptivity" /
+    /// perfect-renaming range).
+    NameOutOfRange {
+        /// The acquired name.
+        name: u32,
+        /// The permitted upper bound (names must be in `1..=bound`).
+        bound: u32,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+    /// An elected leader was not a participant.
+    NonParticipantLeader {
+        /// The elected identifier.
+        leader: Pid,
+        /// Index of the offending entry in the trace.
+        at: usize,
+    },
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::MutualExclusion { holder, intruder, at } => write!(
+                f,
+                "mutual exclusion violated at step {at}: p{intruder} entered while p{holder} was in its critical section"
+            ),
+            SpecViolation::MalformedCriticalSection { proc, at } => write!(
+                f,
+                "malformed critical section bracketing by p{proc} at step {at}"
+            ),
+            SpecViolation::Disagreement { first, second, at } => write!(
+                f,
+                "agreement violated at step {at}: {second} decided after {first}"
+            ),
+            SpecViolation::InvalidDecision { value, at } => write!(
+                f,
+                "validity violated at step {at}: {value} is no participant's input"
+            ),
+            SpecViolation::DoubleOutput { proc, at } => {
+                write!(f, "p{proc} produced a second output at step {at}")
+            }
+            SpecViolation::DuplicateName { name, holder, intruder, at } => write!(
+                f,
+                "uniqueness violated at step {at}: p{intruder} acquired name {name} already held by p{holder}"
+            ),
+            SpecViolation::NameOutOfRange { name, bound, at } => write!(
+                f,
+                "range violated at step {at}: name {name} outside 1..={bound}"
+            ),
+            SpecViolation::NonParticipantLeader { leader, at } => write!(
+                f,
+                "election violated at step {at}: leader {leader} is not a participant"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+/// Summary statistics of a mutual exclusion trace that passed the checker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MutexStats {
+    /// Completed critical sections per process slot.
+    pub entries: BTreeMap<usize, usize>,
+}
+
+impl MutexStats {
+    /// Total critical-section entries across all processes.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.entries.values().sum()
+    }
+}
+
+/// Checks mutual exclusion and well-formed enter/exit bracketing over a
+/// trace of [`MutexEvent`]s.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] in trace order.
+///
+/// # Example
+///
+/// ```
+/// use anonreg::spec::check_mutual_exclusion;
+/// use anonreg::mutex::MutexEvent;
+/// use anonreg::trace::{Trace, TraceOp};
+/// use anonreg::Pid;
+///
+/// let mut t: Trace<u64, MutexEvent> = Trace::new();
+/// let p = Pid::new(1).unwrap();
+/// t.record(0, p, TraceOp::Event(MutexEvent::Enter));
+/// t.record(0, p, TraceOp::Event(MutexEvent::Exit));
+/// let stats = check_mutual_exclusion(&t)?;
+/// assert_eq!(stats.total_entries(), 1);
+/// # Ok::<(), anonreg::spec::SpecViolation>(())
+/// ```
+pub fn check_mutual_exclusion<V>(
+    trace: &Trace<V, MutexEvent>,
+) -> Result<MutexStats, SpecViolation> {
+    let mut holder: Option<usize> = None;
+    let mut stats = MutexStats::default();
+    for (at, entry) in trace.iter().enumerate() {
+        let event = match &entry.op {
+            anonreg_model::trace::TraceOp::Event(e) => *e,
+            _ => continue,
+        };
+        match event {
+            MutexEvent::Enter => match holder {
+                Some(h) if h == entry.proc => {
+                    return Err(SpecViolation::MalformedCriticalSection {
+                        proc: entry.proc,
+                        at,
+                    })
+                }
+                Some(h) => {
+                    return Err(SpecViolation::MutualExclusion {
+                        holder: h,
+                        intruder: entry.proc,
+                        at,
+                    })
+                }
+                None => holder = Some(entry.proc),
+            },
+            MutexEvent::Exit => match holder {
+                Some(h) if h == entry.proc => {
+                    holder = None;
+                    *stats.entries.entry(entry.proc).or_insert(0) += 1;
+                }
+                _ => {
+                    return Err(SpecViolation::MalformedCriticalSection {
+                        proc: entry.proc,
+                        at,
+                    })
+                }
+            },
+            // An aborted entry attempt never reached the critical section;
+            // aborting while *holding* it is malformed.
+            MutexEvent::Aborted => {
+                if holder == Some(entry.proc) {
+                    return Err(SpecViolation::MalformedCriticalSection {
+                        proc: entry.proc,
+                        at,
+                    });
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Summary of a consensus trace that passed the checker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConsensusStats {
+    /// The agreed value, if anyone decided.
+    pub decision: Option<u64>,
+    /// Processes (by slot) that decided.
+    pub deciders: Vec<usize>,
+}
+
+/// Checks agreement and validity over a trace of [`ConsensusEvent`]s.
+///
+/// `inputs[slot]` must be the input value of process slot `slot` (the
+/// participants). Validity accepts a decision equal to any participant's
+/// input.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] in trace order.
+pub fn check_consensus<V>(
+    trace: &Trace<V, ConsensusEvent>,
+    inputs: &[u64],
+) -> Result<ConsensusStats, SpecViolation> {
+    let mut stats = ConsensusStats::default();
+    for (at, entry) in trace.iter().enumerate() {
+        let ConsensusEvent::Decide(value) = match &entry.op {
+            anonreg_model::trace::TraceOp::Event(e) => *e,
+            _ => continue,
+        };
+        if stats.deciders.contains(&entry.proc) {
+            return Err(SpecViolation::DoubleOutput {
+                proc: entry.proc,
+                at,
+            });
+        }
+        if !inputs.contains(&value) {
+            return Err(SpecViolation::InvalidDecision { value, at });
+        }
+        match stats.decision {
+            Some(first) if first != value => {
+                return Err(SpecViolation::Disagreement {
+                    first,
+                    second: value,
+                    at,
+                })
+            }
+            _ => stats.decision = Some(value),
+        }
+        stats.deciders.push(entry.proc);
+    }
+    Ok(stats)
+}
+
+/// Summary of an election trace that passed the checker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ElectionStats {
+    /// The agreed leader, if anyone produced an output.
+    pub leader: Option<Pid>,
+    /// Processes (by slot) that produced an output.
+    pub outputs: Vec<usize>,
+}
+
+/// Checks that all election outputs agree and name a participant.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] in trace order.
+pub fn check_election<V>(
+    trace: &Trace<V, ElectionEvent>,
+    participants: &[Pid],
+) -> Result<ElectionStats, SpecViolation> {
+    let mut stats = ElectionStats::default();
+    for (at, entry) in trace.iter().enumerate() {
+        let ElectionEvent::Elected(leader) = match &entry.op {
+            anonreg_model::trace::TraceOp::Event(e) => *e,
+            _ => continue,
+        };
+        if stats.outputs.contains(&entry.proc) {
+            return Err(SpecViolation::DoubleOutput {
+                proc: entry.proc,
+                at,
+            });
+        }
+        if !participants.contains(&leader) {
+            return Err(SpecViolation::NonParticipantLeader { leader, at });
+        }
+        match stats.leader {
+            Some(first) if first != leader => {
+                return Err(SpecViolation::Disagreement {
+                    first: first.get(),
+                    second: leader.get(),
+                    at,
+                })
+            }
+            _ => stats.leader = Some(leader),
+        }
+        stats.outputs.push(entry.proc);
+    }
+    Ok(stats)
+}
+
+/// Summary of a renaming trace that passed the checker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RenamingStats {
+    /// `(slot, acquired name)` pairs in acquisition order.
+    pub names: Vec<(usize, u32)>,
+}
+
+impl RenamingStats {
+    /// The largest acquired name, or 0 if none.
+    #[must_use]
+    pub fn max_name(&self) -> u32 {
+        self.names.iter().map(|&(_, n)| n).max().unwrap_or(0)
+    }
+}
+
+/// Checks uniqueness and range over a trace of [`RenamingEvent`]s.
+///
+/// `bound` is the permitted name range `1..=bound`: pass the number of
+/// *participants* `k` to check adaptivity (Theorem 5.3), or the total `n`
+/// for plain perfect renaming.
+///
+/// # Errors
+///
+/// Returns the first [`SpecViolation`] in trace order.
+pub fn check_renaming<V>(
+    trace: &Trace<V, RenamingEvent>,
+    bound: u32,
+) -> Result<RenamingStats, SpecViolation> {
+    let mut stats = RenamingStats::default();
+    for (at, entry) in trace.iter().enumerate() {
+        let RenamingEvent::Named(name) = match &entry.op {
+            anonreg_model::trace::TraceOp::Event(e) => *e,
+            _ => continue,
+        };
+        if stats.names.iter().any(|&(p, _)| p == entry.proc) {
+            return Err(SpecViolation::DoubleOutput {
+                proc: entry.proc,
+                at,
+            });
+        }
+        if name == 0 || name > bound {
+            return Err(SpecViolation::NameOutOfRange { name, bound, at });
+        }
+        if let Some(&(holder, _)) = stats.names.iter().find(|&&(_, n)| n == name) {
+            return Err(SpecViolation::DuplicateName {
+                name,
+                holder,
+                intruder: entry.proc,
+                at,
+            });
+        }
+        stats.names.push((entry.proc, name));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_model::trace::TraceOp;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn event_trace<E: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+        events: &[(usize, E)],
+    ) -> Trace<u64, E> {
+        let mut t = Trace::new();
+        for (proc, e) in events {
+            t.record(*proc, pid(*proc as u64 + 1), TraceOp::Event(e.clone()));
+        }
+        t
+    }
+
+    mod mutex {
+        use super::*;
+        use MutexEvent::{Enter, Exit};
+
+        #[test]
+        fn accepts_alternating_sections() {
+            let t = event_trace(&[(0, Enter), (0, Exit), (1, Enter), (1, Exit), (0, Enter), (0, Exit)]);
+            let stats = check_mutual_exclusion(&t).unwrap();
+            assert_eq!(stats.total_entries(), 3);
+            assert_eq!(stats.entries[&0], 2);
+            assert_eq!(stats.entries[&1], 1);
+        }
+
+        #[test]
+        fn rejects_overlap() {
+            let t = event_trace(&[(0, Enter), (1, Enter)]);
+            assert_eq!(
+                check_mutual_exclusion(&t).unwrap_err(),
+                SpecViolation::MutualExclusion {
+                    holder: 0,
+                    intruder: 1,
+                    at: 1
+                }
+            );
+        }
+
+        #[test]
+        fn rejects_double_enter() {
+            let t = event_trace(&[(0, Enter), (0, Enter)]);
+            assert!(matches!(
+                check_mutual_exclusion(&t).unwrap_err(),
+                SpecViolation::MalformedCriticalSection { proc: 0, at: 1 }
+            ));
+        }
+
+        #[test]
+        fn rejects_orphan_exit() {
+            let t = event_trace(&[(0, Exit)]);
+            assert!(matches!(
+                check_mutual_exclusion(&t).unwrap_err(),
+                SpecViolation::MalformedCriticalSection { proc: 0, at: 0 }
+            ));
+        }
+
+        #[test]
+        fn rejects_exit_by_non_holder() {
+            let t = event_trace(&[(0, Enter), (1, Exit)]);
+            assert!(matches!(
+                check_mutual_exclusion(&t).unwrap_err(),
+                SpecViolation::MalformedCriticalSection { proc: 1, at: 1 }
+            ));
+        }
+
+        #[test]
+        fn open_critical_section_at_end_is_fine() {
+            let t = event_trace(&[(0, Enter)]);
+            let stats = check_mutual_exclusion(&t).unwrap();
+            assert_eq!(stats.total_entries(), 0);
+        }
+    }
+
+    mod consensus {
+        use super::*;
+        use ConsensusEvent::Decide;
+
+        #[test]
+        fn accepts_agreement_on_an_input() {
+            let t = event_trace(&[(0, Decide(7)), (1, Decide(7))]);
+            let stats = check_consensus(&t, &[7, 9]).unwrap();
+            assert_eq!(stats.decision, Some(7));
+            assert_eq!(stats.deciders, vec![0, 1]);
+        }
+
+        #[test]
+        fn rejects_disagreement() {
+            let t = event_trace(&[(0, Decide(7)), (1, Decide(9))]);
+            assert_eq!(
+                check_consensus(&t, &[7, 9]).unwrap_err(),
+                SpecViolation::Disagreement {
+                    first: 7,
+                    second: 9,
+                    at: 1
+                }
+            );
+        }
+
+        #[test]
+        fn rejects_invented_value() {
+            let t = event_trace(&[(0, Decide(8))]);
+            assert_eq!(
+                check_consensus(&t, &[7, 9]).unwrap_err(),
+                SpecViolation::InvalidDecision { value: 8, at: 0 }
+            );
+        }
+
+        #[test]
+        fn rejects_double_decide() {
+            let t = event_trace(&[(0, Decide(7)), (0, Decide(7))]);
+            assert!(matches!(
+                check_consensus(&t, &[7]).unwrap_err(),
+                SpecViolation::DoubleOutput { proc: 0, at: 1 }
+            ));
+        }
+
+        #[test]
+        fn empty_trace_passes() {
+            let t: Trace<u64, ConsensusEvent> = Trace::new();
+            let stats = check_consensus(&t, &[7]).unwrap();
+            assert_eq!(stats.decision, None);
+        }
+    }
+
+    mod election {
+        use super::*;
+        use ElectionEvent::Elected;
+
+        #[test]
+        fn accepts_unanimous_participant_leader() {
+            let t = event_trace(&[(0, Elected(pid(5))), (1, Elected(pid(5)))]);
+            let stats = check_election(&t, &[pid(5), pid(6)]).unwrap();
+            assert_eq!(stats.leader, Some(pid(5)));
+        }
+
+        #[test]
+        fn rejects_split_vote() {
+            let t = event_trace(&[(0, Elected(pid(5))), (1, Elected(pid(6)))]);
+            assert!(matches!(
+                check_election(&t, &[pid(5), pid(6)]).unwrap_err(),
+                SpecViolation::Disagreement { .. }
+            ));
+        }
+
+        #[test]
+        fn rejects_outsider() {
+            let t = event_trace(&[(0, Elected(pid(9)))]);
+            assert_eq!(
+                check_election(&t, &[pid(5), pid(6)]).unwrap_err(),
+                SpecViolation::NonParticipantLeader {
+                    leader: pid(9),
+                    at: 0
+                }
+            );
+        }
+    }
+
+    mod renaming {
+        use super::*;
+        use RenamingEvent::Named;
+
+        #[test]
+        fn accepts_distinct_names_in_range() {
+            let t = event_trace(&[(0, Named(2)), (1, Named(1)), (2, Named(3))]);
+            let stats = check_renaming(&t, 3).unwrap();
+            assert_eq!(stats.max_name(), 3);
+            assert_eq!(stats.names.len(), 3);
+        }
+
+        #[test]
+        fn rejects_duplicate_names() {
+            let t = event_trace(&[(0, Named(1)), (1, Named(1))]);
+            assert_eq!(
+                check_renaming(&t, 3).unwrap_err(),
+                SpecViolation::DuplicateName {
+                    name: 1,
+                    holder: 0,
+                    intruder: 1,
+                    at: 1
+                }
+            );
+        }
+
+        #[test]
+        fn rejects_out_of_range_names() {
+            let t = event_trace(&[(0, Named(4))]);
+            assert_eq!(
+                check_renaming(&t, 3).unwrap_err(),
+                SpecViolation::NameOutOfRange {
+                    name: 4,
+                    bound: 3,
+                    at: 0
+                }
+            );
+            let t0 = event_trace(&[(0, Named(0))]);
+            assert!(check_renaming(&t0, 3).is_err());
+        }
+
+        #[test]
+        fn adaptivity_bound_is_stricter() {
+            // Name 3 is fine for n = 3 but violates adaptivity with k = 2.
+            let t = event_trace(&[(0, Named(3))]);
+            assert!(check_renaming(&t, 3).is_ok());
+            assert!(check_renaming(&t, 2).is_err());
+        }
+
+        #[test]
+        fn rejects_double_naming() {
+            let t = event_trace(&[(0, Named(1)), (0, Named(2))]);
+            assert!(matches!(
+                check_renaming(&t, 3).unwrap_err(),
+                SpecViolation::DoubleOutput { proc: 0, at: 1 }
+            ));
+        }
+    }
+
+    #[test]
+    fn violations_display_nonempty() {
+        let samples: Vec<SpecViolation> = vec![
+            SpecViolation::MutualExclusion {
+                holder: 0,
+                intruder: 1,
+                at: 3,
+            },
+            SpecViolation::MalformedCriticalSection { proc: 1, at: 2 },
+            SpecViolation::Disagreement {
+                first: 1,
+                second: 2,
+                at: 9,
+            },
+            SpecViolation::InvalidDecision { value: 3, at: 1 },
+            SpecViolation::DoubleOutput { proc: 0, at: 4 },
+            SpecViolation::DuplicateName {
+                name: 1,
+                holder: 0,
+                intruder: 2,
+                at: 7,
+            },
+            SpecViolation::NameOutOfRange {
+                name: 9,
+                bound: 3,
+                at: 2,
+            },
+            SpecViolation::NonParticipantLeader {
+                leader: pid(4),
+                at: 6,
+            },
+        ];
+        for v in samples {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

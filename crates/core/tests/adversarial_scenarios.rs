@@ -1,0 +1,145 @@
+//! Hand-picked adversarial scenarios, written in the schedule DSL
+//! (`anonreg_sim::script`): each test is one of the paper's informal
+//! stories, told as a one-line schedule and checked against the real
+//! implementations.
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::renaming::AnonRenaming;
+use anonreg::spec::{check_consensus, check_mutual_exclusion, check_renaming};
+use anonreg::{Pid, View};
+use anonreg_sim::{script, Simulation};
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+#[test]
+fn mutex_contention_exactly_one_loser() {
+    // Both processes scan-and-claim in lock step; with m = 3 one of them
+    // ends up below the majority, gives up and waits. 20 alternating steps
+    // are plenty for both to finish their first scan+view.
+    let mut sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+        .process(AnonMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+        .build()
+        .unwrap();
+    script::run(&mut sim, "0 1 0 1 0 1 0 1 0 1 0 1 0 1 0 1 0 1 0 1").unwrap();
+    // Let each run a bounded burst: the winner must get in.
+    script::run(&mut sim, "0*40 1*40 0*40").unwrap();
+    let stats = check_mutual_exclusion(sim.trace()).unwrap();
+    assert!(stats.total_entries() >= 1, "someone entered");
+}
+
+#[test]
+fn mutex_winner_releases_loser_proceeds() {
+    // Winner enters and exits; the waiting loser must then get in. Solo-run
+    // tokens make the story precise: p0 alone to its critical section, two
+    // more sections worth of steps, then p1 alone.
+    let mut sim = Simulation::builder()
+        .process(
+            AnonMutex::new(pid(1), 3).unwrap().with_cycles(1),
+            View::identity(3),
+        )
+        .process(
+            AnonMutex::new(pid(2), 3).unwrap().with_cycles(1),
+            View::rotated(3, 2),
+        )
+        .build()
+        .unwrap();
+    // p1 claims nothing yet; p0 runs its entire cycle alone, then p1 runs
+    // its entire cycle alone.
+    script::run(&mut sim, "0> 1>").unwrap();
+    let stats = check_mutual_exclusion(sim.trace()).unwrap();
+    assert_eq!(stats.total_entries(), 2);
+    assert_eq!(stats.entries[&0], 1);
+    assert_eq!(stats.entries[&1], 1);
+}
+
+#[test]
+fn consensus_interleaved_halves_still_agree() {
+    // Two proposers with different inputs, interleaved mid-scan in every
+    // combination of short bursts, then run to completion.
+    for burst in 1..=6 {
+        let mut sim = Simulation::builder()
+            .process(AnonConsensus::new(pid(1), 2, 10).unwrap(), View::identity(3))
+            .process(
+                AnonConsensus::new(pid(2), 2, 20).unwrap(),
+                View::rotated(3, 1),
+            )
+            .build()
+            .unwrap();
+        let script_text = format!("0*{burst} 1*{burst} 0*{burst} 1*{burst} 0> 1>");
+        script::run(&mut sim, &script_text).unwrap();
+        assert!(sim.all_halted());
+        let stats = check_consensus(sim.trace(), &[10, 20]).unwrap();
+        assert_eq!(stats.deciders.len(), 2, "burst {burst}");
+    }
+}
+
+#[test]
+fn consensus_block_write_cannot_fool_full_provisioning() {
+    // The Theorem 6.3 attack shape against a *correctly* provisioned
+    // instance (n = 2, 3 registers): cover one register, let the victim
+    // decide, release — the survivor must still adopt the victim's value,
+    // because one overwrite cannot erase a 3-register unanimity.
+    let mut sim = Simulation::builder()
+        .process(AnonConsensus::new(pid(1), 2, 10).unwrap(), View::identity(3))
+        .process(
+            AnonConsensus::new(pid(2), 2, 20).unwrap(),
+            View::rotated(3, 2),
+        )
+        .build()
+        .unwrap();
+    script::run(&mut sim, "1! 0> 1+ 1>").unwrap();
+    let stats = check_consensus(sim.trace(), &[10, 20]).unwrap();
+    assert_eq!(stats.decision, Some(10), "the coverer adopts the victim's value");
+    assert_eq!(stats.deciders.len(), 2);
+}
+
+#[test]
+fn renaming_crash_after_winning_does_not_orphan_the_name() {
+    // Process 0 wins round 1 and crashes immediately after acquiring its
+    // name; the survivor must settle for name 2 — the history field keeps
+    // round 1 taken even though its winner is gone.
+    let mut sim = Simulation::builder()
+        .process(AnonRenaming::new(pid(1), 2).unwrap(), View::identity(3))
+        .process(AnonRenaming::new(pid(2), 2).unwrap(), View::rotated(3, 1))
+        .build()
+        .unwrap();
+    script::run(&mut sim, "0> 0# 1>").unwrap();
+    let stats = check_renaming(sim.trace(), 2).unwrap();
+    let mut names: Vec<u32> = stats.names.iter().map(|&(_, n)| n).collect();
+    names.sort_unstable();
+    assert_eq!(names, vec![1, 2]);
+}
+
+#[test]
+fn mutex_m1_two_process_violation_as_a_one_liner() {
+    // The covering run that makes m = 1 unsafe (E1's first row), written
+    // as a schedule: p1 reads the single register as 0 and is poised to
+    // claim it; p0 enters; p1's write lands and p1 sails in too.
+    let mut sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), 1).unwrap(), View::identity(1))
+        .process(AnonMutex::new(pid(2), 1).unwrap(), View::identity(1))
+        .build()
+        .unwrap();
+    // p1 covers; p0 runs to its critical section (3 ops + Enter event =
+    // 4 scheduler grants); p1 releases its write, scans (1 read) and
+    // enters (1 event step).
+    script::run(&mut sim, "1! 0*4 1+ 1*2").unwrap();
+    assert_eq!(sim.machine(0).section(), Section::Critical);
+    assert_eq!(sim.machine(1).section(), Section::Critical);
+    let violation = check_mutual_exclusion(sim.trace()).unwrap_err();
+    assert!(matches!(
+        violation,
+        anonreg::spec::SpecViolation::MutualExclusion { .. }
+    ));
+    // Both Enter events are on the record.
+    let enters = sim
+        .trace()
+        .events()
+        .filter(|(_, _, e)| **e == MutexEvent::Enter)
+        .count();
+    assert_eq!(enters, 2);
+}

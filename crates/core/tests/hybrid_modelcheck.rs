@@ -1,0 +1,111 @@
+//! Exhaustive verification of the §8-inspired hybrid mutex (m anonymous
+//! registers + 1 named tie-breaker): THE correctness argument for
+//! `anonreg::hybrid` — every claim it makes is decided here.
+
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{MutexEvent, Section};
+use anonreg::Pid;
+use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::Simulation;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+fn sim_for(m: usize, shift: usize) -> Simulation<HybridMutex> {
+    // Process 0 scans the anonymous registers in identity order; process 1
+    // in an order rotated by `shift`. The named T (index m) is fixed for
+    // both — that is the single piece of agreement the hybrid model grants.
+    let anon_identity: Vec<usize> = (0..m).collect();
+    let anon_rotated: Vec<usize> = (0..m).map(|j| (j + shift) % m).collect();
+    Simulation::builder()
+        .process(
+            HybridMutex::new(pid(1), m).unwrap(),
+            named_view(m, anon_identity).unwrap(),
+        )
+        .process(
+            HybridMutex::new(pid(2), m).unwrap(),
+            named_view(m, anon_rotated).unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn hybrid_is_safe_for_even_and_odd_m_all_rotations() {
+    for m in [2usize, 3, 4] {
+        for shift in 0..m {
+            let graph = explore(sim_for(m, shift), &ExploreLimits { max_states: 4_000_000, ..ExploreLimits::default() })
+                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let both_in_cs = graph.find_state(|s| {
+                s.machines()
+                    .filter(|mach| mach.section() == Section::Critical)
+                    .count()
+                    >= 2
+            });
+            assert!(
+                both_in_cs.is_none(),
+                "mutual exclusion violated for m={m}, shift={shift}: schedule {:?}",
+                both_in_cs.map(|id| graph.schedule_to(id))
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_is_livelock_free_for_even_and_odd_m_all_rotations() {
+    // The headline: even m, which livelocks Figure 1 (Theorem 3.1), is
+    // deadlock-free once a single named register exists.
+    for m in [2usize, 3, 4] {
+        for shift in 0..m {
+            let graph = explore(sim_for(m, shift), &ExploreLimits { max_states: 4_000_000, ..ExploreLimits::default() })
+                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let livelock = graph.find_fair_livelock(
+                |mach| mach.section() == Section::Entry,
+                |event| *event == MutexEvent::Enter,
+            );
+            assert!(
+                livelock.is_none(),
+                "fair livelock for m={m}, shift={shift} (component of {} states)",
+                livelock.as_ref().map_or(0, Vec::len)
+            );
+        }
+    }
+}
+
+#[test]
+fn abortable_hybrid_preserves_safety() {
+    // try-lock configurations of the hybrid mutex: safety must survive
+    // every abort mix (aborting is the algorithm's own lose path plus the
+    // tie-wait escape). m = 2 — the even case Figure 1 cannot do — keeps
+    // the abort-enlarged state space tractable.
+    for m in [2usize] {
+        for aborters in [[true, false], [false, true], [true, true]] {
+            let mut builder = Simulation::builder();
+            for (i, &aborts) in aborters.iter().enumerate() {
+                let mut machine = HybridMutex::new(pid(i as u64 + 1), m).unwrap();
+                if aborts {
+                    machine = machine.with_abort_after(1);
+                }
+                let anon: Vec<usize> = (0..m).map(|j| (j + i) % m).collect();
+                builder = builder.process(machine, named_view(m, anon).unwrap());
+            }
+            let sim = builder.build().unwrap();
+            let graph = explore(
+                sim,
+                &ExploreLimits {
+                    max_states: 6_000_000,
+                    crashes: false,
+                },
+            )
+            .unwrap();
+            let both = graph.find_state(|s| {
+                s.machines()
+                    .filter(|mach| mach.section() == Section::Critical)
+                    .count()
+                    >= 2
+            });
+            assert!(both.is_none(), "m={m} aborters={aborters:?}");
+        }
+    }
+}

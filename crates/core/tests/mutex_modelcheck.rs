@@ -1,0 +1,210 @@
+//! Exhaustive model checking of the Figure 1 mutual exclusion algorithm —
+//! the integration between `anonreg` and `anonreg-sim` that powers
+//! experiment E1 (Theorems 3.1–3.3).
+
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::{Pid, View};
+use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::Simulation;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+fn two_proc_sim(m: usize, view_a: View, view_b: View) -> Simulation<AnonMutex> {
+    Simulation::builder()
+        .process(AnonMutex::new(pid(1), m).unwrap(), view_a)
+        .process(AnonMutex::new(pid(2), m).unwrap(), view_b)
+        .build()
+        .unwrap()
+}
+
+/// All rotations of the identity view — every "ring position" a process
+/// could start from. (Full permutation coverage is exercised separately by
+/// the property tests; rotations are the adversary used in the paper's
+/// Theorem 3.4 construction.)
+fn rotations(m: usize) -> Vec<View> {
+    (0..m).map(|s| View::rotated(m, s)).collect()
+}
+
+fn both_in_cs(sim: &Simulation<AnonMutex>) -> bool {
+    sim.machines()
+        .filter(|mach| mach.section() == Section::Critical)
+        .count()
+        >= 2
+}
+
+#[test]
+fn odd_m3_satisfies_mutual_exclusion_and_liveness_for_all_rotations() {
+    for view_b in rotations(3) {
+        let sim = two_proc_sim(3, View::identity(3), view_b.clone());
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        assert!(
+            graph.find_state(both_in_cs).is_none(),
+            "mutual exclusion violated for m=3, view_b={view_b}"
+        );
+        let livelock = graph.find_fair_livelock(
+            |mach| mach.section() == Section::Entry,
+            |event| *event == MutexEvent::Enter,
+        );
+        assert!(livelock.is_none(), "fair livelock for m=3, view_b={view_b}");
+    }
+}
+
+#[test]
+fn odd_m5_spot_check_is_safe_and_live() {
+    // The m=5 full-rotation sweep lives in the E1 bench (release mode);
+    // here the paper's worst adversary view — ring spacing ⌊m/2⌋ — is
+    // checked exhaustively.
+    let sim = two_proc_sim(5, View::rotated(5, 0), View::rotated(5, 2));
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    assert!(graph.find_state(both_in_cs).is_none());
+    let livelock = graph.find_fair_livelock(
+        |mach| mach.section() == Section::Entry,
+        |event| *event == MutexEvent::Enter,
+    );
+    assert!(livelock.is_none());
+}
+
+#[test]
+fn even_m_livelocks_under_the_ring_adversary() {
+    // Theorem 3.1 (only-if direction): with an even number of registers the
+    // ring adversary — same scan direction, initial registers m/2 apart —
+    // admits a fair livelock. (m=6 is covered by the E1 bench; its state
+    // space is ~2·10⁶.)
+    for m in [2, 4] {
+        let sim = two_proc_sim(m, View::rotated(m, 0), View::rotated(m, m / 2));
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let livelock = graph.find_fair_livelock(
+            |mach| mach.section() == Section::Entry,
+            |event| *event == MutexEvent::Enter,
+        );
+        assert!(livelock.is_some(), "expected livelock for even m={m}");
+    }
+}
+
+#[test]
+fn even_m_still_satisfies_safety() {
+    // Even m breaks deadlock-freedom, not mutual exclusion: the algorithm
+    // never lets two processes into the critical section.
+    for m in [2, 4] {
+        for view_b in rotations(m) {
+            let sim = two_proc_sim(m, View::identity(m), view_b.clone());
+            let graph = explore(sim, &ExploreLimits::default()).unwrap();
+            assert!(
+                graph.find_state(both_in_cs).is_none(),
+                "mutual exclusion violated for m={m}, view_b={view_b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn three_processes_on_a_ring_starve_forever() {
+    // Theorem 3.4 with ℓ = 3 | m = 3: three symmetric processes on a
+    // divisible ring, run in lock step, preserve rotation symmetry forever
+    // — so none of them can ever be the unique majority holder, and no one
+    // enters the critical section. (The full (m, ℓ) sweep is experiment
+    // E2.)
+    let m = 3;
+    let l = 3;
+    let views = anonreg_sim::symmetry::ring_views(m, l).unwrap();
+    let mut builder = Simulation::builder();
+    for (k, view) in views.into_iter().enumerate() {
+        builder = builder.process(AnonMutex::new(pid(k as u64 + 1), m).unwrap(), view);
+    }
+    let mut sim = builder.build().unwrap();
+    let report = anonreg_sim::symmetry::run_lockstep_symmetric(&mut sim, l, 2_000);
+    assert!(
+        report.symmetric_throughout(),
+        "symmetry broke: {:?}",
+        report.first_break
+    );
+    let entries = sim
+        .trace()
+        .events()
+        .filter(|(_, _, e)| **e == MutexEvent::Enter)
+        .count();
+    assert_eq!(entries, 0, "no process may enter under the ring adversary");
+    // Everyone is still stuck in its entry section.
+    assert!(sim
+        .machines()
+        .all(|mach| mach.section() == Section::Entry));
+}
+
+#[test]
+fn abortable_entries_preserve_safety_everywhere() {
+    // try-lock configurations: one or both processes auto-abort after a
+    // failed round. Whatever the mix, mutual exclusion must hold in every
+    // reachable state — aborting is just the algorithm's own lose path.
+    for m in [3usize, 4] {
+        for aborters in [[true, false], [false, true], [true, true]] {
+            let mut builder = Simulation::builder();
+            for (i, &aborts) in aborters.iter().enumerate() {
+                let mut machine = AnonMutex::new(pid(i as u64 + 1), m).unwrap();
+                if aborts {
+                    machine = machine.with_abort_after(1);
+                }
+                builder = builder.process(machine, View::rotated(m, i * (m / 2)));
+            }
+            let sim = builder.build().unwrap();
+            let graph = explore(
+                sim,
+                &ExploreLimits {
+                    max_states: 6_000_000,
+                    crashes: false,
+                },
+            )
+            .unwrap();
+            assert!(
+                graph.find_state(both_in_cs).is_none(),
+                "m={m} aborters={aborters:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_abortable_one_persistent_is_still_live() {
+    // A persistent process competing against a try-locker must not starve
+    // forever with nobody entering: no fair livelock exists. (Two
+    // try-lockers CAN livelock each other — the usual try-lock caveat —
+    // which is why deadlock-freedom is only claimed for this mix.)
+    let m = 3;
+    let sim = Simulation::builder()
+        .process(
+            AnonMutex::new(pid(1), m).unwrap().with_abort_after(1),
+            View::identity(m),
+        )
+        .process(AnonMutex::new(pid(2), m).unwrap(), View::rotated(m, 1))
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let livelock = graph.find_fair_livelock(
+        |mach| mach.section() == Section::Entry,
+        |event| *event == MutexEvent::Enter,
+    );
+    assert!(livelock.is_none());
+}
+
+#[test]
+fn counterexample_schedules_replay() {
+    // The livelock's states must be reachable; replay the schedule to one
+    // of them and confirm the configuration matches.
+    let m = 4;
+    let build = || two_proc_sim(m, View::rotated(m, 0), View::rotated(m, m / 2));
+    let graph = explore(build(), &ExploreLimits::default()).unwrap();
+    let livelock = graph
+        .find_fair_livelock(
+            |mach| mach.section() == Section::Entry,
+            |event| *event == MutexEvent::Enter,
+        )
+        .expect("even m livelocks");
+    let target = livelock[0];
+    let schedule = graph.schedule_to(target);
+    let mut sim = build();
+    for &p in &schedule {
+        sim.step(p).unwrap();
+    }
+    assert_eq!(sim.registers(), graph.state(target).registers());
+}

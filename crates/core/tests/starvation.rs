@@ -1,0 +1,124 @@
+//! Starvation analysis: the paper claims deadlock-freedom for Figure 1 and
+//! leaves starvation-free memory-anonymous mutual exclusion open (§8).
+//! These tests pin both sides mechanically:
+//!
+//! * Figure 1 (and the hybrid variant) admit **fair starvation**: schedules
+//!   under which one process enters its critical section again and again
+//!   while the other — taking infinitely many steps of its own — never
+//!   does. Deadlock-freedom permits exactly this.
+//! * Peterson and Bakery are starvation-free (bounded bypass), so the same
+//!   checker finds nothing — evidence the checker isn't trivially firing.
+
+use anonreg::baseline::{Bakery, Peterson};
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::{Pid, View};
+use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::Simulation;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+#[test]
+fn figure_1_is_not_starvation_free() {
+    // m = 3, both views identity: the winner can release and immediately
+    // reclaim all registers before the loser's wait-loop scan ever observes
+    // the all-zero window.
+    let sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+        .process(AnonMutex::new(pid(2), 3).unwrap(), View::identity(3))
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let starvation = graph.find_fair_starvation(
+        1,
+        |mach| mach.section() == Section::Entry,
+        |event| *event == MutexEvent::Enter,
+    );
+    assert!(
+        starvation.is_some(),
+        "Figure 1 is only deadlock-free; a starvation schedule must exist"
+    );
+    // And symmetrically for the other victim.
+    let starvation0 = graph.find_fair_starvation(
+        0,
+        |mach| mach.section() == Section::Entry,
+        |event| *event == MutexEvent::Enter,
+    );
+    assert!(starvation0.is_some());
+}
+
+#[test]
+fn hybrid_mutex_is_not_starvation_free_either() {
+    let m = 2;
+    let sim = Simulation::builder()
+        .process(
+            HybridMutex::new(pid(1), m).unwrap(),
+            named_view(m, (0..m).collect()).unwrap(),
+        )
+        .process(
+            HybridMutex::new(pid(2), m).unwrap(),
+            named_view(m, (0..m).collect()).unwrap(),
+        )
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let starvation = graph.find_fair_starvation(
+        1,
+        |mach| mach.section() == Section::Entry,
+        |event| *event == MutexEvent::Enter,
+    );
+    assert!(
+        starvation.is_some(),
+        "one named register buys deadlock-freedom for even m, not fairness"
+    );
+}
+
+#[test]
+fn peterson_is_starvation_free() {
+    let sim = Simulation::builder()
+        .process_identity(Peterson::new(pid(1), 0).unwrap())
+        .process_identity(Peterson::new(pid(2), 1).unwrap())
+        .build()
+        .unwrap();
+    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    for victim in 0..2 {
+        let starvation = graph.find_fair_starvation(
+            victim,
+            |mach| mach.section() == Section::Entry,
+            |event| *event == MutexEvent::Enter,
+        );
+        assert!(
+            starvation.is_none(),
+            "Peterson has bounded bypass; victim {victim} cannot starve"
+        );
+    }
+}
+
+#[test]
+fn bakery_is_starvation_free() {
+    // Bakery is first-come-first-served; with cycles bounded the state
+    // space is finite and the checker must find no fair starvation.
+    let sim = Simulation::builder()
+        .process_identity(Bakery::new(pid(1), 0, 2).unwrap().with_cycles(3))
+        .process_identity(Bakery::new(pid(2), 1, 2).unwrap().with_cycles(3))
+        .build()
+        .unwrap();
+    let graph = explore(
+        sim,
+        &ExploreLimits {
+            max_states: 4_000_000,
+            crashes: false,
+        },
+    )
+    .unwrap();
+    for victim in 0..2 {
+        let starvation = graph.find_fair_starvation(
+            victim,
+            |mach| mach.section() == Section::Entry,
+            |event| *event == MutexEvent::Enter,
+        );
+        assert!(starvation.is_none(), "Bakery is FCFS; victim {victim} cannot starve");
+    }
+}

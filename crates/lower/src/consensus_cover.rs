@@ -1,0 +1,228 @@
+//! Theorem 6.3, constructively: with fewer than `2n − 1` anonymous
+//! registers, the covering adversary manufactures a **disagreement** against
+//! the Figure 2 consensus algorithm.
+//!
+//! The paper proves no obstruction-free consensus algorithm exists for `n`
+//! processes with `n − 1` unnamed registers (nor with any number of
+//! registers when `n` is unknown). This module runs the proof's own
+//! adversary against our implementation instantiated with `r ≤ n − 1`
+//! registers and returns the two conflicting decisions — experiment E4
+//! sweeps `r` and tabulates the outcomes.
+
+use std::fmt;
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::Pid;
+
+use crate::covering::{CoverError, CoveringAttack};
+
+/// The victim's input in every attack (decided by the solo run).
+pub const VICTIM_INPUT: u64 = 1;
+/// The coverers' input (decided after the block write).
+pub const COVERER_INPUT: u64 = 2;
+
+/// A constructed agreement violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Disagreement {
+    /// Number of processes the algorithm was configured for.
+    pub n: usize,
+    /// Number of registers it was (under-)provisioned with.
+    pub registers: usize,
+    /// Registers the victim wrote in its solo run (`write(y, q)`).
+    pub write_set: Vec<usize>,
+    /// What the victim decided (always [`VICTIM_INPUT`]).
+    pub victim_decided: u64,
+    /// What the first coverer decided after the block write (always
+    /// [`COVERER_INPUT`] — the violation).
+    pub coverer_decided: u64,
+}
+
+impl fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n = {}, r = {}: victim decided {}, coverer decided {} (write set {:?})",
+            self.n, self.registers, self.victim_decided, self.coverer_decided, self.write_set
+        )
+    }
+}
+
+/// Error for attacks that cannot be (or need not be) mounted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttackError {
+    /// `registers ≥ 2n − 1`: the algorithm is correctly provisioned and the
+    /// attack must fail — agreement provably holds (Theorem 4.1).
+    NotUnderProvisioned {
+        /// Processes.
+        n: usize,
+        /// Registers.
+        registers: usize,
+    },
+    /// Parameters out of range (`n < 2` or `registers < 1`).
+    BadParameters,
+    /// The covering machinery failed.
+    Cover(CoverError),
+    /// The attack ran but the coverer agreed with the victim — would mean
+    /// the lower bound does not bind, i.e. an implementation bug.
+    NoViolation {
+        /// The common decision.
+        decided: u64,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NotUnderProvisioned { n, registers } => write!(
+                f,
+                "with n = {n} and r = {registers} ≥ 2n − 1 the algorithm is correct; no attack exists"
+            ),
+            AttackError::BadParameters => write!(f, "need n ≥ 2 and at least one register"),
+            AttackError::Cover(e) => write!(f, "covering failed: {e}"),
+            AttackError::NoViolation { decided } => {
+                write!(f, "attack fizzled: both sides decided {decided}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<CoverError> for AttackError {
+    fn from(e: CoverError) -> Self {
+        AttackError::Cover(e)
+    }
+}
+
+/// Mounts the Theorem 6.3 covering attack against Figure 2 instantiated for
+/// `n` processes but only `registers ≤ n − 1` registers, and returns the
+/// manufactured disagreement.
+///
+/// The attack succeeds for every `1 ≤ registers ≤ n − 1` because the
+/// victim's write set is at most `registers ≤ n − 1`, so the other `n − 1`
+/// processes suffice to cover it, and after the block write the `n`-of-`r`
+/// adoption threshold can never fire (there are fewer than `n` registers in
+/// total).
+///
+/// # Errors
+///
+/// [`AttackError::NotUnderProvisioned`] when `registers ≥ 2n − 1` (the
+/// algorithm is then provably correct); [`AttackError::BadParameters`] for
+/// degenerate inputs. Registers in `n..2n − 1` are accepted — the paper's
+/// tight bound for *this* algorithm's adoption threshold is `n` (the
+/// attack still goes through whenever the coverers cannot assemble `n`
+/// copies, i.e. whenever `registers < n`); the attack is attempted and may
+/// return [`AttackError::NoViolation`].
+pub fn disagreement(n: usize, registers: usize) -> Result<Disagreement, AttackError> {
+    if n < 2 || registers == 0 {
+        return Err(AttackError::BadParameters);
+    }
+    if registers >= 2 * n - 1 {
+        return Err(AttackError::NotUnderProvisioned { n, registers });
+    }
+
+    let victim = AnonConsensus::new(Pid::new(1).unwrap(), n, VICTIM_INPUT)
+        .expect("valid parameters")
+        .with_registers(registers);
+    let coverers: Vec<AnonConsensus> = (0..registers)
+        .map(|i| {
+            AnonConsensus::new(Pid::new(i as u64 + 2).unwrap(), n, COVERER_INPUT)
+                .expect("valid parameters")
+                .with_registers(registers)
+        })
+        .collect();
+
+    // Budget: a solo run costs at most r(r+1) + 2r ops (see E3); double it
+    // for slack.
+    let budget = 2 * (registers * (registers + 1) + 2 * registers) + 16;
+    let mut attack = CoveringAttack::build(
+        victim,
+        coverers,
+        |m: &AnonConsensus| m.has_decided(),
+        budget,
+    )?;
+    let write_set = attack.write_set.clone();
+    let victim_decided = attack.sim.machine(0).preference();
+
+    // Step 4: the first coverer runs alone — obstruction freedom obliges it
+    // to decide.
+    attack
+        .sim
+        .run_solo(1, budget)
+        .expect("slot 1 exists");
+    let coverer = attack.sim.machine(1);
+    if !coverer.has_decided() {
+        return Err(AttackError::Cover(CoverError::VictimDidNotFinish {
+            budget,
+        }));
+    }
+    let coverer_decided = coverer.preference();
+    if coverer_decided == victim_decided {
+        return Err(AttackError::NoViolation {
+            decided: coverer_decided,
+        });
+    }
+    Ok(Disagreement {
+        n,
+        registers,
+        write_set,
+        victim_decided,
+        coverer_decided,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_succeeds_for_all_underprovisioned_counts() {
+        for n in 2..=6 {
+            for r in 1..n {
+                let d = disagreement(n, r)
+                    .unwrap_or_else(|e| panic!("attack failed for n={n}, r={r}: {e}"));
+                assert_eq!(d.victim_decided, VICTIM_INPUT);
+                assert_eq!(d.coverer_decided, COVERER_INPUT);
+                assert!(d.write_set.len() <= r);
+                assert!(!d.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn well_provisioned_algorithm_rejects_the_attack() {
+        assert_eq!(
+            disagreement(2, 3).unwrap_err(),
+            AttackError::NotUnderProvisioned { n: 2, registers: 3 }
+        );
+        assert_eq!(
+            disagreement(3, 7).unwrap_err(),
+            AttackError::NotUnderProvisioned { n: 3, registers: 7 }
+        );
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert_eq!(disagreement(1, 1).unwrap_err(), AttackError::BadParameters);
+        assert_eq!(disagreement(3, 0).unwrap_err(), AttackError::BadParameters);
+    }
+
+    #[test]
+    fn intermediate_register_counts_up_to_n_minus_1_violate() {
+        // The theorem guarantees the attack for r ≤ n − 1; check the edge.
+        let d = disagreement(5, 4).unwrap();
+        assert_eq!(d.registers, 4);
+        assert_ne!(d.victim_decided, d.coverer_decided);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            AttackError::NotUnderProvisioned { n: 2, registers: 3 },
+            AttackError::BadParameters,
+            AttackError::NoViolation { decided: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

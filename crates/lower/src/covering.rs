@@ -1,0 +1,420 @@
+//! The generic covering-attack builder (§6.1 / §6.2 skeleton, steps 1–3).
+
+use std::fmt;
+use std::hash::Hash;
+
+use anonreg_model::{Machine, Step, View};
+use anonreg_sim::{SimError, Simulation, StepOutcome};
+
+/// Error returned when a covering attack cannot be assembled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverError {
+    /// The solo victim never reached its milestone within the step budget.
+    VictimDidNotFinish {
+        /// The exhausted budget.
+        budget: usize,
+    },
+    /// The solo victim reached its milestone without writing — possible
+    /// only for broken algorithms (the paper shows every correct algorithm
+    /// must write before its milestone).
+    EmptyWriteSet,
+    /// A coverer halted before issuing its first write.
+    CovererNeverWrites {
+        /// Index of the coverer within `P`.
+        index: usize,
+    },
+    /// A coverer's first write did not land on its assigned register even
+    /// after view adjustment (its first-write register depends on reads in
+    /// a way the rotation heuristic cannot compensate).
+    CoverMismatch {
+        /// Index of the coverer within `P`.
+        index: usize,
+        /// The register it was supposed to cover.
+        wanted: usize,
+        /// The register it actually covers.
+        got: usize,
+    },
+    /// An underlying simulation error.
+    Sim(SimError),
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::VictimDidNotFinish { budget } => {
+                write!(f, "solo victim did not reach its milestone in {budget} steps")
+            }
+            CoverError::EmptyWriteSet => {
+                write!(f, "solo victim reached its milestone without writing")
+            }
+            CoverError::CovererNeverWrites { index } => {
+                write!(f, "coverer {index} halted before its first write")
+            }
+            CoverError::CoverMismatch { index, wanted, got } => write!(
+                f,
+                "coverer {index} covers register {got} instead of {wanted}"
+            ),
+            CoverError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+impl From<SimError> for CoverError {
+    fn from(e: SimError) -> Self {
+        CoverError::Sim(e)
+    }
+}
+
+/// The assembled attack, paused at the decisive moment: the victim has
+/// reached its milestone, the block write has landed, and the shared memory
+/// is **indistinguishable** from a world in which the victim never ran.
+pub struct CoveringAttack<M: Machine> {
+    /// The combined simulation: slot 0 is the victim `q`, slots `1..` are
+    /// the coverers `P`. The victim has halted (or is parked at its
+    /// milestone); the block write has been applied.
+    pub sim: Simulation<M>,
+    /// The registers the victim wrote during its solo run — `write(y, q)`.
+    pub write_set: Vec<usize>,
+    /// The memory as it would be if **only** the coverers had run and
+    /// immediately performed their block write (the run `x'`). Equal to the
+    /// current memory of `sim` — that equality *is* Theorem 6.1's
+    /// indistinguishability, and [`build`](CoveringAttack::build) verifies
+    /// it.
+    pub ghost_registers: Vec<M::Value>,
+}
+
+impl<M> CoveringAttack<M>
+where
+    M: Machine + Eq + Hash,
+{
+    /// Assembles the covering attack.
+    ///
+    /// * `victim` — the process `q`, run alone until `milestone` holds for
+    ///   its machine (checked after every step).
+    /// * `coverers` — the candidate processes `P`; the first
+    ///   `|write(y, q)|` of them are used, each assigned a rotated view
+    ///   placing its first write on a distinct register of the write set.
+    ///   Supply at least `registers` many (the write set can be that
+    ///   large).
+    /// * `budget` — solo-step budget for the victim run.
+    ///
+    /// On success the returned attack holds the post-block-write state; the
+    /// caller schedules the coverers (step 4) and checks for the violation
+    /// of its choosing.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoverError`].
+    pub fn build<F>(
+        victim: M,
+        coverers: Vec<M>,
+        mut milestone: F,
+        budget: usize,
+    ) -> Result<Self, CoverError>
+    where
+        F: FnMut(&M) -> bool,
+    {
+        let registers = victim.register_count();
+
+        // Step 1: the solo run y — victim alone, identity view.
+        let mut solo = Simulation::builder()
+            .process(victim.clone(), View::identity(registers))
+            .build()?;
+        let mut reached = false;
+        for _ in 0..budget {
+            if milestone(solo.machine(0)) {
+                reached = true;
+                break;
+            }
+            if solo.is_halted(0) {
+                break;
+            }
+            solo.step(0)?;
+        }
+        if !reached && !milestone(solo.machine(0)) {
+            return Err(CoverError::VictimDidNotFinish { budget });
+        }
+        let write_set = solo.trace().write_set_of(0);
+        if write_set.is_empty() {
+            return Err(CoverError::EmptyWriteSet);
+        }
+
+        // Each coverer's first write, on untouched memory, lands at some
+        // local index j0 independent of its view (its reads all return the
+        // initial value). Probe j0 with a scratch run, then rotate the view
+        // so that local j0 is the assigned physical register.
+        let mut chosen: Vec<(M, View)> = Vec::new();
+        for (index, target) in write_set.iter().copied().enumerate() {
+            let machine = coverers
+                .get(index)
+                .cloned()
+                .ok_or(CoverError::CovererNeverWrites { index })?;
+            let j0 = first_write_local_index(&machine, budget)
+                .ok_or(CoverError::CovererNeverWrites { index })?;
+            let shift = (target + registers - (j0 % registers)) % registers;
+            chosen.push((machine, View::rotated(registers, shift)));
+        }
+
+        // Assemble the combined simulation: victim (slot 0) + coverers.
+        let mut builder = Simulation::builder().process(victim, View::identity(registers));
+        for (machine, view) in &chosen {
+            builder = builder.process(machine.clone(), view.clone());
+        }
+        let mut sim = builder.build()?;
+
+        // Step 2: the run x — each coverer runs alone (no writes applied)
+        // until it covers its register.
+        for (index, target) in write_set.iter().copied().enumerate() {
+            let proc = index + 1;
+            match sim.step_to_cover(proc)? {
+                StepOutcome::Write => {}
+                _ => return Err(CoverError::CovererNeverWrites { index }),
+            }
+            let got = sim
+                .covered_register(proc)
+                .expect("step_to_cover left a poised write");
+            if got != target {
+                return Err(CoverError::CoverMismatch {
+                    index,
+                    wanted: target,
+                    got,
+                });
+            }
+        }
+
+        // The ghost world x': only the coverers' block write, on fresh
+        // memory.
+        let mut ghost_registers = vec![M::Value::default(); registers];
+        for (index, target) in write_set.iter().copied().enumerate() {
+            let proc = index + 1;
+            // The poised value is applied to `target`; read it by applying
+            // on a clone.
+            let mut probe = sim.clone();
+            probe.apply_poised(proc)?;
+            ghost_registers[target] = probe.registers()[target].clone();
+        }
+
+        // Step 3a: x;y — the victim runs its solo run to the milestone.
+        // The coverers performed no writes, so this replays y exactly.
+        for _ in 0..budget {
+            if milestone(sim.machine(0)) {
+                break;
+            }
+            if sim.is_halted(0) {
+                break;
+            }
+            sim.step(0)?;
+        }
+        if !milestone(sim.machine(0)) {
+            return Err(CoverError::VictimDidNotFinish { budget });
+        }
+
+        // Step 3b: the block write w — all covered writes land, erasing
+        // every register the victim wrote.
+        for index in 0..write_set.len() {
+            sim.apply_poised(index + 1)?;
+        }
+
+        // Indistinguishability check (Theorem 6.1's engine): after the
+        // block write, memory equals the ghost world x'.
+        debug_assert_eq!(
+            sim.registers(),
+            &ghost_registers[..],
+            "block write must erase every trace of the victim"
+        );
+
+        Ok(CoveringAttack {
+            sim,
+            write_set,
+            ghost_registers,
+        })
+    }
+
+    /// Does the current shared memory equal the ghost (victim-never-ran)
+    /// memory? True immediately after [`build`](CoveringAttack::build); the
+    /// paper's indistinguishability claim.
+    #[must_use]
+    pub fn memory_indistinguishable(&self) -> bool {
+        self.sim.registers() == &self.ghost_registers[..]
+    }
+
+    /// The number of coverers in the attack (`|write(y, q)|`).
+    #[must_use]
+    pub fn coverer_count(&self) -> usize {
+        self.write_set.len()
+    }
+}
+
+impl<M: Machine> fmt::Debug for CoveringAttack<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoveringAttack")
+            .field("write_set", &self.write_set)
+            .field("sim", &self.sim)
+            .finish()
+    }
+}
+
+/// The local register index of a machine's first write when run on
+/// untouched memory (all reads return the default value), or `None` if it
+/// halts first.
+fn first_write_local_index<M: Machine>(machine: &M, budget: usize) -> Option<usize> {
+    let mut machine = machine.clone();
+    let mut pending: Option<M::Value> = None;
+    for _ in 0..budget {
+        match machine.resume(pending.take()) {
+            Step::Read(_) => pending = Some(M::Value::default()),
+            Step::Write(local, _) => return Some(local),
+            Step::Event(_) => {}
+            Step::Halt => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_model::Pid;
+
+    /// Writes its pid into local registers 0..k, emits "done", halts.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct KWriter {
+        pid: Pid,
+        m: usize,
+        k: usize,
+        next: usize,
+        done: bool,
+    }
+
+    impl Machine for KWriter {
+        type Value = u64;
+        type Event = &'static str;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            self.m
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, &'static str> {
+            if self.next < self.k {
+                let j = self.next;
+                self.next += 1;
+                Step::Write(j, self.pid.get())
+            } else if !self.done {
+                self.done = true;
+                Step::Event("done")
+            } else {
+                Step::Halt
+            }
+        }
+    }
+
+    fn kwriter(id: u64, m: usize, k: usize) -> KWriter {
+        KWriter {
+            pid: Pid::new(id).unwrap(),
+            m,
+            k,
+            next: 0,
+            done: false,
+        }
+    }
+
+    #[test]
+    fn attack_assembles_and_is_indistinguishable() {
+        let victim = kwriter(1, 4, 3);
+        let coverers = vec![kwriter(2, 4, 1), kwriter(3, 4, 1), kwriter(4, 4, 1)];
+        let attack =
+            CoveringAttack::build(victim, coverers, |m: &KWriter| m.done, 100).unwrap();
+        assert_eq!(attack.write_set, vec![0, 1, 2]);
+        assert_eq!(attack.coverer_count(), 3);
+        assert!(attack.memory_indistinguishable());
+        // The block write replaced the victim's values with the coverers'.
+        assert_eq!(attack.sim.registers(), &[2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn first_write_probe() {
+        assert_eq!(first_write_local_index(&kwriter(1, 4, 2), 10), Some(0));
+        assert_eq!(first_write_local_index(&kwriter(1, 4, 0), 10), None);
+    }
+
+    #[test]
+    fn victim_budget_is_enforced() {
+        let victim = kwriter(1, 4, 3);
+        let coverers = vec![kwriter(2, 4, 1)];
+        let err = CoveringAttack::build(victim, coverers, |m: &KWriter| m.done, 2).unwrap_err();
+        assert_eq!(err, CoverError::VictimDidNotFinish { budget: 2 });
+    }
+
+    #[test]
+    fn missing_coverers_error() {
+        let victim = kwriter(1, 4, 3);
+        let coverers = vec![kwriter(2, 4, 1)]; // need 3
+        let err =
+            CoveringAttack::build(victim, coverers, |m: &KWriter| m.done, 100).unwrap_err();
+        assert_eq!(err, CoverError::CovererNeverWrites { index: 1 });
+    }
+
+    #[test]
+    fn non_writing_victim_error() {
+        /// Emits its milestone without ever writing.
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct Silent {
+            pid: Pid,
+            done: bool,
+        }
+        impl Machine for Silent {
+            type Value = u64;
+            type Event = ();
+            fn pid(&self) -> Pid {
+                self.pid
+            }
+            fn register_count(&self) -> usize {
+                2
+            }
+            fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+                if self.done {
+                    Step::Halt
+                } else {
+                    self.done = true;
+                    Step::Event(())
+                }
+            }
+        }
+        let victim = Silent {
+            pid: Pid::new(1).unwrap(),
+            done: false,
+        };
+        let err = CoveringAttack::build(
+            victim.clone(),
+            vec![victim],
+            |m: &Silent| m.done,
+            100,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoverError::EmptyWriteSet);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors: Vec<CoverError> = vec![
+            CoverError::VictimDidNotFinish { budget: 5 },
+            CoverError::EmptyWriteSet,
+            CoverError::CovererNeverWrites { index: 2 },
+            CoverError::CoverMismatch {
+                index: 1,
+                wanted: 0,
+                got: 3,
+            },
+            CoverError::Sim(SimError::NoProcesses),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Executable impossibility results and space lower bounds.
+//!
+//! Section 6 of *"Coordination Without Prior Agreement"* proves three
+//! impossibility results with one proof skeleton — the **covering
+//! argument**:
+//!
+//! 1. run a process `q` alone until it reaches its milestone (critical
+//!    section, decision, new name) and record `write(y, q)`, the set of
+//!    registers it wrote;
+//! 2. because registers are anonymous, fresh processes `P` can be given
+//!    views that make each one's *first* write land on a distinct register
+//!    of `write(y, q)`; run each until it is about to perform that write —
+//!    it now **covers** the register;
+//! 3. let `q` run to its milestone, then release the covered writes (a
+//!    *block write*): every trace of `q` is overwritten, so the resulting
+//!    memory — and everything `P` knows — is **indistinguishable** from a
+//!    world where `q` never existed;
+//! 4. let `P` run: whatever progress the algorithm guarantees them happens
+//!    again, clashing with `q`'s milestone.
+//!
+//! This crate executes that skeleton against the real Figure 1–3
+//! implementations:
+//!
+//! * [`covering`] — the generic attack builder (steps 1–3 above).
+//! * [`consensus_cover`] — Theorem 6.3: with fewer than `2n − 1` registers
+//!   the attack produces an actual **disagreement** (experiment E4).
+//! * [`renaming_cover`] — Theorem 6.5: with `≤ n − 1` registers the attack
+//!   produces a **duplicate name** (experiment E6).
+//! * [`mutex_cover`] — Theorem 6.2: when more processes exist than the
+//!   algorithm anticipates, the attack produces either two processes in the
+//!   critical section (`m = 1`) or eternal starvation behind an
+//!   indistinguishable memory (experiment E7).
+//! * [`ring`] — Theorem 3.4: the lock-step ring adversary starves `ℓ | m`
+//!   symmetric processes forever (experiment E2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus_cover;
+pub mod covering;
+pub mod mutex_cover;
+pub mod renaming_cover;
+pub mod ring;

@@ -1,0 +1,212 @@
+//! Theorem 6.2, constructively: deadlock-free mutual exclusion is
+//! impossible with unnamed registers when the number of processes is not
+//! known in advance.
+//!
+//! The adversary runs the victim alone into its critical section, has `m`
+//! fresh processes cover every register the victim wrote, and releases the
+//! block write. The shared memory is now **indistinguishable** from a world
+//! in which the victim never existed — yet the victim sits in its critical
+//! section. Whatever the algorithm now guarantees the coverers produces a
+//! contradiction:
+//!
+//! * if some coverer can enter (as deadlock-freedom would demand in the
+//!   victim-free world), mutual exclusion is violated — for Figure 1 this
+//!   actually happens at `m = 1`;
+//! * if no coverer ever enters while the victim stays put, deadlock-freedom
+//!   is violated in the victim-free world — for Figure 1 with `m ≥ 2` the
+//!   coverers starve forever.
+//!
+//! Either way, no register count `m` survives an unknown process count:
+//! experiment E7 tabulates the observed failure mode per `m`.
+
+use std::fmt;
+
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::Pid;
+use anonreg_sim::sched;
+
+use crate::covering::CoveringAttack;
+
+/// How Figure 1 fails under the unknown-process-count attack with `m`
+/// registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutexFailure {
+    /// A coverer entered its critical section while the victim was still in
+    /// its own — a mutual exclusion violation.
+    MutualExclusionViolated {
+        /// The coverer slot (1-based within the combined simulation).
+        intruder: usize,
+    },
+    /// No coverer entered within the (generous) budget even though the
+    /// memory is indistinguishable from a fresh start — so in the
+    /// victim-free world the algorithm starves its users: a
+    /// deadlock-freedom violation.
+    Starvation {
+        /// Scheduling steps the coverers were given.
+        steps_given: usize,
+    },
+}
+
+impl fmt::Display for MutexFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutexFailure::MutualExclusionViolated { intruder } => {
+                write!(f, "coverer {intruder} entered the CS alongside the victim")
+            }
+            MutexFailure::Starvation { steps_given } => write!(
+                f,
+                "no coverer entered within {steps_given} steps of an indistinguishable fresh world"
+            ),
+        }
+    }
+}
+
+/// Result of the unknown-process-count attack against Figure 1 with `m`
+/// registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownNAttack {
+    /// Number of registers.
+    pub m: usize,
+    /// Registers the victim wrote before entering its critical section
+    /// (always all `m` of them, for Figure 1 run solo).
+    pub write_set: Vec<usize>,
+    /// Whether memory after the block write matched the victim-free world.
+    pub indistinguishable: bool,
+    /// The failure mode that materialized.
+    pub failure: MutexFailure,
+}
+
+impl fmt::Display for UnknownNAttack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "m = {}: {} (covered {:?}, indistinguishable = {})",
+            self.m, self.failure, self.write_set, self.indistinguishable
+        )
+    }
+}
+
+/// Mounts the Theorem 6.2 attack against Figure 1 with `m` registers: one
+/// victim plus `m` coverers (more processes than the two the algorithm was
+/// designed for — the essence of "the number of processes is not a priori
+/// known").
+///
+/// `budget` bounds both the victim's solo run and the coverers' post-block
+/// scheduling (lock-step, the fairest possible schedule).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or if the covering machinery fails — for Figure 1 the
+/// attack always assembles, so failure indicates an implementation bug.
+#[must_use]
+pub fn unknown_n_attack(m: usize, budget: usize) -> UnknownNAttack {
+    let victim = AnonMutex::new(Pid::new(1).unwrap(), m).expect("m >= 1");
+    let coverers: Vec<AnonMutex> = (0..m)
+        .map(|i| AnonMutex::new(Pid::new(i as u64 + 2).unwrap(), m).expect("m >= 1"))
+        .collect();
+
+    let mut attack = CoveringAttack::build(
+        victim,
+        coverers,
+        |mach: &AnonMutex| mach.section() == Section::Critical,
+        budget,
+    )
+    .expect("the covering attack always assembles against Figure 1");
+    let write_set = attack.write_set.clone();
+    let indistinguishable = attack.memory_indistinguishable();
+    assert_eq!(
+        attack.sim.machine(0).section(),
+        Section::Critical,
+        "victim must be parked in its critical section"
+    );
+
+    // Step 4: schedule only the coverers (slots 1..=m), lock-step, and
+    // watch for an Enter event.
+    let coverer_count = attack.sim.process_count() - 1;
+    let mut next = 0usize;
+    let steps_given = budget;
+    sched::run_with(
+        &mut attack.sim,
+        |sim| {
+            // Stop as soon as any coverer entered.
+            let someone_in = (1..=coverer_count)
+                .any(|p| sim.machine(p).section() == Section::Critical);
+            if someone_in {
+                return None;
+            }
+            let proc = 1 + (next % coverer_count);
+            next += 1;
+            Some(proc)
+        },
+        steps_given,
+    )
+    .expect("coverer slots are valid");
+
+    let intruder = (1..=coverer_count)
+        .find(|&p| attack.sim.machine(p).section() == Section::Critical);
+    let failure = match intruder {
+        Some(intruder) => {
+            // The victim never moved: both are in their critical sections.
+            debug_assert_eq!(attack.sim.machine(0).section(), Section::Critical);
+            debug_assert!(attack
+                .sim
+                .trace()
+                .events()
+                .filter(|(_, _, e)| **e == MutexEvent::Enter)
+                .count()
+                >= 2);
+            MutexFailure::MutualExclusionViolated { intruder }
+        }
+        None => MutexFailure::Starvation { steps_given },
+    };
+
+    UnknownNAttack {
+        m,
+        write_set,
+        indistinguishable,
+        failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m1_yields_a_mutual_exclusion_violation() {
+        let outcome = unknown_n_attack(1, 10_000);
+        assert!(outcome.indistinguishable);
+        assert_eq!(outcome.write_set, vec![0]);
+        assert!(matches!(
+            outcome.failure,
+            MutexFailure::MutualExclusionViolated { .. }
+        ));
+    }
+
+    #[test]
+    fn larger_m_yields_starvation() {
+        for m in [2, 3, 4, 5] {
+            let outcome = unknown_n_attack(m, 20_000);
+            assert!(outcome.indistinguishable, "m={m}");
+            assert_eq!(outcome.write_set.len(), m, "victim writes all registers");
+            assert!(
+                matches!(outcome.failure, MutexFailure::Starvation { .. }),
+                "m={m}: {:?}",
+                outcome.failure
+            );
+        }
+    }
+
+    #[test]
+    fn every_m_fails_somehow() {
+        for m in 1..=6 {
+            let outcome = unknown_n_attack(m, 20_000);
+            assert!(!outcome.to_string().is_empty());
+            // The attack always demonstrates one of the two failures.
+            match outcome.failure {
+                MutexFailure::MutualExclusionViolated { .. }
+                | MutexFailure::Starvation { .. } => {}
+            }
+        }
+    }
+}

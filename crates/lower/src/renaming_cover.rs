@@ -1,0 +1,152 @@
+//! Theorem 6.5, constructively: with `≤ n − 1` anonymous registers, the
+//! covering adversary makes two processes acquire the **same new name**
+//! against the Figure 3 renaming algorithm.
+//!
+//! The victim runs alone and — by adaptivity — acquires name 1. The block
+//! write then erases its every trace, and the coverers, seeing memory
+//! indistinguishable from a fresh world, elect one of **themselves** to
+//! name 1 (experiment E6).
+
+use std::fmt;
+
+use anonreg::renaming::AnonRenaming;
+use anonreg::Pid;
+
+use crate::consensus_cover::AttackError;
+use crate::covering::{CoverError, CoveringAttack};
+
+/// A constructed uniqueness violation: two processes with the same name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DuplicateName {
+    /// Number of processes the algorithm was configured for.
+    pub n: usize,
+    /// Number of registers it was (under-)provisioned with.
+    pub registers: usize,
+    /// Registers the victim wrote in its solo run.
+    pub write_set: Vec<usize>,
+    /// The duplicated name (always 1, by adaptivity).
+    pub name: u32,
+}
+
+impl fmt::Display for DuplicateName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n = {}, r = {}: victim and a coverer both acquired name {} (write set {:?})",
+            self.n, self.registers, self.name, self.write_set
+        )
+    }
+}
+
+/// Extracts the name a halted renaming machine acquired by replaying its
+/// final event from the simulation trace.
+fn acquired_name(
+    sim: &anonreg_sim::Simulation<AnonRenaming>,
+    proc: usize,
+) -> Option<u32> {
+    sim.trace().events().find_map(|(p, _, event)| {
+        if p == proc {
+            let anonreg::renaming::RenamingEvent::Named(name) = event;
+            Some(*name)
+        } else {
+            None
+        }
+    })
+}
+
+/// Mounts the Theorem 6.5 covering attack against Figure 3 instantiated for
+/// `n` processes but only `registers ≤ n − 1` registers, and returns the
+/// duplicated name.
+///
+/// # Errors
+///
+/// [`AttackError::NotUnderProvisioned`] when `registers ≥ 2n − 1`;
+/// [`AttackError::BadParameters`] for degenerate inputs;
+/// [`AttackError::NoViolation`] if the coverer acquired a different name
+/// (would indicate the bound does not bind — an implementation bug).
+pub fn duplicate_name(n: usize, registers: usize) -> Result<DuplicateName, AttackError> {
+    if n < 2 || registers == 0 {
+        return Err(AttackError::BadParameters);
+    }
+    if registers >= 2 * n - 1 {
+        return Err(AttackError::NotUnderProvisioned { n, registers });
+    }
+
+    let victim = AnonRenaming::new(Pid::new(1).unwrap(), n)
+        .expect("valid parameters")
+        .with_registers(registers);
+    let coverers: Vec<AnonRenaming> = (0..registers)
+        .map(|i| {
+            AnonRenaming::new(Pid::new(i as u64 + 2).unwrap(), n)
+                .expect("valid parameters")
+                .with_registers(registers)
+        })
+        .collect();
+
+    // Solo renaming costs O(r²) per round over ≤ n rounds; generous slack.
+    let budget = 4 * n * (registers * (registers + 2)) + 64;
+    let mut attack = CoveringAttack::build(
+        victim,
+        coverers,
+        |m: &AnonRenaming| m.has_name(),
+        budget,
+    )?;
+    let write_set = attack.write_set.clone();
+    let victim_name =
+        acquired_name(&attack.sim, 0).expect("victim announced its name before halting");
+
+    // Step 4: the first coverer runs alone; by obstruction freedom +
+    // adaptivity it takes name 1 — the same name the victim already holds.
+    attack.sim.run_solo(1, budget).expect("slot 1 exists");
+    if !attack.sim.machine(1).has_name() {
+        return Err(AttackError::Cover(CoverError::VictimDidNotFinish {
+            budget,
+        }));
+    }
+    let coverer_name =
+        acquired_name(&attack.sim, 1).expect("coverer announced its name before halting");
+
+    if victim_name != coverer_name {
+        return Err(AttackError::NoViolation {
+            decided: u64::from(coverer_name),
+        });
+    }
+    Ok(DuplicateName {
+        n,
+        registers,
+        write_set,
+        name: victim_name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_succeeds_for_all_underprovisioned_counts() {
+        for n in 2..=5 {
+            for r in 1..n {
+                let d = duplicate_name(n, r)
+                    .unwrap_or_else(|e| panic!("attack failed for n={n}, r={r}: {e}"));
+                assert_eq!(d.name, 1, "adaptivity forces the duplicate at name 1");
+                assert!(d.write_set.len() <= r);
+                assert!(!d.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn well_provisioned_algorithm_rejects_the_attack() {
+        assert_eq!(
+            duplicate_name(2, 3).unwrap_err(),
+            AttackError::NotUnderProvisioned { n: 2, registers: 3 }
+        );
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert_eq!(duplicate_name(1, 1).unwrap_err(), AttackError::BadParameters);
+        assert_eq!(duplicate_name(2, 0).unwrap_err(), AttackError::BadParameters);
+    }
+}

@@ -1,0 +1,152 @@
+//! Theorem 3.4, executably: the lock-step ring adversary.
+//!
+//! "There is a memory-anonymous symmetric deadlock-free mutual exclusion
+//! algorithm for n processes using m ≥ 2 registers **only if** for every
+//! `1 < ℓ ≤ n`, `m` and `ℓ` are relatively prime." The proof gives `ℓ | m`
+//! symmetric processes the same ring ordering, spaces their initial
+//! registers `m/ℓ` apart and runs them in lock step: symmetry can never
+//! break, so either all enter the critical section together or none ever
+//! does.
+//!
+//! [`ring_starvation`] runs exactly that adversary against Figure 1 and
+//! reports what happened; experiment E2 tabulates the outcome over a grid
+//! of `(m, ℓ)` pairs. Note the contrapositive reading of the table: where
+//! `gcd(m, ℓ) > 1` the adversary exists and starves the ring; where
+//! `gcd(m, ℓ) = 1` no such ring fits, consistent with the odd-`m`
+//! two-process algorithm being correct.
+
+use std::fmt;
+
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::Pid;
+use anonreg_sim::symmetry::{ring_views, run_lockstep_symmetric, RingError};
+use anonreg_sim::Simulation;
+
+/// Outcome of the Theorem 3.4 ring adversary against Figure 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingOutcome {
+    /// Registers on the ring.
+    pub m: usize,
+    /// Processes on the ring (`ℓ | m`).
+    pub l: usize,
+    /// Lock-step rounds executed.
+    pub rounds: usize,
+    /// Whether rotation symmetry held after every round (the theorem
+    /// predicts: always).
+    pub symmetric_throughout: bool,
+    /// Critical-section entries observed (the theorem predicts: 0, or a
+    /// simultaneous mass entry breaking mutual exclusion).
+    pub cs_entries: usize,
+    /// Processes still stuck in their entry sections at the end.
+    pub stuck_in_entry: usize,
+}
+
+impl RingOutcome {
+    /// Did the adversary demonstrate a violation of deadlock-freedom (no
+    /// entries, everyone stuck, symmetry intact)?
+    #[must_use]
+    pub fn starved(&self) -> bool {
+        self.symmetric_throughout && self.cs_entries == 0 && self.stuck_in_entry == self.l
+    }
+}
+
+impl fmt::Display for RingOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "m = {}, l = {}: {} rounds, symmetric = {}, CS entries = {}, stuck = {}",
+            self.m, self.l, self.rounds, self.symmetric_throughout, self.cs_entries,
+            self.stuck_in_entry
+        )
+    }
+}
+
+/// Runs the Theorem 3.4 adversary: `ℓ` Figure 1 processes (`ℓ | m`) on a
+/// ring of `m` registers, in lock step for `rounds` rounds.
+///
+/// # Errors
+///
+/// Returns [`RingError`] unless `ℓ ≥ 2` and `ℓ` divides `m`.
+pub fn ring_starvation(m: usize, l: usize, rounds: usize) -> Result<RingOutcome, RingError> {
+    let views = ring_views(m, l)?;
+    let mut builder = Simulation::builder();
+    for (k, view) in views.into_iter().enumerate() {
+        builder = builder.process(
+            AnonMutex::new(Pid::new(k as u64 + 1).unwrap(), m).expect("m >= 1"),
+            view,
+        );
+    }
+    let mut sim = builder.build().expect("ring configuration is valid");
+
+    let report = run_lockstep_symmetric(&mut sim, l, rounds);
+    let cs_entries = sim
+        .trace()
+        .events()
+        .filter(|(_, _, e)| **e == MutexEvent::Enter)
+        .count();
+    let stuck_in_entry = sim
+        .machines()
+        .filter(|mach| mach.section() == Section::Entry)
+        .count();
+    Ok(RingOutcome {
+        m,
+        l,
+        rounds: report.rounds,
+        symmetric_throughout: report.symmetric_throughout(),
+        cs_entries,
+        stuck_in_entry,
+    })
+}
+
+/// Greatest common divisor, for tabulating which `(m, ℓ)` pairs admit the
+/// ring adversary (`gcd > 1` ⇔ some divisor `ℓ' | m` with `ℓ' ≤ ℓ` exists).
+#[must_use]
+pub fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisible_rings_starve() {
+        for (m, l) in [(2, 2), (4, 2), (6, 2), (3, 3), (6, 3), (9, 3), (8, 4)] {
+            let outcome = ring_starvation(m, l, 500).unwrap();
+            assert!(
+                outcome.starved(),
+                "expected starvation for m={m}, l={l}: {outcome}"
+            );
+        }
+    }
+
+    #[test]
+    fn indivisible_rings_are_rejected() {
+        assert!(ring_starvation(3, 2, 10).is_err());
+        assert!(ring_starvation(5, 2, 10).is_err());
+        assert!(ring_starvation(7, 3, 10).is_err());
+    }
+
+    #[test]
+    fn gcd_matches_the_theorem_statement() {
+        assert_eq!(gcd(6, 4), 2);
+        assert_eq!(gcd(9, 3), 3);
+        assert_eq!(gcd(7, 2), 1);
+        assert_eq!(gcd(5, 3), 1);
+        // Theorem 3.1 as a special case: for n = 2, "m relatively prime to
+        // 2" means m odd.
+        for m in 2..20 {
+            assert_eq!(gcd(m, 2) == 1, m % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn outcome_display_nonempty() {
+        let outcome = ring_starvation(4, 2, 50).unwrap();
+        assert!(!outcome.to_string().is_empty());
+    }
+}

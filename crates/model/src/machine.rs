@@ -1,0 +1,162 @@
+//! Algorithms as deterministic single-operation state machines.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::{Pid, RegisterValue};
+
+/// One step of a [`Machine`]: the next action the process wants to perform.
+///
+/// Register indices in `Read` and `Write` are **process-local**: the machine
+/// speaks in its own private numbering `0..m`, and the driver (simulator or
+/// thread runtime) translates through the process's [`View`](crate::View).
+/// Machines never see physical register indices — that is the whole point of
+/// the memory-anonymous model.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Step<V, E> {
+    /// Atomically read the register with the given *local* index. The driver
+    /// answers by calling [`Machine::resume`] with `Some(value)`.
+    Read(usize),
+    /// Atomically write `V` to the register with the given *local* index.
+    Write(usize, V),
+    /// Announce an observable milestone (critical-section entry, a decision,
+    /// a newly acquired name, …). Events have no shared-memory effect; they
+    /// exist so specification checkers can observe the run.
+    Event(E),
+    /// The process has terminated and will take no further steps.
+    Halt,
+}
+
+impl<V, E> Step<V, E> {
+    /// Returns `true` for [`Step::Read`] and [`Step::Write`] — the steps that
+    /// count as atomic shared-memory operations in the paper's proofs.
+    #[must_use]
+    pub fn is_memory_op(&self) -> bool {
+        matches!(self, Step::Read(_) | Step::Write(_, _))
+    }
+}
+
+/// A process's algorithm, expressed as a deterministic state machine that
+/// performs **one atomic register operation at a time**.
+///
+/// This is the execution model the paper's proofs assume: a run is a sequence
+/// of atomic reads and writes, interleaved by an adversarial scheduler. By
+/// expressing algorithms this way, the *same* implementation is
+///
+/// * exhaustively model-checked by `anonreg-sim` (every interleaving, plus
+///   adversaries that pause a process *covering* a register — the key move in
+///   the paper's impossibility proofs), and
+/// * run at full speed on real threads by `anonreg-runtime`.
+///
+/// # Protocol
+///
+/// The driver repeatedly calls [`resume`](Machine::resume):
+///
+/// 1. The first call, and every call after a `Write` or `Event` step, passes
+///    `None`.
+/// 2. After a `Read(j)` step, the driver performs the read and passes
+///    `Some(value)`.
+/// 3. After `Halt`, the driver stops; calling `resume` again is a contract
+///    violation and implementations are encouraged to panic.
+///
+/// # Determinism
+///
+/// `resume` must be a pure function of the machine's state and the read
+/// value. Model checking and trace replay rely on this. Where the paper says
+/// "an arbitrary index such that …" (e.g. Figure 2 line 6), implementations
+/// must fix a deterministic choice, such as the smallest qualifying local
+/// index.
+///
+/// # Symmetry
+///
+/// The paper studies *symmetric* algorithms: all processes run identical code
+/// and may compare identifiers only for equality. Machines respect this by
+/// construction when they only ever compare [`Pid`]s (which do not implement
+/// `Ord`) and never branch on the numeric content of an identifier.
+pub trait Machine: Clone + Debug + Send {
+    /// The type of value this algorithm stores in the shared registers.
+    type Value: RegisterValue;
+    /// Observable milestones this algorithm announces.
+    type Event: Clone + Eq + Hash + Debug + Send;
+
+    /// The identifier of the process running this machine.
+    fn pid(&self) -> Pid;
+
+    /// The number of shared registers, `m`, this machine expects. Local
+    /// indices in [`Step::Read`]/[`Step::Write`] are in `0..m`.
+    fn register_count(&self) -> usize;
+
+    /// Advances the machine to its next step. See the trait documentation
+    /// for the calling protocol.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the protocol is violated — `Some` passed
+    /// when no read was pending, `None` passed when one was, or a call after
+    /// `Halt`.
+    fn resume(&mut self, read: Option<Self::Value>) -> Step<Self::Value, Self::Event>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_is_memory_op() {
+        let read: Step<u64, ()> = Step::Read(0);
+        let write: Step<u64, ()> = Step::Write(1, 9);
+        let event: Step<u64, ()> = Step::Event(());
+        let halt: Step<u64, ()> = Step::Halt;
+        assert!(read.is_memory_op());
+        assert!(write.is_memory_op());
+        assert!(!event.is_memory_op());
+        assert!(!halt.is_memory_op());
+    }
+
+    /// A tiny machine used to exercise the protocol from the trait docs.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Echo {
+        pid: Pid,
+        phase: u8,
+    }
+
+    impl Machine for Echo {
+        type Value = u64;
+        type Event = u64;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, read: Option<u64>) -> Step<u64, u64> {
+            match self.phase {
+                0 => {
+                    assert!(read.is_none());
+                    self.phase = 1;
+                    Step::Read(0)
+                }
+                1 => {
+                    let value = read.expect("read result expected after Step::Read");
+                    self.phase = 2;
+                    Step::Event(value)
+                }
+                _ => Step::Halt,
+            }
+        }
+    }
+
+    #[test]
+    fn machine_protocol_round_trip() {
+        let mut m = Echo {
+            pid: Pid::new(1).unwrap(),
+            phase: 0,
+        };
+        assert_eq!(m.resume(None), Step::Read(0));
+        assert_eq!(m.resume(Some(41)), Step::Event(41));
+        assert_eq!(m.resume(None), Step::Halt);
+    }
+}

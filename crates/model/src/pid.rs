@@ -1,0 +1,265 @@
+//! Process identifiers and identifier renaming.
+
+use std::fmt;
+use std::num::NonZeroU64;
+use std::str::FromStr;
+
+/// A process identifier: a positive integer, unique per process.
+///
+/// The paper's model is *symmetric with equality*: a process may store,
+/// retrieve and compare identifiers **for equality only**. It cannot inspect
+/// the bits of an identifier, order two identifiers, or test an identifier
+/// against a constant. `Pid` enforces this statically by implementing
+/// [`PartialEq`]/[`Eq`]/[`Hash`] but deliberately **not** `Ord`/`PartialOrd`.
+///
+/// Identifiers are *not* assumed to come from `{1..n}`; any positive integer
+/// is a valid identifier, and a process does not a priori know the
+/// identifiers of the other processes.
+///
+/// Zero is reserved: the paper's algorithms use `0` as the initial "empty"
+/// register content, so a `Pid` can never be zero. [`Pid::new`] returns
+/// `None` for zero.
+///
+/// # Example
+///
+/// ```
+/// use anonreg_model::Pid;
+///
+/// let a = Pid::new(42).unwrap();
+/// let b = Pid::new(42).unwrap();
+/// let c = Pid::new(7).unwrap();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// assert!(Pid::new(0).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pid(NonZeroU64);
+
+impl Pid {
+    /// Creates a process identifier from a positive integer.
+    ///
+    /// Returns `None` if `id` is zero (zero encodes "empty register" in the
+    /// paper's algorithms and therefore cannot name a process).
+    #[must_use]
+    pub fn new(id: u64) -> Option<Self> {
+        NonZeroU64::new(id).map(Pid)
+    }
+
+    /// Returns the raw integer value of the identifier.
+    ///
+    /// This exists so identifiers can be *stored* in registers (the paper's
+    /// model permits writing identifiers to shared memory). Algorithm code
+    /// must only ever compare the returned value for equality; harness and
+    /// test code may of course do whatever it likes.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid({})", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<NonZeroU64> for Pid {
+    fn from(id: NonZeroU64) -> Self {
+        Pid(id)
+    }
+}
+
+impl From<Pid> for u64 {
+    fn from(pid: Pid) -> Self {
+        pid.get()
+    }
+}
+
+/// Error returned when parsing a [`Pid`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePidError {
+    kind: ParsePidErrorKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ParsePidErrorKind {
+    NotAnInteger,
+    Zero,
+}
+
+impl fmt::Display for ParsePidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParsePidErrorKind::NotAnInteger => write!(f, "process id must be a positive integer"),
+            ParsePidErrorKind::Zero => write!(f, "process id must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePidError {}
+
+impl FromStr for Pid {
+    type Err = ParsePidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let raw: u64 = s.parse().map_err(|_| ParsePidError {
+            kind: ParsePidErrorKind::NotAnInteger,
+        })?;
+        Pid::new(raw).ok_or(ParsePidError {
+            kind: ParsePidErrorKind::Zero,
+        })
+    }
+}
+
+/// Structural renaming of the process identifiers embedded in a value.
+///
+/// The symmetry arguments behind the paper's lower bounds (Theorem 3.4 and
+/// the ring adversary of `anonreg-lower`) rest on the observation that in a
+/// comparison-for-equality-only model, two process states are interchangeable
+/// when one can be obtained from the other by a consistent renaming of
+/// identifiers. `PidMap` makes that renaming executable: the simulator's
+/// symmetry checker maps one process's state through a pid bijection and
+/// tests it for equality against another's.
+///
+/// Implementations must apply `f` to **every** identifier embedded in the
+/// value — missing one silently weakens the symmetry checker.
+///
+/// # Example
+///
+/// ```
+/// use anonreg_model::{Pid, PidMap};
+///
+/// let p = Pid::new(1).unwrap();
+/// let q = Pid::new(2).unwrap();
+/// let renamed = Some(p).map_pids(&mut |x| if x == p { q } else { x });
+/// assert_eq!(renamed, Some(q));
+/// ```
+pub trait PidMap: Sized {
+    /// Returns a copy of `self` with every embedded identifier replaced by
+    /// `f(identifier)`.
+    #[must_use]
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self;
+}
+
+impl PidMap for Pid {
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+        f(*self)
+    }
+}
+
+impl<T: PidMap> PidMap for Option<T> {
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+        self.as_ref().map(|v| v.map_pids(f))
+    }
+}
+
+impl<T: PidMap> PidMap for Vec<T> {
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+        self.iter().map(|v| v.map_pids(f)).collect()
+    }
+}
+
+impl<A: PidMap, B: PidMap> PidMap for (A, B) {
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+        (self.0.map_pids(f), self.1.map_pids(f))
+    }
+}
+
+/// `u64` values are treated as *encoded* identifiers-or-zero: zero (the empty
+/// register marker) is left untouched, any other value is renamed as an
+/// identifier. This matches how the paper's algorithms store identifiers in
+/// registers.
+impl PidMap for u64 {
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+        match Pid::new(*self) {
+            Some(pid) => f(pid).get(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn new_rejects_zero() {
+        assert!(Pid::new(0).is_none());
+        assert_eq!(Pid::new(1).map(Pid::get), Some(1));
+        assert_eq!(Pid::new(u64::MAX).map(Pid::get), Some(u64::MAX));
+    }
+
+    #[test]
+    fn equality_and_hash_agree() {
+        let a = Pid::new(99).unwrap();
+        let b = Pid::new(99).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let p = Pid::new(5).unwrap();
+        assert_eq!(p.to_string(), "5");
+        assert_eq!(format!("{p:?}"), "Pid(5)");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let p: Pid = "17".parse().unwrap();
+        assert_eq!(p.get(), 17);
+        assert!("0".parse::<Pid>().is_err());
+        assert!("seven".parse::<Pid>().is_err());
+        assert!("-3".parse::<Pid>().is_err());
+    }
+
+    #[test]
+    fn parse_errors_display() {
+        let zero = "0".parse::<Pid>().unwrap_err();
+        let junk = "x".parse::<Pid>().unwrap_err();
+        assert!(zero.to_string().contains("nonzero"));
+        assert!(junk.to_string().contains("positive integer"));
+    }
+
+    #[test]
+    fn pid_map_on_u64_preserves_zero() {
+        let p = Pid::new(3).unwrap();
+        let q = Pid::new(4).unwrap();
+        let mut swap = |x: Pid| if x == p { q } else { x };
+        assert_eq!(0u64.map_pids(&mut swap), 0);
+        assert_eq!(3u64.map_pids(&mut swap), 4);
+        assert_eq!(9u64.map_pids(&mut swap), 9);
+    }
+
+    #[test]
+    fn pid_map_composes_over_containers() {
+        let p = Pid::new(1).unwrap();
+        let q = Pid::new(2).unwrap();
+        let mut swap = |x: Pid| if x == p { q } else { p };
+        let v = vec![(p, Some(q)), (q, None)];
+        let mapped = v.map_pids(&mut swap);
+        assert_eq!(mapped, vec![(q, Some(p)), (p, None)]);
+    }
+
+    #[test]
+    fn from_nonzero_and_into_u64() {
+        let nz = NonZeroU64::new(8).unwrap();
+        let p: Pid = nz.into();
+        let raw: u64 = p.into();
+        assert_eq!(raw, 8);
+    }
+}

@@ -1,0 +1,311 @@
+//! Recorded runs.
+//!
+//! A [`Trace`] is the executable counterpart of the paper's notion of a
+//! *run*: "a sequence of alternating states and events … it is more
+//! convenient to define a run as a sequence of events omitting all the states
+//! except the initial state" (§6.1). Since machines are deterministic, a
+//! trace pins down the whole run, so specification checkers
+//! (`anonreg::spec`) and replay both work from traces alone.
+
+use std::fmt;
+
+use crate::Pid;
+
+/// A single recorded step of one process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TraceOp<V, E> {
+    /// The process atomically read a register and observed `value`.
+    Read {
+        /// Local register index, as the process named it.
+        local: usize,
+        /// Physical register index, after view translation.
+        physical: usize,
+        /// The value observed.
+        value: V,
+    },
+    /// The process atomically wrote `value` to a register.
+    Write {
+        /// Local register index, as the process named it.
+        local: usize,
+        /// Physical register index, after view translation.
+        physical: usize,
+        /// The value written.
+        value: V,
+    },
+    /// The process announced an observable milestone.
+    Event(E),
+    /// The process halted.
+    Halt,
+}
+
+/// One entry of a [`Trace`]: which process did what.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceEntry<V, E> {
+    /// The process's slot in the execution (dense, `0..n`); stable across
+    /// the run and independent of the (sparse, adversary-chosen) [`Pid`].
+    pub proc: usize,
+    /// The process's identifier.
+    pub pid: Pid,
+    /// What the process did.
+    pub op: TraceOp<V, E>,
+}
+
+/// A recorded run: the sequence of steps taken, in global time order.
+///
+/// # Example
+///
+/// ```
+/// use anonreg_model::trace::{Trace, TraceOp};
+/// use anonreg_model::Pid;
+///
+/// let mut trace: Trace<u64, &str> = Trace::new();
+/// trace.record(0, Pid::new(1).unwrap(), TraceOp::Event("enter"));
+/// trace.record(0, Pid::new(1).unwrap(), TraceOp::Event("exit"));
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.events().count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace<V, E> {
+    entries: Vec<TraceEntry<V, E>>,
+}
+
+impl<V, E> Trace<V, E> {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a step.
+    pub fn record(&mut self, proc: usize, pid: Pid, op: TraceOp<V, E>) {
+        self.entries.push(TraceEntry { proc, pid, op });
+    }
+
+    /// The number of recorded steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries in global time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry<V, E>> {
+        self.entries.iter()
+    }
+
+    /// Iterates over just the [`TraceOp::Event`] entries, in order, as
+    /// `(proc, pid, &event)` triples.
+    pub fn events(&self) -> impl Iterator<Item = (usize, Pid, &E)> {
+        self.entries.iter().filter_map(|entry| match &entry.op {
+            TraceOp::Event(e) => Some((entry.proc, entry.pid, e)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the entries of a single process, in order.
+    pub fn of_proc(&self, proc: usize) -> impl Iterator<Item = &TraceEntry<V, E>> {
+        self.entries.iter().filter(move |entry| entry.proc == proc)
+    }
+
+    /// The number of atomic memory operations (reads + writes) recorded for
+    /// one process — the paper's step-complexity measure.
+    #[must_use]
+    pub fn memory_ops_of(&self, proc: usize) -> usize {
+        self.of_proc(proc)
+            .filter(|entry| {
+                matches!(
+                    entry.op,
+                    TraceOp::Read { .. } | TraceOp::Write { .. }
+                )
+            })
+            .count()
+    }
+
+    /// The distinct *physical* registers written by one process — the set
+    /// `write(y, q)` from the paper's covering arguments (§6).
+    #[must_use]
+    pub fn write_set_of(&self, proc: usize) -> Vec<usize> {
+        let mut set = Vec::new();
+        for entry in self.of_proc(proc) {
+            if let TraceOp::Write { physical, .. } = entry.op {
+                if !set.contains(&physical) {
+                    set.push(physical);
+                }
+            }
+        }
+        set
+    }
+}
+
+impl<V, E> Default for Trace<V, E> {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl<V, E> IntoIterator for Trace<V, E> {
+    type Item = TraceEntry<V, E>;
+    type IntoIter = std::vec::IntoIter<TraceEntry<V, E>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a, V, E> IntoIterator for &'a Trace<V, E> {
+    type Item = &'a TraceEntry<V, E>;
+    type IntoIter = std::slice::Iter<'a, TraceEntry<V, E>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl<V, E> Extend<TraceEntry<V, E>> for Trace<V, E> {
+    fn extend<I: IntoIterator<Item = TraceEntry<V, E>>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+impl<V, E> FromIterator<TraceEntry<V, E>> for Trace<V, E> {
+    fn from_iter<I: IntoIterator<Item = TraceEntry<V, E>>>(iter: I) -> Self {
+        Trace {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<V: fmt::Debug, E: fmt::Debug> fmt::Display for Trace<V, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, entry) in self.entries.iter().enumerate() {
+            write!(f, "{t:>5}  p{} (pid {:>3})  ", entry.proc, entry.pid)?;
+            match &entry.op {
+                TraceOp::Read {
+                    local,
+                    physical,
+                    value,
+                } => writeln!(f, "read  r[{local}→{physical}] = {value:?}")?,
+                TraceOp::Write {
+                    local,
+                    physical,
+                    value,
+                } => writeln!(f, "write r[{local}→{physical}] := {value:?}")?,
+                TraceOp::Event(e) => writeln!(f, "event {e:?}")?,
+                TraceOp::Halt => writeln!(f, "halt")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn sample() -> Trace<u64, &'static str> {
+        let mut t = Trace::new();
+        t.record(
+            0,
+            pid(10),
+            TraceOp::Write {
+                local: 0,
+                physical: 2,
+                value: 10,
+            },
+        );
+        t.record(
+            1,
+            pid(20),
+            TraceOp::Read {
+                local: 0,
+                physical: 0,
+                value: 0,
+            },
+        );
+        t.record(0, pid(10), TraceOp::Event("enter"));
+        t.record(
+            0,
+            pid(10),
+            TraceOp::Write {
+                local: 1,
+                physical: 0,
+                value: 10,
+            },
+        );
+        t.record(1, pid(20), TraceOp::Halt);
+        t
+    }
+
+    #[test]
+    fn records_in_order() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 5);
+    }
+
+    #[test]
+    fn events_filters() {
+        let t = sample();
+        let events: Vec<_> = t.events().collect();
+        assert_eq!(events, vec![(0, pid(10), &"enter")]);
+    }
+
+    #[test]
+    fn per_proc_views() {
+        let t = sample();
+        assert_eq!(t.of_proc(0).count(), 3);
+        assert_eq!(t.of_proc(1).count(), 2);
+        assert_eq!(t.memory_ops_of(0), 2);
+        assert_eq!(t.memory_ops_of(1), 1);
+    }
+
+    #[test]
+    fn write_set_collects_distinct_physical_registers() {
+        let mut t = sample();
+        assert_eq!(t.write_set_of(0), vec![2, 0]);
+        // A second write to physical 2 must not duplicate.
+        t.record(
+            0,
+            pid(10),
+            TraceOp::Write {
+                local: 0,
+                physical: 2,
+                value: 10,
+            },
+        );
+        assert_eq!(t.write_set_of(0), vec![2, 0]);
+        assert_eq!(t.write_set_of(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_line_per_entry() {
+        let t = sample();
+        let s = t.to_string();
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("write r[0→2] := 10"));
+        assert!(s.contains("event \"enter\""));
+        assert!(s.contains("halt"));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t = sample();
+        let copied: Trace<u64, &str> = t.iter().cloned().collect();
+        assert_eq!(copied, t);
+        let mut ext = Trace::new();
+        ext.extend(t.clone());
+        assert_eq!(ext, t);
+    }
+}

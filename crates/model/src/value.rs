@@ -1,0 +1,47 @@
+//! The contract register contents must satisfy.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Contents of an atomic multi-writer multi-reader register.
+///
+/// The paper's registers hold arbitrary (finite) values and start in a known
+/// initial state ("initially all 0"). We capture the initial state with
+/// [`Default`]; everything else exists so that values can be stored in
+/// traces, hashed by the model checker and shipped across threads:
+///
+/// * [`Clone`] + [`Eq`] + [`Hash`] — explicit-state model checking hashes
+///   whole memory snapshots.
+/// * [`Debug`] — traces must be printable.
+/// * [`Send`] + [`Sync`] + `'static` — the runtime shares registers between
+///   threads.
+///
+/// The trait is implemented automatically for every type meeting the bounds;
+/// there is nothing to implement by hand.
+///
+/// # Example
+///
+/// ```
+/// fn assert_register_value<V: anonreg_model::RegisterValue>() {}
+/// assert_register_value::<u64>();
+/// assert_register_value::<(u64, u32)>();
+/// ```
+pub trait RegisterValue: Clone + Eq + Hash + Debug + Default + Send + Sync + 'static {}
+
+impl<T> RegisterValue for T where T: Clone + Eq + Hash + Debug + Default + Send + Sync + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_register_value<V: RegisterValue>() {}
+
+    #[test]
+    fn common_types_qualify() {
+        is_register_value::<u64>();
+        is_register_value::<u128>();
+        is_register_value::<(u64, u64)>();
+        is_register_value::<Vec<u64>>();
+        is_register_value::<Option<u64>>();
+    }
+}

@@ -1,0 +1,308 @@
+//! Per-process private numberings of the shared registers.
+
+use std::fmt;
+
+/// A process's private numbering of the `m` shared registers: a permutation
+/// mapping the process's *local* indices `0..m` to *physical* indices `0..m`.
+///
+/// In the memory-anonymous model the adversary assigns each process an
+/// initial register and scanning order; a `View` is the executable form of
+/// that assignment. Algorithm code never touches a `View` — only drivers
+/// (the simulator and the thread runtime) translate local indices through
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use anonreg_model::View;
+///
+/// // One process scans 4 registers in order 3, 2, 1, 4 (1-based in the
+/// // paper; 0-based here), another in order 2, 4, 1, 3:
+/// let a = View::from_perm(vec![2, 1, 0, 3])?;
+/// let b = View::from_perm(vec![1, 3, 0, 2])?;
+/// assert_eq!(a.physical(0), 2);
+/// assert_eq!(b.physical(0), 1);
+/// // Both views address the same physical memory, just in different orders.
+/// # Ok::<(), anonreg_model::ViewError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct View {
+    /// `perm[local] == physical`.
+    perm: Vec<usize>,
+}
+
+impl View {
+    /// The identity view over `m` registers: local index `j` is physical
+    /// index `j`. This is what the standard (named-register) model assumes
+    /// for every process.
+    #[must_use]
+    pub fn identity(m: usize) -> Self {
+        View {
+            perm: (0..m).collect(),
+        }
+    }
+
+    /// A cyclic rotation of the identity view: local index `j` maps to
+    /// physical index `(j + shift) % m`.
+    ///
+    /// Rotated views arrange the registers "as a unidirectional ring", which
+    /// is exactly the construction in the proof of Theorem 3.4: `ℓ` processes
+    /// share a ring ordering but start at initial registers spaced `m/ℓ`
+    /// apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn rotated(m: usize, shift: usize) -> Self {
+        assert!(m > 0, "a view needs at least one register");
+        View {
+            perm: (0..m).map(|j| (j + shift) % m).collect(),
+        }
+    }
+
+    /// Builds a view from an explicit permutation, where `perm[local]`
+    /// is the physical index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViewError`] if `perm` is not a permutation of `0..perm.len()`.
+    pub fn from_perm(perm: Vec<usize>) -> Result<Self, ViewError> {
+        let m = perm.len();
+        let mut seen = vec![false; m];
+        for &phys in &perm {
+            if phys >= m {
+                return Err(ViewError::OutOfRange { index: phys, m });
+            }
+            if seen[phys] {
+                return Err(ViewError::Duplicate { index: phys });
+            }
+            seen[phys] = true;
+        }
+        Ok(View { perm })
+    }
+
+    /// The number of registers this view covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Returns `true` if the view covers zero registers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Translates a process-local register index to the physical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local >= self.len()`.
+    #[must_use]
+    pub fn physical(&self, local: usize) -> usize {
+        self.perm[local]
+    }
+
+    /// Translates a physical register index back to this process's local
+    /// index (the inverse of [`physical`](View::physical)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical >= self.len()`.
+    #[must_use]
+    pub fn local(&self, physical: usize) -> usize {
+        self.perm
+            .iter()
+            .position(|&p| p == physical)
+            .expect("physical index out of range")
+    }
+
+    /// Returns the inverse permutation as a view.
+    #[must_use]
+    pub fn inverse(&self) -> View {
+        let mut inv = vec![0; self.perm.len()];
+        for (local, &phys) in self.perm.iter().enumerate() {
+            inv[phys] = local;
+        }
+        View { perm: inv }
+    }
+
+    /// Composes two views: `self.compose(&other)` first translates through
+    /// `other`, then through `self`, i.e. the result maps `j` to
+    /// `self.physical(other.physical(j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the views cover different numbers of registers.
+    #[must_use]
+    pub fn compose(&self, other: &View) -> View {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot compose views of different sizes"
+        );
+        View {
+            perm: (0..other.len())
+                .map(|j| self.physical(other.physical(j)))
+                .collect(),
+        }
+    }
+
+    /// Iterates over the physical indices in local order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.perm.iter().copied()
+    }
+
+    /// Consumes the view and returns the underlying permutation vector
+    /// (`vec[local] == physical`).
+    #[must_use]
+    pub fn into_inner(self) -> Vec<usize> {
+        self.perm
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "View{:?}", self.perm)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.perm.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Error returned when a vector is not a valid permutation of `0..m`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewError {
+    /// An index appeared that is `>= m`.
+    OutOfRange {
+        /// The offending physical index.
+        index: usize,
+        /// The number of registers.
+        m: usize,
+    },
+    /// A physical index appeared twice.
+    Duplicate {
+        /// The duplicated physical index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::OutOfRange { index, m } => {
+                write!(f, "index {index} out of range for {m} registers")
+            }
+            ViewError::Duplicate { index } => write!(f, "index {index} appears more than once"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let v = View::identity(5);
+        assert_eq!(v.len(), 5);
+        for j in 0..5 {
+            assert_eq!(v.physical(j), j);
+            assert_eq!(v.local(j), j);
+        }
+    }
+
+    #[test]
+    fn rotation_wraps() {
+        let v = View::rotated(4, 3);
+        assert_eq!(v.physical(0), 3);
+        assert_eq!(v.physical(1), 0);
+        assert_eq!(v.physical(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn rotation_of_zero_registers_panics() {
+        let _ = View::rotated(0, 1);
+    }
+
+    #[test]
+    fn from_perm_validates() {
+        assert!(View::from_perm(vec![1, 0, 2]).is_ok());
+        assert_eq!(
+            View::from_perm(vec![0, 0, 1]),
+            Err(ViewError::Duplicate { index: 0 })
+        );
+        assert_eq!(
+            View::from_perm(vec![0, 3]),
+            Err(ViewError::OutOfRange { index: 3, m: 2 })
+        );
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let v = View::from_perm(vec![2, 0, 3, 1]).unwrap();
+        let inv = v.inverse();
+        for j in 0..4 {
+            assert_eq!(inv.physical(v.physical(j)), j);
+            assert_eq!(v.local(v.physical(j)), j);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = View::from_perm(vec![1, 2, 0]).unwrap();
+        let b = View::rotated(3, 1);
+        let c = a.compose(&b);
+        for j in 0..3 {
+            assert_eq!(c.physical(j), a.physical(b.physical(j)));
+        }
+    }
+
+    #[test]
+    fn compose_with_inverse_is_identity() {
+        let v = View::from_perm(vec![3, 1, 4, 0, 2]).unwrap();
+        assert_eq!(v.compose(&v.inverse()), View::identity(5));
+        assert_eq!(v.inverse().compose(&v), View::identity(5));
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = View::identity(0);
+        assert!(v.is_empty());
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn display_and_into_inner() {
+        let v = View::from_perm(vec![2, 0, 1]).unwrap();
+        assert_eq!(v.to_string(), "[2 0 1]");
+        assert_eq!(format!("{v:?}"), "View[2, 0, 1]");
+        assert_eq!(v.into_inner(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ViewError::OutOfRange { index: 9, m: 4 }.to_string(),
+            "index 9 out of range for 4 registers"
+        );
+        assert_eq!(
+            ViewError::Duplicate { index: 2 }.to_string(),
+            "index 2 appears more than once"
+        );
+    }
+}

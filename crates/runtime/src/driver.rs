@@ -1,0 +1,339 @@
+//! Driving a [`Machine`] on a real thread.
+
+use std::fmt;
+
+use anonreg_model::{Machine, Step};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{MemoryView, Register};
+
+/// Randomized exponential backoff inserted after writes.
+///
+/// The paper's obstruction-free algorithms guarantee progress only to a
+/// process that runs alone "long enough". On real threads nobody schedules
+/// such solo intervals, so symmetric contention can in principle livelock
+/// forever. Randomized backoff is the standard engineering complement: it
+/// breaks symmetry probabilistically, creating the solo windows
+/// obstruction freedom needs. (The mutual exclusion algorithm does not
+/// need it — its waiting is part of the algorithm — but consensus and
+/// renaming drivers enable it by default.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// Spin-loop iterations for the first backoff.
+    pub min_spins: u32,
+    /// Cap on spin-loop iterations.
+    pub max_spins: u32,
+}
+
+impl Backoff {
+    /// The default backoff window used by the facades.
+    #[must_use]
+    pub fn standard() -> Self {
+        Backoff {
+            min_spins: 32,
+            max_spins: 1 << 14,
+        }
+    }
+}
+
+/// Statistics from a completed drive.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DriverReport {
+    /// Atomic reads performed.
+    pub reads: u64,
+    /// Atomic writes performed.
+    pub writes: u64,
+}
+
+impl DriverReport {
+    /// Total atomic memory operations.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Runs a [`Machine`] against a [`MemoryView`] on the current thread.
+///
+/// The driver is the real-thread counterpart of the simulator's stepping
+/// loop: it answers the machine's `Read`/`Write` steps with atomic register
+/// operations (translated through the thread's private view), collects
+/// events, and optionally backs off after writes.
+pub struct Driver<M: Machine, R> {
+    machine: M,
+    view: MemoryView<R>,
+    pending: Option<M::Value>,
+    backoff: Option<Backoff>,
+    rng: SmallRng,
+    current_spins: u32,
+    report: DriverReport,
+    halted: bool,
+}
+
+impl<M, R> Driver<M, R>
+where
+    M: Machine,
+    R: Register<M::Value>,
+{
+    /// Creates a driver for `machine` over `view`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's register count differs from the view's.
+    #[must_use]
+    pub fn new(machine: M, view: MemoryView<R>) -> Self {
+        assert_eq!(
+            machine.register_count(),
+            view.permutation().len(),
+            "machine and view must agree on the register count"
+        );
+        let seed = machine.pid().get() ^ 0x9e37_79b9_7f4a_7c15;
+        Driver {
+            machine,
+            view,
+            pending: None,
+            backoff: None,
+            rng: SmallRng::seed_from_u64(seed),
+            current_spins: 0,
+            report: DriverReport::default(),
+            halted: false,
+        }
+    }
+
+    /// Enables randomized backoff after writes.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = Some(backoff);
+        self.current_spins = backoff.min_spins;
+        self
+    }
+
+    /// The machine being driven.
+    #[must_use]
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Mutable access to the machine, for out-of-band control knobs such as
+    /// [`AnonMutex::request_abort`](anonreg::mutex::AnonMutex::request_abort).
+    /// Mutating algorithm-internal state directly voids the correctness
+    /// guarantees; use only the methods the algorithm documents as safe.
+    pub fn machine_mut(&mut self) -> &mut M {
+        &mut self.machine
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn report(&self) -> &DriverReport {
+        &self.report
+    }
+
+    /// Has the machine halted?
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Runs until the machine emits an event (returned) or halts (`None`).
+    pub fn run_until_event(&mut self) -> Option<M::Event> {
+        loop {
+            if self.halted {
+                return None;
+            }
+            match self.machine.resume(self.pending.take()) {
+                Step::Read(local) => {
+                    self.report.reads += 1;
+                    self.pending = Some(self.view.read(local));
+                }
+                Step::Write(local, value) => {
+                    self.report.writes += 1;
+                    self.view.write(local, value);
+                    self.spin_backoff();
+                }
+                Step::Event(event) => return Some(event),
+                Step::Halt => {
+                    self.halted = true;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Runs until `pred` holds on the machine state (checked after every
+    /// step) or the machine halts. Returns whether the predicate held.
+    pub fn run_until<F>(&mut self, mut pred: F) -> bool
+    where
+        F: FnMut(&M) -> bool,
+    {
+        loop {
+            if pred(&self.machine) {
+                return true;
+            }
+            if self.halted {
+                return false;
+            }
+            match self.machine.resume(self.pending.take()) {
+                Step::Read(local) => {
+                    self.report.reads += 1;
+                    self.pending = Some(self.view.read(local));
+                }
+                Step::Write(local, value) => {
+                    self.report.writes += 1;
+                    self.view.write(local, value);
+                    self.spin_backoff();
+                }
+                Step::Event(_) => {}
+                Step::Halt => self.halted = true,
+            }
+        }
+    }
+
+    /// Like [`run_until`](Driver::run_until), but gives up after `max_ops`
+    /// further atomic memory operations. Returns whether the predicate held
+    /// before the budget ran out.
+    pub fn run_until_bounded<F>(&mut self, mut pred: F, max_ops: u64) -> bool
+    where
+        F: FnMut(&M) -> bool,
+    {
+        let deadline = self.report.ops().saturating_add(max_ops);
+        loop {
+            if pred(&self.machine) {
+                return true;
+            }
+            if self.halted || self.report.ops() >= deadline {
+                return false;
+            }
+            match self.machine.resume(self.pending.take()) {
+                Step::Read(local) => {
+                    self.report.reads += 1;
+                    self.pending = Some(self.view.read(local));
+                }
+                Step::Write(local, value) => {
+                    self.report.writes += 1;
+                    self.view.write(local, value);
+                    self.spin_backoff();
+                }
+                Step::Event(_) => {}
+                Step::Halt => self.halted = true,
+            }
+        }
+    }
+
+    /// Runs to halt, collecting every event.
+    pub fn run_to_halt(&mut self) -> Vec<M::Event> {
+        let mut events = Vec::new();
+        while let Some(event) = self.run_until_event() {
+            events.push(event);
+        }
+        events
+    }
+
+    /// Consumes the driver, returning the machine and its report.
+    #[must_use]
+    pub fn into_parts(self) -> (M, DriverReport) {
+        (self.machine, self.report)
+    }
+
+    fn spin_backoff(&mut self) {
+        let Some(backoff) = self.backoff else { return };
+        let spins = self.rng.gen_range(0..=self.current_spins);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        self.current_spins = (self.current_spins.saturating_mul(2)).min(backoff.max_spins);
+    }
+}
+
+impl<M: Machine, R> fmt::Debug for Driver<M, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Driver")
+            .field("machine", &self.machine)
+            .field("halted", &self.halted)
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnonymousMemory, PackedAtomicRegister};
+    use anonreg::mutex::{AnonMutex, MutexEvent};
+    use anonreg_model::{Pid, View};
+
+    type Mem = AnonymousMemory<PackedAtomicRegister<u64>>;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    #[test]
+    fn drives_solo_mutex_to_completion() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(2);
+        let mut driver = Driver::new(machine, mem.view(View::identity(3)));
+        let events = driver.run_to_halt();
+        assert_eq!(
+            events,
+            vec![
+                MutexEvent::Enter,
+                MutexEvent::Exit,
+                MutexEvent::Enter,
+                MutexEvent::Exit
+            ]
+        );
+        assert!(driver.is_halted());
+        assert_eq!(driver.report().ops(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn run_until_event_pauses_in_the_critical_section() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(1);
+        let mut driver = Driver::new(machine, mem.view(View::rotated(3, 2)));
+        assert_eq!(driver.run_until_event(), Some(MutexEvent::Enter));
+        // Paused inside the CS: every register holds our id.
+        let probe = mem.view(View::identity(3));
+        for j in 0..3 {
+            assert_eq!(probe.read::<u64>(j), 1);
+        }
+        assert_eq!(driver.run_until_event(), Some(MutexEvent::Exit));
+        assert_eq!(driver.run_until_event(), None);
+        // Exit code restored zeros.
+        for j in 0..3 {
+            assert_eq!(probe.read::<u64>(j), 0);
+        }
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(1);
+        let mut driver = Driver::new(machine, mem.view(View::identity(3)));
+        use anonreg::mutex::Section;
+        assert!(driver.run_until(|m| m.section() == Section::Critical));
+        assert!(driver.run_until(|m| m.section() == Section::Remainder));
+        // After the cycle, the machine halts; an unreachable predicate
+        // returns false.
+        assert!(!driver.run_until(|m| m.section() == Section::Critical));
+    }
+
+    #[test]
+    fn backoff_does_not_change_results() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(1);
+        let mut driver = Driver::new(machine, mem.view(View::identity(3)))
+            .with_backoff(Backoff { min_spins: 1, max_spins: 8 });
+        let events = driver.run_to_halt();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "register count")]
+    fn mismatched_view_panics() {
+        let mem: Mem = AnonymousMemory::new(4);
+        let machine = AnonMutex::new(pid(1), 3).unwrap();
+        let _ = Driver::new(machine, mem.view(View::identity(4)));
+    }
+}

@@ -1,0 +1,1005 @@
+//! High-level thread-friendly APIs over the memory-anonymous algorithms.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex as PlMutex;
+
+use anonreg::consensus::{AnonConsensus, ConsRecord, ConsensusEvent};
+use anonreg::election::{AnonElection, ElectionEvent};
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{AnonMutex, Section};
+use anonreg::renaming::{AnonRenaming, RenRecord, RenamingEvent};
+use anonreg_model::Pid;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{AnonymousMemory, Backoff, Driver, LockRegister, MemoryView, PackedAtomicRegister};
+
+/// Errors from the high-level runtime APIs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Mutual exclusion requires an odd number of registers, at least 3
+    /// (Theorem 3.1; `m = 1` admits a two-process mutual exclusion
+    /// violation, and even `m` admits livelock).
+    BadRegisterCount {
+        /// The rejected register count.
+        m: usize,
+    },
+    /// The algorithm needs at least one process.
+    NoProcesses,
+    /// A third handle was requested from a strictly-two-process mutex.
+    TooManyHandles,
+    /// Input value `0` is reserved for untouched registers.
+    ZeroInput,
+    /// Identifiers and inputs must fit in 32 bits to ride in packed atomic
+    /// registers (see [`Pack64`](crate::Pack64)).
+    ValueTooWide {
+        /// The offending value.
+        value: u64,
+    },
+    /// Two handles of the same object requested the same process
+    /// identifier. The paper's model requires distinct identifiers — two
+    /// "processes" sharing one id are indistinguishable to the symmetric
+    /// algorithms and break every guarantee.
+    DuplicatePid {
+        /// The duplicated identifier.
+        pid: Pid,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::BadRegisterCount { m } => {
+                write!(f, "mutual exclusion needs an odd register count >= 3, got {m}")
+            }
+            RuntimeError::NoProcesses => write!(f, "need at least one process"),
+            RuntimeError::TooManyHandles => {
+                write!(f, "the Figure 1 mutex supports exactly two concurrent handles")
+            }
+            RuntimeError::ZeroInput => write!(f, "input value 0 is reserved"),
+            RuntimeError::ValueTooWide { value } => {
+                write!(f, "value {value} does not fit in 32 bits for packed registers")
+            }
+            RuntimeError::DuplicatePid { pid } => {
+                write!(f, "identifier {pid} was already claimed by another handle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Shared registry of identifiers already handed out by one coordination
+/// object.
+type PidRegistry = Arc<PlMutex<Vec<Pid>>>;
+
+fn claim_pid(registry: &PidRegistry, pid: Pid) -> Result<(), RuntimeError> {
+    let mut issued = registry.lock();
+    if issued.contains(&pid) {
+        return Err(RuntimeError::DuplicatePid { pid });
+    }
+    issued.push(pid);
+    Ok(())
+}
+
+fn check_packable(value: u64) -> Result<(), RuntimeError> {
+    if value > u64::from(u32::MAX) {
+        Err(RuntimeError::ValueTooWide { value })
+    } else {
+        Ok(())
+    }
+}
+
+/// A ready-to-share view with a per-handle random permutation.
+fn fresh_view<R>(memory: &AnonymousMemory<R>, pid: Pid, salt: u64) -> MemoryView<R> {
+    let mut rng = SmallRng::seed_from_u64(pid.get().wrapping_mul(0x9e37_79b9).wrapping_add(salt));
+    memory.random_view(&mut rng)
+}
+
+// ---------------------------------------------------------------------------
+// Mutual exclusion
+// ---------------------------------------------------------------------------
+
+/// The Figure 1 memory-anonymous mutual exclusion lock for **two** threads.
+///
+/// Each participating thread obtains a [`MutexHandle`] (at most two may
+/// exist) and brackets its critical sections with
+/// [`enter`](MutexHandle::enter)/the returned [`MutexGuard`]. The two
+/// handles see the registers through *different random permutations* —
+/// there is no agreement on names, which is the point.
+///
+/// # Example
+///
+/// ```
+/// use anonreg_runtime::AnonymousMutex;
+/// use anonreg_model::Pid;
+///
+/// let lock = AnonymousMutex::new(5)?;
+/// let mut a = lock.handle(Pid::new(1).unwrap())?;
+/// let mut b = lock.handle(Pid::new(2).unwrap())?;
+/// let counter = std::sync::atomic::AtomicU64::new(0);
+/// std::thread::scope(|s| {
+///     for handle in [&mut a, &mut b] {
+///         s.spawn(|| {
+///             for _ in 0..100 {
+///                 let _guard = handle.enter();
+///                 counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(counter.into_inner(), 200);
+/// # Ok::<(), anonreg_runtime::RuntimeError>(())
+/// ```
+pub struct AnonymousMutex {
+    memory: AnonymousMemory<PackedAtomicRegister<u64>>,
+    handles: Arc<AtomicUsize>,
+    pids: PidRegistry,
+}
+
+impl AnonymousMutex {
+    /// Allocates a lock over `m` anonymous registers; `m` must be odd and
+    /// at least 3 (Theorem 3.1).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadRegisterCount`] otherwise.
+    pub fn new(m: usize) -> Result<Self, RuntimeError> {
+        if m < 3 || m % 2 == 0 {
+            return Err(RuntimeError::BadRegisterCount { m });
+        }
+        Ok(AnonymousMutex {
+            memory: AnonymousMemory::new(m),
+            handles: Arc::new(AtomicUsize::new(0)),
+            pids: PidRegistry::default(),
+        })
+    }
+
+    /// Creates a participant handle with a fresh random register view.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TooManyHandles`] on the third call — the algorithm
+    /// is proven for two processes only (more is the paper's headline open
+    /// problem).
+    pub fn handle(&self, pid: Pid) -> Result<MutexHandle, RuntimeError> {
+        claim_pid(&self.pids, pid)?;
+        let previous = self.handles.fetch_add(1, Ordering::SeqCst);
+        if previous >= 2 {
+            self.handles.fetch_sub(1, Ordering::SeqCst);
+            return Err(RuntimeError::TooManyHandles);
+        }
+        let machine = AnonMutex::new(pid, self.memory.len()).expect("validated register count");
+        let view = fresh_view(&self.memory, pid, previous as u64);
+        Ok(MutexHandle {
+            driver: Driver::new(machine, view),
+        })
+    }
+}
+
+impl fmt::Debug for AnonymousMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnonymousMutex")
+            .field("registers", &self.memory.len())
+            .finish()
+    }
+}
+
+/// One thread's handle on an [`AnonymousMutex`].
+pub struct MutexHandle {
+    driver: Driver<AnonMutex, PackedAtomicRegister<u64>>,
+}
+
+impl MutexHandle {
+    /// Enters the critical section (spinning until acquired) and returns a
+    /// guard; dropping the guard leaves the critical section and runs the
+    /// wait-free exit code.
+    pub fn enter(&mut self) -> MutexGuard<'_> {
+        let entered = self
+            .driver
+            .run_until(|m| m.section() == Section::Critical);
+        debug_assert!(entered, "an unbounded mutex machine never halts");
+        MutexGuard { handle: self }
+    }
+
+    /// Attempts to enter the critical section within roughly `max_ops`
+    /// atomic operations. On timeout the entry attempt is *aborted* — the
+    /// machine takes the algorithm's own giving-up path, erasing its marks
+    /// so the other process is not blocked — and `None` is returned.
+    ///
+    /// Aborting is sound because it is exactly the Figure 1 lose move; the
+    /// abortable configurations are model-checked in the `anonreg` test
+    /// suite.
+    pub fn try_enter(&mut self, max_ops: u64) -> Option<MutexGuard<'_>> {
+        if self
+            .driver
+            .run_until_bounded(|m| m.section() == Section::Critical, max_ops)
+        {
+            return Some(MutexGuard { handle: self });
+        }
+        // Timed out: abort and drive the machine back to its remainder.
+        // The abort path is wait-free (one cleanup pass), so this is
+        // bounded.
+        self.driver.machine_mut().request_abort();
+        let parked = self.driver.run_until(|m| m.in_remainder());
+        debug_assert!(parked);
+        None
+    }
+
+    /// Total atomic operations this handle has performed.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.driver.report().ops()
+    }
+}
+
+impl fmt::Debug for MutexHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutexHandle")
+            .field("driver", &self.driver)
+            .finish()
+    }
+}
+
+/// Holds the critical section; released on drop (the exit code is
+/// wait-free, so the drop performs a bounded number of writes and cannot
+/// block).
+pub struct MutexGuard<'a> {
+    handle: &'a mut MutexHandle,
+}
+
+impl Drop for MutexGuard<'_> {
+    fn drop(&mut self) {
+        let released = self
+            .handle
+            .driver
+            .run_until(|m| m.section() == Section::Remainder);
+        debug_assert!(released);
+    }
+}
+
+impl fmt::Debug for MutexGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MutexGuard(held)")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid mutual exclusion (§8 exploration)
+// ---------------------------------------------------------------------------
+
+/// The hybrid lock: `m` anonymous registers **plus one named register** —
+/// the smallest instance of the paper's §8 "some named, some unnamed"
+/// model. Works for every `m ≥ 2`, *even values included*, which the pure
+/// anonymous model provably cannot achieve (Theorem 3.1).
+///
+/// Each handle permutes the `m` anonymous registers randomly; the named
+/// tie-breaker is pinned to the same physical slot for everyone — that one
+/// agreed name is the entire difference between the models.
+///
+/// Correctness is established by exhaustive model checking (see
+/// `anonreg::hybrid` and experiment E11).
+pub struct HybridAnonymousMutex {
+    memory: AnonymousMemory<PackedAtomicRegister<u64>>,
+    /// Anonymous register count (total is `m + 1`).
+    m: usize,
+    handles: Arc<AtomicUsize>,
+    pids: PidRegistry,
+}
+
+impl HybridAnonymousMutex {
+    /// Allocates a hybrid lock over `m ≥ 2` anonymous registers plus one
+    /// named register.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadRegisterCount`] if `m < 2`.
+    pub fn new(m: usize) -> Result<Self, RuntimeError> {
+        if m < 2 {
+            return Err(RuntimeError::BadRegisterCount { m });
+        }
+        Ok(HybridAnonymousMutex {
+            memory: AnonymousMemory::new(m + 1),
+            m,
+            handles: Arc::new(AtomicUsize::new(0)),
+            pids: PidRegistry::default(),
+        })
+    }
+
+    /// Creates a participant handle: random view over the anonymous
+    /// registers, fixed view of the named tie-breaker.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TooManyHandles`] on the third call (two-process
+    /// algorithm).
+    pub fn handle(&self, pid: Pid) -> Result<HybridMutexHandle, RuntimeError> {
+        claim_pid(&self.pids, pid)?;
+        let previous = self.handles.fetch_add(1, Ordering::SeqCst);
+        if previous >= 2 {
+            self.handles.fetch_sub(1, Ordering::SeqCst);
+            return Err(RuntimeError::TooManyHandles);
+        }
+        let machine = HybridMutex::new(pid, self.m).expect("validated register count");
+        // Random permutation of the anonymous part; T stays at index m.
+        let mut rng = SmallRng::seed_from_u64(
+            pid.get()
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(previous as u64),
+        );
+        let mut anon: Vec<usize> = (0..self.m).collect();
+        use rand::seq::SliceRandom;
+        anon.shuffle(&mut rng);
+        let view = named_view(self.m, anon).expect("shuffled range is a permutation");
+        Ok(HybridMutexHandle {
+            driver: Driver::new(machine, self.memory.view(view)),
+        })
+    }
+}
+
+impl fmt::Debug for HybridAnonymousMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HybridAnonymousMutex")
+            .field("anonymous_registers", &self.m)
+            .finish()
+    }
+}
+
+/// One thread's handle on a [`HybridAnonymousMutex`].
+pub struct HybridMutexHandle {
+    driver: Driver<HybridMutex, PackedAtomicRegister<u64>>,
+}
+
+impl HybridMutexHandle {
+    /// Enters the critical section (spinning until acquired); the returned
+    /// guard releases on drop.
+    pub fn enter(&mut self) -> HybridMutexGuard<'_> {
+        let entered = self
+            .driver
+            .run_until(|m| m.section() == Section::Critical);
+        debug_assert!(entered);
+        HybridMutexGuard { handle: self }
+    }
+
+    /// Attempts to enter within roughly `max_ops` atomic operations; on
+    /// timeout the attempt is aborted via the algorithm's own lose path and
+    /// `None` is returned (see [`MutexHandle::try_enter`] — semantics are
+    /// identical, and the abortable configurations are model-checked).
+    pub fn try_enter(&mut self, max_ops: u64) -> Option<HybridMutexGuard<'_>> {
+        if self
+            .driver
+            .run_until_bounded(|m| m.section() == Section::Critical, max_ops)
+        {
+            return Some(HybridMutexGuard { handle: self });
+        }
+        self.driver.machine_mut().request_abort();
+        let parked = self.driver.run_until(|m| m.in_remainder());
+        debug_assert!(parked);
+        None
+    }
+
+    /// Total atomic operations performed by this handle.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.driver.report().ops()
+    }
+}
+
+impl fmt::Debug for HybridMutexHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HybridMutexHandle")
+            .field("driver", &self.driver)
+            .finish()
+    }
+}
+
+/// Holds the hybrid critical section; released on drop.
+pub struct HybridMutexGuard<'a> {
+    handle: &'a mut HybridMutexHandle,
+}
+
+impl Drop for HybridMutexGuard<'_> {
+    fn drop(&mut self) {
+        let released = self
+            .handle
+            .driver
+            .run_until(|m| m.section() == Section::Remainder);
+        debug_assert!(released);
+    }
+}
+
+impl fmt::Debug for HybridMutexGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HybridMutexGuard(held)")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consensus
+// ---------------------------------------------------------------------------
+
+/// The Figure 2 memory-anonymous consensus object for `n` threads over
+/// `2n − 1` packed atomic registers.
+///
+/// See the crate-level example. Identifiers and proposals must fit in 32
+/// bits (they share one 64-bit atomic register).
+pub struct AnonymousConsensus {
+    memory: AnonymousMemory<PackedAtomicRegister<ConsRecord>>,
+    n: usize,
+    salt: Arc<AtomicUsize>,
+    pids: PidRegistry,
+}
+
+impl AnonymousConsensus {
+    /// Allocates a consensus object for up to `n` participants.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoProcesses`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self, RuntimeError> {
+        if n == 0 {
+            return Err(RuntimeError::NoProcesses);
+        }
+        Ok(AnonymousConsensus {
+            memory: AnonymousMemory::new(2 * n - 1),
+            n,
+            salt: Arc::new(AtomicUsize::new(0)),
+            pids: PidRegistry::default(),
+        })
+    }
+
+    /// Creates a participant handle with a fresh random register view.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DuplicatePid`] if the identifier was already claimed
+    /// by another handle of this object.
+    pub fn handle(&self, pid: Pid) -> Result<ConsensusHandle, RuntimeError> {
+        claim_pid(&self.pids, pid)?;
+        let salt = self.salt.fetch_add(1, Ordering::Relaxed) as u64;
+        Ok(ConsensusHandle {
+            view: fresh_view(&self.memory, pid, salt),
+            pid,
+            n: self.n,
+        })
+    }
+}
+
+impl fmt::Debug for AnonymousConsensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnonymousConsensus")
+            .field("n", &self.n)
+            .field("registers", &self.memory.len())
+            .finish()
+    }
+}
+
+/// One thread's handle on an [`AnonymousConsensus`].
+pub struct ConsensusHandle {
+    view: MemoryView<PackedAtomicRegister<ConsRecord>>,
+    pid: Pid,
+    n: usize,
+}
+
+impl ConsensusHandle {
+    /// Proposes `input` and blocks until a decision is reached. All
+    /// deciders return the same value, which is some participant's input.
+    ///
+    /// Runs with randomized backoff: obstruction freedom guarantees
+    /// termination only in solo windows, which backoff manufactures with
+    /// probability 1.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ZeroInput`] for input 0;
+    /// [`RuntimeError::ValueTooWide`] if `input` or the pid exceeds 32
+    /// bits.
+    pub fn propose(self, input: u64) -> Result<u64, RuntimeError> {
+        if input == 0 {
+            return Err(RuntimeError::ZeroInput);
+        }
+        check_packable(input)?;
+        check_packable(self.pid.get())?;
+        let machine =
+            AnonConsensus::new(self.pid, self.n, input).expect("inputs validated above");
+        let mut driver = Driver::new(machine, self.view).with_backoff(Backoff::standard());
+        match driver.run_until_event() {
+            Some(ConsensusEvent::Decide(value)) => Ok(value),
+            None => unreachable!("consensus decides before halting"),
+        }
+    }
+}
+
+impl fmt::Debug for ConsensusHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConsensusHandle")
+            .field("pid", &self.pid)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Election
+// ---------------------------------------------------------------------------
+
+/// Memory-anonymous leader election (§4 note): consensus on identifiers.
+pub struct AnonymousElection {
+    memory: AnonymousMemory<PackedAtomicRegister<ConsRecord>>,
+    n: usize,
+    salt: Arc<AtomicUsize>,
+    pids: PidRegistry,
+}
+
+impl AnonymousElection {
+    /// Allocates an election object for up to `n` participants.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoProcesses`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self, RuntimeError> {
+        if n == 0 {
+            return Err(RuntimeError::NoProcesses);
+        }
+        Ok(AnonymousElection {
+            memory: AnonymousMemory::new(2 * n - 1),
+            n,
+            salt: Arc::new(AtomicUsize::new(0)),
+            pids: PidRegistry::default(),
+        })
+    }
+
+    /// Creates a participant handle with a fresh random register view.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DuplicatePid`] if the identifier was already claimed
+    /// by another handle of this object.
+    pub fn handle(&self, pid: Pid) -> Result<ElectionHandle, RuntimeError> {
+        claim_pid(&self.pids, pid)?;
+        let salt = self.salt.fetch_add(1, Ordering::Relaxed) as u64;
+        Ok(ElectionHandle {
+            view: fresh_view(&self.memory, pid, salt),
+            pid,
+            n: self.n,
+        })
+    }
+}
+
+impl fmt::Debug for AnonymousElection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnonymousElection")
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+/// One thread's handle on an [`AnonymousElection`].
+pub struct ElectionHandle {
+    view: MemoryView<PackedAtomicRegister<ConsRecord>>,
+    pid: Pid,
+    n: usize,
+}
+
+impl ElectionHandle {
+    /// Participates in the election and blocks until the leader is known.
+    /// All participants return the same leader, which is one of them.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ValueTooWide`] if the pid exceeds 32 bits.
+    pub fn elect(self) -> Result<Pid, RuntimeError> {
+        check_packable(self.pid.get())?;
+        let machine = AnonElection::new(self.pid, self.n).expect("n validated at construction");
+        let mut driver = Driver::new(machine, self.view).with_backoff(Backoff::standard());
+        match driver.run_until_event() {
+            Some(ElectionEvent::Elected(leader)) => Ok(leader),
+            None => unreachable!("election elects before halting"),
+        }
+    }
+}
+
+impl fmt::Debug for ElectionHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElectionHandle")
+            .field("pid", &self.pid)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+/// The Figure 3 memory-anonymous adaptive perfect renaming object: `k ≤ n`
+/// participating threads acquire distinct names from `{1..k}`.
+///
+/// Figure 3's registers carry unbounded history sets, so this facade uses
+/// [`LockRegister`]s (linearizable, lock-based — the documented
+/// substitution for the paper's unbounded atomic registers).
+///
+/// # Example
+///
+/// ```
+/// use anonreg_runtime::AnonymousRenaming;
+/// use anonreg_model::Pid;
+///
+/// let renaming = AnonymousRenaming::new(3)?;
+/// let names = std::thread::scope(|s| {
+///     let handles: Vec<_> = [71u64, 9002, 13]
+///         .into_iter()
+///         .map(|id| {
+///             let h = renaming.handle(Pid::new(id).unwrap()).unwrap();
+///             s.spawn(move || h.acquire())
+///         })
+///         .collect();
+///     handles.into_iter().map(|t| t.join().unwrap()).collect::<Vec<_>>()
+/// });
+/// let mut sorted = names.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, vec![1, 2, 3]); // perfect renaming
+/// # Ok::<(), anonreg_runtime::RuntimeError>(())
+/// ```
+pub struct AnonymousRenaming {
+    memory: AnonymousMemory<LockRegister<RenRecord>>,
+    n: usize,
+    salt: Arc<AtomicUsize>,
+    pids: PidRegistry,
+}
+
+impl AnonymousRenaming {
+    /// Allocates a renaming object for up to `n` participants.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoProcesses`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self, RuntimeError> {
+        if n == 0 {
+            return Err(RuntimeError::NoProcesses);
+        }
+        Ok(AnonymousRenaming {
+            memory: AnonymousMemory::new(2 * n - 1),
+            n,
+            salt: Arc::new(AtomicUsize::new(0)),
+            pids: PidRegistry::default(),
+        })
+    }
+
+    /// Creates a participant handle with a fresh random register view.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DuplicatePid`] if the identifier was already claimed
+    /// by another handle of this object.
+    pub fn handle(&self, pid: Pid) -> Result<RenamingHandle, RuntimeError> {
+        claim_pid(&self.pids, pid)?;
+        let salt = self.salt.fetch_add(1, Ordering::Relaxed) as u64;
+        Ok(RenamingHandle {
+            view: fresh_view(&self.memory, pid, salt),
+            pid,
+            n: self.n,
+        })
+    }
+}
+
+impl fmt::Debug for AnonymousRenaming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnonymousRenaming")
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+/// One thread's handle on an [`AnonymousRenaming`].
+pub struct RenamingHandle {
+    view: MemoryView<LockRegister<RenRecord>>,
+    pid: Pid,
+    n: usize,
+}
+
+impl RenamingHandle {
+    /// Acquires a new name from `{1..k}` where `k` is the number of
+    /// participants, blocking until done.
+    #[must_use]
+    pub fn acquire(self) -> u32 {
+        let machine = AnonRenaming::new(self.pid, self.n).expect("n validated at construction");
+        let mut driver = Driver::new(machine, self.view).with_backoff(Backoff::standard());
+        match driver.run_until_event() {
+            Some(RenamingEvent::Named(name)) => name,
+            None => unreachable!("renaming names before halting"),
+        }
+    }
+}
+
+impl fmt::Debug for RenamingHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RenamingHandle")
+            .field("pid", &self.pid)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    #[test]
+    fn mutex_rejects_bad_register_counts() {
+        for m in [0, 1, 2, 4, 6] {
+            assert_eq!(
+                AnonymousMutex::new(m).unwrap_err(),
+                RuntimeError::BadRegisterCount { m }
+            );
+        }
+        assert!(AnonymousMutex::new(3).is_ok());
+        assert!(AnonymousMutex::new(9).is_ok());
+    }
+
+    #[test]
+    fn mutex_allows_exactly_two_handles() {
+        let lock = AnonymousMutex::new(3).unwrap();
+        let _a = lock.handle(pid(1)).unwrap();
+        let _b = lock.handle(pid(2)).unwrap();
+        assert_eq!(
+            lock.handle(pid(3)).unwrap_err(),
+            RuntimeError::TooManyHandles
+        );
+    }
+
+    #[test]
+    fn mutex_single_thread_reenters() {
+        let lock = AnonymousMutex::new(3).unwrap();
+        let mut h = lock.handle(pid(1)).unwrap();
+        for _ in 0..10 {
+            let guard = h.enter();
+            drop(guard);
+        }
+        assert!(h.ops() > 0);
+    }
+
+    #[test]
+    fn mutex_two_threads_exclude() {
+        let lock = AnonymousMutex::new(5).unwrap();
+        let mut a = lock.handle(pid(10)).unwrap();
+        let mut b = lock.handle(pid(20)).unwrap();
+        let in_cs = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for handle in [&mut a, &mut b] {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let _guard = handle.enter();
+                        let now = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "overlap detected");
+    }
+
+    #[test]
+    fn try_enter_succeeds_uncontended_and_times_out_contended() {
+        let lock = AnonymousMutex::new(3).unwrap();
+        let mut a = lock.handle(pid(1)).unwrap();
+        let mut b = lock.handle(pid(2)).unwrap();
+
+        // Uncontended: plenty of budget, must succeed.
+        let guard = a.try_enter(1_000).expect("uncontended try_enter succeeds");
+
+        // Contended: b cannot get in while a holds the lock; it must abort
+        // cleanly and report failure.
+        assert!(b.try_enter(500).is_none());
+
+        // After the abort, b left no marks: releasing a and retrying works.
+        drop(guard);
+        let guard_b = b.try_enter(10_000).expect("lock is free again");
+        drop(guard_b);
+
+        // And a can still cycle too.
+        let guard_a = a.try_enter(10_000).expect("a re-enters");
+        drop(guard_a);
+    }
+
+    #[test]
+    fn consensus_agrees_across_threads() {
+        for n in [2usize, 3, 5] {
+            let consensus = AnonymousConsensus::new(n).unwrap();
+            let decisions: Vec<u64> = std::thread::scope(|s| {
+                let joins: Vec<_> = (0..n)
+                    .map(|i| {
+                        let h = consensus.handle(pid(i as u64 * 100 + 7)).unwrap();
+                        s.spawn(move || h.propose(i as u64 + 1).unwrap())
+                    })
+                    .collect();
+                joins.into_iter().map(|j| j.join().unwrap()).collect()
+            });
+            let first = decisions[0];
+            assert!(decisions.iter().all(|&d| d == first), "n={n}: {decisions:?}");
+            assert!((1..=n as u64).contains(&first));
+        }
+    }
+
+    #[test]
+    fn consensus_validates_inputs() {
+        let consensus = AnonymousConsensus::new(2).unwrap();
+        assert_eq!(
+            consensus.handle(pid(1)).unwrap().propose(0).unwrap_err(),
+            RuntimeError::ZeroInput
+        );
+        assert!(matches!(
+            consensus.handle(pid(2)).unwrap().propose(1 << 40).unwrap_err(),
+            RuntimeError::ValueTooWide { .. }
+        ));
+        let wide_pid = consensus.handle(pid(1 << 40)).unwrap();
+        assert!(matches!(
+            wide_pid.propose(3).unwrap_err(),
+            RuntimeError::ValueTooWide { .. }
+        ));
+    }
+
+    #[test]
+    fn election_elects_a_participant() {
+        let election = AnonymousElection::new(3).unwrap();
+        let ids = [400u64, 500, 600];
+        let leaders: Vec<Pid> = std::thread::scope(|s| {
+            let joins: Vec<_> = ids
+                .iter()
+                .map(|&id| {
+                    let h = election.handle(pid(id)).unwrap();
+                    s.spawn(move || h.elect().unwrap())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let first = leaders[0];
+        assert!(leaders.iter().all(|&l| l == first));
+        assert!(ids.contains(&first.get()));
+    }
+
+    #[test]
+    fn renaming_is_perfect_under_contention() {
+        for n in [2usize, 4] {
+            let renaming = AnonymousRenaming::new(n).unwrap();
+            let mut names: Vec<u32> = std::thread::scope(|s| {
+                let joins: Vec<_> = (0..n)
+                    .map(|i| {
+                        let h = renaming.handle(pid(1000 + i as u64 * 31)).unwrap();
+                        s.spawn(move || h.acquire())
+                    })
+                    .collect();
+                joins.into_iter().map(|j| j.join().unwrap()).collect()
+            });
+            names.sort_unstable();
+            let expected: Vec<u32> = (1..=n as u32).collect();
+            assert_eq!(names, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn renaming_is_adaptive_with_few_participants() {
+        // k = 2 of n = 5 potential participants: names within {1, 2}.
+        let renaming = AnonymousRenaming::new(5).unwrap();
+        let mut names: Vec<u32> = std::thread::scope(|s| {
+            let joins: Vec<_> = [11u64, 22]
+                .into_iter()
+                .map(|id| {
+                    let h = renaming.handle(pid(id)).unwrap();
+                    s.spawn(move || h.acquire())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        names.sort_unstable();
+        assert_eq!(names, vec![1, 2]);
+    }
+
+    #[test]
+    fn hybrid_mutex_validates_and_limits_handles() {
+        assert!(HybridAnonymousMutex::new(1).is_err());
+        let lock = HybridAnonymousMutex::new(2).unwrap();
+        let _a = lock.handle(pid(1)).unwrap();
+        let _b = lock.handle(pid(2)).unwrap();
+        assert_eq!(
+            lock.handle(pid(3)).unwrap_err(),
+            RuntimeError::TooManyHandles
+        );
+    }
+
+    #[test]
+    fn hybrid_mutex_excludes_with_even_m() {
+        // The headline of the hybrid model: even m works on real threads.
+        for m in [2usize, 4] {
+            let lock = HybridAnonymousMutex::new(m).unwrap();
+            let mut a = lock.handle(pid(10)).unwrap();
+            let mut b = lock.handle(pid(20)).unwrap();
+            let in_cs = AtomicUsize::new(0);
+            let max_seen = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for handle in [&mut a, &mut b] {
+                    s.spawn(|| {
+                        for _ in 0..150 {
+                            let _guard = handle.enter();
+                            let now = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                            max_seen.fetch_max(now, Ordering::SeqCst);
+                            in_cs.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(max_seen.load(Ordering::SeqCst), 1, "overlap with m={m}");
+            assert!(a.ops() > 0);
+        }
+    }
+
+    #[test]
+    fn zero_process_objects_rejected() {
+        assert!(AnonymousConsensus::new(0).is_err());
+        assert!(AnonymousElection::new(0).is_err());
+        assert!(AnonymousRenaming::new(0).is_err());
+    }
+
+    #[test]
+    fn hybrid_try_enter_times_out_and_recovers() {
+        let lock = HybridAnonymousMutex::new(2).unwrap();
+        let mut a = lock.handle(pid(1)).unwrap();
+        let mut b = lock.handle(pid(2)).unwrap();
+        let guard = a.try_enter(1_000).expect("uncontended");
+        assert!(b.try_enter(400).is_none());
+        drop(guard);
+        assert!(b.try_enter(10_000).is_some());
+    }
+
+    #[test]
+    fn duplicate_pids_are_rejected_everywhere() {
+        let lock = AnonymousMutex::new(3).unwrap();
+        let _a = lock.handle(pid(7)).unwrap();
+        assert_eq!(
+            lock.handle(pid(7)).unwrap_err(),
+            RuntimeError::DuplicatePid { pid: pid(7) }
+        );
+
+        let consensus = AnonymousConsensus::new(2).unwrap();
+        let _c = consensus.handle(pid(7)).unwrap();
+        assert!(matches!(
+            consensus.handle(pid(7)).unwrap_err(),
+            RuntimeError::DuplicatePid { .. }
+        ));
+
+        let election = AnonymousElection::new(2).unwrap();
+        let _e = election.handle(pid(7)).unwrap();
+        assert!(election.handle(pid(7)).is_err());
+
+        let renaming = AnonymousRenaming::new(2).unwrap();
+        let _r = renaming.handle(pid(7)).unwrap();
+        assert!(renaming.handle(pid(7)).is_err());
+
+        let hybrid = HybridAnonymousMutex::new(2).unwrap();
+        let _h = hybrid.handle(pid(7)).unwrap();
+        assert!(hybrid.handle(pid(7)).is_err());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            RuntimeError::BadRegisterCount { m: 2 },
+            RuntimeError::NoProcesses,
+            RuntimeError::TooManyHandles,
+            RuntimeError::ZeroInput,
+            RuntimeError::ValueTooWide { value: 1 << 40 },
+            RuntimeError::DuplicatePid { pid: pid(3) },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Shared anonymous register arrays and per-thread views.
+
+use std::fmt;
+use std::sync::Arc;
+
+use anonreg_model::View;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::Register;
+
+/// A shared array of `m` registers with **no agreed names**: threads access
+/// it only through [`MemoryView`]s, each of which renumbers the registers
+/// through its own permutation.
+///
+/// `AnonymousMemory` is cheaply cloneable (it is an `Arc` around the
+/// register array); all clones refer to the same physical registers.
+pub struct AnonymousMemory<R> {
+    registers: Arc<Vec<R>>,
+}
+
+impl<R> Clone for AnonymousMemory<R> {
+    fn clone(&self) -> Self {
+        AnonymousMemory {
+            registers: Arc::clone(&self.registers),
+        }
+    }
+}
+
+impl<R> AnonymousMemory<R> {
+    /// Allocates `m` registers, each holding `V::default()` — the paper's
+    /// "registers which are initially in a known state".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new<V: Default>(m: usize) -> Self
+    where
+        R: Register<V>,
+    {
+        assert!(m > 0, "anonymous memory needs at least one register");
+        AnonymousMemory {
+            registers: Arc::new((0..m).map(|_| R::new_register(V::default())).collect()),
+        }
+    }
+    /// The number of registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// `true` if the array is empty (never, for constructed memories).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.registers.is_empty()
+    }
+
+    /// A view with an explicit permutation (mainly for tests and
+    /// experiments that need controlled anonymity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's size differs from the register count.
+    #[must_use]
+    pub fn view(&self, view: View) -> MemoryView<R> {
+        assert_eq!(
+            view.len(),
+            self.registers.len(),
+            "view size must match the register count"
+        );
+        MemoryView {
+            memory: self.clone(),
+            view,
+        }
+    }
+
+    /// A view with a **fresh uniformly random permutation** — the honest
+    /// default: no thread may assume its numbering agrees with anyone
+    /// else's.
+    #[must_use]
+    pub fn random_view<RNG: Rng>(&self, rng: &mut RNG) -> MemoryView<R> {
+        let mut perm: Vec<usize> = (0..self.registers.len()).collect();
+        perm.shuffle(rng);
+        self.view(View::from_perm(perm).expect("a shuffled range is a permutation"))
+    }
+}
+
+impl<R> fmt::Debug for AnonymousMemory<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnonymousMemory")
+            .field("registers", &self.registers.len())
+            .finish()
+    }
+}
+
+/// One thread's handle onto an [`AnonymousMemory`]: all accesses go through
+/// the thread's private register numbering.
+pub struct MemoryView<R> {
+    memory: AnonymousMemory<R>,
+    view: View,
+}
+
+impl<R> MemoryView<R> {
+    /// Atomically reads local register `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[must_use]
+    pub fn read<V>(&self, local: usize) -> V
+    where
+        R: Register<V>,
+    {
+        self.memory.registers[self.view.physical(local)].read()
+    }
+
+    /// Atomically writes local register `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn write<V>(&self, local: usize, value: V)
+    where
+        R: Register<V>,
+    {
+        self.memory.registers[self.view.physical(local)].write(value);
+    }
+
+    /// The permutation this view applies.
+    #[must_use]
+    pub fn permutation(&self) -> &View {
+        &self.view
+    }
+
+    /// The underlying shared memory.
+    #[must_use]
+    pub fn memory(&self) -> &AnonymousMemory<R> {
+        &self.memory
+    }
+}
+
+impl<R> fmt::Debug for MemoryView<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryView")
+            .field("view", &self.view)
+            .field("registers", &self.memory.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PackedAtomicRegister;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type Mem = AnonymousMemory<PackedAtomicRegister<u64>>;
+
+    #[test]
+    fn views_share_physical_memory() {
+        let mem: Mem = AnonymousMemory::new(4);
+        let a = mem.view(View::identity(4));
+        let b = mem.view(View::rotated(4, 1));
+        a.write(0, 9u64);
+        // b's local 3 is physical 0.
+        assert_eq!(b.read::<u64>(3), 9);
+    }
+
+    #[test]
+    fn random_views_are_permutations() {
+        let mem: Mem = AnonymousMemory::new(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let v = mem.random_view(&mut rng);
+            let mut seen = vec![false; 8];
+            for local in 0..8 {
+                let phys = v.permutation().physical(local);
+                assert!(!seen[phys]);
+                seen[phys] = true;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_registers_panics() {
+        let _: Mem = AnonymousMemory::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "view size")]
+    fn mismatched_view_panics() {
+        let mem: Mem = AnonymousMemory::new(4);
+        let _ = mem.view(View::identity(3));
+    }
+
+    #[test]
+    fn clones_alias() {
+        let mem: Mem = AnonymousMemory::new(2);
+        let other = mem.clone();
+        mem.view(View::identity(2)).write(1, 5u64);
+        assert_eq!(other.view(View::identity(2)).read::<u64>(1), 5);
+        assert_eq!(mem.len(), 2);
+        assert!(!mem.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Packing multi-field register records into single 64-bit words.
+//!
+//! The paper remarks (§4.1) that defining a register as a multi-field
+//! record "is done only for convenience. The two values in these fields can
+//! be encoded as a single value." [`Pack64`] is that encoding, which lets
+//! the consensus records ride in one lock-free `AtomicU64`.
+
+use anonreg::consensus::ConsRecord;
+
+/// A value that fits losslessly into a `u64`, so it can live in a
+/// [`PackedAtomicRegister`](crate::PackedAtomicRegister).
+///
+/// # Contract
+///
+/// `Self::unpack(v.pack()) == v` for every value the algorithm actually
+/// writes. Implementations may *restrict* the representable range (e.g.
+/// 32-bit identifiers) — they must then document the restriction and panic
+/// loudly on out-of-range values rather than truncate silently.
+pub trait Pack64: Sized {
+    /// Encodes the value into a single word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is outside the implementation's representable
+    /// range.
+    fn pack(&self) -> u64;
+
+    /// Decodes a previously packed value.
+    fn unpack(word: u64) -> Self;
+}
+
+impl Pack64 for u64 {
+    fn pack(&self) -> u64 {
+        *self
+    }
+
+    fn unpack(word: u64) -> Self {
+        word
+    }
+}
+
+/// Consensus records pack as `id << 32 | val`; both fields must fit in 32
+/// bits. `(0, 0)` — the untouched register — packs to `0`, preserving the
+/// "initially all fields are 0" convention.
+impl Pack64 for ConsRecord {
+    fn pack(&self) -> u64 {
+        assert!(
+            self.id <= u64::from(u32::MAX) && self.val <= u64::from(u32::MAX),
+            "packed consensus records need 32-bit ids and values, got ({}, {})",
+            self.id,
+            self.val
+        );
+        (self.id << 32) | self.val
+    }
+
+    fn unpack(word: u64) -> Self {
+        ConsRecord {
+            id: word >> 32,
+            val: word & u64::from(u32::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_is_identity() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(u64::unpack(v.pack()), v);
+        }
+    }
+
+    #[test]
+    fn cons_record_round_trips() {
+        let samples = [
+            ConsRecord { id: 0, val: 0 },
+            ConsRecord { id: 1, val: 2 },
+            ConsRecord {
+                id: u64::from(u32::MAX),
+                val: u64::from(u32::MAX),
+            },
+        ];
+        for r in samples {
+            assert_eq!(ConsRecord::unpack(r.pack()), r);
+        }
+    }
+
+    #[test]
+    fn untouched_record_packs_to_zero() {
+        assert_eq!(ConsRecord::default().pack(), 0);
+        assert_eq!(ConsRecord::unpack(0), ConsRecord::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit")]
+    fn oversized_id_panics() {
+        let r = ConsRecord {
+            id: 1 << 33,
+            val: 0,
+        };
+        let _ = r.pack();
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit")]
+    fn oversized_val_panics() {
+        let r = ConsRecord {
+            id: 1,
+            val: 1 << 40,
+        };
+        let _ = r.pack();
+    }
+}

@@ -1,0 +1,747 @@
+//! Exhaustive explicit-state model checking.
+//!
+//! For fixed process count and register count, the paper's algorithms have
+//! **finite** state spaces: register contents range over finitely many
+//! values and each machine has finitely many local states. [`explore`]
+//! enumerates every configuration reachable under *any* adversary and
+//! returns a [`StateGraph`] on which two kinds of questions are decided
+//! exactly:
+//!
+//! * **Safety** — [`StateGraph::find_state`] searches for a bad
+//!   configuration (e.g. two processes in their critical sections, the
+//!   mutual exclusion violation of §3.1), and
+//!   [`StateGraph::schedule_to`] reconstructs the adversary schedule that
+//!   reaches it, making every counterexample replayable.
+//! * **Fair liveness** — [`StateGraph::find_fair_livelock`] looks for a
+//!   strongly connected component in which every live process keeps taking
+//!   steps but no progress event ever fires. Such a component is exactly a
+//!   *fair livelock*: an infinite schedule that starves the system even
+//!   though no process is ever denied steps. This is how experiment E1
+//!   refutes deadlock-freedom for the Figure 1 algorithm with an even
+//!   number of registers (Theorem 3.1) — the checker finds the symmetric
+//!   lock-step loop.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use anonreg_model::Machine;
+
+use crate::Simulation;
+
+/// Resource limits for [`explore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct states to enumerate before giving up.
+    pub max_states: usize,
+    /// Also explore *crash* transitions: from every state, every live
+    /// process may crash (§2's failure model). Roughly doubles the state
+    /// space per process; off by default.
+    pub crashes: bool,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 1_000_000,
+            crashes: false,
+        }
+    }
+}
+
+/// Error returned when exploration exceeds its limits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The reachable state space exceeded [`ExploreLimits::max_states`].
+    StateLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::StateLimitExceeded { limit } => {
+                write!(f, "state space exceeds the limit of {limit} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// One outgoing transition of a state: process `proc` takes one atomic step,
+/// emitting `events` on the way, and the system moves to state `target`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge<E> {
+    /// The process that moves.
+    pub proc: usize,
+    /// The id of the successor state.
+    pub target: usize,
+    /// Events emitted during the step (usually empty or a single event).
+    pub events: Vec<E>,
+    /// `true` if this transition is the process *crashing* rather than
+    /// taking a step (only with [`ExploreLimits::crashes`]).
+    pub crash: bool,
+}
+
+/// One adversary move in a reconstructed schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleAction {
+    /// Process takes one atomic step.
+    Step(usize),
+    /// Process crashes.
+    Crash(usize),
+}
+
+/// The complete reachable state graph of a simulation.
+///
+/// State `0` is the initial configuration. Each state stores the full
+/// [`Simulation`] (with an empty trace), so analyses can inspect machines
+/// and registers directly.
+pub struct StateGraph<M: Machine> {
+    states: Vec<Simulation<M>>,
+    edges: Vec<Vec<Edge<M::Event>>>,
+    /// `parents[id]` = (predecessor state, moving process, was-a-crash);
+    /// `None` for the initial state. Used to reconstruct adversary
+    /// schedules.
+    parents: Vec<Option<(usize, usize, bool)>>,
+}
+
+/// Exhaustively enumerates every configuration reachable from `initial`
+/// under any scheduling of the processes.
+///
+/// The accumulated trace of `initial` is ignored; state identity is the pair
+/// (register contents, machine states incl. pending reads/poised writes).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::StateLimitExceeded`] if the reachable state space
+/// is larger than `limits.max_states`.
+pub fn explore<M>(
+    initial: Simulation<M>,
+    limits: &ExploreLimits,
+) -> Result<StateGraph<M>, ExploreError>
+where
+    M: Machine + Eq + Hash,
+{
+    let mut initial = initial;
+    initial.clear_trace();
+
+    let mut ids: HashMap<_, usize> = HashMap::new();
+    let mut states = vec![initial.clone()];
+    let mut edges: Vec<Vec<Edge<M::Event>>> = Vec::new();
+    let mut parents = vec![None];
+    ids.insert(initial.state_key(), 0);
+
+    let mut frontier = vec![0usize];
+    while let Some(id) = frontier.pop() {
+        let mut out = Vec::new();
+        for proc in 0..states[id].process_count() {
+            if states[id].is_halted(proc) {
+                continue;
+            }
+            for crash in [false, true] {
+                if crash && !limits.crashes {
+                    continue;
+                }
+                let mut next = states[id].clone();
+                next.clear_trace();
+                if crash {
+                    next.crash(proc).expect("slot is valid");
+                } else {
+                    next.step(proc).expect("slot is valid and not halted");
+                }
+                let events: Vec<M::Event> = next
+                    .trace()
+                    .events()
+                    .map(|(_, _, e)| e.clone())
+                    .collect();
+                next.clear_trace();
+                let key = next.state_key();
+                let target = match ids.get(&key) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len();
+                        if t >= limits.max_states {
+                            return Err(ExploreError::StateLimitExceeded {
+                                limit: limits.max_states,
+                            });
+                        }
+                        ids.insert(key, t);
+                        states.push(next);
+                        parents.push(Some((id, proc, crash)));
+                        frontier.push(t);
+                        t
+                    }
+                };
+                out.push(Edge {
+                    proc,
+                    target,
+                    events,
+                    crash,
+                });
+            }
+        }
+        // `edges` is indexed by discovery order; fill gaps lazily.
+        if edges.len() <= id {
+            edges.resize_with(states.len(), Vec::new);
+        }
+        edges[id] = out;
+    }
+    edges.resize_with(states.len(), Vec::new);
+
+    Ok(StateGraph {
+        states,
+        edges,
+        parents,
+    })
+}
+
+impl<M: Machine> StateGraph<M> {
+    /// The number of reachable states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The total number of transitions.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The configuration of state `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn state(&self, id: usize) -> &Simulation<M> {
+        &self.states[id]
+    }
+
+    /// Iterates over all states with their ids.
+    pub fn states(&self) -> impl Iterator<Item = (usize, &Simulation<M>)> {
+        self.states.iter().enumerate()
+    }
+
+    /// The outgoing transitions of state `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn edges(&self, id: usize) -> &[Edge<M::Event>] {
+        &self.edges[id]
+    }
+
+    /// Finds a reachable state satisfying `pred` (a safety-violation
+    /// search). States are scanned in discovery (BFS/DFS mix) order, so the
+    /// returned state is reachable by the schedule from
+    /// [`schedule_to`](StateGraph::schedule_to).
+    pub fn find_state<F>(&self, mut pred: F) -> Option<usize>
+    where
+        F: FnMut(&Simulation<M>) -> bool,
+    {
+        (0..self.states.len()).find(|&id| pred(&self.states[id]))
+    }
+
+    /// Reconstructs the adversary schedule (sequence of process slots, one
+    /// per atomic step) that drives the initial state to state `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range, or if the discovery path contains a
+    /// crash transition (crash-enabled graphs need
+    /// [`actions_to`](StateGraph::actions_to)).
+    #[must_use]
+    pub fn schedule_to(&self, id: usize) -> Vec<usize> {
+        self.actions_to(id)
+            .into_iter()
+            .map(|action| match action {
+                ScheduleAction::Step(proc) => proc,
+                ScheduleAction::Crash(_) =>
+
+                    panic!("path contains a crash; use actions_to for crash-enabled graphs"),
+            })
+            .collect()
+    }
+
+    /// Reconstructs the adversary actions (steps and crashes) that drive
+    /// the initial state to state `id`. Replay with
+    /// [`Simulation::step`]/[`Simulation::crash`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn actions_to(&self, id: usize) -> Vec<ScheduleAction> {
+        let mut actions = Vec::new();
+        let mut cursor = id;
+        while let Some((parent, proc, crash)) = self.parents[cursor] {
+            actions.push(if crash {
+                ScheduleAction::Crash(proc)
+            } else {
+                ScheduleAction::Step(proc)
+            });
+            cursor = parent;
+        }
+        actions.reverse();
+        actions
+    }
+
+    /// Computes the strongly connected components that contain at least one
+    /// internal edge (i.e. can be stayed in forever), as lists of state ids.
+    #[must_use]
+    pub fn nontrivial_sccs(&self) -> Vec<Vec<usize>> {
+        let sccs = tarjan(self.states.len(), &self.edges);
+        sccs.into_iter()
+            .filter(|scc| {
+                scc.len() > 1
+                    || self.edges[scc[0]]
+                        .iter()
+                        .any(|e| e.target == scc[0])
+            })
+            .collect()
+    }
+
+    /// Searches for a **fair livelock**: a strongly connected component in
+    /// which
+    ///
+    /// 1. every live (non-halted) process has at least one transition that
+    ///    stays inside the component — so a schedule confined to it can give
+    ///    every process infinitely many steps (fairness), and
+    /// 2. no transition inside the component emits an event accepted by
+    ///    `is_progress`, and
+    /// 3. some state in the component has a process for which `stuck` holds
+    ///    (e.g. "is in its entry section").
+    ///
+    /// Such a component is a complete violation of deadlock freedom: an
+    /// infinite fair schedule under which a process remains stuck forever.
+    /// Returns the component's state ids, or `None` if the property holds.
+    pub fn find_fair_livelock<FS, FP>(&self, mut stuck: FS, mut is_progress: FP) -> Option<Vec<usize>>
+    where
+        FS: FnMut(&M) -> bool,
+        FP: FnMut(&M::Event) -> bool,
+    {
+        for scc in self.nontrivial_sccs() {
+            let in_scc = |target: usize| scc.contains(&target);
+
+            // (2) No progress inside the component.
+            let progress_inside = scc.iter().any(|&id| {
+                self.edges[id]
+                    .iter()
+                    .any(|e| in_scc(e.target) && e.events.iter().any(&mut is_progress))
+            });
+            if progress_inside {
+                continue;
+            }
+
+            // (1) Every live process can keep moving inside the component.
+            // Halting is permanent, so the live set is constant across an
+            // SCC; take it from the first state.
+            let probe = &self.states[scc[0]];
+            let live: Vec<usize> = (0..probe.process_count())
+                .filter(|&p| !probe.is_halted(p))
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            let all_can_move = live.iter().all(|&p| {
+                scc.iter().any(|&id| {
+                    self.edges[id]
+                        .iter()
+                        .any(|e| e.proc == p && in_scc(e.target))
+                })
+            });
+            if !all_can_move {
+                continue;
+            }
+
+            // (3) Someone is stuck.
+            let someone_stuck = scc
+                .iter()
+                .any(|&id| (0..self.states[id].process_count())
+                    .any(|p| !self.states[id].is_halted(p) && stuck(self.states[id].machine(p))));
+            if someone_stuck {
+                return Some(scc);
+            }
+        }
+        None
+    }
+
+    /// Searches for **fair starvation** of process `victim`: a strongly
+    /// connected component in which
+    ///
+    /// 1. every live process (the victim included) has a transition that
+    ///    stays inside the component — a fair schedule exists,
+    /// 2. no transition *by the victim* inside the component emits a
+    ///    progress event, while
+    /// 3. some transition *by another process* inside the component does —
+    ///    the system as a whole keeps making progress, and
+    /// 4. the victim satisfies `stuck` somewhere in the component.
+    ///
+    /// This is strictly weaker than a fair livelock: the algorithm may be
+    /// perfectly deadlock-free (others enter again and again) while the
+    /// victim starves. Deadlock-freedom permits this; starvation-freedom —
+    /// which the paper's §8 lists as open for the memory-anonymous model —
+    /// forbids it.
+    ///
+    /// Implementation note: the victim's progress edges are *deleted* from
+    /// the graph first. Machines are deterministic, so the adversary cannot
+    /// make a scheduled victim skip its progress step — but it can simply
+    /// decline to schedule the victim in states where that step is next,
+    /// which is exactly what the edge deletion models. A qualifying SCC of
+    /// the remaining subgraph is then a fair infinite schedule in which the
+    /// victim steps forever without ever progressing while others do.
+    /// Returns the component's state ids.
+    pub fn find_fair_starvation<FS, FP>(
+        &self,
+        victim: usize,
+        mut stuck: FS,
+        mut is_progress: FP,
+    ) -> Option<Vec<usize>>
+    where
+        FS: FnMut(&M) -> bool,
+        FP: FnMut(&M::Event) -> bool,
+    {
+        // The subgraph without the victim's progress edges.
+        let filtered: Vec<Vec<Edge<M::Event>>> = self
+            .edges
+            .iter()
+            .map(|out| {
+                out.iter()
+                    .filter(|e| !(e.proc == victim && e.events.iter().any(&mut is_progress)))
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        let sccs = tarjan(self.states.len(), &filtered);
+        for scc in sccs {
+            let has_internal_edge = scc.len() > 1
+                || filtered[scc[0]].iter().any(|e| e.target == scc[0]);
+            if !has_internal_edge {
+                continue;
+            }
+            let in_scc = |target: usize| scc.contains(&target);
+
+            // Someone other than the victim keeps progressing.
+            let others_progress = scc.iter().any(|&id| {
+                filtered[id].iter().any(|e| {
+                    e.proc != victim && in_scc(e.target) && e.events.iter().any(&mut is_progress)
+                })
+            });
+            if !others_progress {
+                continue;
+            }
+
+            // Fairness: every live process — the victim included — can keep
+            // moving inside the filtered component.
+            let probe = &self.states[scc[0]];
+            if victim >= probe.process_count() || probe.is_halted(victim) {
+                continue;
+            }
+            let live: Vec<usize> = (0..probe.process_count())
+                .filter(|&p| !probe.is_halted(p))
+                .collect();
+            let all_can_move = live.iter().all(|&p| {
+                scc.iter().any(|&id| {
+                    filtered[id]
+                        .iter()
+                        .any(|e| e.proc == p && in_scc(e.target))
+                })
+            });
+            if !all_can_move {
+                continue;
+            }
+
+            // The victim is actually stuck (e.g. in its entry section)
+            // somewhere in the component.
+            let victim_stuck = scc
+                .iter()
+                .any(|&id| stuck(self.states[id].machine(victim)));
+            if victim_stuck {
+                return Some(scc);
+            }
+        }
+        None
+    }
+}
+
+impl<M: Machine> fmt::Debug for StateGraph<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateGraph")
+            .field("states", &self.states.len())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+/// Iterative Tarjan SCC over the edge lists. Returns components in reverse
+/// topological order.
+fn tarjan<E>(n: usize, edges: &[Vec<Edge<E>>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct NodeData {
+        index: usize,
+        lowlink: usize,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut data = vec![
+        NodeData {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut counter = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, next edge index to examine).
+    for root in 0..n {
+        if data[root].visited {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ei)) = dfs.last_mut() {
+            if *ei == 0 && !data[v].visited {
+                data[v].visited = true;
+                data[v].index = counter;
+                data[v].lowlink = counter;
+                counter += 1;
+                data[v].on_stack = true;
+                stack.push(v);
+            }
+            if let Some(edge) = edges[v].get(*ei) {
+                *ei += 1;
+                let w = edge.target;
+                if !data[w].visited {
+                    dfs.push((w, 0));
+                } else if data[w].on_stack {
+                    data[v].lowlink = data[v].lowlink.min(data[w].index);
+                }
+            } else {
+                // Done with v.
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    let low = data[v].lowlink;
+                    data[parent].lowlink = data[parent].lowlink.min(low);
+                }
+                if data[v].lowlink == data[v].index {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        data[w].on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_model::{Pid, Step, View};
+
+    /// Two-phase toy: writes its pid, reads, halts. Tiny state space.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Toy {
+        pid: Pid,
+        phase: u8,
+    }
+
+    impl Machine for Toy {
+        type Value = u64;
+        type Event = &'static str;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, &'static str> {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Step::Write(0, self.pid.get())
+                }
+                1 => {
+                    self.phase = 2;
+                    Step::Event("wrote")
+                }
+                _ => Step::Halt,
+            }
+        }
+    }
+
+    /// Spins forever re-reading register 0 (a guaranteed livelock).
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Spinner {
+        pid: Pid,
+    }
+
+    impl Machine for Spinner {
+        type Value = u64;
+        type Event = &'static str;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, &'static str> {
+            Step::Read(0)
+        }
+    }
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    #[test]
+    fn explores_tiny_interleaving_space() {
+        let sim = Simulation::builder()
+            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
+            .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        // Each process contributes a write step and an event+halt step;
+        // states are (register value, phase of each process) combinations.
+        assert!(graph.state_count() >= 4);
+        assert!(graph.state_count() <= 3 * 3 * 3);
+        // Terminal states exist where everyone halted.
+        let terminal = graph.find_state(|s| s.all_halted());
+        assert!(terminal.is_some());
+    }
+
+    #[test]
+    fn schedule_to_replays() {
+        let build = || {
+            Simulation::builder()
+                .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
+                .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+                .build()
+                .unwrap()
+        };
+        let graph = explore(build(), &ExploreLimits::default()).unwrap();
+        // Find a state where register 0 holds 1 and both halted: process 2
+        // wrote first, process 1 overwrote.
+        let id = graph
+            .find_state(|s| s.all_halted() && s.registers()[0] == 1)
+            .expect("such a terminal state exists");
+        let schedule = graph.schedule_to(id);
+        // Replay on a fresh simulation.
+        let mut sim = build();
+        for &p in &schedule {
+            sim.step(p).unwrap();
+        }
+        assert_eq!(sim.state_key(), graph.state(id).state_key());
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let sim = Simulation::builder()
+            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
+            .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+            .build()
+            .unwrap();
+        let err = explore(sim, &ExploreLimits { max_states: 2, ..ExploreLimits::default() }).unwrap_err();
+        assert_eq!(err, ExploreError::StateLimitExceeded { limit: 2 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn spinner_is_a_fair_livelock() {
+        let sim = Simulation::builder()
+            .process(Spinner { pid: pid(1) }, View::identity(1))
+            .process(Spinner { pid: pid(2) }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let livelock = graph.find_fair_livelock(|_| true, |_| false);
+        assert!(livelock.is_some());
+    }
+
+    #[test]
+    fn halting_machines_have_no_livelock() {
+        let sim = Simulation::builder()
+            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
+            .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        assert!(graph.nontrivial_sccs().is_empty());
+        assert!(graph.find_fair_livelock(|_| true, |_| false).is_none());
+    }
+
+    #[test]
+    fn progress_inside_scc_is_not_a_livelock() {
+        /// Cycles forever but emits a progress event every lap.
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct Lapper {
+            pid: Pid,
+            lap: bool,
+        }
+        impl Machine for Lapper {
+            type Value = u64;
+            type Event = &'static str;
+            fn pid(&self) -> Pid {
+                self.pid
+            }
+            fn register_count(&self) -> usize {
+                1
+            }
+            fn resume(&mut self, _read: Option<u64>) -> Step<u64, &'static str> {
+                self.lap = !self.lap;
+                if self.lap {
+                    Step::Read(0)
+                } else {
+                    Step::Event("progress")
+                }
+            }
+        }
+        let sim = Simulation::builder()
+            .process(Lapper { pid: pid(1), lap: false }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        assert!(!graph.nontrivial_sccs().is_empty());
+        let livelock = graph.find_fair_livelock(|_| true, |e| *e == "progress");
+        assert!(livelock.is_none());
+    }
+
+    #[test]
+    fn edge_events_are_captured() {
+        let sim = Simulation::builder()
+            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let has_event_edge = (0..graph.state_count()).any(|id| {
+            graph
+                .edges(id)
+                .iter()
+                .any(|e| e.events.contains(&"wrote"))
+        });
+        assert!(has_event_edge);
+    }
+}

@@ -1,0 +1,183 @@
+//! The obstruction-freedom checker.
+//!
+//! "Obstruction-freedom guarantees that an active process will be able to
+//! complete its pending operations in a finite number of its own steps, if
+//! all the other processes 'hold still' long enough" (§2). Over a finite
+//! [`StateGraph`] this is decidable exactly: from **every** reachable
+//! configuration, every live process running **alone** must halt within a
+//! bounded number of its own steps. [`check_obstruction_freedom`] performs
+//! that check and reports the worst-case solo completion cost it saw —
+//! which experiment E3 compares against the `O(n²)` bound from the proof of
+//! Theorem 4.1.
+
+use std::fmt;
+use std::hash::Hash;
+
+use anonreg_model::Machine;
+
+use crate::explore::StateGraph;
+
+/// A refutation of obstruction freedom: from a reachable state, a process
+/// ran alone for the full budget without halting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObstructionViolation {
+    /// The state (id in the graph) from which the solo run was started.
+    pub state: usize,
+    /// The process that failed to finish.
+    pub proc: usize,
+    /// The solo-step budget that was exhausted.
+    pub budget: usize,
+}
+
+impl fmt::Display for ObstructionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "process {} ran alone for {} steps from state {} without terminating",
+            self.proc, self.budget, self.state
+        )
+    }
+}
+
+impl std::error::Error for ObstructionViolation {}
+
+/// Summary of a successful obstruction-freedom check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObstructionReport {
+    /// Number of (state, process) solo runs performed.
+    pub solo_runs: usize,
+    /// The largest number of solo steps any process needed to halt.
+    pub max_solo_ops: usize,
+}
+
+/// Verifies obstruction freedom over every reachable state: each live
+/// process, running alone from each state, must halt within `budget` of its
+/// own atomic steps.
+///
+/// # Errors
+///
+/// Returns an [`ObstructionViolation`] naming the state and process for
+/// which the budget was insufficient. (For a correct obstruction-free
+/// algorithm, pass a budget safely above its worst-case solo cost; the
+/// returned [`ObstructionReport::max_solo_ops`] tells you how tight it
+/// was.)
+pub fn check_obstruction_freedom<M>(
+    graph: &StateGraph<M>,
+    budget: usize,
+) -> Result<ObstructionReport, ObstructionViolation>
+where
+    M: Machine + Eq + Hash,
+{
+    let mut report = ObstructionReport::default();
+    for (id, state) in graph.states() {
+        for proc in 0..state.process_count() {
+            if state.is_halted(proc) {
+                continue;
+            }
+            let mut solo = state.clone();
+            let (ops, halted) = solo
+                .run_solo(proc, budget)
+                .expect("slot is valid");
+            report.solo_runs += 1;
+            if !halted {
+                return Err(ObstructionViolation {
+                    state: id,
+                    proc,
+                    budget,
+                });
+            }
+            report.max_solo_ops = report.max_solo_ops.max(ops);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreLimits};
+    use crate::Simulation;
+    use anonreg_model::{Pid, Step, View};
+
+    /// Halts after its first write.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct OneShot {
+        pid: Pid,
+        done: bool,
+    }
+
+    impl Machine for OneShot {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+            if self.done {
+                Step::Halt
+            } else {
+                self.done = true;
+                Step::Write(0, self.pid.get())
+            }
+        }
+    }
+
+    /// Never halts: reads forever.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Forever {
+        pid: Pid,
+    }
+
+    impl Machine for Forever {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+            Step::Read(0)
+        }
+    }
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    #[test]
+    fn one_shot_machines_are_obstruction_free() {
+        let sim = Simulation::builder()
+            .process(OneShot { pid: pid(1), done: false }, View::identity(1))
+            .process(OneShot { pid: pid(2), done: false }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let report = check_obstruction_freedom(&graph, 10).unwrap();
+        assert!(report.solo_runs > 0);
+        assert_eq!(report.max_solo_ops, 1);
+    }
+
+    #[test]
+    fn spinner_violates_obstruction_freedom() {
+        let sim = Simulation::builder()
+            .process(Forever { pid: pid(1) }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let violation = check_obstruction_freedom(&graph, 5).unwrap_err();
+        assert_eq!(violation.proc, 0);
+        assert_eq!(violation.budget, 5);
+        assert!(!violation.to_string().is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Adversarial schedulers.
+//!
+//! A scheduler is the paper's adversary: it picks which process performs the
+//! next atomic operation. All schedulers here are deterministic —
+//! randomized sweeps take an explicit seed — so every counterexample they
+//! find is replayable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use anonreg_model::Machine;
+
+use crate::{SimError, Simulation, StepOutcome};
+
+/// Drives the simulation with a caller-supplied chooser: at each step the
+/// chooser sees the simulation and returns the slot to schedule, or `None`
+/// to stop. Halted choices are skipped (they count against `max_steps` but
+/// perform nothing). Returns the number of memory operations performed.
+///
+/// This is the most general adversary; the other functions in this module
+/// are conveniences built on the same loop.
+///
+/// # Errors
+///
+/// Propagates [`SimError::NoSuchProcess`] from an out-of-range choice.
+pub fn run_with<M, F>(
+    sim: &mut Simulation<M>,
+    mut choose: F,
+    max_steps: usize,
+) -> Result<usize, SimError>
+where
+    M: Machine,
+    F: FnMut(&Simulation<M>) -> Option<usize>,
+{
+    let mut ops = 0;
+    for _ in 0..max_steps {
+        if sim.all_halted() {
+            break;
+        }
+        let Some(proc) = choose(sim) else { break };
+        if proc >= sim.process_count() {
+            return Err(SimError::NoSuchProcess { proc });
+        }
+        if sim.is_halted(proc) {
+            continue;
+        }
+        match sim.step(proc)? {
+            StepOutcome::Halted | StepOutcome::Event => {}
+            _ => ops += 1,
+        }
+    }
+    Ok(ops)
+}
+
+/// Round-robin: processes take turns in slot order, skipping halted ones.
+/// Runs until everyone halts or `max_steps` scheduling decisions have been
+/// made. Returns the number of memory operations performed.
+pub fn round_robin<M: Machine>(sim: &mut Simulation<M>, max_steps: usize) -> usize {
+    let n = sim.process_count();
+    let mut next = 0;
+    run_with(
+        sim,
+        move |_| {
+            let proc = next;
+            next = (next + 1) % n;
+            Some(proc)
+        },
+        max_steps,
+    )
+    .expect("round robin only chooses valid slots")
+}
+
+/// Lock-step: every round grants exactly one step to each non-halted
+/// process, in slot order — the adversary from the proof of Theorem 3.4
+/// ("we run the ℓ processes in lock steps"). Runs `rounds` rounds or until
+/// everyone halts. Returns the number of memory operations performed.
+pub fn lock_step<M: Machine>(sim: &mut Simulation<M>, rounds: usize) -> usize {
+    let mut ops = 0;
+    for _ in 0..rounds {
+        if sim.all_halted() {
+            break;
+        }
+        for proc in 0..sim.process_count() {
+            if !sim.is_halted(proc) {
+                match sim.step(proc).expect("slot is valid and not halted") {
+                    StepOutcome::Halted | StepOutcome::Event => {}
+                    _ => ops += 1,
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Seeded uniformly-random scheduling: at each step a uniformly random
+/// non-halted process moves. Runs until everyone halts or `max_steps`
+/// decisions have been made. Returns the number of memory operations.
+///
+/// Determinism: the same seed always produces the same run.
+pub fn random<M: Machine>(sim: &mut Simulation<M>, seed: u64, max_steps: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = sim.process_count();
+    run_with(
+        sim,
+        move |sim| {
+            // Choose among non-halted slots only, uniformly.
+            let alive = (0..n).filter(|&p| !sim.is_halted(p)).count();
+            if alive == 0 {
+                return None;
+            }
+            let mut k = rng.gen_range(0..alive);
+            (0..n).find(|&p| {
+                if sim.is_halted(p) {
+                    false
+                } else if k == 0 {
+                    true
+                } else {
+                    k -= 1;
+                    false
+                }
+            })
+        },
+        max_steps,
+    )
+    .expect("random scheduler only chooses valid slots")
+}
+
+/// Seeded random scheduling with *bursts*: the chosen process runs a random
+/// number of consecutive steps (1..=`max_burst`) before the adversary picks
+/// again. Long bursts approximate low contention and give obstruction-free
+/// algorithms room to finish; short bursts maximize interleaving.
+pub fn random_bursts<M: Machine>(
+    sim: &mut Simulation<M>,
+    seed: u64,
+    max_burst: usize,
+    max_steps: usize,
+) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = sim.process_count();
+    let mut current: Option<(usize, usize)> = None; // (proc, remaining)
+    run_with(
+        sim,
+        move |sim| {
+            if let Some((proc, remaining)) = current {
+                if remaining > 0 && !sim.is_halted(proc) {
+                    current = Some((proc, remaining - 1));
+                    return Some(proc);
+                }
+            }
+            let alive: Vec<usize> = (0..n).filter(|&p| !sim.is_halted(p)).collect();
+            if alive.is_empty() {
+                return None;
+            }
+            let proc = alive[rng.gen_range(0..alive.len())];
+            let burst = rng.gen_range(1..=max_burst.max(1));
+            current = Some((proc, burst - 1));
+            Some(proc)
+        },
+        max_steps,
+    )
+    .expect("burst scheduler only chooses valid slots")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_model::{Pid, Step, View};
+
+    /// Halts after writing its pid `k` times into register 0.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Stamper {
+        pid: Pid,
+        k: usize,
+    }
+
+    impl Machine for Stamper {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+            if self.k == 0 {
+                Step::Halt
+            } else {
+                self.k -= 1;
+                Step::Write(0, self.pid.get())
+            }
+        }
+    }
+
+    fn sim_of(ks: &[usize]) -> Simulation<Stamper> {
+        let mut b = Simulation::builder();
+        for (i, &k) in ks.iter().enumerate() {
+            b = b.process(
+                Stamper {
+                    pid: Pid::new(i as u64 + 1).unwrap(),
+                    k,
+                },
+                View::identity(1),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_robin_interleaves_and_finishes() {
+        let mut sim = sim_of(&[2, 2, 2]);
+        let ops = round_robin(&mut sim, 1000);
+        assert_eq!(ops, 6);
+        assert!(sim.all_halted());
+    }
+
+    #[test]
+    fn round_robin_respects_step_budget() {
+        let mut sim = sim_of(&[100, 100]);
+        let ops = round_robin(&mut sim, 10);
+        assert_eq!(ops, 10);
+        assert!(!sim.all_halted());
+    }
+
+    #[test]
+    fn lock_step_gives_everyone_one_step_per_round() {
+        let mut sim = sim_of(&[3, 3]);
+        let ops = lock_step(&mut sim, 1);
+        assert_eq!(ops, 2);
+        let ops = lock_step(&mut sim, 10);
+        assert_eq!(ops, 4);
+        assert!(sim.all_halted());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let trace_of = |seed: u64| {
+            let mut sim = sim_of(&[3, 3, 3]);
+            random(&mut sim, seed, 1000);
+            format!("{}", sim.trace())
+        };
+        assert_eq!(trace_of(42), trace_of(42));
+        // Different seeds almost surely give different interleavings.
+        assert_ne!(trace_of(1), trace_of(2));
+    }
+
+    #[test]
+    fn random_finishes_all_processes() {
+        let mut sim = sim_of(&[5, 5, 5, 5]);
+        let ops = random(&mut sim, 7, 10_000);
+        assert_eq!(ops, 20);
+        assert!(sim.all_halted());
+    }
+
+    #[test]
+    fn bursts_run_consecutive_steps() {
+        let mut sim = sim_of(&[4, 4]);
+        let ops = random_bursts(&mut sim, 3, 4, 10_000);
+        assert_eq!(ops, 8);
+        assert!(sim.all_halted());
+    }
+
+    #[test]
+    fn run_with_stops_on_none() {
+        let mut sim = sim_of(&[10]);
+        let ops = run_with(&mut sim, |_| None, 100).unwrap();
+        assert_eq!(ops, 0);
+    }
+
+    #[test]
+    fn run_with_rejects_bad_slot() {
+        let mut sim = sim_of(&[1]);
+        let err = run_with(&mut sim, |_| Some(5), 100).unwrap_err();
+        assert!(matches!(err, SimError::NoSuchProcess { proc: 5 }));
+    }
+}

@@ -1,0 +1,262 @@
+//! A compact textual language for adversary schedules.
+//!
+//! The paper's proofs are stories about very specific schedules ("let q run
+//! alone until it enters, then release the block write…"). This module lets
+//! tests and examples write those stories in one line:
+//!
+//! | token | meaning |
+//! |-------|---------|
+//! | `0`, `1`, … | one atomic step of that process |
+//! | `0*25` | 25 steps of process 0 |
+//! | `0!` | run process 0 until it **covers** a register (poised write) |
+//! | `0+` | release process 0's poised write (the block-write move) |
+//! | `0#` | crash process 0 |
+//! | `0>` | run process 0 solo until it halts (capped at 1,000,000 ops) |
+//!
+//! Tokens are whitespace separated. Example — the covering skeleton:
+//!
+//! ```text
+//! 1!  0>  1+  1>
+//! ```
+//! "cover with process 1, run the victim to completion, block write,
+//! run the coverer."
+
+use std::fmt;
+
+use anonreg_model::Machine;
+
+use crate::{SimError, Simulation};
+
+/// Error from parsing or running a schedule script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptError {
+    /// A token could not be parsed.
+    BadToken {
+        /// The offending token.
+        token: String,
+    },
+    /// The simulation rejected an action.
+    Sim {
+        /// The failing token (by index in the script).
+        at: usize,
+        /// The underlying error.
+        error: SimError,
+    },
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::BadToken { token } => write!(f, "bad schedule token `{token}`"),
+            ScriptError::Sim { at, error } => write!(f, "token {at}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Runs a schedule script against the simulation. Returns the number of
+/// memory operations performed.
+///
+/// # Errors
+///
+/// [`ScriptError::BadToken`] on a malformed script;
+/// [`ScriptError::Sim`] if an action is invalid (e.g. stepping a halted
+/// process).
+///
+/// # Example
+///
+/// The Theorem 6.2 covering skeleton against a 2-process toy:
+///
+/// ```
+/// use anonreg_model::{Machine, Pid, Step, View};
+/// use anonreg_sim::{script, Simulation};
+///
+/// #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// struct Once(Pid, bool);
+/// impl Machine for Once {
+///     type Value = u64;
+///     type Event = ();
+///     fn pid(&self) -> Pid { self.0 }
+///     fn register_count(&self) -> usize { 1 }
+///     fn resume(&mut self, _r: Option<u64>) -> Step<u64, ()> {
+///         if self.1 { Step::Halt } else { self.1 = true; Step::Write(0, self.0.get()) }
+///     }
+/// }
+///
+/// let mut sim = Simulation::builder()
+///     .process(Once(Pid::new(1).unwrap(), false), View::identity(1))
+///     .process(Once(Pid::new(2).unwrap(), false), View::identity(1))
+///     .build()?;
+/// // Cover with p1, run p0 to completion, release the block write.
+/// script::run(&mut sim, "1! 0> 1+")?;
+/// assert_eq!(sim.registers(), &[2]); // the block write erased p0's value
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run<M: Machine>(sim: &mut Simulation<M>, script: &str) -> Result<usize, ScriptError> {
+    let mut ops = 0;
+    for (at, token) in script.split_whitespace().enumerate() {
+        let action = parse_token(token).ok_or_else(|| ScriptError::BadToken {
+            token: token.to_string(),
+        })?;
+        let wrap = |error: SimError| ScriptError::Sim { at, error };
+        match action {
+            Action::Steps(proc, count) => {
+                for _ in 0..count {
+                    if sim.step(proc).map_err(wrap)?.is_memory_op() {
+                        ops += 1;
+                    }
+                }
+            }
+            Action::Cover(proc) => {
+                sim.step_to_cover(proc).map_err(wrap)?;
+            }
+            Action::Release(proc) => {
+                sim.apply_poised(proc).map_err(wrap)?;
+                ops += 1;
+            }
+            Action::Crash(proc) => {
+                sim.crash(proc).map_err(wrap)?;
+            }
+            Action::Solo(proc) => {
+                let (solo_ops, _) = sim.run_solo(proc, 1_000_000).map_err(wrap)?;
+                ops += solo_ops;
+            }
+        }
+    }
+    Ok(ops)
+}
+
+enum Action {
+    Steps(usize, usize),
+    Cover(usize),
+    Release(usize),
+    Crash(usize),
+    Solo(usize),
+}
+
+fn parse_token(token: &str) -> Option<Action> {
+    if let Some((proc, count)) = token.split_once('*') {
+        return Some(Action::Steps(proc.parse().ok()?, count.parse().ok()?));
+    }
+    if let Some(proc) = token.strip_suffix('!') {
+        return Some(Action::Cover(proc.parse().ok()?));
+    }
+    if let Some(proc) = token.strip_suffix('+') {
+        return Some(Action::Release(proc.parse().ok()?));
+    }
+    if let Some(proc) = token.strip_suffix('#') {
+        return Some(Action::Crash(proc.parse().ok()?));
+    }
+    if let Some(proc) = token.strip_suffix('>') {
+        return Some(Action::Solo(proc.parse().ok()?));
+    }
+    token.parse().ok().map(|proc| Action::Steps(proc, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_model::{Pid, Step, View};
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Stamper {
+        pid: Pid,
+        k: usize,
+    }
+
+    impl Machine for Stamper {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            2
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+            if self.k == 0 {
+                Step::Halt
+            } else {
+                self.k -= 1;
+                Step::Write(self.k % 2, self.pid.get())
+            }
+        }
+    }
+
+    fn sim() -> Simulation<Stamper> {
+        Simulation::builder()
+            .process(
+                Stamper {
+                    pid: Pid::new(1).unwrap(),
+                    k: 4,
+                },
+                View::identity(2),
+            )
+            .process(
+                Stamper {
+                    pid: Pid::new(2).unwrap(),
+                    k: 4,
+                },
+                View::identity(2),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn steps_and_repeats() {
+        let mut s = sim();
+        let ops = run(&mut s, "0 0 1*3").unwrap();
+        assert_eq!(ops, 5);
+    }
+
+    #[test]
+    fn cover_release_and_solo() {
+        let mut s = sim();
+        run(&mut s, "1! 0> 1+").unwrap();
+        // p0 halted; p1's first (covered) write landed after p0 finished.
+        assert!(s.is_halted(0));
+        assert!(!s.is_halted(1));
+    }
+
+    #[test]
+    fn crash_token() {
+        let mut s = sim();
+        run(&mut s, "0 0#").unwrap();
+        assert!(s.is_halted(0));
+        // Stepping a crashed process via script errors.
+        let err = run(&mut s, "0").unwrap_err();
+        assert!(matches!(err, ScriptError::Sim { .. }));
+    }
+
+    #[test]
+    fn bad_tokens_are_rejected() {
+        let mut s = sim();
+        for bad in ["x", "0*z", "*4", "0!!", ""] {
+            if bad.is_empty() {
+                continue;
+            }
+            assert!(
+                matches!(run(&mut s, bad), Err(ScriptError::BadToken { .. })),
+                "token {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!ScriptError::BadToken { token: "x".into() }
+            .to_string()
+            .is_empty());
+        assert!(!ScriptError::Sim {
+            at: 3,
+            error: SimError::NoProcesses
+        }
+        .to_string()
+        .is_empty());
+    }
+}

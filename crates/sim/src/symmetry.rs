@@ -1,0 +1,374 @@
+//! The rotation-symmetry invariant behind Theorem 3.4.
+//!
+//! The proof of Theorem 3.4 arranges the `m` registers "as a unidirectional
+//! ring", gives `ℓ | m` symmetric processes the same ring ordering with
+//! initial registers spaced `m/ℓ` apart, and runs them in lock step. Because
+//! the algorithm is symmetric and identifiers admit only equality
+//! comparisons, the global configuration then stays invariant under the ring
+//! automorphism — rotate the registers by `m/ℓ` while renaming each
+//! process's identifier to its successor's — **forever**. Symmetry is never
+//! broken, so either everyone enters the critical section together (safety
+//! violation) or no one ever does (liveness violation).
+//!
+//! This module makes the argument executable:
+//!
+//! * [`ring_views`] builds the `ℓ` rotated views;
+//! * [`check_rotation_symmetry`] tests the invariant on a configuration;
+//! * [`run_lockstep_symmetric`] runs the lock-step adversary and verifies
+//!   the invariant after every round, reporting how long symmetry survives
+//!   (for a correct symmetric algorithm under this adversary: forever —
+//!   experiment E2 tabulates this across `(m, ℓ)` pairs).
+
+use std::fmt;
+use std::hash::Hash;
+
+use anonreg_model::{Machine, Pid, PidMap, View};
+
+use crate::{Simulation, StepOutcome};
+
+/// Error returned when a ring configuration is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RingError {
+    /// The ring spacing requires `ℓ` to divide `m`.
+    NotDivisible {
+        /// Registers on the ring.
+        m: usize,
+        /// Processes on the ring.
+        l: usize,
+    },
+    /// At least two processes are needed for a symmetry argument.
+    TooFewProcesses,
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::NotDivisible { m, l } => {
+                write!(f, "ring spacing needs l | m, got m = {m}, l = {l}")
+            }
+            RingError::TooFewProcesses => write!(f, "a symmetry ring needs at least 2 processes"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// The `ℓ` ring views over `m` registers: view `k` is the identity ordering
+/// rotated by `k · m/ℓ`, so all processes walk the ring in the same
+/// direction with initial registers spaced `m/ℓ` apart — the construction
+/// from the proof of Theorem 3.4.
+///
+/// # Errors
+///
+/// Returns [`RingError`] unless `ℓ ≥ 2` and `ℓ` divides `m`.
+pub fn ring_views(m: usize, l: usize) -> Result<Vec<View>, RingError> {
+    if l < 2 {
+        return Err(RingError::TooFewProcesses);
+    }
+    if m == 0 || m % l != 0 {
+        return Err(RingError::NotDivisible { m, l });
+    }
+    let spacing = m / l;
+    Ok((0..l).map(|k| View::rotated(m, k * spacing)).collect())
+}
+
+/// Where the rotation-symmetry invariant broke.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymmetryBreak {
+    /// Register `physical` does not equal the renamed content of its ring
+    /// predecessor.
+    Register {
+        /// The physical register index at which the mismatch was detected.
+        physical: usize,
+    },
+    /// The machine (or its pending read / poised write) of `slot` is not
+    /// the renamed image of its ring predecessor's.
+    Machine {
+        /// The slot at which the mismatch was detected.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for SymmetryBreak {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymmetryBreak::Register { physical } => {
+                write!(f, "register {physical} breaks rotation symmetry")
+            }
+            SymmetryBreak::Machine { slot } => {
+                write!(f, "process state {slot} breaks rotation symmetry")
+            }
+        }
+    }
+}
+
+/// Checks that the configuration is invariant under the ring automorphism:
+/// rotating the registers by `m/ℓ` while renaming each process's identifier
+/// to its ring successor's maps the configuration to itself.
+///
+/// Precisely, with `σ` the pid renaming `pid(k) ↦ pid((k+1) mod ℓ)` and
+/// `shift = m/ℓ`:
+///
+/// * `registers[(p + shift) mod m] == σ(registers[p])` for every physical
+///   register `p`, and
+/// * `slot[(k+1) mod ℓ] == σ(slot[k])` for every process `k` (machine
+///   state, pending read result and poised write alike).
+///
+/// # Errors
+///
+/// Returns the first [`SymmetryBreak`] found.
+///
+/// # Panics
+///
+/// Panics if `ℓ` does not divide the register count or does not equal the
+/// process count — use [`ring_views`] to construct valid configurations.
+pub fn check_rotation_symmetry<M>(sim: &Simulation<M>, l: usize) -> Result<(), SymmetryBreak>
+where
+    M: Machine + PidMap + Eq + Hash,
+    M::Value: PidMap,
+{
+    let m = sim.register_count();
+    assert!(l >= 2 && m % l == 0, "ring requires l >= 2 and l | m");
+    assert_eq!(sim.process_count(), l, "ring requires exactly l processes");
+    let shift = m / l;
+
+    let pids: Vec<Pid> = (0..l).map(|k| sim.machine(k).pid()).collect();
+    let mut sigma = |p: Pid| -> Pid {
+        match pids.iter().position(|&q| q == p) {
+            Some(k) => pids[(k + 1) % l],
+            None => p,
+        }
+    };
+
+    for p in 0..m {
+        let image = sim.registers()[p].map_pids(&mut sigma);
+        if sim.registers()[(p + shift) % m] != image {
+            return Err(SymmetryBreak::Register {
+                physical: (p + shift) % m,
+            });
+        }
+    }
+
+    for k in 0..l {
+        let this = sim.slot(k);
+        let succ = sim.slot((k + 1) % l);
+        let machine_image = this.machine.map_pids(&mut sigma);
+        let input_image = this.pending_input.as_ref().map(|v| v.map_pids(&mut sigma));
+        let poised_image = this
+            .poised
+            .as_ref()
+            .map(|(j, v)| (*j, v.map_pids(&mut sigma)));
+        if succ.machine != machine_image
+            || succ.pending_input != input_image
+            || succ.poised != poised_image
+            || succ.halted != this.halted
+        {
+            return Err(SymmetryBreak::Machine { slot: (k + 1) % l });
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a lock-step symmetric run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockstepReport {
+    /// Rounds actually executed (each round = one atomic step per process).
+    pub rounds: usize,
+    /// `None` if the rotation-symmetry invariant held after every round —
+    /// the Theorem 3.4 situation; otherwise the first break and its round.
+    pub first_break: Option<(usize, SymmetryBreak)>,
+    /// Total memory operations performed.
+    pub ops: usize,
+}
+
+impl LockstepReport {
+    /// Did symmetry survive the whole run (the theorem's prediction for
+    /// symmetric algorithms)?
+    #[must_use]
+    pub fn symmetric_throughout(&self) -> bool {
+        self.first_break.is_none()
+    }
+}
+
+/// Runs the Theorem 3.4 adversary: `rounds` lock-step rounds (one atomic
+/// step per process per round, in ring order), verifying
+/// [`check_rotation_symmetry`] after every round. Stops early if every
+/// process halts or symmetry breaks.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`check_rotation_symmetry`].
+pub fn run_lockstep_symmetric<M>(
+    sim: &mut Simulation<M>,
+    l: usize,
+    rounds: usize,
+) -> LockstepReport
+where
+    M: Machine + PidMap + Eq + Hash,
+    M::Value: PidMap,
+{
+    let mut report = LockstepReport {
+        rounds: 0,
+        first_break: None,
+        ops: 0,
+    };
+    for round in 0..rounds {
+        if sim.all_halted() {
+            break;
+        }
+        for proc in 0..sim.process_count() {
+            if !sim.is_halted(proc) {
+                match sim.step(proc).expect("slot is valid and not halted") {
+                    StepOutcome::Halted | StepOutcome::Event => {}
+                    _ => report.ops += 1,
+                }
+            }
+        }
+        report.rounds = round + 1;
+        if let Err(brk) = check_rotation_symmetry(sim, l) {
+            report.first_break = Some((round + 1, brk));
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_model::Step;
+
+    /// A symmetric machine: claims zero registers with its pid, scanning in
+    /// local order, forever (a stripped-down Figure 1 scan loop).
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Claimer {
+        pid: Pid,
+        m: usize,
+        j: usize,
+        awaiting: bool,
+    }
+
+    impl Machine for Claimer {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            self.m
+        }
+
+        fn resume(&mut self, read: Option<u64>) -> Step<u64, ()> {
+            if self.awaiting {
+                self.awaiting = false;
+                let v = read.expect("read result");
+                if v == 0 {
+                    return Step::Write(self.j, self.pid.get());
+                }
+                self.j = (self.j + 1) % self.m;
+            } else if read.is_none() {
+                // After a write, advance.
+                self.j = (self.j + 1) % self.m;
+            }
+            self.awaiting = true;
+            Step::Read(self.j)
+        }
+    }
+
+    impl PidMap for Claimer {
+        fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+            Claimer {
+                pid: f(self.pid),
+                ..self.clone()
+            }
+        }
+    }
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn ring_sim(m: usize, l: usize) -> Simulation<Claimer> {
+        let views = ring_views(m, l).unwrap();
+        let mut b = Simulation::builder();
+        for (k, view) in views.into_iter().enumerate() {
+            b = b.process(
+                Claimer {
+                    pid: pid(k as u64 + 1),
+                    m,
+                    j: 0,
+                    awaiting: false,
+                },
+                view,
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_views_validation() {
+        assert!(ring_views(6, 2).is_ok());
+        assert!(ring_views(6, 3).is_ok());
+        assert_eq!(
+            ring_views(5, 2).unwrap_err(),
+            RingError::NotDivisible { m: 5, l: 2 }
+        );
+        assert_eq!(ring_views(4, 1).unwrap_err(), RingError::TooFewProcesses);
+        assert!(!ring_views(0, 2).is_ok());
+    }
+
+    #[test]
+    fn ring_views_are_equally_spaced() {
+        let views = ring_views(6, 3).unwrap();
+        assert_eq!(views[0].physical(0), 0);
+        assert_eq!(views[1].physical(0), 2);
+        assert_eq!(views[2].physical(0), 4);
+        // Same ring direction: each walks +1 mod m.
+        for v in &views {
+            let start = v.physical(0);
+            assert_eq!(v.physical(1), (start + 1) % 6);
+        }
+    }
+
+    #[test]
+    fn initial_configuration_is_symmetric() {
+        let sim = ring_sim(4, 2);
+        assert!(check_rotation_symmetry(&sim, 2).is_ok());
+    }
+
+    #[test]
+    fn lockstep_preserves_symmetry_forever() {
+        // A symmetric algorithm on a divisible ring can never break
+        // symmetry under the lock-step adversary (Theorem 3.4's engine).
+        for (m, l) in [(4, 2), (6, 2), (6, 3), (8, 4)] {
+            let mut sim = ring_sim(m, l);
+            let report = run_lockstep_symmetric(&mut sim, l, 500);
+            assert!(
+                report.symmetric_throughout(),
+                "m={m} l={l}: {:?}",
+                report.first_break
+            );
+            assert_eq!(report.rounds, 500);
+        }
+    }
+
+    #[test]
+    fn asymmetric_schedule_breaks_symmetry() {
+        // If one process runs ahead (not lock-step), the configuration is
+        // no longer rotation-symmetric — the check must detect it.
+        let mut sim = ring_sim(4, 2);
+        sim.step(0).unwrap(); // read
+        sim.step(0).unwrap(); // write pid 1 into physical 0
+        let result = check_rotation_symmetry(&sim, 2);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn symmetry_break_display() {
+        assert!(!SymmetryBreak::Register { physical: 1 }.to_string().is_empty());
+        assert!(!SymmetryBreak::Machine { slot: 0 }.to_string().is_empty());
+        assert!(!RingError::NotDivisible { m: 5, l: 2 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Graphviz export for explored state graphs.
+//!
+//! Small instances of the paper's algorithms have state graphs worth
+//! *looking at* — the even-`m` livelock of Theorem 3.1 is a visible cycle,
+//! the covering runs are visible corridors. [`to_dot`] renders a
+//! [`StateGraph`] in DOT format for `dot -Tsvg`; a labeling callback
+//! controls what each state displays.
+
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+use anonreg_model::Machine;
+
+use crate::explore::StateGraph;
+use crate::Simulation;
+
+/// Options for [`to_dot`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Cap on rendered states (graphs beyond a few hundred nodes are
+    /// unreadable); states with ids beyond the cap are omitted, and edges
+    /// to them are dropped.
+    pub max_states: usize,
+    /// Highlight these states (e.g. a livelock component) with a fill.
+    pub highlight: Vec<usize>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "states".into(),
+            max_states: 400,
+            highlight: Vec::new(),
+        }
+    }
+}
+
+/// Renders the graph in DOT format. `label` produces each state's node
+/// text; event-bearing edges are annotated with their events, crash edges
+/// are dashed.
+///
+/// # Example
+///
+/// ```
+/// use anonreg_model::{Machine, Pid, Step, View};
+/// use anonreg_sim::explore::{explore, ExploreLimits};
+/// use anonreg_sim::viz::{to_dot, DotOptions};
+/// use anonreg_sim::Simulation;
+///
+/// #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// struct Once(Pid, bool);
+/// impl Machine for Once {
+///     type Value = u64;
+///     type Event = ();
+///     fn pid(&self) -> Pid { self.0 }
+///     fn register_count(&self) -> usize { 1 }
+///     fn resume(&mut self, _r: Option<u64>) -> Step<u64, ()> {
+///         if self.1 { Step::Halt } else { self.1 = true; Step::Write(0, 1) }
+///     }
+/// }
+///
+/// let sim = Simulation::builder()
+///     .process(Once(Pid::new(1).unwrap(), false), View::identity(1))
+///     .build()?;
+/// let graph = explore(sim, &ExploreLimits::default()).unwrap();
+/// let dot = to_dot(&graph, &DotOptions::default(), |s| format!("{:?}", s.registers()));
+/// assert!(dot.starts_with("digraph"));
+/// # Ok::<(), anonreg_sim::SimError>(())
+/// ```
+pub fn to_dot<M, F>(graph: &StateGraph<M>, options: &DotOptions, mut label: F) -> String
+where
+    M: Machine + Eq + Hash,
+    F: FnMut(&Simulation<M>) -> String,
+{
+    let shown = graph.state_count().min(options.max_states);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", options.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=9];");
+    for id in 0..shown {
+        let state = graph.state(id);
+        let text = label(state).replace('"', "'");
+        let fill = if options.highlight.contains(&id) {
+            ", style=filled, fillcolor=\"#ffd9d9\""
+        } else if state.all_halted() {
+            ", style=filled, fillcolor=\"#d9ffd9\""
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  s{id} [label=\"{id}: {text}\"{fill}];");
+    }
+    for id in 0..shown {
+        for edge in graph.edges(id) {
+            if edge.target >= shown {
+                continue;
+            }
+            let mut attrs = vec![format!("label=\"p{}\"", edge.proc)];
+            if !edge.events.is_empty() {
+                attrs.push(format!(
+                    "color=blue, fontcolor=blue, label=\"p{} {:?}\"",
+                    edge.proc, edge.events
+                ));
+            }
+            if edge.crash {
+                attrs.push("style=dashed, color=red".into());
+            }
+            let _ = writeln!(out, "  s{id} -> s{} [{}];", edge.target, attrs.join(", "));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreLimits};
+    use anonreg_model::{Pid, Step, View};
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Twice {
+        pid: Pid,
+        left: u8,
+    }
+
+    impl Machine for Twice {
+        type Value = u64;
+        type Event = &'static str;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, &'static str> {
+            match self.left {
+                0 => Step::Halt,
+                1 => {
+                    self.left = 0;
+                    Step::Event("done")
+                }
+                n => {
+                    self.left = n - 1;
+                    Step::Write(0, self.pid.get())
+                }
+            }
+        }
+    }
+
+    fn graph() -> StateGraph<Twice> {
+        let sim = Simulation::builder()
+            .process(
+                Twice {
+                    pid: Pid::new(1).unwrap(),
+                    left: 2,
+                },
+                View::identity(1),
+            )
+            .build()
+            .unwrap();
+        explore(sim, &ExploreLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn dot_renders_nodes_edges_and_events() {
+        let g = graph();
+        let dot = to_dot(&g, &DotOptions::default(), |s| {
+            format!("r={:?}", s.registers())
+        });
+        assert!(dot.starts_with("digraph states {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("s0 ["));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("done"), "event labels present");
+        // Terminal states get the halted fill.
+        assert!(dot.contains("#d9ffd9"));
+    }
+
+    #[test]
+    fn highlight_and_cap_are_respected() {
+        let g = graph();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                name: "demo".into(),
+                max_states: 1,
+                highlight: vec![0],
+            },
+            |_| "x".into(),
+        );
+        assert!(dot.contains("digraph demo"));
+        assert!(dot.contains("#ffd9d9"));
+        assert!(!dot.contains("s1 ["), "states beyond the cap are omitted");
+    }
+
+    #[test]
+    fn quotes_in_labels_are_escaped() {
+        let g = graph();
+        let dot = to_dot(&g, &DotOptions::default(), |_| "say \"hi\"".into());
+        assert!(!dot.contains("\"say \"hi\"\""));
+        assert!(dot.contains("say 'hi'"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Scenario: replicas of a freshly booted service must agree on a
+//! configuration epoch **before** any naming infrastructure exists.
+//!
+//! ```text
+//! cargo run --release --example config_epoch
+//! ```
+//!
+//! The bootstrapping chicken-and-egg the paper's model captures: agreeing
+//! on which shared location is "the config register" is itself an
+//! agreement problem. Here each replica maps the shared segment in its own
+//! order (a random view), proposes the config epoch it believes is
+//! current, and the Figure 2 consensus object yields one winning epoch.
+//! Election then designates the replica that will own follow-up work —
+//! without ordering identifiers (the model allows equality checks only).
+
+use anonreg_model::Pid;
+use anonreg_runtime::{AnonymousConsensus, AnonymousElection, RuntimeError};
+
+/// A replica's boot-time belief.
+#[derive(Clone, Copy, Debug)]
+struct Replica {
+    /// Self-assigned identifier (e.g. derived from a MAC address — unique
+    /// but from an unbounded space, exactly the paper's assumption).
+    id: u64,
+    /// The config epoch this replica last saw before the restart.
+    believed_epoch: u64,
+}
+
+fn main() -> Result<(), RuntimeError> {
+    let replicas = [
+        Replica { id: 0xA11CE, believed_epoch: 41 },
+        Replica { id: 0xB0B, believed_epoch: 42 },
+        Replica { id: 0xCA51, believed_epoch: 41 },
+        Replica { id: 0xD0D0, believed_epoch: 40 },
+        Replica { id: 0xE66, believed_epoch: 42 },
+    ];
+    let n = replicas.len();
+
+    // Phase 1: agree on the epoch to resume from.
+    let consensus = AnonymousConsensus::new(n)?;
+    let epochs: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let joins: Vec<_> = replicas
+            .iter()
+            .map(|replica| {
+                let handle = consensus.handle(Pid::new(replica.id).unwrap()).unwrap();
+                let replica = *replica;
+                s.spawn(move || {
+                    let agreed = handle.propose(replica.believed_epoch).expect("valid epoch");
+                    (replica.id, agreed)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let agreed_epoch = epochs[0].1;
+    for (id, epoch) in &epochs {
+        println!("replica {id:#x}: resuming at epoch {epoch}");
+        assert_eq!(epoch, &agreed_epoch, "agreement");
+    }
+    assert!(
+        replicas.iter().any(|r| r.believed_epoch == agreed_epoch),
+        "validity: the agreed epoch was somebody's belief"
+    );
+
+    // Phase 2: elect the replica that will rebuild the naming service.
+    let election = AnonymousElection::new(n)?;
+    let leaders: Vec<Pid> = std::thread::scope(|s| {
+        let joins: Vec<_> = replicas
+            .iter()
+            .map(|replica| {
+                let handle = election.handle(Pid::new(replica.id).unwrap()).unwrap();
+                s.spawn(move || handle.elect().expect("ids fit in 32 bits"))
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let leader = leaders[0];
+    assert!(leaders.iter().all(|&l| l == leader));
+    assert!(replicas.iter().any(|r| r.id == leader.get()));
+    println!("replica {:#x} elected to rebuild the naming service", leader.get());
+    println!("bootstrapped epoch {agreed_epoch} without prior agreement ✓");
+    Ok(())
+}

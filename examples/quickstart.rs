@@ -1,0 +1,79 @@
+//! Quickstart: the three coordination primitives, on real threads, with
+//! **zero prior agreement** on register names.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Every thread in this example sees the shared registers through its own
+//! random permutation — thread A's "register 0" is thread B's "register 3"
+//! — and coordination still works, which is the point of the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anonreg_model::Pid;
+use anonreg_runtime::{AnonymousConsensus, AnonymousMutex, AnonymousRenaming, RuntimeError};
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).expect("nonzero id")
+}
+
+fn main() -> Result<(), RuntimeError> {
+    // --- Mutual exclusion (Figure 1): two threads, five anonymous
+    // registers (any odd m >= 3 works; even m livelocks — Theorem 3.1).
+    let lock = AnonymousMutex::new(5)?;
+    let mut alice = lock.handle(pid(101))?;
+    let mut bob = lock.handle(pid(202))?;
+    let counter = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for handle in [&mut alice, &mut bob] {
+            s.spawn(|| {
+                for _ in 0..10_000 {
+                    let _guard = handle.enter();
+                    // Non-atomic-looking read-modify-write, protected by
+                    // the anonymous lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    println!("mutex: counter = {} (expected 20000)", counter.into_inner());
+
+    // --- Consensus (Figure 2): four threads agree on one proposal.
+    let consensus = AnonymousConsensus::new(4)?;
+    let decisions: Vec<u64> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..4u64)
+            .map(|i| {
+                let handle = consensus.handle(pid(1000 + i)).unwrap();
+                s.spawn(move || handle.propose(10 * (i + 1)).expect("valid input"))
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    println!("consensus: all four threads decided {:?}", decisions);
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+
+    // --- Adaptive perfect renaming (Figure 3): three participants (out of
+    // up to five) squeeze their huge ids into exactly {1, 2, 3}.
+    let renaming = AnonymousRenaming::new(5)?;
+    let names: Vec<(u64, u32)> = std::thread::scope(|s| {
+        let joins: Vec<_> = [987_654_321u64, 31_337, 424_242]
+            .into_iter()
+            .map(|id| {
+                let handle = renaming.handle(pid(id)).unwrap();
+                s.spawn(move || (id, handle.acquire()))
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    for (id, name) in &names {
+        println!("renaming: process {id} is now \"{name}\"");
+    }
+    let mut acquired: Vec<u32> = names.iter().map(|&(_, n)| n).collect();
+    acquired.sort_unstable();
+    assert_eq!(acquired, vec![1, 2, 3], "adaptive: 3 participants, names 1..3");
+
+    println!("all three primitives coordinated without prior agreement ✓");
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! Workspace umbrella crate: hosts the integration tests in `tests/` and the
+//! runnable examples in `examples/`. The real library lives in the `anonreg*`
+//! crates; see the repository README.

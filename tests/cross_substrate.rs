@@ -1,0 +1,144 @@
+//! Cross-substrate equivalence: the same `Machine` must behave identically
+//! under the deterministic simulator and the real-thread driver when given
+//! the same view and no contention — the two substrates are different
+//! adversaries over the same algorithm, not different algorithms.
+
+use anonreg::consensus::{AnonConsensus, ConsensusEvent};
+use anonreg::election::{AnonElection, ElectionEvent};
+use anonreg::mutex::{AnonMutex, MutexEvent};
+use anonreg::renaming::{AnonRenaming, RenamingEvent};
+use anonreg::{Machine, Pid, View};
+use anonreg_model::trace::TraceOp;
+use anonreg_runtime::{
+    AnonymousMemory, Driver, LockRegister, PackedAtomicRegister, Register,
+};
+use anonreg_sim::{sched, Simulation};
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+/// Runs `machine` solo under the simulator; returns (events, ops).
+fn sim_solo<M: Machine>(machine: M, view: View) -> (Vec<M::Event>, usize) {
+    let mut sim = Simulation::builder().process(machine, view).build().unwrap();
+    let ops = sched::round_robin(&mut sim, 1_000_000);
+    assert!(sim.all_halted());
+    let events = sim
+        .trace()
+        .iter()
+        .filter_map(|entry| match &entry.op {
+            TraceOp::Event(e) => Some(e.clone()),
+            _ => None,
+        })
+        .collect();
+    (events, ops)
+}
+
+/// Runs `machine` solo on the thread driver; returns (events, ops).
+fn thread_solo<M, R>(machine: M, view: View) -> (Vec<M::Event>, u64)
+where
+    M: Machine,
+    R: Register<M::Value>,
+    M::Value: Default,
+{
+    let memory: AnonymousMemory<R> = AnonymousMemory::new(machine.register_count());
+    let mut driver = Driver::new(machine, memory.view(view));
+    let events = driver.run_to_halt();
+    (events, driver.report().ops())
+}
+
+#[test]
+fn consensus_solo_matches_across_substrates() {
+    for n in 1..5 {
+        for shift in 0..(2 * n - 1) {
+            let view = View::rotated(2 * n - 1, shift);
+            let machine = AnonConsensus::new(pid(9), n, 77).unwrap();
+            let (sim_events, sim_ops) = sim_solo(machine.clone(), view.clone());
+            let (thread_events, thread_ops) =
+                thread_solo::<_, PackedAtomicRegister<_>>(machine, view);
+            assert_eq!(sim_events, thread_events, "n={n} shift={shift}");
+            assert_eq!(sim_ops as u64, thread_ops, "n={n} shift={shift}");
+            assert_eq!(sim_events, vec![ConsensusEvent::Decide(77)]);
+        }
+    }
+}
+
+#[test]
+fn election_solo_matches_across_substrates() {
+    for n in 1..4 {
+        let view = View::rotated(2 * n - 1, n - 1);
+        let machine = AnonElection::new(pid(4), n).unwrap();
+        let (sim_events, sim_ops) = sim_solo(machine.clone(), view.clone());
+        let (thread_events, thread_ops) =
+            thread_solo::<_, PackedAtomicRegister<_>>(machine, view);
+        assert_eq!(sim_events, thread_events, "n={n}");
+        assert_eq!(sim_ops as u64, thread_ops);
+        assert_eq!(sim_events, vec![ElectionEvent::Elected(pid(4))]);
+    }
+}
+
+#[test]
+fn renaming_solo_matches_across_substrates() {
+    for n in 1..5 {
+        let view = View::rotated(2 * n - 1, 1 % (2 * n - 1));
+        let machine = AnonRenaming::new(pid(6), n).unwrap();
+        let (sim_events, sim_ops) = sim_solo(machine.clone(), view.clone());
+        let (thread_events, thread_ops) = thread_solo::<_, LockRegister<_>>(machine, view);
+        assert_eq!(sim_events, thread_events, "n={n}");
+        assert_eq!(sim_ops as u64, thread_ops);
+        assert_eq!(sim_events, vec![RenamingEvent::Named(1)]);
+    }
+}
+
+#[test]
+fn mutex_solo_matches_across_substrates() {
+    for m in [3usize, 5, 9] {
+        let view = View::rotated(m, m - 1);
+        let machine = AnonMutex::new(pid(2), m).unwrap().with_cycles(3);
+        let (sim_events, sim_ops) = sim_solo(machine.clone(), view.clone());
+        let (thread_events, thread_ops) =
+            thread_solo::<_, PackedAtomicRegister<_>>(machine, view);
+        assert_eq!(sim_events, thread_events, "m={m}");
+        assert_eq!(sim_ops as u64, thread_ops);
+        assert_eq!(sim_events.len(), 6);
+        assert_eq!(sim_events[0], MutexEvent::Enter);
+    }
+}
+
+#[test]
+fn sequential_renaming_matches_across_substrates() {
+    // Two processes run back-to-back (no concurrency): both substrates must
+    // assign the same names in the same order.
+    let n = 3;
+    let m = 2 * n - 1;
+
+    // Simulator: run machines one after another in one shared memory.
+    let mut sim = Simulation::builder()
+        .process(AnonRenaming::new(pid(1), n).unwrap(), View::identity(m))
+        .process(AnonRenaming::new(pid(2), n).unwrap(), View::rotated(m, 2))
+        .build()
+        .unwrap();
+    sim.run_solo(0, 1_000_000).unwrap();
+    sim.run_solo(1, 1_000_000).unwrap();
+    let sim_names: Vec<_> = sim.trace().events().map(|(_, _, e)| *e).collect();
+
+    // Threads (still sequential): same memory, same views.
+    let memory: AnonymousMemory<LockRegister<_>> = AnonymousMemory::new(m);
+    let mut d1 = Driver::new(
+        AnonRenaming::new(pid(1), n).unwrap(),
+        memory.view(View::identity(m)),
+    );
+    let first = d1.run_to_halt();
+    let mut d2 = Driver::new(
+        AnonRenaming::new(pid(2), n).unwrap(),
+        memory.view(View::rotated(m, 2)),
+    );
+    let second = d2.run_to_halt();
+    let thread_names: Vec<_> = first.into_iter().chain(second).collect();
+
+    assert_eq!(sim_names, thread_names);
+    assert_eq!(
+        thread_names,
+        vec![RenamingEvent::Named(1), RenamingEvent::Named(2)]
+    );
+}

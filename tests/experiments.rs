@@ -1,0 +1,113 @@
+//! End-to-end experiment assertions: every table in `EXPERIMENTS.md` must
+//! come out paper-shaped at test scale. (The full-scale sweeps run via
+//! `cargo run --release -p anonreg-bench --bin repro`.)
+
+use anonreg_bench::{
+    e10_solo_steps, e12_starvation, e1_parity, e2_ring, e3_consensus, e4_consensus_space,
+    e5_renaming, e6_renaming_space, e7_unknown_n, e8_election,
+};
+use anonreg_lower::mutex_cover::MutexFailure;
+
+#[test]
+fn e1_parity_table_matches_theorem_3_1() {
+    let rows = e1_parity::rows(4);
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        assert!(row.matches_paper(), "m={}: {row:?}", row.m);
+    }
+    // Spot-check the dichotomy explicitly.
+    assert!(!rows[0].safe, "m=1 is unsafe");
+    assert!(rows[1].safe && !rows[1].live, "m=2 livelocks");
+    assert!(rows[2].safe && rows[2].live, "m=3 works");
+    assert!(rows[3].safe && !rows[3].live, "m=4 livelocks");
+}
+
+#[test]
+fn e2_ring_table_matches_theorem_3_4() {
+    for row in e2_ring::rows(8, 4, 200) {
+        match row.starved {
+            Some(starved) => {
+                assert!(starved, "divisible ring must starve: {row:?}");
+                assert!(row.gcd > 1);
+            }
+            None => assert_ne!(row.m % row.l, 0),
+        }
+    }
+}
+
+#[test]
+fn e3_consensus_sweeps_are_clean() {
+    for row in e3_consensus::rows(4, 20) {
+        assert_eq!(row.violations, 0, "{row:?}");
+    }
+}
+
+#[test]
+fn e4_consensus_space_bound_attacks_all_succeed() {
+    for row in e4_consensus_space::rows(5) {
+        assert!(row.violated, "{row:?}");
+    }
+}
+
+#[test]
+fn e5_renaming_sweeps_are_adaptive() {
+    for row in e5_renaming::rows(4, 10) {
+        assert_eq!(row.violations, 0, "{row:?}");
+        assert!(row.max_name <= row.k as u32, "{row:?}");
+    }
+}
+
+#[test]
+fn e6_renaming_space_bound_attacks_all_succeed() {
+    for row in e6_renaming_space::rows(5) {
+        assert!(row.violated, "{row:?}");
+        assert_eq!(row.name, 1);
+    }
+}
+
+#[test]
+fn e7_unknown_n_attacks_all_fail_somehow() {
+    let rows = e7_unknown_n::rows(5);
+    assert!(rows.iter().all(|r| r.indistinguishable));
+    assert!(matches!(
+        rows[0].failure,
+        MutexFailure::MutualExclusionViolated { .. }
+    ));
+    for row in &rows[1..] {
+        assert!(matches!(row.failure, MutexFailure::Starvation { .. }));
+    }
+}
+
+#[test]
+fn e8_election_sweeps_are_clean() {
+    for row in e8_election::rows(4, 15) {
+        assert_eq!(row.violations, 0, "{row:?}");
+    }
+}
+
+#[test]
+fn e10_solo_costs_respect_bounds() {
+    for row in e10_solo_steps::rows(8) {
+        assert!(row.within_bound(), "{row:?}");
+    }
+}
+
+#[test]
+fn e12_starvation_verdicts_match_theory() {
+    for row in e12_starvation::rows() {
+        assert!(row.matches(), "{row:?}");
+    }
+}
+
+#[test]
+fn all_tables_render() {
+    assert!(!e1_parity::render(&e1_parity::rows(2)).is_empty());
+    assert!(!e2_ring::render(&e2_ring::rows(4, 2, 10)).is_empty());
+    assert!(!e3_consensus::render(&e3_consensus::rows(2, 2)).is_empty());
+    assert!(!e4_consensus_space::render(&e4_consensus_space::rows(3)).is_empty());
+    assert!(!e5_renaming::render(&e5_renaming::rows(2, 2)).is_empty());
+    assert!(!e6_renaming_space::render(&e6_renaming_space::rows(3)).is_empty());
+    assert!(!e7_unknown_n::render(&e7_unknown_n::rows(2)).is_empty());
+    assert!(!e8_election::render(&e8_election::rows(2, 2)).is_empty());
+    assert!(!e10_solo_steps::render(&e10_solo_steps::rows(2)).is_empty());
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! Each property quantifies over the *adversary's* choices — register
+//! permutations, schedules, process counts, identifiers — and asserts the
+//! paper's guarantees survive all of them.
+
+use anonreg::consensus::AnonConsensus;
+use anonreg::mutex::AnonMutex;
+use anonreg::renaming::AnonRenaming;
+use anonreg::spec::{check_consensus, check_mutual_exclusion, check_renaming};
+use anonreg::{Pid, View};
+use anonreg_sim::{sched, Simulation};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+/// Strategy: a random permutation of `0..m`.
+fn perm(m: usize) -> impl Strategy<Value = View> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut p: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            p.swap(i, j);
+        }
+        View::from_perm(p).expect("shuffled range is a permutation")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// View algebra: inverse and composition behave like a permutation
+    /// group.
+    #[test]
+    fn view_inverse_round_trips(view in (1usize..12).prop_flat_map(perm)) {
+        let m = view.len();
+        prop_assert_eq!(view.compose(&view.inverse()), View::identity(m));
+        prop_assert_eq!(view.inverse().compose(&view), View::identity(m));
+        prop_assert_eq!(view.inverse().inverse(), view.clone());
+        for local in 0..m {
+            prop_assert_eq!(view.local(view.physical(local)), local);
+        }
+    }
+
+    /// Figure 1 safety: under ANY pair of views and ANY seeded schedule,
+    /// two processes with an odd register count never overlap in the
+    /// critical section.
+    #[test]
+    fn mutex_safety_under_random_views_and_schedules(
+        m_idx in 0usize..2,
+        view_a in perm(5),
+        view_b in perm(5),
+        seed in any::<u64>(),
+    ) {
+        let m = [3, 5][m_idx];
+        // Shrink the 5-permutations down to m registers by filtering.
+        let shrink = |v: &View| {
+            let p: Vec<usize> = v.iter().filter(|&x| x < m).collect();
+            View::from_perm(p).expect("filtered permutation stays one")
+        };
+        let mut sim = Simulation::builder()
+            .process(AnonMutex::new(pid(1), m).unwrap(), shrink(&view_a))
+            .process(AnonMutex::new(pid(2), m).unwrap(), shrink(&view_b))
+            .build()
+            .unwrap();
+        sched::random(&mut sim, seed, 4_000);
+        let stats = check_mutual_exclusion(sim.trace())
+            .map_err(|v| TestCaseError::fail(format!("m={m} seed={seed}: {v}")))?;
+        // Under a fair-ish random schedule someone usually gets in, but
+        // safety is the property under test; entries may be 0 on adversarial
+        // prefixes.
+        let _ = stats;
+    }
+
+    /// Figure 2 agreement + validity under random views, schedules, and
+    /// inputs.
+    #[test]
+    fn consensus_agreement_under_random_everything(
+        n in 2usize..5,
+        seed in any::<u64>(),
+        raw_inputs in vec(1u64..100, 4),
+    ) {
+        let inputs: Vec<u64> = raw_inputs.into_iter().take(n).collect();
+        prop_assume!(inputs.len() == n);
+        let machines: Vec<AnonConsensus> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &input)| AnonConsensus::new(pid(50 + i as u64), n, input).unwrap())
+            .collect();
+        let m = 2 * n - 1;
+        let views = anonreg_bench::workload::random_views(m, n, seed);
+        let mut builder = Simulation::builder();
+        for (machine, view) in machines.into_iter().zip(views) {
+            builder = builder.process(machine, view);
+        }
+        let mut sim = builder.build().unwrap();
+        sched::random_bursts(&mut sim, seed, 8 * n, 60_000 * n);
+        check_consensus(sim.trace(), &inputs)
+            .map_err(|v| TestCaseError::fail(format!("n={n} seed={seed}: {v}")))?;
+    }
+
+    /// Figure 3 uniqueness + adaptivity under random participation.
+    #[test]
+    fn renaming_adaptivity_under_random_everything(
+        n in 2usize..5,
+        k_raw in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let k = k_raw.min(n);
+        let machines: Vec<AnonRenaming> = (0..k)
+            .map(|i| AnonRenaming::new(pid(300 + 7 * i as u64), n).unwrap())
+            .collect();
+        let m = 2 * n - 1;
+        let views = anonreg_bench::workload::random_views(m, k, seed);
+        let mut builder = Simulation::builder();
+        for (machine, view) in machines.into_iter().zip(views) {
+            builder = builder.process(machine, view);
+        }
+        let mut sim = builder.build().unwrap();
+        sched::random_bursts(&mut sim, seed, 16 * n, 80_000 * n);
+        let stats = check_renaming(sim.trace(), k as u32)
+            .map_err(|v| TestCaseError::fail(format!("n={n} k={k} seed={seed}: {v}")))?;
+        prop_assert!(stats.max_name() <= k as u32);
+    }
+
+    /// Determinism: the same seed reproduces the same run, byte for byte.
+    #[test]
+    fn seeded_runs_replay_identically(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut sim = Simulation::builder()
+                .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+                .process(AnonMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+                .build()
+                .unwrap();
+            sched::random(&mut sim, seed, 500);
+            format!("{}", sim.trace())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Packing: consensus records with 32-bit fields round-trip through the
+    /// atomic encoding.
+    #[test]
+    fn cons_record_pack_round_trips(id in 0u64..=u32::MAX as u64, val in 0u64..=u32::MAX as u64) {
+        use anonreg::consensus::ConsRecord;
+        use anonreg_runtime::Pack64;
+        let record = ConsRecord { id, val };
+        prop_assert_eq!(ConsRecord::unpack(record.pack()), record);
+    }
+}

@@ -1,0 +1,153 @@
+//! Real-thread stress: the properties must survive genuine hardware
+//! concurrency, not just the simulator's interleavings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use anonreg_model::Pid;
+use anonreg_runtime::{
+    AnonymousConsensus, AnonymousElection, AnonymousMutex, AnonymousRenaming,
+};
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+#[test]
+fn mutex_exclusion_under_sustained_contention() {
+    for m in [3usize, 7] {
+        let lock = AnonymousMutex::new(m).unwrap();
+        let mut a = lock.handle(pid(1)).unwrap();
+        let mut b = lock.handle(pid(2)).unwrap();
+        let inside = AtomicUsize::new(0);
+        let overlaps = AtomicUsize::new(0);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for handle in [&mut a, &mut b] {
+                s.spawn(|| {
+                    for _ in 0..1_500 {
+                        let _guard = handle.enter();
+                        if inside.fetch_add(1, Ordering::SeqCst) != 0 {
+                            overlaps.fetch_add(1, Ordering::SeqCst);
+                        }
+                        std::hint::spin_loop();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        total.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(overlaps.load(Ordering::SeqCst), 0, "m={m}");
+        assert_eq!(total.load(Ordering::SeqCst), 3_000, "m={m}");
+    }
+}
+
+#[test]
+fn consensus_repeated_rounds_agree() {
+    for round in 0..20u64 {
+        let n = 4;
+        let consensus = AnonymousConsensus::new(n).unwrap();
+        let decisions: Vec<u64> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..n as u64)
+                .map(|i| {
+                    let h = consensus.handle(pid(1 + i + round * 100)).unwrap();
+                    s.spawn(move || h.propose(i + 1).unwrap())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let first = decisions[0];
+        assert!(
+            decisions.iter().all(|&d| d == first),
+            "round {round}: {decisions:?}"
+        );
+        assert!((1..=n as u64).contains(&first));
+    }
+}
+
+#[test]
+fn consensus_scales_to_eight_threads() {
+    let n = 8;
+    let consensus = AnonymousConsensus::new(n).unwrap();
+    let decisions: Vec<u64> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..n as u64)
+            .map(|i| {
+                let h = consensus.handle(pid(10 + i)).unwrap();
+                s.spawn(move || h.propose(100 + i).unwrap())
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let first = decisions[0];
+    assert!(decisions.iter().all(|&d| d == first));
+}
+
+#[test]
+fn renaming_repeated_rounds_stay_perfect() {
+    for round in 0..10u64 {
+        let n = 5;
+        let renaming = AnonymousRenaming::new(n).unwrap();
+        let mut names: Vec<u32> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..n as u64)
+                .map(|i| {
+                    let h = renaming.handle(pid(1 + i * 13 + round * 1000)).unwrap();
+                    s.spawn(move || h.acquire())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        names.sort_unstable();
+        assert_eq!(names, vec![1, 2, 3, 4, 5], "round {round}");
+    }
+}
+
+#[test]
+fn election_is_stable_across_contention() {
+    for round in 0..15u64 {
+        let n = 3;
+        let election = AnonymousElection::new(n).unwrap();
+        let ids: Vec<u64> = (0..n as u64).map(|i| 500 + i + round * 50).collect();
+        let leaders: Vec<Pid> = std::thread::scope(|s| {
+            let joins: Vec<_> = ids
+                .iter()
+                .map(|&id| {
+                    let h = election.handle(pid(id)).unwrap();
+                    s.spawn(move || h.elect().unwrap())
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let first = leaders[0];
+        assert!(leaders.iter().all(|&l| l == first), "round {round}");
+        assert!(ids.contains(&first.get()), "round {round}");
+    }
+}
+
+#[test]
+fn staggered_arrivals_preserve_renaming_uniqueness() {
+    // Late arrivals must slot in above the names already taken.
+    let n = 6;
+    let renaming = AnonymousRenaming::new(n).unwrap();
+    let first_wave: Vec<u32> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..3u64)
+            .map(|i| {
+                let h = renaming.handle(pid(100 + i)).unwrap();
+                s.spawn(move || h.acquire())
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let second_wave: Vec<u32> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..3u64)
+            .map(|i| {
+                let h = renaming.handle(pid(200 + i)).unwrap();
+                s.spawn(move || h.acquire())
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let mut all: Vec<u32> = first_wave.iter().chain(&second_wave).copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), 6, "all six names distinct");
+    assert!(first_wave.iter().all(|&name| name <= 3), "adaptive first wave");
+}

@@ -1,7 +1,7 @@
 //! E4/E6/E7 machinery benchmark: cost of constructing the covering-argument
 //! violations as the instance size grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anonreg_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use anonreg_lower::consensus_cover::disagreement;
 use anonreg_lower::mutex_cover::unknown_n_attack;

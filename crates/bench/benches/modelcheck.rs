@@ -2,7 +2,7 @@
 //! mutex state space as the register count grows, plus the price of the
 //! SCC-based fair-livelock analysis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anonreg_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use anonreg::hybrid::{named_view, HybridMutex};
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
@@ -83,7 +83,9 @@ fn bench_extensions(c: &mut Criterion) {
                     )
                     .build()
                     .unwrap();
-                explore(sim, &ExploreLimits::default()).unwrap().state_count()
+                explore(sim, &ExploreLimits::default())
+                    .unwrap()
+                    .state_count()
             });
         });
         group.bench_with_input(BenchmarkId::new("ordered_states", m), &m, |b, &m| {
@@ -99,7 +101,9 @@ fn bench_extensions(c: &mut Criterion) {
                     )
                     .build()
                     .unwrap();
-                explore(sim, &ExploreLimits::default()).unwrap().state_count()
+                explore(sim, &ExploreLimits::default())
+                    .unwrap()
+                    .state_count()
             });
         });
     }

@@ -1,7 +1,7 @@
 //! E2 machinery benchmark: lock-step ring rounds with the per-round
 //! rotation-symmetry verification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anonreg_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use anonreg_lower::ring::ring_starvation;
 

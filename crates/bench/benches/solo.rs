@@ -2,7 +2,7 @@
 //! as `n` grows — the proofs predict `Θ(n²)` memory operations, so the
 //! measured time should grow quadratically.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anonreg_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use anonreg::consensus::AnonConsensus;
 use anonreg::renaming::AnonRenaming;

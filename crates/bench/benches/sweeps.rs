@@ -1,7 +1,7 @@
 //! E3/E5/E8 machinery benchmark: cost of one full seeded-adversary
 //! validation run per algorithm (simulation + specification checking).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anonreg_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use anonreg::consensus::AnonConsensus;
 use anonreg::election::AnonElection;
@@ -58,8 +58,7 @@ fn bench_election_sweep(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let pids: Vec<Pid> =
-                    (0..n).map(|i| Pid::new(7000 + i as u64).unwrap()).collect();
+                let pids: Vec<Pid> = (0..n).map(|i| Pid::new(7000 + i as u64).unwrap()).collect();
                 let machines: Vec<AnonElection> = pids
                     .iter()
                     .map(|&pid| AnonElection::new(pid, n).unwrap())

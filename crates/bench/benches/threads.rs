@@ -7,7 +7,7 @@
 //! thread count grows, because the anonymous algorithms pay `O(n)` extra
 //! registers and scans for the missing agreement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use anonreg_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use anonreg_bench::e9_threads;
 

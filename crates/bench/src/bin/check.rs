@@ -31,9 +31,55 @@ use anonreg_sim::Simulation;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: check <mutex|hybrid|ordered|consensus|renaming> [--m N] [--n N] \
-         [--registers N] [--shift N] [--max-states N] [--crashes] [--dot FILE]"
+         [--registers N] [--shift N] [--max-states N] [--crashes] [--dot FILE]\n\
+         \x20      check lint <--all|ALGO|fixtures>   static analysis (L1-L6); \
+         ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}"
     );
     ExitCode::FAILURE
+}
+
+/// Runs the static analyzer: `check lint --all`, `check lint <algo>`, or
+/// `check lint fixtures`. The exit code always reflects the verdicts, so
+/// the fixtures run — every lint firing on its negative fixture, witness
+/// attached — exits non-zero by design (CI asserts the failure).
+fn lint_main(selector: Option<&str>) -> ExitCode {
+    use anonreg_bench::lintsuite;
+
+    let reports = match selector {
+        Some("--all") | None => lintsuite::lint_all(),
+        Some("fixtures") => lintsuite::lint_fixtures(),
+        Some(name) => match lintsuite::lint_algorithm(name) {
+            Some(reports) => reports,
+            None => {
+                eprintln!(
+                    "unknown algorithm {name:?}; expected one of {:?}, fixtures, or --all",
+                    lintsuite::ALGORITHMS
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mut clean = true;
+    for report in &reports {
+        print!("{report}");
+        clean &= report.passed();
+    }
+    let failed = reports.iter().filter(|r| !r.passed()).count();
+    println!(
+        "\n{} subjects linted; {}",
+        reports.len(),
+        if clean {
+            "all clean".to_string()
+        } else {
+            format!("{failed} FAILED")
+        }
+    );
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 struct Args {
@@ -91,11 +137,8 @@ fn pid(n: u64) -> Pid {
     Pid::new(n).unwrap()
 }
 
-fn mutex_report<M>(
-    graph: &StateGraph<M>,
-    section: impl Fn(&M) -> Section + Copy,
-    dot: Option<&str>,
-) where
+fn mutex_report<M>(graph: &StateGraph<M>, section: impl Fn(&M) -> Section + Copy, dot: Option<&str>)
+where
     M: anonreg::Machine<Event = MutexEvent> + Eq + std::hash::Hash,
 {
     println!(
@@ -104,7 +147,10 @@ fn mutex_report<M>(
         graph.edge_count()
     );
     let unsafe_state = graph.find_state(|s| {
-        s.machines().filter(|m| section(m) == Section::Critical).count() >= 2
+        s.machines()
+            .filter(|m| section(m) == Section::Critical)
+            .count()
+            >= 2
     });
     match unsafe_state {
         Some(id) => {
@@ -118,7 +164,10 @@ fn mutex_report<M>(
         |e| *e == MutexEvent::Enter,
     );
     match &livelock {
-        Some(scc) => println!("deadlock-freedom : VIOLATED (fair livelock, {} states)", scc.len()),
+        Some(scc) => println!(
+            "deadlock-freedom : VIOLATED (fair livelock, {} states)",
+            scc.len()
+        ),
         None => println!("deadlock-freedom : holds (no fair livelock)"),
     }
     for victim in 0..2 {
@@ -132,7 +181,9 @@ fn mutex_report<M>(
                 "starvation (p{victim})  : possible (fair component of {} states)",
                 scc.len()
             ),
-            None => println!("starvation (p{victim})  : impossible (starvation-free for p{victim})"),
+            None => {
+                println!("starvation (p{victim})  : impossible (starvation-free for p{victim})");
+            }
         }
     }
     if let Some(path) = dot {
@@ -156,6 +207,9 @@ fn main() -> ExitCode {
     let Some(kind) = raw.first().cloned() else {
         return usage();
     };
+    if kind == "lint" {
+        return lint_main(raw.get(1).map(String::as_str));
+    }
     let Some(args) = parse(&raw[1..]) else {
         return usage();
     };
@@ -171,7 +225,10 @@ fn main() -> ExitCode {
                 args.m, args.shift
             );
             let sim = Simulation::builder()
-                .process(AnonMutex::new(pid(1), args.m).unwrap(), View::identity(args.m))
+                .process(
+                    AnonMutex::new(pid(1), args.m).unwrap(),
+                    View::identity(args.m),
+                )
                 .process(
                     AnonMutex::new(pid(2), args.m).unwrap(),
                     View::rotated(args.m, args.shift % args.m),
@@ -268,7 +325,7 @@ fn main() -> ExitCode {
                         let d: Vec<u64> = s
                             .machines()
                             .filter(|m| m.has_decided())
-                            .map(|m| m.preference())
+                            .map(anonreg::consensus::AnonConsensus::preference)
                             .collect();
                         d.windows(2).any(|w| w[0] != w[1])
                     });

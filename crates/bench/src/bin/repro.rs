@@ -10,8 +10,8 @@ use std::env;
 use std::time::Instant;
 
 use anonreg_bench::{
-    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e1_parity, e2_ring, e3_consensus, e4_consensus_space,
-    e5_renaming, e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
+    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e1_parity, e2_ring, e3_consensus,
+    e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
 };
 
 struct Config {
@@ -41,7 +41,9 @@ fn main() {
                 );
                 return;
             }
-            other => config.selected.push(other.trim_start_matches("--").to_string()),
+            other => config
+                .selected
+                .push(other.trim_start_matches("--").to_string()),
         }
     }
 
@@ -58,9 +60,11 @@ fn main() {
 
     let q = config.quick;
 
-    section("e1", "mutex register parity (Theorem 3.1), exhaustive model checking", &|| {
-        e1_parity::render(&e1_parity::rows(if q { 4 } else { 6 }))
-    });
+    section(
+        "e1",
+        "mutex register parity (Theorem 3.1), exhaustive model checking",
+        &|| e1_parity::render(&e1_parity::rows(if q { 4 } else { 6 })),
+    );
     section("e2", "lock-step ring starvation (Theorem 3.4)", &|| {
         e2_ring::render(&e2_ring::rows(
             if q { 8 } else { 12 },
@@ -68,38 +72,69 @@ fn main() {
             if q { 300 } else { 2_000 },
         ))
     });
-    section("e3", "consensus agreement/validity sweeps (Theorems 4.1, 4.2)", &|| {
-        e3_consensus::render(&e3_consensus::rows(if q { 4 } else { 6 }, if q { 50 } else { 400 }))
-    });
-    section("e4", "consensus space lower bound via covering (Theorem 6.3)", &|| {
-        e4_consensus_space::render(&e4_consensus_space::rows(if q { 5 } else { 8 }))
-    });
-    section("e5", "renaming uniqueness + adaptivity (Theorems 5.1–5.3)", &|| {
-        e5_renaming::render(&e5_renaming::rows(if q { 4 } else { 6 }, if q { 30 } else { 200 }))
-    });
-    section("e6", "renaming space lower bound via covering (Theorem 6.5)", &|| {
-        e6_renaming_space::render(&e6_renaming_space::rows(if q { 5 } else { 8 }))
-    });
+    section(
+        "e3",
+        "consensus agreement/validity sweeps (Theorems 4.1, 4.2)",
+        &|| {
+            e3_consensus::render(&e3_consensus::rows(
+                if q { 4 } else { 6 },
+                if q { 50 } else { 400 },
+            ))
+        },
+    );
+    section(
+        "e4",
+        "consensus space lower bound via covering (Theorem 6.3)",
+        &|| e4_consensus_space::render(&e4_consensus_space::rows(if q { 5 } else { 8 })),
+    );
+    section(
+        "e5",
+        "renaming uniqueness + adaptivity (Theorems 5.1–5.3)",
+        &|| {
+            e5_renaming::render(&e5_renaming::rows(
+                if q { 4 } else { 6 },
+                if q { 30 } else { 200 },
+            ))
+        },
+    );
+    section(
+        "e6",
+        "renaming space lower bound via covering (Theorem 6.5)",
+        &|| e6_renaming_space::render(&e6_renaming_space::rows(if q { 5 } else { 8 })),
+    );
     section("e7", "unknown process count attacks (Theorem 6.2)", &|| {
         e7_unknown_n::render(&e7_unknown_n::rows(if q { 4 } else { 7 }))
     });
     section("e8", "election sweeps (§4 note)", &|| {
-        e8_election::render(&e8_election::rows(if q { 4 } else { 6 }, if q { 30 } else { 200 }))
+        e8_election::render(&e8_election::rows(
+            if q { 4 } else { 6 },
+            if q { 30 } else { 200 },
+        ))
     });
-    section("e9", "real-thread throughput vs named baselines (§1 plasticity)", &|| {
-        let (entries, reps) = if q { (2_000, 20) } else { (20_000, 200) };
-        e9_threads::render(&e9_threads::rows(entries, reps, reps))
-    });
+    section(
+        "e9",
+        "real-thread throughput vs named baselines (§1 plasticity)",
+        &|| {
+            let (entries, reps) = if q { (2_000, 20) } else { (20_000, 200) };
+            e9_threads::render(&e9_threads::rows(entries, reps, reps))
+        },
+    );
     section("e10", "solo step complexity vs proof bounds", &|| {
         e10_solo_steps::render(&e10_solo_steps::rows(if q { 6 } else { 10 }))
     });
-    section("e11", "hybrid model: m anonymous + 1 named register (§8)", &|| {
-        e11_hybrid::render(&e11_hybrid::rows(if q { 3 } else { 4 }))
-    });
-    section("e12", "fair starvation across mutual exclusion algorithms (§8)", &|| {
-        e12_starvation::render(&e12_starvation::rows())
-    });
-    section("e13", "arbitrary-comparisons model: id order breaks ties (§2)", &|| {
-        e13_ordered::render(&e13_ordered::rows(if q { 3 } else { 4 }))
-    });
+    section(
+        "e11",
+        "hybrid model: m anonymous + 1 named register (§8)",
+        &|| e11_hybrid::render(&e11_hybrid::rows(if q { 3 } else { 4 })),
+    );
+    section(
+        "e12",
+        "fair starvation across mutual exclusion algorithms (§8)",
+        &|| e12_starvation::render(&e12_starvation::rows()),
+    );
+    section(
+        "e13",
+        "arbitrary-comparisons model: id order breaks ties (§2)",
+        &|| e13_ordered::render(&e13_ordered::rows(if q { 3 } else { 4 })),
+    );
 }

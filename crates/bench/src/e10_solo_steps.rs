@@ -96,7 +96,14 @@ pub fn rows(max_n: usize) -> Vec<Row> {
 /// Renders the table for the given rows.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["algorithm", "n", "regs", "measured ops", "bound", "within"]);
+    let mut t = Table::new(vec![
+        "algorithm",
+        "n",
+        "regs",
+        "measured ops",
+        "bound",
+        "within",
+    ]);
     for r in rows {
         t.row(vec![
             r.algo.into(),

@@ -149,13 +149,29 @@ pub fn rows() -> Vec<Row> {
 /// Renders the table for the given rows.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["algorithm", "registers", "fair starvation", "expected", "match"]);
+    let mut t = Table::new(vec![
+        "algorithm",
+        "registers",
+        "fair starvation",
+        "expected",
+        "match",
+    ]);
     for r in rows {
         t.row(vec![
             r.algo.into(),
             r.registers.clone(),
-            if r.starvable { "EXISTS (schedule found)" } else { "none (starvation-free)" }.into(),
-            if r.expected_starvable { "starvable" } else { "starvation-free" }.into(),
+            if r.starvable {
+                "EXISTS (schedule found)"
+            } else {
+                "none (starvation-free)"
+            }
+            .into(),
+            if r.expected_starvable {
+                "starvable"
+            } else {
+                "starvation-free"
+            }
+            .into(),
             if r.matches() { "yes" } else { "NO" }.into(),
         ]);
     }

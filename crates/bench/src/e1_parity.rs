@@ -69,7 +69,11 @@ pub fn rows(max_m: usize) -> Vec<Row> {
 }
 
 fn row_for(m: usize) -> Row {
-    let shifts: Vec<usize> = if m <= 5 { (0..m).collect() } else { vec![m / 2] };
+    let shifts: Vec<usize> = if m <= 5 {
+        (0..m).collect()
+    } else {
+        vec![m / 2]
+    };
     let mut safe = true;
     let mut live = true;
     let mut max_states = 0;
@@ -125,7 +129,13 @@ fn row_for(m: usize) -> Row {
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(vec![
-        "m", "views", "max states", "mutual excl", "deadlock-free", "paper says", "match",
+        "m",
+        "views",
+        "max states",
+        "mutual excl",
+        "deadlock-free",
+        "paper says",
+        "match",
     ]);
     for r in rows {
         t.row(vec![

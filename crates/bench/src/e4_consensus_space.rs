@@ -49,13 +49,24 @@ pub fn rows(max_n: usize) -> Vec<Row> {
 /// Renders the table for the given rows.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["n", "registers", "required (2n-1)", "agreement", "coverers"]);
+    let mut t = Table::new(vec![
+        "n",
+        "registers",
+        "required (2n-1)",
+        "agreement",
+        "coverers",
+    ]);
     for r in rows {
         t.row(vec![
             r.n.to_string(),
             r.registers.to_string(),
             (2 * r.n - 1).to_string(),
-            if r.violated { "VIOLATED (attack)" } else { "held?!" }.into(),
+            if r.violated {
+                "VIOLATED (attack)"
+            } else {
+                "held?!"
+            }
+            .into(),
             r.coverers.to_string(),
         ]);
     }

@@ -69,7 +69,13 @@ pub fn rows(n: usize, seeds: u64) -> Vec<Row> {
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(vec![
-        "n", "k (participants)", "runs", "all named", "max name", "adaptive bound", "violations",
+        "n",
+        "k (participants)",
+        "runs",
+        "all named",
+        "max name",
+        "adaptive bound",
+        "violations",
     ]);
     for r in rows {
         t.row(vec![

@@ -48,14 +48,29 @@ pub fn rows(max_n: usize) -> Vec<Row> {
 /// Renders the table for the given rows.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(vec!["n", "registers", "required (2n-1)", "uniqueness", "dup name"]);
+    let mut t = Table::new(vec![
+        "n",
+        "registers",
+        "required (2n-1)",
+        "uniqueness",
+        "dup name",
+    ]);
     for r in rows {
         t.row(vec![
             r.n.to_string(),
             r.registers.to_string(),
             (2 * r.n - 1).to_string(),
-            if r.violated { "VIOLATED (attack)" } else { "held?!" }.into(),
-            if r.violated { r.name.to_string() } else { "-".into() },
+            if r.violated {
+                "VIOLATED (attack)"
+            } else {
+                "held?!"
+            }
+            .into(),
+            if r.violated {
+                r.name.to_string()
+            } else {
+                "-".into()
+            },
         ]);
     }
     t.render()

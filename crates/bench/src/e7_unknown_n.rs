@@ -50,9 +50,7 @@ pub fn render(rows: &[Row]) -> String {
             MutexFailure::MutualExclusionViolated { .. } => {
                 "MUTUAL EXCLUSION VIOLATED (two in CS)".to_string()
             }
-            MutexFailure::Starvation { .. } => {
-                "STARVATION (deadlock-freedom violated)".to_string()
-            }
+            MutexFailure::Starvation { .. } => "STARVATION (deadlock-freedom violated)".to_string(),
         };
         t.row(vec![
             r.m.to_string(),

@@ -225,8 +225,7 @@ pub fn lock_consensus(n: usize, reps: u64) -> Row {
     let start = Instant::now();
     let mut completed = 0;
     for rep in 0..reps {
-        let memory: AnonymousMemory<PackedAtomicRegister<u64>> =
-            AnonymousMemory::new(2 * n + 1);
+        let memory: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(2 * n + 1);
         let decided: Vec<u64> = std::thread::scope(|s| {
             let joins: Vec<_> = (0..n)
                 .map(|slot| {
@@ -299,8 +298,7 @@ pub fn splitter_renaming(n: usize, reps: u64) -> Row {
     let start = Instant::now();
     let mut completed = 0;
     for rep in 0..reps {
-        let memory: AnonymousMemory<PackedAtomicRegister<u64>> =
-            AnonymousMemory::new(registers);
+        let memory: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(registers);
         let names: Vec<u32> = std::thread::scope(|s| {
             let joins: Vec<_> = (0..n)
                 .map(|i| {
@@ -361,7 +359,13 @@ pub fn rows(mutex_entries: u64, consensus_reps: u64, renaming_reps: u64) -> Vec<
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(vec![
-        "family", "algorithm", "threads", "regs", "ops", "elapsed", "ops/s",
+        "family",
+        "algorithm",
+        "threads",
+        "regs",
+        "ops",
+        "elapsed",
+        "ops/s",
     ]);
     for r in rows {
         t.row(vec![

@@ -26,11 +26,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod e1_parity;
 pub mod e10_solo_steps;
 pub mod e11_hybrid;
 pub mod e12_starvation;
 pub mod e13_ordered;
+pub mod e1_parity;
 pub mod e2_ring;
 pub mod e3_consensus;
 pub mod e4_consensus_space;
@@ -40,5 +40,7 @@ pub mod e7_unknown_n;
 pub mod e8_election;
 pub mod e9_threads;
 
+pub mod lintsuite;
 pub mod table;
+pub mod timing;
 pub mod workload;

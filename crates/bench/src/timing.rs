@@ -1,0 +1,206 @@
+//! A tiny wall-clock timing harness with a criterion-shaped API.
+//!
+//! The container this reproduction builds in has no network access, so the
+//! workspace cannot depend on the `criterion` crate. The benches only use a
+//! small slice of its surface — groups, `bench_with_input`, `iter` — which
+//! this module reimplements over `std::time::Instant`. Numbers are medians
+//! over `sample_size` samples with a short warm-up; they are good enough to
+//! compare algorithm variants, not for microbenchmark-grade rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered bench function (criterion's `&mut
+/// Criterion` role).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a harness, honoring a `--bench <filter>`-style substring
+    /// filter passed on the command line (criterion CLI compatibility:
+    /// unknown flags are ignored).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            harness: self,
+            sample_size: 20,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named collection of related measurements.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    harness: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input` (criterion signature
+    /// compatibility; the input is whatever the caller closed over).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if self.harness.matches(&id.0) {
+            let mut bencher = Bencher::new(self.sample_size);
+            f(&mut bencher, input);
+            bencher.report(&id.0);
+        }
+        self
+    }
+
+    /// Benchmarks a parameterless closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.harness.matches(name) {
+            let mut bencher = Bencher::new(self.sample_size);
+            f(&mut bencher);
+            bencher.report(name);
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is cosmetic).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures; the criterion `Bencher` role.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Runs `f` once as warm-up, then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "  {id:<40} median {median:>12?}   [min {min:?}, max {max:?}, n={}]",
+            self.samples.len()
+        );
+    }
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Registers bench functions under a group name (criterion macro shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut harness = $crate::timing::Criterion::from_args();
+            $($target(&mut harness);)+
+        }
+    };
+}
+
+/// Produces `main` for a bench binary (criterion macro shape).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 7), &7usize, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<usize>()
+            });
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_limits_what_runs() {
+        let c = Criterion {
+            filter: Some("consensus".into()),
+        };
+        assert!(c.matches("e3_one_validated_run/consensus/4"));
+        assert!(!c.matches("e9_mutex"));
+        let unfiltered = Criterion::default();
+        assert!(unfiltered.matches("anything"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::new("g", "m2_l4").0, "g/m2_l4");
+    }
+}

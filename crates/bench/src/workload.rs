@@ -1,22 +1,16 @@
 //! Shared workload helpers for the randomized experiment sweeps.
 
+use anonreg_model::rng::Rng64;
 use anonreg_model::{Machine, View};
 use anonreg_sim::{sched, Simulation};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// `count` independent uniformly random permutations of `0..m`,
 /// deterministically derived from `seed`.
 #[must_use]
 pub fn random_views(m: usize, count: usize, seed: u64) -> Vec<View> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     (0..count)
-        .map(|_| {
-            let mut perm: Vec<usize> = (0..m).collect();
-            perm.shuffle(&mut rng);
-            View::from_perm(perm).expect("a shuffled range is a permutation")
-        })
+        .map(|_| View::from_perm(rng.permutation(m)).expect("a shuffled range is a permutation"))
         .collect()
 }
 
@@ -31,6 +25,7 @@ pub fn random_views(m: usize, count: usize, seed: u64) -> Vec<View> {
 /// # Panics
 ///
 /// Panics if `machines` is empty or disagrees on register counts.
+#[must_use]
 pub fn run_randomized<M: Machine>(
     machines: Vec<M>,
     seed: u64,

@@ -110,8 +110,12 @@ impl Bakery {
     pub fn section(&self) -> Section {
         match self.pc {
             Pc::Remainder => Section::Remainder,
-            Pc::SetChoosing | Pc::ScanNumber | Pc::SetNumber | Pc::ClearChoosing
-            | Pc::WaitChoosing | Pc::WaitNumber => Section::Entry,
+            Pc::SetChoosing
+            | Pc::ScanNumber
+            | Pc::SetNumber
+            | Pc::ClearChoosing
+            | Pc::WaitChoosing
+            | Pc::WaitNumber => Section::Entry,
             Pc::Critical => Section::Critical,
             Pc::ExitWrite => Section::Exit,
         }
@@ -289,8 +293,7 @@ mod tests {
     fn solo_enters_and_exits_any_slot() {
         for n in [1, 2, 4, 7] {
             for slot in 0..n {
-                let (events, regs) =
-                    run_solo(Bakery::new(pid(5), slot, n).unwrap().with_cycles(1));
+                let (events, regs) = run_solo(Bakery::new(pid(5), slot, n).unwrap().with_cycles(1));
                 assert_eq!(
                     events,
                     vec![MutexEvent::Enter, MutexEvent::Exit],
@@ -304,7 +307,7 @@ mod tests {
     #[test]
     fn tickets_increase_across_cycles() {
         let mut machine = Bakery::new(pid(5), 0, 2).unwrap().with_cycles(3);
-        let mut regs = vec![0u64; 4];
+        let mut regs = [0u64; 4];
         let mut read = None;
         let mut tickets = Vec::new();
         loop {
@@ -328,7 +331,7 @@ mod tests {
     fn waits_for_choosing_process() {
         // Slot 1's choosing flag is up: slot 0 must spin on it.
         let mut machine = Bakery::new(pid(5), 0, 2).unwrap();
-        let mut regs = vec![0u64, 1, 0, 0];
+        let mut regs = [0u64, 1, 0, 0];
         let mut read = None;
         for _ in 0..50 {
             match machine.resume(read.take()) {
@@ -345,7 +348,7 @@ mod tests {
     fn waits_for_earlier_ticket() {
         // Slot 1 holds ticket 1; slot 0 will draw ticket 2 and must wait.
         let mut machine = Bakery::new(pid(5), 0, 2).unwrap();
-        let mut regs = vec![0u64, 0, 0, 1];
+        let mut regs = [0u64, 0, 0, 1];
         let mut read = None;
         for _ in 0..50 {
             match machine.resume(read.take()) {
@@ -364,7 +367,7 @@ mod tests {
         // must wait. Simulate slot 1 against a frozen slot 0 with ticket 1.
         let mut machine = Bakery::new(pid(5), 1, 2).unwrap();
         // regs: choosing0, choosing1, number0, number1
-        let mut regs = vec![0u64, 0, 1, 0];
+        let mut regs = [0u64, 0, 1, 0];
         let mut read = None;
         let mut entered = false;
         for _ in 0..50 {

@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn decided_machine_halts() {
         let mut machine = LockConsensus::new(pid(9), 0, 1, 7).unwrap();
-        let mut regs = vec![0u64; 3];
+        let mut regs = [0u64; 3];
         let mut read = None;
         loop {
             match machine.resume(read.take()) {

@@ -260,7 +260,7 @@ mod tests {
         // flag[1] = 1 and turn says "slot 1's priority token" — slot 0 wrote
         // turn := 2 (token of slot 1) and must spin.
         let mut machine = Peterson::new(pid(5), 0).unwrap();
-        let mut regs = vec![0u64, 1, 0];
+        let mut regs = [0u64, 1, 0];
         let mut read = None;
         let mut spins = 0;
         for _ in 0..100 {
@@ -281,7 +281,7 @@ mod tests {
     fn enters_when_other_yields_turn() {
         // flag[1] = 1 but turn = 1 (slot 0's token): slot 0 may enter.
         let mut machine = Peterson::new(pid(5), 0).unwrap();
-        let mut regs = vec![0u64, 1, 0];
+        let mut regs = [0u64, 1, 0];
         let mut read = None;
         let mut entered = false;
         for _ in 0..20 {

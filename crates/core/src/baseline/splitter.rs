@@ -234,7 +234,11 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), names.len(), "names must be distinct: {names:?}");
+        assert_eq!(
+            sorted.len(),
+            names.len(),
+            "names must be distinct: {names:?}"
+        );
         let k = 4;
         assert!(names.iter().all(|&nm| nm as usize <= k * (k + 1) / 2));
     }
@@ -289,7 +293,7 @@ mod tests {
     fn too_many_participants_panics() {
         // n = 1: a single splitter. Force a right move by pre-setting Y.
         let mut machine = SplitterRenaming::new(pid(5), 1).unwrap();
-        let regs = vec![0u64, 1]; // Y already set
+        let regs = [0u64, 1]; // Y already set
         let mut read = None;
         for _ in 0..10 {
             match machine.resume(read.take()) {

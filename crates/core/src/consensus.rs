@@ -459,7 +459,7 @@ mod tests {
     #[test]
     fn decided_machine_halts() {
         let mut machine = AnonConsensus::new(pid(3), 1, 8).unwrap();
-        let mut regs = vec![ConsRecord::default(); 1];
+        let mut regs = [ConsRecord::default(); 1];
         let mut read = None;
         loop {
             match machine.resume(read.take()) {

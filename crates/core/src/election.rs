@@ -199,7 +199,7 @@ mod tests {
         let me = pid(3);
         let mut machine = AnonElection::new(me, 1).unwrap();
         assert!(!machine.has_elected());
-        let mut regs = vec![ConsRecord::default(); 1];
+        let mut regs = [ConsRecord::default(); 1];
         let mut read = None;
         loop {
             match machine.resume(read.take()) {

@@ -564,7 +564,7 @@ mod tests {
         let mut forced_write = false;
         for _ in 0..40 {
             match machine.resume(read.take()) {
-                Step::Read(j) => read = Some(regs[j as usize]),
+                Step::Read(j) => read = Some(regs[j]),
                 Step::Write(j, v) => {
                     // The only write we may issue here is the tie announce
                     // T := 1 (register index 2).
@@ -586,7 +586,7 @@ mod tests {
         // T carries the opponent's id, so we won the tie and must
         // force-claim register 1 (overwriting id 7) and enter.
         let mut machine = HybridMutex::new(pid(1), 2).unwrap();
-        let mut regs = vec![1u64, 7, 0]; // r0=us, r1=opponent
+        let mut regs = [1u64, 7, 0]; // r0=us, r1=opponent
         let mut read = None;
         let mut entered = false;
         for _ in 0..60 {
@@ -631,7 +631,7 @@ mod tests {
     #[test]
     fn two_sequential_processes_alternate() {
         // Not concurrent, but exercises claiming after another's exit.
-        let mut regs = vec![0u64; 4]; // m=3 + T
+        let mut regs = [0u64; 4]; // m=3 + T
         for id in [3u64, 4] {
             let mut machine = HybridMutex::new(pid(id), 3).unwrap().with_cycles(1);
             let mut read = None;

@@ -261,7 +261,11 @@ impl AnonMutex {
     pub fn section(&self) -> Section {
         match self.pc {
             Pc::Remainder => Section::Remainder,
-            Pc::ScanRead | Pc::ScanWrote | Pc::ViewRead | Pc::CleanupRead | Pc::CleanupWrote
+            Pc::ScanRead
+            | Pc::ScanWrote
+            | Pc::ViewRead
+            | Pc::CleanupRead
+            | Pc::CleanupWrote
             | Pc::WaitRead => Section::Entry,
             Pc::Critical => Section::Critical,
             Pc::ExitWrite => Section::Exit,
@@ -563,7 +567,7 @@ mod tests {
     fn sections_track_progress() {
         let mut machine = AnonMutex::new(pid(3), 3).unwrap().with_cycles(1);
         assert_eq!(machine.section(), Section::Remainder);
-        let mut regs = vec![0u64; 3];
+        let mut regs = [0u64; 3];
         let mut read = None;
         loop {
             match machine.resume(read.take()) {
@@ -587,7 +591,7 @@ mod tests {
         // found), views, counts 0 < ⌈m/2⌉, cleans up (writes nothing since no
         // register holds its id) and waits.
         let mut machine = AnonMutex::new(pid(1), 3).unwrap();
-        let regs = vec![2u64; 3];
+        let regs = [2u64; 3];
         let mut read = None;
         for _ in 0..(3 + 3 + 3) {
             match machine.resume(read.take()) {
@@ -620,7 +624,7 @@ mod tests {
         let b = pid(2);
         let mut machine = AnonMutex::new(a, 3).unwrap();
         // Put the machine into a state that mentions its pid.
-        let mut regs = vec![0u64; 3];
+        let mut regs = [0u64; 3];
         let mut read = None;
         for _ in 0..6 {
             match machine.resume(read.take()) {
@@ -642,7 +646,7 @@ mod tests {
         // nothing), views, counts 0, and with abort_after(1) must abort —
         // erase nothing, announce Aborted, and park in the remainder.
         let mut machine = AnonMutex::new(pid(1), 3).unwrap().with_abort_after(1);
-        let regs = vec![2u64; 3];
+        let regs = [2u64; 3];
         let mut read = None;
         let mut aborted = false;
         for _ in 0..40 {
@@ -689,7 +693,7 @@ mod tests {
         // The machine loses and waits; request_abort must free it at the
         // next wait-loop round.
         let mut machine = AnonMutex::new(pid(1), 3).unwrap();
-        let regs = vec![2u64; 3];
+        let regs = [2u64; 3];
         let mut read = None;
         // Drive into the waiting loop: scan (3 reads), view (3), cleanup
         // (3), then wait reads.

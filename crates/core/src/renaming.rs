@@ -233,12 +233,7 @@ impl AnonRenaming {
         // Lines 7–12: catch up to the maximum round seen, adopting that
         // entry's preference and history wholesale. Deterministic choice:
         // first entry (in local scan order) carrying the maximum round.
-        let mytemp = self
-            .myview
-            .iter()
-            .map(|r| r.round)
-            .max()
-            .unwrap_or(0);
+        let mytemp = self.myview.iter().map(|r| r.round).max().unwrap_or(0);
         if mytemp > self.myround {
             let source = self
                 .myview
@@ -590,8 +585,10 @@ mod tests {
     #[test]
     fn untouched_record_detection() {
         assert!(RenRecord::default().is_untouched());
-        let mut r = RenRecord::default();
-        r.round = 1;
+        let r = RenRecord {
+            round: 1,
+            ..RenRecord::default()
+        };
         assert!(!r.is_untouched());
     }
 }

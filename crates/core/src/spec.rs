@@ -417,7 +417,14 @@ mod tests {
 
         #[test]
         fn accepts_alternating_sections() {
-            let t = event_trace(&[(0, Enter), (0, Exit), (1, Enter), (1, Exit), (0, Enter), (0, Exit)]);
+            let t = event_trace(&[
+                (0, Enter),
+                (0, Exit),
+                (1, Enter),
+                (1, Exit),
+                (0, Enter),
+                (0, Exit),
+            ]);
             let stats = check_mutual_exclusion(&t).unwrap();
             assert_eq!(stats.total_entries(), 3);
             assert_eq!(stats.entries[&0], 2);

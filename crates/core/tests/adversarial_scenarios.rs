@@ -62,7 +62,10 @@ fn consensus_interleaved_halves_still_agree() {
     // combination of short bursts, then run to completion.
     for burst in 1..=6 {
         let mut sim = Simulation::builder()
-            .process(AnonConsensus::new(pid(1), 2, 10).unwrap(), View::identity(3))
+            .process(
+                AnonConsensus::new(pid(1), 2, 10).unwrap(),
+                View::identity(3),
+            )
             .process(
                 AnonConsensus::new(pid(2), 2, 20).unwrap(),
                 View::rotated(3, 1),
@@ -84,7 +87,10 @@ fn consensus_block_write_cannot_fool_full_provisioning() {
     // decide, release — the survivor must still adopt the victim's value,
     // because one overwrite cannot erase a 3-register unanimity.
     let mut sim = Simulation::builder()
-        .process(AnonConsensus::new(pid(1), 2, 10).unwrap(), View::identity(3))
+        .process(
+            AnonConsensus::new(pid(1), 2, 10).unwrap(),
+            View::identity(3),
+        )
         .process(
             AnonConsensus::new(pid(2), 2, 20).unwrap(),
             View::rotated(3, 2),
@@ -93,7 +99,11 @@ fn consensus_block_write_cannot_fool_full_provisioning() {
         .unwrap();
     script::run(&mut sim, "1! 0> 1+ 1>").unwrap();
     let stats = check_consensus(sim.trace(), &[10, 20]).unwrap();
-    assert_eq!(stats.decision, Some(10), "the coverer adopts the victim's value");
+    assert_eq!(
+        stats.decision,
+        Some(10),
+        "the coverer adopts the victim's value"
+    );
     assert_eq!(stats.deciders.len(), 2);
 }
 

@@ -88,7 +88,9 @@ fn bakery_n2_is_safe_for_one_cycle_each() {
     );
     assert!(livelock.is_none(), "Bakery is live");
     // Some terminal state has both done their cycle.
-    assert!(graph.find_state(|s| s.all_halted()).is_some());
+    assert!(graph
+        .find_state(anonreg_sim::Simulation::all_halted)
+        .is_some());
 }
 
 #[test]
@@ -171,7 +173,6 @@ fn lock_consensus_n2_agrees_under_all_interleavings() {
             sim.step(p).unwrap();
         }
         let trace = sim.into_trace();
-        anonreg::spec::check_consensus(&trace, &[1, 2])
-            .unwrap_or_else(|v| panic!("{v}\n{trace}"));
+        anonreg::spec::check_consensus(&trace, &[1, 2]).unwrap_or_else(|v| panic!("{v}\n{trace}"));
     }
 }

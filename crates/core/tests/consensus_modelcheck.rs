@@ -26,7 +26,7 @@ fn two_proc_sim(inputs: [u64; 2], view_b: View) -> Simulation<AnonConsensus> {
 fn decided_values(sim: &Simulation<AnonConsensus>) -> Vec<u64> {
     sim.machines()
         .filter(|m| m.has_decided())
-        .map(|m| m.preference())
+        .map(anonreg::consensus::AnonConsensus::preference)
         .collect()
 }
 
@@ -54,11 +54,7 @@ fn n2_validity_holds_in_every_reachable_state() {
         let inputs = [7u64, 9];
         let sim = two_proc_sim(inputs, View::rotated(3, shift));
         let graph = explore(sim, &ExploreLimits::default()).unwrap();
-        let invalid = graph.find_state(|s| {
-            decided_values(s)
-                .iter()
-                .any(|v| !inputs.contains(v))
-        });
+        let invalid = graph.find_state(|s| decided_values(s).iter().any(|v| !inputs.contains(v)));
         assert!(invalid.is_none(), "invalid decision for shift {shift}");
     }
 }

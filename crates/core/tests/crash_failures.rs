@@ -8,11 +8,10 @@ use anonreg::consensus::AnonConsensus;
 use anonreg::renaming::AnonRenaming;
 use anonreg::spec::{check_consensus, check_renaming};
 use anonreg::{Pid, View};
+use anonreg_model::rng::Rng64;
 use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::obstruction::check_obstruction_freedom;
 use anonreg_sim::{sched, Simulation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn pid(n: u64) -> Pid {
     Pid::new(n).unwrap()
@@ -48,7 +47,7 @@ fn consensus_n2_agreement_holds_under_exhaustive_crashes() {
             let decided: Vec<u64> = s
                 .machines()
                 .filter(|m| m.has_decided())
-                .map(|m| m.preference())
+                .map(anonreg::consensus::AnonConsensus::preference)
                 .collect();
             let disagree = decided.len() == 2 && decided[0] != decided[1];
             let invalid = decided.iter().any(|v| !inputs.contains(v));
@@ -88,21 +87,21 @@ fn consensus_randomized_crashes_never_break_agreement() {
     for n in [3usize, 4] {
         let inputs: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
         for seed in 0..150u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng64::seed_from_u64(seed);
             let mut builder = Simulation::builder();
             for (i, &input) in inputs.iter().enumerate() {
                 builder = builder.process(
                     AnonConsensus::new(pid(100 + i as u64), n, input).unwrap(),
-                    View::rotated(2 * n - 1, rng.gen_range(0..(2 * n - 1))),
+                    View::rotated(2 * n - 1, rng.gen_index(2 * n - 1)),
                 );
             }
             let mut sim = builder.build().unwrap();
             // Random prefix, then crash a random subset (leaving at least
             // one alive), then let the survivors run with bursts.
-            sched::random(&mut sim, seed, rng.gen_range(0..200));
-            let crash_count = rng.gen_range(0..n);
+            sched::random(&mut sim, seed, rng.gen_index(200));
+            let crash_count = rng.gen_index(n);
             for _ in 0..crash_count {
-                let victim = rng.gen_range(0..n);
+                let victim = rng.gen_index(n);
                 // Keep at least one process alive.
                 let alive = (0..n).filter(|&p| !sim.is_halted(p)).count();
                 if alive > 1 && !sim.is_halted(victim) {
@@ -154,8 +153,7 @@ fn renaming_n2_uniqueness_holds_under_exhaustive_crashes() {
                 ScheduleAction::Crash(p) => sim.crash(p).unwrap(),
             }
         }
-        check_renaming(sim.trace(), 2)
-            .unwrap_or_else(|v| panic!("state {id}: {v}"));
+        check_renaming(sim.trace(), 2).unwrap_or_else(|v| panic!("state {id}: {v}"));
     }
     assert!(checked > 0, "crash exploration reaches terminal states");
 }
@@ -164,17 +162,17 @@ fn renaming_n2_uniqueness_holds_under_exhaustive_crashes() {
 fn renaming_randomized_crashes_never_break_uniqueness() {
     let n = 4;
     for seed in 0..100u64 {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(977));
+        let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(977));
         let mut builder = Simulation::builder();
         for i in 0..n {
             builder = builder.process(
                 AnonRenaming::new(pid(500 + 3 * i as u64), n).unwrap(),
-                View::rotated(2 * n - 1, rng.gen_range(0..(2 * n - 1))),
+                View::rotated(2 * n - 1, rng.gen_index(2 * n - 1)),
             );
         }
         let mut sim = builder.build().unwrap();
-        sched::random(&mut sim, seed, rng.gen_range(0..400));
-        let victim = rng.gen_range(0..n);
+        sched::random(&mut sim, seed, rng.gen_index(400));
+        let victim = rng.gen_index(n);
         if !sim.is_halted(victim) {
             sim.crash(victim).unwrap();
         }
@@ -182,8 +180,7 @@ fn renaming_randomized_crashes_never_break_uniqueness() {
         // A crashed participant still counts toward the adaptivity bound
         // (it participated); survivors' names must be distinct and within
         // {1..n}.
-        check_renaming(sim.trace(), n as u32)
-            .unwrap_or_else(|v| panic!("seed={seed}: {v}"));
+        check_renaming(sim.trace(), n as u32).unwrap_or_else(|v| panic!("seed={seed}: {v}"));
     }
 }
 
@@ -227,7 +224,7 @@ fn lock_based_consensus_wedges_on_a_crash_but_fig2_does_not() {
     let decided: Vec<u64> = anon
         .machines()
         .filter(|m| m.has_decided())
-        .map(|m| m.preference())
+        .map(anonreg::consensus::AnonConsensus::preference)
         .collect();
     assert_eq!(decided.len(), 1);
     assert!([1, 2].contains(&decided[0]));

@@ -35,8 +35,14 @@ fn sim_for(m: usize, shift: usize) -> Simulation<HybridMutex> {
 fn hybrid_is_safe_for_even_and_odd_m_all_rotations() {
     for m in [2usize, 3, 4] {
         for shift in 0..m {
-            let graph = explore(sim_for(m, shift), &ExploreLimits { max_states: 4_000_000, ..ExploreLimits::default() })
-                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let graph = explore(
+                sim_for(m, shift),
+                &ExploreLimits {
+                    max_states: 4_000_000,
+                    ..ExploreLimits::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
             let both_in_cs = graph.find_state(|s| {
                 s.machines()
                     .filter(|mach| mach.section() == Section::Critical)
@@ -58,8 +64,14 @@ fn hybrid_is_livelock_free_for_even_and_odd_m_all_rotations() {
     // deadlock-free once a single named register exists.
     for m in [2usize, 3, 4] {
         for shift in 0..m {
-            let graph = explore(sim_for(m, shift), &ExploreLimits { max_states: 4_000_000, ..ExploreLimits::default() })
-                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let graph = explore(
+                sim_for(m, shift),
+                &ExploreLimits {
+                    max_states: 4_000_000,
+                    ..ExploreLimits::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
             let livelock = graph.find_fair_livelock(
                 |mach| mach.section() == Section::Entry,
                 |event| *event == MutexEvent::Enter,

@@ -127,9 +127,7 @@ fn three_processes_on_a_ring_starve_forever() {
         .count();
     assert_eq!(entries, 0, "no process may enter under the ring adversary");
     // Everyone is still stuck in its entry section.
-    assert!(sim
-        .machines()
-        .all(|mach| mach.section() == Section::Entry));
+    assert!(sim.machines().all(|mach| mach.section() == Section::Entry));
 }
 
 #[test]

@@ -16,7 +16,10 @@ fn pid(n: u64) -> Pid {
 fn sim_for(m: usize, shift: usize) -> Simulation<OrderedMutex> {
     Simulation::builder()
         .process(OrderedMutex::new(pid(1), m).unwrap(), View::identity(m))
-        .process(OrderedMutex::new(pid(2), m).unwrap(), View::rotated(m, shift))
+        .process(
+            OrderedMutex::new(pid(2), m).unwrap(),
+            View::rotated(m, shift),
+        )
         .build()
         .unwrap()
 }

@@ -4,7 +4,7 @@
 //! implementation.
 
 use anonreg::consensus::{AnonConsensus, ConsRecord};
-use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::mutex::{AnonMutex, Section};
 use anonreg::renaming::AnonRenaming;
 use anonreg::{Pid, View};
 use anonreg_sim::explore::{explore, ExploreLimits};
@@ -87,8 +87,14 @@ fn theorem_4_1_walkthrough() {
     let m = 2 * n - 1; // 5 registers
     let mut sim = Simulation::builder()
         .process(AnonConsensus::new(pid(1), n, 7).unwrap(), View::identity(m))
-        .process(AnonConsensus::new(pid(2), n, 8).unwrap(), View::rotated(m, 1))
-        .process(AnonConsensus::new(pid(3), n, 9).unwrap(), View::rotated(m, 3))
+        .process(
+            AnonConsensus::new(pid(2), n, 8).unwrap(),
+            View::rotated(m, 1),
+        )
+        .process(
+            AnonConsensus::new(pid(3), n, 9).unwrap(),
+            View::rotated(m, 3),
+        )
         .build()
         .unwrap();
 
@@ -194,7 +200,10 @@ fn theorem_5_2_walkthrough() {
 fn consensus_admits_fair_nondeciding_executions() {
     let sim = Simulation::builder()
         .process(AnonConsensus::new(pid(1), 2, 1).unwrap(), View::identity(3))
-        .process(AnonConsensus::new(pid(2), 2, 2).unwrap(), View::rotated(3, 1))
+        .process(
+            AnonConsensus::new(pid(2), 2, 2).unwrap(),
+            View::rotated(3, 1),
+        )
         .build()
         .unwrap();
     let graph = explore(sim, &ExploreLimits::default()).unwrap();

@@ -73,7 +73,10 @@ fn adaptivity_k1_takes_name_one_for_every_view() {
     // its view of the 5 registers — adaptivity, Theorem 5.3.
     for shift in 0..5 {
         let mut sim = Simulation::builder()
-            .process(AnonRenaming::new(pid(9), 3).unwrap(), View::rotated(5, shift))
+            .process(
+                AnonRenaming::new(pid(9), 3).unwrap(),
+                View::rotated(5, shift),
+            )
             .build()
             .unwrap();
         sched::round_robin(&mut sim, 10_000);
@@ -96,7 +99,14 @@ fn adaptivity_k2_of_n3_names_within_two() {
             .build()
             .unwrap()
     };
-    let graph = explore(build(), &ExploreLimits { max_states: 3_000_000, ..ExploreLimits::default() }).unwrap();
+    let graph = explore(
+        build(),
+        &ExploreLimits {
+            max_states: 3_000_000,
+            ..ExploreLimits::default()
+        },
+    )
+    .unwrap();
     let mut terminals = 0;
     for (id, state) in graph.states() {
         if !state.all_halted() {
@@ -109,8 +119,8 @@ fn adaptivity_k2_of_n3_names_within_two() {
             sim.step(p).unwrap();
         }
         let trace = sim.into_trace();
-        let stats = anonreg::spec::check_renaming(&trace, 2)
-            .unwrap_or_else(|v| panic!("{v}\n{trace}"));
+        let stats =
+            anonreg::spec::check_renaming(&trace, 2).unwrap_or_else(|v| panic!("{v}\n{trace}"));
         assert_eq!(stats.names.len(), 2);
     }
     assert!(terminals > 0);

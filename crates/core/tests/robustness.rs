@@ -2,6 +2,9 @@
 //! register indices, no panics, protocol-conformant steps — even when the
 //! shared memory holds arbitrary garbage (e.g. values written by unrelated
 //! processes with wild identifiers).
+//!
+//! Randomized with the workspace's seeded [`Rng64`] (fixed seeds, fully
+//! replayable, no external dependencies).
 
 use anonreg::consensus::{AnonConsensus, ConsRecord};
 use anonreg::hybrid::HybridMutex;
@@ -9,107 +12,114 @@ use anonreg::mutex::AnonMutex;
 use anonreg::ordered::OrderedMutex;
 use anonreg::renaming::{AnonRenaming, RenRecord};
 use anonreg::{Machine, Pid, Step};
-use proptest::prelude::*;
+use anonreg_model::rng::Rng64;
+
+const CASES: usize = 96;
 
 /// Drives a machine for `budget` steps against arbitrary register contents,
 /// checking every emitted index is in range and the protocol is respected.
-fn drive_against<M: Machine>(
-    mut machine: M,
-    mut registers: Vec<M::Value>,
-    budget: usize,
-) -> Result<(), TestCaseError> {
+fn drive_against<M: Machine>(mut machine: M, mut registers: Vec<M::Value>, budget: usize) {
     let m = machine.register_count();
-    prop_assert_eq!(registers.len(), m);
+    assert_eq!(registers.len(), m);
     let mut pending: Option<M::Value> = None;
     for _ in 0..budget {
         match machine.resume(pending.take()) {
             Step::Read(j) => {
-                prop_assert!(j < m, "read index {j} out of range (m={m})");
+                assert!(j < m, "read index {j} out of range (m={m})");
                 pending = Some(registers[j].clone());
             }
             Step::Write(j, v) => {
-                prop_assert!(j < m, "write index {j} out of range (m={m})");
+                assert!(j < m, "write index {j} out of range (m={m})");
                 registers[j] = v;
             }
             Step::Event(_) => {}
             Step::Halt => break,
         }
     }
-    Ok(())
 }
 
-fn arbitrary_u64_regs(m: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(proptest::option::of(1u64..50).prop_map(|o| o.unwrap_or(0)), m)
+/// `m` arbitrary small register values: zero with probability ~1/2,
+/// otherwise uniform in `1..50` — mirroring the original generator.
+fn arbitrary_u64_regs(rng: &mut Rng64, m: usize) -> Vec<u64> {
+    (0..m)
+        .map(|_| {
+            if rng.next_u64() & 1 == 0 {
+                0
+            } else {
+                rng.gen_range_inclusive(1, 49) as u64
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn mutex_tolerates_garbage_memory(
-        m in 1usize..7,
-        seed_regs in arbitrary_u64_regs(6),
-    ) {
-        let regs: Vec<u64> = seed_regs.into_iter().take(m).collect();
-        prop_assume!(regs.len() == m);
-        let machine = AnonMutex::new(Pid::new(9).unwrap(), m).unwrap().with_cycles(2);
-        drive_against(machine, regs, 5_000)?;
+#[test]
+fn mutex_tolerates_garbage_memory() {
+    let mut rng = Rng64::seed_from_u64(0xAB0B);
+    for _ in 0..CASES {
+        let m = rng.gen_range_inclusive(1, 6);
+        let regs = arbitrary_u64_regs(&mut rng, m);
+        let machine = AnonMutex::new(Pid::new(9).unwrap(), m)
+            .unwrap()
+            .with_cycles(2);
+        drive_against(machine, regs, 5_000);
     }
+}
 
-    #[test]
-    fn ordered_mutex_tolerates_garbage_memory(
-        m in 2usize..7,
-        seed_regs in arbitrary_u64_regs(6),
-    ) {
-        let regs: Vec<u64> = seed_regs.into_iter().take(m).collect();
-        prop_assume!(regs.len() == m);
-        let machine = OrderedMutex::new(Pid::new(9).unwrap(), m).unwrap().with_cycles(2);
-        drive_against(machine, regs, 5_000)?;
+#[test]
+fn ordered_mutex_tolerates_garbage_memory() {
+    let mut rng = Rng64::seed_from_u64(0x0DD);
+    for _ in 0..CASES {
+        let m = rng.gen_range_inclusive(2, 6);
+        let regs = arbitrary_u64_regs(&mut rng, m);
+        let machine = OrderedMutex::new(Pid::new(9).unwrap(), m)
+            .unwrap()
+            .with_cycles(2);
+        drive_against(machine, regs, 5_000);
     }
+}
 
-    #[test]
-    fn hybrid_mutex_tolerates_garbage_memory(
-        m in 2usize..6,
-        seed_regs in arbitrary_u64_regs(7),
-    ) {
-        let regs: Vec<u64> = seed_regs.into_iter().take(m + 1).collect();
-        prop_assume!(regs.len() == m + 1);
-        let machine = HybridMutex::new(Pid::new(9).unwrap(), m).unwrap().with_cycles(2);
-        drive_against(machine, regs, 5_000)?;
+#[test]
+fn hybrid_mutex_tolerates_garbage_memory() {
+    let mut rng = Rng64::seed_from_u64(0x4B1D);
+    for _ in 0..CASES {
+        let m = rng.gen_range_inclusive(2, 5);
+        let regs = arbitrary_u64_regs(&mut rng, m + 1);
+        let machine = HybridMutex::new(Pid::new(9).unwrap(), m)
+            .unwrap()
+            .with_cycles(2);
+        drive_against(machine, regs, 5_000);
     }
+}
 
-    #[test]
-    fn consensus_tolerates_garbage_memory(
-        n in 1usize..5,
-        ids in proptest::collection::vec(0u64..20, 9),
-        vals in proptest::collection::vec(0u64..20, 9),
-    ) {
+#[test]
+fn consensus_tolerates_garbage_memory() {
+    let mut rng = Rng64::seed_from_u64(0xC05);
+    for _ in 0..CASES {
+        let n = rng.gen_range_inclusive(1, 4);
         let m = 2 * n - 1;
-        let regs: Vec<ConsRecord> = ids
-            .into_iter()
-            .zip(vals)
-            .take(m)
-            .map(|(id, val)| ConsRecord { id, val })
+        let regs: Vec<ConsRecord> = (0..m)
+            .map(|_| ConsRecord {
+                id: rng.gen_index(20) as u64,
+                val: rng.gen_index(20) as u64,
+            })
             .collect();
-        prop_assume!(regs.len() == m);
         let machine = AnonConsensus::new(Pid::new(9).unwrap(), n, 7).unwrap();
-        drive_against(machine, regs, 10_000)?;
+        drive_against(machine, regs, 10_000);
     }
+}
 
-    #[test]
-    fn renaming_tolerates_garbage_memory(
-        n in 1usize..4,
-        ids in proptest::collection::vec(0u64..20, 7),
-        rounds in proptest::collection::vec(0u32..6, 7),
-        hist_id in 1u64..20,
-        hist_round in 1u32..6,
-    ) {
+#[test]
+fn renaming_tolerates_garbage_memory() {
+    let mut rng = Rng64::seed_from_u64(0x4EA);
+    for _ in 0..CASES {
+        let n = rng.gen_range_inclusive(1, 3);
         let m = 2 * n - 1;
-        let regs: Vec<RenRecord> = ids
-            .iter()
-            .zip(&rounds)
-            .take(m)
-            .map(|(&id, &round)| {
+        let hist_id = rng.gen_range_inclusive(1, 19) as u64;
+        let hist_round = rng.gen_range_inclusive(1, 5) as u32;
+        let regs: Vec<RenRecord> = (0..m)
+            .map(|_| {
+                let id = rng.gen_index(20) as u64;
+                let round = rng.gen_index(6) as u32;
                 let mut record = RenRecord {
                     id,
                     val: id,
@@ -122,25 +132,26 @@ proptest! {
                 record
             })
             .collect();
-        prop_assume!(regs.len() == m);
         let machine = AnonRenaming::new(Pid::new(9).unwrap(), n).unwrap();
-        drive_against(machine, regs, 20_000)?;
+        drive_against(machine, regs, 20_000);
     }
+}
 
-    /// The machines never hand out a `Some` read result unprompted: after a
-    /// Write or Event the next resume must accept `None` (this is implicit
-    /// in `drive_against`, which always passes `None` there — a machine
-    /// that panics on that protocol violates the `Machine` contract).
-    #[test]
-    fn consensus_under_provisioned_still_behaves(
-        n in 2usize..5,
-        r in 1usize..4,
-    ) {
+/// The machines never hand out a `Some` read result unprompted: after a
+/// Write or Event the next resume must accept `None` (this is implicit
+/// in `drive_against`, which always passes `None` there — a machine
+/// that panics on that protocol violates the `Machine` contract).
+#[test]
+fn consensus_under_provisioned_still_behaves() {
+    let mut rng = Rng64::seed_from_u64(0x5EED5);
+    for _ in 0..CASES {
+        let n = rng.gen_range_inclusive(2, 4);
+        let r = rng.gen_range_inclusive(1, 3);
         let registers = r.min(2 * n - 2);
         let machine = AnonConsensus::new(Pid::new(3).unwrap(), n, 5)
             .unwrap()
             .with_registers(registers);
         let regs = vec![ConsRecord::default(); registers];
-        drive_against(machine, regs, 10_000)?;
+        drive_against(machine, regs, 10_000);
     }
 }

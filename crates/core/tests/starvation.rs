@@ -119,6 +119,9 @@ fn bakery_is_starvation_free() {
             |mach| mach.section() == Section::Entry,
             |event| *event == MutexEvent::Enter,
         );
-        assert!(starvation.is_none(), "Bakery is FCFS; victim {victim} cannot starve");
+        assert!(
+            starvation.is_none(),
+            "Bakery is FCFS; victim {victim} cannot starve"
+        );
     }
 }

@@ -1,0 +1,404 @@
+//! Negative fixtures: minimal machines that each violate exactly one
+//! lint, plus a positive control.
+//!
+//! These are the analyzer's regression suite — every lint must catch its
+//! fixture and pass the control — and double as documentation of what
+//! each lint actually rejects. They live in the library (not `#[cfg(test)]`)
+//! so downstream crates (`anonreg-bench`'s `check lint` subcommand, the
+//! workspace property tests) can demonstrate the failure paths too.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use anonreg_model::{Machine, Pid, Step};
+
+fn fixture_pid(n: u64) -> Pid {
+    Pid::new(n).expect("fixture pids are nonzero")
+}
+
+/// **L1 violator**: claims `m` registers but writes to local index `m`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct OutOfBounds {
+    pid: Pid,
+    m: usize,
+    done: bool,
+}
+
+impl OutOfBounds {
+    /// A machine over `m` registers whose first step writes to index `m`.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        OutOfBounds {
+            pid: fixture_pid(1),
+            m,
+            done: false,
+        }
+    }
+}
+
+impl Machine for OutOfBounds {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        self.m
+    }
+
+    fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+        if self.done {
+            Step::Halt
+        } else {
+            self.done = true;
+            Step::Write(self.m, 1) // one past the end
+        }
+    }
+}
+
+/// **L2 violator (determinism)**: consults a shared counter that its
+/// `Eq`/`Hash` deliberately ignore, so two resumptions of "the same"
+/// state step differently — `resume` is not a pure function of (state,
+/// input).
+#[derive(Clone, Debug)]
+pub struct Flicker {
+    pid: Pid,
+    phase: u8,
+    coin: Arc<AtomicUsize>,
+}
+
+impl Flicker {
+    /// A machine whose first step depends on hidden shared state.
+    #[must_use]
+    pub fn new() -> Self {
+        Flicker {
+            pid: fixture_pid(1),
+            phase: 0,
+            coin: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+}
+
+impl Default for Flicker {
+    fn default() -> Self {
+        Flicker::new()
+    }
+}
+
+impl PartialEq for Flicker {
+    fn eq(&self, other: &Self) -> bool {
+        // The coin is hidden from state identity — that is the bug.
+        self.pid == other.pid && self.phase == other.phase
+    }
+}
+
+impl Eq for Flicker {}
+
+impl Hash for Flicker {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.pid.hash(state);
+        self.phase.hash(state);
+    }
+}
+
+impl Machine for Flicker {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        1
+    }
+
+    fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+        if self.phase > 0 {
+            return Step::Halt;
+        }
+        self.phase = 1;
+        // Clones share the coin, so replaying the "same" state flips it.
+        if self.coin.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+            Step::Write(0, 1)
+        } else {
+            Step::Write(0, 2)
+        }
+    }
+}
+
+/// **L2 violator (halt stability)**: emits `Halt`, then keeps issuing
+/// writes if resumed again — its "halt" is not terminal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Zombie {
+    pid: Pid,
+    halted_once: bool,
+}
+
+impl Zombie {
+    /// A machine that halts, then rises again.
+    #[must_use]
+    pub fn new() -> Self {
+        Zombie {
+            pid: fixture_pid(1),
+            halted_once: false,
+        }
+    }
+}
+
+impl Default for Zombie {
+    fn default() -> Self {
+        Zombie::new()
+    }
+}
+
+impl Machine for Zombie {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        1
+    }
+
+    fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+        if self.halted_once {
+            Step::Write(0, 666)
+        } else {
+            self.halted_once = true;
+            Step::Halt
+        }
+    }
+}
+
+/// **L3 violator**: branches on the *numeric content* of its identifier
+/// (its parity) — forbidden by the §2 symmetry restriction, which allows
+/// identifiers to be compared only for equality. Processes with pids of
+/// different parity write to different registers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Asymmetric {
+    pid: Pid,
+    done: bool,
+}
+
+impl Asymmetric {
+    /// A machine whose control flow depends on `pid % 2`.
+    #[must_use]
+    pub fn new(pid: Pid) -> Self {
+        Asymmetric { pid, done: false }
+    }
+}
+
+impl Machine for Asymmetric {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        2
+    }
+
+    fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+        if self.done {
+            Step::Halt
+        } else {
+            self.done = true;
+            // Branching on identifier content, not equality:
+            let target = (self.pid.get() % 2) as usize;
+            Step::Write(target, self.pid.get())
+        }
+    }
+}
+
+/// **L4 violator**: marks a register and halts without cleaning up — a
+/// mutex whose exit code forgot the paper's "write 0 into all registers
+/// written" obligation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Messy {
+    pid: Pid,
+    done: bool,
+}
+
+impl Messy {
+    /// A machine that leaves register 0 dirty.
+    #[must_use]
+    pub fn new() -> Self {
+        Messy {
+            pid: fixture_pid(1),
+            done: false,
+        }
+    }
+}
+
+impl Default for Messy {
+    fn default() -> Self {
+        Messy::new()
+    }
+}
+
+impl Machine for Messy {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        1
+    }
+
+    fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+        if self.done {
+            Step::Halt
+        } else {
+            self.done = true;
+            Step::Write(0, 7)
+        }
+    }
+}
+
+/// **L5 violator**: re-reads register 0 forever; never halts, even solo —
+/// not obstruction-free.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Diverger {
+    pid: Pid,
+}
+
+impl Diverger {
+    /// A machine that spins on reads unconditionally.
+    #[must_use]
+    pub fn new() -> Self {
+        Diverger {
+            pid: fixture_pid(1),
+        }
+    }
+}
+
+impl Default for Diverger {
+    fn default() -> Self {
+        Diverger::new()
+    }
+}
+
+impl Machine for Diverger {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        1
+    }
+
+    fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+        Step::Read(0)
+    }
+}
+
+/// **L6 violator**: writes a value that needs more than 32 bits, which
+/// would panic inside `Pack64::pack` at deployment time.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WideWriter {
+    pid: Pid,
+    done: bool,
+}
+
+impl WideWriter {
+    /// A machine that writes `1 << 40`.
+    #[must_use]
+    pub fn new() -> Self {
+        WideWriter {
+            pid: fixture_pid(1),
+            done: false,
+        }
+    }
+}
+
+impl Default for WideWriter {
+    fn default() -> Self {
+        WideWriter::new()
+    }
+}
+
+impl Machine for WideWriter {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        1
+    }
+
+    fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+        if self.done {
+            Step::Halt
+        } else {
+            self.done = true;
+            Step::Write(0, 1 << 40)
+        }
+    }
+}
+
+/// **Positive control**: reads register 0, stamps it with its identifier,
+/// restores the initial 0, halts. Passes every lint (pids below
+/// `u32::MAX` assumed for L6; use small pids).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WellBehaved {
+    pid: Pid,
+    phase: u8,
+}
+
+impl WellBehaved {
+    /// A lint-clean machine with the given identifier.
+    #[must_use]
+    pub fn new(pid: Pid) -> Self {
+        WellBehaved { pid, phase: 0 }
+    }
+}
+
+impl Machine for WellBehaved {
+    type Value = u64;
+    type Event = ();
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn register_count(&self) -> usize {
+        1
+    }
+
+    fn resume(&mut self, read: Option<u64>) -> Step<u64, ()> {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Step::Read(0)
+            }
+            1 => {
+                let _observed = read.expect("read result after Step::Read");
+                self.phase = 2;
+                Step::Write(0, self.pid.get())
+            }
+            2 => {
+                self.phase = 3;
+                Step::Write(0, 0)
+            }
+            _ => Step::Halt,
+        }
+    }
+}

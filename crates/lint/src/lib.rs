@@ -1,0 +1,66 @@
+//! `anonreg-lint`: a static protocol analyzer for memory-anonymous
+//! machines.
+//!
+//! The paper's proofs lean on unstated well-formedness preconditions: the
+//! algorithm is *symmetric* (identifiers compared only for equality, §2),
+//! its exit code *restores* the registers it dirtied (Figure 1), solo runs
+//! *terminate* (obstruction freedom), and — in this reproduction —
+//! machines honor the [`Machine`](anonreg_model::Machine) coroutine
+//! contract and stay within their declared register count. Violating any
+//! of these silently voids the theorems while the code still "mostly
+//! works". This crate checks them *statically*: no simulator schedules,
+//! no threads.
+//!
+//! # How
+//!
+//! The analyzer [extracts a control-flow graph](cfg::Cfg::extract) from
+//! any machine by **exhaustive abstract resumption**: it resumes clones
+//! of the machine with every read result drawn from a caller-supplied
+//! finite value domain, deduplicating states, until the reachable
+//! abstract state space is exhausted. Six lints then run over that graph
+//! (or over exact solo replays):
+//!
+//! | lint | property |
+//! |------|----------|
+//! | [`L1`](report::LintId::IndexBounds) | register indices in range |
+//! | [`L2`](report::LintId::Protocol) | deterministic, panic-free, halt-stable coroutine |
+//! | [`L3`](report::LintId::Symmetry) | CFGs isomorphic under pid substitution |
+//! | [`L4`](report::LintId::ExitRestoresMemory) | solo runs restore initial register values |
+//! | [`L5`](report::LintId::SoloTermination) | solo runs halt within a stated bound |
+//! | [`L6`](report::LintId::PackWidth) | written values fit the packed register width |
+//!
+//! Every failure carries a **replayable witness**: the exact
+//! `resume(input) => step` sequence from the initial state that exhibits
+//! the violation.
+//!
+//! # Example
+//!
+//! ```
+//! use anonreg_lint::cfg::CfgConfig;
+//! use anonreg_lint::fixtures::{OutOfBounds, WellBehaved};
+//! use anonreg_lint::lints::Analysis;
+//! use anonreg_model::Pid;
+//!
+//! let config = CfgConfig::new(vec![0u64, 1, 2]);
+//!
+//! let good = Analysis::new(&WellBehaved::new(Pid::new(1).unwrap()), &config);
+//! assert!(good.index_bounds().passed());
+//!
+//! let bad = Analysis::new(&OutOfBounds::new(3), &config);
+//! assert!(bad.index_bounds().failed());
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod fixtures;
+pub mod lints;
+pub mod report;
+pub mod solo;
+pub mod viewed;
+
+pub use cfg::{Cfg, CfgConfig, CfgError};
+pub use lints::{exit_restores_memory, solo_termination, symmetry, Analysis};
+pub use report::{Finding, LintId, LintReport, Verdict};
+pub use solo::{solo_run, SoloEnd, SoloRun};
+pub use viewed::Viewed;

@@ -1,0 +1,410 @@
+//! The six lints, L1–L6.
+//!
+//! L1, L2 and L6 are *structural*: they quantify over every CFG edge, i.e.
+//! over every reachable (state, read-result) pair of the chosen value
+//! domain. L3 is *relational*: it compares two processes' CFGs in
+//! lockstep. L4 and L5 are *concrete*: they replay an exact solo run.
+//! Every failure carries a replayable witness path.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use anonreg_model::{Machine, Step};
+
+use crate::cfg::{panic_message, Cfg, CfgConfig, EdgeKind};
+use crate::report::{Finding, LintId, Verdict};
+use crate::solo::{solo_run, SoloEnd};
+
+/// A machine together with its extracted CFG: the shared input of the
+/// structural lints (L1, L2, L6), extracted once.
+#[derive(Clone, Debug)]
+pub struct Analysis<M: Machine> {
+    register_count: usize,
+    cfg: Result<Cfg<M>, String>,
+}
+
+impl<M> Analysis<M>
+where
+    M: Machine + Eq + Hash,
+{
+    /// Extracts the CFG of `machine` over `config`. Extraction failure
+    /// (state-space blowup, empty domain) is not a lint failure: the
+    /// structural lints then report [`Verdict::Skipped`] with the reason.
+    #[must_use]
+    pub fn new(machine: &M, config: &CfgConfig<M::Value>) -> Self {
+        Analysis {
+            register_count: machine.register_count(),
+            cfg: Cfg::extract(machine.clone(), config).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// The extracted CFG, if extraction succeeded.
+    #[must_use]
+    pub fn cfg(&self) -> Option<&Cfg<M>> {
+        self.cfg.as_ref().ok()
+    }
+
+    /// L1 — index bounds: every `Read(j)` / `Write(j, _)` on every
+    /// reachable edge has `j < register_count()`.
+    #[must_use]
+    pub fn index_bounds(&self) -> Verdict {
+        let cfg = match &self.cfg {
+            Ok(cfg) => cfg,
+            Err(why) => return Verdict::Skipped(why.clone()),
+        };
+        let mut findings = Vec::new();
+        for (at, node) in cfg.nodes().iter().enumerate() {
+            for (e, edge) in node.edges.iter().enumerate() {
+                let index = match &edge.kind {
+                    EdgeKind::Step {
+                        step: Step::Read(j) | Step::Write(j, _),
+                        ..
+                    } => *j,
+                    _ => continue,
+                };
+                if index >= self.register_count {
+                    findings.push(Finding {
+                        lint: LintId::IndexBounds,
+                        message: format!(
+                            "register index {index} out of range (register_count = {})",
+                            self.register_count
+                        ),
+                        witness: cfg.witness_through(at, e),
+                    });
+                }
+            }
+        }
+        if findings.is_empty() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail(findings)
+        }
+    }
+
+    /// L2 — protocol conformance: `resume` is a pure function of (state,
+    /// input), never panics on protocol-correct input, and a halted
+    /// machine takes no further steps (repeating `Halt` or panicking are
+    /// both acceptable answers to a contract-violating extra call; doing
+    /// more work is not).
+    #[must_use]
+    pub fn protocol(&self) -> Verdict {
+        let cfg = match &self.cfg {
+            Ok(cfg) => cfg,
+            Err(why) => return Verdict::Skipped(why.clone()),
+        };
+        let mut findings = Vec::new();
+        for (at, node) in cfg.nodes().iter().enumerate() {
+            for (e, edge) in node.edges.iter().enumerate() {
+                match &edge.kind {
+                    EdgeKind::Step { .. } => {}
+                    EdgeKind::Panicked { message } => findings.push(Finding {
+                        lint: LintId::Protocol,
+                        message: format!("resume panicked on protocol-correct input: {message}"),
+                        witness: cfg.witness_through(at, e),
+                    }),
+                    EdgeKind::NonDeterministic { first, second } => findings.push(Finding {
+                        lint: LintId::Protocol,
+                        message: format!(
+                            "resume is not deterministic: replaying the same state and input \
+                             produced `{first}` and then `{second}`"
+                        ),
+                        witness: cfg.witness_through(at, e),
+                    }),
+                }
+            }
+            if node.halted {
+                // Probe: one contract-violating call after Halt. The
+                // machine may panic or keep answering Halt; emitting real
+                // steps means its halt state is not actually terminal.
+                let mut probe = node.state.clone();
+                if let Ok(step) = catch_unwind(AssertUnwindSafe(|| probe.resume(None))) {
+                    if step != Step::Halt {
+                        let mut witness = cfg.witness_to(at);
+                        witness.push(format!("resume(None) after Halt => {step:?}"));
+                        findings.push(Finding {
+                            lint: LintId::Protocol,
+                            message: format!("machine emitted {step:?} when resumed after Halt"),
+                            witness,
+                        });
+                    }
+                }
+            }
+        }
+        if findings.is_empty() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail(findings)
+        }
+    }
+
+    /// L6 — pack-width census: every value on a `Write` edge satisfies
+    /// `fits` (for the runtime's `PackedAtomicRegister`, "both packed
+    /// fields fit in 32 bits"). A violation here is a deployment panic
+    /// waiting in `Pack64::pack`, surfaced statically.
+    #[must_use]
+    pub fn pack_width<F>(&self, fits: F) -> Verdict
+    where
+        F: Fn(&M::Value) -> bool,
+    {
+        let cfg = match &self.cfg {
+            Ok(cfg) => cfg,
+            Err(why) => return Verdict::Skipped(why.clone()),
+        };
+        let mut findings = Vec::new();
+        for (at, node) in cfg.nodes().iter().enumerate() {
+            for (e, edge) in node.edges.iter().enumerate() {
+                if let EdgeKind::Step {
+                    step: Step::Write(_, value),
+                    ..
+                } = &edge.kind
+                {
+                    if !fits(value) {
+                        findings.push(Finding {
+                            lint: LintId::PackWidth,
+                            message: format!(
+                                "written value {value:?} does not fit the packed register width"
+                            ),
+                            witness: cfg.witness_through(at, e),
+                        });
+                    }
+                }
+            }
+        }
+        if findings.is_empty() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail(findings)
+        }
+    }
+}
+
+/// L3 — symmetry: explores the CFGs of `a` and `b` in lockstep and checks
+/// they are isomorphic under the caller's value substitution: whenever
+/// `a` reads `v`, `b` reads `map(v)`, and the two must emit the same step
+/// shape at the same local index, with `b`'s written values equal to
+/// `map` of `a`'s. This is the §2 symmetry restriction made checkable:
+/// identifiers may flow through the computation, but control flow may not
+/// depend on anything beyond their equality structure.
+///
+/// Event payloads are compared by shape only (they typically carry the
+/// process's own identifier, which legitimately differs).
+///
+/// `config.domain` is `a`'s read domain; `b` reads the image under `map`.
+/// The map must be consistent with the equality structure the machines
+/// can observe — for two-process lints, map `a`'s pid to `b`'s and vice
+/// versa, and fix everything else.
+#[must_use]
+pub fn symmetry<M, F>(a: &M, b: &M, map: F, config: &CfgConfig<M::Value>) -> Verdict
+where
+    M: Machine + Eq + Hash,
+    F: Fn(&M::Value) -> M::Value,
+{
+    if a.register_count() != b.register_count() {
+        return Verdict::Fail(vec![Finding {
+            lint: LintId::Symmetry,
+            message: format!(
+                "register counts differ: {} vs {}",
+                a.register_count(),
+                b.register_count()
+            ),
+            witness: vec![],
+        }]);
+    }
+
+    struct Pair<M: Machine> {
+        a: M,
+        b: M,
+        awaiting: bool,
+        halted: bool,
+        parent: Option<(usize, String)>,
+    }
+
+    let witness_to = |pairs: &Vec<Pair<M>>, mut at: usize| {
+        let mut path = Vec::new();
+        while let Some((parent, rendered)) = &pairs[at].parent {
+            path.push(rendered.clone());
+            at = *parent;
+        }
+        path.reverse();
+        path
+    };
+
+    let mut pairs: Vec<Pair<M>> = vec![Pair {
+        a: a.clone(),
+        b: b.clone(),
+        awaiting: false,
+        halted: false,
+        parent: None,
+    }];
+    let mut index: HashMap<(M, M, bool, bool), usize> = HashMap::new();
+    index.insert((a.clone(), b.clone(), false, false), 0);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut findings = Vec::new();
+
+    while let Some(at) = queue.pop_front() {
+        if pairs[at].halted {
+            continue;
+        }
+        let inputs: Vec<Option<M::Value>> = if pairs[at].awaiting {
+            // An empty domain yields zero inputs here, which would make
+            // every reachable property vacuously true. Mirror the
+            // `CfgError::EmptyDomain` that `Cfg::extract` raises for the
+            // same misconfiguration instead of silently passing.
+            if config.domain.is_empty() {
+                return Verdict::Skipped(
+                    "machine reads, but the value domain is empty".to_string(),
+                );
+            }
+            config.domain.iter().cloned().map(Some).collect()
+        } else {
+            vec![None]
+        };
+        for input_a in inputs {
+            let input_b = input_a.as_ref().map(&map);
+            let mut next_a = pairs[at].a.clone();
+            let mut next_b = pairs[at].b.clone();
+            let step_a = catch_unwind(AssertUnwindSafe(|| next_a.resume(input_a.clone())))
+                .map_err(|p| panic_message(&p));
+            let step_b = catch_unwind(AssertUnwindSafe(|| next_b.resume(input_b.clone())))
+                .map_err(|p| panic_message(&p));
+            let rendered = format!(
+                "a: resume({input_a:?}) => {step_a:?} | b: resume({input_b:?}) => {step_b:?}"
+            );
+            let matched = match (&step_a, &step_b) {
+                (Ok(Step::Read(i)), Ok(Step::Read(j))) => i == j,
+                (Ok(Step::Write(i, va)), Ok(Step::Write(j, vb))) => i == j && &map(va) == vb,
+                (Ok(Step::Event(_)), Ok(Step::Event(_))) | (Ok(Step::Halt), Ok(Step::Halt)) => true,
+                (Err(_), Err(_)) => true, // both stuck: L2's problem, not asymmetry
+                _ => false,
+            };
+            if !matched {
+                let mut witness = witness_to(&pairs, at);
+                witness.push(rendered);
+                findings.push(Finding {
+                    lint: LintId::Symmetry,
+                    message: format!(
+                        "processes diverge under pid substitution: \
+                         a emitted {step_a:?}, b emitted {step_b:?}"
+                    ),
+                    witness,
+                });
+                continue;
+            }
+            let Ok(step_a) = step_a else { continue };
+            let halted = matches!(step_a, Step::Halt);
+            let awaiting = matches!(step_a, Step::Read(_));
+            match index.entry((next_a.clone(), next_b.clone(), awaiting, halted)) {
+                Entry::Occupied(_) => {}
+                Entry::Vacant(v) => {
+                    if pairs.len() >= config.max_nodes {
+                        return Verdict::Skipped(format!(
+                            "lockstep state space exceeds {} pairs",
+                            config.max_nodes
+                        ));
+                    }
+                    let id = pairs.len();
+                    pairs.push(Pair {
+                        a: next_a,
+                        b: next_b,
+                        awaiting,
+                        halted,
+                        parent: Some((at, rendered.clone())),
+                    });
+                    queue.push_back(id);
+                    v.insert(id);
+                }
+            }
+        }
+    }
+    if findings.is_empty() {
+        Verdict::Pass
+    } else {
+        Verdict::Fail(findings)
+    }
+}
+
+/// L4 — exit restores memory: a solo run from `initial` registers that
+/// halts must leave every register holding exactly its initial value.
+/// This is the Figure 1 exit-code obligation ("write 0 into all
+/// registers") generalized: without it, runs do not compose — the next
+/// arrival would start from garbage, voiding the "initially all registers
+/// are 0" precondition of every proof.
+///
+/// Non-halting and panicking runs are reported as skips here (L5 and L2
+/// own those failures).
+#[must_use]
+pub fn exit_restores_memory<M: Machine>(
+    machine: M,
+    initial: Vec<M::Value>,
+    max_ops: u64,
+) -> Verdict {
+    let run = solo_run(machine, initial.clone(), max_ops);
+    match run.end {
+        SoloEnd::OutOfBudget => Verdict::Skipped(format!(
+            "solo run did not halt within {max_ops} steps (see L5)"
+        )),
+        SoloEnd::Panicked(message) => {
+            Verdict::Skipped(format!("solo run panicked (see L2): {message}"))
+        }
+        SoloEnd::Halted => {
+            let dirty: Vec<usize> = (0..initial.len())
+                .filter(|&j| run.registers[j] != initial[j])
+                .collect();
+            if dirty.is_empty() {
+                Verdict::Pass
+            } else {
+                Verdict::Fail(vec![Finding {
+                    lint: LintId::ExitRestoresMemory,
+                    message: format!(
+                        "solo run halted leaving registers {dirty:?} changed \
+                         (final contents {:?}, initial {:?})",
+                        run.registers, initial
+                    ),
+                    witness: run.transcript,
+                }])
+            }
+        }
+    }
+}
+
+/// L5 — bounded solo termination: a solo run from `initial` registers
+/// halts within `max_ops` resume steps (every `resume` call counts, so
+/// event-spinning machines are caught too). This is obstruction freedom
+/// observed at its definition site: "if a process runs alone long enough,
+/// it finishes". For Figure 1, `max_ops` per cycle is `4m` (two claim
+/// scans, one release scan, one restore scan).
+#[must_use]
+pub fn solo_termination<M: Machine>(machine: M, initial: Vec<M::Value>, max_ops: u64) -> Verdict {
+    let run = solo_run(machine, initial, max_ops);
+    match run.end {
+        SoloEnd::Halted => Verdict::Pass,
+        SoloEnd::Panicked(message) => Verdict::Fail(vec![Finding {
+            lint: LintId::SoloTermination,
+            message: format!("solo run panicked before halting: {message}"),
+            witness: run.transcript,
+        }]),
+        SoloEnd::OutOfBudget => {
+            // The full transcript of a diverging run is unbounded noise;
+            // keep the tail, which shows the loop.
+            let tail: Vec<String> = run
+                .transcript
+                .iter()
+                .rev()
+                .take(16)
+                .rev()
+                .cloned()
+                .collect();
+            Verdict::Fail(vec![Finding {
+                lint: LintId::SoloTermination,
+                message: format!(
+                    "solo run still live after {max_ops} resume steps \
+                     (witness shows the last {} steps)",
+                    tail.len()
+                ),
+                witness: tail,
+            }])
+        }
+    }
+}

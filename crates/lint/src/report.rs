@@ -1,0 +1,255 @@
+//! Structured lint verdicts with replayable witnesses.
+
+use std::fmt;
+
+/// The lints this crate ships, numbered as in the analyzer documentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LintId {
+    /// L1: every `Read(j)` / `Write(j, _)` has `j < register_count()`.
+    IndexBounds,
+    /// L2: the machine honors the [`Machine`](anonreg_model::Machine)
+    /// protocol — deterministic replay, no panic on protocol-correct
+    /// input, no further steps after `Halt`.
+    Protocol,
+    /// L3: two processes' CFGs are isomorphic under identifier
+    /// substitution — the paper's symmetry restriction (§2).
+    Symmetry,
+    /// L4: a solo run returns every register to its initial value — the
+    /// Figure 1 exit-code obligation that makes runs composable.
+    ExitRestoresMemory,
+    /// L5: a solo run halts within a stated operation bound —
+    /// obstruction-free solo termination.
+    SoloTermination,
+    /// L6: every written value fits the deployment's packed register
+    /// width (e.g. `Pack64`'s 32-bit fields).
+    PackWidth,
+}
+
+impl LintId {
+    /// The short code used in reports, `L1`..`L6`.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::IndexBounds => "L1",
+            LintId::Protocol => "L2",
+            LintId::Symmetry => "L3",
+            LintId::ExitRestoresMemory => "L4",
+            LintId::SoloTermination => "L5",
+            LintId::PackWidth => "L6",
+        }
+    }
+
+    /// A one-line description of the property checked.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintId::IndexBounds => "register indices stay within register_count()",
+            LintId::Protocol => "resume() is a deterministic, panic-free coroutine",
+            LintId::Symmetry => "process CFGs are isomorphic under pid substitution",
+            LintId::ExitRestoresMemory => "solo runs restore registers to their initial values",
+            LintId::SoloTermination => "solo runs halt within the operation bound",
+            LintId::PackWidth => "written values fit the packed register width",
+        }
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.summary())
+    }
+}
+
+/// One violation found by a lint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: LintId,
+    /// What went wrong, in one sentence.
+    pub message: String,
+    /// The replayable path that exhibits the violation: the rendered
+    /// `resume(input) => step` transitions from the initial state, in
+    /// order. Feeding exactly these inputs to a fresh machine reproduces
+    /// the failure.
+    pub witness: Vec<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.lint.code(), self.message)?;
+        if self.witness.is_empty() {
+            writeln!(f, "  (violated at the initial state)")?;
+        } else {
+            writeln!(f, "  witness ({} steps):", self.witness.len())?;
+            for (i, step) in self.witness.iter().enumerate() {
+                writeln!(f, "    {i:>3}. {step}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one lint on one subject.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds over the analyzed domain.
+    Pass,
+    /// Violations were found.
+    Fail(Vec<Finding>),
+    /// The lint could not run (state-space blowup, missing
+    /// configuration); the string says why. Skips are not passes: the
+    /// aggregate report surfaces them.
+    Skipped(String),
+}
+
+impl Verdict {
+    /// `true` only for [`Verdict::Pass`].
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+
+    /// `true` for [`Verdict::Fail`].
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        matches!(self, Verdict::Fail(_))
+    }
+}
+
+/// All lint outcomes for one analysis subject (one algorithm
+/// configuration).
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Human-readable name of what was analyzed.
+    pub subject: String,
+    /// `(lint, verdict)` pairs in the order the lints ran.
+    pub results: Vec<(LintId, Verdict)>,
+}
+
+impl LintReport {
+    /// A new empty report for `subject`.
+    #[must_use]
+    pub fn new(subject: impl Into<String>) -> Self {
+        LintReport {
+            subject: subject.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Records one lint outcome.
+    pub fn record(&mut self, lint: LintId, verdict: Verdict) {
+        self.results.push((lint, verdict));
+    }
+
+    /// `true` when no lint failed (skips do not fail the report, but see
+    /// [`LintReport::skipped`]).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        !self.results.iter().any(|(_, v)| v.failed())
+    }
+
+    /// All findings across all failed lints.
+    #[must_use]
+    pub fn findings(&self) -> Vec<&Finding> {
+        self.results
+            .iter()
+            .filter_map(|(_, v)| match v {
+                Verdict::Fail(f) => Some(f.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// The lints that were skipped, with reasons.
+    #[must_use]
+    pub fn skipped(&self) -> Vec<(LintId, &str)> {
+        self.results
+            .iter()
+            .filter_map(|(l, v)| match v {
+                Verdict::Skipped(why) => Some((*l, why.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.subject)?;
+        for (lint, verdict) in &self.results {
+            match verdict {
+                Verdict::Pass => writeln!(f, "  {:<4} pass  {}", lint.code(), lint.summary())?,
+                Verdict::Skipped(why) => {
+                    writeln!(f, "  {:<4} skip  {}", lint.code(), why)?;
+                }
+                Verdict::Fail(findings) => {
+                    writeln!(f, "  {:<4} FAIL", lint.code())?;
+                    for finding in findings {
+                        for line in finding.to_string().lines() {
+                            writeln!(f, "    {line}")?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_summaries_are_distinct() {
+        let all = [
+            LintId::IndexBounds,
+            LintId::Protocol,
+            LintId::Symmetry,
+            LintId::ExitRestoresMemory,
+            LintId::SoloTermination,
+            LintId::PackWidth,
+        ];
+        let codes: std::collections::HashSet<_> = all.iter().map(|l| l.code()).collect();
+        assert_eq!(codes.len(), all.len());
+        for lint in all {
+            assert!(lint.to_string().starts_with(lint.code()));
+        }
+    }
+
+    #[test]
+    fn report_aggregates_verdicts() {
+        let mut report = LintReport::new("demo");
+        report.record(LintId::IndexBounds, Verdict::Pass);
+        assert!(report.passed());
+        report.record(
+            LintId::Symmetry,
+            Verdict::Skipped("asymmetric by design".into()),
+        );
+        assert!(report.passed());
+        assert_eq!(report.skipped().len(), 1);
+        report.record(
+            LintId::Protocol,
+            Verdict::Fail(vec![Finding {
+                lint: LintId::Protocol,
+                message: "stepped after Halt".into(),
+                witness: vec!["resume(None) => Halt".into()],
+            }]),
+        );
+        assert!(!report.passed());
+        assert_eq!(report.findings().len(), 1);
+        let rendered = report.to_string();
+        assert!(rendered.contains("FAIL"));
+        assert!(rendered.contains("witness"));
+    }
+
+    #[test]
+    fn empty_witness_renders_initial_state_note() {
+        let finding = Finding {
+            lint: LintId::IndexBounds,
+            message: "first step writes out of range".into(),
+            witness: vec![],
+        };
+        assert!(finding.to_string().contains("initial state"));
+    }
+}

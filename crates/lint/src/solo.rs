@@ -1,0 +1,245 @@
+//! Concrete solo execution, the ground truth for L4 and L5.
+//!
+//! Obstruction freedom — the progress condition of the paper's consensus
+//! and renaming algorithms, and the mode in which Figure 1's exit code is
+//! obliged to clean up — is a statement about *solo* runs: a process that
+//! executes alone from some configuration must finish. The abstract CFG
+//! over-approximates reads (any domain value may come back); a solo run is
+//! the opposite: exact, because the process sees precisely what it wrote.
+//! L4 and L5 therefore run the machine concretely against a register
+//! vector instead of consulting the CFG.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use anonreg_model::{Machine, Step};
+
+use crate::cfg::panic_message;
+
+/// How a solo run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SoloEnd {
+    /// The machine emitted `Halt`.
+    Halted,
+    /// The operation budget ran out first.
+    OutOfBudget,
+    /// `resume` panicked.
+    Panicked(String),
+}
+
+/// A completed (or truncated) solo run.
+#[derive(Clone, Debug)]
+pub struct SoloRun<M: Machine> {
+    /// Final machine state.
+    pub machine: M,
+    /// Final register contents.
+    pub registers: Vec<M::Value>,
+    /// Rendered `resume(input) => step` transcript, replayable in order.
+    pub transcript: Vec<String>,
+    /// Atomic memory operations performed (reads + writes).
+    pub ops: u64,
+    /// Why the run stopped.
+    pub end: SoloEnd,
+}
+
+/// Runs `machine` alone against `registers` (its exact private register
+/// contents — the identity view; anonymity is irrelevant solo, since every
+/// permutation of a solo run is the same run up to renaming) for at most
+/// `max_ops` resume steps.
+///
+/// Every `resume` call — reads, writes, *and* events — counts against the
+/// budget, so a machine that spins emitting events still reaches
+/// [`SoloEnd::OutOfBudget`] instead of looping forever with an unboundedly
+/// growing transcript. The returned [`SoloRun::ops`] still counts atomic
+/// memory operations only.
+///
+/// # Panics
+///
+/// Panics if `registers.len() != machine.register_count()` — that is a
+/// misconfigured lint, not a lint failure.
+pub fn solo_run<M: Machine>(
+    mut machine: M,
+    mut registers: Vec<M::Value>,
+    max_ops: u64,
+) -> SoloRun<M> {
+    assert_eq!(
+        registers.len(),
+        machine.register_count(),
+        "solo run needs one initial value per register"
+    );
+    let mut transcript = Vec::new();
+    let mut pending: Option<M::Value> = None;
+    let mut ops = 0u64;
+    let mut steps = 0u64;
+    let end = loop {
+        if steps >= max_ops {
+            break SoloEnd::OutOfBudget;
+        }
+        steps += 1;
+        let input = pending.take();
+        let rendered_input = match &input {
+            Some(v) => format!("resume(Some({v:?}))"),
+            None => "resume(None)".to_string(),
+        };
+        let step = match catch_unwind(AssertUnwindSafe(|| machine.resume(input))) {
+            Ok(step) => step,
+            Err(payload) => {
+                let message = panic_message(&payload);
+                transcript.push(format!("{rendered_input} => panic: {message}"));
+                break SoloEnd::Panicked(message);
+            }
+        };
+        transcript.push(format!("{rendered_input} => {step:?}"));
+        match step {
+            Step::Read(j) => {
+                ops += 1;
+                // Out-of-range indices are L1's business; clamp the solo
+                // run to a panic-free read so L4/L5 still report their own
+                // properties.
+                match registers.get(j) {
+                    Some(v) => pending = Some(v.clone()),
+                    None => pending = Some(M::Value::default()),
+                }
+            }
+            Step::Write(j, v) => {
+                ops += 1;
+                if let Some(slot) = registers.get_mut(j) {
+                    *slot = v;
+                }
+            }
+            Step::Event(_) => {}
+            Step::Halt => break SoloEnd::Halted,
+        }
+    };
+    SoloRun {
+        machine,
+        registers,
+        transcript,
+        ops,
+        end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_model::Pid;
+
+    /// Writes its pid to every register, then zeroes them, then halts.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Sweep {
+        pid: Pid,
+        m: usize,
+        at: usize,
+        phase: u8,
+    }
+
+    impl Machine for Sweep {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            self.m
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+            match self.phase {
+                0 => {
+                    let step = Step::Write(self.at, self.pid.get());
+                    self.at += 1;
+                    if self.at == self.m {
+                        self.at = 0;
+                        self.phase = 1;
+                    }
+                    step
+                }
+                1 => {
+                    let step = Step::Write(self.at, 0);
+                    self.at += 1;
+                    if self.at == self.m {
+                        self.phase = 2;
+                    }
+                    step
+                }
+                _ => Step::Halt,
+            }
+        }
+    }
+
+    #[test]
+    fn solo_run_tracks_registers_and_halts() {
+        let run = solo_run(
+            Sweep {
+                pid: Pid::new(7).unwrap(),
+                m: 3,
+                at: 0,
+                phase: 0,
+            },
+            vec![0; 3],
+            100,
+        );
+        assert_eq!(run.end, SoloEnd::Halted);
+        assert_eq!(run.registers, vec![0, 0, 0]);
+        assert_eq!(run.ops, 6);
+        assert_eq!(run.transcript.len(), 7); // 6 writes + Halt
+    }
+
+    /// Emits events forever without ever touching memory.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Chatterbox {
+        pid: Pid,
+    }
+
+    impl Machine for Chatterbox {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+            Step::Event(())
+        }
+    }
+
+    #[test]
+    fn event_loops_exhaust_the_budget() {
+        // Zero memory operations must not mean infinite budget: every
+        // resume call is a step, so the run terminates with a bounded
+        // transcript.
+        let run = solo_run(
+            Chatterbox {
+                pid: Pid::new(1).unwrap(),
+            },
+            vec![0],
+            10,
+        );
+        assert_eq!(run.end, SoloEnd::OutOfBudget);
+        assert_eq!(run.ops, 0);
+        assert_eq!(run.transcript.len(), 10);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let run = solo_run(
+            Sweep {
+                pid: Pid::new(7).unwrap(),
+                m: 3,
+                at: 0,
+                phase: 0,
+            },
+            vec![0; 3],
+            2,
+        );
+        assert_eq!(run.end, SoloEnd::OutOfBudget);
+        assert_eq!(run.registers, vec![7, 7, 0]);
+    }
+}

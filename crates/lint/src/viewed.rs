@@ -1,0 +1,144 @@
+//! Renumbering a machine's registers through a [`View`].
+//!
+//! In the memory-anonymous model a process never knows which physical
+//! register its local index `j` denotes. [`Viewed`] makes that renaming a
+//! machine-level transformation: it wraps any machine and routes every
+//! `Read(j)` / `Write(j, _)` through a permutation. Because the paper's
+//! correctness properties are view-independent, every lint verdict must
+//! survive wrapping — which is exactly how the randomized property tests
+//! use this type: lint a shipped algorithm under hundreds of random
+//! permutations and assert the verdicts never change.
+
+use anonreg_model::{Machine, Pid, Step, View};
+
+/// A machine whose register numbering is composed with a permutation.
+///
+/// `Viewed { inner, view }` behaves exactly like `inner` except that local
+/// index `j` becomes `view.physical(j)`. Wrapping with
+/// [`View::identity`] is the identity transformation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Viewed<M> {
+    inner: M,
+    view: View,
+}
+
+impl<M: Machine> Viewed<M> {
+    /// Wraps `machine`, renumbering through `view`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view.len() != machine.register_count()` — a partial
+    /// renaming is not a permutation of the machine's registers.
+    #[must_use]
+    pub fn new(machine: M, view: View) -> Self {
+        assert_eq!(
+            view.len(),
+            machine.register_count(),
+            "view must permute exactly the machine's registers"
+        );
+        Viewed {
+            inner: machine,
+            view,
+        }
+    }
+
+    /// The wrapped machine.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The permutation applied to register indices.
+    #[must_use]
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+}
+
+impl<M: Machine> Machine for Viewed<M> {
+    type Value = M::Value;
+    type Event = M::Event;
+
+    fn pid(&self) -> Pid {
+        self.inner.pid()
+    }
+
+    fn register_count(&self) -> usize {
+        self.inner.register_count()
+    }
+
+    fn resume(&mut self, read: Option<Self::Value>) -> Step<Self::Value, Self::Event> {
+        match self.inner.resume(read) {
+            Step::Read(j) => Step::Read(self.view.physical(j)),
+            Step::Write(j, v) => Step::Write(self.view.physical(j), v),
+            Step::Event(e) => Step::Event(e),
+            Step::Halt => Step::Halt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes 1 to register 0 and 2 to register 1, then halts.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct TwoWrites {
+        pid: Pid,
+        at: usize,
+    }
+
+    impl Machine for TwoWrites {
+        type Value = u64;
+        type Event = ();
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            2
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+            match self.at {
+                0 | 1 => {
+                    let step = Step::Write(self.at, self.at as u64 + 1);
+                    self.at += 1;
+                    step
+                }
+                _ => Step::Halt,
+            }
+        }
+    }
+
+    fn machine() -> TwoWrites {
+        TwoWrites {
+            pid: Pid::new(1).unwrap(),
+            at: 0,
+        }
+    }
+
+    #[test]
+    fn identity_view_is_transparent() {
+        let mut plain = machine();
+        let mut viewed = Viewed::new(machine(), View::identity(2));
+        for _ in 0..3 {
+            assert_eq!(plain.resume(None), viewed.resume(None));
+        }
+    }
+
+    #[test]
+    fn rotation_renumbers_indices() {
+        let mut viewed = Viewed::new(machine(), View::rotated(2, 1));
+        assert_eq!(viewed.resume(None), Step::Write(1, 1));
+        assert_eq!(viewed.resume(None), Step::Write(0, 2));
+        assert_eq!(viewed.resume(None), Step::Halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "permute exactly")]
+    fn size_mismatch_panics() {
+        let _ = Viewed::new(machine(), View::identity(3));
+    }
+}

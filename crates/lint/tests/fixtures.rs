@@ -1,0 +1,259 @@
+//! Every lint must catch its negative fixture and pass the positive
+//! control — and *only* its own fixture's defect class is asserted, so a
+//! fixture tripping an unrelated lint is a test failure here, not an
+//! accident.
+
+use anonreg_lint::cfg::CfgConfig;
+use anonreg_lint::fixtures::{
+    Asymmetric, Diverger, Flicker, Messy, OutOfBounds, WellBehaved, WideWriter, Zombie,
+};
+use anonreg_lint::lints::{exit_restores_memory, solo_termination, symmetry, Analysis};
+use anonreg_lint::report::LintId;
+use anonreg_lint::Verdict;
+use anonreg_model::Pid;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+fn config() -> CfgConfig<u64> {
+    CfgConfig::new(vec![0, 1, 2])
+}
+
+fn control() -> WellBehaved {
+    WellBehaved::new(pid(1))
+}
+
+fn expect_fail(verdict: &Verdict, lint: LintId) {
+    match verdict {
+        Verdict::Fail(findings) => {
+            assert!(!findings.is_empty());
+            for finding in findings {
+                assert_eq!(finding.lint, lint);
+                assert!(
+                    !finding.witness.is_empty(),
+                    "every finding must carry a replayable witness"
+                );
+            }
+        }
+        other => panic!("expected {lint:?} to fail, got {other:?}"),
+    }
+}
+
+// --- L1: index bounds -----------------------------------------------------
+
+#[test]
+fn l1_passes_on_the_control() {
+    assert!(Analysis::new(&control(), &config()).index_bounds().passed());
+}
+
+#[test]
+fn l1_catches_out_of_bounds_indices() {
+    let verdict = Analysis::new(&OutOfBounds::new(3), &config()).index_bounds();
+    expect_fail(&verdict, LintId::IndexBounds);
+    let Verdict::Fail(findings) = verdict else {
+        unreachable!()
+    };
+    assert!(findings[0].message.contains("index 3"));
+    assert!(findings[0].message.contains("register_count = 3"));
+}
+
+// --- L2: protocol conformance --------------------------------------------
+
+#[test]
+fn l2_passes_on_the_control() {
+    assert!(Analysis::new(&control(), &config()).protocol().passed());
+}
+
+#[test]
+fn l2_catches_nondeterministic_resume() {
+    let verdict = Analysis::new(&Flicker::new(), &config()).protocol();
+    expect_fail(&verdict, LintId::Protocol);
+    let Verdict::Fail(findings) = verdict else {
+        unreachable!()
+    };
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("not deterministic")));
+}
+
+#[test]
+fn l2_catches_steps_after_halt() {
+    let verdict = Analysis::new(&Zombie::new(), &config()).protocol();
+    expect_fail(&verdict, LintId::Protocol);
+    let Verdict::Fail(findings) = verdict else {
+        unreachable!()
+    };
+    assert!(findings.iter().any(|f| f.message.contains("after Halt")));
+}
+
+// --- L3: symmetry ---------------------------------------------------------
+
+/// The pid-substitution map for two u64-valued processes: swap the two
+/// identifiers, fix everything else.
+fn swap(a: u64, b: u64) -> impl Fn(&u64) -> u64 {
+    move |&v| {
+        if v == a {
+            b
+        } else if v == b {
+            a
+        } else {
+            v
+        }
+    }
+}
+
+#[test]
+fn l3_passes_on_the_control() {
+    let verdict = symmetry(
+        &WellBehaved::new(pid(1)),
+        &WellBehaved::new(pid(2)),
+        swap(1, 2),
+        &config(),
+    );
+    assert!(verdict.passed(), "{verdict:?}");
+}
+
+#[test]
+fn l3_catches_identifier_content_branching() {
+    let verdict = symmetry(
+        &Asymmetric::new(pid(1)),
+        &Asymmetric::new(pid(2)),
+        swap(1, 2),
+        &config(),
+    );
+    expect_fail(&verdict, LintId::Symmetry);
+    let Verdict::Fail(findings) = verdict else {
+        unreachable!()
+    };
+    assert!(findings[0].message.contains("diverge"));
+}
+
+#[test]
+fn l3_skips_on_empty_domain_instead_of_passing_vacuously() {
+    // Zero inputs at awaiting nodes would make the lockstep check
+    // vacuously true; the lint must report the misconfiguration the same
+    // way Cfg::extract rejects it, never Pass.
+    let verdict = symmetry(
+        &WellBehaved::new(pid(1)),
+        &WellBehaved::new(pid(2)),
+        swap(1, 2),
+        &CfgConfig::new(vec![]),
+    );
+    let Verdict::Skipped(why) = verdict else {
+        panic!("expected Skipped on empty domain, got {verdict:?}");
+    };
+    assert!(why.contains("domain is empty"), "{why}");
+}
+
+// --- L4: exit restores memory --------------------------------------------
+
+#[test]
+fn l4_passes_on_the_control() {
+    assert!(exit_restores_memory(control(), vec![0], 100).passed());
+}
+
+#[test]
+fn l4_catches_dirty_exits() {
+    let verdict = exit_restores_memory(Messy::new(), vec![0], 100);
+    expect_fail(&verdict, LintId::ExitRestoresMemory);
+    let Verdict::Fail(findings) = verdict else {
+        unreachable!()
+    };
+    assert!(
+        findings[0].message.contains("[0]"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn l4_defers_diverging_runs_to_l5() {
+    // A diverging machine is L5's failure; L4 reports a skip, not a pass.
+    let verdict = exit_restores_memory(Diverger::new(), vec![0], 50);
+    assert!(matches!(verdict, Verdict::Skipped(_)), "{verdict:?}");
+}
+
+// --- L5: bounded solo termination -----------------------------------------
+
+#[test]
+fn l5_passes_on_the_control() {
+    assert!(solo_termination(control(), vec![0], 100).passed());
+}
+
+#[test]
+fn l5_catches_divergence() {
+    let verdict = solo_termination(Diverger::new(), vec![0], 50);
+    expect_fail(&verdict, LintId::SoloTermination);
+    let Verdict::Fail(findings) = verdict else {
+        unreachable!()
+    };
+    assert!(findings[0].message.contains("still live after 50"));
+}
+
+// --- L6: pack width --------------------------------------------------------
+
+fn fits_u32(v: &u64) -> bool {
+    *v <= u64::from(u32::MAX)
+}
+
+#[test]
+fn l6_passes_on_the_control() {
+    assert!(Analysis::new(&control(), &config())
+        .pack_width(fits_u32)
+        .passed());
+}
+
+#[test]
+fn l6_catches_overwide_writes() {
+    let verdict = Analysis::new(&WideWriter::new(), &config()).pack_width(fits_u32);
+    expect_fail(&verdict, LintId::PackWidth);
+    let Verdict::Fail(findings) = verdict else {
+        unreachable!()
+    };
+    assert!(findings[0].message.contains("1099511627776")); // 1 << 40
+}
+
+// --- cross-cutting ----------------------------------------------------------
+
+#[test]
+fn fixtures_fail_only_their_own_lints_where_meaningful() {
+    // The control is clean across the whole battery.
+    let analysis = Analysis::new(&control(), &config());
+    assert!(analysis.index_bounds().passed());
+    assert!(analysis.protocol().passed());
+    assert!(analysis.pack_width(fits_u32).passed());
+    assert!(exit_restores_memory(control(), vec![0], 100).passed());
+    assert!(solo_termination(control(), vec![0], 100).passed());
+
+    // OutOfBounds is protocol-conformant and terminating: only L1 fires.
+    let oob = Analysis::new(&OutOfBounds::new(3), &config());
+    assert!(oob.protocol().passed());
+    assert!(solo_termination(OutOfBounds::new(3), vec![0, 0, 0], 100).passed());
+
+    // Messy is in-bounds and protocol-conformant: only L4 fires.
+    let messy = Analysis::new(&Messy::new(), &config());
+    assert!(messy.index_bounds().passed());
+    assert!(messy.protocol().passed());
+    assert!(solo_termination(Messy::new(), vec![0], 100).passed());
+
+    // Diverger is in-bounds and deterministic: only L5 fires.
+    let diverger = Analysis::new(&Diverger::new(), &config());
+    assert!(diverger.index_bounds().passed());
+    assert!(diverger.protocol().passed());
+}
+
+#[test]
+fn reports_render_witnesses_end_to_end() {
+    use anonreg_lint::LintReport;
+    let mut report = LintReport::new("out-of-bounds fixture");
+    report.record(
+        LintId::IndexBounds,
+        Analysis::new(&OutOfBounds::new(3), &config()).index_bounds(),
+    );
+    assert!(!report.passed());
+    let rendered = report.to_string();
+    assert!(rendered.contains("L1"));
+    assert!(rendered.contains("FAIL"));
+    assert!(rendered.contains("Write(3, 1)"), "{rendered}");
+}

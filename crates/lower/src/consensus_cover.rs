@@ -146,10 +146,7 @@ pub fn disagreement(n: usize, registers: usize) -> Result<Disagreement, AttackEr
 
     // Step 4: the first coverer runs alone — obstruction freedom obliges it
     // to decide.
-    attack
-        .sim
-        .run_solo(1, budget)
-        .expect("slot 1 exists");
+    attack.sim.run_solo(1, budget).expect("slot 1 exists");
     let coverer = attack.sim.machine(1);
     if !coverer.has_decided() {
         return Err(AttackError::Cover(CoverError::VictimDidNotFinish {

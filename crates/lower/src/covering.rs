@@ -42,7 +42,10 @@ impl fmt::Display for CoverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoverError::VictimDidNotFinish { budget } => {
-                write!(f, "solo victim did not reach its milestone in {budget} steps")
+                write!(
+                    f,
+                    "solo victim did not reach its milestone in {budget} steps"
+                )
             }
             CoverError::EmptyWriteSet => {
                 write!(f, "solo victim reached its milestone without writing")
@@ -328,8 +331,7 @@ mod tests {
     fn attack_assembles_and_is_indistinguishable() {
         let victim = kwriter(1, 4, 3);
         let coverers = vec![kwriter(2, 4, 1), kwriter(3, 4, 1), kwriter(4, 4, 1)];
-        let attack =
-            CoveringAttack::build(victim, coverers, |m: &KWriter| m.done, 100).unwrap();
+        let attack = CoveringAttack::build(victim, coverers, |m: &KWriter| m.done, 100).unwrap();
         assert_eq!(attack.write_set, vec![0, 1, 2]);
         assert_eq!(attack.coverer_count(), 3);
         assert!(attack.memory_indistinguishable());
@@ -355,8 +357,7 @@ mod tests {
     fn missing_coverers_error() {
         let victim = kwriter(1, 4, 3);
         let coverers = vec![kwriter(2, 4, 1)]; // need 3
-        let err =
-            CoveringAttack::build(victim, coverers, |m: &KWriter| m.done, 100).unwrap_err();
+        let err = CoveringAttack::build(victim, coverers, |m: &KWriter| m.done, 100).unwrap_err();
         assert_eq!(err, CoverError::CovererNeverWrites { index: 1 });
     }
 
@@ -390,13 +391,8 @@ mod tests {
             pid: Pid::new(1).unwrap(),
             done: false,
         };
-        let err = CoveringAttack::build(
-            victim.clone(),
-            vec![victim],
-            |m: &Silent| m.done,
-            100,
-        )
-        .unwrap_err();
+        let err = CoveringAttack::build(victim.clone(), vec![victim], |m: &Silent| m.done, 100)
+            .unwrap_err();
         assert_eq!(err, CoverError::EmptyWriteSet);
     }
 

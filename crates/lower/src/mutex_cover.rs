@@ -129,8 +129,8 @@ pub fn unknown_n_attack(m: usize, budget: usize) -> UnknownNAttack {
         &mut attack.sim,
         |sim| {
             // Stop as soon as any coverer entered.
-            let someone_in = (1..=coverer_count)
-                .any(|p| sim.machine(p).section() == Section::Critical);
+            let someone_in =
+                (1..=coverer_count).any(|p| sim.machine(p).section() == Section::Critical);
             if someone_in {
                 return None;
             }
@@ -142,19 +142,21 @@ pub fn unknown_n_attack(m: usize, budget: usize) -> UnknownNAttack {
     )
     .expect("coverer slots are valid");
 
-    let intruder = (1..=coverer_count)
-        .find(|&p| attack.sim.machine(p).section() == Section::Critical);
+    let intruder =
+        (1..=coverer_count).find(|&p| attack.sim.machine(p).section() == Section::Critical);
     let failure = match intruder {
         Some(intruder) => {
             // The victim never moved: both are in their critical sections.
             debug_assert_eq!(attack.sim.machine(0).section(), Section::Critical);
-            debug_assert!(attack
-                .sim
-                .trace()
-                .events()
-                .filter(|(_, _, e)| **e == MutexEvent::Enter)
-                .count()
-                >= 2);
+            debug_assert!(
+                attack
+                    .sim
+                    .trace()
+                    .events()
+                    .filter(|(_, _, e)| **e == MutexEvent::Enter)
+                    .count()
+                    >= 2
+            );
             MutexFailure::MutualExclusionViolated { intruder }
         }
         None => MutexFailure::Starvation { steps_given },
@@ -204,8 +206,7 @@ mod tests {
             assert!(!outcome.to_string().is_empty());
             // The attack always demonstrates one of the two failures.
             match outcome.failure {
-                MutexFailure::MutualExclusionViolated { .. }
-                | MutexFailure::Starvation { .. } => {}
+                MutexFailure::MutualExclusionViolated { .. } | MutexFailure::Starvation { .. } => {}
             }
         }
     }

@@ -40,10 +40,7 @@ impl fmt::Display for DuplicateName {
 
 /// Extracts the name a halted renaming machine acquired by replaying its
 /// final event from the simulation trace.
-fn acquired_name(
-    sim: &anonreg_sim::Simulation<AnonRenaming>,
-    proc: usize,
-) -> Option<u32> {
+fn acquired_name(sim: &anonreg_sim::Simulation<AnonRenaming>, proc: usize) -> Option<u32> {
     sim.trace().events().find_map(|(p, _, event)| {
         if p == proc {
             let anonreg::renaming::RenamingEvent::Named(name) = event;
@@ -85,12 +82,8 @@ pub fn duplicate_name(n: usize, registers: usize) -> Result<DuplicateName, Attac
 
     // Solo renaming costs O(r²) per round over ≤ n rounds; generous slack.
     let budget = 4 * n * (registers * (registers + 2)) + 64;
-    let mut attack = CoveringAttack::build(
-        victim,
-        coverers,
-        |m: &AnonRenaming| m.has_name(),
-        budget,
-    )?;
+    let mut attack =
+        CoveringAttack::build(victim, coverers, |m: &AnonRenaming| m.has_name(), budget)?;
     let write_set = attack.write_set.clone();
     let victim_name =
         acquired_name(&attack.sim, 0).expect("victim announced its name before halting");
@@ -146,7 +139,13 @@ mod tests {
 
     #[test]
     fn bad_parameters_rejected() {
-        assert_eq!(duplicate_name(1, 1).unwrap_err(), AttackError::BadParameters);
-        assert_eq!(duplicate_name(2, 0).unwrap_err(), AttackError::BadParameters);
+        assert_eq!(
+            duplicate_name(1, 1).unwrap_err(),
+            AttackError::BadParameters
+        );
+        assert_eq!(
+            duplicate_name(2, 0).unwrap_err(),
+            AttackError::BadParameters
+        );
     }
 }

@@ -55,7 +55,11 @@ impl fmt::Display for RingOutcome {
         write!(
             f,
             "m = {}, l = {}: {} rounds, symmetric = {}, CS entries = {}, stuck = {}",
-            self.m, self.l, self.rounds, self.symmetric_throughout, self.cs_entries,
+            self.m,
+            self.l,
+            self.rounds,
+            self.symmetric_throughout,
+            self.cs_entries,
             self.stuck_in_entry
         )
     }

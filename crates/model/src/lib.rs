@@ -67,6 +67,7 @@ mod pid;
 mod value;
 mod view;
 
+pub mod rng;
 pub mod trace;
 
 pub use machine::{Machine, Step};

@@ -119,12 +119,7 @@ impl<V, E> Trace<V, E> {
     #[must_use]
     pub fn memory_ops_of(&self, proc: usize) -> usize {
         self.of_proc(proc)
-            .filter(|entry| {
-                matches!(
-                    entry.op,
-                    TraceOp::Read { .. } | TraceOp::Write { .. }
-                )
-            })
+            .filter(|entry| matches!(entry.op, TraceOp::Read { .. } | TraceOp::Write { .. }))
             .count()
     }
 

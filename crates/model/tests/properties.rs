@@ -1,31 +1,28 @@
-//! Property-based tests for the model vocabulary.
+//! Property-style tests for the model vocabulary.
+//!
+//! These are randomized tests driven by the workspace's own seeded
+//! [`Rng64`] generator (fixed seeds, so every run explores the same cases
+//! and failures are replayable) — the workspace builds fully offline with
+//! zero external dependencies, so no external property-testing framework is
+//! used.
 
+use anonreg_model::rng::Rng64;
 use anonreg_model::trace::{Trace, TraceOp};
 use anonreg_model::{Pid, PidMap, View};
-use proptest::prelude::*;
 
-/// Strategy: a random permutation of `0..m` as a `View`.
-fn perm(m: usize) -> impl Strategy<Value = View> {
-    Just(()).prop_perturb(move |(), mut rng| {
-        let mut p: Vec<usize> = (0..m).collect();
-        for i in (1..m).rev() {
-            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-            p.swap(i, j);
-        }
-        View::from_perm(p).expect("shuffled range is a permutation")
-    })
+const CASES: usize = 128;
+
+/// A random permutation of `0..m` as a `View`.
+fn perm(rng: &mut Rng64, m: usize) -> View {
+    View::from_perm(rng.permutation(m)).expect("shuffled range is a permutation")
 }
 
-fn view_pair() -> impl Strategy<Value = (View, View)> {
-    (1usize..10).prop_flat_map(|m| (perm(m), perm(m)))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn from_perm_accepts_exactly_permutations(mut raw in proptest::collection::vec(0usize..16, 0..10)) {
-        let m = raw.len();
+#[test]
+fn from_perm_accepts_exactly_permutations() {
+    let mut rng = Rng64::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let m = rng.gen_index(10);
+        let mut raw: Vec<usize> = (0..m).map(|_| rng.gen_index(16)).collect();
         let is_permutation = {
             let mut seen = vec![false; m];
             raw.iter().all(|&x| {
@@ -37,85 +34,132 @@ proptest! {
                 }
             })
         };
-        prop_assert_eq!(View::from_perm(raw.clone()).is_ok(), is_permutation);
+        assert_eq!(View::from_perm(raw.clone()).is_ok(), is_permutation);
         // Sorting a duplicate-free in-range vector makes it the identity.
         if is_permutation {
             raw.sort_unstable();
-            prop_assert_eq!(View::from_perm(raw).unwrap(), View::identity(m));
+            assert_eq!(View::from_perm(raw).unwrap(), View::identity(m));
         }
     }
+}
 
-    #[test]
-    fn compose_is_associative((a, b) in view_pair(), seed in any::<u64>()) {
-        let m = a.len();
-        // Derive a third permutation deterministically from the seed.
-        let c = View::rotated(m, (seed % m as u64) as usize);
+#[test]
+fn compose_is_associative() {
+    let mut rng = Rng64::seed_from_u64(0xB0B);
+    for _ in 0..CASES {
+        let m = rng.gen_range_inclusive(1, 9);
+        let a = perm(&mut rng, m);
+        let b = perm(&mut rng, m);
+        let c = View::rotated(m, rng.gen_index(m));
         let left = a.compose(&b).compose(&c);
         let right = a.compose(&b.compose(&c));
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right);
     }
+}
 
-    #[test]
-    fn identity_is_neutral(view in (1usize..10).prop_flat_map(perm)) {
-        let m = view.len();
-        prop_assert_eq!(View::identity(m).compose(&view), view.clone());
-        prop_assert_eq!(view.compose(&View::identity(m)), view);
+#[test]
+fn identity_is_neutral() {
+    let mut rng = Rng64::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
+        let m = rng.gen_range_inclusive(1, 9);
+        let view = perm(&mut rng, m);
+        assert_eq!(View::identity(m).compose(&view), view.clone());
+        assert_eq!(view.compose(&View::identity(m)), view);
     }
+}
 
-    #[test]
-    fn rotations_add_modulo_m(m in 1usize..12, s1 in 0usize..24, s2 in 0usize..24) {
+#[test]
+fn rotations_add_modulo_m() {
+    let mut rng = Rng64::seed_from_u64(0xD1CE);
+    for _ in 0..CASES {
+        let m = rng.gen_range_inclusive(1, 11);
+        let s1 = rng.gen_index(24);
+        let s2 = rng.gen_index(24);
         let composed = View::rotated(m, s1 % m).compose(&View::rotated(m, s2 % m));
-        prop_assert_eq!(composed, View::rotated(m, (s1 + s2) % m));
+        assert_eq!(composed, View::rotated(m, (s1 + s2) % m));
     }
+}
 
-    #[test]
-    fn pid_round_trips_through_strings(raw in 1u64..) {
+#[test]
+fn pid_round_trips_through_strings() {
+    let mut rng = Rng64::seed_from_u64(0xE66);
+    for _ in 0..CASES {
+        let raw = rng.next_u64().max(1);
         let p = Pid::new(raw).unwrap();
         let parsed: Pid = p.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, p);
-        prop_assert_eq!(parsed.get(), raw);
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.get(), raw);
     }
+}
 
-    #[test]
-    fn pid_map_identity_law(ids in proptest::collection::vec(1u64.., 0..8)) {
-        let pids: Vec<Pid> = ids.iter().map(|&i| Pid::new(i).unwrap()).collect();
+#[test]
+fn pid_map_identity_law() {
+    let mut rng = Rng64::seed_from_u64(0xF00);
+    for _ in 0..CASES {
+        let len = rng.gen_index(8);
+        let pids: Vec<Pid> = (0..len)
+            .map(|_| Pid::new(rng.next_u64().max(1)).unwrap())
+            .collect();
         let mapped = pids.map_pids(&mut |p| p);
-        prop_assert_eq!(mapped, pids);
+        assert_eq!(mapped, pids);
     }
+}
 
-    #[test]
-    fn pid_map_composition_law(ids in proptest::collection::vec(1u64..1000, 1..8), off1 in 1u64..50, off2 in 1u64..50) {
-        let pids: Vec<Pid> = ids.iter().map(|&i| Pid::new(i).unwrap()).collect();
+#[test]
+fn pid_map_composition_law() {
+    let mut rng = Rng64::seed_from_u64(0xAB1E);
+    for _ in 0..CASES {
+        let len = rng.gen_range_inclusive(1, 7);
+        let pids: Vec<Pid> = (0..len)
+            .map(|_| Pid::new(rng.gen_range_inclusive(1, 999) as u64).unwrap())
+            .collect();
+        let off1 = rng.gen_range_inclusive(1, 49) as u64;
+        let off2 = rng.gen_range_inclusive(1, 49) as u64;
         let mut f = |p: Pid| Pid::new(p.get() + off1).unwrap();
         let mut g = |p: Pid| Pid::new(p.get() + off2).unwrap();
         let two_step = pids.map_pids(&mut f).map_pids(&mut g);
         let fused = pids.map_pids(&mut |p| g(f(p)));
-        prop_assert_eq!(two_step, fused);
+        assert_eq!(two_step, fused);
     }
+}
 
-    #[test]
-    fn trace_accounting_is_consistent(ops in proptest::collection::vec((0usize..3, 0usize..4, any::<bool>()), 0..40)) {
+#[test]
+fn trace_accounting_is_consistent() {
+    let mut rng = Rng64::seed_from_u64(0xBEEF);
+    for _ in 0..CASES {
+        let len = rng.gen_index(40);
+        let ops: Vec<(usize, usize, bool)> = (0..len)
+            .map(|_| {
+                (
+                    rng.gen_index(3),
+                    rng.gen_index(4),
+                    rng.next_u64().is_multiple_of(2),
+                )
+            })
+            .collect();
         let mut trace: Trace<u64, ()> = Trace::new();
         for &(proc, reg, is_write) in &ops {
             let pid = Pid::new(proc as u64 + 1).unwrap();
             let op = if is_write {
-                TraceOp::Write { local: reg, physical: reg, value: 1 }
+                TraceOp::Write {
+                    local: reg,
+                    physical: reg,
+                    value: 1,
+                }
             } else {
-                TraceOp::Read { local: reg, physical: reg, value: 0 }
+                TraceOp::Read {
+                    local: reg,
+                    physical: reg,
+                    value: 0,
+                }
             };
             trace.record(proc, pid, op);
         }
-        prop_assert_eq!(trace.len(), ops.len());
+        assert_eq!(trace.len(), ops.len());
         for proc in 0..3 {
             let expected = ops.iter().filter(|&&(p, _, _)| p == proc).count();
-            prop_assert_eq!(trace.memory_ops_of(proc), expected);
+            assert_eq!(trace.memory_ops_of(proc), expected);
             // The write set contains exactly the distinct registers written.
-            let mut expected_ws: Vec<usize> = ops
-                .iter()
-                .filter(|&&(p, _, w)| p == proc && w)
-                .map(|&(_, r, _)| r)
-                .collect();
-            expected_ws.dedup_by(|a, b| a == b); // not enough: dedup across all
             let mut ws = trace.write_set_of(proc);
             ws.sort_unstable();
             let mut truth: Vec<usize> = ops
@@ -125,7 +169,7 @@ proptest! {
                 .collect();
             truth.sort_unstable();
             truth.dedup();
-            prop_assert_eq!(ws, truth);
+            assert_eq!(ws, truth);
         }
     }
 }

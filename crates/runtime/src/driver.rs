@@ -2,9 +2,8 @@
 
 use std::fmt;
 
+use anonreg_model::rng::Rng64;
 use anonreg_model::{Machine, Step};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::{MemoryView, Register};
 
@@ -65,7 +64,7 @@ pub struct Driver<M: Machine, R> {
     view: MemoryView<R>,
     pending: Option<M::Value>,
     backoff: Option<Backoff>,
-    rng: SmallRng,
+    rng: Rng64,
     current_spins: u32,
     report: DriverReport,
     halted: bool,
@@ -94,7 +93,7 @@ where
             view,
             pending: None,
             backoff: None,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             current_spins: 0,
             report: DriverReport::default(),
             halted: false,
@@ -237,7 +236,7 @@ where
 
     fn spin_backoff(&mut self) {
         let Some(backoff) = self.backoff else { return };
-        let spins = self.rng.gen_range(0..=self.current_spins);
+        let spins = self.rng.gen_range_inclusive(0, self.current_spins as usize) as u32;
         for _ in 0..spins {
             std::hint::spin_loop();
         }
@@ -323,8 +322,10 @@ mod tests {
     fn backoff_does_not_change_results() {
         let mem: Mem = AnonymousMemory::new(3);
         let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(1);
-        let mut driver = Driver::new(machine, mem.view(View::identity(3)))
-            .with_backoff(Backoff { min_spins: 1, max_spins: 8 });
+        let mut driver = Driver::new(machine, mem.view(View::identity(3))).with_backoff(Backoff {
+            min_spins: 1,
+            max_spins: 8,
+        });
         let events = driver.run_to_halt();
         assert_eq!(events.len(), 2);
     }

@@ -2,18 +2,15 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex as PlMutex;
+use std::sync::{Arc, Mutex};
 
 use anonreg::consensus::{AnonConsensus, ConsRecord, ConsensusEvent};
 use anonreg::election::{AnonElection, ElectionEvent};
 use anonreg::hybrid::{named_view, HybridMutex};
 use anonreg::mutex::{AnonMutex, Section};
 use anonreg::renaming::{AnonRenaming, RenRecord, RenamingEvent};
+use anonreg_model::rng::Rng64;
 use anonreg_model::Pid;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::{AnonymousMemory, Backoff, Driver, LockRegister, MemoryView, PackedAtomicRegister};
 
@@ -53,15 +50,24 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::BadRegisterCount { m } => {
-                write!(f, "mutual exclusion needs an odd register count >= 3, got {m}")
+                write!(
+                    f,
+                    "mutual exclusion needs an odd register count >= 3, got {m}"
+                )
             }
             RuntimeError::NoProcesses => write!(f, "need at least one process"),
             RuntimeError::TooManyHandles => {
-                write!(f, "the Figure 1 mutex supports exactly two concurrent handles")
+                write!(
+                    f,
+                    "the Figure 1 mutex supports exactly two concurrent handles"
+                )
             }
             RuntimeError::ZeroInput => write!(f, "input value 0 is reserved"),
             RuntimeError::ValueTooWide { value } => {
-                write!(f, "value {value} does not fit in 32 bits for packed registers")
+                write!(
+                    f,
+                    "value {value} does not fit in 32 bits for packed registers"
+                )
             }
             RuntimeError::DuplicatePid { pid } => {
                 write!(f, "identifier {pid} was already claimed by another handle")
@@ -74,10 +80,10 @@ impl std::error::Error for RuntimeError {}
 
 /// Shared registry of identifiers already handed out by one coordination
 /// object.
-type PidRegistry = Arc<PlMutex<Vec<Pid>>>;
+type PidRegistry = Arc<Mutex<Vec<Pid>>>;
 
 fn claim_pid(registry: &PidRegistry, pid: Pid) -> Result<(), RuntimeError> {
-    let mut issued = registry.lock();
+    let mut issued = registry.lock().expect("pid registry poisoned");
     if issued.contains(&pid) {
         return Err(RuntimeError::DuplicatePid { pid });
     }
@@ -95,7 +101,7 @@ fn check_packable(value: u64) -> Result<(), RuntimeError> {
 
 /// A ready-to-share view with a per-handle random permutation.
 fn fresh_view<R>(memory: &AnonymousMemory<R>, pid: Pid, salt: u64) -> MemoryView<R> {
-    let mut rng = SmallRng::seed_from_u64(pid.get().wrapping_mul(0x9e37_79b9).wrapping_add(salt));
+    let mut rng = Rng64::seed_from_u64(pid.get().wrapping_mul(0x9e37_79b9).wrapping_add(salt));
     memory.random_view(&mut rng)
 }
 
@@ -148,7 +154,7 @@ impl AnonymousMutex {
     ///
     /// [`RuntimeError::BadRegisterCount`] otherwise.
     pub fn new(m: usize) -> Result<Self, RuntimeError> {
-        if m < 3 || m % 2 == 0 {
+        if m < 3 || m.is_multiple_of(2) {
             return Err(RuntimeError::BadRegisterCount { m });
         }
         Ok(AnonymousMutex {
@@ -198,9 +204,7 @@ impl MutexHandle {
     /// guard; dropping the guard leaves the critical section and runs the
     /// wait-free exit code.
     pub fn enter(&mut self) -> MutexGuard<'_> {
-        let entered = self
-            .driver
-            .run_until(|m| m.section() == Section::Critical);
+        let entered = self.driver.run_until(|m| m.section() == Section::Critical);
         debug_assert!(entered, "an unbounded mutex machine never halts");
         MutexGuard { handle: self }
     }
@@ -224,7 +228,9 @@ impl MutexHandle {
         // The abort path is wait-free (one cleanup pass), so this is
         // bounded.
         self.driver.machine_mut().request_abort();
-        let parked = self.driver.run_until(|m| m.in_remainder());
+        let parked = self
+            .driver
+            .run_until(anonreg::mutex::AnonMutex::in_remainder);
         debug_assert!(parked);
         None
     }
@@ -325,14 +331,12 @@ impl HybridAnonymousMutex {
         }
         let machine = HybridMutex::new(pid, self.m).expect("validated register count");
         // Random permutation of the anonymous part; T stays at index m.
-        let mut rng = SmallRng::seed_from_u64(
+        let mut rng = Rng64::seed_from_u64(
             pid.get()
                 .wrapping_mul(0x9e37_79b9)
                 .wrapping_add(previous as u64),
         );
-        let mut anon: Vec<usize> = (0..self.m).collect();
-        use rand::seq::SliceRandom;
-        anon.shuffle(&mut rng);
+        let anon = rng.permutation(self.m);
         let view = named_view(self.m, anon).expect("shuffled range is a permutation");
         Ok(HybridMutexHandle {
             driver: Driver::new(machine, self.memory.view(view)),
@@ -357,9 +361,7 @@ impl HybridMutexHandle {
     /// Enters the critical section (spinning until acquired); the returned
     /// guard releases on drop.
     pub fn enter(&mut self) -> HybridMutexGuard<'_> {
-        let entered = self
-            .driver
-            .run_until(|m| m.section() == Section::Critical);
+        let entered = self.driver.run_until(|m| m.section() == Section::Critical);
         debug_assert!(entered);
         HybridMutexGuard { handle: self }
     }
@@ -376,7 +378,9 @@ impl HybridMutexHandle {
             return Some(HybridMutexGuard { handle: self });
         }
         self.driver.machine_mut().request_abort();
-        let parked = self.driver.run_until(|m| m.in_remainder());
+        let parked = self
+            .driver
+            .run_until(anonreg::hybrid::HybridMutex::in_remainder);
         debug_assert!(parked);
         None
     }
@@ -503,8 +507,7 @@ impl ConsensusHandle {
         }
         check_packable(input)?;
         check_packable(self.pid.get())?;
-        let machine =
-            AnonConsensus::new(self.pid, self.n, input).expect("inputs validated above");
+        let machine = AnonConsensus::new(self.pid, self.n, input).expect("inputs validated above");
         let mut driver = Driver::new(machine, self.view).with_backoff(Backoff::standard());
         match driver.run_until_event() {
             Some(ConsensusEvent::Decide(value)) => Ok(value),
@@ -825,7 +828,10 @@ mod tests {
                 joins.into_iter().map(|j| j.join().unwrap()).collect()
             });
             let first = decisions[0];
-            assert!(decisions.iter().all(|&d| d == first), "n={n}: {decisions:?}");
+            assert!(
+                decisions.iter().all(|&d| d == first),
+                "n={n}: {decisions:?}"
+            );
             assert!((1..=n as u64).contains(&first));
         }
     }
@@ -838,7 +844,11 @@ mod tests {
             RuntimeError::ZeroInput
         );
         assert!(matches!(
-            consensus.handle(pid(2)).unwrap().propose(1 << 40).unwrap_err(),
+            consensus
+                .handle(pid(2))
+                .unwrap()
+                .propose(1 << 40)
+                .unwrap_err(),
             RuntimeError::ValueTooWide { .. }
         ));
         let wide_pid = consensus.handle(pid(1 << 40)).unwrap();

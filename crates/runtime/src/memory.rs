@@ -3,9 +3,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use anonreg_model::rng::Rng64;
 use anonreg_model::View;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 use crate::Register;
 
@@ -79,9 +78,8 @@ impl<R> AnonymousMemory<R> {
     /// default: no thread may assume its numbering agrees with anyone
     /// else's.
     #[must_use]
-    pub fn random_view<RNG: Rng>(&self, rng: &mut RNG) -> MemoryView<R> {
-        let mut perm: Vec<usize> = (0..self.registers.len()).collect();
-        perm.shuffle(rng);
+    pub fn random_view(&self, rng: &mut Rng64) -> MemoryView<R> {
+        let perm = rng.permutation(self.registers.len());
         self.view(View::from_perm(perm).expect("a shuffled range is a permutation"))
     }
 }
@@ -153,8 +151,6 @@ impl<R> fmt::Debug for MemoryView<R> {
 mod tests {
     use super::*;
     use crate::PackedAtomicRegister;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     type Mem = AnonymousMemory<PackedAtomicRegister<u64>>;
 
@@ -171,10 +167,10 @@ mod tests {
     #[test]
     fn random_views_are_permutations() {
         let mem: Mem = AnonymousMemory::new(8);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         for _ in 0..10 {
             let v = mem.random_view(&mut rng);
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             for local in 0..8 {
                 let phys = v.permutation().physical(local);
                 assert!(!seen[phys]);

@@ -3,8 +3,7 @@
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::Pack64;
 
@@ -74,7 +73,7 @@ impl<V> fmt::Debug for PackedAtomicRegister<V> {
 }
 
 /// A linearizable register for values of any width, backed by a
-/// `parking_lot::RwLock`.
+/// `std::sync::RwLock`.
 ///
 /// This is the documented substitution for the paper's unbounded atomic
 /// registers (Figure 3's records carry a set-valued `history` field that no
@@ -93,19 +92,19 @@ impl<V: Clone + Send + Sync> Register<V> for LockRegister<V> {
     }
 
     fn read(&self) -> V {
-        self.cell.read().clone()
+        self.cell.read().expect("register lock poisoned").clone()
     }
 
     fn write(&self, value: V) {
-        *self.cell.write() = value;
+        *self.cell.write().expect("register lock poisoned") = value;
     }
 }
 
 impl<V: fmt::Debug> fmt::Debug for LockRegister<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.cell.try_read() {
-            Some(guard) => write!(f, "LockRegister({:?})", *guard),
-            None => write!(f, "LockRegister(<locked>)"),
+            Ok(guard) => write!(f, "LockRegister({:?})", *guard),
+            Err(_) => write!(f, "LockRegister(<locked>)"),
         }
     }
 }

@@ -153,11 +153,8 @@ where
                 } else {
                     next.step(proc).expect("slot is valid and not halted");
                 }
-                let events: Vec<M::Event> = next
-                    .trace()
-                    .events()
-                    .map(|(_, _, e)| e.clone())
-                    .collect();
+                let events: Vec<M::Event> =
+                    next.trace().events().map(|(_, _, e)| e.clone()).collect();
                 next.clear_trace();
                 let key = next.state_key();
                 let target = match ids.get(&key) {
@@ -262,9 +259,9 @@ impl<M: Machine> StateGraph<M> {
             .into_iter()
             .map(|action| match action {
                 ScheduleAction::Step(proc) => proc,
-                ScheduleAction::Crash(_) =>
-
-                    panic!("path contains a crash; use actions_to for crash-enabled graphs"),
+                ScheduleAction::Crash(_) => {
+                    panic!("path contains a crash; use actions_to for crash-enabled graphs")
+                }
             })
             .collect()
     }
@@ -298,12 +295,7 @@ impl<M: Machine> StateGraph<M> {
     pub fn nontrivial_sccs(&self) -> Vec<Vec<usize>> {
         let sccs = tarjan(self.states.len(), &self.edges);
         sccs.into_iter()
-            .filter(|scc| {
-                scc.len() > 1
-                    || self.edges[scc[0]]
-                        .iter()
-                        .any(|e| e.target == scc[0])
-            })
+            .filter(|scc| scc.len() > 1 || self.edges[scc[0]].iter().any(|e| e.target == scc[0]))
             .collect()
     }
 
@@ -321,7 +313,11 @@ impl<M: Machine> StateGraph<M> {
     /// Such a component is a complete violation of deadlock freedom: an
     /// infinite fair schedule under which a process remains stuck forever.
     /// Returns the component's state ids, or `None` if the property holds.
-    pub fn find_fair_livelock<FS, FP>(&self, mut stuck: FS, mut is_progress: FP) -> Option<Vec<usize>>
+    pub fn find_fair_livelock<FS, FP>(
+        &self,
+        mut stuck: FS,
+        mut is_progress: FP,
+    ) -> Option<Vec<usize>>
     where
         FS: FnMut(&M) -> bool,
         FP: FnMut(&M::Event) -> bool,
@@ -361,10 +357,10 @@ impl<M: Machine> StateGraph<M> {
             }
 
             // (3) Someone is stuck.
-            let someone_stuck = scc
-                .iter()
-                .any(|&id| (0..self.states[id].process_count())
-                    .any(|p| !self.states[id].is_halted(p) && stuck(self.states[id].machine(p))));
+            let someone_stuck = scc.iter().any(|&id| {
+                (0..self.states[id].process_count())
+                    .any(|p| !self.states[id].is_halted(p) && stuck(self.states[id].machine(p)))
+            });
             if someone_stuck {
                 return Some(scc);
             }
@@ -420,8 +416,8 @@ impl<M: Machine> StateGraph<M> {
             .collect();
         let sccs = tarjan(self.states.len(), &filtered);
         for scc in sccs {
-            let has_internal_edge = scc.len() > 1
-                || filtered[scc[0]].iter().any(|e| e.target == scc[0]);
+            let has_internal_edge =
+                scc.len() > 1 || filtered[scc[0]].iter().any(|e| e.target == scc[0]);
             if !has_internal_edge {
                 continue;
             }
@@ -447,11 +443,8 @@ impl<M: Machine> StateGraph<M> {
                 .filter(|&p| !probe.is_halted(p))
                 .collect();
             let all_can_move = live.iter().all(|&p| {
-                scc.iter().any(|&id| {
-                    filtered[id]
-                        .iter()
-                        .any(|e| e.proc == p && in_scc(e.target))
-                })
+                scc.iter()
+                    .any(|&id| filtered[id].iter().any(|e| e.proc == p && in_scc(e.target)))
             });
             if !all_can_move {
                 continue;
@@ -459,9 +452,7 @@ impl<M: Machine> StateGraph<M> {
 
             // The victim is actually stuck (e.g. in its entry section)
             // somewhere in the component.
-            let victim_stuck = scc
-                .iter()
-                .any(|&id| stuck(self.states[id].machine(victim)));
+            let victim_stuck = scc.iter().any(|&id| stuck(self.states[id].machine(victim)));
             if victim_stuck {
                 return Some(scc);
             }
@@ -619,8 +610,20 @@ mod tests {
     #[test]
     fn explores_tiny_interleaving_space() {
         let sim = Simulation::builder()
-            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
-            .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+            .process(
+                Toy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                Toy {
+                    pid: pid(2),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
             .build()
             .unwrap();
         let graph = explore(sim, &ExploreLimits::default()).unwrap();
@@ -629,7 +632,7 @@ mod tests {
         assert!(graph.state_count() >= 4);
         assert!(graph.state_count() <= 3 * 3 * 3);
         // Terminal states exist where everyone halted.
-        let terminal = graph.find_state(|s| s.all_halted());
+        let terminal = graph.find_state(super::super::simulation::Simulation::all_halted);
         assert!(terminal.is_some());
     }
 
@@ -637,8 +640,20 @@ mod tests {
     fn schedule_to_replays() {
         let build = || {
             Simulation::builder()
-                .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
-                .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+                .process(
+                    Toy {
+                        pid: pid(1),
+                        phase: 0,
+                    },
+                    View::identity(1),
+                )
+                .process(
+                    Toy {
+                        pid: pid(2),
+                        phase: 0,
+                    },
+                    View::identity(1),
+                )
                 .build()
                 .unwrap()
         };
@@ -660,11 +675,30 @@ mod tests {
     #[test]
     fn state_limit_is_enforced() {
         let sim = Simulation::builder()
-            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
-            .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+            .process(
+                Toy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                Toy {
+                    pid: pid(2),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
             .build()
             .unwrap();
-        let err = explore(sim, &ExploreLimits { max_states: 2, ..ExploreLimits::default() }).unwrap_err();
+        let err = explore(
+            sim,
+            &ExploreLimits {
+                max_states: 2,
+                ..ExploreLimits::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, ExploreError::StateLimitExceeded { limit: 2 });
         assert!(!err.to_string().is_empty());
     }
@@ -684,8 +718,20 @@ mod tests {
     #[test]
     fn halting_machines_have_no_livelock() {
         let sim = Simulation::builder()
-            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
-            .process(Toy { pid: pid(2), phase: 0 }, View::identity(1))
+            .process(
+                Toy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                Toy {
+                    pid: pid(2),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
             .build()
             .unwrap();
         let graph = explore(sim, &ExploreLimits::default()).unwrap();
@@ -720,7 +766,13 @@ mod tests {
             }
         }
         let sim = Simulation::builder()
-            .process(Lapper { pid: pid(1), lap: false }, View::identity(1))
+            .process(
+                Lapper {
+                    pid: pid(1),
+                    lap: false,
+                },
+                View::identity(1),
+            )
             .build()
             .unwrap();
         let graph = explore(sim, &ExploreLimits::default()).unwrap();
@@ -732,16 +784,18 @@ mod tests {
     #[test]
     fn edge_events_are_captured() {
         let sim = Simulation::builder()
-            .process(Toy { pid: pid(1), phase: 0 }, View::identity(1))
+            .process(
+                Toy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
             .build()
             .unwrap();
         let graph = explore(sim, &ExploreLimits::default()).unwrap();
-        let has_event_edge = (0..graph.state_count()).any(|id| {
-            graph
-                .edges(id)
-                .iter()
-                .any(|e| e.events.contains(&"wrote"))
-        });
+        let has_event_edge = (0..graph.state_count())
+            .any(|id| graph.edges(id).iter().any(|e| e.events.contains(&"wrote")));
         assert!(has_event_edge);
     }
 }

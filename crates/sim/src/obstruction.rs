@@ -75,9 +75,7 @@ where
                 continue;
             }
             let mut solo = state.clone();
-            let (ops, halted) = solo
-                .run_solo(proc, budget)
-                .expect("slot is valid");
+            let (ops, halted) = solo.run_solo(proc, budget).expect("slot is valid");
             report.solo_runs += 1;
             if !halted {
                 return Err(ObstructionViolation {
@@ -158,8 +156,20 @@ mod tests {
     #[test]
     fn one_shot_machines_are_obstruction_free() {
         let sim = Simulation::builder()
-            .process(OneShot { pid: pid(1), done: false }, View::identity(1))
-            .process(OneShot { pid: pid(2), done: false }, View::identity(1))
+            .process(
+                OneShot {
+                    pid: pid(1),
+                    done: false,
+                },
+                View::identity(1),
+            )
+            .process(
+                OneShot {
+                    pid: pid(2),
+                    done: false,
+                },
+                View::identity(1),
+            )
             .build()
             .unwrap();
         let graph = explore(sim, &ExploreLimits::default()).unwrap();

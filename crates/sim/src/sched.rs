@@ -5,9 +5,7 @@
 //! randomized sweeps take an explicit seed — so every counterexample they
 //! find is replayable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use anonreg_model::rng::Rng64;
 use anonreg_model::Machine;
 
 use crate::{SimError, Simulation, StepOutcome};
@@ -98,7 +96,7 @@ pub fn lock_step<M: Machine>(sim: &mut Simulation<M>, rounds: usize) -> usize {
 ///
 /// Determinism: the same seed always produces the same run.
 pub fn random<M: Machine>(sim: &mut Simulation<M>, seed: u64, max_steps: usize) -> usize {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let n = sim.process_count();
     run_with(
         sim,
@@ -108,7 +106,7 @@ pub fn random<M: Machine>(sim: &mut Simulation<M>, seed: u64, max_steps: usize) 
             if alive == 0 {
                 return None;
             }
-            let mut k = rng.gen_range(0..alive);
+            let mut k = rng.gen_index(alive);
             (0..n).find(|&p| {
                 if sim.is_halted(p) {
                     false
@@ -135,7 +133,7 @@ pub fn random_bursts<M: Machine>(
     max_burst: usize,
     max_steps: usize,
 ) -> usize {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let n = sim.process_count();
     let mut current: Option<(usize, usize)> = None; // (proc, remaining)
     run_with(
@@ -151,8 +149,8 @@ pub fn random_bursts<M: Machine>(
             if alive.is_empty() {
                 return None;
             }
-            let proc = alive[rng.gen_range(0..alive.len())];
-            let burst = rng.gen_range(1..=max_burst.max(1));
+            let proc = alive[rng.gen_index(alive.len())];
+            let burst = rng.gen_range_inclusive(1, max_burst.max(1));
             current = Some((proc, burst - 1));
             Some(proc)
         },

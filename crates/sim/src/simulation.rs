@@ -79,7 +79,10 @@ impl fmt::Display for SimError {
                 "process {proc} expects {expected} registers but the simulation has {actual}"
             ),
             SimError::ViewSizeMismatch { proc } => {
-                write!(f, "view of process {proc} does not match the register count")
+                write!(
+                    f,
+                    "view of process {proc} does not match the register count"
+                )
             }
             SimError::NoSuchProcess { proc } => write!(f, "no process with slot {proc}"),
             SimError::ProcessHalted { proc } => write!(f, "process {proc} already halted"),
@@ -602,7 +605,10 @@ mod tests {
             .process_identity(writer(2, 3, 1))
             .build()
             .unwrap_err();
-        assert!(matches!(err, SimError::RegisterCountMismatch { proc: 1, .. }));
+        assert!(matches!(
+            err,
+            SimError::RegisterCountMismatch { proc: 1, .. }
+        ));
 
         let err = Simulation::builder()
             .process(writer(1, 2, 1), View::identity(3))
@@ -649,7 +655,10 @@ mod tests {
             .unwrap();
         assert_eq!(sim.step(0).unwrap(), StepOutcome::Event);
         assert_eq!(sim.step(0).unwrap(), StepOutcome::Halted);
-        assert_eq!(sim.step(0).unwrap_err(), SimError::ProcessHalted { proc: 0 });
+        assert_eq!(
+            sim.step(0).unwrap_err(),
+            SimError::ProcessHalted { proc: 0 }
+        );
         assert!(matches!(
             sim.step(9).unwrap_err(),
             SimError::NoSuchProcess { proc: 9 }
@@ -748,10 +757,16 @@ mod tests {
         sim.step(0).unwrap(); // p0 writes register 0
         sim.crash(0).unwrap();
         assert!(sim.is_halted(0));
-        assert_eq!(sim.step(0).unwrap_err(), SimError::ProcessHalted { proc: 0 });
+        assert_eq!(
+            sim.step(0).unwrap_err(),
+            SimError::ProcessHalted { proc: 0 }
+        );
         // Idempotent; out of range rejected.
         sim.crash(0).unwrap();
-        assert!(matches!(sim.crash(7).unwrap_err(), SimError::NoSuchProcess { proc: 7 }));
+        assert!(matches!(
+            sim.crash(7).unwrap_err(),
+            SimError::NoSuchProcess { proc: 7 }
+        ));
         // The survivor still runs; p0's single write persists.
         while !sim.is_halted(1) {
             sim.step(1).unwrap();

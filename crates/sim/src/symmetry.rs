@@ -65,7 +65,7 @@ pub fn ring_views(m: usize, l: usize) -> Result<Vec<View>, RingError> {
     if l < 2 {
         return Err(RingError::TooFewProcesses);
     }
-    if m == 0 || m % l != 0 {
+    if m == 0 || !m.is_multiple_of(l) {
         return Err(RingError::NotDivisible { m, l });
     }
     let spacing = m / l;
@@ -128,7 +128,10 @@ where
     M::Value: PidMap,
 {
     let m = sim.register_count();
-    assert!(l >= 2 && m % l == 0, "ring requires l >= 2 and l | m");
+    assert!(
+        l >= 2 && m.is_multiple_of(l),
+        "ring requires l >= 2 and l | m"
+    );
     assert_eq!(sim.process_count(), l, "ring requires exactly l processes");
     let shift = m / l;
 
@@ -198,11 +201,7 @@ impl LockstepReport {
 /// # Panics
 ///
 /// Panics under the same conditions as [`check_rotation_symmetry`].
-pub fn run_lockstep_symmetric<M>(
-    sim: &mut Simulation<M>,
-    l: usize,
-    rounds: usize,
-) -> LockstepReport
+pub fn run_lockstep_symmetric<M>(sim: &mut Simulation<M>, l: usize, rounds: usize) -> LockstepReport
 where
     M: Machine + PidMap + Eq + Hash,
     M::Value: PidMap,
@@ -316,7 +315,7 @@ mod tests {
             RingError::NotDivisible { m: 5, l: 2 }
         );
         assert_eq!(ring_views(4, 1).unwrap_err(), RingError::TooFewProcesses);
-        assert!(!ring_views(0, 2).is_ok());
+        assert!(ring_views(0, 2).is_err());
     }
 
     #[test]
@@ -367,8 +366,12 @@ mod tests {
 
     #[test]
     fn symmetry_break_display() {
-        assert!(!SymmetryBreak::Register { physical: 1 }.to_string().is_empty());
+        assert!(!SymmetryBreak::Register { physical: 1 }
+            .to_string()
+            .is_empty());
         assert!(!SymmetryBreak::Machine { slot: 0 }.to_string().is_empty());
-        assert!(!RingError::NotDivisible { m: 5, l: 2 }.to_string().is_empty());
+        assert!(!RingError::NotDivisible { m: 5, l: 2 }
+            .to_string()
+            .is_empty());
     }
 }

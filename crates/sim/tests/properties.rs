@@ -1,10 +1,15 @@
-//! Property-based tests for the simulator: determinism, covering
+//! Property-style tests for the simulator: determinism, covering
 //! semantics, and explorer completeness.
+//!
+//! Randomized with the workspace's seeded [`Rng64`] (fixed seeds, fully
+//! replayable, no external dependencies).
 
+use anonreg_model::rng::Rng64;
 use anonreg_model::{Machine, Pid, Step, View};
 use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::{sched, Simulation};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 /// A compact machine with interesting behavior: reads a register, writes
 /// its pid xor the value read to the next register, `k` times, then halts.
@@ -69,39 +74,47 @@ fn two_mixers(shift: usize, m: usize) -> Simulation<Mixer> {
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The same seed always reproduces the same run, registers and trace.
-    #[test]
-    fn seeded_runs_are_deterministic(seed in any::<u64>(), shift in 0usize..4, m in 2usize..5) {
+/// The same seed always reproduces the same run, registers and trace.
+#[test]
+fn seeded_runs_are_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0x5EED);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let shift = rng.gen_index(4);
+        let m = rng.gen_range_inclusive(2, 4);
         let run = |seed| {
             let mut sim = two_mixers(shift, m);
             sched::random(&mut sim, seed, 1_000);
             (sim.registers().to_vec(), format!("{}", sim.trace()))
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed));
     }
+}
 
-    /// Bursty and plain random scheduling preserve per-seed determinism.
-    #[test]
-    fn burst_runs_are_deterministic(seed in any::<u64>(), burst in 1usize..8) {
+/// Bursty and plain random scheduling preserve per-seed determinism.
+#[test]
+fn burst_runs_are_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0xB0257);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let burst = rng.gen_range_inclusive(1, 7);
         let run = |seed| {
             let mut sim = two_mixers(1, 3);
             sched::random_bursts(&mut sim, seed, burst, 1_000);
             sim.registers().to_vec()
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed));
     }
+}
 
-    /// Covering then releasing immediately is identical to stepping
-    /// directly (when nobody runs in between) — poising must not disturb
-    /// semantics.
-    #[test]
-    fn cover_then_release_equals_direct_steps(m in 2usize..5) {
+/// Covering then releasing immediately is identical to stepping directly
+/// (when nobody runs in between) — poising must not disturb semantics.
+#[test]
+fn cover_then_release_equals_direct_steps() {
+    for m in 2..5 {
         let mut direct = two_mixers(1, m);
         let (_, halted) = direct.run_solo(0, 10_000).unwrap();
-        prop_assert!(halted);
+        assert!(halted);
 
         let mut covered = two_mixers(1, m);
         // Drive through poise/release pairs until the machine halts.
@@ -115,38 +128,47 @@ proptest! {
                 _ => {}
             }
         }
-        prop_assert!(covered.is_halted(0));
-        prop_assert_eq!(direct.registers(), covered.registers());
-        prop_assert_eq!(direct.machine(0), covered.machine(0));
+        assert!(covered.is_halted(0));
+        assert_eq!(direct.registers(), covered.registers());
+        assert_eq!(direct.machine(0), covered.machine(0));
     }
+}
 
-    /// Explorer completeness: every configuration reached by a random
-    /// schedule appears in the exhaustive state graph.
-    #[test]
-    fn random_runs_stay_within_the_explored_graph(seed in any::<u64>(), prefix in 0usize..14) {
-        let graph = explore(two_mixers(2, 3), &ExploreLimits::default()).unwrap();
+/// Explorer completeness: every configuration reached by a random schedule
+/// appears in the exhaustive state graph.
+#[test]
+fn random_runs_stay_within_the_explored_graph() {
+    let graph = explore(two_mixers(2, 3), &ExploreLimits::default()).unwrap();
+    let mut rng = Rng64::seed_from_u64(0x6AF);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let prefix = rng.gen_index(14);
         let mut sim = two_mixers(2, 3);
         sched::random(&mut sim, seed, prefix);
         let found = graph.states().any(|(_, s)| {
             s.registers() == sim.registers()
-                && (0..2).all(|p| s.machine(p) == sim.machine(p) && s.is_halted(p) == sim.is_halted(p))
+                && (0..2)
+                    .all(|p| s.machine(p) == sim.machine(p) && s.is_halted(p) == sim.is_halted(p))
         });
-        prop_assert!(found, "random run escaped the exhaustive graph");
+        assert!(found, "random run escaped the exhaustive graph");
     }
+}
 
-    /// Schedules reconstructed by the explorer replay to their states.
-    #[test]
-    fn reconstructed_schedules_replay(target_idx in any::<u64>()) {
-        let graph = explore(two_mixers(1, 3), &ExploreLimits::default()).unwrap();
-        let id = (target_idx % graph.state_count() as u64) as usize;
+/// Schedules reconstructed by the explorer replay to their states.
+#[test]
+fn reconstructed_schedules_replay() {
+    let graph = explore(two_mixers(1, 3), &ExploreLimits::default()).unwrap();
+    let mut rng = Rng64::seed_from_u64(0x3C0);
+    for _ in 0..CASES {
+        let id = rng.gen_index(graph.state_count());
         let schedule = graph.schedule_to(id);
         let mut sim = two_mixers(1, 3);
         for &p in &schedule {
             sim.step(p).unwrap();
         }
-        prop_assert_eq!(sim.registers(), graph.state(id).registers());
+        assert_eq!(sim.registers(), graph.state(id).registers());
         for p in 0..2 {
-            prop_assert_eq!(sim.machine(p), graph.state(id).machine(p));
+            assert_eq!(sim.machine(p), graph.state(id).machine(p));
         }
     }
 }

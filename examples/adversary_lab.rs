@@ -52,7 +52,10 @@ fn main() {
         livelock.len()
     );
     let schedule = graph.schedule_to(livelock[0]);
-    println!("adversary schedule into the livelock ({} steps):", schedule.len());
+    println!(
+        "adversary schedule into the livelock ({} steps):",
+        schedule.len()
+    );
     let mut sim = build();
     for &p in &schedule {
         sim.step(p).unwrap();

@@ -28,11 +28,26 @@ struct Replica {
 
 fn main() -> Result<(), RuntimeError> {
     let replicas = [
-        Replica { id: 0xA11CE, believed_epoch: 41 },
-        Replica { id: 0xB0B, believed_epoch: 42 },
-        Replica { id: 0xCA51, believed_epoch: 41 },
-        Replica { id: 0xD0D0, believed_epoch: 40 },
-        Replica { id: 0xE66, believed_epoch: 42 },
+        Replica {
+            id: 0xA11CE,
+            believed_epoch: 41,
+        },
+        Replica {
+            id: 0xB0B,
+            believed_epoch: 42,
+        },
+        Replica {
+            id: 0xCA51,
+            believed_epoch: 41,
+        },
+        Replica {
+            id: 0xD0D0,
+            believed_epoch: 40,
+        },
+        Replica {
+            id: 0xE66,
+            believed_epoch: 42,
+        },
     ];
     let n = replicas.len();
 
@@ -77,7 +92,10 @@ fn main() -> Result<(), RuntimeError> {
     let leader = leaders[0];
     assert!(leaders.iter().all(|&l| l == leader));
     assert!(replicas.iter().any(|r| r.id == leader.get()));
-    println!("replica {:#x} elected to rebuild the naming service", leader.get());
+    println!(
+        "replica {:#x} elected to rebuild the naming service",
+        leader.get()
+    );
     println!("bootstrapped epoch {agreed_epoch} without prior agreement ✓");
     Ok(())
 }

@@ -23,10 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use anonreg::mutex::{AnonMutex, Section};
+use anonreg_model::rng::Rng64;
 use anonreg_model::{Pid, View};
 use anonreg_runtime::{AnonymousMemory, Driver, PackedAtomicRegister};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const M: usize = 9;
 const ENTRIES: u64 = 30_000;
@@ -66,10 +65,13 @@ fn run_assignment(label: &str, view_a: View, view_b: View) {
 
 fn main() {
     println!("Figure 1 mutex, m = {M}, 2 threads x {ENTRIES} critical sections");
-    println!("{:<10}  {:>12}  {:>12}  {:>6}", "views", "elapsed", "throughput", "cost");
+    println!(
+        "{:<10}  {:>12}  {:>12}  {:>6}",
+        "views", "elapsed", "throughput", "cost"
+    );
     run_assignment("identical", View::identity(M), View::identity(M));
     run_assignment("opposed", View::rotated(M, 0), View::rotated(M, M / 2));
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng64::seed_from_u64(42);
     let memory_probe: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(M);
     let ra = memory_probe.random_view(&mut rng).permutation().clone();
     let rb = memory_probe.random_view(&mut rng).permutation().clone();

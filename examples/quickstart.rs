@@ -51,7 +51,7 @@ fn main() -> Result<(), RuntimeError> {
             .collect();
         joins.into_iter().map(|j| j.join().unwrap()).collect()
     });
-    println!("consensus: all four threads decided {:?}", decisions);
+    println!("consensus: all four threads decided {decisions:?}");
     assert!(decisions.windows(2).all(|w| w[0] == w[1]));
 
     // --- Adaptive perfect renaming (Figure 3): three participants (out of
@@ -72,7 +72,11 @@ fn main() -> Result<(), RuntimeError> {
     }
     let mut acquired: Vec<u32> = names.iter().map(|&(_, n)| n).collect();
     acquired.sort_unstable();
-    assert_eq!(acquired, vec![1, 2, 3], "adaptive: 3 participants, names 1..3");
+    assert_eq!(
+        acquired,
+        vec![1, 2, 3],
+        "adaptive: 3 participants, names 1..3"
+    );
 
     println!("all three primitives coordinated without prior agreement ✓");
     Ok(())

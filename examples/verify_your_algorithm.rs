@@ -1,28 +1,43 @@
-//! Bring your own algorithm: the model checker as a design tool.
+//! Bring your own algorithm: the recommended three-stage verification
+//! workflow.
 //!
 //! ```text
 //! cargo run --release --example verify_your_algorithm
 //! ```
 //!
-//! This workspace is not only a reproduction — the simulator and checker
-//! work for *any* algorithm expressed as a [`Machine`]. Here we implement
-//! the classic **broken** flag mutex (read the flag; if clear, set it and
-//! enter) and let the exhaustive checker produce the interleaving every
-//! concurrency course warns about. Then we run the same verdict suite over
-//! Figure 1 to see what a correct algorithm looks like.
+//! This workspace is not only a reproduction — the analyzer, simulator and
+//! runtime work for *any* algorithm expressed as a [`Machine`]. The
+//! recommended author workflow runs three gates, cheapest first:
 //!
-//! Both extensions in this workspace (`anonreg::hybrid`, `anonreg::ordered`)
-//! were designed exactly this way — their first drafts were wrong, and the
-//! checker handed back the counterexample schedules.
+//! 1. **Lint** (`anonreg-lint`, milliseconds): static structural checks —
+//!    index bounds, protocol conformance, §2 symmetry, exit restoration,
+//!    solo termination, pack width — by abstract resumption, no scheduler.
+//! 2. **Model-check** (`anonreg-sim`, seconds): exhaustive state-space
+//!    exploration decides safety and liveness for a fixed configuration.
+//! 3. **Thread run** (`anonreg-runtime`): the surviving algorithm on real
+//!    atomics under the OS scheduler.
+//!
+//! The demo machine is the classic **broken** flag mutex (read the flag;
+//! if clear, set it and enter). The punchline is *why three stages*: the
+//! naive lock is structurally impeccable — every lint passes — yet stage 2
+//! hands back the interleaving every concurrency course warns about. The
+//! lints catch malformed machines cheaply; only exhaustive exploration
+//! catches wrong ones. Both extensions in this workspace
+//! (`anonreg::hybrid`, `anonreg::ordered`) were designed exactly this way.
 
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::{Machine, Pid, Step, View};
+use anonreg_lint::{
+    exit_restores_memory, solo_termination, symmetry, Analysis, CfgConfig, LintId, LintReport,
+};
+use anonreg_runtime::AnonymousMutex;
 use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::Simulation;
 
 /// The classic broken lock: `if flag == 0 { flag = 1; /* enter */ }`.
 /// The read and the write are separate atomic steps, so two processes can
-/// both read 0 before either writes.
+/// both read 0 before either writes. One critical-section cycle, then
+/// halt (so solo runs are bounded and the lints have a full CFG).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct NaiveFlagMutex {
     pid: Pid,
@@ -36,6 +51,7 @@ enum NaivePc {
     WroteFlag,
     Critical,
     ExitWrite,
+    Done,
 }
 
 impl NaiveFlagMutex {
@@ -48,7 +64,7 @@ impl NaiveFlagMutex {
 
     fn section(&self) -> Section {
         match self.pc {
-            NaivePc::Remainder => Section::Remainder,
+            NaivePc::Remainder | NaivePc::Done => Section::Remainder,
             NaivePc::ReadFlag | NaivePc::WroteFlag => Section::Entry,
             NaivePc::Critical => Section::Critical,
             NaivePc::ExitWrite => Section::Exit,
@@ -93,23 +109,62 @@ impl Machine for NaiveFlagMutex {
                 Step::Event(MutexEvent::Exit)
             }
             NaivePc::ExitWrite => {
-                self.pc = NaivePc::Remainder;
+                self.pc = NaivePc::Done;
                 Step::Write(0, 0)
             }
+            NaivePc::Done => Step::Halt,
         }
     }
 }
 
+/// Stage 1: the full L1–L6 battery over an arbitrary machine.
+fn lint_stage(subject: &str, a: NaiveFlagMutex, b: NaiveFlagMutex) -> LintReport {
+    let config = CfgConfig::new(vec![0u64, 1]);
+    let mut report = LintReport::new(subject);
+    let analysis = Analysis::new(&a, &config);
+    report.record(LintId::IndexBounds, analysis.index_bounds());
+    report.record(LintId::Protocol, analysis.protocol());
+    report.record(
+        LintId::PackWidth,
+        analysis.pack_width(|v| *v <= u64::from(u32::MAX)),
+    );
+    // The naive lock never touches its pid, so the identity substitution
+    // on values certifies symmetry.
+    report.record(LintId::Symmetry, symmetry(&a, &b, |v| *v, &config));
+    report.record(
+        LintId::ExitRestoresMemory,
+        exit_restores_memory(a.clone(), vec![0], 32),
+    );
+    report.record(LintId::SoloTermination, solo_termination(a, vec![0], 32));
+    report
+}
+
 fn main() {
-    println!("== your algorithm: the naive flag mutex ==");
+    let p1 = Pid::new(1).unwrap();
+    let p2 = Pid::new(2).unwrap();
+
+    println!("== stage 1: lint your algorithm (milliseconds, no scheduler) ==");
+    let report = lint_stage(
+        "naive flag mutex",
+        NaiveFlagMutex::new(p1),
+        NaiveFlagMutex::new(p2),
+    );
+    print!("{report}");
+    assert!(report.passed());
+    println!(
+        "structurally well-formed: in bounds, deterministic, symmetric, \
+         restoring, terminating.\nBut the lints check *shape*, not mutual \
+         exclusion — on to the adversary.\n"
+    );
+
+    println!("== stage 2: model-check it (exhaustive, per configuration) ==");
     let sim = Simulation::builder()
-        .process(NaiveFlagMutex::new(Pid::new(1).unwrap()), View::identity(1))
-        .process(NaiveFlagMutex::new(Pid::new(2).unwrap()), View::identity(1))
+        .process(NaiveFlagMutex::new(p1), View::identity(1))
+        .process(NaiveFlagMutex::new(p2), View::identity(1))
         .build()
         .expect("uniform configuration");
     let graph = explore(sim, &ExploreLimits::default()).expect("tiny state space");
     println!("reachable states: {}", graph.state_count());
-
     let bad = graph
         .find_state(|s| {
             s.machines()
@@ -125,16 +180,10 @@ fn main() {
     );
     println!("(both processes read flag = 0 before either write landed)\n");
 
-    println!("== the paper's algorithm: Figure 1, m = 3 ==");
+    println!("== the paper's algorithm passes both gates: Figure 1, m = 3 ==");
     let sim = Simulation::builder()
-        .process(
-            AnonMutex::new(Pid::new(1).unwrap(), 3).unwrap(),
-            View::identity(3),
-        )
-        .process(
-            AnonMutex::new(Pid::new(2).unwrap(), 3).unwrap(),
-            View::rotated(3, 1),
-        )
+        .process(AnonMutex::new(p1, 3).unwrap(), View::identity(3))
+        .process(AnonMutex::new(p2, 3).unwrap(), View::rotated(3, 1))
         .build()
         .expect("uniform configuration");
     let graph = explore(sim, &ExploreLimits::default()).expect("fits the limit");
@@ -153,5 +202,38 @@ fn main() {
     );
     assert!(livelock.is_none());
     println!("VERDICT: no fair livelock — deadlock-freedom holds");
-    println!("\nexpress your algorithm as a Machine and the adversary is yours.");
+    println!("(its full lint report: `check lint mutex` — all six pass)\n");
+
+    println!("== stage 3: run the survivor on real threads ==");
+    let mutex = AnonymousMutex::new(3).expect("m = 3 is odd");
+    let a = mutex.handle(p1).expect("fresh pid");
+    let b = mutex.handle(p2).expect("fresh pid");
+    let mut shared = 0u64;
+    let total = std::thread::scope(|s| {
+        let shared = &mut shared;
+        let ta = s.spawn(move || {
+            let mut handle = a;
+            let mut local = 0;
+            for _ in 0..50 {
+                let _guard = handle.enter();
+                local += 1;
+            }
+            local
+        });
+        let tb = s.spawn(move || {
+            let mut handle = b;
+            let mut local = 0;
+            for _ in 0..50 {
+                let _guard = handle.enter();
+                local += 1;
+            }
+            local
+        });
+        let sum: u64 = ta.join().unwrap() + tb.join().unwrap();
+        *shared = sum;
+        sum
+    });
+    println!("100 critical sections across 2 threads, counted {total}");
+    assert_eq!(shared, 100);
+    println!("\nexpress your algorithm as a Machine; lint it, check it, run it.");
 }

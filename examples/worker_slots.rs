@@ -42,11 +42,18 @@ fn main() -> Result<(), RuntimeError> {
                 })
             })
             .collect();
-        joins.into_iter().map(|j| j.join().unwrap()).collect::<Vec<_>>()
+        joins
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect::<Vec<_>>()
     });
     let mut wave1_slots: Vec<u32> = assigned.iter().map(|&(_, s)| s).collect();
     wave1_slots.sort_unstable();
-    assert_eq!(wave1_slots, vec![1, 2, 3], "adaptive: 3 workers -> rows 1..3");
+    assert_eq!(
+        wave1_slots,
+        vec![1, 2, 3],
+        "adaptive: 3 workers -> rows 1..3"
+    );
     for (id, slot) in &assigned {
         println!("wave 1: worker {id:#x} -> slot {slot}");
     }
@@ -61,7 +68,10 @@ fn main() -> Result<(), RuntimeError> {
                 s.spawn(move || (id, handle.acquire()))
             })
             .collect();
-        joins.into_iter().map(|j| j.join().unwrap()).collect::<Vec<_>>()
+        joins
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect::<Vec<_>>()
     });
     let mut all_slots = wave1_slots;
     for (id, slot) in &assigned2 {

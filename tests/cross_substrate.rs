@@ -9,9 +9,7 @@ use anonreg::mutex::{AnonMutex, MutexEvent};
 use anonreg::renaming::{AnonRenaming, RenamingEvent};
 use anonreg::{Machine, Pid, View};
 use anonreg_model::trace::TraceOp;
-use anonreg_runtime::{
-    AnonymousMemory, Driver, LockRegister, PackedAtomicRegister, Register,
-};
+use anonreg_runtime::{AnonymousMemory, Driver, LockRegister, PackedAtomicRegister, Register};
 use anonreg_sim::{sched, Simulation};
 
 fn pid(n: u64) -> Pid {
@@ -20,7 +18,10 @@ fn pid(n: u64) -> Pid {
 
 /// Runs `machine` solo under the simulator; returns (events, ops).
 fn sim_solo<M: Machine>(machine: M, view: View) -> (Vec<M::Event>, usize) {
-    let mut sim = Simulation::builder().process(machine, view).build().unwrap();
+    let mut sim = Simulation::builder()
+        .process(machine, view)
+        .build()
+        .unwrap();
     let ops = sched::round_robin(&mut sim, 1_000_000);
     assert!(sim.all_halted());
     let events = sim
@@ -69,8 +70,7 @@ fn election_solo_matches_across_substrates() {
         let view = View::rotated(2 * n - 1, n - 1);
         let machine = AnonElection::new(pid(4), n).unwrap();
         let (sim_events, sim_ops) = sim_solo(machine.clone(), view.clone());
-        let (thread_events, thread_ops) =
-            thread_solo::<_, PackedAtomicRegister<_>>(machine, view);
+        let (thread_events, thread_ops) = thread_solo::<_, PackedAtomicRegister<_>>(machine, view);
         assert_eq!(sim_events, thread_events, "n={n}");
         assert_eq!(sim_ops as u64, thread_ops);
         assert_eq!(sim_events, vec![ElectionEvent::Elected(pid(4))]);
@@ -96,8 +96,7 @@ fn mutex_solo_matches_across_substrates() {
         let view = View::rotated(m, m - 1);
         let machine = AnonMutex::new(pid(2), m).unwrap().with_cycles(3);
         let (sim_events, sim_ops) = sim_solo(machine.clone(), view.clone());
-        let (thread_events, thread_ops) =
-            thread_solo::<_, PackedAtomicRegister<_>>(machine, view);
+        let (thread_events, thread_ops) = thread_solo::<_, PackedAtomicRegister<_>>(machine, view);
         assert_eq!(sim_events, thread_events, "m={m}");
         assert_eq!(sim_ops as u64, thread_ops);
         assert_eq!(sim_events.len(), 6);

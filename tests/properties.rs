@@ -1,90 +1,83 @@
-//! Property-based tests over the core invariants (proptest).
+//! Property-based tests over the core invariants.
 //!
 //! Each property quantifies over the *adversary's* choices — register
 //! permutations, schedules, process counts, identifiers — and asserts the
 //! paper's guarantees survive all of them.
+//!
+//! Randomized with the workspace's seeded [`Rng64`] (fixed seeds, fully
+//! replayable, no external dependencies).
 
 use anonreg::consensus::AnonConsensus;
 use anonreg::mutex::AnonMutex;
 use anonreg::renaming::AnonRenaming;
 use anonreg::spec::{check_consensus, check_mutual_exclusion, check_renaming};
 use anonreg::{Pid, View};
+use anonreg_model::rng::Rng64;
 use anonreg_sim::{sched, Simulation};
-use proptest::collection::vec;
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 fn pid(n: u64) -> Pid {
     Pid::new(n).unwrap()
 }
 
-/// Strategy: a random permutation of `0..m`.
-fn perm(m: usize) -> impl Strategy<Value = View> {
-    Just(()).prop_perturb(move |(), mut rng| {
-        let mut p: Vec<usize> = (0..m).collect();
-        for i in (1..m).rev() {
-            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-            p.swap(i, j);
-        }
-        View::from_perm(p).expect("shuffled range is a permutation")
-    })
+/// A uniformly random permutation view of `0..m`.
+fn perm(rng: &mut Rng64, m: usize) -> View {
+    View::from_perm(rng.permutation(m)).expect("shuffled range is a permutation")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// View algebra: inverse and composition behave like a permutation
-    /// group.
-    #[test]
-    fn view_inverse_round_trips(view in (1usize..12).prop_flat_map(perm)) {
-        let m = view.len();
-        prop_assert_eq!(view.compose(&view.inverse()), View::identity(m));
-        prop_assert_eq!(view.inverse().compose(&view), View::identity(m));
-        prop_assert_eq!(view.inverse().inverse(), view.clone());
+/// View algebra: inverse and composition behave like a permutation group.
+#[test]
+fn view_inverse_round_trips() {
+    let mut rng = Rng64::seed_from_u64(0x71E);
+    for _ in 0..CASES {
+        let m = rng.gen_range_inclusive(1, 11);
+        let view = perm(&mut rng, m);
+        assert_eq!(view.compose(&view.inverse()), View::identity(m));
+        assert_eq!(view.inverse().compose(&view), View::identity(m));
+        assert_eq!(view.inverse().inverse(), view.clone());
         for local in 0..m {
-            prop_assert_eq!(view.local(view.physical(local)), local);
+            assert_eq!(view.local(view.physical(local)), local);
         }
     }
+}
 
-    /// Figure 1 safety: under ANY pair of views and ANY seeded schedule,
-    /// two processes with an odd register count never overlap in the
-    /// critical section.
-    #[test]
-    fn mutex_safety_under_random_views_and_schedules(
-        m_idx in 0usize..2,
-        view_a in perm(5),
-        view_b in perm(5),
-        seed in any::<u64>(),
-    ) {
-        let m = [3, 5][m_idx];
-        // Shrink the 5-permutations down to m registers by filtering.
-        let shrink = |v: &View| {
-            let p: Vec<usize> = v.iter().filter(|&x| x < m).collect();
-            View::from_perm(p).expect("filtered permutation stays one")
-        };
+/// Figure 1 safety: under ANY pair of views and ANY seeded schedule, two
+/// processes with an odd register count never overlap in the critical
+/// section.
+#[test]
+fn mutex_safety_under_random_views_and_schedules() {
+    let mut rng = Rng64::seed_from_u64(0x3AFE);
+    for _ in 0..CASES {
+        let m = [3, 5][rng.gen_index(2)];
+        let view_a = perm(&mut rng, m);
+        let view_b = perm(&mut rng, m);
+        let seed = rng.next_u64();
         let mut sim = Simulation::builder()
-            .process(AnonMutex::new(pid(1), m).unwrap(), shrink(&view_a))
-            .process(AnonMutex::new(pid(2), m).unwrap(), shrink(&view_b))
+            .process(AnonMutex::new(pid(1), m).unwrap(), view_a)
+            .process(AnonMutex::new(pid(2), m).unwrap(), view_b)
             .build()
             .unwrap();
         sched::random(&mut sim, seed, 4_000);
         let stats = check_mutual_exclusion(sim.trace())
-            .map_err(|v| TestCaseError::fail(format!("m={m} seed={seed}: {v}")))?;
+            .unwrap_or_else(|v| panic!("m={m} seed={seed}: {v}"));
         // Under a fair-ish random schedule someone usually gets in, but
         // safety is the property under test; entries may be 0 on adversarial
         // prefixes.
         let _ = stats;
     }
+}
 
-    /// Figure 2 agreement + validity under random views, schedules, and
-    /// inputs.
-    #[test]
-    fn consensus_agreement_under_random_everything(
-        n in 2usize..5,
-        seed in any::<u64>(),
-        raw_inputs in vec(1u64..100, 4),
-    ) {
-        let inputs: Vec<u64> = raw_inputs.into_iter().take(n).collect();
-        prop_assume!(inputs.len() == n);
+/// Figure 2 agreement + validity under random views, schedules, and inputs.
+#[test]
+fn consensus_agreement_under_random_everything() {
+    let mut rng = Rng64::seed_from_u64(0xC0A6);
+    for _ in 0..CASES {
+        let n = rng.gen_range_inclusive(2, 4);
+        let seed = rng.next_u64();
+        let inputs: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range_inclusive(1, 99) as u64)
+            .collect();
         let machines: Vec<AnonConsensus> = inputs
             .iter()
             .enumerate()
@@ -98,18 +91,18 @@ proptest! {
         }
         let mut sim = builder.build().unwrap();
         sched::random_bursts(&mut sim, seed, 8 * n, 60_000 * n);
-        check_consensus(sim.trace(), &inputs)
-            .map_err(|v| TestCaseError::fail(format!("n={n} seed={seed}: {v}")))?;
+        check_consensus(sim.trace(), &inputs).unwrap_or_else(|v| panic!("n={n} seed={seed}: {v}"));
     }
+}
 
-    /// Figure 3 uniqueness + adaptivity under random participation.
-    #[test]
-    fn renaming_adaptivity_under_random_everything(
-        n in 2usize..5,
-        k_raw in 1usize..5,
-        seed in any::<u64>(),
-    ) {
-        let k = k_raw.min(n);
+/// Figure 3 uniqueness + adaptivity under random participation.
+#[test]
+fn renaming_adaptivity_under_random_everything() {
+    let mut rng = Rng64::seed_from_u64(0x4E4A);
+    for _ in 0..CASES {
+        let n = rng.gen_range_inclusive(2, 4);
+        let k = rng.gen_range_inclusive(1, 4).min(n);
+        let seed = rng.next_u64();
         let machines: Vec<AnonRenaming> = (0..k)
             .map(|i| AnonRenaming::new(pid(300 + 7 * i as u64), n).unwrap())
             .collect();
@@ -122,13 +115,17 @@ proptest! {
         let mut sim = builder.build().unwrap();
         sched::random_bursts(&mut sim, seed, 16 * n, 80_000 * n);
         let stats = check_renaming(sim.trace(), k as u32)
-            .map_err(|v| TestCaseError::fail(format!("n={n} k={k} seed={seed}: {v}")))?;
-        prop_assert!(stats.max_name() <= k as u32);
+            .unwrap_or_else(|v| panic!("n={n} k={k} seed={seed}: {v}"));
+        assert!(stats.max_name() <= k as u32);
     }
+}
 
-    /// Determinism: the same seed reproduces the same run, byte for byte.
-    #[test]
-    fn seeded_runs_replay_identically(seed in any::<u64>()) {
+/// Determinism: the same seed reproduces the same run, byte for byte.
+#[test]
+fn seeded_runs_replay_identically() {
+    let mut rng = Rng64::seed_from_u64(0xDE7);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
         let run = |seed: u64| {
             let mut sim = Simulation::builder()
                 .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
@@ -138,16 +135,131 @@ proptest! {
             sched::random(&mut sim, seed, 500);
             format!("{}", sim.trace())
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed));
     }
+}
 
-    /// Packing: consensus records with 32-bit fields round-trip through the
-    /// atomic encoding.
-    #[test]
-    fn cons_record_pack_round_trips(id in 0u64..=u32::MAX as u64, val in 0u64..=u32::MAX as u64) {
-        use anonreg::consensus::ConsRecord;
-        use anonreg_runtime::Pack64;
+/// Static analysis is view-blind: wrapping a shipped algorithm in ANY
+/// register permutation (`Viewed`) leaves every lint passing. This is the
+/// model's core claim — a view permutes addresses, never behavior — made
+/// a property of the analyzer.
+#[test]
+fn lints_pass_on_randomly_viewed_mutexes() {
+    use anonreg_lint::{
+        exit_restores_memory, solo_termination, symmetry, Analysis, CfgConfig, Viewed,
+    };
+    let mut rng = Rng64::seed_from_u64(0x11A7);
+    for _ in 0..24 {
+        let m = [3, 5][rng.gen_index(2)];
+        let view = perm(&mut rng, m);
+        let config = CfgConfig::new(vec![0u64, 1, 2]);
+        // Both processes share the view: their code (view included) is
+        // identical, as §2 symmetry demands.
+        let a = Viewed::new(
+            AnonMutex::new(pid(1), m).unwrap().with_cycles(1),
+            view.clone(),
+        );
+        let b = Viewed::new(
+            AnonMutex::new(pid(2), m).unwrap().with_cycles(1),
+            view.clone(),
+        );
+        let analysis = Analysis::new(&a, &config);
+        assert!(analysis.index_bounds().passed(), "m={m} view={view:?}");
+        assert!(analysis.protocol().passed(), "m={m} view={view:?}");
+        assert!(analysis.pack_width(|v| *v <= u64::from(u32::MAX)).passed());
+        let swap = |v: &u64| match *v {
+            1 => 2,
+            2 => 1,
+            other => other,
+        };
+        assert!(symmetry(&a, &b, swap, &config).passed(), "view={view:?}");
+        assert!(exit_restores_memory(a.clone(), vec![0; m], 160).passed());
+        assert!(solo_termination(a, vec![0; m], 160).passed());
+    }
+}
+
+/// Same property over the one-shot side: randomly viewed consensus
+/// machines stay lint-clean (minus L4, which is a mutex obligation).
+#[test]
+fn lints_pass_on_randomly_viewed_consensus() {
+    use anonreg::consensus::ConsRecord;
+    use anonreg_lint::{solo_termination, symmetry, Analysis, CfgConfig, Viewed};
+    let mut rng = Rng64::seed_from_u64(0x5EED);
+    for _ in 0..16 {
+        let n = rng.gen_range_inclusive(2, 3);
+        let m = 2 * n - 1;
+        let view = perm(&mut rng, m);
+        let config = CfgConfig::new(vec![
+            ConsRecord::default(),
+            ConsRecord { id: 1, val: 7 },
+            ConsRecord { id: 2, val: 7 },
+        ]);
+        let a = Viewed::new(AnonConsensus::new(pid(1), n, 7).unwrap(), view.clone());
+        let b = Viewed::new(AnonConsensus::new(pid(2), n, 7).unwrap(), view.clone());
+        let analysis = Analysis::new(&a, &config);
+        assert!(analysis.index_bounds().passed(), "n={n} view={view:?}");
+        assert!(analysis.protocol().passed(), "n={n} view={view:?}");
+        assert!(analysis
+            .pack_width(|r| r.id <= u64::from(u32::MAX) && r.val <= u64::from(u32::MAX))
+            .passed());
+        let map = |r: &ConsRecord| ConsRecord {
+            id: match r.id {
+                1 => 2,
+                2 => 1,
+                other => other,
+            },
+            val: r.val,
+        };
+        assert!(symmetry(&a, &b, map, &config).passed(), "view={view:?}");
+        let budget = 4 * (m as u64) * (m as u64 + 2) + 64;
+        assert!(solo_termination(a, vec![ConsRecord::default(); m], budget).passed());
+    }
+}
+
+/// The abstract CFG is invariant under views: permuting register
+/// addresses relabels edges but cannot create or destroy abstract states.
+#[test]
+fn cfg_size_is_view_invariant() {
+    use anonreg_lint::{Analysis, CfgConfig, Viewed};
+    let mut rng = Rng64::seed_from_u64(0xCF6);
+    for _ in 0..16 {
+        let m = [3, 5][rng.gen_index(2)];
+        let view = perm(&mut rng, m);
+        let config = CfgConfig::new(vec![0u64, 1, 2]);
+        let bare = AnonMutex::new(pid(1), m).unwrap().with_cycles(1);
+        let wrapped = Viewed::new(bare.clone(), view.clone());
+        let bare_nodes = Analysis::new(&bare, &config)
+            .cfg()
+            .expect("finite abstract space")
+            .len();
+        let wrapped_nodes = Analysis::new(&wrapped, &config)
+            .cfg()
+            .expect("finite abstract space")
+            .len();
+        assert_eq!(bare_nodes, wrapped_nodes, "m={m} view={view:?}");
+    }
+}
+
+/// Packing: consensus records with 32-bit fields round-trip through the
+/// atomic encoding.
+#[test]
+fn cons_record_pack_round_trips() {
+    use anonreg::consensus::ConsRecord;
+    use anonreg_runtime::Pack64;
+    let mut rng = Rng64::seed_from_u64(0xBAC);
+    for _ in 0..256 {
+        let id = rng.next_u64() & u64::from(u32::MAX);
+        let val = rng.next_u64() & u64::from(u32::MAX);
         let record = ConsRecord { id, val };
-        prop_assert_eq!(ConsRecord::unpack(record.pack()), record);
+        assert_eq!(ConsRecord::unpack(record.pack()), record);
+    }
+    for record in [
+        ConsRecord { id: 0, val: 0 },
+        ConsRecord {
+            id: u64::from(u32::MAX),
+            val: u64::from(u32::MAX),
+        },
+    ] {
+        assert_eq!(ConsRecord::unpack(record.pack()), record);
     }
 }

@@ -4,9 +4,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use anonreg_model::Pid;
-use anonreg_runtime::{
-    AnonymousConsensus, AnonymousElection, AnonymousMutex, AnonymousRenaming,
-};
+use anonreg_runtime::{AnonymousConsensus, AnonymousElection, AnonymousMutex, AnonymousRenaming};
 
 fn pid(n: u64) -> Pid {
     Pid::new(n).unwrap()
@@ -149,5 +147,8 @@ fn staggered_arrivals_preserve_renaming_uniqueness() {
     all.sort_unstable();
     all.dedup();
     assert_eq!(all.len(), 6, "all six names distinct");
-    assert!(first_wave.iter().all(|&name| name <= 3), "adaptive first wave");
+    assert!(
+        first_wave.iter().all(|&name| name <= 3),
+        "adaptive first wave"
+    );
 }

@@ -1,0 +1,129 @@
+//! Probe-overhead timing check: the `NoopProbe` instrumentation hooks in
+//! `anonreg_runtime::Driver` must compile away.
+//!
+//! Three variants drive the same solo Figure 1 mutex over the same atomic
+//! memory:
+//!
+//! * `handrolled` — a bare `match machine.resume(..)` loop over the view,
+//!   no `Driver` at all (the floor);
+//! * `driver_noop` — `Driver::new` with the default [`NoopProbe`];
+//! * `driver_mem` — the same driver with a live [`MemProbe`], showing what
+//!   enabling instrumentation actually costs.
+//!
+//! Besides reporting the three medians, the harness *guards* the zero-cost
+//! claim: the no-op driver must stay within a generous constant factor of
+//! the hand-rolled loop (best-of-5 to ride out scheduler noise), and the
+//! process aborts if it does not.
+
+use std::time::Instant;
+
+use anonreg_bench::timing::{criterion_group, Criterion};
+
+use anonreg::mutex::AnonMutex;
+use anonreg_model::{Machine, Pid, Step, View};
+use anonreg_obs::{MemProbe, Metric};
+use anonreg_runtime::{AnonymousMemory, Driver, PackedAtomicRegister};
+
+const M: usize = 3;
+const CYCLES: u64 = 2_000;
+
+fn machine() -> AnonMutex {
+    AnonMutex::new(Pid::new(1).unwrap(), M)
+        .unwrap()
+        .with_cycles(CYCLES)
+}
+
+fn memory() -> AnonymousMemory<PackedAtomicRegister<u64>> {
+    AnonymousMemory::new(M)
+}
+
+/// The floor: no driver, no probe, just the machine over the view.
+fn handrolled() -> u64 {
+    let mem = memory();
+    let view = mem.view(View::identity(M));
+    let mut machine = machine();
+    let mut pending = None;
+    let mut events = 0u64;
+    loop {
+        match machine.resume(pending.take()) {
+            Step::Read(local) => pending = Some(view.read(local)),
+            Step::Write(local, value) => view.write(local, value),
+            Step::Event(_) => events += 1,
+            Step::Halt => return events,
+        }
+    }
+}
+
+fn driver_noop() -> u64 {
+    let mem = memory();
+    let mut driver = Driver::new(machine(), mem.view(View::identity(M)));
+    driver.run_to_halt().len() as u64
+}
+
+fn driver_mem(probe: &MemProbe) -> u64 {
+    let mem = memory();
+    let mut driver = Driver::new(machine(), mem.view(View::identity(M))).with_probe(probe);
+    driver.run_to_halt().len() as u64
+}
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_probe_overhead");
+    group.sample_size(30);
+    group.bench_function("handrolled", |b| b.iter(handrolled));
+    group.bench_function("driver_noop", |b| b.iter(driver_noop));
+    let probe = MemProbe::new();
+    group.bench_function("driver_mem", |b| b.iter(|| driver_mem(&probe)));
+    group.finish();
+}
+
+fn median_nanos(f: impl Fn() -> u64, samples: usize) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let events = f();
+            assert_eq!(events, 2 * CYCLES);
+            start.elapsed().as_nanos().max(1)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Aborts unless the no-op driver stays within `MAX_RATIO`× of the
+/// hand-rolled loop on at least one of five attempts.
+fn guard_noop_is_free() {
+    // Generous: the claim is "compiles away", but shared CI boxes jitter.
+    const MAX_RATIO: f64 = 2.0;
+    const ATTEMPTS: usize = 5;
+    let mut best = f64::INFINITY;
+    for _ in 0..ATTEMPTS {
+        let floor = median_nanos(handrolled, 15);
+        let noop = median_nanos(driver_noop, 15);
+        let ratio = noop as f64 / floor as f64;
+        best = best.min(ratio);
+        if best <= MAX_RATIO {
+            break;
+        }
+    }
+    println!("\nguard: driver_noop / handrolled = {best:.2}x (limit {MAX_RATIO}x)");
+    assert!(
+        best <= MAX_RATIO,
+        "NoopProbe instrumentation is not free: {best:.2}x > {MAX_RATIO}x"
+    );
+    // Sanity-check the enabled path actually records: same run, live probe.
+    let probe = MemProbe::new();
+    assert_eq!(driver_mem(&probe), 2 * CYCLES);
+    // One solo cycle costs 4m ops: m claim reads + m claim writes + m exit
+    // view reads + m exit restore writes.
+    let snap = probe.snapshot();
+    let m = u64::try_from(M).unwrap();
+    assert_eq!(snap.counter_total(Metric::RegRead), 2 * CYCLES * m);
+    assert_eq!(snap.counter_total(Metric::RegWrite), 2 * CYCLES * m);
+}
+
+criterion_group!(benches, bench_probe_overhead);
+
+fn main() {
+    benches();
+    guard_noop_is_free();
+}

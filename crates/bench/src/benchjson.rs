@@ -1,0 +1,130 @@
+//! Machine-readable benchmark output: the `BENCH_*.json`-compatible
+//! metric rows behind `repro --json`.
+//!
+//! Each experiment module exposes a `metrics(&[Row]) -> Vec<BenchMetric>`
+//! alongside its `render`, so the same computed rows feed both the human
+//! table and the JSONL artifact. A [`BenchMetric`] maps 1:1 onto one
+//! schema-v1 `bench` line (see `anonreg_obs::schema`).
+
+use anonreg_obs::emit::bench_line;
+
+/// One numeric observation of one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchMetric {
+    /// Experiment id (`"E1"` … `"E13"`).
+    pub experiment: &'static str,
+    /// Algorithm family the observation is about (`mutex`, `hybrid`,
+    /// `ordered`, `consensus`, `election`, `renaming`, `baselines`).
+    pub family: &'static str,
+    /// Metric name, unique within the experiment (encodes the row
+    /// coordinates, e.g. `m3_states`).
+    pub name: String,
+    /// The observed value. Booleans are `0.0`/`1.0`.
+    pub value: f64,
+    /// The unit (`states`, `runs`, `ops`, `ops_per_s`, `bool`, …).
+    pub unit: &'static str,
+}
+
+impl BenchMetric {
+    /// Creates a metric row.
+    #[must_use]
+    pub fn new(
+        experiment: &'static str,
+        family: &'static str,
+        name: impl Into<String>,
+        value: f64,
+        unit: &'static str,
+    ) -> Self {
+        BenchMetric {
+            experiment,
+            family,
+            name: name.into(),
+            value,
+            unit,
+        }
+    }
+
+    /// Renders the schema-v1 `bench` JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl_line(&self) -> String {
+        bench_line(
+            self.experiment,
+            self.family,
+            &self.name,
+            self.value,
+            self.unit,
+        )
+    }
+}
+
+/// `1.0` / `0.0` for metric values that are really booleans.
+#[must_use]
+pub fn flag(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Compresses a human label (`"anonymous (Fig.1, m=4)"`) into a metric
+/// name fragment (`"anonymous-fig.1-m=4"`): lowercase, runs of
+/// non-alphanumerics (except `.`, `=`, `§`) collapse to single dashes.
+#[must_use]
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut dash_pending = false;
+    for c in label.to_lowercase().chars() {
+        if c.is_alphanumeric() || c == '.' || c == '=' {
+            if dash_pending && !out.is_empty() {
+                out.push('-');
+            }
+            dash_pending = false;
+            out.push(c);
+        } else {
+            dash_pending = true;
+        }
+    }
+    out
+}
+
+/// Renders metrics as newline-terminated JSONL lines.
+#[must_use]
+pub fn to_jsonl(metrics: &[BenchMetric]) -> String {
+    let mut out = String::new();
+    for metric in metrics {
+        out.push_str(&metric.to_jsonl_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonreg_obs::schema::validate_jsonl;
+
+    #[test]
+    fn metric_lines_validate() {
+        let metrics = vec![
+            BenchMetric::new("E1", "mutex", "m3_states", 1234.0, "states"),
+            BenchMetric::new("E9", "baselines", "peterson_throughput", 1.5e6, "ops_per_s"),
+        ];
+        let jsonl = to_jsonl(&metrics);
+        assert_eq!(validate_jsonl(&jsonl).unwrap(), 2);
+    }
+
+    #[test]
+    fn slug_compresses_labels() {
+        assert_eq!(slug("anonymous (Fig.1, m=4)"), "anonymous-fig.1-m=4");
+        assert_eq!(slug("Peterson (named, 3 regs)"), "peterson-named-3-regs");
+        assert_eq!(slug("Hybrid (§8)"), "hybrid-8");
+        assert_eq!(slug("  weird   spacing "), "weird-spacing");
+    }
+
+    #[test]
+    fn flag_maps_bools() {
+        assert_eq!(flag(true), 1.0);
+        assert_eq!(flag(false), 0.0);
+    }
+}

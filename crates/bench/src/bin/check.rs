@@ -33,7 +33,11 @@ fn usage() -> ExitCode {
         "usage: check <mutex|hybrid|ordered|consensus|renaming> [--m N] [--n N] \
          [--registers N] [--shift N] [--max-states N] [--crashes] [--dot FILE]\n\
          \x20      check lint <--all|ALGO|fixtures>   static analysis (L1-L6); \
-         ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}"
+         ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}\n\
+         \x20      check obs [--m N] [--shift N] [--entries N] [--max-states N] \
+         [--json FILE] [--trace FILE]   probed run + contention heatmap\n\
+         \x20      check obs validate FILE            schema-validate a JSONL file\n\
+         \x20      check obs replay FILE              replay an exported trace"
     );
     ExitCode::FAILURE
 }
@@ -80,6 +84,217 @@ fn lint_main(selector: Option<&str>) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `check obs` — drive the Figure 1 mutex on real threads and under the
+/// model checker with a live [`MemProbe`], print the per-register
+/// contention heatmap, and optionally export the metrics (`--json`) or a
+/// replayable trace (`--trace`). `validate FILE` and `replay FILE` consume
+/// files produced this way.
+fn obs_main(raw: &[String]) -> ExitCode {
+    use anonreg_bench::workload::run_randomized;
+    use anonreg_obs::emit::snapshot_to_jsonl;
+    use anonreg_obs::schema::{meta_line, validate_jsonl};
+    use anonreg_obs::{
+        register_stats, schedule_of, trace_from_jsonl, trace_to_jsonl, Heatmap, Json, MemProbe,
+        Metric, Span,
+    };
+    use anonreg_runtime::{AnonymousMemory, Backoff, Driver, PackedAtomicRegister};
+    use anonreg_sim::explore::explore_probed;
+
+    match raw.first().map(String::as_str) {
+        Some("validate") => {
+            let Some(path) = raw.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            return match validate_jsonl(&text) {
+                Ok(lines) => {
+                    println!("{path}: {lines} schema-v1 lines, all valid");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID at line {}: {}", e.line, e.reason);
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("replay") => {
+            let Some(path) = raw.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let trace: anonreg_model::trace::Trace<u64, MutexEvent> = match trace_from_jsonl(&text)
+            {
+                Ok(trace) => trace,
+                Err(e) => {
+                    eprintln!("{path}: not a valid trace: {}", e.reason);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let stats = register_stats(&trace);
+            println!(
+                "replayed {} ops across {} processes",
+                trace.len(),
+                schedule_of(&trace).iter().max().map_or(0, |&p| p + 1)
+            );
+            println!("{}", Heatmap::from_register_stats(&stats).render());
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+
+    let Some(args) = parse(raw) else {
+        return usage();
+    };
+    let mut json_path = None;
+    let mut trace_path = None;
+    let mut entries: u64 = 200;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json_path = it.next().cloned(),
+            "--trace" => trace_path = it.next().cloned(),
+            "--entries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => entries = n,
+                None => return usage(),
+            },
+            _ => {}
+        }
+    }
+    let m = args.m;
+    let probe = MemProbe::new();
+
+    // 1. Real threads: two probed drivers race for the Figure 1 lock.
+    println!(
+        "probed run: Figure 1 mutex, m = {m}, 2 threads x {entries} critical sections, \
+         second view rotated by {}",
+        args.shift % m
+    );
+    let mem: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(m);
+    std::thread::scope(|s| {
+        for (id, shift) in [(1u64, 0usize), (2, args.shift % m)] {
+            let view = mem.view(View::rotated(m, shift));
+            let probe = &probe;
+            s.spawn(move || {
+                let machine = AnonMutex::new(pid(id), m).unwrap().with_cycles(entries);
+                let mut driver = Driver::new(machine, view)
+                    .with_backoff(Backoff {
+                        min_spins: 1,
+                        max_spins: 64,
+                    })
+                    .with_probe(probe);
+                driver.run_to_halt();
+            });
+        }
+    });
+
+    // 2. The model checker over the same configuration, same probe.
+    let sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), m).unwrap(), View::identity(m))
+        .process(
+            AnonMutex::new(pid(2), m).unwrap(),
+            View::rotated(m, args.shift % m),
+        )
+        .build()
+        .unwrap();
+    let limits = ExploreLimits {
+        max_states: args.max_states,
+        crashes: args.crashes,
+    };
+    if let Err(e) = explore_probed(sim, &limits, &probe) {
+        eprintln!("exploration failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let snapshot = probe.snapshot();
+    println!(
+        "registers        : {} reads, {} writes, {} contended reads",
+        snapshot.counter_total(Metric::RegRead),
+        snapshot.counter_total(Metric::RegWrite),
+        snapshot.counter_total(Metric::RegContention),
+    );
+    if let Some(hist) = snapshot.histogram_stat(Metric::BackoffSpins) {
+        println!(
+            "backoff          : {} invocations, {} spins total (max {})",
+            hist.count, hist.sum, hist.max
+        );
+    }
+    let windows = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.span == Span::SoloWindow)
+        .count();
+    println!("solo windows     : {windows} (maximal uncontended op runs)");
+    println!(
+        "exploration      : {} states, {} edges, {} dedup hits",
+        snapshot.counter_total(Metric::ExploreStates),
+        snapshot.counter_total(Metric::ExploreEdges),
+        snapshot.counter_total(Metric::ExploreDedup),
+    );
+
+    let per_register = |metric: Metric| -> Vec<u64> {
+        let by_key = snapshot.counter_by_key(metric);
+        let mut counts = vec![0u64; m];
+        for (key, value) in by_key {
+            if let Some(slot) = counts.get_mut(usize::try_from(key).unwrap_or(usize::MAX)) {
+                *slot = value;
+            }
+        }
+        counts
+    };
+    let mut heatmap = Heatmap::new();
+    heatmap
+        .row("reads", per_register(Metric::RegRead))
+        .row("writes", per_register(Metric::RegWrite))
+        .row("contention", per_register(Metric::RegContention));
+    println!(
+        "\nper-register heatmap (threaded run):\n{}",
+        heatmap.render()
+    );
+
+    if let Some(path) = &trace_path {
+        let machines: Vec<AnonMutex> = (1..=2)
+            .map(|id| AnonMutex::new(pid(id), m).unwrap().with_cycles(2))
+            .collect();
+        let sim = run_randomized(machines, 1, 4 * m, 100_000 * m);
+        let jsonl = trace_to_jsonl(sim.trace());
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace written to {path} ({} ops; replay with `check obs replay {path}`)",
+            sim.trace().len()
+        );
+    }
+    if let Some(path) = &json_path {
+        let mut out = meta_line(
+            "check-obs",
+            &[("m", Json::U64(m as u64)), ("entries", Json::U64(entries))],
+        )
+        .render();
+        out.push('\n');
+        out.push_str(&snapshot_to_jsonl(&snapshot));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+    ExitCode::SUCCESS
 }
 
 struct Args {
@@ -209,6 +424,9 @@ fn main() -> ExitCode {
     };
     if kind == "lint" {
         return lint_main(raw.get(1).map(String::as_str));
+    }
+    if kind == "obs" {
+        return obs_main(&raw[1..]);
     }
     let Some(args) = parse(&raw[1..]) else {
         return usage();

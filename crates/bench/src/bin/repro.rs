@@ -1,21 +1,31 @@
 //! `repro` — regenerates every experiment table of the reproduction.
 //!
 //! ```text
-//! cargo run --release -p anonreg-bench --bin repro            # everything
-//! cargo run --release -p anonreg-bench --bin repro -- --quick # smaller sweeps
-//! cargo run --release -p anonreg-bench --bin repro -- e1 e4   # selected experiments
+//! cargo run --release -p anonreg-bench --bin repro                    # everything
+//! cargo run --release -p anonreg-bench --bin repro -- --quick        # smaller sweeps
+//! cargo run --release -p anonreg-bench --bin repro -- e1 e4          # selected experiments
+//! cargo run --release -p anonreg-bench --bin repro -- --json out.jsonl
+//!                                        # also write schema-v1 bench metrics
 //! ```
+//!
+//! The full-text output of a complete run is not checked in (it embeds
+//! machine-dependent timings); regenerate it with
+//! `cargo run --release -p anonreg-bench --bin repro > repro_full.txt`.
 
 use std::env;
 use std::time::Instant;
 
+use anonreg_bench::benchjson::BenchMetric;
 use anonreg_bench::{
     e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e1_parity, e2_ring, e3_consensus,
     e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
 };
+use anonreg_obs::schema::meta_line;
+use anonreg_obs::Json;
 
 struct Config {
     quick: bool,
+    json: Option<String>,
     selected: Vec<String>,
 }
 
@@ -28,16 +38,27 @@ impl Config {
 fn main() {
     let mut config = Config {
         quick: false,
+        json: None,
         selected: Vec::new(),
     };
-    for arg in env::args().skip(1) {
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config.quick = true,
+            "--json" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                };
+                config.json = Some(path);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [e1 .. e13]\n\
+                    "usage: repro [--quick] [--json FILE] [e1 .. e13]\n\
                      Regenerates the experiment tables of the PODC'17\n\
-                     'Coordination Without Prior Agreement' reproduction."
+                     'Coordination Without Prior Agreement' reproduction.\n\
+                     --json FILE also writes every metric as schema-v1\n\
+                     JSONL bench lines (validate with `check obs validate`)."
                 );
                 return;
             }
@@ -47,15 +68,17 @@ fn main() {
         }
     }
 
-    let section = |id: &str, title: &str, body: &dyn Fn() -> String| {
+    let mut metrics: Vec<BenchMetric> = Vec::new();
+    let mut section = |id: &str, title: &str, body: &dyn Fn() -> (String, Vec<BenchMetric>)| {
         if !config.wants(id) {
             return;
         }
         let start = Instant::now();
-        let rendered = body();
+        let (rendered, section_metrics) = body();
         println!("== {} — {title}", id.to_uppercase());
         println!("{rendered}");
         println!("({id} took {:?})\n", start.elapsed());
+        metrics.extend(section_metrics);
     };
 
     let q = config.quick;
@@ -63,78 +86,123 @@ fn main() {
     section(
         "e1",
         "mutex register parity (Theorem 3.1), exhaustive model checking",
-        &|| e1_parity::render(&e1_parity::rows(if q { 4 } else { 6 })),
+        &|| {
+            let rows = e1_parity::rows(if q { 4 } else { 6 });
+            (e1_parity::render(&rows), e1_parity::metrics(&rows))
+        },
     );
     section("e2", "lock-step ring starvation (Theorem 3.4)", &|| {
-        e2_ring::render(&e2_ring::rows(
-            if q { 8 } else { 12 },
-            4,
-            if q { 300 } else { 2_000 },
-        ))
+        let rows = e2_ring::rows(if q { 8 } else { 12 }, 4, if q { 300 } else { 2_000 });
+        (e2_ring::render(&rows), e2_ring::metrics(&rows))
     });
     section(
         "e3",
         "consensus agreement/validity sweeps (Theorems 4.1, 4.2)",
         &|| {
-            e3_consensus::render(&e3_consensus::rows(
-                if q { 4 } else { 6 },
-                if q { 50 } else { 400 },
-            ))
+            let rows = e3_consensus::rows(if q { 4 } else { 6 }, if q { 50 } else { 400 });
+            (e3_consensus::render(&rows), e3_consensus::metrics(&rows))
         },
     );
     section(
         "e4",
         "consensus space lower bound via covering (Theorem 6.3)",
-        &|| e4_consensus_space::render(&e4_consensus_space::rows(if q { 5 } else { 8 })),
+        &|| {
+            let rows = e4_consensus_space::rows(if q { 5 } else { 8 });
+            (
+                e4_consensus_space::render(&rows),
+                e4_consensus_space::metrics(&rows),
+            )
+        },
     );
     section(
         "e5",
         "renaming uniqueness + adaptivity (Theorems 5.1–5.3)",
         &|| {
-            e5_renaming::render(&e5_renaming::rows(
-                if q { 4 } else { 6 },
-                if q { 30 } else { 200 },
-            ))
+            let rows = e5_renaming::rows(if q { 4 } else { 6 }, if q { 30 } else { 200 });
+            (e5_renaming::render(&rows), e5_renaming::metrics(&rows))
         },
     );
     section(
         "e6",
         "renaming space lower bound via covering (Theorem 6.5)",
-        &|| e6_renaming_space::render(&e6_renaming_space::rows(if q { 5 } else { 8 })),
+        &|| {
+            let rows = e6_renaming_space::rows(if q { 5 } else { 8 });
+            (
+                e6_renaming_space::render(&rows),
+                e6_renaming_space::metrics(&rows),
+            )
+        },
     );
     section("e7", "unknown process count attacks (Theorem 6.2)", &|| {
-        e7_unknown_n::render(&e7_unknown_n::rows(if q { 4 } else { 7 }))
+        let rows = e7_unknown_n::rows(if q { 4 } else { 7 });
+        (e7_unknown_n::render(&rows), e7_unknown_n::metrics(&rows))
     });
     section("e8", "election sweeps (§4 note)", &|| {
-        e8_election::render(&e8_election::rows(
-            if q { 4 } else { 6 },
-            if q { 30 } else { 200 },
-        ))
+        let rows = e8_election::rows(if q { 4 } else { 6 }, if q { 30 } else { 200 });
+        (e8_election::render(&rows), e8_election::metrics(&rows))
     });
     section(
         "e9",
         "real-thread throughput vs named baselines (§1 plasticity)",
         &|| {
             let (entries, reps) = if q { (2_000, 20) } else { (20_000, 200) };
-            e9_threads::render(&e9_threads::rows(entries, reps, reps))
+            let rows = e9_threads::rows(entries, reps, reps);
+            (e9_threads::render(&rows), e9_threads::metrics(&rows))
         },
     );
     section("e10", "solo step complexity vs proof bounds", &|| {
-        e10_solo_steps::render(&e10_solo_steps::rows(if q { 6 } else { 10 }))
+        let rows = e10_solo_steps::rows(if q { 6 } else { 10 });
+        (
+            e10_solo_steps::render(&rows),
+            e10_solo_steps::metrics(&rows),
+        )
     });
     section(
         "e11",
         "hybrid model: m anonymous + 1 named register (§8)",
-        &|| e11_hybrid::render(&e11_hybrid::rows(if q { 3 } else { 4 })),
+        &|| {
+            let rows = e11_hybrid::rows(if q { 3 } else { 4 });
+            (e11_hybrid::render(&rows), e11_hybrid::metrics(&rows))
+        },
     );
     section(
         "e12",
         "fair starvation across mutual exclusion algorithms (§8)",
-        &|| e12_starvation::render(&e12_starvation::rows()),
+        &|| {
+            let rows = e12_starvation::rows();
+            (
+                e12_starvation::render(&rows),
+                e12_starvation::metrics(&rows),
+            )
+        },
     );
     section(
         "e13",
         "arbitrary-comparisons model: id order breaks ties (§2)",
-        &|| e13_ordered::render(&e13_ordered::rows(if q { 3 } else { 4 })),
+        &|| {
+            let rows = e13_ordered::rows(if q { 3 } else { 4 });
+            (e13_ordered::render(&rows), e13_ordered::metrics(&rows))
+        },
     );
+
+    if let Some(path) = &config.json {
+        let mut out = meta_line(
+            "repro",
+            &[
+                ("mode", Json::Str(if q { "quick" } else { "full" }.into())),
+                ("metrics", Json::U64(metrics.len() as u64)),
+            ],
+        )
+        .render();
+        out.push('\n');
+        for metric in &metrics {
+            out.push_str(&metric.to_jsonl_line());
+            out.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {} metric lines to {path}", metrics.len());
+    }
 }

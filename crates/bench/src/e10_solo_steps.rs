@@ -14,6 +14,7 @@ use anonreg::Pid;
 use anonreg_model::View;
 use anonreg_sim::Simulation;
 
+use crate::benchjson::{flag, slug, BenchMetric};
 use crate::table::Table;
 
 /// One row of the solo-complexity table.
@@ -115,6 +116,48 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+fn family_of(algo: &str) -> &'static str {
+    if algo.starts_with("consensus") {
+        "consensus"
+    } else if algo.starts_with("renaming") {
+        "renaming"
+    } else {
+        "mutex"
+    }
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let family = family_of(r.algo);
+        let base = format!("{}_n{}_r{}", slug(r.algo), r.n, r.registers);
+        out.push(BenchMetric::new(
+            "E10",
+            family,
+            format!("{base}_measured"),
+            r.measured as f64,
+            "ops",
+        ));
+        out.push(BenchMetric::new(
+            "E10",
+            family,
+            format!("{base}_bound"),
+            r.bound as f64,
+            "ops",
+        ));
+        out.push(BenchMetric::new(
+            "E10",
+            family,
+            format!("{base}_within_bound"),
+            flag(r.within_bound()),
+            "bool",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use anonreg::{Machine, Pid, View};
 use anonreg_sim::explore::{explore, ExploreLimits, StateGraph};
 use anonreg_sim::Simulation;
 
+use crate::benchjson::{flag, slug, BenchMetric};
 use crate::table::Table;
 
 /// One row of the starvation table.
@@ -176,6 +177,41 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows. The named baselines
+/// (Peterson, Bakery) report under `baselines`; the hybrid and ordered
+/// variants under their own families; Figure 1 under `mutex`.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let family = if r.algo.contains("named") {
+            "baselines"
+        } else if r.algo.starts_with("Hybrid") {
+            "hybrid"
+        } else if r.algo.starts_with("Ordered") {
+            "ordered"
+        } else {
+            "mutex"
+        };
+        let base = slug(r.algo);
+        out.push(BenchMetric::new(
+            "E12",
+            family,
+            format!("{base}_starvable"),
+            flag(r.starvable),
+            "bool",
+        ));
+        out.push(BenchMetric::new(
+            "E12",
+            family,
+            format!("{base}_matches"),
+            flag(r.matches()),
+            "bool",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

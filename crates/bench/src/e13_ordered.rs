@@ -13,6 +13,7 @@ use anonreg::{Pid, View};
 use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::Simulation;
 
+use crate::benchjson::{flag, BenchMetric};
 use crate::table::Table;
 
 /// One row of the ordered-model table.
@@ -121,6 +122,30 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let m = r.m;
+        out.push(BenchMetric::new(
+            "E13",
+            "ordered",
+            format!("m{m}_max_states"),
+            r.max_states as f64,
+            "states",
+        ));
+        out.push(BenchMetric::new(
+            "E13",
+            "ordered",
+            format!("m{m}_verified"),
+            flag(r.verified()),
+            "bool",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

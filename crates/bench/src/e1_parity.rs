@@ -13,6 +13,7 @@ use anonreg::{Pid, View};
 use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::Simulation;
 
+use crate::benchjson::{flag, BenchMetric};
 use crate::table::Table;
 
 /// One row of the parity table.
@@ -149,6 +150,51 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows (one set per `m`).
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let m = r.m;
+        out.push(BenchMetric::new(
+            "E1",
+            "mutex",
+            format!("m{m}_views"),
+            r.views_checked as f64,
+            "views",
+        ));
+        out.push(BenchMetric::new(
+            "E1",
+            "mutex",
+            format!("m{m}_max_states"),
+            r.max_states as f64,
+            "states",
+        ));
+        out.push(BenchMetric::new(
+            "E1",
+            "mutex",
+            format!("m{m}_safe"),
+            flag(r.safe),
+            "bool",
+        ));
+        out.push(BenchMetric::new(
+            "E1",
+            "mutex",
+            format!("m{m}_live"),
+            flag(r.live),
+            "bool",
+        ));
+        out.push(BenchMetric::new(
+            "E1",
+            "mutex",
+            format!("m{m}_matches_paper"),
+            flag(r.matches_paper()),
+            "bool",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use anonreg_lower::ring::{gcd, ring_starvation};
 
+use crate::benchjson::{flag, BenchMetric};
 use crate::table::Table;
 
 /// One row of the ring table.
@@ -69,6 +70,25 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics: one `starved` flag per divisible pair (pairs
+/// where the ring does not fit are omitted — there is nothing to measure).
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    rows.iter()
+        .filter_map(|r| {
+            r.starved.map(|starved| {
+                BenchMetric::new(
+                    "E2",
+                    "mutex",
+                    format!("m{}_l{}_starved", r.m, r.l),
+                    flag(starved),
+                    "bool",
+                )
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use anonreg::consensus::AnonConsensus;
 use anonreg::spec::check_consensus;
 use anonreg::Pid;
 
+use crate::benchjson::BenchMetric;
 use crate::table::Table;
 use crate::workload::run_randomized;
 
@@ -82,6 +83,37 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let n = r.n;
+        out.push(BenchMetric::new(
+            "E3",
+            "consensus",
+            format!("n{n}_runs"),
+            r.runs as f64,
+            "runs",
+        ));
+        out.push(BenchMetric::new(
+            "E3",
+            "consensus",
+            format!("n{n}_completed"),
+            r.completed as f64,
+            "runs",
+        ));
+        out.push(BenchMetric::new(
+            "E3",
+            "consensus",
+            format!("n{n}_violations"),
+            r.violations as f64,
+            "violations",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 
 use anonreg_lower::consensus_cover::disagreement;
 
+use crate::benchjson::{flag, BenchMetric};
 use crate::table::Table;
 
 /// One row of the space-bound table.
@@ -71,6 +72,30 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let (n, reg) = (r.n, r.registers);
+        out.push(BenchMetric::new(
+            "E4",
+            "consensus",
+            format!("n{n}_r{reg}_violated"),
+            flag(r.violated),
+            "bool",
+        ));
+        out.push(BenchMetric::new(
+            "E4",
+            "consensus",
+            format!("n{n}_r{reg}_coverers"),
+            r.coverers as f64,
+            "processes",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use anonreg::renaming::AnonRenaming;
 use anonreg::spec::check_renaming;
 use anonreg::Pid;
 
+use crate::benchjson::BenchMetric;
 use crate::table::Table;
 use crate::workload::run_randomized;
 
@@ -89,6 +90,44 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let (n, k) = (r.n, r.k);
+        out.push(BenchMetric::new(
+            "E5",
+            "renaming",
+            format!("n{n}_k{k}_runs"),
+            r.runs as f64,
+            "runs",
+        ));
+        out.push(BenchMetric::new(
+            "E5",
+            "renaming",
+            format!("n{n}_k{k}_completed"),
+            r.completed as f64,
+            "runs",
+        ));
+        out.push(BenchMetric::new(
+            "E5",
+            "renaming",
+            format!("n{n}_k{k}_max_name"),
+            f64::from(r.max_name),
+            "name",
+        ));
+        out.push(BenchMetric::new(
+            "E5",
+            "renaming",
+            format!("n{n}_k{k}_violations"),
+            r.violations as f64,
+            "violations",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 
 use anonreg_lower::renaming_cover::duplicate_name;
 
+use crate::benchjson::{flag, BenchMetric};
 use crate::table::Table;
 
 /// One row of the renaming space-bound table.
@@ -74,6 +75,22 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    rows.iter()
+        .map(|r| {
+            BenchMetric::new(
+                "E6",
+                "renaming",
+                format!("n{}_r{}_violated", r.n, r.registers),
+                flag(r.violated),
+                "bool",
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use anonreg_lower::mutex_cover::{unknown_n_attack, MutexFailure};
 
+use crate::benchjson::{flag, BenchMetric};
 use crate::table::Table;
 
 /// One row of the unknown-n table.
@@ -60,6 +61,38 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows. `failed` is 1.0 for both
+/// failure modes — every `m` fails, the modes just differ.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let m = r.m;
+        out.push(BenchMetric::new(
+            "E7",
+            "mutex",
+            format!("m{m}_write_set"),
+            r.write_set as f64,
+            "registers",
+        ));
+        out.push(BenchMetric::new(
+            "E7",
+            "mutex",
+            format!("m{m}_indistinguishable"),
+            flag(r.indistinguishable),
+            "bool",
+        ));
+        out.push(BenchMetric::new(
+            "E7",
+            "mutex",
+            format!("m{m}_failed"),
+            1.0,
+            "bool",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

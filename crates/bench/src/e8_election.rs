@@ -4,6 +4,7 @@ use anonreg::election::AnonElection;
 use anonreg::spec::check_election;
 use anonreg::Pid;
 
+use crate::benchjson::BenchMetric;
 use crate::table::Table;
 use crate::workload::run_randomized;
 
@@ -68,6 +69,37 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let n = r.n;
+        out.push(BenchMetric::new(
+            "E8",
+            "election",
+            format!("n{n}_runs"),
+            r.runs as f64,
+            "runs",
+        ));
+        out.push(BenchMetric::new(
+            "E8",
+            "election",
+            format!("n{n}_completed"),
+            r.completed as f64,
+            "runs",
+        ));
+        out.push(BenchMetric::new(
+            "E8",
+            "election",
+            format!("n{n}_violations"),
+            r.violations as f64,
+            "violations",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ use anonreg_runtime::{
     HybridAnonymousMutex, PackedAtomicRegister,
 };
 
+use crate::benchjson::{slug, BenchMetric};
 use crate::table::Table;
 
 /// One throughput/latency measurement.
@@ -379,6 +380,47 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Metric family for one measurement: the classic named-register
+/// algorithms report under `baselines`; the §8 hybrid and §2 ordered
+/// variants under their own families; everything else under the row's
+/// algorithm family.
+fn metric_family(row: &Row) -> &'static str {
+    if row.algo.contains("named") {
+        "baselines"
+    } else if row.algo.starts_with("hybrid") {
+        "hybrid"
+    } else if row.algo.starts_with("ordered") {
+        "ordered"
+    } else {
+        row.family
+    }
+}
+
+/// Machine-readable metrics for the given rows.
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        let family = metric_family(r);
+        let base = format!("{}_t{}", slug(&r.algo), r.threads);
+        out.push(BenchMetric::new(
+            "E9",
+            family,
+            format!("{base}_completed"),
+            r.completed as f64,
+            "ops",
+        ));
+        out.push(BenchMetric::new(
+            "E9",
+            family,
+            format!("{base}_throughput"),
+            r.throughput(),
+            "ops_per_s",
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub mod e7_unknown_n;
 pub mod e8_election;
 pub mod e9_threads;
 
+pub mod benchjson;
 pub mod lintsuite;
 pub mod table;
 pub mod timing;

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod codec;
 pub mod consensus;
 pub mod election;
 pub mod hybrid;

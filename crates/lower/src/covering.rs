@@ -4,6 +4,7 @@ use std::fmt;
 use std::hash::Hash;
 
 use anonreg_model::{Machine, Step, View};
+use anonreg_obs::{Metric, NoopProbe, Probe, Span};
 use anonreg_sim::{SimError, Simulation, StepOutcome};
 
 /// Error returned when a covering attack cannot be assembled.
@@ -113,15 +114,44 @@ where
     pub fn build<F>(
         victim: M,
         coverers: Vec<M>,
-        mut milestone: F,
+        milestone: F,
         budget: usize,
     ) -> Result<Self, CoverError>
     where
         F: FnMut(&M) -> bool,
     {
+        Self::build_probed(victim, coverers, milestone, budget, &NoopProbe)
+    }
+
+    /// [`build`](CoveringAttack::build) with a live [`Probe`].
+    ///
+    /// Emits one span per attack phase — `cover_solo` (length: steps of
+    /// the victim's solo run), `cover_place` (length: coverers placed),
+    /// `cover_block` (length: poised writes released) — plus a
+    /// `cover_write_set` counter holding `|write(y, q)|`, the quantity the
+    /// paper's space lower bounds are about. With [`NoopProbe`] this is
+    /// exactly [`build`](CoveringAttack::build).
+    ///
+    /// # Errors
+    ///
+    /// See [`CoverError`].
+    pub fn build_probed<F, P>(
+        victim: M,
+        coverers: Vec<M>,
+        mut milestone: F,
+        budget: usize,
+        probe: &P,
+    ) -> Result<Self, CoverError>
+    where
+        F: FnMut(&M) -> bool,
+        P: Probe,
+    {
         let registers = victim.register_count();
 
         // Step 1: the solo run y — victim alone, identity view.
+        if P::ENABLED {
+            probe.span_open(Span::CoverSolo, 0);
+        }
         let mut solo = Simulation::builder()
             .process(victim.clone(), View::identity(registers))
             .build()?;
@@ -136,12 +166,18 @@ where
             }
             solo.step(0)?;
         }
+        if P::ENABLED {
+            probe.span_close(Span::CoverSolo, 0, solo.trace().len() as u64);
+        }
         if !reached && !milestone(solo.machine(0)) {
             return Err(CoverError::VictimDidNotFinish { budget });
         }
         let write_set = solo.trace().write_set_of(0);
         if write_set.is_empty() {
             return Err(CoverError::EmptyWriteSet);
+        }
+        if P::ENABLED {
+            probe.counter(Metric::CoverWriteSet, 0, write_set.len() as u64);
         }
 
         // Each coverer's first write, on untouched memory, lands at some
@@ -169,6 +205,9 @@ where
 
         // Step 2: the run x — each coverer runs alone (no writes applied)
         // until it covers its register.
+        if P::ENABLED {
+            probe.span_open(Span::CoverPlace, 0);
+        }
         for (index, target) in write_set.iter().copied().enumerate() {
             let proc = index + 1;
             match sim.step_to_cover(proc)? {
@@ -185,6 +224,9 @@ where
                     got,
                 });
             }
+        }
+        if P::ENABLED {
+            probe.span_close(Span::CoverPlace, 0, write_set.len() as u64);
         }
 
         // The ghost world x': only the coverers' block write, on fresh
@@ -216,8 +258,14 @@ where
 
         // Step 3b: the block write w — all covered writes land, erasing
         // every register the victim wrote.
+        if P::ENABLED {
+            probe.span_open(Span::CoverBlock, 0);
+        }
         for index in 0..write_set.len() {
             sim.apply_poised(index + 1)?;
+        }
+        if P::ENABLED {
+            probe.span_close(Span::CoverBlock, 0, write_set.len() as u64);
         }
 
         // Indistinguishability check (Theorem 6.1's engine): after the
@@ -337,6 +385,32 @@ mod tests {
         assert!(attack.memory_indistinguishable());
         // The block write replaced the victim's values with the coverers'.
         assert_eq!(attack.sim.registers(), &[2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn probed_build_reports_phase_spans() {
+        use anonreg_obs::MemProbe;
+        let victim = kwriter(1, 4, 3);
+        let coverers = vec![kwriter(2, 4, 1), kwriter(3, 4, 1), kwriter(4, 4, 1)];
+        let probe = MemProbe::new();
+        let attack =
+            CoveringAttack::build_probed(victim, coverers, |m: &KWriter| m.done, 100, &probe)
+                .unwrap();
+        let snap = probe.into_snapshot();
+        assert_eq!(
+            snap.counter_total(Metric::CoverWriteSet),
+            attack.write_set.len() as u64
+        );
+        let span_of = |kind: Span| {
+            snap.spans
+                .iter()
+                .find(|s| s.span == kind)
+                .unwrap_or_else(|| panic!("missing {kind:?} span"))
+        };
+        // Solo run: 3 writes + the "done" event.
+        assert_eq!(span_of(Span::CoverSolo).length, 4);
+        assert_eq!(span_of(Span::CoverPlace).length, 3);
+        assert_eq!(span_of(Span::CoverBlock).length, 3);
     }
 
     #[test]

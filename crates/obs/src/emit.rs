@@ -1,0 +1,156 @@
+//! Rendering recorded observations as schema-v1 JSONL lines.
+
+use crate::json::Json;
+use crate::probe::MetricsSnapshot;
+use crate::schema::SCHEMA_VERSION;
+
+fn line(fields: Vec<(&str, Json)>) -> String {
+    let mut all = vec![("v".to_string(), Json::U64(SCHEMA_VERSION))];
+    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(all).render()
+}
+
+/// Renders a snapshot as JSONL: counters, then gauges, then histograms,
+/// then spans, then events, each newline-terminated — all in the
+/// snapshot's deterministic order.
+#[must_use]
+pub fn snapshot_to_jsonl(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (metric, key, value) in &snapshot.counters {
+        out.push_str(&line(vec![
+            ("t", Json::Str("counter".into())),
+            ("name", Json::Str(metric.name().into())),
+            ("key", Json::U64(*key)),
+            ("value", Json::U64(*value)),
+        ]));
+        out.push('\n');
+    }
+    for (metric, key, stat) in &snapshot.gauges {
+        out.push_str(&line(vec![
+            ("t", Json::Str("gauge".into())),
+            ("name", Json::Str(metric.name().into())),
+            ("key", Json::U64(*key)),
+            ("last", Json::U64(stat.last)),
+            ("max", Json::U64(stat.max)),
+            ("samples", Json::U64(stat.samples)),
+        ]));
+        out.push('\n');
+    }
+    for (metric, key, stat) in &snapshot.histograms {
+        // Trailing empty buckets carry no information; trim them.
+        let filled = stat
+            .buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        out.push_str(&line(vec![
+            ("t", Json::Str("hist".into())),
+            ("name", Json::Str(metric.name().into())),
+            ("key", Json::U64(*key)),
+            ("count", Json::U64(stat.count)),
+            ("sum", Json::U64(stat.sum)),
+            ("min", Json::U64(stat.min)),
+            ("max", Json::U64(stat.max)),
+            (
+                "buckets",
+                Json::Arr(
+                    stat.buckets[..filled]
+                        .iter()
+                        .map(|&b| Json::U64(b))
+                        .collect(),
+                ),
+            ),
+        ]));
+        out.push('\n');
+    }
+    for span in &snapshot.spans {
+        out.push_str(&line(vec![
+            ("t", Json::Str("span".into())),
+            ("name", Json::Str(span.span.name().into())),
+            ("key", Json::U64(span.key)),
+            ("length", Json::U64(span.length)),
+        ]));
+        out.push('\n');
+    }
+    for event in &snapshot.events {
+        out.push_str(&line(vec![
+            ("t", Json::Str("event".into())),
+            ("name", Json::Str(event.name.into())),
+            (
+                "fields",
+                Json::Obj(
+                    event
+                        .fields
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Json::U64(*v)))
+                        .collect(),
+                ),
+            ),
+        ]));
+        out.push('\n');
+    }
+    if snapshot.dropped_spans > 0 || snapshot.dropped_events > 0 {
+        out.push_str(&line(vec![
+            ("t", Json::Str("event".into())),
+            ("name", Json::Str("records_dropped".into())),
+            (
+                "fields",
+                Json::Obj(vec![
+                    ("spans".to_string(), Json::U64(snapshot.dropped_spans)),
+                    ("events".to_string(), Json::U64(snapshot.dropped_events)),
+                ]),
+            ),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds one `bench` line — the `BENCH_*.json`-compatible shape the
+/// `repro --json` mode emits per experiment metric.
+#[must_use]
+pub fn bench_line(experiment: &str, family: &str, name: &str, value: f64, unit: &str) -> String {
+    line(vec![
+        ("t", Json::Str("bench".into())),
+        ("experiment", Json::Str(experiment.into())),
+        ("family", Json::Str(family.into())),
+        ("name", Json::Str(name.into())),
+        ("value", Json::F64(value)),
+        ("unit", Json::Str(unit.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{MemProbe, Metric, Probe, Span};
+    use crate::schema::validate_jsonl;
+
+    #[test]
+    fn snapshot_jsonl_is_schema_valid() {
+        let probe = MemProbe::new();
+        probe.counter(Metric::RegRead, 0, 3);
+        probe.counter(Metric::RegWrite, 1, 2);
+        probe.gauge(Metric::ExploreFrontier, 0, 8);
+        probe.histogram(Metric::BackoffSpins, 0, 17);
+        probe.span_open(Span::SoloRun, 1);
+        probe.span_close(Span::SoloRun, 1, 5);
+        probe.event("explore_done", &[("states", 9)]);
+        let jsonl = snapshot_to_jsonl(&probe.into_snapshot());
+        let validated = validate_jsonl(&jsonl).unwrap();
+        assert_eq!(validated, 6);
+    }
+
+    #[test]
+    fn bench_line_is_schema_valid() {
+        let l = bench_line("E1", "mutex", "states_visited", 1234.0, "states");
+        crate::schema::validate_line(&l).unwrap();
+        assert!(l.contains("\"experiment\":\"E1\""));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_nothing() {
+        let jsonl = snapshot_to_jsonl(&MemProbe::new().into_snapshot());
+        assert!(jsonl.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! ASCII per-register contention heatmap for terminal triage.
+//!
+//! Renders labeled rows of per-register counts with a shade ramp, scaled
+//! to the hottest cell, plus the raw maximum so the picture is
+//! quantitative:
+//!
+//! ```text
+//! register     0123456789
+//! reads        @%#==:. .
+//! writes       #=:-.
+//! contention   *-.
+//! scale: ' .:-=+*#%@' (max = 1824)
+//! ```
+
+use crate::trace_io::RegisterStats;
+
+/// The shade ramp, coolest to hottest. A zero count renders as a space;
+/// nonzero counts map linearly onto the remaining glyphs.
+const RAMP: &str = " .:-=+*#%@";
+
+/// A labeled matrix of per-register counts, ready to render.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Heatmap {
+    rows: Vec<(String, Vec<u64>)>,
+}
+
+impl Heatmap {
+    /// Creates an empty heatmap.
+    #[must_use]
+    pub fn new() -> Self {
+        Heatmap::default()
+    }
+
+    /// Adds a labeled row of per-register counts.
+    pub fn row(&mut self, label: &str, counts: Vec<u64>) -> &mut Self {
+        self.rows.push((label.to_string(), counts));
+        self
+    }
+
+    /// Builds the standard three-row (reads / writes / contention) map
+    /// from trace-derived [`RegisterStats`].
+    #[must_use]
+    pub fn from_register_stats(stats: &RegisterStats) -> Self {
+        let mut map = Heatmap::new();
+        map.row("reads", stats.reads.clone());
+        map.row("writes", stats.writes.clone());
+        map.row("contention", stats.contention.clone());
+        map
+    }
+
+    /// The hottest cell across all rows.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|(_, counts)| counts.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn glyph(count: u64, max: u64) -> char {
+        let ramp = RAMP.as_bytes();
+        if count == 0 || max == 0 {
+            return ramp[0] as char;
+        }
+        // Nonzero counts use ramp[1..=last], linearly in count/max, with
+        // count == max pinned to the hottest glyph.
+        let hot = ramp.len() - 1;
+        let scaled = u128::from(count) * (hot as u128 - 1) / u128::from(max);
+        let idx = 1 + usize::try_from(scaled).unwrap_or(hot);
+        ramp[idx.min(hot)] as char
+    }
+
+    /// Renders the map. Registers run left to right; the header row labels
+    /// them modulo 10 so wide maps stay readable.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let registers = self
+            .rows
+            .iter()
+            .map(|(_, counts)| counts.len())
+            .max()
+            .unwrap_or(0);
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(label, _)| label.len())
+            .max()
+            .unwrap_or(0)
+            .max("register".len());
+        let max = self.max();
+        let mut out = String::new();
+        out.push_str(&format!("{:<label_width$}  ", "register"));
+        for r in 0..registers {
+            out.push(char::from_digit((r % 10) as u32, 10).unwrap_or('?'));
+        }
+        out.push('\n');
+        for (label, counts) in &self.rows {
+            out.push_str(&format!("{label:<label_width$}  "));
+            for r in 0..registers {
+                let count = counts.get(r).copied().unwrap_or(0);
+                out.push(Self::glyph(count, max));
+            }
+            // Trailing spaces in all-cool tails are noise; trim per row.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("scale: '{RAMP}' (max = {max})\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_cool_to_hot() {
+        let mut map = Heatmap::new();
+        map.row("writes", vec![0, 1, 50, 100]);
+        let s = map.render();
+        let row = s.lines().find(|l| l.starts_with("writes")).unwrap();
+        let cells: Vec<char> = row.chars().rev().take(3).collect();
+        // Hottest cell gets the hottest glyph.
+        assert_eq!(cells[0], '@');
+        // Zero renders as (trimmed) space — the row body starts after the
+        // label padding with the count-1 glyph.
+        assert!(row.contains('.'));
+        assert!(s.contains("max = 100"));
+    }
+
+    #[test]
+    fn from_register_stats_has_three_rows() {
+        let stats = RegisterStats {
+            reads: vec![4, 0],
+            writes: vec![1, 1],
+            contention: vec![0, 2],
+        };
+        let s = Heatmap::from_register_stats(&stats).render();
+        assert!(s.contains("reads"));
+        assert!(s.contains("writes"));
+        assert!(s.contains("contention"));
+        assert!(s.lines().next().unwrap().contains("01"));
+    }
+
+    #[test]
+    fn empty_map_is_harmless() {
+        let s = Heatmap::new().render();
+        assert!(s.contains("max = 0"));
+    }
+
+    #[test]
+    fn glyphs_are_monotone() {
+        let max = 1000;
+        let mut prev = 0u32;
+        for count in [0, 1, 10, 100, 500, 1000] {
+            let g = Heatmap::glyph(count, max);
+            let rank = RAMP.chars().position(|c| c == g).unwrap() as u32;
+            assert!(rank >= prev, "ramp must not cool as counts grow");
+            prev = rank;
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! A hand-rolled JSON value, writer and parser.
+//!
+//! The workspace builds offline with **zero external dependencies**
+//! (README, "Offline builds"), so it cannot use `serde`. Observability
+//! needs exactly one wire format — JSON Lines — and this module implements
+//! the small subset of JSON it requires: UTF-8 strings, `u64`/`i64`/`f64`
+//! numbers, arrays and insertion-ordered objects. The parser is a strict
+//! recursive-descent reader used by the schema validator and the trace
+//! importer; round-tripping a [`Json`] through [`Json::render`] and
+//! [`Json::parse`] is lossless for everything the schema emits.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order (the schema's field
+/// order is part of its golden file), and integers are kept apart from
+/// floats so `u64` register values survive a round-trip bit-exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the common case: counters, ids, values).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float (only produced for measured quantities, never for ids).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any kind of number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact single-line JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Json::I64(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Json::F64(x) => {
+                // JSON has no NaN/Inf; clamp to null like every encoder does.
+                if x.is_finite() {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a single JSON value from `input` (the whole string must be
+    /// consumed, modulo surrounding whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] locating the first offending byte.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError {
+                pos: parser.pos,
+                reason: "trailing characters after the value",
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse error with the byte offset of the offending input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.reason, self.pos)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8, reason: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError {
+                pos: self.pos,
+                reason,
+            })
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError {
+                pos: self.pos,
+                reason: "invalid literal",
+            })
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError {
+                pos: self.pos,
+                reason: "expected a JSON value",
+            }),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(JsonError {
+                        pos: self.pos,
+                        reason: "expected ',' or ']'",
+                    })
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => {
+                    return Err(JsonError {
+                        pos: self.pos,
+                        reason: "expected ',' or '}'",
+                    })
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the plain run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+                    pos: start,
+                    reason: "invalid UTF-8 in string",
+                })?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError {
+                        pos: self.pos,
+                        reason: "unterminated escape",
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs are not emitted by our writer;
+                            // decode lone BMP escapes only.
+                            out.push(char::from_u32(code).ok_or(JsonError {
+                                pos: self.pos,
+                                reason: "invalid \\u escape",
+                            })?);
+                        }
+                        _ => {
+                            return Err(JsonError {
+                                pos: self.pos - 1,
+                                reason: "unknown escape",
+                            })
+                        }
+                    }
+                }
+                _ => {
+                    return Err(JsonError {
+                        pos: self.pos,
+                        reason: "unterminated string",
+                    })
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or(JsonError {
+                pos: self.pos,
+                reason: "truncated \\u escape",
+            })?;
+            let digit = (b as char).to_digit(16).ok_or(JsonError {
+                pos: self.pos,
+                reason: "non-hex digit in \\u escape",
+            })?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>().map(Json::F64).map_err(|_| JsonError {
+            pos: start,
+            reason: "invalid number",
+        })
+    }
+}
+
+/// Types that can render themselves as a [`Json`] value (the encoder half
+/// of the trace artifact format).
+pub trait JsonEncode {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be reconstructed from a [`Json`] value (the decoder half
+/// of the trace artifact format). Decoding must invert [`JsonEncode`]
+/// exactly — the round-trip property tests in `crates/obs/tests` hold every
+/// implementation to that.
+pub trait JsonDecode: Sized {
+    /// Reconstructs the value, or explains why the JSON does not encode one.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+const NOT_A_U64: JsonError = JsonError {
+    pos: 0,
+    reason: "expected a non-negative integer",
+};
+
+impl JsonEncode for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl JsonDecode for u64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_u64().ok_or(NOT_A_U64)
+    }
+}
+
+impl JsonEncode for u32 {
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(*self))
+    }
+}
+
+impl JsonDecode for u32 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or(NOT_A_U64)
+    }
+}
+
+impl JsonEncode for usize {
+    fn to_json(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+}
+
+impl JsonDecode for usize {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or(NOT_A_U64)
+    }
+}
+
+impl JsonEncode for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl JsonDecode for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_bool().ok_or(JsonError {
+            pos: 0,
+            reason: "expected a bool",
+        })
+    }
+}
+
+impl JsonEncode for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl JsonDecode for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str().map(str::to_string).ok_or(JsonError {
+            pos: 0,
+            reason: "expected a string",
+        })
+    }
+}
+
+impl<T: JsonEncode> JsonEncode for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: JsonDecode> JsonDecode for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: JsonEncode> JsonEncode for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(JsonEncode::to_json).collect())
+    }
+}
+
+impl<T: JsonDecode> JsonDecode for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_arr()
+            .ok_or(JsonError {
+                pos: 0,
+                reason: "expected an array",
+            })?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<A: JsonEncode, B: JsonEncode> JsonEncode for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: JsonDecode, B: JsonDecode> JsonDecode for (A, B) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let items = json.as_arr().ok_or(JsonError {
+            pos: 0,
+            reason: "expected a 2-element array",
+        })?;
+        if items.len() != 2 {
+            return Err(JsonError {
+                pos: 0,
+                reason: "expected a 2-element array",
+            });
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses_scalars() {
+        for value in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::U64(0),
+            Json::U64(u64::MAX),
+            Json::I64(-42),
+            Json::Str("plain".into()),
+            Json::Str("esc \"q\" \\ \n \t \u{1} héllo".into()),
+        ] {
+            let text = value.render();
+            assert_eq!(Json::parse(&text).unwrap(), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn renders_and_reparses_composites() {
+        let value = Json::obj(vec![
+            ("v", Json::U64(1)),
+            ("t", Json::Str("counter".into())),
+            ("items", Json::Arr(vec![Json::U64(1), Json::Null])),
+            ("nested", Json::obj(vec![("x", Json::Bool(false))])),
+        ]);
+        let text = value.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, value);
+        assert_eq!(back.get("t").unwrap().as_str(), Some("counter"));
+        assert_eq!(back.get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(back.get("items").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn floats_render_finitely() {
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::parse("2.5e3").unwrap().as_f64(), Some(2500.0));
+    }
+
+    #[test]
+    fn u64_values_survive_exactly() {
+        let big = u64::MAX;
+        let parsed = Json::parse(&big.to_string()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn codec_roundtrip_for_primitives() {
+        fn roundtrip<T: JsonEncode + JsonDecode + PartialEq + std::fmt::Debug>(v: T) {
+            assert_eq!(
+                T::from_json(&Json::parse(&v.to_json().render()).unwrap()).unwrap(),
+                v
+            );
+        }
+        roundtrip(17u64);
+        roundtrip(9u32);
+        roundtrip(3usize);
+        roundtrip(true);
+        roundtrip("text".to_string());
+        roundtrip(Some(4u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip((7u64, "pair".to_string()));
+    }
+}

@@ -1,0 +1,60 @@
+//! Zero-dependency observability for memory-anonymous substrates.
+//!
+//! The paper's claims are claims about *runs*: how many registers a solo
+//! run touches (§6's covering sets), how long a process runs without
+//! interference before its algorithm must make progress (obstruction
+//! freedom, §2/§4), how the state space grows with processes and
+//! registers. This crate makes those quantities observable on every
+//! execution substrate in the workspace without changing what the
+//! substrates compute:
+//!
+//! * [`Probe`] — the sink trait. Substrates (`anonreg-runtime`'s driver,
+//!   `anonreg-sim`'s explorer, `anonreg-lower`'s covering builder) are
+//!   generic over a probe and emit counters, gauges, histograms, spans and
+//!   events into it. [`NoopProbe`] has [`Probe::ENABLED`]` == false` and
+//!   compiles every hook away — the timing check in `crates/bench`
+//!   holds the default path to the uninstrumented cost. [`MemProbe`]
+//!   aggregates in memory and yields a deterministic
+//!   [`MetricsSnapshot`].
+//! * [`json`] — a hand-rolled JSON value type, writer and strict parser
+//!   (the workspace builds offline; no serde), plus the
+//!   [`JsonEncode`]/[`JsonDecode`] codec traits register values and
+//!   events implement for lossless trace round-trips.
+//! * [`schema`] — the versioned JSONL wire format every tool emits, with
+//!   a validator CI runs against real output.
+//! * [`trace_io`] — `Trace` ⇄ JSONL with a replay schedule, so any
+//!   recorded run is a shareable, re-checkable artifact.
+//! * [`heatmap`] — an ASCII per-register contention heatmap for quick
+//!   terminal triage.
+//!
+//! # Example
+//!
+//! ```
+//! use anonreg_obs::{MemProbe, Metric, Probe};
+//!
+//! let probe = MemProbe::new();
+//! probe.counter(Metric::RegWrite, 3, 1); // physical register 3 written
+//! let snapshot = probe.into_snapshot();
+//! assert_eq!(snapshot.counter_total(Metric::RegWrite), 1);
+//! let jsonl = anonreg_obs::emit::snapshot_to_jsonl(&snapshot);
+//! anonreg_obs::schema::validate_jsonl(&jsonl).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod heatmap;
+pub mod json;
+pub mod probe;
+pub mod schema;
+pub mod trace_io;
+
+pub use heatmap::Heatmap;
+pub use json::{Json, JsonDecode, JsonEncode, JsonError};
+pub use probe::{
+    EventRecord, GaugeStat, HistogramStat, MemProbe, Metric, MetricsSnapshot, NoopProbe, Probe,
+    Span, SpanRecord,
+};
+pub use schema::{SchemaError, SCHEMA_VERSION};
+pub use trace_io::{register_stats, schedule_of, trace_from_jsonl, trace_to_jsonl, TraceMeta};

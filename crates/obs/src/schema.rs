@@ -1,0 +1,302 @@
+//! The versioned JSONL wire schema and its validator.
+//!
+//! Every line an anonreg tool emits is a single JSON object carrying the
+//! schema version in `"v"` and a line type in `"t"`. Schema v1 defines:
+//!
+//! | `t`          | required fields                                          |
+//! |--------------|----------------------------------------------------------|
+//! | `meta`       | `tool` (str); free extra fields                          |
+//! | `counter`    | `name` (str), `key` (u64), `value` (u64)                 |
+//! | `gauge`      | `name` (str), `key`, `last`, `max`, `samples` (u64)      |
+//! | `hist`       | `name` (str), `key`, `count`, `sum`, `min`, `max` (u64), `buckets` (arr of u64) |
+//! | `span`       | `name` (str), `key` (u64), `length` (u64)                |
+//! | `event`      | `name` (str), `fields` (obj of u64)                      |
+//! | `bench`      | `experiment` (str), `family` (str), `name` (str), `value` (num), `unit` (str) |
+//! | `trace_meta` | `procs` (u64), `registers` (u64), `ops` (u64)            |
+//! | `op`         | `proc` (u64), `pid` (u64), `kind` (str: `read`/`write`/`event`/`halt`) |
+//!
+//! [`validate_line`] and [`validate_jsonl`] enforce exactly this table;
+//! the golden-file test in `crates/obs/tests` pins concrete encodings so
+//! the format cannot drift without a deliberate version bump.
+
+use crate::json::{Json, JsonError};
+
+/// The current wire schema version. Bump when any line shape changes
+/// incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A schema violation found by [`validate_line`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaError {
+    /// 1-based line number within the validated document (1 for a single
+    /// line).
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn err(line: usize, reason: impl Into<String>) -> SchemaError {
+    SchemaError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_err(line: usize, e: &JsonError) -> SchemaError {
+    err(
+        line,
+        format!("invalid JSON at byte {}: {}", e.pos, e.reason),
+    )
+}
+
+fn require_u64(obj: &Json, field: &str, line: usize) -> Result<u64, SchemaError> {
+    obj.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(line, format!("missing or non-u64 field `{field}`")))
+}
+
+fn require_str<'a>(obj: &'a Json, field: &str, line: usize) -> Result<&'a str, SchemaError> {
+    obj.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err(line, format!("missing or non-string field `{field}`")))
+}
+
+fn require_num(obj: &Json, field: &str, line: usize) -> Result<f64, SchemaError> {
+    obj.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err(line, format!("missing or non-numeric field `{field}`")))
+}
+
+/// Validates one already-parsed JSONL object against schema v1.
+///
+/// # Errors
+///
+/// Returns the first violation found, tagged with `line` (1-based).
+pub fn validate_value(value: &Json, line: usize) -> Result<(), SchemaError> {
+    if !matches!(value, Json::Obj(_)) {
+        return Err(err(line, "line is not a JSON object"));
+    }
+    let v = require_u64(value, "v", line)?;
+    if v != SCHEMA_VERSION {
+        return Err(err(
+            line,
+            format!("unsupported schema version {v} (expected {SCHEMA_VERSION})"),
+        ));
+    }
+    let t = require_str(value, "t", line)?;
+    match t {
+        "meta" => {
+            require_str(value, "tool", line)?;
+        }
+        "counter" => {
+            require_str(value, "name", line)?;
+            require_u64(value, "key", line)?;
+            require_u64(value, "value", line)?;
+        }
+        "gauge" => {
+            require_str(value, "name", line)?;
+            for field in ["key", "last", "max", "samples"] {
+                require_u64(value, field, line)?;
+            }
+        }
+        "hist" => {
+            require_str(value, "name", line)?;
+            for field in ["key", "count", "sum", "min", "max"] {
+                require_u64(value, field, line)?;
+            }
+            let buckets = value
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err(line, "missing or non-array field `buckets`"))?;
+            if buckets.iter().any(|b| b.as_u64().is_none()) {
+                return Err(err(line, "non-u64 entry in `buckets`"));
+            }
+        }
+        "span" => {
+            require_str(value, "name", line)?;
+            require_u64(value, "key", line)?;
+            require_u64(value, "length", line)?;
+        }
+        "event" => {
+            require_str(value, "name", line)?;
+            let fields = value
+                .get("fields")
+                .ok_or_else(|| err(line, "missing field `fields`"))?;
+            match fields {
+                Json::Obj(entries) => {
+                    if entries.iter().any(|(_, v)| v.as_u64().is_none()) {
+                        return Err(err(line, "non-u64 value in `fields`"));
+                    }
+                }
+                _ => return Err(err(line, "field `fields` is not an object")),
+            }
+        }
+        "bench" => {
+            require_str(value, "experiment", line)?;
+            require_str(value, "family", line)?;
+            require_str(value, "name", line)?;
+            require_num(value, "value", line)?;
+            require_str(value, "unit", line)?;
+        }
+        "trace_meta" => {
+            for field in ["procs", "registers", "ops"] {
+                require_u64(value, field, line)?;
+            }
+        }
+        "op" => {
+            require_u64(value, "proc", line)?;
+            require_u64(value, "pid", line)?;
+            let kind = require_str(value, "kind", line)?;
+            match kind {
+                "read" | "write" => {
+                    require_u64(value, "local", line)?;
+                    require_u64(value, "physical", line)?;
+                    if value.get("value").is_none() {
+                        return Err(err(line, "missing field `value`"));
+                    }
+                }
+                "event" => {
+                    if value.get("payload").is_none() {
+                        return Err(err(line, "missing field `payload`"));
+                    }
+                }
+                "halt" => {}
+                other => return Err(err(line, format!("unknown op kind `{other}`"))),
+            }
+        }
+        other => return Err(err(line, format!("unknown line type `{other}`"))),
+    }
+    Ok(())
+}
+
+/// Parses and validates one JSONL line against schema v1.
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] (with `line == 1`) if the line is not valid
+/// JSON or violates the schema.
+pub fn validate_line(line: &str) -> Result<(), SchemaError> {
+    let value = Json::parse(line).map_err(|e| parse_err(1, &e))?;
+    validate_value(&value, 1)
+}
+
+/// Validates a whole JSONL document (one object per non-empty line).
+///
+/// Returns the number of validated lines.
+///
+/// # Errors
+///
+/// Returns the first violation, tagged with its 1-based line number.
+pub fn validate_jsonl(text: &str) -> Result<usize, SchemaError> {
+    let mut validated = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(raw).map_err(|e| parse_err(line, &e))?;
+        validate_value(&value, line)?;
+        validated += 1;
+    }
+    Ok(validated)
+}
+
+/// Builds the `meta` header line every emitted document should start
+/// with. `extra` fields ride along verbatim.
+#[must_use]
+pub fn meta_line(tool: &str, extra: &[(&str, Json)]) -> Json {
+    let mut fields = vec![
+        ("v".to_string(), Json::U64(SCHEMA_VERSION)),
+        ("t".to_string(), Json::Str("meta".to_string())),
+        ("tool".to_string(), Json::Str(tool.to_string())),
+    ];
+    for (k, v) in extra {
+        fields.push(((*k).to_string(), v.clone()));
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_every_line_type() {
+        let lines = [
+            r#"{"v":1,"t":"meta","tool":"repro","quick":true}"#,
+            r#"{"v":1,"t":"counter","name":"reg_read","key":0,"value":42}"#,
+            r#"{"v":1,"t":"gauge","name":"explore_frontier","key":0,"last":3,"max":17,"samples":9}"#,
+            r#"{"v":1,"t":"hist","name":"backoff_spins","key":0,"count":2,"sum":10,"min":3,"max":7,"buckets":[0,0,1,1]}"#,
+            r#"{"v":1,"t":"span","name":"solo_run","key":2,"length":14}"#,
+            r#"{"v":1,"t":"event","name":"explore_done","fields":{"states":5}}"#,
+            r#"{"v":1,"t":"bench","experiment":"E1","family":"mutex","name":"states","value":1234,"unit":"states"}"#,
+            r#"{"v":1,"t":"trace_meta","procs":2,"registers":3,"ops":10}"#,
+            r#"{"v":1,"t":"op","proc":0,"pid":7,"kind":"read","local":1,"physical":2,"value":0}"#,
+            r#"{"v":1,"t":"op","proc":0,"pid":7,"kind":"write","local":1,"physical":2,"value":9}"#,
+            r#"{"v":1,"t":"op","proc":1,"pid":9,"kind":"event","payload":"Enter"}"#,
+            r#"{"v":1,"t":"op","proc":1,"pid":9,"kind":"halt"}"#,
+        ];
+        for line in lines {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let doc = lines.join("\n");
+        assert_eq!(validate_jsonl(&doc).unwrap(), lines.len());
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        let cases = [
+            ("not json at all", "invalid JSON"),
+            (r#"[1,2,3]"#, "not a JSON object"),
+            (r#"{"t":"counter","name":"x","key":0,"value":1}"#, "`v`"),
+            (
+                r#"{"v":2,"t":"meta","tool":"x"}"#,
+                "unsupported schema version",
+            ),
+            (r#"{"v":1,"t":"mystery"}"#, "unknown line type"),
+            (r#"{"v":1,"t":"counter","name":"x","key":0}"#, "`value`"),
+            (
+                r#"{"v":1,"t":"hist","name":"x","key":0,"count":1,"sum":1,"min":1,"max":1,"buckets":[1,"no"]}"#,
+                "non-u64 entry",
+            ),
+            (
+                r#"{"v":1,"t":"op","proc":0,"pid":1,"kind":"jump"}"#,
+                "unknown op kind",
+            ),
+            (
+                r#"{"v":1,"t":"bench","experiment":"E1","family":"mutex","name":"x","value":"high","unit":"u"}"#,
+                "non-numeric field `value`",
+            ),
+        ];
+        for (line, needle) in cases {
+            let e = validate_line(line).unwrap_err();
+            assert!(
+                e.reason.contains(needle),
+                "{line}: expected `{needle}` in `{}`",
+                e.reason
+            );
+        }
+    }
+
+    #[test]
+    fn validate_jsonl_reports_line_numbers() {
+        let doc = "{\"v\":1,\"t\":\"meta\",\"tool\":\"x\"}\n\n{\"v\":1,\"t\":\"nope\"}\n";
+        let e = validate_jsonl(doc).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn meta_line_is_valid() {
+        let line = meta_line("check", &[("mode", Json::Str("obs".into()))]);
+        validate_value(&line, 1).unwrap();
+        assert_eq!(line.get("mode").and_then(Json::as_str), Some("obs"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Lossless JSONL export/import for [`Trace`]s.
+//!
+//! A serialized trace is a shareable artifact: a `trace_meta` header line
+//! followed by one `op` line per recorded step, all schema-v1 (see
+//! [`crate::schema`]). Because machines are deterministic, the schedule
+//! recovered from a trace ([`schedule_of`]) replays the whole run — export
+//! a counterexample on one machine, `check obs --replay` it on another.
+
+use anonreg_model::trace::{Trace, TraceOp};
+use anonreg_model::Pid;
+
+use crate::json::{Json, JsonDecode, JsonEncode, JsonError};
+use crate::schema::SCHEMA_VERSION;
+
+/// Summary facts about a serialized trace, from its header line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Number of process slots (max `proc` + 1).
+    pub procs: u64,
+    /// Number of physical registers touched (max `physical` + 1; 0 if the
+    /// run never touched memory).
+    pub registers: u64,
+    /// Number of recorded steps.
+    pub ops: u64,
+}
+
+fn line(fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("v".to_string(), Json::U64(SCHEMA_VERSION))];
+    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(all)
+}
+
+/// Computes the header facts for a trace.
+#[must_use]
+pub fn trace_meta<V, E>(trace: &Trace<V, E>) -> TraceMeta {
+    let mut procs = 0u64;
+    let mut registers = 0u64;
+    for entry in trace {
+        procs = procs.max(entry.proc as u64 + 1);
+        if let TraceOp::Read { physical, .. } | TraceOp::Write { physical, .. } = entry.op {
+            registers = registers.max(physical as u64 + 1);
+        }
+    }
+    TraceMeta {
+        procs,
+        registers,
+        ops: trace.len() as u64,
+    }
+}
+
+/// Serializes a trace to schema-v1 JSONL: one `trace_meta` header line,
+/// then one `op` line per step, each newline-terminated.
+#[must_use]
+pub fn trace_to_jsonl<V: JsonEncode, E: JsonEncode>(trace: &Trace<V, E>) -> String {
+    let meta = trace_meta(trace);
+    let mut out = String::new();
+    out.push_str(
+        &line(vec![
+            ("t", Json::Str("trace_meta".into())),
+            ("procs", Json::U64(meta.procs)),
+            ("registers", Json::U64(meta.registers)),
+            ("ops", Json::U64(meta.ops)),
+        ])
+        .render(),
+    );
+    out.push('\n');
+    for entry in trace {
+        let mut fields = vec![
+            ("t", Json::Str("op".into())),
+            ("proc", Json::U64(entry.proc as u64)),
+            ("pid", Json::U64(entry.pid.get())),
+        ];
+        match &entry.op {
+            TraceOp::Read {
+                local,
+                physical,
+                value,
+            } => {
+                fields.push(("kind", Json::Str("read".into())));
+                fields.push(("local", Json::U64(*local as u64)));
+                fields.push(("physical", Json::U64(*physical as u64)));
+                fields.push(("value", value.to_json()));
+            }
+            TraceOp::Write {
+                local,
+                physical,
+                value,
+            } => {
+                fields.push(("kind", Json::Str("write".into())));
+                fields.push(("local", Json::U64(*local as u64)));
+                fields.push(("physical", Json::U64(*physical as u64)));
+                fields.push(("value", value.to_json()));
+            }
+            TraceOp::Event(e) => {
+                fields.push(("kind", Json::Str("event".into())));
+                fields.push(("payload", e.to_json()));
+            }
+            TraceOp::Halt => {
+                fields.push(("kind", Json::Str("halt".into())));
+            }
+        }
+        out.push_str(&line(fields).render());
+        out.push('\n');
+    }
+    out
+}
+
+fn field_err(reason: &'static str) -> JsonError {
+    JsonError { pos: 0, reason }
+}
+
+fn get_u64(obj: &Json, key: &str, reason: &'static str) -> Result<u64, JsonError> {
+    obj.get(key).and_then(Json::as_u64).ok_or(field_err(reason))
+}
+
+fn get_usize(obj: &Json, key: &str, reason: &'static str) -> Result<usize, JsonError> {
+    usize::try_from(get_u64(obj, key, reason)?).map_err(|_| field_err(reason))
+}
+
+/// Deserializes a trace previously written by [`trace_to_jsonl`].
+///
+/// The header is checked against the op lines that follow (declared `ops`
+/// must match), so a truncated file is rejected rather than silently
+/// yielding a shorter run.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed JSON, a missing/mismatched
+/// header, an unknown op kind, or undecodable values.
+pub fn trace_from_jsonl<V: JsonDecode, E: JsonDecode>(
+    text: &str,
+) -> Result<Trace<V, E>, JsonError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(field_err("empty document"))?;
+    let header = Json::parse(header)?;
+    if header.get("t").and_then(Json::as_str) != Some("trace_meta") {
+        return Err(field_err("first line is not a trace_meta header"));
+    }
+    if get_u64(&header, "v", "missing schema version")? != SCHEMA_VERSION {
+        return Err(field_err("unsupported schema version"));
+    }
+    let declared_ops = get_u64(&header, "ops", "missing `ops` in header")?;
+    let mut trace = Trace::new();
+    for raw in lines {
+        let obj = Json::parse(raw)?;
+        if obj.get("t").and_then(Json::as_str) != Some("op") {
+            return Err(field_err("non-op line after header"));
+        }
+        let proc = get_usize(&obj, "proc", "missing or invalid `proc`")?;
+        let pid = Pid::new(get_u64(&obj, "pid", "missing `pid`")?)
+            .ok_or(field_err("pid must be nonzero"))?;
+        let kind = obj
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or(field_err("missing `kind`"))?;
+        let op = match kind {
+            "read" | "write" => {
+                let local = get_usize(&obj, "local", "missing or invalid `local`")?;
+                let physical = get_usize(&obj, "physical", "missing or invalid `physical`")?;
+                let value = V::from_json(obj.get("value").ok_or(field_err("missing `value`"))?)?;
+                if kind == "read" {
+                    TraceOp::Read {
+                        local,
+                        physical,
+                        value,
+                    }
+                } else {
+                    TraceOp::Write {
+                        local,
+                        physical,
+                        value,
+                    }
+                }
+            }
+            "event" => TraceOp::Event(E::from_json(
+                obj.get("payload").ok_or(field_err("missing `payload`"))?,
+            )?),
+            "halt" => TraceOp::Halt,
+            _ => return Err(field_err("unknown op kind")),
+        };
+        trace.record(proc, pid, op);
+    }
+    if trace.len() as u64 != declared_ops {
+        return Err(field_err(
+            "op count does not match header (truncated file?)",
+        ));
+    }
+    Ok(trace)
+}
+
+/// Recovers the replay schedule from a trace: the sequence of process
+/// slots, one per recorded step. Feeding this back to the simulator
+/// reproduces the run exactly (machines are deterministic).
+#[must_use]
+pub fn schedule_of<V, E>(trace: &Trace<V, E>) -> Vec<usize> {
+    trace.iter().map(|entry| entry.proc).collect()
+}
+
+/// Per-physical-register activity derived from a trace — the input to the
+/// contention heatmap.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegisterStats {
+    /// `reads[r]` counts reads of physical register `r`.
+    pub reads: Vec<u64>,
+    /// `writes[r]` counts writes of physical register `r`.
+    pub writes: Vec<u64>,
+    /// `contention[r]` counts contended reads of `r`: reads that observed
+    /// a value different from the last value the *same process* read from
+    /// or wrote to `r` — evidence some other process wrote in between,
+    /// which is exactly what the covering arguments (§6) build on.
+    pub contention: Vec<u64>,
+}
+
+/// Computes [`RegisterStats`] for a trace.
+#[must_use]
+pub fn register_stats<V: Clone + PartialEq, E>(trace: &Trace<V, E>) -> RegisterStats {
+    let meta = trace_meta(trace);
+    let registers = meta.registers as usize;
+    let procs = meta.procs as usize;
+    let mut stats = RegisterStats {
+        reads: vec![0; registers],
+        writes: vec![0; registers],
+        contention: vec![0; registers],
+    };
+    // last[proc][reg]: the last value this process read from / wrote to reg.
+    let mut last: Vec<Vec<Option<V>>> = vec![vec![None; registers]; procs];
+    for entry in trace {
+        match &entry.op {
+            TraceOp::Read {
+                physical, value, ..
+            } => {
+                stats.reads[*physical] += 1;
+                if let Some(prev) = &last[entry.proc][*physical] {
+                    if prev != value {
+                        stats.contention[*physical] += 1;
+                    }
+                }
+                last[entry.proc][*physical] = Some(value.clone());
+            }
+            TraceOp::Write {
+                physical, value, ..
+            } => {
+                stats.writes[*physical] += 1;
+                last[entry.proc][*physical] = Some(value.clone());
+            }
+            TraceOp::Event(_) | TraceOp::Halt => {}
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn sample() -> Trace<u64, u32> {
+        let mut t = Trace::new();
+        t.record(
+            0,
+            pid(10),
+            TraceOp::Write {
+                local: 0,
+                physical: 2,
+                value: 7,
+            },
+        );
+        t.record(
+            1,
+            pid(20),
+            TraceOp::Read {
+                local: 1,
+                physical: 2,
+                value: 7,
+            },
+        );
+        t.record(0, pid(10), TraceOp::Event(99));
+        t.record(1, pid(20), TraceOp::Halt);
+        t
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let t = sample();
+        let jsonl = trace_to_jsonl(&t);
+        let back: Trace<u64, u32> = trace_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn meta_counts_procs_registers_ops() {
+        let meta = trace_meta(&sample());
+        assert_eq!(
+            meta,
+            TraceMeta {
+                procs: 2,
+                registers: 3,
+                ops: 4
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_is_proc_sequence() {
+        assert_eq!(schedule_of(&sample()), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let jsonl = trace_to_jsonl(&sample());
+        let truncated: String = jsonl.lines().take(3).collect::<Vec<_>>().join("\n");
+        let err = trace_from_jsonl::<u64, u32>(&truncated).unwrap_err();
+        assert!(err.reason.contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let jsonl = trace_to_jsonl(&sample());
+        let body: String = jsonl.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(trace_from_jsonl::<u64, u32>(&body).is_err());
+        assert!(trace_from_jsonl::<u64, u32>("").is_err());
+    }
+
+    #[test]
+    fn register_stats_count_contention() {
+        let mut t: Trace<u64, u32> = Trace::new();
+        // p0 writes 5 to reg 0; p1 reads 5 (first sight, no contention),
+        // p0 writes 9, p1 reads 9 (differs from its last view: contended).
+        t.record(
+            0,
+            pid(1),
+            TraceOp::Write {
+                local: 0,
+                physical: 0,
+                value: 5,
+            },
+        );
+        t.record(
+            1,
+            pid(2),
+            TraceOp::Read {
+                local: 0,
+                physical: 0,
+                value: 5,
+            },
+        );
+        t.record(
+            0,
+            pid(1),
+            TraceOp::Write {
+                local: 0,
+                physical: 0,
+                value: 9,
+            },
+        );
+        t.record(
+            1,
+            pid(2),
+            TraceOp::Read {
+                local: 0,
+                physical: 0,
+                value: 9,
+            },
+        );
+        let stats = register_stats(&t);
+        assert_eq!(stats.reads, vec![2]);
+        assert_eq!(stats.writes, vec![2]);
+        assert_eq!(stats.contention, vec![1]);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t: Trace<u64, u32> = Trace::new();
+        let back: Trace<u64, u32> = trace_from_jsonl(&trace_to_jsonl(&t)).unwrap();
+        assert_eq!(back, t);
+        assert!(register_stats(&t).reads.is_empty());
+    }
+}

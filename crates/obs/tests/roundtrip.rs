@@ -1,0 +1,119 @@
+//! JSONL round-trip property test and the golden-file schema pin.
+//!
+//! The property test drives `Trace` → JSONL → `Trace` over pseudo-random
+//! traces; the golden file pins the exact byte encoding of schema v1 so
+//! the format cannot drift without someone editing `golden_v1.jsonl`
+//! deliberately (which is the intended signal for a schema bump).
+
+use anonreg_model::rng::Rng64;
+use anonreg_model::trace::{Trace, TraceOp};
+use anonreg_model::Pid;
+use anonreg_obs::schema::{validate_jsonl, SCHEMA_VERSION};
+use anonreg_obs::{trace_from_jsonl, trace_to_jsonl};
+
+fn random_trace(rng: &mut Rng64, procs: usize, registers: usize, ops: usize) -> Trace<u64, u32> {
+    let mut trace = Trace::new();
+    for _ in 0..ops {
+        let proc = rng.gen_index(procs);
+        let pid = Pid::new(proc as u64 * 17 + 3).unwrap();
+        let op = match rng.gen_index(10) {
+            0 => TraceOp::Event(rng.next_u64() as u32),
+            1 => TraceOp::Halt,
+            k => {
+                let local = rng.gen_index(registers);
+                let physical = rng.gen_index(registers);
+                let value = rng.next_u64();
+                if k % 2 == 0 {
+                    TraceOp::Read {
+                        local,
+                        physical,
+                        value,
+                    }
+                } else {
+                    TraceOp::Write {
+                        local,
+                        physical,
+                        value,
+                    }
+                }
+            }
+        };
+        trace.record(proc, pid, op);
+    }
+    trace
+}
+
+#[test]
+fn random_traces_round_trip_losslessly() {
+    let mut rng = Rng64::seed_from_u64(0x0b5e_41ab);
+    for case in 0..64 {
+        let procs = 1 + case % 5;
+        let registers = 1 + case % 7;
+        let ops = case * 3;
+        let trace = random_trace(&mut rng, procs, registers, ops);
+        let jsonl = trace_to_jsonl(&trace);
+        // Every emitted line must also pass the public schema validator.
+        assert_eq!(validate_jsonl(&jsonl).unwrap(), trace.len() + 1);
+        let back: Trace<u64, u32> = trace_from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, trace, "case {case} did not round-trip");
+    }
+}
+
+#[test]
+fn extreme_values_round_trip() {
+    let mut trace: Trace<u64, u32> = Trace::new();
+    trace.record(
+        0,
+        Pid::new(u64::MAX).unwrap(),
+        TraceOp::Write {
+            local: 0,
+            physical: 0,
+            value: u64::MAX,
+        },
+    );
+    trace.record(0, Pid::new(u64::MAX).unwrap(), TraceOp::Event(u32::MAX));
+    let back: Trace<u64, u32> = trace_from_jsonl(&trace_to_jsonl(&trace)).unwrap();
+    assert_eq!(back, trace);
+}
+
+/// The golden encoding of a small fixed trace. If this test fails, the
+/// wire format changed: either revert the change or bump
+/// `SCHEMA_VERSION` and regenerate the golden file.
+#[test]
+fn golden_file_pins_schema_v1() {
+    assert_eq!(SCHEMA_VERSION, 1, "golden file is for schema v1");
+    let mut trace: Trace<u64, u32> = Trace::new();
+    let p0 = Pid::new(10).unwrap();
+    let p1 = Pid::new(20).unwrap();
+    trace.record(
+        0,
+        p0,
+        TraceOp::Write {
+            local: 0,
+            physical: 2,
+            value: 7,
+        },
+    );
+    trace.record(
+        1,
+        p1,
+        TraceOp::Read {
+            local: 1,
+            physical: 2,
+            value: 7,
+        },
+    );
+    trace.record(0, p0, TraceOp::Event(99));
+    trace.record(1, p1, TraceOp::Halt);
+
+    let emitted = trace_to_jsonl(&trace);
+    let golden = include_str!("golden_v1.jsonl");
+    assert_eq!(
+        emitted, golden,
+        "JSONL wire format drifted from tests/golden_v1.jsonl"
+    );
+    // And the golden bytes themselves decode and validate.
+    let back: Trace<u64, u32> = trace_from_jsonl(golden).unwrap();
+    assert_eq!(back, trace);
+    validate_jsonl(golden).unwrap();
+}

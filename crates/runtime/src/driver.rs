@@ -4,6 +4,7 @@ use std::fmt;
 
 use anonreg_model::rng::Rng64;
 use anonreg_model::{Machine, Step};
+use anonreg_obs::{Metric, NoopProbe, Probe, Span};
 
 use crate::{MemoryView, Register};
 
@@ -43,6 +44,12 @@ pub struct DriverReport {
     pub reads: u64,
     /// Atomic writes performed.
     pub writes: u64,
+    /// Times the randomized backoff ran (0 unless backoff is enabled).
+    pub backoff_invocations: u64,
+    /// Total spin-loop iterations across all backoffs.
+    pub spin_iterations: u64,
+    /// Events the machine emitted.
+    pub events: u64,
 }
 
 impl DriverReport {
@@ -59,7 +66,20 @@ impl DriverReport {
 /// loop: it answers the machine's `Read`/`Write` steps with atomic register
 /// operations (translated through the thread's private view), collects
 /// events, and optionally backs off after writes.
-pub struct Driver<M: Machine, R> {
+///
+/// Drivers are generic over a [`Probe`]; the default [`NoopProbe`] has
+/// `ENABLED == false`, so all instrumentation — including the per-register
+/// bookkeeping behind contention detection — compiles away. With a live
+/// probe (see [`with_probe`](Driver::with_probe)) the driver emits, per
+/// physical register, read/write/contention counters, plus backoff-spin
+/// histograms and solo-window spans keyed by the process identifier. A
+/// *contended read* observes a value different from the last value this
+/// process itself read from or wrote to that register — unambiguous
+/// evidence of interference, measurable without any global clock. A *solo
+/// window* is a maximal run of memory operations without such evidence:
+/// the empirical counterpart of the solo intervals obstruction freedom
+/// (paper §2, §4) quantifies over.
+pub struct Driver<M: Machine, R, P: Probe = NoopProbe> {
     machine: M,
     view: MemoryView<R>,
     pending: Option<M::Value>,
@@ -68,14 +88,21 @@ pub struct Driver<M: Machine, R> {
     current_spins: u32,
     report: DriverReport,
     halted: bool,
+    probe: P,
+    /// Per-physical-register last value this process saw; maintained only
+    /// when the probe is enabled.
+    last_seen: Vec<Option<M::Value>>,
+    /// Memory ops in the current contention-free window.
+    solo_window: u64,
 }
 
-impl<M, R> Driver<M, R>
+impl<M, R> Driver<M, R, NoopProbe>
 where
     M: Machine,
     R: Register<M::Value>,
 {
-    /// Creates a driver for `machine` over `view`.
+    /// Creates a driver for `machine` over `view`, with the zero-cost
+    /// no-op probe.
     ///
     /// # Panics
     ///
@@ -97,6 +124,44 @@ where
             current_spins: 0,
             report: DriverReport::default(),
             halted: false,
+            probe: NoopProbe,
+            last_seen: Vec::new(),
+            solo_window: 0,
+        }
+    }
+}
+
+impl<M, R, P> Driver<M, R, P>
+where
+    M: Machine,
+    R: Register<M::Value>,
+    P: Probe,
+{
+    /// Replaces the driver's probe, enabling (or re-disabling)
+    /// instrumentation. Typically called immediately after
+    /// [`new`](Driver::new) with a `&MemProbe` shared across threads.
+    #[must_use]
+    pub fn with_probe<P2: Probe>(self, probe: P2) -> Driver<M, R, P2> {
+        let registers = if P2::ENABLED {
+            self.view.permutation().len()
+        } else {
+            0
+        };
+        if P2::ENABLED {
+            probe.span_open(Span::SoloWindow, self.machine.pid().get());
+        }
+        Driver {
+            machine: self.machine,
+            view: self.view,
+            pending: self.pending,
+            backoff: self.backoff,
+            rng: self.rng,
+            current_spins: self.current_spins,
+            report: self.report,
+            halted: self.halted,
+            probe,
+            last_seen: vec![None; registers],
+            solo_window: 0,
         }
     }
 
@@ -141,18 +206,14 @@ where
                 return None;
             }
             match self.machine.resume(self.pending.take()) {
-                Step::Read(local) => {
-                    self.report.reads += 1;
-                    self.pending = Some(self.view.read(local));
+                Step::Read(local) => self.do_read(local),
+                Step::Write(local, value) => self.do_write(local, value),
+                Step::Event(event) => {
+                    self.report.events += 1;
+                    return Some(event);
                 }
-                Step::Write(local, value) => {
-                    self.report.writes += 1;
-                    self.view.write(local, value);
-                    self.spin_backoff();
-                }
-                Step::Event(event) => return Some(event),
                 Step::Halt => {
-                    self.halted = true;
+                    self.do_halt();
                     return None;
                 }
             }
@@ -173,17 +234,10 @@ where
                 return false;
             }
             match self.machine.resume(self.pending.take()) {
-                Step::Read(local) => {
-                    self.report.reads += 1;
-                    self.pending = Some(self.view.read(local));
-                }
-                Step::Write(local, value) => {
-                    self.report.writes += 1;
-                    self.view.write(local, value);
-                    self.spin_backoff();
-                }
-                Step::Event(_) => {}
-                Step::Halt => self.halted = true,
+                Step::Read(local) => self.do_read(local),
+                Step::Write(local, value) => self.do_write(local, value),
+                Step::Event(_) => self.report.events += 1,
+                Step::Halt => self.do_halt(),
             }
         }
     }
@@ -204,17 +258,10 @@ where
                 return false;
             }
             match self.machine.resume(self.pending.take()) {
-                Step::Read(local) => {
-                    self.report.reads += 1;
-                    self.pending = Some(self.view.read(local));
-                }
-                Step::Write(local, value) => {
-                    self.report.writes += 1;
-                    self.view.write(local, value);
-                    self.spin_backoff();
-                }
-                Step::Event(_) => {}
-                Step::Halt => self.halted = true,
+                Step::Read(local) => self.do_read(local),
+                Step::Write(local, value) => self.do_write(local, value),
+                Step::Event(_) => self.report.events += 1,
+                Step::Halt => self.do_halt(),
             }
         }
     }
@@ -234,9 +281,63 @@ where
         (self.machine, self.report)
     }
 
+    fn do_read(&mut self, local: usize) {
+        self.report.reads += 1;
+        let value = self.view.read(local);
+        if P::ENABLED {
+            let physical = self.view.permutation().physical(local);
+            self.probe.counter(Metric::RegRead, physical as u64, 1);
+            self.solo_window += 1;
+            if let Some(prev) = &self.last_seen[physical] {
+                if *prev != value {
+                    // Someone else wrote since we last touched this
+                    // register: contention, and the end of a solo window.
+                    self.probe
+                        .counter(Metric::RegContention, physical as u64, 1);
+                    let pid = self.machine.pid().get();
+                    self.probe
+                        .span_close(Span::SoloWindow, pid, self.solo_window);
+                    self.probe.span_open(Span::SoloWindow, pid);
+                    self.solo_window = 0;
+                }
+            }
+            self.last_seen[physical] = Some(value.clone());
+        }
+        self.pending = Some(value);
+    }
+
+    fn do_write(&mut self, local: usize, value: M::Value) {
+        self.report.writes += 1;
+        if P::ENABLED {
+            let physical = self.view.permutation().physical(local);
+            self.probe.counter(Metric::RegWrite, physical as u64, 1);
+            self.solo_window += 1;
+            self.last_seen[physical] = Some(value.clone());
+        }
+        self.view.write(local, value);
+        self.spin_backoff();
+    }
+
+    fn do_halt(&mut self) {
+        self.halted = true;
+        if P::ENABLED {
+            // Close the trailing (possibly never-contended) solo window.
+            self.probe
+                .span_close(Span::SoloWindow, self.machine.pid().get(), self.solo_window);
+            self.solo_window = 0;
+        }
+    }
+
     fn spin_backoff(&mut self) {
         let Some(backoff) = self.backoff else { return };
         let spins = self.rng.gen_range_inclusive(0, self.current_spins as usize) as u32;
+        self.report.backoff_invocations += 1;
+        self.report.spin_iterations += u64::from(spins);
+        if P::ENABLED {
+            self.probe.counter(Metric::BackoffInvoked, 0, 1);
+            self.probe
+                .histogram(Metric::BackoffSpins, 0, u64::from(spins));
+        }
         for _ in 0..spins {
             std::hint::spin_loop();
         }
@@ -244,7 +345,7 @@ where
     }
 }
 
-impl<M: Machine, R> fmt::Debug for Driver<M, R> {
+impl<M: Machine, R, P: Probe> fmt::Debug for Driver<M, R, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Driver")
             .field("machine", &self.machine)
@@ -260,6 +361,7 @@ mod tests {
     use crate::{AnonymousMemory, PackedAtomicRegister};
     use anonreg::mutex::{AnonMutex, MutexEvent};
     use anonreg_model::{Pid, View};
+    use anonreg_obs::MemProbe;
 
     type Mem = AnonymousMemory<PackedAtomicRegister<u64>>;
 
@@ -328,6 +430,139 @@ mod tests {
         });
         let events = driver.run_to_halt();
         assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn report_counts_events_and_backoff() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(2);
+        let mut driver = Driver::new(machine, mem.view(View::identity(3))).with_backoff(Backoff {
+            min_spins: 2,
+            max_spins: 4,
+        });
+        let events = driver.run_to_halt();
+        let report = driver.report();
+        assert_eq!(report.events, events.len() as u64);
+        assert_eq!(report.events, 4); // Enter/Exit × 2 cycles
+                                      // One backoff per write, all accounted for.
+        assert_eq!(report.backoff_invocations, report.writes);
+        assert!(report.backoff_invocations > 0);
+        // Spins are random in [0, current]; the total must stay below the
+        // per-invocation cap times the invocation count.
+        assert!(report.spin_iterations <= report.backoff_invocations * 4);
+    }
+
+    #[test]
+    fn report_without_backoff_stays_zeroed() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(1);
+        let mut driver = Driver::new(machine, mem.view(View::identity(3)));
+        driver.run_to_halt();
+        assert_eq!(driver.report().backoff_invocations, 0);
+        assert_eq!(driver.report().spin_iterations, 0);
+        assert_eq!(driver.report().events, 2);
+    }
+
+    #[test]
+    fn probed_solo_run_counts_per_register_ops_without_contention() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let machine = AnonMutex::new(pid(1), 3).unwrap().with_cycles(1);
+        let probe = MemProbe::new();
+        let mut driver = Driver::new(machine, mem.view(View::identity(3))).with_probe(&probe);
+        driver.run_to_halt();
+        let report = driver.report().clone();
+        let snap = probe.into_snapshot();
+        // Probe counters agree exactly with the report.
+        assert_eq!(snap.counter_total(Metric::RegRead), report.reads);
+        assert_eq!(snap.counter_total(Metric::RegWrite), report.writes);
+        // A solo run never observes foreign writes.
+        assert_eq!(snap.counter_total(Metric::RegContention), 0);
+        // One solo window spanning the entire run, keyed by pid.
+        let windows: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.span == Span::SoloWindow)
+            .collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].key, 1);
+        assert_eq!(windows[0].length, report.ops());
+    }
+
+    /// Reads local register 0, announces the value, reads it again, halts.
+    /// Deterministic scaffolding for the contention-detection tests.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct ReadTwice {
+        pid: Pid,
+        phase: u8,
+    }
+
+    impl Machine for ReadTwice {
+        type Value = u64;
+        type Event = u64;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, read: Option<u64>) -> Step<u64, u64> {
+            self.phase += 1;
+            match self.phase {
+                1 | 3 => Step::Read(0),
+                2 => Step::Event(read.unwrap()),
+                4 => Step::Event(read.unwrap()),
+                _ => Step::Halt,
+            }
+        }
+    }
+
+    #[test]
+    fn probed_driver_detects_foreign_writes_as_contention() {
+        let mem: Mem = AnonymousMemory::new(1);
+        let machine = ReadTwice {
+            pid: pid(5),
+            phase: 0,
+        };
+        let probe = MemProbe::new();
+        let mut driver = Driver::new(machine, mem.view(View::identity(1))).with_probe(&probe);
+        assert_eq!(driver.run_until_event(), Some(0));
+        // A foreign hand scribbles on the register between our two reads.
+        mem.view(View::identity(1)).write::<u64>(0, 42);
+        assert_eq!(driver.run_until_event(), Some(42));
+        driver.run_to_halt();
+        let snap = probe.into_snapshot();
+        assert_eq!(snap.counter_total(Metric::RegContention), 1);
+        // The contended read ends the first solo window; halting closes
+        // the trailing one: lengths 2 (read, read-that-noticed) and 0.
+        let windows: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.span == Span::SoloWindow)
+            .collect();
+        assert_eq!(windows.len(), 2);
+        assert!(windows.iter().all(|w| w.key == 5));
+        assert_eq!(windows[0].length + windows[1].length, 2);
+    }
+
+    #[test]
+    fn unprobed_driver_sees_the_same_run() {
+        // The same interleaving without a probe: identical events and
+        // report, proving instrumentation never changes semantics.
+        let mem: Mem = AnonymousMemory::new(1);
+        let machine = ReadTwice {
+            pid: pid(5),
+            phase: 0,
+        };
+        let mut driver = Driver::new(machine, mem.view(View::identity(1)));
+        assert_eq!(driver.run_until_event(), Some(0));
+        mem.view(View::identity(1)).write::<u64>(0, 42);
+        assert_eq!(driver.run_until_event(), Some(42));
+        driver.run_to_halt();
+        assert_eq!(driver.report().reads, 2);
+        assert_eq!(driver.report().events, 2);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::fmt;
 use std::hash::Hash;
 
 use anonreg_model::Machine;
+use anonreg_obs::{Metric, NoopProbe, Probe, Span};
 
 use crate::Simulation;
 
@@ -126,14 +127,57 @@ pub fn explore<M>(
 where
     M: Machine + Eq + Hash,
 {
+    explore_probed(initial, limits, &NoopProbe)
+}
+
+/// How often the probed explorer samples its frontier/depth gauges, in
+/// discovered states. Sampling (rather than reporting every state) keeps
+/// the gauges cheap on million-state runs; the final values are always
+/// reported exactly.
+const GAUGE_SAMPLE_EVERY: usize = 1024;
+
+/// [`explore`] with a live [`Probe`].
+///
+/// Emits, per exploration: `explore_states`/`explore_edges`/
+/// `explore_dedup` counters, sampled `explore_frontier`/`explore_depth`
+/// gauges (final values exact), and one `explore` span whose length is
+/// the number of distinct states. With [`NoopProbe`] this is exactly
+/// [`explore`] — the instrumentation compiles away.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::StateLimitExceeded`] if the reachable state
+/// space is larger than `limits.max_states`. The counters emitted up to
+/// that point are still in the probe, so a budget-blown exploration is
+/// still measurable.
+pub fn explore_probed<M, P>(
+    initial: Simulation<M>,
+    limits: &ExploreLimits,
+    probe: &P,
+) -> Result<StateGraph<M>, ExploreError>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
     let mut initial = initial;
     initial.clear_trace();
+
+    if P::ENABLED {
+        probe.span_open(Span::Explore, 0);
+    }
 
     let mut ids: HashMap<_, usize> = HashMap::new();
     let mut states = vec![initial.clone()];
     let mut edges: Vec<Vec<Edge<M::Event>>> = Vec::new();
     let mut parents = vec![None];
     ids.insert(initial.state_key(), 0);
+
+    // Discovery depth per state and the running maximum; maintained only
+    // when the probe is enabled.
+    let mut depths: Vec<u32> = if P::ENABLED { vec![0] } else { Vec::new() };
+    let mut max_depth = 0u32;
+    let mut dedup_hits = 0u64;
+    let mut edge_total = 0u64;
 
     let mut frontier = vec![0usize];
     while let Some(id) = frontier.pop() {
@@ -158,10 +202,21 @@ where
                 next.clear_trace();
                 let key = next.state_key();
                 let target = match ids.get(&key) {
-                    Some(&t) => t,
+                    Some(&t) => {
+                        if P::ENABLED {
+                            dedup_hits += 1;
+                        }
+                        t
+                    }
                     None => {
                         let t = states.len();
                         if t >= limits.max_states {
+                            if P::ENABLED {
+                                report_explore(
+                                    probe, t as u64, edge_total, dedup_hits, &frontier, max_depth,
+                                );
+                                probe.span_close(Span::Explore, 0, t as u64);
+                            }
                             return Err(ExploreError::StateLimitExceeded {
                                 limit: limits.max_states,
                             });
@@ -170,9 +225,21 @@ where
                         states.push(next);
                         parents.push(Some((id, proc, crash)));
                         frontier.push(t);
+                        if P::ENABLED {
+                            let depth = depths[id] + 1;
+                            depths.push(depth);
+                            max_depth = max_depth.max(depth);
+                            if t % GAUGE_SAMPLE_EVERY == 0 {
+                                probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
+                                probe.gauge(Metric::ExploreDepth, 0, u64::from(max_depth));
+                            }
+                        }
                         t
                     }
                 };
+                if P::ENABLED {
+                    edge_total += 1;
+                }
                 out.push(Edge {
                     proc,
                     target,
@@ -189,11 +256,39 @@ where
     }
     edges.resize_with(states.len(), Vec::new);
 
+    if P::ENABLED {
+        report_explore(
+            probe,
+            states.len() as u64,
+            edge_total,
+            dedup_hits,
+            &frontier,
+            max_depth,
+        );
+        probe.span_close(Span::Explore, 0, states.len() as u64);
+    }
+
     Ok(StateGraph {
         states,
         edges,
         parents,
     })
+}
+
+/// Final (exact) gauge/counter emission for one exploration.
+fn report_explore<P: Probe>(
+    probe: &P,
+    states: u64,
+    edges: u64,
+    dedup: u64,
+    frontier: &[usize],
+    max_depth: u32,
+) {
+    probe.counter(Metric::ExploreStates, 0, states);
+    probe.counter(Metric::ExploreEdges, 0, edges);
+    probe.counter(Metric::ExploreDedup, 0, dedup);
+    probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
+    probe.gauge(Metric::ExploreDepth, 0, u64::from(max_depth));
 }
 
 impl<M: Machine> StateGraph<M> {
@@ -779,6 +874,95 @@ mod tests {
         assert!(!graph.nontrivial_sccs().is_empty());
         let livelock = graph.find_fair_livelock(|_| true, |e| *e == "progress");
         assert!(livelock.is_none());
+    }
+
+    #[test]
+    fn probed_explore_reports_exact_counts() {
+        use anonreg_obs::MemProbe;
+        let build = || {
+            Simulation::builder()
+                .process(
+                    Toy {
+                        pid: pid(1),
+                        phase: 0,
+                    },
+                    View::identity(1),
+                )
+                .process(
+                    Toy {
+                        pid: pid(2),
+                        phase: 0,
+                    },
+                    View::identity(1),
+                )
+                .build()
+                .unwrap()
+        };
+        let probe = MemProbe::new();
+        let graph = explore_probed(build(), &ExploreLimits::default(), &probe).unwrap();
+        let snap = probe.into_snapshot();
+        assert_eq!(
+            snap.counter_total(Metric::ExploreStates),
+            graph.state_count() as u64
+        );
+        assert_eq!(
+            snap.counter_total(Metric::ExploreEdges),
+            graph.edge_count() as u64
+        );
+        // Every edge either discovers a state or hits the dedup table
+        // (the initial state is discovered without an edge).
+        assert_eq!(
+            snap.counter_total(Metric::ExploreDedup),
+            graph.edge_count() as u64 - (graph.state_count() as u64 - 1)
+        );
+        // Frontier drained; depth bounded by the longest acyclic path.
+        let frontier = snap.gauge_stat(Metric::ExploreFrontier).unwrap();
+        assert_eq!(frontier.last, 0);
+        let depth = snap.gauge_stat(Metric::ExploreDepth).unwrap();
+        assert!(depth.max >= 1 && depth.max < graph.state_count() as u64);
+        // One explore span, length = states.
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].length, graph.state_count() as u64);
+        // And the probed graph is identical to the unprobed one.
+        let plain = explore(build(), &ExploreLimits::default()).unwrap();
+        assert_eq!(plain.state_count(), graph.state_count());
+        assert_eq!(plain.edge_count(), graph.edge_count());
+    }
+
+    #[test]
+    fn probed_explore_reports_partial_counts_on_limit() {
+        use anonreg_obs::MemProbe;
+        let sim = Simulation::builder()
+            .process(
+                Toy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                Toy {
+                    pid: pid(2),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .build()
+            .unwrap();
+        let probe = MemProbe::new();
+        let err = explore_probed(
+            sim,
+            &ExploreLimits {
+                max_states: 3,
+                ..ExploreLimits::default()
+            },
+            &probe,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExploreError::StateLimitExceeded { limit: 3 });
+        let snap = probe.into_snapshot();
+        assert_eq!(snap.counter_total(Metric::ExploreStates), 3);
+        assert_eq!(snap.spans.len(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::fmt;
 use std::hash::Hash;
 
 use anonreg_model::Machine;
+use anonreg_obs::{Metric, NoopProbe, Probe, Span};
 
 use crate::explore::StateGraph;
 
@@ -68,6 +69,30 @@ pub fn check_obstruction_freedom<M>(
 where
     M: Machine + Eq + Hash,
 {
+    check_obstruction_freedom_probed(graph, budget, &NoopProbe)
+}
+
+/// [`check_obstruction_freedom`] with a live [`Probe`].
+///
+/// Every solo run emits a `solo_run` span (keyed by process slot, length
+/// in memory operations) and a `solo_ops` histogram sample, so the
+/// *distribution* of solo completion costs — not just the maximum the
+/// report keeps — is observable. With [`NoopProbe`] this is exactly
+/// [`check_obstruction_freedom`].
+///
+/// # Errors
+///
+/// Returns an [`ObstructionViolation`] naming the state and process for
+/// which the budget was insufficient.
+pub fn check_obstruction_freedom_probed<M, P>(
+    graph: &StateGraph<M>,
+    budget: usize,
+    probe: &P,
+) -> Result<ObstructionReport, ObstructionViolation>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
     let mut report = ObstructionReport::default();
     for (id, state) in graph.states() {
         for proc in 0..state.process_count() {
@@ -75,8 +100,15 @@ where
                 continue;
             }
             let mut solo = state.clone();
+            if P::ENABLED {
+                probe.span_open(Span::SoloRun, proc as u64);
+            }
             let (ops, halted) = solo.run_solo(proc, budget).expect("slot is valid");
             report.solo_runs += 1;
+            if P::ENABLED {
+                probe.span_close(Span::SoloRun, proc as u64, ops as u64);
+                probe.histogram(Metric::SoloOps, 0, ops as u64);
+            }
             if !halted {
                 return Err(ObstructionViolation {
                     state: id,
@@ -176,6 +208,38 @@ mod tests {
         let report = check_obstruction_freedom(&graph, 10).unwrap();
         assert!(report.solo_runs > 0);
         assert_eq!(report.max_solo_ops, 1);
+    }
+
+    #[test]
+    fn probed_check_samples_every_solo_run() {
+        use anonreg_obs::MemProbe;
+        let sim = Simulation::builder()
+            .process(
+                OneShot {
+                    pid: pid(1),
+                    done: false,
+                },
+                View::identity(1),
+            )
+            .process(
+                OneShot {
+                    pid: pid(2),
+                    done: false,
+                },
+                View::identity(1),
+            )
+            .build()
+            .unwrap();
+        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let probe = MemProbe::new();
+        let report = check_obstruction_freedom_probed(&graph, 10, &probe).unwrap();
+        let snap = probe.into_snapshot();
+        let hist = snap.histogram_stat(Metric::SoloOps).unwrap();
+        assert_eq!(hist.count, report.solo_runs as u64);
+        assert_eq!(hist.max, report.max_solo_ops as u64);
+        assert_eq!(snap.spans.len(), report.solo_runs);
+        // Identical result to the unprobed checker.
+        assert_eq!(check_obstruction_freedom(&graph, 10).unwrap(), report);
     }
 
     #[test]

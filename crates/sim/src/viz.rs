@@ -37,9 +37,34 @@ impl Default for DotOptions {
     }
 }
 
+/// What [`to_dot_with_stats`] left out of a rendering.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DotStats {
+    /// States actually rendered.
+    pub shown_states: usize,
+    /// States omitted because their id was at or beyond
+    /// [`DotOptions::max_states`].
+    pub dropped_states: usize,
+    /// Edges omitted because either endpoint was an omitted state.
+    pub dropped_edges: usize,
+}
+
+impl DotStats {
+    /// `true` when the rendering is the whole graph.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.dropped_states == 0 && self.dropped_edges == 0
+    }
+}
+
 /// Renders the graph in DOT format. `label` produces each state's node
 /// text; event-bearing edges are annotated with their events, crash edges
 /// are dashed.
+///
+/// Equivalent to [`to_dot_with_stats`] with the stats discarded; the
+/// rendered output still carries the truncation comment, so even a caller
+/// that ignores the stats cannot mistake a truncated graph for the whole
+/// state space.
 ///
 /// # Example
 ///
@@ -69,12 +94,33 @@ impl Default for DotOptions {
 /// assert!(dot.starts_with("digraph"));
 /// # Ok::<(), anonreg_sim::SimError>(())
 /// ```
-pub fn to_dot<M, F>(graph: &StateGraph<M>, options: &DotOptions, mut label: F) -> String
+pub fn to_dot<M, F>(graph: &StateGraph<M>, options: &DotOptions, label: F) -> String
+where
+    M: Machine + Eq + Hash,
+    F: FnMut(&Simulation<M>) -> String,
+{
+    to_dot_with_stats(graph, options, label).0
+}
+
+/// Like [`to_dot`], but also reports what was dropped to honor
+/// [`DotOptions::max_states`]. A truncated rendering additionally carries
+/// a `// truncated: …` comment before the closing brace, so the DOT file
+/// itself documents its own incompleteness.
+pub fn to_dot_with_stats<M, F>(
+    graph: &StateGraph<M>,
+    options: &DotOptions,
+    mut label: F,
+) -> (String, DotStats)
 where
     M: Machine + Eq + Hash,
     F: FnMut(&Simulation<M>) -> String,
 {
     let shown = graph.state_count().min(options.max_states);
+    let mut stats = DotStats {
+        shown_states: shown,
+        dropped_states: graph.state_count() - shown,
+        dropped_edges: 0,
+    };
     let mut out = String::new();
     let _ = writeln!(out, "digraph {} {{", options.name);
     let _ = writeln!(out, "  rankdir=LR;");
@@ -94,6 +140,7 @@ where
     for id in 0..shown {
         for edge in graph.edges(id) {
             if edge.target >= shown {
+                stats.dropped_edges += 1;
                 continue;
             }
             let mut attrs = vec![format!("label=\"p{}\"", edge.proc)];
@@ -109,8 +156,23 @@ where
             let _ = writeln!(out, "  s{id} -> s{} [{}];", edge.target, attrs.join(", "));
         }
     }
+    // Edges *from* omitted states are dropped wholesale.
+    for id in shown..graph.state_count() {
+        stats.dropped_edges += graph.edges(id).len();
+    }
+    if !stats.complete() {
+        let _ = writeln!(
+            out,
+            "  // truncated: {} of {} states and {} of {} edges omitted (max_states = {})",
+            stats.dropped_states,
+            graph.state_count(),
+            stats.dropped_edges,
+            graph.edge_count(),
+            options.max_states
+        );
+    }
     let _ = writeln!(out, "}}");
-    out
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -196,6 +258,34 @@ mod tests {
         assert!(dot.contains("digraph demo"));
         assert!(dot.contains("#ffd9d9"));
         assert!(!dot.contains("s1 ["), "states beyond the cap are omitted");
+    }
+
+    #[test]
+    fn stats_account_for_every_dropped_state_and_edge() {
+        let g = graph();
+        // Uncapped: everything shown, no truncation comment.
+        let (dot, stats) = to_dot_with_stats(&g, &DotOptions::default(), |_| "x".into());
+        assert!(stats.complete());
+        assert_eq!(stats.shown_states, g.state_count());
+        assert!(!dot.contains("truncated"));
+        // Capped to one state: the rest (and their edges) are counted.
+        let (dot, stats) = to_dot_with_stats(
+            &g,
+            &DotOptions {
+                max_states: 1,
+                ..DotOptions::default()
+            },
+            |_| "x".into(),
+        );
+        assert!(!stats.complete());
+        assert_eq!(stats.shown_states, 1);
+        assert_eq!(stats.dropped_states, g.state_count() - 1);
+        assert_eq!(stats.dropped_edges, g.edge_count());
+        assert!(dot.contains("// truncated:"), "DOT carries the comment");
+        // The comment is inside the graph body (before the closing brace),
+        // so the file is still valid DOT.
+        let brace = dot.rfind('}').unwrap();
+        assert!(dot.find("// truncated:").unwrap() < brace);
     }
 
     #[test]

@@ -105,6 +105,55 @@ fn mutex_solo_matches_across_substrates() {
 }
 
 #[test]
+fn probe_counters_match_trace_stats_across_substrates() {
+    // The driver's live per-register counters and the register statistics
+    // recomputed from the simulator's recorded trace are two independent
+    // observers of the same solo run; they must agree exactly — including
+    // after a JSONL export/import round trip of the trace.
+    use anonreg_obs::{register_stats, trace_from_jsonl, trace_to_jsonl, MemProbe, Metric};
+
+    for m in [3usize, 5] {
+        let view = View::rotated(m, 1);
+        let machine = AnonMutex::new(pid(3), m).unwrap().with_cycles(2);
+
+        let probe = MemProbe::new();
+        let memory: AnonymousMemory<PackedAtomicRegister<_>> = AnonymousMemory::new(m);
+        let mut driver = Driver::new(machine.clone(), memory.view(view.clone())).with_probe(&probe);
+        driver.run_to_halt();
+        let snapshot = probe.snapshot();
+
+        let mut sim = Simulation::builder()
+            .process(machine, view)
+            .build()
+            .unwrap();
+        sched::round_robin(&mut sim, 1_000_000);
+        assert!(sim.all_halted());
+        let jsonl = trace_to_jsonl(sim.trace());
+        let reimported: anonreg_model::trace::Trace<u64, MutexEvent> =
+            trace_from_jsonl(&jsonl).unwrap();
+        assert_eq!(&reimported, sim.trace());
+        let stats = register_stats(&reimported);
+
+        for (metric, totals) in [
+            (Metric::RegRead, &stats.reads),
+            (Metric::RegWrite, &stats.writes),
+        ] {
+            for (register, &count) in totals.iter().enumerate() {
+                let probed = snapshot
+                    .counter_by_key(metric)
+                    .into_iter()
+                    .find(|&(key, _)| key == register as u64)
+                    .map_or(0, |(_, v)| v);
+                assert_eq!(probed, count, "m={m} register={register} {metric:?}");
+            }
+        }
+        // A solo run never observes foreign writes, on either substrate.
+        assert_eq!(snapshot.counter_total(Metric::RegContention), 0);
+        assert_eq!(stats.contention.iter().sum::<u64>(), 0);
+    }
+}
+
+#[test]
 fn sequential_renaming_matches_across_substrates() {
     // Two processes run back-to-back (no concurrency): both substrates must
     // assign the same names in the same order.

@@ -8,7 +8,7 @@ use anonreg::hybrid::{named_view, HybridMutex};
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::ordered::OrderedMutex;
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn two_proc_sim(m: usize) -> Simulation<AnonMutex> {
@@ -31,7 +31,7 @@ fn bench_explore(c: &mut Criterion) {
     for m in [2usize, 3, 4] {
         group.bench_with_input(BenchmarkId::new("mutex_states", m), &m, |b, &m| {
             b.iter(|| {
-                let graph = explore(two_proc_sim(m), &ExploreLimits::default()).unwrap();
+                let graph = Explorer::new(two_proc_sim(m)).run().unwrap();
                 graph.state_count()
             });
         });
@@ -43,7 +43,7 @@ fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_analysis");
     group.sample_size(10);
     for m in [3usize, 4] {
-        let graph = explore(two_proc_sim(m), &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(two_proc_sim(m)).run().unwrap();
         group.bench_with_input(BenchmarkId::new("safety_scan", m), &m, |b, _| {
             b.iter(|| {
                 graph.find_state(|s| {
@@ -83,9 +83,7 @@ fn bench_extensions(c: &mut Criterion) {
                     )
                     .build()
                     .unwrap();
-                explore(sim, &ExploreLimits::default())
-                    .unwrap()
-                    .state_count()
+                Explorer::new(sim).run().unwrap().state_count()
             });
         });
         group.bench_with_input(BenchmarkId::new("ordered_states", m), &m, |b, &m| {
@@ -101,9 +99,7 @@ fn bench_extensions(c: &mut Criterion) {
                     )
                     .build()
                     .unwrap();
-                explore(sim, &ExploreLimits::default())
-                    .unwrap()
-                    .state_count()
+                Explorer::new(sim).run().unwrap().state_count()
             });
         });
     }

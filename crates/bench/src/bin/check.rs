@@ -23,15 +23,16 @@ use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::ordered::OrderedMutex;
 use anonreg::renaming::AnonRenaming;
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits, StateGraph};
 use anonreg_sim::obstruction::check_obstruction_freedom;
+use anonreg_sim::prelude::*;
 use anonreg_sim::viz::{to_dot, DotOptions};
-use anonreg_sim::Simulation;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: check <mutex|hybrid|ordered|consensus|renaming> [--m N] [--n N] \
-         [--registers N] [--shift N] [--max-states N] [--crashes] [--dot FILE]\n\
+         [--registers N] [--shift N] [--max-states N] [--threads N] [--crashes] [--dot FILE]\n\
+         \x20      check explore [--n N] [--registers N] [--threads N] [--max-states N] \
+         [--json FILE] [--min-speedup X]   parallel-explorer scaling benchmark (E14)\n\
          \x20      check lint <--all|ALGO|fixtures>   static analysis (L1-L6); \
          ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}\n\
          \x20      check obs [--m N] [--shift N] [--entries N] [--max-states N] \
@@ -100,7 +101,6 @@ fn obs_main(raw: &[String]) -> ExitCode {
         Metric, Span,
     };
     use anonreg_runtime::{AnonymousMemory, Backoff, Driver, PackedAtomicRegister};
-    use anonreg_sim::explore::explore_probed;
 
     match raw.first().map(String::as_str) {
         Some("validate") => {
@@ -210,11 +210,12 @@ fn obs_main(raw: &[String]) -> ExitCode {
         )
         .build()
         .unwrap();
-    let limits = ExploreLimits {
+    let limits = ExploreConfig {
         max_states: args.max_states,
         crashes: args.crashes,
+        parallelism: args.threads,
     };
-    if let Err(e) = explore_probed(sim, &limits, &probe) {
+    if let Err(e) = Explorer::new(sim).limits(limits).probe(&probe).run() {
         eprintln!("exploration failed: {e}");
         return ExitCode::FAILURE;
     }
@@ -297,12 +298,100 @@ fn obs_main(raw: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `check explore` — the parallel-explorer scaling benchmark (experiment
+/// E14): explore the Figure 2 consensus space once at 1 thread and once at
+/// `--threads`, refuse to report a speedup unless both runs produce the
+/// exact same state and edge counts, print the scaling table, and
+/// optionally export schema-v1 JSONL (`--json`) or enforce a wall-clock
+/// speedup floor (`--min-speedup`, meant for CI on multi-core hardware).
+fn explore_main(raw: &[String]) -> ExitCode {
+    use anonreg_bench::{benchjson, e14_scaling};
+    use anonreg_obs::schema::meta_line;
+    use anonreg_obs::Json;
+
+    let mut n = 3usize;
+    let mut registers = 2usize;
+    let mut threads = 4usize;
+    let mut max_states = 4_000_000usize;
+    let mut json_path: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--json" => json_path = Some(value.clone()),
+            "--min-speedup" => {
+                let Ok(v) = value.parse::<f64>() else {
+                    return usage();
+                };
+                min_speedup = Some(v);
+            }
+            "--n" | "--registers" | "--threads" | "--max-states" => {
+                let Ok(v) = value.parse::<usize>() else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--n" => n = v,
+                    "--registers" => registers = v,
+                    "--threads" => threads = v,
+                    _ => max_states = v,
+                }
+            }
+            _ => return usage(),
+        }
+    }
+
+    println!(
+        "parallel explorer scaling: Figure 2 consensus, n = {n}, {registers} registers, \
+         1 vs {threads} threads"
+    );
+    let rows = match e14_scaling::rows(n, registers, &[1, threads], max_states) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", e14_scaling::render(&rows));
+    let speedup = rows.last().map_or(1.0, |r| r.speedup_over(&rows[0]));
+
+    if let Some(path) = &json_path {
+        let mut out = meta_line(
+            "check-explore",
+            &[
+                ("n", Json::U64(n as u64)),
+                ("registers", Json::U64(registers as u64)),
+                ("threads", Json::U64(threads as u64)),
+            ],
+        )
+        .render();
+        out.push('\n');
+        out.push_str(&benchjson::to_jsonl(&e14_scaling::metrics(&rows)));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+    if let Some(floor) = min_speedup {
+        if speedup < floor {
+            eprintln!("speedup {speedup:.2}x is below the required {floor:.2}x");
+            return ExitCode::FAILURE;
+        }
+        println!("speedup {speedup:.2}x meets the required {floor:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
 struct Args {
     m: usize,
     n: usize,
     registers: Option<usize>,
     shift: usize,
     max_states: usize,
+    threads: usize,
     crashes: bool,
     dot: Option<String>,
 }
@@ -314,6 +403,7 @@ fn parse(raw: &[String]) -> Option<Args> {
         registers: None,
         shift: 1,
         max_states: 4_000_000,
+        threads: 1,
         crashes: false,
         dot: None,
     };
@@ -341,6 +431,9 @@ fn parse(raw: &[String]) -> Option<Args> {
     }
     if let Some(v) = map.get("--max-states") {
         args.max_states = v.parse().ok()?;
+    }
+    if let Some(v) = map.get("--threads") {
+        args.threads = v.parse().ok()?;
     }
     if let Some(v) = map.get("--dot") {
         args.dot = Some(v.clone());
@@ -428,12 +521,16 @@ fn main() -> ExitCode {
     if kind == "obs" {
         return obs_main(&raw[1..]);
     }
+    if kind == "explore" {
+        return explore_main(&raw[1..]);
+    }
     let Some(args) = parse(&raw[1..]) else {
         return usage();
     };
-    let limits = ExploreLimits {
+    let limits = ExploreConfig {
         max_states: args.max_states,
         crashes: args.crashes,
+        parallelism: args.threads,
     };
 
     match kind.as_str() {
@@ -453,7 +550,7 @@ fn main() -> ExitCode {
                 )
                 .build()
                 .unwrap();
-            match explore(sim, &limits) {
+            match Explorer::new(sim).limits(limits).run() {
                 Ok(graph) => mutex_report(&graph, AnonMutex::section, args.dot.as_deref()),
                 Err(e) => {
                     eprintln!("exploration failed: {e}");
@@ -477,7 +574,7 @@ fn main() -> ExitCode {
                 )
                 .build()
                 .unwrap();
-            match explore(sim, &limits) {
+            match Explorer::new(sim).limits(limits).run() {
                 Ok(graph) => mutex_report(&graph, OrderedMutex::section, args.dot.as_deref()),
                 Err(e) => {
                     eprintln!("exploration failed: {e}");
@@ -502,7 +599,7 @@ fn main() -> ExitCode {
                 )
                 .build()
                 .unwrap();
-            match explore(sim, &limits) {
+            match Explorer::new(sim).limits(limits).run() {
                 Ok(graph) => mutex_report(&graph, HybridMutex::section, args.dot.as_deref()),
                 Err(e) => {
                     eprintln!("exploration failed: {e}");
@@ -532,7 +629,7 @@ fn main() -> ExitCode {
                 );
             }
             let sim = builder.build().unwrap();
-            match explore(sim, &limits) {
+            match Explorer::new(sim).limits(limits).run() {
                 Ok(graph) => {
                     println!(
                         "reachable states: {}  transitions: {}",
@@ -581,7 +678,7 @@ fn main() -> ExitCode {
                 );
             }
             let sim = builder.build().unwrap();
-            match explore(sim, &limits) {
+            match Explorer::new(sim).limits(limits).run() {
                 Ok(graph) => {
                     println!(
                         "reachable states: {}  transitions: {}",

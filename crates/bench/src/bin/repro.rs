@@ -17,8 +17,9 @@ use std::time::Instant;
 
 use anonreg_bench::benchjson::BenchMetric;
 use anonreg_bench::{
-    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e1_parity, e2_ring, e3_consensus,
-    e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
+    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e1_parity, e2_ring,
+    e3_consensus, e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n, e8_election,
+    e9_threads,
 };
 use anonreg_obs::schema::meta_line;
 use anonreg_obs::Json;
@@ -182,6 +183,19 @@ fn main() {
         &|| {
             let rows = e13_ordered::rows(if q { 3 } else { 4 });
             (e13_ordered::render(&rows), e13_ordered::metrics(&rows))
+        },
+    );
+    section(
+        "e14",
+        "parallel explorer thread scaling on Figure 2 consensus",
+        &|| {
+            let rows = if q {
+                e14_scaling::rows(2, 3, &[1, 2], 200_000)
+            } else {
+                e14_scaling::rows(3, 2, &[1, 2, 4], 4_000_000)
+            }
+            .expect("scaling workload exceeded its state limit");
+            (e14_scaling::render(&rows), e14_scaling::metrics(&rows))
         },
     );
 

@@ -12,7 +12,7 @@ use anonreg::hybrid::{named_view, HybridMutex};
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::ordered::OrderedMutex;
 use anonreg::{Machine, Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits, StateGraph};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 use crate::benchjson::{flag, slug, BenchMetric};
@@ -66,7 +66,7 @@ pub fn rows() -> Vec<Row> {
         .process(AnonMutex::new(pid(2), 3).unwrap(), View::identity(3))
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     out.push(Row {
         algo: "Figure 1 (anonymous)",
         registers: "3 anonymous".into(),
@@ -86,7 +86,7 @@ pub fn rows() -> Vec<Row> {
         )
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     out.push(Row {
         algo: "Hybrid (§8)",
         registers: "2 anonymous + 1 named".into(),
@@ -101,7 +101,7 @@ pub fn rows() -> Vec<Row> {
         .process(OrderedMutex::new(pid(2), 2).unwrap(), View::identity(2))
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     out.push(Row {
         algo: "Ordered (§2 comparisons)",
         registers: "2 anonymous".into(),
@@ -115,7 +115,7 @@ pub fn rows() -> Vec<Row> {
         .process_identity(Peterson::new(pid(2), 1).unwrap())
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     out.push(Row {
         algo: "Peterson (named)",
         registers: "3 named".into(),
@@ -129,14 +129,11 @@ pub fn rows() -> Vec<Row> {
         .process_identity(Bakery::new(pid(2), 1, 2).unwrap().with_cycles(3))
         .build()
         .unwrap();
-    let graph = explore(
-        sim,
-        &ExploreLimits {
-            max_states: 4_000_000,
-            crashes: false,
-        },
-    )
-    .unwrap();
+    let graph = Explorer::new(sim)
+        .max_states(4_000_000)
+        .crashes(false)
+        .run()
+        .unwrap();
     out.push(Row {
         algo: "Bakery (named)",
         registers: "4 named".into(),

@@ -10,7 +10,7 @@
 use anonreg::mutex::{MutexEvent, Section};
 use anonreg::ordered::OrderedMutex;
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 use crate::benchjson::{flag, BenchMetric};
@@ -59,14 +59,11 @@ pub fn rows(max_m: usize) -> Vec<Row> {
                     )
                     .build()
                     .expect("uniform configuration");
-                let graph = explore(
-                    sim,
-                    &ExploreLimits {
-                        max_states: 8_000_000,
-                        crashes: false,
-                    },
-                )
-                .expect("ordered-mutex state spaces fit the limit");
+                let graph = Explorer::new(sim)
+                    .max_states(8_000_000)
+                    .crashes(false)
+                    .run()
+                    .expect("ordered-mutex state spaces fit the limit");
                 max_states = max_states.max(graph.state_count());
                 if graph
                     .find_state(|s| {

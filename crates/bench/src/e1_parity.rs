@@ -10,7 +10,7 @@
 
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 use crate::benchjson::{flag, BenchMetric};
@@ -90,14 +90,11 @@ fn row_for(m: usize) -> Row {
             )
             .build()
             .expect("uniform configuration");
-        let graph = explore(
-            sim,
-            &ExploreLimits {
-                max_states: 4_000_000,
-                crashes: false,
-            },
-        )
-        .expect("two-process mutex state spaces fit in the limit");
+        let graph = Explorer::new(sim)
+            .max_states(4_000_000)
+            .crashes(false)
+            .run()
+            .expect("two-process mutex state spaces fit in the limit");
         max_states = max_states.max(graph.state_count());
         let both_in_cs = graph.find_state(|s| {
             s.machines()

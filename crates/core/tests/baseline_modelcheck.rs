@@ -5,7 +5,7 @@
 use anonreg::baseline::{Bakery, LockConsensus, Peterson, SplitterRenaming};
 use anonreg::mutex::{MutexEvent, Section};
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn pid(n: u64) -> Pid {
@@ -19,7 +19,7 @@ fn peterson_is_safe_and_live_with_named_registers() {
         .process_identity(Peterson::new(pid(2), 1).unwrap())
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let both_in_cs = graph.find_state(|s| {
         s.machines()
             .filter(|m| m.section() == Section::Critical)
@@ -48,7 +48,7 @@ fn peterson_breaks_without_agreement_on_register_names() {
         )
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let both_in_cs = graph.find_state(|s| {
         s.machines()
             .filter(|m| m.section() == Section::Critical)
@@ -74,7 +74,7 @@ fn bakery_n2_is_safe_for_one_cycle_each() {
         .process_identity(Bakery::new(pid(2), 1, 2).unwrap().with_cycles(1))
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let both_in_cs = graph.find_state(|s| {
         s.machines()
             .filter(|m| m.section() == Section::Critical)
@@ -101,14 +101,11 @@ fn bakery_n3_is_safe_for_one_cycle_each() {
         .process_identity(Bakery::new(pid(3), 2, 3).unwrap().with_cycles(1))
         .build()
         .unwrap();
-    let graph = explore(
-        sim,
-        &ExploreLimits {
-            max_states: 4_000_000,
-            crashes: false,
-        },
-    )
-    .unwrap();
+    let graph = Explorer::new(sim)
+        .max_states(4_000_000)
+        .crashes(false)
+        .run()
+        .unwrap();
     let both_in_cs = graph.find_state(|s| {
         s.machines()
             .filter(|m| m.section() == Section::Critical)
@@ -129,7 +126,7 @@ fn splitter_n2_names_are_distinct_under_all_interleavings() {
             .build()
             .unwrap()
     };
-    let graph = explore(build(), &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(build()).run().unwrap();
     for (id, state) in graph.states() {
         if !state.all_halted() {
             continue;
@@ -162,7 +159,7 @@ fn lock_consensus_n2_agrees_under_all_interleavings() {
             .build()
             .unwrap()
     };
-    let graph = explore(build(), &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(build()).run().unwrap();
     for (id, state) in graph.states() {
         if !state.all_halted() {
             continue;

@@ -4,8 +4,8 @@
 
 use anonreg::consensus::AnonConsensus;
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::obstruction::check_obstruction_freedom;
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn pid(n: u64) -> Pid {
@@ -35,7 +35,7 @@ fn n2_agreement_holds_in_every_reachable_state() {
     for shift in 0..3 {
         for inputs in [[1u64, 2], [2, 1], [5, 5]] {
             let sim = two_proc_sim(inputs, View::rotated(3, shift));
-            let graph = explore(sim, &ExploreLimits::default()).unwrap();
+            let graph = Explorer::new(sim).run().unwrap();
             let disagreement = graph.find_state(|s| {
                 let d = decided_values(s);
                 d.len() == 2 && d[0] != d[1]
@@ -53,7 +53,7 @@ fn n2_validity_holds_in_every_reachable_state() {
     for shift in 0..3 {
         let inputs = [7u64, 9];
         let sim = two_proc_sim(inputs, View::rotated(3, shift));
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         let invalid = graph.find_state(|s| decided_values(s).iter().any(|v| !inputs.contains(v)));
         assert!(invalid.is_none(), "invalid decision for shift {shift}");
     }
@@ -67,7 +67,7 @@ fn n2_is_obstruction_free_from_every_reachable_state() {
     // can precede that: m·(m+1) + 2m ops in total — 18 for n = 2.
     let m = 3;
     let sim = two_proc_sim([1, 2], View::rotated(3, 1));
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let report = check_obstruction_freedom(&graph, 64).unwrap();
     assert!(report.solo_runs > 0);
     assert!(
@@ -94,7 +94,7 @@ fn too_few_registers_lose_agreement_somewhere() {
         )
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let disagreement = graph.find_state(|s| {
         let d = decided_values(s);
         d.len() == 2 && d[0] != d[1]
@@ -108,7 +108,7 @@ fn too_few_registers_lose_agreement_somewhere() {
 #[test]
 fn same_inputs_decide_that_input_everywhere() {
     let sim = two_proc_sim([4, 4], View::rotated(3, 2));
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let wrong = graph.find_state(|s| decided_values(s).iter().any(|&v| v != 4));
     assert!(wrong.is_none());
 }

@@ -9,8 +9,8 @@ use anonreg::renaming::AnonRenaming;
 use anonreg::spec::{check_consensus, check_renaming};
 use anonreg::{Pid, View};
 use anonreg_model::rng::Rng64;
-use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::obstruction::check_obstruction_freedom;
+use anonreg_sim::prelude::*;
 use anonreg_sim::{sched, Simulation};
 
 fn pid(n: u64) -> Pid {
@@ -35,14 +35,11 @@ fn consensus_n2_agreement_holds_under_exhaustive_crashes() {
             )
             .build()
             .unwrap();
-        let graph = explore(
-            sim,
-            &ExploreLimits {
-                max_states: 2_000_000,
-                crashes: true,
-            },
-        )
-        .unwrap();
+        let graph = Explorer::new(sim)
+            .max_states(2_000_000)
+            .crashes(true)
+            .run()
+            .unwrap();
         let violation = graph.find_state(|s| {
             let decided: Vec<u64> = s
                 .machines()
@@ -69,14 +66,11 @@ fn consensus_survivors_stay_obstruction_free_after_crashes() {
         )
         .build()
         .unwrap();
-    let graph = explore(
-        sim,
-        &ExploreLimits {
-            max_states: 2_000_000,
-            crashes: true,
-        },
-    )
-    .unwrap();
+    let graph = Explorer::new(sim)
+        .max_states(2_000_000)
+        .crashes(true)
+        .run()
+        .unwrap();
     let report = check_obstruction_freedom(&graph, 64).unwrap();
     assert!(report.solo_runs > 0);
     assert!(report.max_solo_ops <= 18);
@@ -130,14 +124,11 @@ fn renaming_n2_uniqueness_holds_under_exhaustive_crashes() {
             .build()
             .unwrap()
     };
-    let graph = explore(
-        build(),
-        &ExploreLimits {
-            max_states: 2_000_000,
-            crashes: true,
-        },
-    )
-    .unwrap();
+    let graph = Explorer::new(build())
+        .max_states(2_000_000)
+        .crashes(true)
+        .run()
+        .unwrap();
     let mut checked = 0;
     for (id, state) in graph.states() {
         if !state.all_halted() {

@@ -5,7 +5,7 @@
 use anonreg::hybrid::{named_view, HybridMutex};
 use anonreg::mutex::{MutexEvent, Section};
 use anonreg::Pid;
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn pid(n: u64) -> Pid {
@@ -35,14 +35,10 @@ fn sim_for(m: usize, shift: usize) -> Simulation<HybridMutex> {
 fn hybrid_is_safe_for_even_and_odd_m_all_rotations() {
     for m in [2usize, 3, 4] {
         for shift in 0..m {
-            let graph = explore(
-                sim_for(m, shift),
-                &ExploreLimits {
-                    max_states: 4_000_000,
-                    ..ExploreLimits::default()
-                },
-            )
-            .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let graph = Explorer::new(sim_for(m, shift))
+                .max_states(4_000_000)
+                .run()
+                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
             let both_in_cs = graph.find_state(|s| {
                 s.machines()
                     .filter(|mach| mach.section() == Section::Critical)
@@ -64,14 +60,10 @@ fn hybrid_is_livelock_free_for_even_and_odd_m_all_rotations() {
     // deadlock-free once a single named register exists.
     for m in [2usize, 3, 4] {
         for shift in 0..m {
-            let graph = explore(
-                sim_for(m, shift),
-                &ExploreLimits {
-                    max_states: 4_000_000,
-                    ..ExploreLimits::default()
-                },
-            )
-            .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let graph = Explorer::new(sim_for(m, shift))
+                .max_states(4_000_000)
+                .run()
+                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
             let livelock = graph.find_fair_livelock(
                 |mach| mach.section() == Section::Entry,
                 |event| *event == MutexEvent::Enter,
@@ -103,14 +95,11 @@ fn abortable_hybrid_preserves_safety() {
                 builder = builder.process(machine, named_view(m, anon).unwrap());
             }
             let sim = builder.build().unwrap();
-            let graph = explore(
-                sim,
-                &ExploreLimits {
-                    max_states: 6_000_000,
-                    crashes: false,
-                },
-            )
-            .unwrap();
+            let graph = Explorer::new(sim)
+                .max_states(6_000_000)
+                .crashes(false)
+                .run()
+                .unwrap();
             let both = graph.find_state(|s| {
                 s.machines()
                     .filter(|mach| mach.section() == Section::Critical)

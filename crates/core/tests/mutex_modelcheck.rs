@@ -4,7 +4,7 @@
 
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn pid(n: u64) -> Pid {
@@ -38,7 +38,7 @@ fn both_in_cs(sim: &Simulation<AnonMutex>) -> bool {
 fn odd_m3_satisfies_mutual_exclusion_and_liveness_for_all_rotations() {
     for view_b in rotations(3) {
         let sim = two_proc_sim(3, View::identity(3), view_b.clone());
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         assert!(
             graph.find_state(both_in_cs).is_none(),
             "mutual exclusion violated for m=3, view_b={view_b}"
@@ -57,7 +57,7 @@ fn odd_m5_spot_check_is_safe_and_live() {
     // here the paper's worst adversary view — ring spacing ⌊m/2⌋ — is
     // checked exhaustively.
     let sim = two_proc_sim(5, View::rotated(5, 0), View::rotated(5, 2));
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     assert!(graph.find_state(both_in_cs).is_none());
     let livelock = graph.find_fair_livelock(
         |mach| mach.section() == Section::Entry,
@@ -74,7 +74,7 @@ fn even_m_livelocks_under_the_ring_adversary() {
     // space is ~2·10⁶.)
     for m in [2, 4] {
         let sim = two_proc_sim(m, View::rotated(m, 0), View::rotated(m, m / 2));
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         let livelock = graph.find_fair_livelock(
             |mach| mach.section() == Section::Entry,
             |event| *event == MutexEvent::Enter,
@@ -90,7 +90,7 @@ fn even_m_still_satisfies_safety() {
     for m in [2, 4] {
         for view_b in rotations(m) {
             let sim = two_proc_sim(m, View::identity(m), view_b.clone());
-            let graph = explore(sim, &ExploreLimits::default()).unwrap();
+            let graph = Explorer::new(sim).run().unwrap();
             assert!(
                 graph.find_state(both_in_cs).is_none(),
                 "mutual exclusion violated for m={m}, view_b={view_b}"
@@ -146,14 +146,11 @@ fn abortable_entries_preserve_safety_everywhere() {
                 builder = builder.process(machine, View::rotated(m, i * (m / 2)));
             }
             let sim = builder.build().unwrap();
-            let graph = explore(
-                sim,
-                &ExploreLimits {
-                    max_states: 6_000_000,
-                    crashes: false,
-                },
-            )
-            .unwrap();
+            let graph = Explorer::new(sim)
+                .max_states(6_000_000)
+                .crashes(false)
+                .run()
+                .unwrap();
             assert!(
                 graph.find_state(both_in_cs).is_none(),
                 "m={m} aborters={aborters:?}"
@@ -177,7 +174,7 @@ fn one_abortable_one_persistent_is_still_live() {
         .process(AnonMutex::new(pid(2), m).unwrap(), View::rotated(m, 1))
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let livelock = graph.find_fair_livelock(
         |mach| mach.section() == Section::Entry,
         |event| *event == MutexEvent::Enter,
@@ -191,7 +188,7 @@ fn counterexample_schedules_replay() {
     // of them and confirm the configuration matches.
     let m = 4;
     let build = || two_proc_sim(m, View::rotated(m, 0), View::rotated(m, m / 2));
-    let graph = explore(build(), &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(build()).run().unwrap();
     let livelock = graph
         .find_fair_livelock(
             |mach| mach.section() == Section::Entry,

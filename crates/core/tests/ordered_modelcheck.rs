@@ -6,7 +6,7 @@
 use anonreg::mutex::{MutexEvent, Section};
 use anonreg::ordered::OrderedMutex;
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn pid(n: u64) -> Pid {
@@ -28,14 +28,11 @@ fn sim_for(m: usize, shift: usize) -> Simulation<OrderedMutex> {
 fn ordered_mutex_is_safe_for_all_small_m_and_rotations() {
     for m in [2usize, 3, 4] {
         for shift in 0..m {
-            let graph = explore(
-                sim_for(m, shift),
-                &ExploreLimits {
-                    max_states: 4_000_000,
-                    crashes: false,
-                },
-            )
-            .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let graph = Explorer::new(sim_for(m, shift))
+                .max_states(4_000_000)
+                .crashes(false)
+                .run()
+                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
             let both_in_cs = graph.find_state(|s| {
                 s.machines()
                     .filter(|mach| mach.section() == Section::Critical)
@@ -55,14 +52,11 @@ fn ordered_mutex_is_safe_for_all_small_m_and_rotations() {
 fn ordered_mutex_is_livelock_free_for_all_small_m_and_rotations() {
     for m in [2usize, 3, 4] {
         for shift in 0..m {
-            let graph = explore(
-                sim_for(m, shift),
-                &ExploreLimits {
-                    max_states: 4_000_000,
-                    crashes: false,
-                },
-            )
-            .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
+            let graph = Explorer::new(sim_for(m, shift))
+                .max_states(4_000_000)
+                .crashes(false)
+                .run()
+                .unwrap_or_else(|e| panic!("m={m} shift={shift}: {e}"));
             let livelock = graph.find_fair_livelock(
                 |mach| mach.section() == Section::Entry,
                 |event| *event == MutexEvent::Enter,

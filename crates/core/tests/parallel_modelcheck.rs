@@ -1,0 +1,256 @@
+//! Cross-family regression: the breadth-parallel explorer must produce a
+//! graph isomorphic to the deterministic sequential engine on every
+//! algorithm family of the reproduction.
+//!
+//! State ids are engine-specific (the parallel engine numbers states in
+//! race order), so equality is checked up to the bijection induced by
+//! state fingerprints: identical state counts, a one-to-one configuration
+//! match, and identical per-state edge multisets under that bijection.
+//! The fairness analyses must then agree verdict-for-verdict regardless
+//! of the numbering.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use anonreg::baseline::Peterson;
+use anonreg::consensus::AnonConsensus;
+use anonreg::election::AnonElection;
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{AnonMutex, MutexEvent, Section};
+use anonreg::ordered::OrderedMutex;
+use anonreg::renaming::AnonRenaming;
+use anonreg::{Machine, Pid, View};
+use anonreg_sim::prelude::*;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+/// Asserts `a` and `b` are the same graph up to state renumbering.
+fn assert_isomorphic<M>(family: &str, threads: usize, a: &StateGraph<M>, b: &StateGraph<M>)
+where
+    M: Machine + Eq + Hash,
+    M::Event: Debug,
+{
+    assert_eq!(
+        a.state_count(),
+        b.state_count(),
+        "{family} at {threads} threads: state counts differ"
+    );
+    assert_eq!(
+        a.edge_count(),
+        b.edge_count(),
+        "{family} at {threads} threads: edge counts differ"
+    );
+
+    // Match each of a's states to a distinct configuration-equal state
+    // of b (fingerprints narrow the candidates; equality decides).
+    let mut by_fp: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (id, state) in b.states() {
+        by_fp.entry(state.fingerprint()).or_default().push(id);
+    }
+    let mut a_to_b = vec![usize::MAX; a.state_count()];
+    let mut used = vec![false; b.state_count()];
+    for (id, state) in a.states() {
+        let candidates = by_fp
+            .get(&state.fingerprint())
+            .map_or(&[][..], Vec::as_slice);
+        let matched = candidates
+            .iter()
+            .copied()
+            .find(|&bid| !used[bid] && state.same_configuration(b.state(bid)));
+        let Some(bid) = matched else {
+            panic!("{family} at {threads} threads: state {id} has no counterpart");
+        };
+        used[bid] = true;
+        a_to_b[id] = bid;
+    }
+    assert_eq!(
+        a_to_b[0], 0,
+        "{family} at {threads} threads: initial states differ"
+    );
+
+    // Per-state edge multisets must agree under the bijection.
+    for (id, _) in a.states() {
+        let to_key = |map: &dyn Fn(usize) -> usize, e: &Edge<M::Event>| {
+            (e.proc, map(e.target), e.crash, format!("{:?}", e.events))
+        };
+        let mut ea: Vec<_> = a
+            .edges(id)
+            .iter()
+            .map(|e| to_key(&|t| a_to_b[t], e))
+            .collect();
+        let mut eb: Vec<_> = b
+            .edges(a_to_b[id])
+            .iter()
+            .map(|e| to_key(&|t| t, e))
+            .collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(
+            ea, eb,
+            "{family} at {threads} threads: edges differ at state {id}"
+        );
+    }
+}
+
+/// Explores `build()` sequentially and at 2 and 4 threads, asserting
+/// isomorphism each time.
+fn check_family<M>(family: &str, crashes: bool, build: impl Fn() -> Simulation<M>)
+where
+    M: Machine + Eq + Hash,
+    M::Event: Debug,
+{
+    let seq = Explorer::new(build())
+        .max_states(500_000)
+        .crashes(crashes)
+        .run()
+        .unwrap();
+    for threads in [2, 4] {
+        let par = Explorer::new(build())
+            .max_states(500_000)
+            .crashes(crashes)
+            .parallelism(threads)
+            .run()
+            .unwrap();
+        assert_isomorphic(family, threads, &seq, &par);
+    }
+}
+
+#[test]
+fn anonymous_mutex_graphs_are_isomorphic() {
+    check_family("mutex", false, || {
+        Simulation::builder()
+            .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+            .process(AnonMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn anonymous_mutex_crash_graphs_are_isomorphic() {
+    check_family("mutex+crashes", true, || {
+        Simulation::builder()
+            .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+            .process(AnonMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn ordered_mutex_graphs_are_isomorphic() {
+    check_family("ordered", false, || {
+        Simulation::builder()
+            .process(OrderedMutex::new(pid(1), 3).unwrap(), View::identity(3))
+            .process(OrderedMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn hybrid_mutex_graphs_are_isomorphic() {
+    check_family("hybrid", false, || {
+        let anon: Vec<usize> = (0..3).map(|j| (j + 1) % 3).collect();
+        Simulation::builder()
+            .process(
+                HybridMutex::new(pid(1), 3).unwrap(),
+                named_view(3, (0..3).collect()).unwrap(),
+            )
+            .process(
+                HybridMutex::new(pid(2), 3).unwrap(),
+                named_view(3, anon).unwrap(),
+            )
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn consensus_graphs_are_isomorphic() {
+    check_family("consensus", false, || {
+        Simulation::builder()
+            .process(
+                AnonConsensus::new(pid(1), 2, 1).unwrap().with_registers(2),
+                View::identity(2),
+            )
+            .process(
+                AnonConsensus::new(pid(2), 2, 2).unwrap().with_registers(2),
+                View::rotated(2, 1),
+            )
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn renaming_graphs_are_isomorphic() {
+    check_family("renaming", false, || {
+        Simulation::builder()
+            .process(AnonRenaming::new(pid(1), 2).unwrap(), View::identity(3))
+            .process(AnonRenaming::new(pid(2), 2).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn election_graphs_are_isomorphic() {
+    check_family("election", false, || {
+        Simulation::builder()
+            .process(AnonElection::new(pid(1), 2).unwrap(), View::identity(3))
+            .process(AnonElection::new(pid(2), 2).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap()
+    });
+}
+
+#[test]
+fn peterson_baseline_graphs_are_isomorphic() {
+    check_family("peterson", false, || {
+        Simulation::builder()
+            .process_identity(Peterson::new(pid(1), 0).unwrap())
+            .process_identity(Peterson::new(pid(2), 1).unwrap())
+            .build()
+            .unwrap()
+    });
+}
+
+/// The fairness analyses walk SCCs in canonical order, so their verdicts
+/// must not depend on which engine numbered the states.
+#[test]
+fn fairness_verdicts_are_numbering_independent() {
+    for m in [3usize, 4] {
+        let build = || {
+            Simulation::builder()
+                .process(AnonMutex::new(pid(1), m).unwrap(), View::identity(m))
+                .process(AnonMutex::new(pid(2), m).unwrap(), View::rotated(m, 1))
+                .build()
+                .unwrap()
+        };
+        let seq = Explorer::new(build()).run().unwrap();
+        let par = Explorer::new(build()).parallelism(4).run().unwrap();
+
+        let entry = |mach: &AnonMutex| mach.section() == Section::Entry;
+        let enter = |e: &MutexEvent| *e == MutexEvent::Enter;
+        assert_eq!(
+            seq.find_fair_livelock(entry, enter).is_some(),
+            par.find_fair_livelock(entry, enter).is_some(),
+            "livelock verdict diverged at m = {m}"
+        );
+        for victim in 0..2 {
+            assert_eq!(
+                seq.find_fair_starvation(victim, entry, enter).is_some(),
+                par.find_fair_starvation(victim, entry, enter).is_some(),
+                "starvation verdict diverged for p{victim} at m = {m}"
+            );
+        }
+
+        // Canonical SCC lists are fully deterministic per graph.
+        assert_eq!(seq.nontrivial_sccs(), seq.nontrivial_sccs());
+        assert_eq!(par.nontrivial_sccs(), par.nontrivial_sccs());
+    }
+}

@@ -7,7 +7,7 @@ use anonreg::consensus::{AnonConsensus, ConsRecord};
 use anonreg::mutex::{AnonMutex, Section};
 use anonreg::renaming::AnonRenaming;
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::{Simulation, StepOutcome};
 
 fn pid(n: u64) -> Pid {
@@ -206,7 +206,7 @@ fn consensus_admits_fair_nondeciding_executions() {
         )
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let livelock = graph.find_fair_livelock(
         |machine| !machine.has_decided(),
         |event| matches!(event, anonreg::consensus::ConsensusEvent::Decide(_)),

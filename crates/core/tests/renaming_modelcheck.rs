@@ -3,8 +3,8 @@
 
 use anonreg::renaming::AnonRenaming;
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
 use anonreg_sim::obstruction::check_obstruction_freedom;
+use anonreg_sim::prelude::*;
 use anonreg_sim::{sched, Simulation};
 
 fn pid(n: u64) -> Pid {
@@ -33,7 +33,7 @@ fn n2_names_are_unique_and_in_range_under_all_interleavings() {
     // terminal states.
     for shift in 0..3 {
         let build = || two_proc_sim(2, View::rotated(3, shift));
-        let graph = explore(build(), &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(build()).run().unwrap();
         // Terminal states: both halted.
         for (id, state) in graph.states() {
             if !state.all_halted() {
@@ -55,7 +55,7 @@ fn n2_names_are_unique_and_in_range_under_all_interleavings() {
 #[test]
 fn n2_is_obstruction_free_from_every_reachable_state() {
     let sim = two_proc_sim(2, View::rotated(3, 1));
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     // Solo completion: per round at most m catch-up-scan iterations of
     // (m+1) ops, across up to n rounds, plus slack for a partial scan.
     let report = check_obstruction_freedom(&graph, 256).unwrap();
@@ -99,14 +99,7 @@ fn adaptivity_k2_of_n3_names_within_two() {
             .build()
             .unwrap()
     };
-    let graph = explore(
-        build(),
-        &ExploreLimits {
-            max_states: 3_000_000,
-            ..ExploreLimits::default()
-        },
-    )
-    .unwrap();
+    let graph = Explorer::new(build()).max_states(3_000_000).run().unwrap();
     let mut terminals = 0;
     for (id, state) in graph.states() {
         if !state.all_halted() {

@@ -13,7 +13,7 @@ use anonreg::baseline::{Bakery, Peterson};
 use anonreg::hybrid::{named_view, HybridMutex};
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::{Pid, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn pid(n: u64) -> Pid {
@@ -30,7 +30,7 @@ fn figure_1_is_not_starvation_free() {
         .process(AnonMutex::new(pid(2), 3).unwrap(), View::identity(3))
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let starvation = graph.find_fair_starvation(
         1,
         |mach| mach.section() == Section::Entry,
@@ -63,7 +63,7 @@ fn hybrid_mutex_is_not_starvation_free_either() {
         )
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     let starvation = graph.find_fair_starvation(
         1,
         |mach| mach.section() == Section::Entry,
@@ -82,7 +82,7 @@ fn peterson_is_starvation_free() {
         .process_identity(Peterson::new(pid(2), 1).unwrap())
         .build()
         .unwrap();
-    let graph = explore(sim, &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(sim).run().unwrap();
     for victim in 0..2 {
         let starvation = graph.find_fair_starvation(
             victim,
@@ -105,14 +105,11 @@ fn bakery_is_starvation_free() {
         .process_identity(Bakery::new(pid(2), 1, 2).unwrap().with_cycles(3))
         .build()
         .unwrap();
-    let graph = explore(
-        sim,
-        &ExploreLimits {
-            max_states: 4_000_000,
-            crashes: false,
-        },
-    )
-    .unwrap();
+    let graph = Explorer::new(sim)
+        .max_states(4_000_000)
+        .crashes(false)
+        .run()
+        .unwrap();
     for victim in 0..2 {
         let starvation = graph.find_fair_starvation(
             victim,

@@ -1,0 +1,159 @@
+//! Stable 64-bit fingerprinting for state interning.
+//!
+//! The explicit-state model checker in `anonreg-sim` deduplicates billions
+//! of candidate configurations. Rust's default [`std::collections::HashMap`]
+//! hasher is randomly keyed per process, which is exactly right for
+//! DoS-resistant maps but wrong for *interning*: the parallel explorer
+//! shards its dedup table by state hash and exchanges `(id, fingerprint)`
+//! pairs between workers, so every thread must compute the **same**
+//! fingerprint for the same configuration, and a run must be reproducible
+//! from its recorded fingerprints.
+//!
+//! [`Fnv64`] is the classic FNV-1a 64-bit hash as a [`Hasher`], with the
+//! multi-byte integer writes pinned to little-endian so fingerprints are
+//! stable across platforms as well as across threads. It is *not* collision
+//! resistant against adversarial inputs — interners must confirm candidate
+//! matches with a full equality check, which is what the explorer's sharded
+//! table does.
+
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a 64-bit hash as a deterministic [`Hasher`].
+///
+/// Unlike [`std::collections::hash_map::RandomState`], two `Fnv64` values
+/// fed the same bytes always agree — across instances, threads, processes
+/// and platforms (integer writes are little-endian).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the standard FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        // Hash as u64 so 32- and 64-bit builds agree.
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// The stable fingerprint of any hashable value: `value` fed through a
+/// fresh [`Fnv64`].
+#[must_use]
+pub fn fingerprint_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = Fnv64::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = fingerprint_of(&(1u64, vec![2u8, 3], "state"));
+        let b = fingerprint_of(&(1u64, vec![2u8, 3], "state"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(fingerprint_of(&1u64), fingerprint_of(&2u64));
+        assert_ne!(fingerprint_of(&[1u8, 2]), fingerprint_of(&[2u8, 1]));
+    }
+
+    #[test]
+    fn matches_reference_vectors() {
+        // FNV-1a 64 reference values for raw byte input.
+        let mut h = Fnv64::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn integer_writes_are_width_stable() {
+        // usize hashes like u64, so fingerprints agree across pointer widths.
+        let mut a = Fnv64::new();
+        a.write_usize(7);
+        let mut b = Fnv64::new();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`trace`] — recorded runs, used by specification checkers.
 //! * [`PidMap`] — structural renaming of identifiers, used by the symmetry
 //!   arguments behind the paper's lower bounds (Theorem 3.4).
+//! * [`fingerprint`] — deterministic 64-bit state hashing, shared by the
+//!   model checker's interning tables so parallel workers agree on state
+//!   identity.
 //!
 //! # Example
 //!
@@ -67,9 +70,11 @@ mod pid;
 mod value;
 mod view;
 
+pub mod fingerprint;
 pub mod rng;
 pub mod trace;
 
+pub use fingerprint::{fingerprint_of, Fnv64};
 pub use machine::{Machine, Step};
 pub use pid::{ParsePidError, Pid, PidMap};
 pub use value::RegisterValue;

@@ -43,6 +43,9 @@ pub enum Metric {
     ExploreFrontier,
     /// Maximum discovery depth (gauge).
     ExploreDepth,
+    /// Work items stolen from another worker's frontier deque, keyed by
+    /// the stealing worker (parallel explorer only).
+    ExploreSteals,
     /// Memory operations needed by one solo run (histogram; the
     /// obstruction-freedom checker's per-run cost).
     SoloOps,
@@ -65,6 +68,7 @@ impl Metric {
             Metric::ExploreDedup => "explore_dedup",
             Metric::ExploreFrontier => "explore_frontier",
             Metric::ExploreDepth => "explore_depth",
+            Metric::ExploreSteals => "explore_steals",
             Metric::SoloOps => "solo_ops",
             Metric::CoverWriteSet => "cover_write_set",
         }
@@ -94,6 +98,9 @@ pub enum Span {
     CoverBlock,
     /// One state-space exploration. Length is the number of states.
     Explore,
+    /// One worker thread's share of a parallel exploration, keyed by
+    /// worker index. Length is the number of states the worker expanded.
+    ExploreWorker,
 }
 
 impl Span {
@@ -107,6 +114,7 @@ impl Span {
             Span::CoverPlace => "cover_place",
             Span::CoverBlock => "cover_block",
             Span::Explore => "explore",
+            Span::ExploreWorker => "explore_worker",
         }
     }
 }
@@ -560,7 +568,9 @@ mod tests {
         // Schema v1 vocabulary — a rename here is a schema bump.
         assert_eq!(Metric::RegRead.name(), "reg_read");
         assert_eq!(Metric::ExploreDedup.name(), "explore_dedup");
+        assert_eq!(Metric::ExploreSteals.name(), "explore_steals");
         assert_eq!(Span::SoloWindow.name(), "solo_window");
         assert_eq!(Span::CoverBlock.name(), "cover_block");
+        assert_eq!(Span::ExploreWorker.name(), "explore_worker");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! For fixed process count and register count, the paper's algorithms have
 //! **finite** state spaces: register contents range over finitely many
-//! values and each machine has finitely many local states. [`explore`]
+//! values and each machine has finitely many local states. [`Explorer`]
 //! enumerates every configuration reachable under *any* adversary and
 //! returns a [`StateGraph`] on which two kinds of questions are decided
 //! exactly:
@@ -20,6 +20,30 @@
 //!   refutes deadlock-freedom for the Figure 1 algorithm with an even
 //!   number of registers (Theorem 3.1) — the checker finds the symmetric
 //!   lock-step loop.
+//!
+//! # The `Explorer` builder
+//!
+//! All exploration goes through one entry point:
+//!
+//! ```ignore
+//! let graph = Explorer::new(sim)
+//!     .max_states(500_000)   // or .limits(ExploreConfig { .. })
+//!     .crashes(true)         // also explore crash transitions
+//!     .parallelism(4)        // worker threads (1 = sequential, 0 = auto)
+//!     .probe(&probe)         // live metrics (optional)
+//!     .run()?;
+//! ```
+//!
+//! With `parallelism(1)` (the default) the graph is produced by a
+//! deterministic sequential loop and state ids are *canonical*: two runs
+//! number the states identically, so golden tests and recorded
+//! [`StateGraph::schedule_to`] replays stay stable. With more threads the
+//! breadth-parallel engine (sharded dedup table, per-worker frontier
+//! deques with work stealing, interned states) explores the same graph —
+//! same states, same transition structure — but discovery order, and
+//! therefore the numbering, depends on the race between workers. Analyses
+//! on [`StateGraph`] are order-independent (see
+//! [`StateGraph::nontrivial_sccs`]), so results agree either way.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -30,30 +54,42 @@ use anonreg_obs::{Metric, NoopProbe, Probe, Span};
 
 use crate::Simulation;
 
-/// Resource limits for [`explore`].
+mod par;
+
+/// Configuration for an [`Explorer`] run: resource limits, the failure
+/// model, and the degree of parallelism.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ExploreLimits {
+pub struct ExploreConfig {
     /// Maximum number of distinct states to enumerate before giving up.
     pub max_states: usize,
     /// Also explore *crash* transitions: from every state, every live
     /// process may crash (§2's failure model). Roughly doubles the state
     /// space per process; off by default.
     pub crashes: bool,
+    /// Number of worker threads. `1` (the default) uses the deterministic
+    /// sequential engine with canonical state ids; `0` means "one worker
+    /// per available CPU"; anything else runs the breadth-parallel engine.
+    pub parallelism: usize,
 }
 
-impl Default for ExploreLimits {
+impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreLimits {
+        ExploreConfig {
             max_states: 1_000_000,
             crashes: false,
+            parallelism: 1,
         }
     }
 }
 
+/// The old name of [`ExploreConfig`].
+#[deprecated(note = "renamed to `ExploreConfig`")]
+pub type ExploreLimits = ExploreConfig;
+
 /// Error returned when exploration exceeds its limits.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExploreError {
-    /// The reachable state space exceeded [`ExploreLimits::max_states`].
+    /// The reachable state space exceeded [`ExploreConfig::max_states`].
     StateLimitExceeded {
         /// The configured limit.
         limit: usize,
@@ -83,7 +119,7 @@ pub struct Edge<E> {
     /// Events emitted during the step (usually empty or a single event).
     pub events: Vec<E>,
     /// `true` if this transition is the process *crashing* rather than
-    /// taking a step (only with [`ExploreLimits::crashes`]).
+    /// taking a step (only with [`ExploreConfig::crashes`]).
     pub crash: bool,
 }
 
@@ -110,49 +146,164 @@ pub struct StateGraph<M: Machine> {
     parents: Vec<Option<(usize, usize, bool)>>,
 }
 
+/// The single entry point for state-space exploration.
+///
+/// Build with [`Explorer::new`], adjust with the chainable setters, then
+/// [`Explorer::run`]:
+///
+/// ```ignore
+/// let graph = Explorer::new(sim).max_states(100_000).parallelism(4).run()?;
+/// ```
+///
+/// The default configuration matches [`ExploreConfig::default`]: one
+/// million states, no crash transitions, one (deterministic) worker.
+#[must_use = "an Explorer does nothing until `.run()` is called"]
+pub struct Explorer<'p, M: Machine, P: Probe = NoopProbe> {
+    initial: Simulation<M>,
+    config: ExploreConfig,
+    probe: &'p P,
+}
+
+/// The probe target for unprobed explorations.
+static SILENT: NoopProbe = NoopProbe;
+
+impl<M> Explorer<'static, M, NoopProbe>
+where
+    M: Machine + Eq + Hash,
+{
+    /// Starts configuring an exploration from `initial`. The accumulated
+    /// trace of `initial` is ignored; state identity is the pair
+    /// (register contents, machine states incl. pending reads/poised
+    /// writes).
+    pub fn new(initial: Simulation<M>) -> Self {
+        Explorer {
+            initial,
+            config: ExploreConfig::default(),
+            probe: &SILENT,
+        }
+    }
+}
+
+impl<'p, M, P> Explorer<'p, M, P>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
+    /// Replaces the whole configuration at once.
+    pub fn limits(mut self, config: ExploreConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Caps the number of distinct states to enumerate.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.config.max_states = max_states;
+        self
+    }
+
+    /// Also explores crash transitions (§2's failure model).
+    pub fn crashes(mut self, crashes: bool) -> Self {
+        self.config.crashes = crashes;
+        self
+    }
+
+    /// Sets the number of worker threads: `1` for the deterministic
+    /// sequential engine (canonical state ids), `0` for one worker per
+    /// available CPU, `n > 1` for the breadth-parallel engine.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches a live [`Probe`].
+    ///
+    /// The exploration then emits `explore_states`/`explore_edges`/
+    /// `explore_dedup` counters (the parallel engine keys dedup counters
+    /// by shard and adds per-worker `explore_steals`), sampled
+    /// `explore_frontier`/`explore_depth` gauges (final values exact),
+    /// one `explore` span whose length is the number of distinct states,
+    /// and — parallel engine only — one `explore_worker` span per worker
+    /// whose length is the number of states that worker expanded. With
+    /// [`NoopProbe`] the instrumentation compiles away.
+    pub fn probe<'q, Q: Probe>(self, probe: &'q Q) -> Explorer<'q, M, Q> {
+        Explorer {
+            initial: self.initial,
+            config: self.config,
+            probe,
+        }
+    }
+
+    /// Runs the exploration and returns the complete reachable
+    /// [`StateGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::StateLimitExceeded`] if the reachable
+    /// state space is larger than the configured `max_states`. Counters
+    /// emitted up to that point are still in the probe, so a budget-blown
+    /// exploration is still measurable.
+    pub fn run(self) -> Result<StateGraph<M>, ExploreError> {
+        let threads = match self.config.parallelism {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        };
+        if threads <= 1 {
+            run_sequential(self.initial, &self.config, self.probe)
+        } else {
+            par::run_parallel(self.initial, &self.config, self.probe, threads)
+        }
+    }
+}
+
 /// Exhaustively enumerates every configuration reachable from `initial`
 /// under any scheduling of the processes.
-///
-/// The accumulated trace of `initial` is ignored; state identity is the pair
-/// (register contents, machine states incl. pending reads/poised writes).
 ///
 /// # Errors
 ///
 /// Returns [`ExploreError::StateLimitExceeded`] if the reachable state space
-/// is larger than `limits.max_states`.
+/// is larger than `config.max_states`.
+#[deprecated(note = "use `Explorer::new(initial).limits(*config).run()`")]
 pub fn explore<M>(
     initial: Simulation<M>,
-    limits: &ExploreLimits,
+    config: &ExploreConfig,
 ) -> Result<StateGraph<M>, ExploreError>
 where
     M: Machine + Eq + Hash,
 {
-    explore_probed(initial, limits, &NoopProbe)
+    Explorer::new(initial).limits(*config).run()
 }
 
-/// How often the probed explorer samples its frontier/depth gauges, in
+/// [`explore`] with a live [`Probe`].
+///
+/// # Errors
+///
+/// Returns [`ExploreError::StateLimitExceeded`] if the reachable state
+/// space is larger than `config.max_states`.
+#[deprecated(note = "use `Explorer::new(initial).limits(*config).probe(probe).run()`")]
+pub fn explore_probed<M, P>(
+    initial: Simulation<M>,
+    config: &ExploreConfig,
+    probe: &P,
+) -> Result<StateGraph<M>, ExploreError>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
+    Explorer::new(initial).limits(*config).probe(probe).run()
+}
+
+/// How often the explorer samples its frontier/depth gauges, in
 /// discovered states. Sampling (rather than reporting every state) keeps
 /// the gauges cheap on million-state runs; the final values are always
 /// reported exactly.
 const GAUGE_SAMPLE_EVERY: usize = 1024;
 
-/// [`explore`] with a live [`Probe`].
-///
-/// Emits, per exploration: `explore_states`/`explore_edges`/
-/// `explore_dedup` counters, sampled `explore_frontier`/`explore_depth`
-/// gauges (final values exact), and one `explore` span whose length is
-/// the number of distinct states. With [`NoopProbe`] this is exactly
-/// [`explore`] — the instrumentation compiles away.
-///
-/// # Errors
-///
-/// Returns [`ExploreError::StateLimitExceeded`] if the reachable state
-/// space is larger than `limits.max_states`. The counters emitted up to
-/// that point are still in the probe, so a budget-blown exploration is
-/// still measurable.
-pub fn explore_probed<M, P>(
+/// The deterministic sequential engine: a depth-first loop with one
+/// global dedup map. State ids are canonical — two runs from the same
+/// initial simulation number the states identically.
+fn run_sequential<M, P>(
     initial: Simulation<M>,
-    limits: &ExploreLimits,
+    limits: &ExploreConfig,
     probe: &P,
 ) -> Result<StateGraph<M>, ExploreError>
 where
@@ -386,12 +537,22 @@ impl<M: Machine> StateGraph<M> {
 
     /// Computes the strongly connected components that contain at least one
     /// internal edge (i.e. can be stayed in forever), as lists of state ids.
+    ///
+    /// The result is canonical: each component's ids are sorted ascending
+    /// and the components are ordered by their smallest id. Tarjan's
+    /// emission order depends on edge order, which the parallel explorer
+    /// does not reproduce run-to-run — canonicalizing here makes every
+    /// SCC-based analysis independent of discovery order.
     #[must_use]
     pub fn nontrivial_sccs(&self) -> Vec<Vec<usize>> {
         let sccs = tarjan(self.states.len(), &self.edges);
-        sccs.into_iter()
-            .filter(|scc| scc.len() > 1 || self.edges[scc[0]].iter().any(|e| e.target == scc[0]))
-            .collect()
+        canonicalize_sccs(
+            sccs.into_iter()
+                .filter(|scc| {
+                    scc.len() > 1 || self.edges[scc[0]].iter().any(|e| e.target == scc[0])
+                })
+                .collect(),
+        )
     }
 
     /// Searches for a **fair livelock**: a strongly connected component in
@@ -417,46 +578,52 @@ impl<M: Machine> StateGraph<M> {
         FS: FnMut(&M) -> bool,
         FP: FnMut(&M::Event) -> bool,
     {
+        let mut in_scc_bits = vec![false; self.states.len()];
         for scc in self.nontrivial_sccs() {
-            let in_scc = |target: usize| scc.contains(&target);
-
-            // (2) No progress inside the component.
-            let progress_inside = scc.iter().any(|&id| {
-                self.edges[id]
-                    .iter()
-                    .any(|e| in_scc(e.target) && e.events.iter().any(&mut is_progress))
-            });
-            if progress_inside {
-                continue;
+            for &id in &scc {
+                in_scc_bits[id] = true;
             }
+            let qualifies = {
+                let in_scc = |target: usize| in_scc_bits[target];
 
-            // (1) Every live process can keep moving inside the component.
-            // Halting is permanent, so the live set is constant across an
-            // SCC; take it from the first state.
-            let probe = &self.states[scc[0]];
-            let live: Vec<usize> = (0..probe.process_count())
-                .filter(|&p| !probe.is_halted(p))
-                .collect();
-            if live.is_empty() {
-                continue;
-            }
-            let all_can_move = live.iter().all(|&p| {
-                scc.iter().any(|&id| {
+                // (2) No progress inside the component.
+                let progress_inside = scc.iter().any(|&id| {
                     self.edges[id]
                         .iter()
-                        .any(|e| e.proc == p && in_scc(e.target))
-                })
-            });
-            if !all_can_move {
-                continue;
-            }
+                        .any(|e| in_scc(e.target) && e.events.iter().any(&mut is_progress))
+                });
 
-            // (3) Someone is stuck.
-            let someone_stuck = scc.iter().any(|&id| {
-                (0..self.states[id].process_count())
-                    .any(|p| !self.states[id].is_halted(p) && stuck(self.states[id].machine(p)))
-            });
-            if someone_stuck {
+                // (1) Every live process can keep moving inside the
+                // component. Halting is permanent, so the live set is
+                // constant across an SCC; take it from the first state.
+                let probe = &self.states[scc[0]];
+                let live: Vec<usize> = (0..probe.process_count())
+                    .filter(|&p| !probe.is_halted(p))
+                    .collect();
+                let all_can_move = !live.is_empty()
+                    && live.iter().all(|&p| {
+                        scc.iter().any(|&id| {
+                            self.edges[id]
+                                .iter()
+                                .any(|e| e.proc == p && in_scc(e.target))
+                        })
+                    });
+
+                // (3) Someone is stuck.
+                let mut someone_stuck = || {
+                    scc.iter().any(|&id| {
+                        (0..self.states[id].process_count()).any(|p| {
+                            !self.states[id].is_halted(p) && stuck(self.states[id].machine(p))
+                        })
+                    })
+                };
+
+                !progress_inside && all_can_move && someone_stuck()
+            };
+            for &id in &scc {
+                in_scc_bits[id] = false;
+            }
+            if qualifies {
                 return Some(scc);
             }
         }
@@ -509,46 +676,56 @@ impl<M: Machine> StateGraph<M> {
                     .collect()
             })
             .collect();
-        let sccs = tarjan(self.states.len(), &filtered);
+        let sccs = canonicalize_sccs(tarjan(self.states.len(), &filtered));
+        let mut in_scc_bits = vec![false; self.states.len()];
         for scc in sccs {
             let has_internal_edge =
                 scc.len() > 1 || filtered[scc[0]].iter().any(|e| e.target == scc[0]);
             if !has_internal_edge {
                 continue;
             }
-            let in_scc = |target: usize| scc.contains(&target);
-
-            // Someone other than the victim keeps progressing.
-            let others_progress = scc.iter().any(|&id| {
-                filtered[id].iter().any(|e| {
-                    e.proc != victim && in_scc(e.target) && e.events.iter().any(&mut is_progress)
-                })
-            });
-            if !others_progress {
-                continue;
+            for &id in &scc {
+                in_scc_bits[id] = true;
             }
+            let qualifies = {
+                let in_scc = |target: usize| in_scc_bits[target];
 
-            // Fairness: every live process — the victim included — can keep
-            // moving inside the filtered component.
-            let probe = &self.states[scc[0]];
-            if victim >= probe.process_count() || probe.is_halted(victim) {
-                continue;
-            }
-            let live: Vec<usize> = (0..probe.process_count())
-                .filter(|&p| !probe.is_halted(p))
-                .collect();
-            let all_can_move = live.iter().all(|&p| {
-                scc.iter()
-                    .any(|&id| filtered[id].iter().any(|e| e.proc == p && in_scc(e.target)))
-            });
-            if !all_can_move {
-                continue;
-            }
+                // Someone other than the victim keeps progressing.
+                let others_progress = scc.iter().any(|&id| {
+                    filtered[id].iter().any(|e| {
+                        e.proc != victim
+                            && in_scc(e.target)
+                            && e.events.iter().any(&mut is_progress)
+                    })
+                });
 
-            // The victim is actually stuck (e.g. in its entry section)
-            // somewhere in the component.
-            let victim_stuck = scc.iter().any(|&id| stuck(self.states[id].machine(victim)));
-            if victim_stuck {
+                // Fairness: every live process — the victim included — can
+                // keep moving inside the filtered component.
+                let probe = &self.states[scc[0]];
+                let victim_live = victim < probe.process_count() && !probe.is_halted(victim);
+                let all_can_move = victim_live && {
+                    let live: Vec<usize> = (0..probe.process_count())
+                        .filter(|&p| !probe.is_halted(p))
+                        .collect();
+                    live.iter().all(|&p| {
+                        scc.iter()
+                            .any(|&id| filtered[id].iter().any(|e| e.proc == p && in_scc(e.target)))
+                    })
+                };
+
+                // The victim is actually stuck (e.g. in its entry section)
+                // somewhere in the component.
+                let mut victim_stuck = || {
+                    victim < probe.process_count()
+                        && scc.iter().any(|&id| stuck(self.states[id].machine(victim)))
+                };
+
+                others_progress && all_can_move && victim_stuck()
+            };
+            for &id in &scc {
+                in_scc_bits[id] = false;
+            }
+            if qualifies {
                 return Some(scc);
             }
         }
@@ -563,6 +740,18 @@ impl<M: Machine> fmt::Debug for StateGraph<M> {
             .field("edges", &self.edge_count())
             .finish()
     }
+}
+
+/// Canonicalizes a list of SCCs: ids inside each component sorted
+/// ascending, components ordered by smallest id. Tarjan emits components
+/// in reverse topological order, which depends on edge order and hence on
+/// discovery order; analyses that scan components must not.
+fn canonicalize_sccs(mut sccs: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for scc in &mut sccs {
+        scc.sort_unstable();
+    }
+    sccs.sort_unstable_by_key(|scc| scc.first().copied());
+    sccs
 }
 
 /// Iterative Tarjan SCC over the edge lists. Returns components in reverse
@@ -721,7 +910,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         // Each process contributes a write step and an event+halt step;
         // states are (register value, phase of each process) combinations.
         assert!(graph.state_count() >= 4);
@@ -752,7 +941,7 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let graph = explore(build(), &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(build()).run().unwrap();
         // Find a state where register 0 holds 1 and both halted: process 2
         // wrote first, process 1 overwrote.
         let id = graph
@@ -786,14 +975,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let err = explore(
-            sim,
-            &ExploreLimits {
-                max_states: 2,
-                ..ExploreLimits::default()
-            },
-        )
-        .unwrap_err();
+        let err = Explorer::new(sim).max_states(2).run().unwrap_err();
         assert_eq!(err, ExploreError::StateLimitExceeded { limit: 2 });
         assert!(!err.to_string().is_empty());
     }
@@ -805,7 +987,7 @@ mod tests {
             .process(Spinner { pid: pid(2) }, View::identity(1))
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         let livelock = graph.find_fair_livelock(|_| true, |_| false);
         assert!(livelock.is_some());
     }
@@ -829,7 +1011,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         assert!(graph.nontrivial_sccs().is_empty());
         assert!(graph.find_fair_livelock(|_| true, |_| false).is_none());
     }
@@ -870,7 +1052,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         assert!(!graph.nontrivial_sccs().is_empty());
         let livelock = graph.find_fair_livelock(|_| true, |e| *e == "progress");
         assert!(livelock.is_none());
@@ -899,7 +1081,7 @@ mod tests {
                 .unwrap()
         };
         let probe = MemProbe::new();
-        let graph = explore_probed(build(), &ExploreLimits::default(), &probe).unwrap();
+        let graph = Explorer::new(build()).probe(&probe).run().unwrap();
         let snap = probe.into_snapshot();
         assert_eq!(
             snap.counter_total(Metric::ExploreStates),
@@ -924,7 +1106,7 @@ mod tests {
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.spans[0].length, graph.state_count() as u64);
         // And the probed graph is identical to the unprobed one.
-        let plain = explore(build(), &ExploreLimits::default()).unwrap();
+        let plain = Explorer::new(build()).run().unwrap();
         assert_eq!(plain.state_count(), graph.state_count());
         assert_eq!(plain.edge_count(), graph.edge_count());
     }
@@ -950,15 +1132,11 @@ mod tests {
             .build()
             .unwrap();
         let probe = MemProbe::new();
-        let err = explore_probed(
-            sim,
-            &ExploreLimits {
-                max_states: 3,
-                ..ExploreLimits::default()
-            },
-            &probe,
-        )
-        .unwrap_err();
+        let err = Explorer::new(sim)
+            .max_states(3)
+            .probe(&probe)
+            .run()
+            .unwrap_err();
         assert_eq!(err, ExploreError::StateLimitExceeded { limit: 3 });
         let snap = probe.into_snapshot();
         assert_eq!(snap.counter_total(Metric::ExploreStates), 3);
@@ -977,9 +1155,196 @@ mod tests {
             )
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         let has_event_edge = (0..graph.state_count())
             .any(|id| graph.edges(id).iter().any(|e| e.events.contains(&"wrote")));
         assert!(has_event_edge);
+    }
+
+    /// Builds the two-Toy simulation used by the parallel tests.
+    fn two_toys() -> Simulation<Toy> {
+        Simulation::builder()
+            .process(
+                Toy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                Toy {
+                    pid: pid(2),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .build()
+            .unwrap()
+    }
+
+    /// Asserts `a` and `b` are the same graph up to state renumbering.
+    fn assert_isomorphic<M: Machine + Eq + Hash>(a: &StateGraph<M>, b: &StateGraph<M>) {
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        // Configurations are unique within a graph, so fingerprint +
+        // equality gives a bijection.
+        let mut by_fp: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (id, s) in b.states() {
+            by_fp.entry(s.fingerprint()).or_default().push(id);
+        }
+        let mut map = vec![usize::MAX; a.state_count()];
+        for (id, s) in a.states() {
+            let candidates = by_fp.get(&s.fingerprint()).expect("fingerprint matches");
+            map[id] = *candidates
+                .iter()
+                .find(|&&c| s.same_configuration(b.state(c)))
+                .expect("configuration present in both graphs");
+        }
+        // Edge multisets agree under the bijection.
+        for (id, _) in a.states() {
+            let mut ea: Vec<(usize, usize, bool, String)> = a
+                .edges(id)
+                .iter()
+                .map(|e| (e.proc, map[e.target], e.crash, format!("{:?}", e.events)))
+                .collect();
+            let mut eb: Vec<(usize, usize, bool, String)> = b
+                .edges(map[id])
+                .iter()
+                .map(|e| (e.proc, e.target, e.crash, format!("{:?}", e.events)))
+                .collect();
+            ea.sort();
+            eb.sort();
+            assert_eq!(ea, eb, "edge multiset mismatch at state {id}");
+        }
+    }
+
+    #[test]
+    fn parallel_graph_is_isomorphic_to_sequential() {
+        let sequential = Explorer::new(two_toys()).run().unwrap();
+        for threads in [2, 4] {
+            let parallel = Explorer::new(two_toys())
+                .parallelism(threads)
+                .run()
+                .unwrap();
+            assert_isomorphic(&parallel, &sequential);
+        }
+    }
+
+    #[test]
+    fn parallel_explorer_handles_crashes() {
+        let sequential = Explorer::new(two_toys()).crashes(true).run().unwrap();
+        let parallel = Explorer::new(two_toys())
+            .crashes(true)
+            .parallelism(3)
+            .run()
+            .unwrap();
+        assert_isomorphic(&parallel, &sequential);
+        // Crash edges survive the parallel path.
+        let crash_edges = (0..parallel.state_count())
+            .flat_map(|id| parallel.edges(id))
+            .filter(|e| e.crash)
+            .count();
+        assert!(crash_edges > 0);
+    }
+
+    #[test]
+    fn parallel_state_limit_is_enforced() {
+        let err = Explorer::new(two_toys())
+            .max_states(2)
+            .parallelism(4)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExploreError::StateLimitExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn parallelism_zero_means_auto() {
+        let graph = Explorer::new(two_toys()).parallelism(0).run().unwrap();
+        let sequential = Explorer::new(two_toys()).run().unwrap();
+        assert_isomorphic(&graph, &sequential);
+    }
+
+    #[test]
+    fn parallel_probed_reports_exact_counts() {
+        use anonreg_obs::MemProbe;
+        let probe = MemProbe::new();
+        let threads = 4;
+        let graph = Explorer::new(two_toys())
+            .parallelism(threads)
+            .probe(&probe)
+            .run()
+            .unwrap();
+        let snap = probe.into_snapshot();
+        assert_eq!(
+            snap.counter_total(Metric::ExploreStates),
+            graph.state_count() as u64
+        );
+        assert_eq!(
+            snap.counter_total(Metric::ExploreEdges),
+            graph.edge_count() as u64
+        );
+        // Every edge either discovers a state or hits the (sharded) dedup
+        // table; summing across shard keys restores the global invariant.
+        assert_eq!(
+            snap.counter_total(Metric::ExploreDedup),
+            graph.edge_count() as u64 - (graph.state_count() as u64 - 1)
+        );
+        // One explore span plus one per worker; the workers' lengths (states
+        // expanded) sum to the state count.
+        assert_eq!(snap.spans.len(), 1 + threads);
+        let expanded: u64 = snap
+            .spans
+            .iter()
+            .filter(|s| s.span == Span::ExploreWorker)
+            .map(|s| s.length)
+            .sum();
+        assert_eq!(expanded, graph.state_count() as u64);
+    }
+
+    #[test]
+    fn parallel_livelock_detection_matches_sequential() {
+        let build = || {
+            Simulation::builder()
+                .process(Spinner { pid: pid(1) }, View::identity(1))
+                .process(Spinner { pid: pid(2) }, View::identity(1))
+                .build()
+                .unwrap()
+        };
+        let sequential = Explorer::new(build()).run().unwrap();
+        let parallel = Explorer::new(build()).parallelism(4).run().unwrap();
+        assert_isomorphic(&parallel, &sequential);
+        assert!(parallel.find_fair_livelock(|_| true, |_| false).is_some());
+    }
+
+    #[test]
+    fn nontrivial_sccs_are_canonical() {
+        let sim = Simulation::builder()
+            .process(Spinner { pid: pid(1) }, View::identity(1))
+            .process(Spinner { pid: pid(2) }, View::identity(1))
+            .build()
+            .unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
+        let sccs = graph.nontrivial_sccs();
+        assert!(!sccs.is_empty());
+        for scc in &sccs {
+            assert!(scc.windows(2).all(|w| w[0] < w[1]), "ids sorted ascending");
+        }
+        assert!(
+            sccs.windows(2).all(|w| w[0][0] < w[1][0]),
+            "components ordered by smallest id"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_explore() {
+        let graph = explore(two_toys(), &ExploreConfig::default()).unwrap();
+        let via_builder = Explorer::new(two_toys()).run().unwrap();
+        assert_eq!(graph.state_count(), via_builder.state_count());
+        assert_eq!(graph.edge_count(), via_builder.edge_count());
+        use anonreg_obs::MemProbe;
+        let probe = MemProbe::new();
+        let probed = explore_probed(two_toys(), &ExploreConfig::default(), &probe).unwrap();
+        assert_eq!(probed.state_count(), via_builder.state_count());
     }
 }

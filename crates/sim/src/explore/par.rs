@@ -1,0 +1,436 @@
+//! The breadth-parallel exploration engine.
+//!
+//! `run_parallel` explores the same reachable graph as the sequential
+//! engine, split across worker threads:
+//!
+//! * **Sharded dedup table** — state identity lives in `SHARDS`
+//!   mutex-striped shards, each mapping a 64-bit
+//!   [`Simulation::fingerprint`] to the ids of the states carrying it.
+//!   Workers exchange ids and fingerprints, never full `Simulation`
+//!   clones; fingerprint collisions are resolved with
+//!   [`Simulation::same_configuration`] against the interned state.
+//! * **Interned state store** — the authoritative `Simulation` for each id
+//!   is kept once, in `STRIPES` mutex-striped slabs indexed by id. Locks
+//!   are always taken shard-then-stripe, so the two stripe sets cannot
+//!   deadlock.
+//! * **Per-worker frontier deques with work stealing** — each worker pops
+//!   depth-first from the back of its own deque (keeps the hot end of the
+//!   frontier in cache) and steals breadth-first from the front of a
+//!   neighbour's when it runs dry.
+//!
+//! Termination uses a `pending` counter of discovered-but-unexpanded
+//! states: a child is counted *before* it is enqueued and its parent is
+//! uncounted only *after* every child has been enqueued, so `pending == 0`
+//! with an empty local scan really means the frontier is globally drained.
+//!
+//! State ids are assigned in race order, so two parallel runs (or a
+//! parallel and a sequential run) number states differently. The *graph*
+//! is identical up to that renumbering — the property tests in
+//! `crates/core/tests/parallel_modelcheck.rs` check graph isomorphism
+//! against the sequential engine family by family.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use anonreg_model::Machine;
+use anonreg_obs::{Metric, Probe, Span};
+
+use super::{Edge, ExploreConfig, ExploreError, StateGraph, GAUGE_SAMPLE_EVERY};
+use crate::Simulation;
+
+/// Number of dedup-table shards. More shards mean less lock contention on
+/// interning; 64 keeps per-shard maps dense at a few hundred thousand
+/// states while making same-shard collisions between a handful of workers
+/// unlikely.
+const SHARDS: usize = 64;
+
+/// Number of state-store stripes (independent of `SHARDS`; a state's
+/// stripe is chosen by id, its shard by fingerprint).
+const STRIPES: usize = 64;
+
+/// How many consecutive empty steal sweeps before an idle worker sleeps
+/// instead of spinning. Keeps idle workers cheap when the frontier is
+/// momentarily narrower than the worker count (and on single-CPU hosts).
+const IDLE_SPINS: u32 = 64;
+
+/// A discovered-but-unexpanded state: its interned id and discovery depth.
+type WorkItem = (u32, u32);
+
+/// One dedup shard: fingerprint → ids of interned states carrying it.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Vec<u32>>,
+    /// Dedup hits resolved by this shard.
+    hits: u64,
+}
+
+/// The interned states, striped by `id % STRIPES`.
+struct StateStore<M: Machine> {
+    stripes: Vec<Mutex<Vec<Option<Simulation<M>>>>>,
+}
+
+impl<M: Machine + Eq> StateStore<M> {
+    fn new() -> Self {
+        StateStore {
+            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn insert(&self, id: usize, state: Simulation<M>) {
+        let mut stripe = self.stripes[id % STRIPES].lock().expect("store lock");
+        let slot = id / STRIPES;
+        if stripe.len() <= slot {
+            stripe.resize_with(slot + 1, || None);
+        }
+        stripe[slot] = Some(state);
+    }
+
+    fn clone_state(&self, id: usize) -> Simulation<M> {
+        let stripe = self.stripes[id % STRIPES].lock().expect("store lock");
+        stripe[id / STRIPES]
+            .as_ref()
+            .expect("work items reference interned states")
+            .clone()
+    }
+
+    fn matches(&self, id: usize, candidate: &Simulation<M>) -> bool {
+        let stripe = self.stripes[id % STRIPES].lock().expect("store lock");
+        stripe[id / STRIPES]
+            .as_ref()
+            .expect("mapped ids reference interned states")
+            .same_configuration(candidate)
+    }
+
+    /// Drains the store into an id-ordered state vector.
+    fn into_states(self, total: usize) -> Vec<Simulation<M>> {
+        let mut stripes: Vec<Vec<Option<Simulation<M>>>> = self
+            .stripes
+            .into_iter()
+            .map(|m| m.into_inner().expect("store lock"))
+            .collect();
+        (0..total)
+            .map(|id| {
+                stripes[id % STRIPES][id / STRIPES]
+                    .take()
+                    .expect("every assigned id was interned")
+            })
+            .collect()
+    }
+}
+
+/// Everything the workers share.
+struct Ctx<M: Machine> {
+    shards: Vec<Mutex<Shard>>,
+    store: StateStore<M>,
+    /// One frontier deque per worker.
+    queues: Vec<Mutex<VecDeque<WorkItem>>>,
+    /// Next state id to assign.
+    next_id: AtomicUsize,
+    /// Discovered-but-unexpanded states (see module docs).
+    pending: AtomicUsize,
+    /// Set when the state limit is hit; all workers stop.
+    aborted: AtomicBool,
+    /// Maximum discovery depth seen (probe bookkeeping only).
+    max_depth: AtomicU64,
+    /// Effective state cap (`config.max_states`, clamped to id range).
+    max_states: usize,
+    crashes: bool,
+}
+
+/// The outcome of offering a state to the dedup table.
+enum Interned {
+    /// The state was new; it now owns this id.
+    Fresh(u32),
+    /// An equal state was already interned under this id.
+    Known(u32),
+    /// Interning it would exceed the state limit.
+    Limit,
+}
+
+/// Offers `state` (with fingerprint `fp`) to the dedup table.
+///
+/// Lock order: the fingerprint's shard first, then (inside `matches` /
+/// `insert`) a store stripe. The invariant that every id present in a
+/// shard map has already been stored makes the equality probe safe.
+fn intern<M>(ctx: &Ctx<M>, fp: u64, state: Simulation<M>) -> Interned
+where
+    M: Machine + Eq + Hash,
+{
+    let mut shard = ctx.shards[(fp % SHARDS as u64) as usize]
+        .lock()
+        .expect("shard lock");
+    if let Some(ids) = shard.map.get(&fp) {
+        for &known in ids {
+            if ctx.store.matches(known as usize, &state) {
+                shard.hits += 1;
+                return Interned::Known(known);
+            }
+        }
+    }
+    let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
+    if id >= ctx.max_states {
+        return Interned::Limit;
+    }
+    ctx.store.insert(id, state);
+    let id = u32::try_from(id).expect("max_states clamped to u32 range");
+    shard.map.entry(fp).or_default().push(id);
+    Interned::Fresh(id)
+}
+
+/// What one worker brings home: its slice of the graph plus its tallies.
+struct WorkerOut<M: Machine> {
+    /// Outgoing edges of every state this worker expanded.
+    edges: Vec<(u32, Vec<Edge<M::Event>>)>,
+    /// Discovery parents of every state this worker discovered:
+    /// `(child, parent, proc, crash)`.
+    parents: Vec<(u32, u32, u32, bool)>,
+    /// States expanded.
+    expanded: u64,
+    /// Work items stolen from other workers.
+    steals: u64,
+    /// Transitions recorded.
+    edge_total: u64,
+}
+
+/// Pops the next work item: own deque from the back, else a sweep of the
+/// other workers' deques from the front.
+fn pop_work<M: Machine>(me: usize, ctx: &Ctx<M>, steals: &mut u64) -> Option<WorkItem> {
+    if let Some(item) = ctx.queues[me].lock().expect("queue lock").pop_back() {
+        return Some(item);
+    }
+    let n = ctx.queues.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        if let Some(item) = ctx.queues[victim].lock().expect("queue lock").pop_front() {
+            *steals += 1;
+            return Some(item);
+        }
+    }
+    None
+}
+
+/// One worker's main loop.
+fn worker<M, P>(me: usize, ctx: &Ctx<M>, probe: &P) -> WorkerOut<M>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
+    if P::ENABLED {
+        probe.span_open(Span::ExploreWorker, me as u64);
+    }
+    let mut out = WorkerOut {
+        edges: Vec::new(),
+        parents: Vec::new(),
+        expanded: 0,
+        steals: 0,
+        edge_total: 0,
+    };
+    let mut idle = 0u32;
+    'outer: while !ctx.aborted.load(Ordering::SeqCst) {
+        let Some((id, depth)) = pop_work(me, ctx, &mut out.steals) else {
+            if ctx.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            idle += 1;
+            if idle >= IDLE_SPINS {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        };
+        idle = 0;
+        let state = ctx.store.clone_state(id as usize);
+        let mut edges_out = Vec::new();
+        for proc in 0..state.process_count() {
+            if state.is_halted(proc) {
+                continue;
+            }
+            for crash in [false, true] {
+                if crash && !ctx.crashes {
+                    continue;
+                }
+                let mut next = state.clone();
+                if crash {
+                    next.crash(proc).expect("slot is valid");
+                } else {
+                    next.step(proc).expect("slot is valid and not halted");
+                }
+                let events: Vec<M::Event> =
+                    next.trace().events().map(|(_, _, e)| e.clone()).collect();
+                next.clear_trace();
+                let fp = next.fingerprint();
+                let target = match intern(ctx, fp, next) {
+                    Interned::Known(t) => t,
+                    Interned::Fresh(t) => {
+                        out.parents.push((t, id, proc as u32, crash));
+                        // Count the child before enqueueing it so `pending`
+                        // never under-reports outstanding work.
+                        ctx.pending.fetch_add(1, Ordering::SeqCst);
+                        ctx.queues[me]
+                            .lock()
+                            .expect("queue lock")
+                            .push_back((t, depth + 1));
+                        if P::ENABLED {
+                            ctx.max_depth
+                                .fetch_max(u64::from(depth) + 1, Ordering::Relaxed);
+                        }
+                        t
+                    }
+                    Interned::Limit => {
+                        ctx.aborted.store(true, Ordering::SeqCst);
+                        break 'outer;
+                    }
+                };
+                out.edge_total += 1;
+                edges_out.push(Edge {
+                    proc,
+                    target: target as usize,
+                    events,
+                    crash,
+                });
+            }
+        }
+        out.edges.push((id, edges_out));
+        out.expanded += 1;
+        ctx.pending.fetch_sub(1, Ordering::SeqCst);
+        if P::ENABLED && out.expanded % GAUGE_SAMPLE_EVERY as u64 == 0 {
+            probe.gauge(
+                Metric::ExploreFrontier,
+                0,
+                ctx.pending.load(Ordering::Relaxed) as u64,
+            );
+            probe.gauge(
+                Metric::ExploreDepth,
+                0,
+                ctx.max_depth.load(Ordering::Relaxed),
+            );
+        }
+    }
+    if P::ENABLED {
+        probe.counter(Metric::ExploreSteals, me as u64, out.steals);
+        probe.span_close(Span::ExploreWorker, me as u64, out.expanded);
+    }
+    out
+}
+
+/// Explores the reachable graph of `initial` with `threads` workers.
+pub(super) fn run_parallel<M, P>(
+    initial: Simulation<M>,
+    config: &ExploreConfig,
+    probe: &P,
+    threads: usize,
+) -> Result<StateGraph<M>, ExploreError>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
+    let mut initial = initial;
+    initial.clear_trace();
+
+    if P::ENABLED {
+        probe.span_open(Span::Explore, 0);
+    }
+
+    let ctx = Ctx {
+        shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        store: StateStore::new(),
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        next_id: AtomicUsize::new(0),
+        pending: AtomicUsize::new(0),
+        aborted: AtomicBool::new(false),
+        max_depth: AtomicU64::new(0),
+        // Ids are u32; clamp so `intern`'s cast cannot overflow. A graph
+        // needing more than 2^32 - 1 states would exhaust memory first.
+        max_states: config.max_states.min(u32::MAX as usize),
+        crashes: config.crashes,
+    };
+
+    let fp = initial.fingerprint();
+    match intern(&ctx, fp, initial) {
+        Interned::Fresh(id) => debug_assert_eq!(id, 0, "first interned state is state 0"),
+        Interned::Known(_) => unreachable!("the dedup table starts empty"),
+        Interned::Limit => {
+            if P::ENABLED {
+                report_totals(&ctx, probe, 0, 0);
+                probe.span_close(Span::Explore, 0, 0);
+            }
+            return Err(ExploreError::StateLimitExceeded {
+                limit: config.max_states,
+            });
+        }
+    }
+    ctx.pending.store(1, Ordering::SeqCst);
+    ctx.queues[0].lock().expect("queue lock").push_back((0, 0));
+
+    let outs: Vec<WorkerOut<M>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let ctx = &ctx;
+                s.spawn(move || worker(i, ctx, probe))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("explorer worker panicked"))
+            .collect()
+    });
+
+    let total = ctx.next_id.load(Ordering::SeqCst).min(ctx.max_states);
+    let edge_total: u64 = outs.iter().map(|o| o.edge_total).sum();
+
+    if ctx.aborted.load(Ordering::SeqCst) {
+        if P::ENABLED {
+            report_totals(&ctx, probe, total as u64, edge_total);
+            probe.span_close(Span::Explore, 0, total as u64);
+        }
+        return Err(ExploreError::StateLimitExceeded {
+            limit: config.max_states,
+        });
+    }
+
+    if P::ENABLED {
+        report_totals(&ctx, probe, total as u64, edge_total);
+        probe.gauge(Metric::ExploreFrontier, 0, 0);
+        probe.gauge(
+            Metric::ExploreDepth,
+            0,
+            ctx.max_depth.load(Ordering::Relaxed),
+        );
+        probe.span_close(Span::Explore, 0, total as u64);
+    }
+
+    let mut edges: Vec<Vec<Edge<M::Event>>> = Vec::new();
+    edges.resize_with(total, Vec::new);
+    let mut parents: Vec<Option<(usize, usize, bool)>> = vec![None; total];
+    for out in outs {
+        for (id, e) in out.edges {
+            edges[id as usize] = e;
+        }
+        for (child, parent, proc, crash) in out.parents {
+            parents[child as usize] = Some((parent as usize, proc as usize, crash));
+        }
+    }
+    let states = ctx.store.into_states(total);
+
+    Ok(StateGraph {
+        states,
+        edges,
+        parents,
+    })
+}
+
+/// Emits the exploration-wide counters: state/edge totals plus the dedup
+/// hits of every shard (keyed by shard index).
+fn report_totals<M: Machine, P: Probe>(ctx: &Ctx<M>, probe: &P, states: u64, edges: u64) {
+    probe.counter(Metric::ExploreStates, 0, states);
+    probe.counter(Metric::ExploreEdges, 0, edges);
+    for (idx, shard) in ctx.shards.iter().enumerate() {
+        let hits = shard.lock().expect("shard lock").hits;
+        if hits > 0 {
+            probe.counter(Metric::ExploreDedup, idx as u64, hits);
+        }
+    }
+}

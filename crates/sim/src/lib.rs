@@ -14,9 +14,11 @@
 //!   "process covers a register" move of the §6 covering arguments.
 //! * [`sched`] — deterministic schedulers: solo, round-robin, lock-step
 //!   (Theorem 3.4's adversary), and seeded-random sweeps.
-//! * [`explore`] — exhaustive explicit-state model checking with safety
-//!   predicates and SCC-based fair-livelock detection (how experiment E1
-//!   proves the odd/even dichotomy of Theorem 3.1).
+//! * [`explore`] — exhaustive explicit-state model checking behind the
+//!   [`explore::Explorer`] builder, with safety predicates, SCC-based
+//!   fair-livelock detection (how experiment E1 proves the odd/even
+//!   dichotomy of Theorem 3.1), and an optional breadth-parallel engine
+//!   for large state spaces.
 //! * [`obstruction`] — the obstruction-freedom checker: from every reachable
 //!   state, every process running alone must terminate within a bound.
 //! * [`symmetry`] — the rotation-symmetry invariant behind Theorem 3.4's
@@ -68,3 +70,15 @@ pub mod symmetry;
 pub mod viz;
 
 pub use simulation::{SimError, Simulation, SimulationBuilder, StepOutcome};
+
+pub mod prelude {
+    //! The one-line import for model checking:
+    //! `use anonreg_sim::prelude::*;` brings in the [`Explorer`] builder,
+    //! its [`ExploreConfig`]/[`ExploreError`] companions, the
+    //! [`StateGraph`] it produces, and the [`Simulation`] it consumes.
+
+    pub use crate::explore::{
+        Edge, ExploreConfig, ExploreError, Explorer, ScheduleAction, StateGraph,
+    };
+    pub use crate::{SimError, Simulation, SimulationBuilder};
+}

@@ -125,7 +125,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{explore, ExploreLimits};
+    use crate::explore::Explorer;
     use crate::Simulation;
     use anonreg_model::{Pid, Step, View};
 
@@ -204,7 +204,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         let report = check_obstruction_freedom(&graph, 10).unwrap();
         assert!(report.solo_runs > 0);
         assert_eq!(report.max_solo_ops, 1);
@@ -230,7 +230,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         let probe = MemProbe::new();
         let report = check_obstruction_freedom_probed(&graph, 10, &probe).unwrap();
         let snap = probe.into_snapshot();
@@ -248,7 +248,7 @@ mod tests {
             .process(Forever { pid: pid(1) }, View::identity(1))
             .build()
             .unwrap();
-        let graph = explore(sim, &ExploreLimits::default()).unwrap();
+        let graph = Explorer::new(sim).run().unwrap();
         let violation = check_obstruction_freedom(&graph, 5).unwrap_err();
         assert_eq!(violation.proc, 0);
         assert_eq!(violation.budget, 5);

@@ -518,6 +518,37 @@ impl<M: Machine> Simulation<M> {
         self.trace = Trace::new();
     }
 
+    /// A stable 64-bit fingerprint of the current configuration — register
+    /// contents plus every process slot (machine state, pending read,
+    /// poised write, crash flag). The trace is excluded: two executions
+    /// reaching the same configuration fingerprint identically.
+    ///
+    /// Computed with [`anonreg_model::fingerprint::Fnv64`], so the value is
+    /// identical across threads and runs. Fingerprints may collide;
+    /// [`Simulation::same_configuration`] is the authoritative comparison.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64
+    where
+        M: std::hash::Hash,
+    {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = anonreg_model::fingerprint::Fnv64::new();
+        self.registers.hash(&mut hasher);
+        self.slots.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Whether two simulations are in the same configuration: identical
+    /// register contents and identical process slots. Traces are ignored,
+    /// matching [`Simulation::fingerprint`].
+    #[must_use]
+    pub fn same_configuration(&self, other: &Self) -> bool
+    where
+        M: Eq,
+    {
+        self.registers == other.registers && self.slots == other.slots
+    }
+
     /// Full slot state (machine + pending read input + poised write), for
     /// the symmetry checker.
     pub(crate) fn slot(&self, proc: usize) -> &Slot<M> {

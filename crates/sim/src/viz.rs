@@ -70,7 +70,7 @@ impl DotStats {
 ///
 /// ```
 /// use anonreg_model::{Machine, Pid, Step, View};
-/// use anonreg_sim::explore::{explore, ExploreLimits};
+/// use anonreg_sim::prelude::*;
 /// use anonreg_sim::viz::{to_dot, DotOptions};
 /// use anonreg_sim::Simulation;
 ///
@@ -89,7 +89,7 @@ impl DotStats {
 /// let sim = Simulation::builder()
 ///     .process(Once(Pid::new(1).unwrap(), false), View::identity(1))
 ///     .build()?;
-/// let graph = explore(sim, &ExploreLimits::default()).unwrap();
+/// let graph = Explorer::new(sim).run().unwrap();
 /// let dot = to_dot(&graph, &DotOptions::default(), |s| format!("{:?}", s.registers()));
 /// assert!(dot.starts_with("digraph"));
 /// # Ok::<(), anonreg_sim::SimError>(())
@@ -178,7 +178,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{explore, ExploreLimits};
+    use crate::explore::Explorer;
     use anonreg_model::{Pid, Step, View};
 
     #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -225,7 +225,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        explore(sim, &ExploreLimits::default()).unwrap()
+        Explorer::new(sim).run().unwrap()
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use anonreg_model::rng::Rng64;
 use anonreg_model::{Machine, Pid, Step, View};
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::{sched, Simulation};
 
 const CASES: usize = 64;
@@ -138,7 +138,7 @@ fn cover_then_release_equals_direct_steps() {
 /// appears in the exhaustive state graph.
 #[test]
 fn random_runs_stay_within_the_explored_graph() {
-    let graph = explore(two_mixers(2, 3), &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(two_mixers(2, 3)).run().unwrap();
     let mut rng = Rng64::seed_from_u64(0x6AF);
     for _ in 0..CASES {
         let seed = rng.next_u64();
@@ -157,7 +157,7 @@ fn random_runs_stay_within_the_explored_graph() {
 /// Schedules reconstructed by the explorer replay to their states.
 #[test]
 fn reconstructed_schedules_replay() {
-    let graph = explore(two_mixers(1, 3), &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(two_mixers(1, 3)).run().unwrap();
     let mut rng = Rng64::seed_from_u64(0x3C0);
     for _ in 0..CASES {
         let id = rng.gen_index(graph.state_count());

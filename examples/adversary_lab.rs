@@ -20,7 +20,7 @@ use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::{Pid, View};
 use anonreg_lower::consensus_cover;
 use anonreg_lower::ring::ring_starvation;
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 fn pid(n: u64) -> Pid {
@@ -38,7 +38,7 @@ fn main() {
             .build()
             .unwrap()
     };
-    let graph = explore(build(), &ExploreLimits::default()).unwrap();
+    let graph = Explorer::new(build()).run().unwrap();
     println!("reachable states: {}", graph.state_count());
     let livelock = graph
         .find_fair_livelock(

@@ -31,7 +31,7 @@ use anonreg_lint::{
     exit_restores_memory, solo_termination, symmetry, Analysis, CfgConfig, LintId, LintReport,
 };
 use anonreg_runtime::AnonymousMutex;
-use anonreg_sim::explore::{explore, ExploreLimits};
+use anonreg_sim::prelude::*;
 use anonreg_sim::Simulation;
 
 /// The classic broken lock: `if flag == 0 { flag = 1; /* enter */ }`.
@@ -163,7 +163,7 @@ fn main() {
         .process(NaiveFlagMutex::new(p2), View::identity(1))
         .build()
         .expect("uniform configuration");
-    let graph = explore(sim, &ExploreLimits::default()).expect("tiny state space");
+    let graph = Explorer::new(sim).run().expect("tiny state space");
     println!("reachable states: {}", graph.state_count());
     let bad = graph
         .find_state(|s| {
@@ -186,7 +186,7 @@ fn main() {
         .process(AnonMutex::new(p2, 3).unwrap(), View::rotated(3, 1))
         .build()
         .expect("uniform configuration");
-    let graph = explore(sim, &ExploreLimits::default()).expect("fits the limit");
+    let graph = Explorer::new(sim).run().expect("fits the limit");
     println!("reachable states: {}", graph.state_count());
     let bad = graph.find_state(|s| {
         s.machines()

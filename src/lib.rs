@@ -1,3 +1,8 @@
 //! Workspace umbrella crate: hosts the integration tests in `tests/` and the
 //! runnable examples in `examples/`. The real library lives in the `anonreg*`
 //! crates; see the repository README.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use anonreg_sim::prelude;

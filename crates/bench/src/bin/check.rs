@@ -35,6 +35,9 @@ fn usage() -> ExitCode {
          [--json FILE] [--min-speedup X]   parallel-explorer scaling benchmark (E14)\n\
          \x20      check lint <--all|ALGO|fixtures>   static analysis (L1-L6); \
          ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}\n\
+         \x20      check stress [--schedules N] [--seed N] [--family F] [--replay SEED] \
+         [--quick] [--json FILE] [--broken]   fault-injection stress sweeps (E15); \
+         violations print the seed and exit non-zero\n\
          \x20      check obs [--m N] [--shift N] [--entries N] [--max-states N] \
          [--json FILE] [--trace FILE]   probed run + contention heatmap\n\
          \x20      check obs validate FILE            schema-validate a JSONL file\n\
@@ -385,6 +388,165 @@ fn explore_main(raw: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `check stress` — experiment E15's seeded fault-injection stress
+/// sweeps. The default run draws `--schedules` random fault plans per
+/// family (crashes, stalls, restarts), drives every algorithm family on
+/// real threads under them, and asserts the family's safety invariant;
+/// any violation prints a replay command carrying the exact seed and the
+/// exit code goes non-zero. `--broken` swaps in the deliberately
+/// unprotected doorway fixture, which *must* violate — CI asserts that
+/// run fails.
+fn stress_main(raw: &[String]) -> ExitCode {
+    use anonreg_bench::{benchjson, e15_faults};
+    use anonreg_obs::schema::meta_line;
+    use anonreg_obs::Json;
+
+    let mut schedules: Option<u64> = None;
+    let mut seed: u64 = 1;
+    let mut family_arg: Option<String> = None;
+    let mut replay: Option<u64> = None;
+    let mut quick = false;
+    let mut broken = false;
+    let mut json_path: Option<String> = None;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--broken" => broken = true,
+            "--schedules" | "--seed" | "--replay" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--schedules" => schedules = Some(v),
+                    "--seed" => seed = v,
+                    _ => replay = Some(v),
+                }
+            }
+            "--family" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                family_arg = Some(v.clone());
+            }
+            "--json" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                json_path = Some(v.clone());
+            }
+            _ => return usage(),
+        }
+    }
+
+    let selected: Vec<&'static str> = if broken {
+        vec![e15_faults::BROKEN]
+    } else if let Some(name) = &family_arg {
+        let known = e15_faults::FAMILIES
+            .iter()
+            .find(|f| **f == *name)
+            .copied()
+            .or_else(|| (name == e15_faults::BROKEN).then_some(e15_faults::BROKEN));
+        match known {
+            Some(f) => vec![f],
+            None => {
+                eprintln!(
+                    "unknown family {name:?}; expected one of {:?} or {:?}",
+                    e15_faults::FAMILIES,
+                    e15_faults::BROKEN
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        e15_faults::FAMILIES.to_vec()
+    };
+
+    if let Some(replay_seed) = replay {
+        let mut bad = false;
+        for fam in &selected {
+            let report = e15_faults::run_one(fam, replay_seed);
+            println!(
+                "{fam}: seed {replay_seed}: {} crash(es), {} stall(s), {} restart(s) scheduled{}",
+                report.crashes,
+                report.stalls,
+                report.restarts,
+                if report.timed_out { ", timed out" } else { "" }
+            );
+            match &report.violation {
+                Some(v) => {
+                    println!("  VIOLATION: {v}");
+                    bad = true;
+                }
+                None => println!("  safety invariant held"),
+            }
+        }
+        return if bad {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let per_family = schedules.unwrap_or(if quick { 25 } else { 150 });
+    println!(
+        "fault-injection stress (E15): {per_family} seeded schedule(s) x {} family(ies), \
+         base seed {seed}",
+        selected.len()
+    );
+    let rows: Vec<e15_faults::Row> = selected
+        .iter()
+        .map(|f| e15_faults::sweep(f, seed, per_family))
+        .collect();
+    println!("{}", e15_faults::render(&rows));
+
+    if let Some(path) = &json_path {
+        let mut out = meta_line(
+            "check-stress",
+            &[
+                ("schedules", Json::U64(per_family)),
+                ("seed", Json::U64(seed)),
+                ("families", Json::U64(selected.len() as u64)),
+            ],
+        )
+        .render();
+        out.push('\n');
+        out.push_str(&benchjson::to_jsonl(&e15_faults::metrics(&rows)));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+
+    let mut bad = false;
+    for row in &rows {
+        if let Some(s) = row.first_violation_seed {
+            bad = true;
+            eprintln!(
+                "{}: {} violation(s); replay deterministically with \
+                 `check stress --family {} --replay {s}`",
+                row.family, row.violations, row.family
+            );
+        }
+    }
+    if bad {
+        return ExitCode::FAILURE;
+    }
+    if broken {
+        eprintln!(
+            "broken fixture did NOT violate — the harness failed to detect an \
+             unprotected doorway"
+        );
+    } else {
+        println!(
+            "no safety violations across {} schedule(s)",
+            per_family * selected.len() as u64
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 struct Args {
     m: usize,
     n: usize,
@@ -523,6 +685,9 @@ fn main() -> ExitCode {
     }
     if kind == "explore" {
         return explore_main(&raw[1..]);
+    }
+    if kind == "stress" {
+        return stress_main(&raw[1..]);
     }
     let Some(args) = parse(&raw[1..]) else {
         return usage();

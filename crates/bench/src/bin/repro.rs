@@ -17,9 +17,9 @@ use std::time::Instant;
 
 use anonreg_bench::benchjson::BenchMetric;
 use anonreg_bench::{
-    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e1_parity, e2_ring,
-    e3_consensus, e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n, e8_election,
-    e9_threads,
+    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e15_faults, e1_parity,
+    e2_ring, e3_consensus, e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n,
+    e8_election, e9_threads,
 };
 use anonreg_obs::schema::meta_line;
 use anonreg_obs::Json;
@@ -55,7 +55,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--json FILE] [e1 .. e13]\n\
+                    "usage: repro [--quick] [--json FILE] [e1 .. e15]\n\
                      Regenerates the experiment tables of the PODC'17\n\
                      'Coordination Without Prior Agreement' reproduction.\n\
                      --json FILE also writes every metric as schema-v1\n\
@@ -196,6 +196,15 @@ fn main() {
             }
             .expect("scaling workload exceeded its state limit");
             (e14_scaling::render(&rows), e14_scaling::metrics(&rows))
+        },
+    );
+
+    section(
+        "e15",
+        "fault-injection stress sweeps under the §2 failure model",
+        &|| {
+            let rows = e15_faults::rows(1, if q { 10 } else { 50 });
+            (e15_faults::render(&rows), e15_faults::metrics(&rows))
         },
     );
 

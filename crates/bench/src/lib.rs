@@ -20,6 +20,7 @@
 //! | [`e12_starvation`] | E12 | §8 open-problem context — deadlock-freedom vs starvation-freedom, separated mechanically |
 //! | [`e13_ordered`] | E13 | §2 variant — identifier order breaks the even-`m` wall with zero extra registers, model-checked |
 //! | [`e14_scaling`] | E14 | parallel model checking — `Explorer` thread scaling on the Figure 2 consensus space |
+//! | [`e15_faults`] | E15 | §2 failure model — seeded fault-injection stress sweeps across every family |
 //!
 //! `cargo run --release -p anonreg-bench --bin repro` prints them all; the
 //! Criterion benches in `benches/` time the underlying machinery.
@@ -32,6 +33,7 @@ pub mod e11_hybrid;
 pub mod e12_starvation;
 pub mod e13_ordered;
 pub mod e14_scaling;
+pub mod e15_faults;
 pub mod e1_parity;
 pub mod e2_ring;
 pub mod e3_consensus;

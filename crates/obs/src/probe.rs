@@ -51,6 +51,13 @@ pub enum Metric {
     SoloOps,
     /// Size of a covering attack's write set (`|write(y, q)|`).
     CoverWriteSet,
+    /// Faults injected by a `FaultyDriver` (crash, stall or restart),
+    /// keyed by the faulted process identifier.
+    FaultInjected,
+    /// Recoveries: a crashed process restarted as a fresh machine with
+    /// the same identifier and a new random view. Keyed by the process
+    /// identifier.
+    FaultRecovered,
 }
 
 impl Metric {
@@ -71,6 +78,8 @@ impl Metric {
             Metric::ExploreSteals => "explore_steals",
             Metric::SoloOps => "solo_ops",
             Metric::CoverWriteSet => "cover_write_set",
+            Metric::FaultInjected => "fault_injected",
+            Metric::FaultRecovered => "fault_recovered",
         }
     }
 }
@@ -569,6 +578,8 @@ mod tests {
         assert_eq!(Metric::RegRead.name(), "reg_read");
         assert_eq!(Metric::ExploreDedup.name(), "explore_dedup");
         assert_eq!(Metric::ExploreSteals.name(), "explore_steals");
+        assert_eq!(Metric::FaultInjected.name(), "fault_injected");
+        assert_eq!(Metric::FaultRecovered.name(), "fault_recovered");
         assert_eq!(Span::SoloWindow.name(), "solo_window");
         assert_eq!(Span::CoverBlock.name(), "cover_block");
         assert_eq!(Span::ExploreWorker.name(), "explore_worker");

@@ -37,6 +37,23 @@ impl Backoff {
     }
 }
 
+/// Outcome of a single [`Driver::step`].
+///
+/// One step is one `resume` call on the machine: either a memory
+/// operation was performed on its behalf, an event surfaced, or the
+/// machine halted. Fault injectors and other wrappers use this to
+/// interleave their own logic between machine steps at the same
+/// granularity the simulator's scheduler uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverStep<E> {
+    /// The machine performed an atomic read or write.
+    Op,
+    /// The machine emitted an event.
+    Event(E),
+    /// The machine halted (or had already halted).
+    Halted,
+}
+
 /// Statistics from a completed drive.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DriverReport {
@@ -199,23 +216,49 @@ where
         self.halted
     }
 
+    /// The next randomized-backoff window cap in spin iterations, or
+    /// `None` if backoff is disabled. Exposed so tests (and fault
+    /// schedules) can observe the reset-on-event behavior
+    /// deterministically.
+    #[must_use]
+    pub fn backoff_window(&self) -> Option<u32> {
+        self.backoff.map(|_| self.current_spins)
+    }
+
+    /// Performs exactly one machine step (`resume` call), answering reads
+    /// and writes through the view. Wrappers such as the fault injector
+    /// build their drive loops on this.
+    pub fn step(&mut self) -> DriverStep<M::Event> {
+        if self.halted {
+            return DriverStep::Halted;
+        }
+        match self.machine.resume(self.pending.take()) {
+            Step::Read(local) => {
+                self.do_read(local);
+                DriverStep::Op
+            }
+            Step::Write(local, value) => {
+                self.do_write(local, value);
+                DriverStep::Op
+            }
+            Step::Event(event) => {
+                self.note_event();
+                DriverStep::Event(event)
+            }
+            Step::Halt => {
+                self.do_halt();
+                DriverStep::Halted
+            }
+        }
+    }
+
     /// Runs until the machine emits an event (returned) or halts (`None`).
     pub fn run_until_event(&mut self) -> Option<M::Event> {
         loop {
-            if self.halted {
-                return None;
-            }
-            match self.machine.resume(self.pending.take()) {
-                Step::Read(local) => self.do_read(local),
-                Step::Write(local, value) => self.do_write(local, value),
-                Step::Event(event) => {
-                    self.report.events += 1;
-                    return Some(event);
-                }
-                Step::Halt => {
-                    self.do_halt();
-                    return None;
-                }
+            match self.step() {
+                DriverStep::Op => {}
+                DriverStep::Event(event) => return Some(event),
+                DriverStep::Halted => return None,
             }
         }
     }
@@ -233,36 +276,32 @@ where
             if self.halted {
                 return false;
             }
-            match self.machine.resume(self.pending.take()) {
-                Step::Read(local) => self.do_read(local),
-                Step::Write(local, value) => self.do_write(local, value),
-                Step::Event(_) => self.report.events += 1,
-                Step::Halt => self.do_halt(),
-            }
+            self.step();
         }
     }
 
     /// Like [`run_until`](Driver::run_until), but gives up after `max_ops`
-    /// further atomic memory operations. Returns whether the predicate held
-    /// before the budget ran out.
+    /// further machine steps. Returns whether the predicate held before
+    /// the budget ran out.
+    ///
+    /// Every `resume` call counts against the budget — not just atomic
+    /// memory operations — so a machine spinning through `Step::Event`
+    /// without touching memory still exhausts it instead of hanging the
+    /// caller.
     pub fn run_until_bounded<F>(&mut self, mut pred: F, max_ops: u64) -> bool
     where
         F: FnMut(&M) -> bool,
     {
-        let deadline = self.report.ops().saturating_add(max_ops);
+        let mut remaining = max_ops;
         loop {
             if pred(&self.machine) {
                 return true;
             }
-            if self.halted || self.report.ops() >= deadline {
+            if self.halted || remaining == 0 {
                 return false;
             }
-            match self.machine.resume(self.pending.take()) {
-                Step::Read(local) => self.do_read(local),
-                Step::Write(local, value) => self.do_write(local, value),
-                Step::Event(_) => self.report.events += 1,
-                Step::Halt => self.do_halt(),
-            }
+            remaining -= 1;
+            self.step();
         }
     }
 
@@ -316,6 +355,18 @@ where
         }
         self.view.write(local, value);
         self.spin_backoff();
+    }
+
+    fn note_event(&mut self) {
+        self.report.events += 1;
+        // An event marks a completed high-level operation (entered the CS,
+        // decided, acquired a name): whatever contention the backoff was
+        // escalating against has been survived, so the window resets.
+        // Without this, a long-lived handle pays near-`max_spins` on every
+        // write forever even after contention vanishes.
+        if let Some(backoff) = self.backoff {
+            self.current_spins = backoff.min_spins;
+        }
     }
 
     fn do_halt(&mut self) {
@@ -571,5 +622,102 @@ mod tests {
         let mem: Mem = AnonymousMemory::new(4);
         let machine = AnonMutex::new(pid(1), 3).unwrap();
         let _ = Driver::new(machine, mem.view(View::identity(4)));
+    }
+
+    /// Emits events forever without ever touching memory. Regression
+    /// scaffolding for the `run_until_bounded` budget fix.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct EventSpinner {
+        pid: Pid,
+    }
+
+    impl Machine for EventSpinner {
+        type Value = u64;
+        type Event = u64;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, u64> {
+            Step::Event(0)
+        }
+    }
+
+    #[test]
+    fn bounded_run_counts_event_only_steps() {
+        let mem: Mem = AnonymousMemory::new(1);
+        let machine = EventSpinner { pid: pid(7) };
+        let mut driver = Driver::new(machine, mem.view(View::identity(1)));
+        // This used to hang: the budget counted only reads + writes, and
+        // an event-spinning machine performs neither.
+        assert!(!driver.run_until_bounded(|_| false, 1_000));
+        assert_eq!(driver.report().events, 1_000);
+        assert_eq!(driver.report().ops(), 0);
+    }
+
+    /// Two bursts of ten writes separated by an event, then halt.
+    /// Regression scaffolding for the backoff-reset fix.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct WriteBurst {
+        pid: Pid,
+        step: u32,
+    }
+
+    impl Machine for WriteBurst {
+        type Value = u64;
+        type Event = u64;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, u64> {
+            let step = self.step;
+            self.step += 1;
+            match step {
+                0..=9 | 11..=20 => Step::Write(0, u64::from(step)),
+                10 => Step::Event(0),
+                _ => Step::Halt,
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_resets_to_min_after_event() {
+        let mem: Mem = AnonymousMemory::new(1);
+        let machine = WriteBurst {
+            pid: pid(3),
+            step: 0,
+        };
+        let mut driver = Driver::new(machine, mem.view(View::identity(1))).with_backoff(Backoff {
+            min_spins: 1,
+            max_spins: 1 << 20,
+        });
+        assert_eq!(driver.backoff_window(), Some(1));
+        assert_eq!(driver.run_until_event(), Some(0));
+        // The event completed an operation: the window is back at
+        // min_spins instead of the 1024 the first burst escalated to.
+        assert_eq!(driver.backoff_window(), Some(1));
+        driver.run_to_halt();
+        // Each ten-write burst draws from caps 1, 2, ..., 512, so the
+        // spin total is bounded by 2 · (2^10 − 1) = 2046. Without the
+        // reset the second burst's caps continue at 1024..524288 and the
+        // (seeded, deterministic) total blows far past this bound.
+        let report = driver.report();
+        assert_eq!(report.writes, 20);
+        assert!(
+            report.spin_iterations <= 2 * 1023,
+            "spin total {} exceeds the two-cycle reset bound",
+            report.spin_iterations
+        );
     }
 }

@@ -12,7 +12,10 @@ use anonreg::renaming::{AnonRenaming, RenRecord, RenamingEvent};
 use anonreg_model::rng::Rng64;
 use anonreg_model::Pid;
 
-use crate::{AnonymousMemory, Backoff, Driver, LockRegister, MemoryView, PackedAtomicRegister};
+use crate::{
+    AnonymousMemory, Backoff, DriveOutcome, Driver, FaultCell, FaultPlan, FaultRecord,
+    FaultyDriver, LockRegister, MemoryView, PackedAtomicRegister,
+};
 
 /// Errors from the high-level runtime APIs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,13 +85,62 @@ impl std::error::Error for RuntimeError {}
 /// object.
 type PidRegistry = Arc<Mutex<Vec<Pid>>>;
 
-fn claim_pid(registry: &PidRegistry, pid: Pid) -> Result<(), RuntimeError> {
+/// RAII claim on an identifier in one object's registry. Dropping the
+/// lease releases the pid, so dropping a handle and re-creating one with
+/// the same identifier works — only *concurrent* duplicates are rejected,
+/// which is all the paper's distinct-identifier assumption requires.
+struct PidLease {
+    registry: PidRegistry,
+    pid: Pid,
+}
+
+impl Drop for PidLease {
+    fn drop(&mut self) {
+        if let Ok(mut issued) = self.registry.lock() {
+            if let Some(i) = issued.iter().position(|p| *p == self.pid) {
+                issued.swap_remove(i);
+            }
+        }
+    }
+}
+
+fn claim_pid(registry: &PidRegistry, pid: Pid) -> Result<PidLease, RuntimeError> {
     let mut issued = registry.lock().expect("pid registry poisoned");
     if issued.contains(&pid) {
         return Err(RuntimeError::DuplicatePid { pid });
     }
     issued.push(pid);
-    Ok(())
+    drop(issued);
+    Ok(PidLease {
+        registry: Arc::clone(registry),
+        pid,
+    })
+}
+
+/// RAII claim on one of a bounded number of handle slots (the two-process
+/// mutexes). Dropping the slot frees it for a future handle.
+struct HandleSlot {
+    handles: Arc<AtomicUsize>,
+}
+
+impl Drop for HandleSlot {
+    fn drop(&mut self) {
+        self.handles.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn claim_slot(handles: &Arc<AtomicUsize>, max: usize) -> Result<(HandleSlot, usize), RuntimeError> {
+    let previous = handles.fetch_add(1, Ordering::SeqCst);
+    if previous >= max {
+        handles.fetch_sub(1, Ordering::SeqCst);
+        return Err(RuntimeError::TooManyHandles);
+    }
+    Ok((
+        HandleSlot {
+            handles: Arc::clone(handles),
+        },
+        previous,
+    ))
 }
 
 fn check_packable(value: u64) -> Result<(), RuntimeError> {
@@ -144,6 +196,7 @@ pub struct AnonymousMutex {
     memory: AnonymousMemory<PackedAtomicRegister<u64>>,
     handles: Arc<AtomicUsize>,
     pids: PidRegistry,
+    cell: Arc<FaultCell>,
 }
 
 impl AnonymousMutex {
@@ -161,27 +214,65 @@ impl AnonymousMutex {
             memory: AnonymousMemory::new(m),
             handles: Arc::new(AtomicUsize::new(0)),
             pids: PidRegistry::default(),
+            cell: Arc::new(FaultCell::new()),
         })
     }
 
     /// Creates a participant handle with a fresh random register view.
     ///
+    /// Dropping a handle releases both its identifier and its slot, so a
+    /// replacement handle (same pid or a new one) can be created later.
+    ///
     /// # Errors
     ///
-    /// [`RuntimeError::TooManyHandles`] on the third call — the algorithm
-    /// is proven for two processes only (more is the paper's headline open
-    /// problem).
+    /// [`RuntimeError::TooManyHandles`] while two handles are live — the
+    /// algorithm is proven for two processes only (more is the paper's
+    /// headline open problem). [`RuntimeError::DuplicatePid`] if the
+    /// identifier is already held by a live handle.
     pub fn handle(&self, pid: Pid) -> Result<MutexHandle, RuntimeError> {
-        claim_pid(&self.pids, pid)?;
-        let previous = self.handles.fetch_add(1, Ordering::SeqCst);
-        if previous >= 2 {
-            self.handles.fetch_sub(1, Ordering::SeqCst);
-            return Err(RuntimeError::TooManyHandles);
-        }
+        let lease = claim_pid(&self.pids, pid)?;
+        let (slot, previous) = claim_slot(&self.handles, 2)?;
         let machine = AnonMutex::new(pid, self.memory.len()).expect("validated register count");
         let view = fresh_view(&self.memory, pid, previous as u64);
         Ok(MutexHandle {
             driver: Driver::new(machine, view),
+            _lease: lease,
+            _slot: slot,
+        })
+    }
+
+    /// Creates a participant handle whose execution is subjected to
+    /// `plan`'s fault schedule for `pid`: crashes abandon the machine with
+    /// the registers as written (§2's failure model), stalls pause it for
+    /// foreign ops, restarts re-run a fresh machine under a new view.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`handle`](AnonymousMutex::handle).
+    pub fn faulty_handle(
+        &self,
+        pid: Pid,
+        plan: &FaultPlan,
+    ) -> Result<FaultyMutexHandle, RuntimeError> {
+        let lease = claim_pid(&self.pids, pid)?;
+        let (slot, previous) = claim_slot(&self.handles, 2)?;
+        let m = self.memory.len();
+        let memory = self.memory.clone();
+        let salt = previous as u64;
+        let driver = FaultyDriver::new(
+            pid,
+            move |incarnation| {
+                let machine = AnonMutex::new(pid, m).expect("validated register count");
+                let salt = salt.wrapping_add(incarnation.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (machine, fresh_view(&memory, pid, salt))
+            },
+            plan,
+            Arc::clone(&self.cell),
+        );
+        Ok(FaultyMutexHandle {
+            driver,
+            _lease: lease,
+            _slot: slot,
         })
     }
 }
@@ -197,6 +288,8 @@ impl fmt::Debug for AnonymousMutex {
 /// One thread's handle on an [`AnonymousMutex`].
 pub struct MutexHandle {
     driver: Driver<AnonMutex, PackedAtomicRegister<u64>>,
+    _lease: PidLease,
+    _slot: HandleSlot,
 }
 
 impl MutexHandle {
@@ -273,6 +366,79 @@ impl fmt::Debug for MutexGuard<'_> {
     }
 }
 
+/// A fault-injected handle on an [`AnonymousMutex`]
+/// (see [`AnonymousMutex::faulty_handle`]).
+///
+/// Because the process can crash at any machine step, entry and exit are
+/// explicit outcome-returning calls rather than a guard: a crashed
+/// process's drop could not run the exit protocol without violating §2's
+/// "never writes again". Like a plain handle, dropping one releases its
+/// pid and slot (a crashed process's registers stay as written — a
+/// replacement handle may therefore block until its budget expires, which
+/// is exactly the behavior the stress harness measures).
+pub struct FaultyMutexHandle {
+    driver: FaultyDriver<AnonMutex, PackedAtomicRegister<u64>>,
+    _lease: PidLease,
+    _slot: HandleSlot,
+}
+
+impl FaultyMutexHandle {
+    /// Drives the doorway until the critical section is reached
+    /// (`Satisfied`), the process crashes, or `max_steps` machine steps
+    /// elapse (`OutOfBudget`; unlike [`MutexHandle::try_enter`] the
+    /// attempt is *not* aborted, so the caller can retry or
+    /// [`abort`](FaultyMutexHandle::abort) explicitly).
+    pub fn try_enter(&mut self, max_steps: u64) -> DriveOutcome {
+        self.driver
+            .run_until_bounded(|m| m.section() == Section::Critical, max_steps)
+    }
+
+    /// Leaves the critical section, driving the wait-free exit code until
+    /// the machine is back in its remainder (`Satisfied`) — unless a
+    /// scheduled fault crashes it mid-exit.
+    pub fn exit(&mut self, max_steps: u64) -> DriveOutcome {
+        self.driver
+            .run_until_bounded(|m| m.section() == Section::Remainder, max_steps)
+    }
+
+    /// Abandons a pending entry attempt through the algorithm's own lose
+    /// path, erasing this process's marks (see
+    /// [`MutexHandle::try_enter`]).
+    pub fn abort(&mut self, max_steps: u64) -> DriveOutcome {
+        if let Some(machine) = self.driver.machine_mut() {
+            machine.request_abort();
+        }
+        self.driver
+            .run_until_bounded(AnonMutex::in_remainder, max_steps)
+    }
+
+    /// Has the process crashed?
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.driver.is_crashed()
+    }
+
+    /// The faults injected so far, in firing order.
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.driver.fault_log()
+    }
+
+    /// Machine incarnations started (1 = never restarted).
+    #[must_use]
+    pub fn incarnations(&self) -> u64 {
+        self.driver.incarnations()
+    }
+}
+
+impl fmt::Debug for FaultyMutexHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyMutexHandle")
+            .field("driver", &self.driver)
+            .finish()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Hybrid mutual exclusion (§8 exploration)
 // ---------------------------------------------------------------------------
@@ -294,6 +460,7 @@ pub struct HybridAnonymousMutex {
     m: usize,
     handles: Arc<AtomicUsize>,
     pids: PidRegistry,
+    cell: Arc<FaultCell>,
 }
 
 impl HybridAnonymousMutex {
@@ -312,36 +479,72 @@ impl HybridAnonymousMutex {
             m,
             handles: Arc::new(AtomicUsize::new(0)),
             pids: PidRegistry::default(),
+            cell: Arc::new(FaultCell::new()),
         })
     }
 
     /// Creates a participant handle: random view over the anonymous
-    /// registers, fixed view of the named tie-breaker.
+    /// registers, fixed view of the named tie-breaker. Dropping the
+    /// handle releases both its identifier and its slot.
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::TooManyHandles`] on the third call (two-process
-    /// algorithm).
+    /// [`RuntimeError::TooManyHandles`] while two handles are live
+    /// (two-process algorithm).
     pub fn handle(&self, pid: Pid) -> Result<HybridMutexHandle, RuntimeError> {
-        claim_pid(&self.pids, pid)?;
-        let previous = self.handles.fetch_add(1, Ordering::SeqCst);
-        if previous >= 2 {
-            self.handles.fetch_sub(1, Ordering::SeqCst);
-            return Err(RuntimeError::TooManyHandles);
-        }
+        let lease = claim_pid(&self.pids, pid)?;
+        let (slot, previous) = claim_slot(&self.handles, 2)?;
         let machine = HybridMutex::new(pid, self.m).expect("validated register count");
-        // Random permutation of the anonymous part; T stays at index m.
-        let mut rng = Rng64::seed_from_u64(
-            pid.get()
-                .wrapping_mul(0x9e37_79b9)
-                .wrapping_add(previous as u64),
-        );
-        let anon = rng.permutation(self.m);
-        let view = named_view(self.m, anon).expect("shuffled range is a permutation");
+        let view = hybrid_view(self.m, pid, previous as u64);
         Ok(HybridMutexHandle {
             driver: Driver::new(machine, self.memory.view(view)),
+            _lease: lease,
+            _slot: slot,
         })
     }
+
+    /// Creates a fault-injected participant handle honoring `plan`'s
+    /// schedule for `pid` (see [`AnonymousMutex::faulty_handle`] — the
+    /// semantics are identical, with restarts re-permuting only the
+    /// anonymous registers).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`handle`](HybridAnonymousMutex::handle).
+    pub fn faulty_handle(
+        &self,
+        pid: Pid,
+        plan: &FaultPlan,
+    ) -> Result<FaultyHybridMutexHandle, RuntimeError> {
+        let lease = claim_pid(&self.pids, pid)?;
+        let (slot, previous) = claim_slot(&self.handles, 2)?;
+        let m = self.m;
+        let memory = self.memory.clone();
+        let salt = previous as u64;
+        let driver = FaultyDriver::new(
+            pid,
+            move |incarnation| {
+                let machine = HybridMutex::new(pid, m).expect("validated register count");
+                let salt = salt.wrapping_add(incarnation.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (machine, memory.view(hybrid_view(m, pid, salt)))
+            },
+            plan,
+            Arc::clone(&self.cell),
+        );
+        Ok(FaultyHybridMutexHandle {
+            driver,
+            _lease: lease,
+            _slot: slot,
+        })
+    }
+}
+
+/// A hybrid view: random permutation of the `m` anonymous registers, the
+/// named tie-breaker pinned at index `m` for everyone.
+fn hybrid_view(m: usize, pid: Pid, salt: u64) -> anonreg_model::View {
+    let mut rng = Rng64::seed_from_u64(pid.get().wrapping_mul(0x9e37_79b9).wrapping_add(salt));
+    let anon = rng.permutation(m);
+    named_view(m, anon).expect("shuffled range is a permutation")
 }
 
 impl fmt::Debug for HybridAnonymousMutex {
@@ -355,6 +558,8 @@ impl fmt::Debug for HybridAnonymousMutex {
 /// One thread's handle on a [`HybridAnonymousMutex`].
 pub struct HybridMutexHandle {
     driver: Driver<HybridMutex, PackedAtomicRegister<u64>>,
+    _lease: PidLease,
+    _slot: HandleSlot,
 }
 
 impl HybridMutexHandle {
@@ -421,6 +626,60 @@ impl fmt::Debug for HybridMutexGuard<'_> {
     }
 }
 
+/// A fault-injected handle on a [`HybridAnonymousMutex`] (see
+/// [`FaultyMutexHandle`] — semantics are identical).
+pub struct FaultyHybridMutexHandle {
+    driver: FaultyDriver<HybridMutex, PackedAtomicRegister<u64>>,
+    _lease: PidLease,
+    _slot: HandleSlot,
+}
+
+impl FaultyHybridMutexHandle {
+    /// Drives the doorway until the critical section is reached, the
+    /// process crashes, or the step budget runs out (see
+    /// [`FaultyMutexHandle::try_enter`]).
+    pub fn try_enter(&mut self, max_steps: u64) -> DriveOutcome {
+        self.driver
+            .run_until_bounded(|m| m.section() == Section::Critical, max_steps)
+    }
+
+    /// Leaves the critical section (see [`FaultyMutexHandle::exit`]).
+    pub fn exit(&mut self, max_steps: u64) -> DriveOutcome {
+        self.driver
+            .run_until_bounded(|m| m.section() == Section::Remainder, max_steps)
+    }
+
+    /// Abandons a pending entry attempt through the algorithm's lose path
+    /// (see [`FaultyMutexHandle::abort`]).
+    pub fn abort(&mut self, max_steps: u64) -> DriveOutcome {
+        if let Some(machine) = self.driver.machine_mut() {
+            machine.request_abort();
+        }
+        self.driver
+            .run_until_bounded(HybridMutex::in_remainder, max_steps)
+    }
+
+    /// Has the process crashed?
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.driver.is_crashed()
+    }
+
+    /// The faults injected so far, in firing order.
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.driver.fault_log()
+    }
+}
+
+impl fmt::Debug for FaultyHybridMutexHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyHybridMutexHandle")
+            .field("driver", &self.driver)
+            .finish()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Consensus
 // ---------------------------------------------------------------------------
@@ -435,6 +694,7 @@ pub struct AnonymousConsensus {
     n: usize,
     salt: Arc<AtomicUsize>,
     pids: PidRegistry,
+    cell: Arc<FaultCell>,
 }
 
 impl AnonymousConsensus {
@@ -452,22 +712,28 @@ impl AnonymousConsensus {
             n,
             salt: Arc::new(AtomicUsize::new(0)),
             pids: PidRegistry::default(),
+            cell: Arc::new(FaultCell::new()),
         })
     }
 
     /// Creates a participant handle with a fresh random register view.
+    /// The identifier is released when the handle is dropped or consumed
+    /// by [`propose`](ConsensusHandle::propose).
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::DuplicatePid`] if the identifier was already claimed
-    /// by another handle of this object.
+    /// [`RuntimeError::DuplicatePid`] if the identifier is already held by
+    /// a live handle of this object.
     pub fn handle(&self, pid: Pid) -> Result<ConsensusHandle, RuntimeError> {
-        claim_pid(&self.pids, pid)?;
+        let lease = claim_pid(&self.pids, pid)?;
         let salt = self.salt.fetch_add(1, Ordering::Relaxed) as u64;
         Ok(ConsensusHandle {
-            view: fresh_view(&self.memory, pid, salt),
+            memory: self.memory.clone(),
             pid,
             n: self.n,
+            salt,
+            cell: Arc::clone(&self.cell),
+            _lease: lease,
         })
     }
 }
@@ -483,12 +749,23 @@ impl fmt::Debug for AnonymousConsensus {
 
 /// One thread's handle on an [`AnonymousConsensus`].
 pub struct ConsensusHandle {
-    view: MemoryView<PackedAtomicRegister<ConsRecord>>,
+    memory: AnonymousMemory<PackedAtomicRegister<ConsRecord>>,
     pid: Pid,
     n: usize,
+    salt: u64,
+    cell: Arc<FaultCell>,
+    _lease: PidLease,
 }
 
 impl ConsensusHandle {
+    fn validate(&self, input: u64) -> Result<(), RuntimeError> {
+        if input == 0 {
+            return Err(RuntimeError::ZeroInput);
+        }
+        check_packable(input)?;
+        check_packable(self.pid.get())
+    }
+
     /// Proposes `input` and blocks until a decision is reached. All
     /// deciders return the same value, which is some participant's input.
     ///
@@ -502,16 +779,50 @@ impl ConsensusHandle {
     /// [`RuntimeError::ValueTooWide`] if `input` or the pid exceeds 32
     /// bits.
     pub fn propose(self, input: u64) -> Result<u64, RuntimeError> {
-        if input == 0 {
-            return Err(RuntimeError::ZeroInput);
-        }
-        check_packable(input)?;
-        check_packable(self.pid.get())?;
+        self.validate(input)?;
         let machine = AnonConsensus::new(self.pid, self.n, input).expect("inputs validated above");
-        let mut driver = Driver::new(machine, self.view).with_backoff(Backoff::standard());
+        let view = fresh_view(&self.memory, self.pid, self.salt);
+        let mut driver = Driver::new(machine, view).with_backoff(Backoff::standard());
         match driver.run_until_event() {
             Some(ConsensusEvent::Decide(value)) => Ok(value),
             None => unreachable!("consensus decides before halting"),
+        }
+    }
+
+    /// Proposes `input` under `plan`'s fault schedule for this pid.
+    /// Returns `Ok(Some(value))` on a decision, `Ok(None)` if the process
+    /// crashed or exhausted `max_steps` machine steps before deciding.
+    /// Restarted incarnations re-propose the same input under a fresh
+    /// random view; this is safe because Figure 2's validity and
+    /// agreement hold for any set of participants with distinct ids, and
+    /// a restarted process replaces only itself.
+    ///
+    /// # Errors
+    ///
+    /// Same input validation as [`propose`](ConsensusHandle::propose).
+    pub fn propose_with_faults(
+        self,
+        input: u64,
+        plan: &FaultPlan,
+        max_steps: u64,
+    ) -> Result<Option<u64>, RuntimeError> {
+        self.validate(input)?;
+        let (pid, n, salt) = (self.pid, self.n, self.salt);
+        let memory = self.memory.clone();
+        let mut driver = FaultyDriver::new(
+            pid,
+            move |incarnation| {
+                let machine = AnonConsensus::new(pid, n, input).expect("inputs validated above");
+                let salt = salt.wrapping_add(incarnation.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (machine, fresh_view(&memory, pid, salt))
+            },
+            plan,
+            Arc::clone(&self.cell),
+        )
+        .with_backoff(Backoff::standard());
+        match driver.next_event(max_steps) {
+            Some(ConsensusEvent::Decide(value)) => Ok(Some(value)),
+            None => Ok(None),
         }
     }
 }
@@ -535,6 +846,7 @@ pub struct AnonymousElection {
     n: usize,
     salt: Arc<AtomicUsize>,
     pids: PidRegistry,
+    cell: Arc<FaultCell>,
 }
 
 impl AnonymousElection {
@@ -552,22 +864,27 @@ impl AnonymousElection {
             n,
             salt: Arc::new(AtomicUsize::new(0)),
             pids: PidRegistry::default(),
+            cell: Arc::new(FaultCell::new()),
         })
     }
 
     /// Creates a participant handle with a fresh random register view.
+    /// The identifier is released when the handle is dropped or consumed.
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::DuplicatePid`] if the identifier was already claimed
-    /// by another handle of this object.
+    /// [`RuntimeError::DuplicatePid`] if the identifier is already held by
+    /// a live handle of this object.
     pub fn handle(&self, pid: Pid) -> Result<ElectionHandle, RuntimeError> {
-        claim_pid(&self.pids, pid)?;
+        let lease = claim_pid(&self.pids, pid)?;
         let salt = self.salt.fetch_add(1, Ordering::Relaxed) as u64;
         Ok(ElectionHandle {
-            view: fresh_view(&self.memory, pid, salt),
+            memory: self.memory.clone(),
             pid,
             n: self.n,
+            salt,
+            cell: Arc::clone(&self.cell),
+            _lease: lease,
         })
     }
 }
@@ -582,9 +899,12 @@ impl fmt::Debug for AnonymousElection {
 
 /// One thread's handle on an [`AnonymousElection`].
 pub struct ElectionHandle {
-    view: MemoryView<PackedAtomicRegister<ConsRecord>>,
+    memory: AnonymousMemory<PackedAtomicRegister<ConsRecord>>,
     pid: Pid,
     n: usize,
+    salt: u64,
+    cell: Arc<FaultCell>,
+    _lease: PidLease,
 }
 
 impl ElectionHandle {
@@ -597,10 +917,47 @@ impl ElectionHandle {
     pub fn elect(self) -> Result<Pid, RuntimeError> {
         check_packable(self.pid.get())?;
         let machine = AnonElection::new(self.pid, self.n).expect("n validated at construction");
-        let mut driver = Driver::new(machine, self.view).with_backoff(Backoff::standard());
+        let view = fresh_view(&self.memory, self.pid, self.salt);
+        let mut driver = Driver::new(machine, view).with_backoff(Backoff::standard());
         match driver.run_until_event() {
             Some(ElectionEvent::Elected(leader)) => Ok(leader),
             None => unreachable!("election elects before halting"),
+        }
+    }
+
+    /// Participates under `plan`'s fault schedule for this pid. Returns
+    /// `Ok(Some(leader))` once the leader is known, `Ok(None)` if the
+    /// process crashed or exhausted `max_steps` machine steps first.
+    /// Restarted incarnations rejoin under a fresh random view (safe for
+    /// the same reason as
+    /// [`propose_with_faults`](ConsensusHandle::propose_with_faults) —
+    /// election is consensus on identifiers).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ValueTooWide`] if the pid exceeds 32 bits.
+    pub fn elect_with_faults(
+        self,
+        plan: &FaultPlan,
+        max_steps: u64,
+    ) -> Result<Option<Pid>, RuntimeError> {
+        check_packable(self.pid.get())?;
+        let (pid, n, salt) = (self.pid, self.n, self.salt);
+        let memory = self.memory.clone();
+        let mut driver = FaultyDriver::new(
+            pid,
+            move |incarnation| {
+                let machine = AnonElection::new(pid, n).expect("n validated at construction");
+                let salt = salt.wrapping_add(incarnation.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (machine, fresh_view(&memory, pid, salt))
+            },
+            plan,
+            Arc::clone(&self.cell),
+        )
+        .with_backoff(Backoff::standard());
+        match driver.next_event(max_steps) {
+            Some(ElectionEvent::Elected(leader)) => Ok(Some(leader)),
+            None => Ok(None),
         }
     }
 }
@@ -652,6 +1009,7 @@ pub struct AnonymousRenaming {
     n: usize,
     salt: Arc<AtomicUsize>,
     pids: PidRegistry,
+    cell: Arc<FaultCell>,
 }
 
 impl AnonymousRenaming {
@@ -669,22 +1027,27 @@ impl AnonymousRenaming {
             n,
             salt: Arc::new(AtomicUsize::new(0)),
             pids: PidRegistry::default(),
+            cell: Arc::new(FaultCell::new()),
         })
     }
 
     /// Creates a participant handle with a fresh random register view.
+    /// The identifier is released when the handle is dropped or consumed.
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::DuplicatePid`] if the identifier was already claimed
-    /// by another handle of this object.
+    /// [`RuntimeError::DuplicatePid`] if the identifier is already held by
+    /// a live handle of this object.
     pub fn handle(&self, pid: Pid) -> Result<RenamingHandle, RuntimeError> {
-        claim_pid(&self.pids, pid)?;
+        let lease = claim_pid(&self.pids, pid)?;
         let salt = self.salt.fetch_add(1, Ordering::Relaxed) as u64;
         Ok(RenamingHandle {
-            view: fresh_view(&self.memory, pid, salt),
+            memory: self.memory.clone(),
             pid,
             n: self.n,
+            salt,
+            cell: Arc::clone(&self.cell),
+            _lease: lease,
         })
     }
 }
@@ -699,9 +1062,12 @@ impl fmt::Debug for AnonymousRenaming {
 
 /// One thread's handle on an [`AnonymousRenaming`].
 pub struct RenamingHandle {
-    view: MemoryView<LockRegister<RenRecord>>,
+    memory: AnonymousMemory<LockRegister<RenRecord>>,
     pid: Pid,
     n: usize,
+    salt: u64,
+    cell: Arc<FaultCell>,
+    _lease: PidLease,
 }
 
 impl RenamingHandle {
@@ -710,11 +1076,40 @@ impl RenamingHandle {
     #[must_use]
     pub fn acquire(self) -> u32 {
         let machine = AnonRenaming::new(self.pid, self.n).expect("n validated at construction");
-        let mut driver = Driver::new(machine, self.view).with_backoff(Backoff::standard());
+        let view = fresh_view(&self.memory, self.pid, self.salt);
+        let mut driver = Driver::new(machine, view).with_backoff(Backoff::standard());
         match driver.run_until_event() {
             Some(RenamingEvent::Named(name)) => name,
             None => unreachable!("renaming names before halting"),
         }
+    }
+
+    /// Acquires a name under `plan`'s fault schedule for this pid.
+    /// Returns `None` if the process crashed or exhausted `max_steps`
+    /// machine steps before being named.
+    ///
+    /// Restarts are **not safe** for renaming — a crashed incarnation may
+    /// already have claimed a name, and its replacement would claim a
+    /// second one, breaking the `{1..k}` bound — so schedules passed here
+    /// should stick to crashes and stalls (the E15 harness does).
+    #[must_use]
+    pub fn acquire_with_faults(self, plan: &FaultPlan, max_steps: u64) -> Option<u32> {
+        let (pid, n, salt) = (self.pid, self.n, self.salt);
+        let memory = self.memory.clone();
+        let mut driver = FaultyDriver::new(
+            pid,
+            move |incarnation| {
+                let machine = AnonRenaming::new(pid, n).expect("n validated at construction");
+                let salt = salt.wrapping_add(incarnation.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                (machine, fresh_view(&memory, pid, salt))
+            },
+            plan,
+            Arc::clone(&self.cell),
+        )
+        .with_backoff(Backoff::standard());
+        driver
+            .next_event(max_steps)
+            .map(|RenamingEvent::Named(name)| name)
     }
 }
 
@@ -997,6 +1392,141 @@ mod tests {
         let hybrid = HybridAnonymousMutex::new(2).unwrap();
         let _h = hybrid.handle(pid(7)).unwrap();
         assert!(hybrid.handle(pid(7)).is_err());
+    }
+
+    #[test]
+    fn dropping_a_mutex_handle_releases_pid_and_slot() {
+        let lock = AnonymousMutex::new(3).unwrap();
+        let a = lock.handle(pid(7)).unwrap();
+        // Same pid is rejected while the handle is live...
+        assert!(matches!(
+            lock.handle(pid(7)).unwrap_err(),
+            RuntimeError::DuplicatePid { .. }
+        ));
+        drop(a);
+        // ...and accepted again once it is dropped.
+        let mut a2 = lock.handle(pid(7)).unwrap();
+        drop(a2.enter());
+        drop(a2);
+
+        // The slot is released too: cycling through many handles works as
+        // long as at most two are ever live.
+        let _b = lock.handle(pid(8)).unwrap();
+        let c = lock.handle(pid(9)).unwrap();
+        assert_eq!(
+            lock.handle(pid(10)).unwrap_err(),
+            RuntimeError::TooManyHandles
+        );
+        drop(c);
+        let _d = lock.handle(pid(10)).unwrap();
+    }
+
+    #[test]
+    fn dropping_a_consensus_handle_releases_its_pid() {
+        let consensus = AnonymousConsensus::new(2).unwrap();
+        let first = consensus.handle(pid(7)).unwrap();
+        assert!(consensus.handle(pid(7)).is_err());
+        drop(first);
+        let second = consensus.handle(pid(7)).unwrap();
+        assert_eq!(second.propose(5).unwrap(), 5);
+        // propose consumed the handle, so the pid is free once more.
+        assert!(consensus.handle(pid(7)).is_ok());
+    }
+
+    #[test]
+    fn dropping_election_and_renaming_handles_releases_pids() {
+        let election = AnonymousElection::new(2).unwrap();
+        drop(election.handle(pid(3)).unwrap());
+        assert!(election.handle(pid(3)).is_ok());
+
+        let renaming = AnonymousRenaming::new(2).unwrap();
+        drop(renaming.handle(pid(3)).unwrap());
+        assert!(renaming.handle(pid(3)).is_ok());
+
+        let hybrid = HybridAnonymousMutex::new(2).unwrap();
+        drop(hybrid.handle(pid(3)).unwrap());
+        assert!(hybrid.handle(pid(3)).is_ok());
+    }
+
+    #[test]
+    fn faulty_mutex_handle_crashes_on_schedule() {
+        let lock = AnonymousMutex::new(3).unwrap();
+        // Crash after 2 machine steps: mid-doorway, before Enter.
+        let plan = FaultPlan::new(0).crash(pid(1), 2);
+        let mut h = lock.faulty_handle(pid(1), &plan).unwrap();
+        assert_eq!(h.try_enter(10_000), DriveOutcome::Crashed);
+        assert!(h.is_crashed());
+        assert_eq!(h.fault_log().len(), 1);
+        // A crashed handle stays crashed.
+        assert_eq!(h.exit(10_000), DriveOutcome::Crashed);
+    }
+
+    #[test]
+    fn faulty_mutex_handle_without_faults_cycles() {
+        let lock = AnonymousMutex::new(3).unwrap();
+        let plan = FaultPlan::new(0);
+        let mut h = lock.faulty_handle(pid(1), &plan).unwrap();
+        for _ in 0..3 {
+            assert_eq!(h.try_enter(10_000), DriveOutcome::Satisfied);
+            assert_eq!(h.exit(10_000), DriveOutcome::Satisfied);
+        }
+        assert!(!h.is_crashed());
+        assert_eq!(h.incarnations(), 1);
+    }
+
+    #[test]
+    fn faulty_hybrid_handle_cycles_and_aborts() {
+        let lock = HybridAnonymousMutex::new(2).unwrap();
+        let mut a = lock.faulty_handle(pid(1), &FaultPlan::new(0)).unwrap();
+        assert_eq!(a.try_enter(10_000), DriveOutcome::Satisfied);
+        // The other handle cannot enter while a holds the lock; aborting
+        // parks it cleanly so a can exit and b can enter.
+        let mut b = lock.faulty_handle(pid(2), &FaultPlan::new(0)).unwrap();
+        assert_eq!(b.try_enter(400), DriveOutcome::OutOfBudget);
+        assert_eq!(b.abort(10_000), DriveOutcome::Satisfied);
+        assert_eq!(a.exit(10_000), DriveOutcome::Satisfied);
+        assert_eq!(b.try_enter(10_000), DriveOutcome::Satisfied);
+        assert_eq!(b.exit(10_000), DriveOutcome::Satisfied);
+        assert!(a.fault_log().is_empty());
+    }
+
+    #[test]
+    fn consensus_with_faults_crashed_proposer_returns_none() {
+        let consensus = AnonymousConsensus::new(2).unwrap();
+        let plan = FaultPlan::new(0).crash(pid(1), 1);
+        let crashed = consensus
+            .handle(pid(1))
+            .unwrap()
+            .propose_with_faults(5, &plan, 100_000)
+            .unwrap();
+        assert_eq!(crashed, None);
+        // The survivor still decides (solo): validity gives its own input
+        // unless the crashed proposer's value was already visible.
+        let survivor = consensus
+            .handle(pid(2))
+            .unwrap()
+            .propose_with_faults(6, &plan, 1_000_000)
+            .unwrap();
+        let decided = survivor.expect("fault-free survivor decides");
+        assert!(decided == 5 || decided == 6);
+    }
+
+    #[test]
+    fn election_and_renaming_with_empty_plans_complete() {
+        let election = AnonymousElection::new(2).unwrap();
+        let leader = election
+            .handle(pid(4))
+            .unwrap()
+            .elect_with_faults(&FaultPlan::new(0), 1_000_000)
+            .unwrap();
+        assert_eq!(leader, Some(pid(4)));
+
+        let renaming = AnonymousRenaming::new(2).unwrap();
+        let name = renaming
+            .handle(pid(4))
+            .unwrap()
+            .acquire_with_faults(&FaultPlan::new(0), 1_000_000);
+        assert_eq!(name, Some(1));
     }
 
     #[test]

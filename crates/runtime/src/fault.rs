@@ -1,0 +1,814 @@
+//! Fault injection for the real-thread runtime.
+//!
+//! The simulator explores §2's crash transitions exhaustively
+//! (`ExploreConfig::crashes`); this module realizes the same failure model
+//! on real threads. A [`FaultPlan`] is a seeded, replayable schedule of
+//! per-pid fault points expressed in machine-step counts — the same
+//! granularity the simulator's scheduler uses — and a [`FaultyDriver`]
+//! wraps the plain [`Driver`] to honor it:
+//!
+//! * **Crash** — abandon the machine mid-protocol with the shared
+//!   registers left exactly as written, matching the paper's §2 model of a
+//!   crashed process that "permanently refrains from writing the shared
+//!   registers" (and the sim's `Transition::Crash`, which discards a
+//!   poised write: here the retired driver's pending read value is
+//!   discarded the same way).
+//! * **Stall** — pause the process until a bounded number of *foreign*
+//!   memory operations have happened (observed through a shared
+//!   [`FaultCell`]), with a spin-budget fallback so a solo run cannot hang.
+//!   This manufactures the adversarial schedules (long delays at the worst
+//!   moment) that the paper's adversary is allowed to pick.
+//! * **Restart** — crash, then immediately start a *fresh* machine with
+//!   the same pid and whatever view the factory mints (typically a new
+//!   random permutation). This extends the paper's model: §2 processes
+//!   never recover, so restart-safety is an experimental question, not a
+//!   theorem — see the E15 notes on which families enable it.
+//!
+//! Every injected fault increments `Metric::FaultInjected` (and restarts
+//! additionally `Metric::FaultRecovered`) keyed by the pid when a live
+//! probe is attached, and is appended to a deterministic
+//! [`FaultRecord`] log: the log depends only on the plan and the machine,
+//! never on cross-thread timing, so one seed replays one schedule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use anonreg_model::rng::Rng64;
+use anonreg_model::{Machine, Pid};
+use anonreg_obs::{Metric, NoopProbe, Probe};
+
+use crate::driver::DriverStep;
+use crate::{Backoff, Driver, DriverReport, MemoryView, Register};
+
+/// Spin-loop iterations a stall is allowed to burn waiting for foreign
+/// ops before giving up. The fallback keeps stalls from hanging a run in
+/// which every other participant has crashed or finished.
+const STALL_SPIN_BUDGET: u64 = 1 << 16;
+
+/// What a fault point does to the process when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abandon the machine; registers stay as written, the process never
+    /// writes again (§2's crash).
+    Crash,
+    /// Pause until this many foreign memory operations are observed (or
+    /// the spin-budget fallback expires).
+    Stall {
+        /// Foreign operations to wait for.
+        foreign_ops: u64,
+    },
+    /// Crash, then immediately start a fresh machine with the same pid
+    /// and a newly minted view.
+    Restart,
+}
+
+/// One scheduled fault: fire `kind` once the process has performed
+/// `at_op` machine steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Machine-step count (cumulative across restarts) at which to fire.
+    pub at_op: u64,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+/// Knobs for [`FaultPlan::random`]: how aggressive a randomly drawn
+/// schedule is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Fault points are drawn uniformly from `0..=window` machine steps.
+    pub window: u64,
+    /// At most this many processes crash (always leaving ≥ 1 survivor).
+    pub max_crashes: usize,
+    /// Each process receives up to this many stalls.
+    pub max_stalls_per_pid: usize,
+    /// Inclusive range of foreign ops a stall waits for.
+    pub stall_ops: (u64, u64),
+    /// If `true`, roughly half the crash points become restarts.
+    pub restarts: bool,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            window: 64,
+            max_crashes: 1,
+            max_stalls_per_pid: 2,
+            stall_ops: (1, 16),
+            restarts: false,
+        }
+    }
+}
+
+/// A seeded, replayable schedule of per-pid fault points.
+///
+/// Plans are pure data: the same plan driven against the same machines
+/// produces the same per-process fault log every time, so a stress
+/// harness only has to print the seed to make a failure reproducible.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    per_pid: BTreeMap<u64, Vec<FaultPoint>>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (for reporting; an empty plan injects
+    /// nothing).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            per_pid: BTreeMap::new(),
+        }
+    }
+
+    /// The seed this plan was built from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` if the plan schedules no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_pid.values().all(Vec::is_empty)
+    }
+
+    /// Total scheduled fault points across all pids.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_pid.values().map(Vec::len).sum()
+    }
+
+    fn push(mut self, pid: Pid, point: FaultPoint) -> Self {
+        let points = self.per_pid.entry(pid.get()).or_default();
+        // Keep each pid's schedule sorted by firing step (stable for ties).
+        let pos = points.partition_point(|p| p.at_op <= point.at_op);
+        points.insert(pos, point);
+        self
+    }
+
+    /// Schedules a crash for `pid` after `at_op` machine steps.
+    #[must_use]
+    pub fn crash(self, pid: Pid, at_op: u64) -> Self {
+        self.push(
+            pid,
+            FaultPoint {
+                at_op,
+                kind: FaultKind::Crash,
+            },
+        )
+    }
+
+    /// Schedules a stall for `pid` after `at_op` machine steps, waiting
+    /// for `foreign_ops` foreign memory operations.
+    #[must_use]
+    pub fn stall(self, pid: Pid, at_op: u64, foreign_ops: u64) -> Self {
+        self.push(
+            pid,
+            FaultPoint {
+                at_op,
+                kind: FaultKind::Stall { foreign_ops },
+            },
+        )
+    }
+
+    /// Schedules a crash-and-restart for `pid` after `at_op` machine
+    /// steps.
+    #[must_use]
+    pub fn restart(self, pid: Pid, at_op: u64) -> Self {
+        self.push(
+            pid,
+            FaultPoint {
+                at_op,
+                kind: FaultKind::Restart,
+            },
+        )
+    }
+
+    /// The (sorted) fault points scheduled for `pid`.
+    #[must_use]
+    pub fn for_pid(&self, pid: Pid) -> Vec<FaultPoint> {
+        self.per_pid.get(&pid.get()).cloned().unwrap_or_default()
+    }
+
+    /// Draws a random plan for `pids` from `seed`: a deterministic
+    /// function of its arguments, so a stress harness can replay any
+    /// schedule from the seed alone. At least one pid is always spared
+    /// from crashing (a run in which everyone crashes asserts nothing).
+    #[must_use]
+    pub fn random(seed: u64, pids: &[Pid], profile: &FaultProfile) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(seed);
+        let max_crashes = profile.max_crashes.min(pids.len().saturating_sub(1));
+        let crash_count = rng.gen_range_inclusive(0, max_crashes);
+        let mut order: Vec<usize> = (0..pids.len()).collect();
+        rng.shuffle(&mut order);
+        for &i in order.iter().take(crash_count) {
+            let at = rng.gen_range_inclusive(0, profile.window as usize) as u64;
+            if profile.restarts && rng.gen_index(2) == 0 {
+                plan = plan.restart(pids[i], at);
+            } else {
+                plan = plan.crash(pids[i], at);
+            }
+        }
+        for &pid in pids {
+            let stalls = rng.gen_range_inclusive(0, profile.max_stalls_per_pid);
+            for _ in 0..stalls {
+                let at = rng.gen_range_inclusive(0, profile.window as usize) as u64;
+                let ops = rng
+                    .gen_range_inclusive(profile.stall_ops.0 as usize, profile.stall_ops.1 as usize)
+                    as u64;
+                plan = plan.stall(pid, at, ops);
+            }
+        }
+        plan
+    }
+}
+
+/// Shared op counter linking the [`FaultyDriver`]s of one coordination
+/// object, so stalls can count *foreign* operations (total minus own).
+#[derive(Debug, Default)]
+pub struct FaultCell {
+    total_ops: AtomicU64,
+}
+
+impl FaultCell {
+    /// A fresh cell with zero recorded operations.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultCell::default()
+    }
+
+    /// Records one machine step performed by some participant.
+    pub fn record_op(&self) {
+        self.total_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total machine steps recorded by all participants so far.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops.load(Ordering::Relaxed)
+    }
+}
+
+/// One injected fault, as it actually fired. The log depends only on the
+/// plan and the machine (never on cross-thread timing), so two runs of
+/// the same seed produce identical logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The process's machine-step count when the fault fired.
+    pub at_op: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// Outcome of one [`FaultyDriver`] step: the plain [`DriverStep`] cases
+/// plus `Crashed`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultyStep<E> {
+    /// The machine performed an atomic read or write.
+    Op,
+    /// The machine emitted an event.
+    Event(E),
+    /// The machine halted normally.
+    Halted,
+    /// The process is crashed (now or previously) and will never step
+    /// again.
+    Crashed,
+}
+
+/// How a bounded faulty drive ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriveOutcome {
+    /// The predicate held.
+    Satisfied,
+    /// The machine halted normally.
+    Halted,
+    /// The process crashed mid-protocol.
+    Crashed,
+    /// The step budget ran out first.
+    OutOfBudget,
+}
+
+/// Factory minting incarnation `i` of a process: its machine and the view
+/// it runs under. Incarnation 0 is the original process; higher
+/// incarnations are post-restart and typically receive a fresh random
+/// view.
+type IncarnationFactory<M, R> = Box<dyn FnMut(u64) -> (M, MemoryView<R>) + Send>;
+
+/// A [`Driver`] wrapper that injects the faults a [`FaultPlan`] schedules
+/// for one pid: crashes (registers left as-written), stalls (bounded
+/// waits for foreign ops), and restarts (fresh machine, same pid, new
+/// view).
+pub struct FaultyDriver<M: Machine, R, P: Probe = NoopProbe> {
+    pid: Pid,
+    factory: IncarnationFactory<M, R>,
+    driver: Option<Driver<M, R, P>>,
+    probe: P,
+    backoff: Option<Backoff>,
+    schedule: Vec<FaultPoint>,
+    next_point: usize,
+    cell: Arc<FaultCell>,
+    /// Machine steps this process has performed, cumulative across
+    /// incarnations; fault points fire against this counter.
+    my_ops: u64,
+    incarnations: u64,
+    crashed: bool,
+    log: Vec<FaultRecord>,
+}
+
+impl<M, R> FaultyDriver<M, R, NoopProbe>
+where
+    M: Machine,
+    R: Register<M::Value>,
+{
+    /// Wraps `factory`'s incarnation 0 in a driver honoring `plan`'s
+    /// schedule for `pid`. `cell` must be shared with every other
+    /// participant of the same coordination object for stalls to observe
+    /// foreign progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory's machine does not carry `pid`, or if its
+    /// register count disagrees with its view.
+    #[must_use]
+    pub fn new<F>(pid: Pid, mut factory: F, plan: &FaultPlan, cell: Arc<FaultCell>) -> Self
+    where
+        F: FnMut(u64) -> (M, MemoryView<R>) + Send + 'static,
+    {
+        let (machine, view) = factory(0);
+        assert_eq!(machine.pid(), pid, "factory must mint machines for pid");
+        FaultyDriver {
+            pid,
+            factory: Box::new(factory),
+            driver: Some(Driver::new(machine, view)),
+            probe: NoopProbe,
+            backoff: None,
+            schedule: plan.for_pid(pid),
+            next_point: 0,
+            cell,
+            my_ops: 0,
+            incarnations: 1,
+            crashed: false,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl<M, R, P> FaultyDriver<M, R, P>
+where
+    M: Machine,
+    R: Register<M::Value>,
+    P: Probe + Clone,
+{
+    /// Replaces the probe (applied to the current and all future
+    /// incarnations).
+    #[must_use]
+    pub fn with_probe<P2: Probe + Clone>(self, probe: P2) -> FaultyDriver<M, R, P2> {
+        FaultyDriver {
+            pid: self.pid,
+            factory: self.factory,
+            driver: self.driver.map(|d| d.with_probe(probe.clone())),
+            probe,
+            backoff: self.backoff,
+            schedule: self.schedule,
+            next_point: self.next_point,
+            cell: self.cell,
+            my_ops: self.my_ops,
+            incarnations: self.incarnations,
+            crashed: self.crashed,
+            log: self.log,
+        }
+    }
+
+    /// Enables randomized backoff on the current and all future
+    /// incarnations.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = Some(backoff);
+        self.driver = self.driver.map(|d| d.with_backoff(backoff));
+        self
+    }
+
+    /// The pid this driver injects faults for.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The live machine, or `None` once crashed.
+    #[must_use]
+    pub fn machine(&self) -> Option<&M> {
+        self.driver.as_ref().map(Driver::machine)
+    }
+
+    /// Mutable access to the live machine, for out-of-band control knobs
+    /// such as abort requests (same caveats as
+    /// [`Driver::machine_mut`]); `None` once crashed.
+    pub fn machine_mut(&mut self) -> Option<&mut M> {
+        self.driver.as_mut().map(Driver::machine_mut)
+    }
+
+    /// The current incarnation's statistics, or `None` once crashed.
+    #[must_use]
+    pub fn report(&self) -> Option<&DriverReport> {
+        self.driver.as_ref().map(Driver::report)
+    }
+
+    /// Has this process crashed (with no restart scheduled after)?
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Has the machine halted normally?
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.driver.as_ref().is_some_and(Driver::is_halted)
+    }
+
+    /// Number of machine incarnations started so far (1 = never
+    /// restarted).
+    #[must_use]
+    pub fn incarnations(&self) -> u64 {
+        self.incarnations
+    }
+
+    /// The faults injected so far, in firing order.
+    #[must_use]
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Performs one machine step, first firing any fault points the plan
+    /// schedules at the current step count.
+    pub fn advance(&mut self) -> FaultyStep<M::Event> {
+        if self.crashed {
+            return FaultyStep::Crashed;
+        }
+        match self.driver.as_ref() {
+            None => return FaultyStep::Crashed,
+            Some(d) if d.is_halted() => return FaultyStep::Halted,
+            Some(_) => {}
+        }
+        while let Some(point) = self.schedule.get(self.next_point).copied() {
+            if point.at_op > self.my_ops {
+                break;
+            }
+            self.next_point += 1;
+            self.log.push(FaultRecord {
+                at_op: self.my_ops,
+                kind: point.kind,
+            });
+            if P::ENABLED {
+                self.probe.counter(Metric::FaultInjected, self.pid.get(), 1);
+            }
+            match point.kind {
+                FaultKind::Crash => {
+                    // Dropping the driver abandons the machine and its
+                    // pending read value; the registers keep whatever was
+                    // last written (§2: a crashed process "permanently
+                    // refrains from writing").
+                    self.driver = None;
+                    self.crashed = true;
+                    return FaultyStep::Crashed;
+                }
+                FaultKind::Stall { foreign_ops } => self.stall(foreign_ops),
+                FaultKind::Restart => self.restart(),
+            }
+        }
+        let driver = self
+            .driver
+            .as_mut()
+            .expect("non-crashed faulty driver always holds a machine");
+        let step = match driver.step() {
+            DriverStep::Op => FaultyStep::Op,
+            DriverStep::Event(event) => FaultyStep::Event(event),
+            DriverStep::Halted => return FaultyStep::Halted,
+        };
+        self.my_ops += 1;
+        self.cell.record_op();
+        step
+    }
+
+    /// Runs until `pred` holds on the live machine, the machine halts,
+    /// the process crashes, or `max_steps` machine steps elapse.
+    pub fn run_until_bounded<F>(&mut self, mut pred: F, max_steps: u64) -> DriveOutcome
+    where
+        F: FnMut(&M) -> bool,
+    {
+        let mut remaining = max_steps;
+        loop {
+            match self.machine() {
+                Some(machine) if pred(machine) => return DriveOutcome::Satisfied,
+                None => return DriveOutcome::Crashed,
+                Some(_) => {}
+            }
+            if self.is_halted() {
+                return DriveOutcome::Halted;
+            }
+            if remaining == 0 {
+                return DriveOutcome::OutOfBudget;
+            }
+            remaining -= 1;
+            match self.advance() {
+                FaultyStep::Crashed => return DriveOutcome::Crashed,
+                FaultyStep::Halted => return DriveOutcome::Halted,
+                FaultyStep::Op | FaultyStep::Event(_) => {}
+            }
+        }
+    }
+
+    /// Runs until the next event, or `None` if the machine halts, the
+    /// process crashes, or the budget runs out first.
+    pub fn next_event(&mut self, max_steps: u64) -> Option<M::Event> {
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            remaining -= 1;
+            match self.advance() {
+                FaultyStep::Event(event) => return Some(event),
+                FaultyStep::Op => {}
+                FaultyStep::Halted | FaultyStep::Crashed => return None,
+            }
+        }
+        None
+    }
+
+    /// Runs to halt (or crash, or budget exhaustion), collecting every
+    /// event along the way.
+    pub fn run_to_halt(&mut self, max_steps: u64) -> (Vec<M::Event>, DriveOutcome) {
+        let mut events = Vec::new();
+        let mut remaining = max_steps;
+        loop {
+            if remaining == 0 {
+                return (events, DriveOutcome::OutOfBudget);
+            }
+            remaining -= 1;
+            match self.advance() {
+                FaultyStep::Op => {}
+                FaultyStep::Event(event) => events.push(event),
+                FaultyStep::Halted => return (events, DriveOutcome::Halted),
+                FaultyStep::Crashed => return (events, DriveOutcome::Crashed),
+            }
+        }
+    }
+
+    /// Waits until `foreign_ops` foreign machine steps have been recorded
+    /// in the shared cell, with a spin-budget fallback so a stall cannot
+    /// hang a run whose other participants are all crashed or finished.
+    fn stall(&mut self, foreign_ops: u64) {
+        let foreign_now = || self.cell.total_ops().saturating_sub(self.my_ops);
+        let target = foreign_now().saturating_add(foreign_ops);
+        let mut spins: u64 = 0;
+        while foreign_now() < target && spins < STALL_SPIN_BUDGET {
+            std::hint::spin_loop();
+            spins += 1;
+            if spins.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Crash-and-recover: abandons the current machine (registers stay as
+    /// written) and starts the factory's next incarnation.
+    fn restart(&mut self) {
+        self.driver = None;
+        let (machine, view) = (self.factory)(self.incarnations);
+        assert_eq!(
+            machine.pid(),
+            self.pid,
+            "factory must mint machines for pid"
+        );
+        self.incarnations += 1;
+        let mut driver = Driver::new(machine, view);
+        if let Some(backoff) = self.backoff {
+            driver = driver.with_backoff(backoff);
+        }
+        self.driver = Some(driver.with_probe(self.probe.clone()));
+        if P::ENABLED {
+            self.probe
+                .counter(Metric::FaultRecovered, self.pid.get(), 1);
+        }
+    }
+}
+
+impl<M: Machine, R, P: Probe> fmt::Debug for FaultyDriver<M, R, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyDriver")
+            .field("pid", &self.pid)
+            .field("crashed", &self.crashed)
+            .field("my_ops", &self.my_ops)
+            .field("incarnations", &self.incarnations)
+            .field("log", &self.log)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnonymousMemory, PackedAtomicRegister};
+    use anonreg::mutex::{AnonMutex, MutexEvent};
+    use anonreg_model::View;
+    use anonreg_obs::MemProbe;
+
+    type Mem = AnonymousMemory<PackedAtomicRegister<u64>>;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n).unwrap()
+    }
+
+    fn mutex_factory(
+        mem: &Mem,
+        id: u64,
+    ) -> impl FnMut(u64) -> (AnonMutex, MemoryView<PackedAtomicRegister<u64>>) + Send + 'static
+    {
+        let mem = mem.clone();
+        move |_incarnation| {
+            (
+                AnonMutex::new(pid(id), 3).unwrap().with_cycles(1),
+                mem.view(View::identity(3)),
+            )
+        }
+    }
+
+    #[test]
+    fn empty_plan_behaves_like_plain_driver() {
+        let mem_a: Mem = AnonymousMemory::new(3);
+        let mut plain = Driver::new(
+            AnonMutex::new(pid(1), 3).unwrap().with_cycles(1),
+            mem_a.view(View::identity(3)),
+        );
+        let plain_events = plain.run_to_halt();
+
+        let mem_b: Mem = AnonymousMemory::new(3);
+        let plan = FaultPlan::new(7);
+        let mut faulty = FaultyDriver::new(
+            pid(1),
+            mutex_factory(&mem_b, 1),
+            &plan,
+            Arc::new(FaultCell::new()),
+        );
+        let (events, outcome) = faulty.run_to_halt(10_000);
+        assert_eq!(outcome, DriveOutcome::Halted);
+        assert_eq!(events, plain_events);
+        assert!(faulty.fault_log().is_empty());
+        assert_eq!(faulty.incarnations(), 1);
+    }
+
+    #[test]
+    fn crash_leaves_registers_exactly_as_a_plain_prefix() {
+        // A crash after k steps must leave the shared memory identical to
+        // a plain driver stopped after k steps: abandoned, not cleaned up.
+        for k in [1, 3, 5, 9] {
+            let mem_a: Mem = AnonymousMemory::new(3);
+            let mut plain = Driver::new(
+                AnonMutex::new(pid(1), 3).unwrap().with_cycles(1),
+                mem_a.view(View::identity(3)),
+            );
+            for _ in 0..k {
+                plain.step();
+            }
+
+            let mem_b: Mem = AnonymousMemory::new(3);
+            let plan = FaultPlan::new(0).crash(pid(1), k);
+            let mut faulty = FaultyDriver::new(
+                pid(1),
+                mutex_factory(&mem_b, 1),
+                &plan,
+                Arc::new(FaultCell::new()),
+            );
+            let (_, outcome) = faulty.run_to_halt(10_000);
+            assert_eq!(outcome, DriveOutcome::Crashed);
+            assert!(faulty.is_crashed());
+            assert!(faulty.machine().is_none());
+            let a = mem_a.view(View::identity(3));
+            let b = mem_b.view(View::identity(3));
+            for j in 0..3 {
+                assert_eq!(a.read::<u64>(j), b.read::<u64>(j), "register {j} at k={k}");
+            }
+            assert_eq!(
+                faulty.fault_log(),
+                &[FaultRecord {
+                    at_op: k,
+                    kind: FaultKind::Crash
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn stall_falls_back_when_solo_and_is_logged() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let plan = FaultPlan::new(0).stall(pid(1), 2, 8);
+        let mut faulty = FaultyDriver::new(
+            pid(1),
+            mutex_factory(&mem, 1),
+            &plan,
+            Arc::new(FaultCell::new()),
+        );
+        // Solo: no foreign ops ever arrive; the spin budget bounds the
+        // stall and the run still completes.
+        let (events, outcome) = faulty.run_to_halt(10_000);
+        assert_eq!(outcome, DriveOutcome::Halted);
+        assert_eq!(events, vec![MutexEvent::Enter, MutexEvent::Exit]);
+        assert_eq!(
+            faulty.fault_log(),
+            &[FaultRecord {
+                at_op: 2,
+                kind: FaultKind::Stall { foreign_ops: 8 }
+            }]
+        );
+    }
+
+    #[test]
+    fn restart_runs_a_fresh_incarnation_to_completion() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let plan = FaultPlan::new(0).restart(pid(1), 3);
+        let probe = MemProbe::new();
+        let mut faulty = FaultyDriver::new(
+            pid(1),
+            mutex_factory(&mem, 1),
+            &plan,
+            Arc::new(FaultCell::new()),
+        )
+        .with_probe(&probe);
+        let (events, outcome) = faulty.run_to_halt(10_000);
+        assert_eq!(outcome, DriveOutcome::Halted);
+        // The fresh incarnation restarts the protocol from scratch and
+        // still completes its full cycle.
+        assert_eq!(events, vec![MutexEvent::Enter, MutexEvent::Exit]);
+        assert_eq!(faulty.incarnations(), 2);
+        assert!(!faulty.is_crashed());
+        let snap = probe.into_snapshot();
+        assert_eq!(snap.counter_total(Metric::FaultInjected), 1);
+        assert_eq!(snap.counter_total(Metric::FaultRecovered), 1);
+    }
+
+    #[test]
+    fn crash_is_sticky_and_later_points_never_fire() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let plan = FaultPlan::new(0)
+            .crash(pid(1), 2)
+            .stall(pid(1), 4, 1)
+            .restart(pid(1), 6);
+        let mut faulty = FaultyDriver::new(
+            pid(1),
+            mutex_factory(&mem, 1),
+            &plan,
+            Arc::new(FaultCell::new()),
+        );
+        let (_, outcome) = faulty.run_to_halt(10_000);
+        assert_eq!(outcome, DriveOutcome::Crashed);
+        assert_eq!(faulty.fault_log().len(), 1);
+        // Re-advancing a crashed process is a no-op.
+        assert_eq!(faulty.advance(), FaultyStep::Crashed);
+        assert_eq!(faulty.fault_log().len(), 1);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_in_the_seed() {
+        let pids = [pid(1), pid(2), pid(3)];
+        let profile = FaultProfile {
+            restarts: true,
+            ..FaultProfile::default()
+        };
+        for seed in 0..50 {
+            let a = FaultPlan::random(seed, &pids, &profile);
+            let b = FaultPlan::random(seed, &pids, &profile);
+            assert_eq!(a, b);
+            assert_eq!(a.seed(), seed);
+            // At least one pid is spared from crash/restart.
+            let spared = pids.iter().any(|p| {
+                a.for_pid(*p)
+                    .iter()
+                    .all(|pt| matches!(pt.kind, FaultKind::Stall { .. }))
+            });
+            assert!(spared, "seed {seed} crashed every pid");
+        }
+        assert_ne!(
+            FaultPlan::random(1, &pids, &profile),
+            FaultPlan::random(2, &pids, &profile),
+        );
+    }
+
+    #[test]
+    fn plan_builder_sorts_points_and_reports_len() {
+        let plan = FaultPlan::new(9)
+            .stall(pid(2), 10, 4)
+            .crash(pid(2), 3)
+            .restart(pid(2), 7);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        let points = plan.for_pid(pid(2));
+        assert_eq!(
+            points.iter().map(|p| p.at_op).collect::<Vec<_>>(),
+            vec![3, 7, 10]
+        );
+        assert!(plan.for_pid(pid(5)).is_empty());
+        assert!(FaultPlan::new(0).is_empty());
+    }
+}

@@ -54,15 +54,20 @@
 
 mod driver;
 mod facade;
+mod fault;
 mod memory;
 mod pack;
 mod register;
 
-pub use driver::{Backoff, Driver, DriverReport};
+pub use driver::{Backoff, Driver, DriverReport, DriverStep};
 pub use facade::{
     AnonymousConsensus, AnonymousElection, AnonymousMutex, AnonymousRenaming, ConsensusHandle,
-    ElectionHandle, HybridAnonymousMutex, HybridMutexGuard, HybridMutexHandle, MutexGuard,
-    MutexHandle, RenamingHandle, RuntimeError,
+    ElectionHandle, FaultyHybridMutexHandle, FaultyMutexHandle, HybridAnonymousMutex,
+    HybridMutexGuard, HybridMutexHandle, MutexGuard, MutexHandle, RenamingHandle, RuntimeError,
+};
+pub use fault::{
+    DriveOutcome, FaultCell, FaultKind, FaultPlan, FaultPoint, FaultProfile, FaultRecord,
+    FaultyDriver, FaultyStep,
 };
 pub use memory::{AnonymousMemory, MemoryView};
 pub use pack::Pack64;

@@ -3,8 +3,8 @@
 //! `cargo run --release -p anonreg-bench --bin repro`.)
 
 use anonreg_bench::{
-    e10_solo_steps, e12_starvation, e1_parity, e2_ring, e3_consensus, e4_consensus_space,
-    e5_renaming, e6_renaming_space, e7_unknown_n, e8_election,
+    e10_solo_steps, e12_starvation, e15_faults, e1_parity, e2_ring, e3_consensus,
+    e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n, e8_election,
 };
 use anonreg_lower::mutex_cover::MutexFailure;
 
@@ -97,6 +97,21 @@ fn e12_starvation_verdicts_match_theory() {
     for row in e12_starvation::rows() {
         assert!(row.matches(), "{row:?}");
     }
+}
+
+#[test]
+fn e15_fault_sweeps_are_safe_and_the_fixture_is_not() {
+    for row in e15_faults::rows(42, 3) {
+        assert_eq!(row.violations, 0, "{row:?}");
+        assert!(
+            row.crashes + row.stalls + row.restarts > 0 || row.schedules < 3,
+            "{row:?}"
+        );
+    }
+    // The deliberately broken doorway must trip the same detector.
+    let broken = e15_faults::sweep(e15_faults::BROKEN, 42, 8);
+    assert!(broken.violations > 0, "{broken:?}");
+    assert!(broken.first_violation_seed.is_some());
 }
 
 #[test]

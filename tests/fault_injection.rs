@@ -1,0 +1,248 @@
+//! Crash-model parity: the runtime's [`FaultyDriver`] implements the same
+//! §2 failure model the simulator explores via its crash transitions. A
+//! crash must leave the shared registers exactly as written, and the
+//! survivor must behave identically on both substrates — the fault
+//! injector is the model checker's adversary ported to real threads, not
+//! a new failure semantics.
+
+use anonreg::mutex::{AnonMutex, Section};
+use anonreg::{Pid, View};
+use anonreg_obs::{MemProbe, Metric};
+use anonreg_runtime::{
+    AnonymousMemory, DriveOutcome, Driver, FaultCell, FaultPlan, FaultProfile, FaultyDriver,
+    FaultyStep, PackedAtomicRegister,
+};
+use anonreg_sim::prelude::*;
+use std::sync::Arc;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+const M: usize = 3;
+const SOLO_BUDGET: u64 = 10_000;
+
+/// Simulator side: step the adversary `k` machine steps into its doorway,
+/// crash it, then run the survivor solo. Returns the register contents at
+/// the crash and whether the survivor reached its critical section.
+fn sim_crash_at(k: u64) -> (Vec<u64>, bool) {
+    let mut sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), M).unwrap(), View::identity(M))
+        .process(AnonMutex::new(pid(2), M).unwrap(), View::rotated(M, 1))
+        .build()
+        .unwrap();
+    for _ in 0..k {
+        sim.step(1).unwrap();
+    }
+    sim.crash(1).unwrap();
+    let registers = sim.registers().to_vec();
+    let mut entered = false;
+    for _ in 0..SOLO_BUDGET {
+        if sim.machine(0).section() == Section::Critical {
+            entered = true;
+            break;
+        }
+        sim.step(0).unwrap();
+    }
+    (registers, entered)
+}
+
+/// Runtime side: the same schedule through a [`FaultyDriver`] — crash pid 2
+/// after `k` machine steps, then drive pid 1 solo on a plain [`Driver`].
+fn thread_crash_at(k: u64) -> (Vec<u64>, bool) {
+    let memory: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(M);
+    let plan = FaultPlan::new(k).crash(pid(2), k);
+    let mem = memory.clone();
+    let mut adversary = FaultyDriver::new(
+        pid(2),
+        move |_| {
+            (
+                AnonMutex::new(pid(2), M).unwrap(),
+                mem.view(View::rotated(M, 1)),
+            )
+        },
+        &plan,
+        Arc::new(FaultCell::new()),
+    );
+    loop {
+        match adversary.advance() {
+            FaultyStep::Crashed => break,
+            FaultyStep::Op | FaultyStep::Event(_) => {}
+            FaultyStep::Halted => panic!("an unbounded mutex machine never halts"),
+        }
+    }
+    assert!(adversary.is_crashed());
+    let spy = memory.view(View::identity(M));
+    let registers: Vec<u64> = (0..M).map(|j| spy.read(j)).collect();
+    let mut survivor = Driver::new(
+        AnonMutex::new(pid(1), M).unwrap(),
+        memory.view(View::identity(M)),
+    );
+    let entered = survivor.run_until_bounded(|m| m.section() == Section::Critical, SOLO_BUDGET);
+    (registers, entered)
+}
+
+#[test]
+fn crashed_doorway_matches_the_simulators_crash_transition() {
+    // Crash the adversary at every depth of its first doorway passes. Both
+    // substrates must agree on the registers it leaves behind and on
+    // whether the survivor can still enter — some crash points
+    // legitimately block the survivor forever (mutual exclusion tolerates
+    // crashes for safety, not progress), and the two models must agree on
+    // *which* points those are.
+    let mut blocked_points = 0;
+    for k in 0..=16 {
+        let (sim_registers, sim_enters) = sim_crash_at(k);
+        let (thread_registers, thread_enters) = thread_crash_at(k);
+        assert_eq!(
+            sim_registers, thread_registers,
+            "crash at step {k}: registers diverge between substrates"
+        );
+        assert_eq!(
+            sim_enters, thread_enters,
+            "crash at step {k}: survivor verdicts diverge between substrates"
+        );
+        if !sim_enters {
+            blocked_points += 1;
+        }
+    }
+    // Sanity: the sweep must exercise both survivor outcomes, or the
+    // parity assertion above is vacuous.
+    assert!(
+        blocked_points > 0,
+        "no crash point ever blocked the survivor"
+    );
+    assert!(
+        blocked_points < 17,
+        "every crash point blocked the survivor"
+    );
+}
+
+#[test]
+fn explorer_with_crashes_confirms_survivor_safety() {
+    // The exhaustive cross-check: over *every* reachable interleaving and
+    // every crash point, no two processes ever occupy the critical
+    // section. The thread-level harness (E15) samples this space; the
+    // explorer closes it.
+    let sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), M).unwrap(), View::identity(M))
+        .process(AnonMutex::new(pid(2), M).unwrap(), View::rotated(M, 1))
+        .build()
+        .unwrap();
+    let graph = Explorer::new(sim)
+        .crashes(true)
+        .max_states(2_000_000)
+        .run()
+        .unwrap();
+    let unsafe_state = graph.find_state(|s| {
+        s.machines()
+            .filter(|m| m.section() == Section::Critical)
+            .count()
+            >= 2
+    });
+    assert_eq!(
+        unsafe_state, None,
+        "mutual exclusion violated somewhere in the crash-extended space"
+    );
+}
+
+#[test]
+fn same_fault_plan_seed_yields_identical_runs() {
+    // A solo machine under a plan with a stall and a restart: two runs
+    // from the same seed must agree on every event, every fault firing,
+    // and the incarnation count — the replayability `check stress` banks
+    // on when it prints a violating seed.
+    let run = || {
+        let memory: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(M);
+        let plan = FaultPlan::new(7)
+            .stall(pid(1), 3, 4)
+            .restart(pid(1), 9)
+            .crash(pid(1), 200);
+        let mem = memory.clone();
+        let mut driver = FaultyDriver::new(
+            pid(1),
+            move |incarnation| {
+                (
+                    AnonMutex::new(pid(1), M).unwrap().with_cycles(2),
+                    mem.view(View::rotated(M, incarnation as usize % M)),
+                )
+            },
+            &plan,
+            Arc::new(FaultCell::new()),
+        );
+        let (events, outcome) = driver.run_to_halt(100_000);
+        (
+            events,
+            outcome,
+            driver.fault_log().to_vec(),
+            driver.incarnations(),
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "a seeded fault schedule must replay exactly");
+    assert_eq!(
+        first.3, 2,
+        "the restart must have started a second incarnation"
+    );
+}
+
+#[test]
+fn random_plans_replay_identically_and_spare_a_survivor() {
+    let pids = [pid(1), pid(2), pid(3)];
+    let profile = FaultProfile {
+        restarts: true,
+        ..FaultProfile::default()
+    };
+    for seed in 0..200 {
+        let a = FaultPlan::random(seed, &pids, &profile);
+        let b = FaultPlan::random(seed, &pids, &profile);
+        assert_eq!(a, b, "seed {seed}: plan drawing must be deterministic");
+        let crashed = pids
+            .iter()
+            .filter(|&&p| {
+                a.for_pid(p)
+                    .iter()
+                    .any(|pt| pt.kind == anonreg_runtime::FaultKind::Crash)
+            })
+            .count();
+        assert!(
+            crashed < pids.len(),
+            "seed {seed}: every process crashed — nothing left to assert on"
+        );
+    }
+}
+
+#[test]
+fn fault_metrics_reach_the_probe() {
+    let memory: AnonymousMemory<PackedAtomicRegister<u64>> = AnonymousMemory::new(M);
+    let plan = FaultPlan::new(0).stall(pid(1), 2, 1).restart(pid(1), 5);
+    let probe = MemProbe::new();
+    let mem = memory.clone();
+    let mut driver = FaultyDriver::new(
+        pid(1),
+        move |_| {
+            (
+                AnonMutex::new(pid(1), M).unwrap().with_cycles(1),
+                mem.view(View::identity(M)),
+            )
+        },
+        &plan,
+        Arc::new(FaultCell::new()),
+    )
+    .with_probe(&probe);
+    let (_, outcome) = driver.run_to_halt(100_000);
+    assert_eq!(outcome, DriveOutcome::Halted);
+    let snapshot = probe.snapshot();
+    assert_eq!(
+        snapshot.counter_total(Metric::FaultInjected),
+        2,
+        "one stall + one restart injected"
+    );
+    assert_eq!(snapshot.counter_total(Metric::FaultRecovered), 1);
+    assert_eq!(
+        snapshot.counter_by_key(Metric::FaultRecovered),
+        vec![(1, 1)],
+        "recoveries are keyed by the faulted pid"
+    );
+}

@@ -33,6 +33,9 @@ fn usage() -> ExitCode {
          [--registers N] [--shift N] [--max-states N] [--threads N] [--crashes] [--dot FILE]\n\
          \x20      check explore [--n N] [--registers N] [--threads N] [--max-states N] \
          [--json FILE] [--min-speedup X]   parallel-explorer scaling benchmark (E14)\n\
+         \x20      check explore --symmetry <off|registers|full> [--n N] [--registers N] \
+         [--threads N] [--max-states N] [--json FILE] [--min-reduction X]   \
+         symmetry-reduction benchmark (E16) with verdict parity\n\
          \x20      check lint <--all|ALGO|fixtures>   static analysis (L1-L6); \
          ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}\n\
          \x20      check stress [--schedules N] [--seed N] [--family F] [--replay SEED] \
@@ -269,6 +272,61 @@ fn obs_main(raw: &[String]) -> ExitCode {
         heatmap.render()
     );
 
+    // 3. A fully symmetric sibling space (both processes behind the
+    //    *same* identity view, so the slot swap is a genuine S₂
+    //    symmetry for any m) under full reduction, on a fresh probe:
+    //    orbit-dedup hits and canonicalization time are keyed per
+    //    engine worker (key 0 = the sequential engine).
+    let sym_probe = MemProbe::new();
+    let sym_sim = Simulation::builder()
+        .process(AnonMutex::new(pid(1), m).unwrap(), View::identity(m))
+        .process(AnonMutex::new(pid(2), m).unwrap(), View::identity(m))
+        .build()
+        .unwrap();
+    if let Err(e) = Explorer::new(sym_sim)
+        .limits(limits)
+        .probe(&sym_probe)
+        .symmetry(SymmetryMode::Full)
+        .run()
+    {
+        eprintln!("symmetry-reduced exploration failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let sym = sym_probe.snapshot();
+    println!(
+        "symmetry (full)  : {} states, {} orbit hits, {:.2} ms canonicalizing \
+         (identity-view sibling space)",
+        sym.counter_total(Metric::ExploreStates),
+        sym.counter_total(Metric::SymmetryHits),
+        sym.counter_total(Metric::CanonTime) as f64 / 1e6,
+    );
+    let workers = args.threads.max(1);
+    let per_worker = |metric: Metric| -> Vec<u64> {
+        let by_key = sym.counter_by_key(metric);
+        let mut counts = vec![0u64; workers];
+        for (key, value) in by_key {
+            if let Some(slot) = counts.get_mut(usize::try_from(key).unwrap_or(usize::MAX)) {
+                *slot = value;
+            }
+        }
+        counts
+    };
+    let mut sym_heatmap = Heatmap::new();
+    sym_heatmap
+        .axis("worker")
+        .row("orbit hits", per_worker(Metric::SymmetryHits))
+        .row(
+            "canon us",
+            per_worker(Metric::CanonTime)
+                .into_iter()
+                .map(|ns| ns / 1_000)
+                .collect(),
+        );
+    println!(
+        "\nper-worker symmetry heatmap (full mode):\n{}",
+        sym_heatmap.render()
+    );
+
     if let Some(path) = &trace_path {
         let machines: Vec<AnonMutex> = (1..=2)
             .map(|id| AnonMutex::new(pid(id), m).unwrap().with_cycles(2))
@@ -301,12 +359,80 @@ fn obs_main(raw: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `check explore --symmetry MODE` — the symmetry-reduction benchmark
+/// (experiment E16): explore the symmetric Figure 2 consensus space
+/// under all three symmetry modes at `threads` threads (verdict parity
+/// is hard-asserted inside [`e16_symmetry::rows`]), print the reduction
+/// table, and enforce the stored-state reduction floor of the selected
+/// mode (`--min-reduction`).
+fn explore_symmetry_main(
+    mode: SymmetryMode,
+    n: usize,
+    registers: usize,
+    threads: usize,
+    max_states: usize,
+    json_path: Option<&String>,
+    min_reduction: Option<f64>,
+) -> ExitCode {
+    use anonreg_bench::{benchjson, e16_symmetry};
+    use anonreg_obs::schema::meta_line;
+    use anonreg_obs::Json;
+
+    let workload = e16_symmetry::Workload::SymmetricConsensus { n, registers };
+    println!(
+        "symmetry-reduced exploration: symmetric Figure 2 consensus, n = {n}, \
+         {registers} registers, {threads} threads, off vs registers vs full"
+    );
+    let rows = match e16_symmetry::rows(workload, threads, max_states) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", e16_symmetry::render(&rows));
+    println!("verdict parity across off/registers/full: ok");
+    let reduction = rows
+        .iter()
+        .find(|r| r.mode == mode)
+        .map_or(1.0, |r| r.reduction_over(&rows[0]));
+
+    if let Some(path) = json_path {
+        let mut out = meta_line(
+            "check-explore-symmetry",
+            &[
+                ("n", Json::U64(n as u64)),
+                ("registers", Json::U64(registers as u64)),
+                ("threads", Json::U64(threads as u64)),
+                ("mode", Json::Str(mode.to_string())),
+            ],
+        )
+        .render();
+        out.push('\n');
+        out.push_str(&benchjson::to_jsonl(&e16_symmetry::metrics(&rows)));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+    if let Some(floor) = min_reduction {
+        if reduction < floor {
+            eprintln!("{mode} reduction {reduction:.2}x is below the required {floor:.2}x");
+            return ExitCode::FAILURE;
+        }
+        println!("{mode} reduction {reduction:.2}x meets the required {floor:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
 /// `check explore` — the parallel-explorer scaling benchmark (experiment
 /// E14): explore the Figure 2 consensus space once at 1 thread and once at
 /// `--threads`, refuse to report a speedup unless both runs produce the
 /// exact same state and edge counts, print the scaling table, and
 /// optionally export schema-v1 JSONL (`--json`) or enforce a wall-clock
 /// speedup floor (`--min-speedup`, meant for CI on multi-core hardware).
+/// With `--symmetry`, runs the E16 symmetry-reduction flow instead.
 fn explore_main(raw: &[String]) -> ExitCode {
     use anonreg_bench::{benchjson, e14_scaling};
     use anonreg_obs::schema::meta_line;
@@ -318,6 +444,8 @@ fn explore_main(raw: &[String]) -> ExitCode {
     let mut max_states = 4_000_000usize;
     let mut json_path: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
+    let mut symmetry: Option<SymmetryMode> = None;
+    let mut min_reduction: Option<f64> = None;
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -330,6 +458,20 @@ fn explore_main(raw: &[String]) -> ExitCode {
                     return usage();
                 };
                 min_speedup = Some(v);
+            }
+            "--min-reduction" => {
+                let Ok(v) = value.parse::<f64>() else {
+                    return usage();
+                };
+                min_reduction = Some(v);
+            }
+            "--symmetry" => {
+                symmetry = Some(match value.as_str() {
+                    "off" => SymmetryMode::Off,
+                    "registers" => SymmetryMode::Registers,
+                    "full" => SymmetryMode::Full,
+                    _ => return usage(),
+                });
             }
             "--n" | "--registers" | "--threads" | "--max-states" => {
                 let Ok(v) = value.parse::<usize>() else {
@@ -344,6 +486,21 @@ fn explore_main(raw: &[String]) -> ExitCode {
             }
             _ => return usage(),
         }
+    }
+    if let Some(mode) = symmetry {
+        return explore_symmetry_main(
+            mode,
+            n,
+            registers,
+            threads,
+            max_states,
+            json_path.as_ref(),
+            min_reduction,
+        );
+    }
+    if min_reduction.is_some() {
+        eprintln!("--min-reduction requires --symmetry");
+        return usage();
     }
 
     println!(

@@ -17,9 +17,9 @@ use std::time::Instant;
 
 use anonreg_bench::benchjson::BenchMetric;
 use anonreg_bench::{
-    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e15_faults, e1_parity,
-    e2_ring, e3_consensus, e4_consensus_space, e5_renaming, e6_renaming_space, e7_unknown_n,
-    e8_election, e9_threads,
+    e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e15_faults, e16_symmetry,
+    e1_parity, e2_ring, e3_consensus, e4_consensus_space, e5_renaming, e6_renaming_space,
+    e7_unknown_n, e8_election, e9_threads,
 };
 use anonreg_obs::schema::meta_line;
 use anonreg_obs::Json;
@@ -55,7 +55,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--json FILE] [e1 .. e15]\n\
+                    "usage: repro [--quick] [--json FILE] [e1 .. e16]\n\
                      Regenerates the experiment tables of the PODC'17\n\
                      'Coordination Without Prior Agreement' reproduction.\n\
                      --json FILE also writes every metric as schema-v1\n\
@@ -205,6 +205,29 @@ fn main() {
         &|| {
             let rows = e15_faults::rows(1, if q { 10 } else { 50 });
             (e15_faults::render(&rows), e15_faults::metrics(&rows))
+        },
+    );
+
+    section(
+        "e16",
+        "symmetry-reduced exploration (§2 anonymity, Theorem 3.4)",
+        &|| {
+            let workloads = if q {
+                vec![
+                    e16_symmetry::Workload::MutexRing { m: 2, procs: 2 },
+                    e16_symmetry::Workload::SymmetricConsensus { n: 2, registers: 2 },
+                ]
+            } else {
+                e16_symmetry::Workload::full_scale().to_vec()
+            };
+            let mut rows = Vec::new();
+            for w in workloads {
+                rows.extend(
+                    e16_symmetry::rows(w, 4, 8_000_000)
+                        .expect("symmetry workload exceeded its state limit"),
+                );
+            }
+            (e16_symmetry::render(&rows), e16_symmetry::metrics(&rows))
         },
     );
 

@@ -21,6 +21,7 @@
 //! | [`e13_ordered`] | E13 | §2 variant — identifier order breaks the even-`m` wall with zero extra registers, model-checked |
 //! | [`e14_scaling`] | E14 | parallel model checking — `Explorer` thread scaling on the Figure 2 consensus space |
 //! | [`e15_faults`] | E15 | §2 failure model — seeded fault-injection stress sweeps across every family |
+//! | [`e16_symmetry`] | E16 | §2 anonymity + Theorem 3.4 symmetry — orbit-canonicalized exploration reductions |
 //!
 //! `cargo run --release -p anonreg-bench --bin repro` prints them all; the
 //! Criterion benches in `benches/` time the underlying machinery.
@@ -34,6 +35,7 @@ pub mod e12_starvation;
 pub mod e13_ordered;
 pub mod e14_scaling;
 pub mod e15_faults;
+pub mod e16_symmetry;
 pub mod e1_parity;
 pub mod e2_ring;
 pub mod e3_consensus;

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use anonreg_model::{Machine, Pid, Step};
+use anonreg_model::{Machine, Pid, PidMap, Step};
 
 use crate::mutex::{MutexConfigError, MutexEvent, Section};
 
@@ -193,6 +193,21 @@ impl Machine for Peterson {
                 self.pc = Pc::Remainder;
                 Step::Write(self.my_flag(), 0)
             }
+        }
+    }
+}
+
+impl PidMap for Peterson {
+    /// Renames only the identifier: `slot` is the agreed role and the
+    /// register tokens this machine exchanges (flags, turn) are role
+    /// markers, not identifiers. Peterson's is a *named*-model baseline,
+    /// so identifier renaming is not a symmetry the algorithm promises —
+    /// the symmetry parity suite checks the shipped configurations
+    /// empirically.
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+        Peterson {
+            pid: f(self.pid),
+            ..self.clone()
         }
     }
 }

@@ -38,7 +38,7 @@
 
 use std::fmt;
 
-use anonreg_model::{Machine, Pid, Step};
+use anonreg_model::{Machine, Pid, PidMap, Step};
 
 use crate::mutex::{MutexConfigError, MutexEvent, Section};
 
@@ -281,6 +281,20 @@ impl Machine for OrderedMutex {
                 }
                 Step::Write(j, 0)
             }
+        }
+    }
+}
+
+impl PidMap for OrderedMutex {
+    /// Renames the identifier and the pid-valued view snapshot. Note that
+    /// this machine *orders* identifiers, so a renaming is a true symmetry
+    /// only when it is monotone on the identifiers present — the symmetry
+    /// parity suite checks the shipped configurations empirically.
+    fn map_pids(&self, f: &mut dyn FnMut(Pid) -> Pid) -> Self {
+        OrderedMutex {
+            pid: f(self.pid),
+            myview: self.myview.iter().map(|v| v.map_pids(f)).collect(),
+            ..self.clone()
         }
     }
 }

@@ -25,6 +25,9 @@
 //! * [`fingerprint`] — deterministic 64-bit state hashing, shared by the
 //!   model checker's interning tables so parallel workers agree on state
 //!   identity.
+//! * [`canon`] — orbit canonicalization: byte-stable state encodings,
+//!   first-occurrence identifier renumbering and the view-compatible
+//!   permutation group, used by the explorer's symmetry reduction.
 //!
 //! # Example
 //!
@@ -70,10 +73,12 @@ mod pid;
 mod value;
 mod view;
 
+pub mod canon;
 pub mod fingerprint;
 pub mod rng;
 pub mod trace;
 
+pub use canon::SymmetryMode;
 pub use fingerprint::{fingerprint_of, Fnv64};
 pub use machine::{Machine, Step};
 pub use pid::{ParsePidError, Pid, PidMap};

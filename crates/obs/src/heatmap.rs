@@ -19,13 +19,23 @@ use crate::trace_io::RegisterStats;
 const RAMP: &str = " .:-=+*#%@";
 
 /// A labeled matrix of per-register counts, ready to render.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Heatmap {
     rows: Vec<(String, Vec<u64>)>,
+    axis: String,
+}
+
+impl Default for Heatmap {
+    fn default() -> Self {
+        Heatmap {
+            rows: Vec::new(),
+            axis: "register".to_string(),
+        }
+    }
 }
 
 impl Heatmap {
-    /// Creates an empty heatmap.
+    /// Creates an empty heatmap over the default `register` axis.
     #[must_use]
     pub fn new() -> Self {
         Heatmap::default()
@@ -34,6 +44,12 @@ impl Heatmap {
     /// Adds a labeled row of per-register counts.
     pub fn row(&mut self, label: &str, counts: Vec<u64>) -> &mut Self {
         self.rows.push((label.to_string(), counts));
+        self
+    }
+
+    /// Relabels the column axis (e.g. `worker` for per-worker maps).
+    pub fn axis(&mut self, label: &str) -> &mut Self {
+        self.axis = label.to_string();
         self
     }
 
@@ -87,10 +103,10 @@ impl Heatmap {
             .map(|(label, _)| label.len())
             .max()
             .unwrap_or(0)
-            .max("register".len());
+            .max(self.axis.len());
         let max = self.max();
         let mut out = String::new();
-        out.push_str(&format!("{:<label_width$}  ", "register"));
+        out.push_str(&format!("{:<label_width$}  ", self.axis));
         for r in 0..registers {
             out.push(char::from_digit((r % 10) as u32, 10).unwrap_or('?'));
         }
@@ -149,6 +165,15 @@ mod tests {
     fn empty_map_is_harmless() {
         let s = Heatmap::new().render();
         assert!(s.contains("max = 0"));
+    }
+
+    #[test]
+    fn axis_relabels_the_header() {
+        let mut map = Heatmap::new();
+        map.axis("worker").row("orbit hits", vec![3, 1]);
+        let s = map.render();
+        assert!(s.lines().next().unwrap().starts_with("worker"));
+        assert!(!s.contains("register"));
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub enum Metric {
     /// the same identifier and a new random view. Keyed by the process
     /// identifier.
     FaultRecovered,
+    /// Symmetry-reduction hits: states whose canonicalization chose a
+    /// non-identity orbit representative — i.e. states the reduction
+    /// actually moved. Keyed by engine (0 sequential, worker index
+    /// parallel).
+    SymmetryHits,
+    /// Total nanoseconds spent canonicalizing states, same keying as
+    /// [`Metric::SymmetryHits`]. Only emitted when a symmetry mode is
+    /// active.
+    CanonTime,
 }
 
 impl Metric {
@@ -80,6 +89,8 @@ impl Metric {
             Metric::CoverWriteSet => "cover_write_set",
             Metric::FaultInjected => "fault_injected",
             Metric::FaultRecovered => "fault_recovered",
+            Metric::SymmetryHits => "symmetry_hits",
+            Metric::CanonTime => "canon_time",
         }
     }
 }
@@ -580,6 +591,8 @@ mod tests {
         assert_eq!(Metric::ExploreSteals.name(), "explore_steals");
         assert_eq!(Metric::FaultInjected.name(), "fault_injected");
         assert_eq!(Metric::FaultRecovered.name(), "fault_recovered");
+        assert_eq!(Metric::SymmetryHits.name(), "symmetry_hits");
+        assert_eq!(Metric::CanonTime.name(), "canon_time");
         assert_eq!(Span::SoloWindow.name(), "solo_window");
         assert_eq!(Span::CoverBlock.name(), "cover_block");
         assert_eq!(Span::ExploreWorker.name(), "explore_worker");

@@ -47,11 +47,14 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
-use anonreg_model::Machine;
+use anonreg_model::fingerprint::Fnv64;
+use anonreg_model::{Machine, PidMap, SymmetryMode, View};
 use anonreg_obs::{Metric, NoopProbe, Probe, Span};
 
+use crate::canon::StateEncoder;
 use crate::Simulation;
 
 mod par;
@@ -81,10 +84,6 @@ impl Default for ExploreConfig {
         }
     }
 }
-
-/// The old name of [`ExploreConfig`].
-#[deprecated(note = "renamed to `ExploreConfig`")]
-pub type ExploreLimits = ExploreConfig;
 
 /// Error returned when exploration exceeds its limits.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -162,6 +161,7 @@ pub struct Explorer<'p, M: Machine, P: Probe = NoopProbe> {
     initial: Simulation<M>,
     config: ExploreConfig,
     probe: &'p P,
+    encoder: StateEncoder<M>,
 }
 
 /// The probe target for unprobed explorations.
@@ -180,6 +180,7 @@ where
             initial,
             config: ExploreConfig::default(),
             probe: &SILENT,
+            encoder: StateEncoder::plain(),
         }
     }
 }
@@ -230,7 +231,38 @@ where
             initial: self.initial,
             config: self.config,
             probe,
+            encoder: self.encoder,
         }
+    }
+
+    /// Enables symmetry reduction: states are deduplicated by the
+    /// canonical code of their orbit under `mode`'s permutation group
+    /// (see [`Simulation::canonical_code`]), so only one representative
+    /// per orbit is stored and expanded.
+    ///
+    /// Every stored state is still a *concretely reachable*
+    /// configuration — the first member of its orbit the engine
+    /// discovered — so [`StateGraph::schedule_to`] replays keep working
+    /// verbatim. Edge targets point at orbit representatives; analyses of
+    /// *symmetric* predicates (mutual exclusion, deadlock, agreement…)
+    /// are unaffected, while predicates naming a specific process index
+    /// are answered up to symmetry.
+    ///
+    /// [`SymmetryMode::Registers`] is sound for every machine;
+    /// [`SymmetryMode::Full`] additionally assumes the algorithm is
+    /// *symmetric* in the Theorem 3.4 sense (identifiers admit only
+    /// equality comparisons) — true for all the paper's anonymous
+    /// algorithms.
+    pub fn symmetry(mut self, mode: SymmetryMode) -> Self
+    where
+        M: PidMap,
+        M::Value: PidMap,
+    {
+        let views: Vec<View> = (0..self.initial.process_count())
+            .map(|i| self.initial.view(i).clone())
+            .collect();
+        self.encoder = StateEncoder::for_mode(mode, &views);
+        self
     }
 
     /// Runs the exploration and returns the complete reachable
@@ -248,48 +280,17 @@ where
             t => t,
         };
         if threads <= 1 {
-            run_sequential(self.initial, &self.config, self.probe)
+            run_sequential(self.initial, &self.config, self.probe, &self.encoder)
         } else {
-            par::run_parallel(self.initial, &self.config, self.probe, threads)
+            par::run_parallel(
+                self.initial,
+                &self.config,
+                self.probe,
+                threads,
+                &self.encoder,
+            )
         }
     }
-}
-
-/// Exhaustively enumerates every configuration reachable from `initial`
-/// under any scheduling of the processes.
-///
-/// # Errors
-///
-/// Returns [`ExploreError::StateLimitExceeded`] if the reachable state space
-/// is larger than `config.max_states`.
-#[deprecated(note = "use `Explorer::new(initial).limits(*config).run()`")]
-pub fn explore<M>(
-    initial: Simulation<M>,
-    config: &ExploreConfig,
-) -> Result<StateGraph<M>, ExploreError>
-where
-    M: Machine + Eq + Hash,
-{
-    Explorer::new(initial).limits(*config).run()
-}
-
-/// [`explore`] with a live [`Probe`].
-///
-/// # Errors
-///
-/// Returns [`ExploreError::StateLimitExceeded`] if the reachable state
-/// space is larger than `config.max_states`.
-#[deprecated(note = "use `Explorer::new(initial).limits(*config).probe(probe).run()`")]
-pub fn explore_probed<M, P>(
-    initial: Simulation<M>,
-    config: &ExploreConfig,
-    probe: &P,
-) -> Result<StateGraph<M>, ExploreError>
-where
-    M: Machine + Eq + Hash,
-    P: Probe,
-{
-    Explorer::new(initial).limits(*config).probe(probe).run()
 }
 
 /// How often the explorer samples its frontier/depth gauges, in
@@ -298,6 +299,56 @@ where
 /// reported exactly.
 const GAUGE_SAMPLE_EVERY: usize = 1024;
 
+/// The stable FNV-1a fingerprint of a state code — the fast first probe
+/// of the interning tables; full codes decide.
+pub(crate) fn code_fingerprint(code: &[u8]) -> u64 {
+    let mut hasher = Fnv64::new();
+    hasher.write(code);
+    hasher.finish()
+}
+
+/// The sequential engine's interning table: a fingerprint-first index into
+/// an arena of flat state codes. Probing compares `Box<[u8]>` codes —
+/// never whole `Simulation`s — so a dedup hit costs one hash lookup plus
+/// one byte-string compare instead of cloning registers and slots.
+struct InternTable {
+    /// fingerprint → candidate state ids (almost always a single entry).
+    ids: HashMap<u64, Vec<u32>>,
+    /// Arena of state codes, indexed by state id.
+    codes: Vec<Box<[u8]>>,
+}
+
+impl InternTable {
+    fn with_first(code: Box<[u8]>) -> Self {
+        let mut table = InternTable {
+            ids: HashMap::new(),
+            codes: Vec::new(),
+        };
+        table.insert(code);
+        table
+    }
+
+    /// The id already holding `code`, if any.
+    fn find(&self, code: &[u8]) -> Option<usize> {
+        let candidates = self.ids.get(&code_fingerprint(code))?;
+        candidates
+            .iter()
+            .find(|&&id| &*self.codes[id as usize] == code)
+            .map(|&id| id as usize)
+    }
+
+    /// Interns `code` as the next state id.
+    fn insert(&mut self, code: Box<[u8]>) -> usize {
+        let id = self.codes.len();
+        self.ids
+            .entry(code_fingerprint(&code))
+            .or_default()
+            .push(id as u32);
+        self.codes.push(code);
+        id
+    }
+}
+
 /// The deterministic sequential engine: a depth-first loop with one
 /// global dedup map. State ids are canonical — two runs from the same
 /// initial simulation number the states identically.
@@ -305,6 +356,7 @@ fn run_sequential<M, P>(
     initial: Simulation<M>,
     limits: &ExploreConfig,
     probe: &P,
+    encoder: &StateEncoder<M>,
 ) -> Result<StateGraph<M>, ExploreError>
 where
     M: Machine + Eq + Hash,
@@ -317,11 +369,25 @@ where
         probe.span_open(Span::Explore, 0);
     }
 
-    let mut ids: HashMap<_, usize> = HashMap::new();
-    let mut states = vec![initial.clone()];
+    let mut canon_nanos = 0u64;
+    let mut symmetry_hits = 0u64;
+    let track_canon = P::ENABLED && encoder.mode() != SymmetryMode::Off;
+    let mut encode = |sim: &Simulation<M>| {
+        if track_canon {
+            let start = Instant::now();
+            let (code, moved) = encoder.encode(sim);
+            canon_nanos += start.elapsed().as_nanos() as u64;
+            symmetry_hits += u64::from(moved);
+            code
+        } else {
+            encoder.encode(sim).0
+        }
+    };
+
+    let mut table = InternTable::with_first(encode(&initial));
+    let mut states = vec![initial];
     let mut edges: Vec<Vec<Edge<M::Event>>> = Vec::new();
     let mut parents = vec![None];
-    ids.insert(initial.state_key(), 0);
 
     // Discovery depth per state and the running maximum; maintained only
     // when the probe is enabled.
@@ -351,9 +417,9 @@ where
                 let events: Vec<M::Event> =
                     next.trace().events().map(|(_, _, e)| e.clone()).collect();
                 next.clear_trace();
-                let key = next.state_key();
-                let target = match ids.get(&key) {
-                    Some(&t) => {
+                let code = encode(&next);
+                let target = match table.find(&code) {
+                    Some(t) => {
                         if P::ENABLED {
                             dedup_hits += 1;
                         }
@@ -366,13 +432,14 @@ where
                                 report_explore(
                                     probe, t as u64, edge_total, dedup_hits, &frontier, max_depth,
                                 );
+                                report_symmetry(probe, 0, symmetry_hits, canon_nanos);
                                 probe.span_close(Span::Explore, 0, t as u64);
                             }
                             return Err(ExploreError::StateLimitExceeded {
                                 limit: limits.max_states,
                             });
                         }
-                        ids.insert(key, t);
+                        table.insert(code);
                         states.push(next);
                         parents.push(Some((id, proc, crash)));
                         frontier.push(t);
@@ -416,6 +483,7 @@ where
             &frontier,
             max_depth,
         );
+        report_symmetry(probe, 0, symmetry_hits, canon_nanos);
         probe.span_close(Span::Explore, 0, states.len() as u64);
     }
 
@@ -440,6 +508,19 @@ fn report_explore<P: Probe>(
     probe.counter(Metric::ExploreDedup, 0, dedup);
     probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
     probe.gauge(Metric::ExploreDepth, 0, u64::from(max_depth));
+}
+
+/// Symmetry-reduction counters for one engine (`key` is 0 for the
+/// sequential engine, the worker index for the parallel one). Emitted
+/// only when canonicalization actually did something, so plain
+/// explorations keep their probe output unchanged.
+pub(crate) fn report_symmetry<P: Probe>(probe: &P, key: u64, hits: u64, nanos: u64) {
+    if hits > 0 {
+        probe.counter(Metric::SymmetryHits, key, hits);
+    }
+    if nanos > 0 {
+        probe.counter(Metric::CanonTime, key, nanos);
+    }
 }
 
 impl<M: Machine> StateGraph<M> {
@@ -953,7 +1034,7 @@ mod tests {
         for &p in &schedule {
             sim.step(p).unwrap();
         }
-        assert_eq!(sim.state_key(), graph.state(id).state_key());
+        assert!(sim.same_configuration(graph.state(id)));
     }
 
     #[test]
@@ -1333,18 +1414,5 @@ mod tests {
             sccs.windows(2).all(|w| w[0][0] < w[1][0]),
             "components ordered by smallest id"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_explore() {
-        let graph = explore(two_toys(), &ExploreConfig::default()).unwrap();
-        let via_builder = Explorer::new(two_toys()).run().unwrap();
-        assert_eq!(graph.state_count(), via_builder.state_count());
-        assert_eq!(graph.edge_count(), via_builder.edge_count());
-        use anonreg_obs::MemProbe;
-        let probe = MemProbe::new();
-        let probed = explore_probed(two_toys(), &ExploreConfig::default(), &probe).unwrap();
-        assert_eq!(probed.state_count(), via_builder.state_count());
     }
 }

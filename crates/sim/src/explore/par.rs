@@ -4,11 +4,13 @@
 //! engine, split across worker threads:
 //!
 //! * **Sharded dedup table** — state identity lives in `SHARDS`
-//!   mutex-striped shards, each mapping a 64-bit
-//!   [`Simulation::fingerprint`] to the ids of the states carrying it.
-//!   Workers exchange ids and fingerprints, never full `Simulation`
-//!   clones; fingerprint collisions are resolved with
-//!   [`Simulation::same_configuration`] against the interned state.
+//!   mutex-striped shards, each mapping a 64-bit code fingerprint to the
+//!   `(id, code)` pairs carrying it, where a *code* is the flat canonical
+//!   byte encoding produced by the engine's
+//!   [`StateEncoder`](crate::canon::StateEncoder). Workers exchange ids,
+//!   fingerprints and codes, never full `Simulation` clones; fingerprint
+//!   collisions are resolved by comparing code bytes under the shard lock
+//!   alone — no cross-stripe probe is needed.
 //! * **Interned state store** — the authoritative `Simulation` for each id
 //!   is kept once, in `STRIPES` mutex-striped slabs indexed by id. Locks
 //!   are always taken shard-then-stripe, so the two stripe sets cannot
@@ -27,17 +29,26 @@
 //! parallel and a sequential run) number states differently. The *graph*
 //! is identical up to that renumbering — the property tests in
 //! `crates/core/tests/parallel_modelcheck.rs` check graph isomorphism
-//! against the sequential engine family by family.
+//! against the sequential engine family by family. Under a symmetry mode
+//! the stored representative of an orbit is the first *concrete* state to
+//! reach the dedup table, so which member represents an orbit (and hence
+//! edge event labels) is racy, but the orbit set — state and edge counts,
+//! and every verdict — is deterministic.
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-use anonreg_model::Machine;
+use anonreg_model::{Machine, SymmetryMode};
 use anonreg_obs::{Metric, Probe, Span};
 
-use super::{Edge, ExploreConfig, ExploreError, StateGraph, GAUGE_SAMPLE_EVERY};
+use super::{
+    code_fingerprint, report_symmetry, Edge, ExploreConfig, ExploreError, StateGraph,
+    GAUGE_SAMPLE_EVERY,
+};
+use crate::canon::StateEncoder;
 use crate::Simulation;
 
 /// Number of dedup-table shards. More shards mean less lock contention on
@@ -58,10 +69,15 @@ const IDLE_SPINS: u32 = 64;
 /// A discovered-but-unexpanded state: its interned id and discovery depth.
 type WorkItem = (u32, u32);
 
-/// One dedup shard: fingerprint → ids of interned states carrying it.
+/// The interned states sharing one code fingerprint: `(id, code)` pairs.
+type CodeBucket = Vec<(u32, Box<[u8]>)>;
+
+/// One dedup shard: code fingerprint → `(id, code)` pairs carrying it.
+/// Keeping the flat code next to the id lets the equality probe run
+/// entirely under the shard lock, without touching the state store.
 #[derive(Default)]
 struct Shard {
-    map: HashMap<u64, Vec<u32>>,
+    map: HashMap<u64, CodeBucket>,
     /// Dedup hits resolved by this shard.
     hits: u64,
 }
@@ -93,14 +109,6 @@ impl<M: Machine + Eq> StateStore<M> {
             .as_ref()
             .expect("work items reference interned states")
             .clone()
-    }
-
-    fn matches(&self, id: usize, candidate: &Simulation<M>) -> bool {
-        let stripe = self.stripes[id % STRIPES].lock().expect("store lock");
-        stripe[id / STRIPES]
-            .as_ref()
-            .expect("mapped ids reference interned states")
-            .same_configuration(candidate)
     }
 
     /// Drains the store into an id-ordered state vector.
@@ -149,21 +157,24 @@ enum Interned {
     Limit,
 }
 
-/// Offers `state` (with fingerprint `fp`) to the dedup table.
+/// Offers `state` (with canonical code `code`, fingerprinted as `fp`) to
+/// the dedup table.
 ///
-/// Lock order: the fingerprint's shard first, then (inside `matches` /
-/// `insert`) a store stripe. The invariant that every id present in a
-/// shard map has already been stored makes the equality probe safe.
-fn intern<M>(ctx: &Ctx<M>, fp: u64, state: Simulation<M>) -> Interned
+/// Lock order: the fingerprint's shard first, then (inside
+/// [`StateStore::insert`]) a store stripe. Equality is decided by code
+/// bytes under the shard lock, so a `Known` verdict never touches the
+/// state store at all.
+fn intern<M>(ctx: &Ctx<M>, fp: u64, code: Box<[u8]>, state: Simulation<M>) -> Interned
 where
     M: Machine + Eq + Hash,
 {
     let mut shard = ctx.shards[(fp % SHARDS as u64) as usize]
         .lock()
         .expect("shard lock");
-    if let Some(ids) = shard.map.get(&fp) {
-        for &known in ids {
-            if ctx.store.matches(known as usize, &state) {
+    if let Some(entries) = shard.map.get(&fp) {
+        for (known, known_code) in entries {
+            if **known_code == *code {
+                let known = *known;
                 shard.hits += 1;
                 return Interned::Known(known);
             }
@@ -175,7 +186,7 @@ where
     }
     ctx.store.insert(id, state);
     let id = u32::try_from(id).expect("max_states clamped to u32 range");
-    shard.map.entry(fp).or_default().push(id);
+    shard.map.entry(fp).or_default().push((id, code));
     Interned::Fresh(id)
 }
 
@@ -212,7 +223,7 @@ fn pop_work<M: Machine>(me: usize, ctx: &Ctx<M>, steals: &mut u64) -> Option<Wor
 }
 
 /// One worker's main loop.
-fn worker<M, P>(me: usize, ctx: &Ctx<M>, probe: &P) -> WorkerOut<M>
+fn worker<M, P>(me: usize, ctx: &Ctx<M>, probe: &P, encoder: &StateEncoder<M>) -> WorkerOut<M>
 where
     M: Machine + Eq + Hash,
     P: Probe,
@@ -227,6 +238,9 @@ where
         steals: 0,
         edge_total: 0,
     };
+    let track_canon = P::ENABLED && encoder.mode() != SymmetryMode::Off;
+    let mut canon_nanos = 0u64;
+    let mut symmetry_hits = 0u64;
     let mut idle = 0u32;
     'outer: while !ctx.aborted.load(Ordering::SeqCst) {
         let Some((id, depth)) = pop_work(me, ctx, &mut out.steals) else {
@@ -261,8 +275,17 @@ where
                 let events: Vec<M::Event> =
                     next.trace().events().map(|(_, _, e)| e.clone()).collect();
                 next.clear_trace();
-                let fp = next.fingerprint();
-                let target = match intern(ctx, fp, next) {
+                let code = if track_canon {
+                    let start = Instant::now();
+                    let (code, moved) = encoder.encode(&next);
+                    canon_nanos += start.elapsed().as_nanos() as u64;
+                    symmetry_hits += u64::from(moved);
+                    code
+                } else {
+                    encoder.encode(&next).0
+                };
+                let fp = code_fingerprint(&code);
+                let target = match intern(ctx, fp, code, next) {
                     Interned::Known(t) => t,
                     Interned::Fresh(t) => {
                         out.parents.push((t, id, proc as u32, crash));
@@ -311,6 +334,7 @@ where
     }
     if P::ENABLED {
         probe.counter(Metric::ExploreSteals, me as u64, out.steals);
+        report_symmetry(probe, me as u64, symmetry_hits, canon_nanos);
         probe.span_close(Span::ExploreWorker, me as u64, out.expanded);
     }
     out
@@ -322,6 +346,7 @@ pub(super) fn run_parallel<M, P>(
     config: &ExploreConfig,
     probe: &P,
     threads: usize,
+    encoder: &StateEncoder<M>,
 ) -> Result<StateGraph<M>, ExploreError>
 where
     M: Machine + Eq + Hash,
@@ -348,8 +373,9 @@ where
         crashes: config.crashes,
     };
 
-    let fp = initial.fingerprint();
-    match intern(&ctx, fp, initial) {
+    let (code, _) = encoder.encode(&initial);
+    let fp = code_fingerprint(&code);
+    match intern(&ctx, fp, code, initial) {
         Interned::Fresh(id) => debug_assert_eq!(id, 0, "first interned state is state 0"),
         Interned::Known(_) => unreachable!("the dedup table starts empty"),
         Interned::Limit => {
@@ -369,7 +395,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|i| {
                 let ctx = &ctx;
-                s.spawn(move || worker(i, ctx, probe))
+                s.spawn(move || worker(i, ctx, probe, encoder))
             })
             .collect();
         handles

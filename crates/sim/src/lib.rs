@@ -22,7 +22,10 @@
 //! * [`obstruction`] — the obstruction-freedom checker: from every reachable
 //!   state, every process running alone must terminate within a bound.
 //! * [`symmetry`] — the rotation-symmetry invariant behind Theorem 3.4's
-//!   lock-step ring adversary.
+//!   lock-step ring adversary. The explorer turns the same invariance into
+//!   a state-space cut: [`explore::Explorer::symmetry`] stores one
+//!   representative per orbit of the view-compatible register/identifier
+//!   permutation group (see [`Simulation::canonical_fingerprint`]).
 //!
 //! # Example
 //!
@@ -60,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod simulation;
 
 pub mod explore;
@@ -81,4 +85,5 @@ pub mod prelude {
         Edge, ExploreConfig, ExploreError, Explorer, ScheduleAction, StateGraph,
     };
     pub use crate::{SimError, Simulation, SimulationBuilder};
+    pub use anonreg_model::SymmetryMode;
 }

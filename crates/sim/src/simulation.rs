@@ -3,7 +3,7 @@
 use std::fmt;
 
 use anonreg_model::trace::{Trace, TraceOp};
-use anonreg_model::{Machine, Step, View};
+use anonreg_model::{Machine, PidMap, Step, SymmetryMode, View};
 
 /// What happened when a process was granted one atomic step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -502,16 +502,6 @@ impl<M: Machine> Simulation<M> {
         self.registers[physical] = value;
     }
 
-    /// Snapshot of the mutable execution state — registers plus every slot —
-    /// for the explorer's hashing. The trace is deliberately excluded: two
-    /// runs reaching the same configuration are the same state.
-    pub(crate) fn state_key(&self) -> (Vec<M::Value>, Vec<Slot<M>>)
-    where
-        M: Eq + std::hash::Hash,
-    {
-        (self.registers.clone(), self.slots.clone())
-    }
-
     /// Drops the accumulated trace (used by the explorer, which clones
     /// simulations heavily and never inspects their traces).
     pub(crate) fn clear_trace(&mut self) {
@@ -553,6 +543,40 @@ impl<M: Machine> Simulation<M> {
     /// the symmetry checker.
     pub(crate) fn slot(&self, proc: usize) -> &Slot<M> {
         &self.slots[proc]
+    }
+
+    /// The flat byte encoding of this configuration's canonical orbit
+    /// representative under `mode` — the exploration engines deduplicate
+    /// states by exactly this code. Two configurations share a code iff
+    /// some view-compatible register/slot permutation (plus, under
+    /// [`SymmetryMode::Full`], an identifier renaming) maps one to the
+    /// other; with [`SymmetryMode::Off`] the code is the plain encoding
+    /// and only bit-identical configurations collide. Traces are excluded,
+    /// matching [`Simulation::fingerprint`].
+    #[must_use]
+    pub fn canonical_code(&self, mode: SymmetryMode) -> Box<[u8]>
+    where
+        M: Eq + std::hash::Hash + PidMap,
+        M::Value: PidMap,
+    {
+        crate::canon::state_code(self, mode)
+    }
+
+    /// A stable 64-bit FNV-1a fingerprint of
+    /// [`canonical_code`](Simulation::canonical_code): every member of an
+    /// orbit under `mode`'s symmetry group fingerprints identically.
+    /// Unlike raw [`Simulation::fingerprint`], this is invariant under
+    /// view-compatible register permutations and (under
+    /// [`SymmetryMode::Full`]) identifier renamings.
+    #[must_use]
+    pub fn canonical_fingerprint(&self, mode: SymmetryMode) -> u64
+    where
+        M: Eq + std::hash::Hash + PidMap,
+        M::Value: PidMap,
+    {
+        let mut hasher = anonreg_model::fingerprint::Fnv64::new();
+        std::hash::Hasher::write(&mut hasher, &self.canonical_code(mode));
+        std::hash::Hasher::finish(&hasher)
     }
 }
 

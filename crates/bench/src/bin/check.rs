@@ -41,6 +41,13 @@ fn usage() -> ExitCode {
          \x20      check stress [--schedules N] [--seed N] [--family F] [--replay SEED] \
          [--quick] [--json FILE] [--broken]   fault-injection stress sweeps (E15); \
          violations print the seed and exit non-zero\n\
+         \x20      check sanitize [--schedules N] [--seed N] [--family F] [--quick] \
+         [--json FILE]   memory-ordering inference: certify per-site minimal orderings (E17)\n\
+         \x20      check sanitize --broken [--quick]   negative controls: the broken fixtures \
+         must be flagged (exits non-zero when they are; CI asserts the failure)\n\
+         \x20      check sanitize --family F --replay SEED [--read ORD] [--claim ORD] \
+         [--clear ORD]   rerun one sanitized schedule (F may be a fixture name); \
+         ORD in {{relaxed,acquire,release,seqcst}}\n\
          \x20      check obs [--m N] [--shift N] [--entries N] [--max-states N] \
          [--json FILE] [--trace FILE]   probed run + contention heatmap\n\
          \x20      check obs validate FILE            schema-validate a JSONL file\n\
@@ -704,6 +711,254 @@ fn stress_main(raw: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `check sanitize` — experiment E17's memory-ordering inference over the
+/// vector-clock sanitizer substrate. The default run certifies per-site
+/// minimal orderings for every family (greedy ladders, seeded sweeps, half
+/// the schedules under injected faults), prints the certificates the
+/// runtime's relaxed sites cite, and exits non-zero if any family fails to
+/// verify clean at its certified plan. `--broken` runs the deliberately
+/// defective fixtures instead, which *must* be flagged — that run exits
+/// non-zero by design and CI asserts the failure. `--family F --replay
+/// SEED` reruns exactly one sanitized schedule (`F` may be a fixture
+/// name), optionally under explicit per-site orderings.
+fn sanitize_main(raw: &[String]) -> ExitCode {
+    use anonreg_bench::{benchjson, e17_ordering};
+    use anonreg_obs::schema::meta_line;
+    use anonreg_obs::Json;
+    use anonreg_sanitizer::{
+        certify_family, fixtures, run_family, runtime_site_notes, OrderingPlan, FAMILIES,
+    };
+    use std::sync::atomic::Ordering as MemOrdering;
+
+    fn parse_ordering(value: &str) -> Option<MemOrdering> {
+        Some(match value {
+            "relaxed" => MemOrdering::Relaxed,
+            "acquire" => MemOrdering::Acquire,
+            "release" => MemOrdering::Release,
+            "seqcst" => MemOrdering::SeqCst,
+            _ => return None,
+        })
+    }
+
+    let mut schedules: Option<u64> = None;
+    let mut seed: u64 = 1;
+    let mut family_arg: Option<String> = None;
+    let mut replay: Option<u64> = None;
+    let mut quick = false;
+    let mut broken = false;
+    let mut with_faults = false;
+    let mut json_path: Option<String> = None;
+    let mut plan = OrderingPlan::seq_cst();
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--broken" => broken = true,
+            "--faults" => with_faults = true,
+            "--schedules" | "--seed" | "--replay" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--schedules" => schedules = Some(v),
+                    "--seed" => seed = v,
+                    _ => replay = Some(v),
+                }
+            }
+            "--family" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                family_arg = Some(v.clone());
+            }
+            "--json" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                json_path = Some(v.clone());
+            }
+            "--read" | "--claim" | "--clear" => {
+                let Some(ordering) = it.next().and_then(|v| parse_ordering(v)) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--read" => plan.read = ordering,
+                    "--claim" => plan.claim = ordering,
+                    _ => plan.clear = ordering,
+                }
+            }
+            _ => return usage(),
+        }
+    }
+
+    if let Some(replay_seed) = replay {
+        let Some(name) = &family_arg else {
+            eprintln!("--replay requires --family (an algorithm family or a fixture name)");
+            return ExitCode::FAILURE;
+        };
+        // A fixture name replays the fixture's own defective plan.
+        let (family, replay_plan) = match fixtures::fixture(name) {
+            Some(f) => (f.family, f.plan),
+            None => match FAMILIES.iter().find(|f| **f == *name) {
+                Some(&f) => (f, plan),
+                None => {
+                    eprintln!(
+                        "unknown family {name:?}; expected one of {FAMILIES:?} or a fixture name"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let outcome = run_family(family, replay_plan, replay_seed, with_faults);
+        println!(
+            "{family}: seed {replay_seed}: plan {}, {} violation(s), {} hb edge(s), \
+             {} stale read(s), {} steps{}",
+            replay_plan.label(),
+            outcome.ordering_violations,
+            outcome.hb_edges,
+            outcome.stale_reads,
+            outcome.steps,
+            if outcome.timed_out { ", timed out" } else { "" },
+        );
+        let mut bad = false;
+        if let Some(v) = &outcome.first_violation {
+            print!("  VIOLATION: {v}");
+            bad = true;
+        }
+        if let Some(s) = &outcome.safety {
+            println!("  SAFETY: {s}");
+            bad = true;
+        }
+        if !bad {
+            println!("  no ordering or safety violations");
+        }
+        return if bad {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    if broken {
+        let outcomes = e17_ordering::fixture_outcomes(seed);
+        println!(
+            "negative controls: {} broken fixture(s), base seed {seed}",
+            outcomes.len()
+        );
+        println!("{}", e17_ordering::render_fixtures(&outcomes));
+        for o in &outcomes {
+            if let (Some(firing_seed), Some(v)) = (o.seed, &o.violation) {
+                println!(
+                    "{}: flagged at seed {firing_seed}; replay with \
+                     `check sanitize --family {} --replay {firing_seed}`",
+                    o.name, o.name
+                );
+                print!("{v}");
+            }
+        }
+        return if outcomes
+            .iter()
+            .all(anonreg_sanitizer::FixtureOutcome::flagged)
+        {
+            // Expected: the sanitizer fired on every defective fixture.
+            // Exit non-zero so CI can assert `! check sanitize --broken`.
+            ExitCode::FAILURE
+        } else {
+            eprintln!(
+                "some broken fixture was NOT flagged — the sanitizer failed to \
+                 detect a missing happens-before edge"
+            );
+            ExitCode::SUCCESS
+        };
+    }
+
+    let selected: Vec<&'static str> = if let Some(name) = &family_arg {
+        match FAMILIES.iter().find(|f| **f == *name) {
+            Some(&f) => vec![f],
+            None => {
+                eprintln!(
+                    "unknown family {name:?}; expected one of {FAMILIES:?} \
+                     (fixtures run under --broken)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        FAMILIES.to_vec()
+    };
+
+    let per_family = schedules.unwrap_or(if quick {
+        e17_ordering::QUICK_SCHEDULES
+    } else {
+        e17_ordering::DEFAULT_SCHEDULES
+    });
+    println!(
+        "memory-ordering inference (E17): {per_family} schedule(s) per sweep x {} \
+         family(ies), base seed {seed}",
+        selected.len()
+    );
+    let certs: Vec<_> = selected
+        .iter()
+        .map(|&f| certify_family(f, seed, per_family))
+        .collect();
+    println!("{}", e17_ordering::render(&certs));
+
+    println!("certificates:");
+    for c in &certs {
+        for cert in &c.certificates {
+            println!("  {cert}");
+        }
+        for r in &c.rejected {
+            println!("    rejected {:?} at {}: {}", r.ordering, r.site, r.reason);
+        }
+    }
+    println!("structural runtime certificates:");
+    for (id, why) in runtime_site_notes() {
+        println!("  {id}: {why}");
+    }
+
+    if let Some(path) = &json_path {
+        let mut out = meta_line(
+            "check-sanitize",
+            &[
+                ("schedules", Json::U64(per_family)),
+                ("seed", Json::U64(seed)),
+                ("families", Json::U64(selected.len() as u64)),
+            ],
+        )
+        .render();
+        out.push('\n');
+        out.push_str(&benchjson::to_jsonl(&e17_ordering::metrics(&certs, &[])));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+
+    let mut bad = false;
+    for c in &certs {
+        if !c.clean {
+            bad = true;
+            eprintln!(
+                "{}: {} violation(s) at the certified plan {} — the inference pass \
+                 failed to converge",
+                c.family,
+                c.violations_at_plan,
+                c.plan.label()
+            );
+        }
+    }
+    if bad {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "all {} family(ies) verified clean at their certified plans",
+        certs.len()
+    );
+    ExitCode::SUCCESS
+}
+
 struct Args {
     m: usize,
     n: usize,
@@ -845,6 +1100,9 @@ fn main() -> ExitCode {
     }
     if kind == "stress" {
         return stress_main(&raw[1..]);
+    }
+    if kind == "sanitize" {
+        return sanitize_main(&raw[1..]);
     }
     let Some(args) = parse(&raw[1..]) else {
         return usage();

@@ -18,8 +18,8 @@ use std::time::Instant;
 use anonreg_bench::benchjson::BenchMetric;
 use anonreg_bench::{
     e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e15_faults, e16_symmetry,
-    e1_parity, e2_ring, e3_consensus, e4_consensus_space, e5_renaming, e6_renaming_space,
-    e7_unknown_n, e8_election, e9_threads,
+    e17_ordering, e1_parity, e2_ring, e3_consensus, e4_consensus_space, e5_renaming,
+    e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
 };
 use anonreg_obs::schema::meta_line;
 use anonreg_obs::Json;
@@ -55,7 +55,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--json FILE] [e1 .. e16]\n\
+                    "usage: repro [--quick] [--json FILE] [e1 .. e17]\n\
                      Regenerates the experiment tables of the PODC'17\n\
                      'Coordination Without Prior Agreement' reproduction.\n\
                      --json FILE also writes every metric as schema-v1\n\
@@ -228,6 +228,26 @@ fn main() {
                 );
             }
             (e16_symmetry::render(&rows), e16_symmetry::metrics(&rows))
+        },
+    );
+
+    section(
+        "e17",
+        "memory-ordering inference over the vector-clock sanitizer (§2 model)",
+        &|| {
+            let schedules = if q {
+                e17_ordering::QUICK_SCHEDULES
+            } else {
+                e17_ordering::DEFAULT_SCHEDULES
+            };
+            let certs = e17_ordering::certifications(1, schedules);
+            let fixtures = e17_ordering::fixture_outcomes(1);
+            let rendered = format!(
+                "{}\nnegative controls (must be flagged):\n{}",
+                e17_ordering::render(&certs),
+                e17_ordering::render_fixtures(&fixtures)
+            );
+            (rendered, e17_ordering::metrics(&certs, &fixtures))
         },
     );
 

@@ -22,6 +22,7 @@
 //! | [`e14_scaling`] | E14 | parallel model checking — `Explorer` thread scaling on the Figure 2 consensus space |
 //! | [`e15_faults`] | E15 | §2 failure model — seeded fault-injection stress sweeps across every family |
 //! | [`e16_symmetry`] | E16 | §2 anonymity + Theorem 3.4 symmetry — orbit-canonicalized exploration reductions |
+//! | [`e17_ordering`] | E17 | §2 atomic-register model — vector-clock sanitizer certifies minimal memory orderings per family |
 //!
 //! `cargo run --release -p anonreg-bench --bin repro` prints them all; the
 //! Criterion benches in `benches/` time the underlying machinery.
@@ -36,6 +37,7 @@ pub mod e13_ordered;
 pub mod e14_scaling;
 pub mod e15_faults;
 pub mod e16_symmetry;
+pub mod e17_ordering;
 pub mod e1_parity;
 pub mod e2_ring;
 pub mod e3_consensus;

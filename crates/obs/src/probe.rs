@@ -67,6 +67,18 @@ pub enum Metric {
     /// [`Metric::SymmetryHits`]. Only emitted when a symmetry mode is
     /// active.
     CanonTime,
+    /// Missing happens-before edges flagged by the ordering sanitizer: a
+    /// read consumed a foreign store with no synchronizes-with path.
+    /// Keyed by physical register.
+    OrderingViolations,
+    /// Acquire/release synchronizes-with edges the sanitizer observed
+    /// (an acquire read consuming a release store). Keyed by physical
+    /// register.
+    HbEdges,
+    /// Sanitizer reads that returned a store older than the newest one —
+    /// the observation model's bounded staleness actually biting. Keyed
+    /// by physical register.
+    StaleReads,
 }
 
 impl Metric {
@@ -91,6 +103,9 @@ impl Metric {
             Metric::FaultRecovered => "fault_recovered",
             Metric::SymmetryHits => "symmetry_hits",
             Metric::CanonTime => "canon_time",
+            Metric::OrderingViolations => "ordering_violations",
+            Metric::HbEdges => "hb_edges",
+            Metric::StaleReads => "stale_reads",
         }
     }
 }
@@ -593,6 +608,9 @@ mod tests {
         assert_eq!(Metric::FaultRecovered.name(), "fault_recovered");
         assert_eq!(Metric::SymmetryHits.name(), "symmetry_hits");
         assert_eq!(Metric::CanonTime.name(), "canon_time");
+        assert_eq!(Metric::OrderingViolations.name(), "ordering_violations");
+        assert_eq!(Metric::HbEdges.name(), "hb_edges");
+        assert_eq!(Metric::StaleReads.name(), "stale_reads");
         assert_eq!(Span::SoloWindow.name(), "solo_window");
         assert_eq!(Span::CoverBlock.name(), "cover_block");
         assert_eq!(Span::ExploreWorker.name(), "explore_worker");

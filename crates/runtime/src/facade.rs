@@ -125,14 +125,22 @@ struct HandleSlot {
 
 impl Drop for HandleSlot {
     fn drop(&mut self) {
-        self.handles.fetch_sub(1, Ordering::SeqCst);
+        // Release pairs with `claim_slot`'s AcqRel increment: everything
+        // the departing handle did happens-before the claim that reuses
+        // its slot (certificate ORD-RT-HANDLE-002, `check sanitize`).
+        self.handles.fetch_sub(1, Ordering::Release);
     }
 }
 
 fn claim_slot(handles: &Arc<AtomicUsize>, max: usize) -> Result<(HandleSlot, usize), RuntimeError> {
-    let previous = handles.fetch_add(1, Ordering::SeqCst);
+    // AcqRel: the acquire half observes prior releases (slot drops), the
+    // release half publishes this claim to competing claimers. The counter
+    // guards only slot occupancy — the algorithms' own registers carry
+    // their own ordering — so SeqCst buys nothing here (certificate
+    // ORD-RT-HANDLE-002).
+    let previous = handles.fetch_add(1, Ordering::AcqRel);
     if previous >= max {
-        handles.fetch_sub(1, Ordering::SeqCst);
+        handles.fetch_sub(1, Ordering::Release);
         return Err(RuntimeError::TooManyHandles);
     }
     Ok((

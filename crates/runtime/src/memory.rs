@@ -43,6 +43,26 @@ impl<R> AnonymousMemory<R> {
             registers: Arc::new((0..m).map(|_| R::new_register(V::default())).collect()),
         }
     }
+
+    /// Wraps pre-built registers — the entry point for register types
+    /// whose construction needs shared context (e.g. the sanitizer's
+    /// registers, which must attach to one checking context so
+    /// happens-before edges compose across registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is empty.
+    #[must_use]
+    pub fn from_registers(registers: Vec<R>) -> Self {
+        assert!(
+            !registers.is_empty(),
+            "anonymous memory needs at least one register"
+        );
+        AnonymousMemory {
+            registers: Arc::new(registers),
+        }
+    }
+
     /// The number of registers.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -125,6 +145,21 @@ impl<R> MemoryView<R> {
         self.memory.registers[self.view.physical(local)].write(value);
     }
 
+    /// Hint-reads local register `local` — see [`Register::peek`]: may be
+    /// stale, establishes no happens-before edge, and must only be used
+    /// for change-detection (certificate `ORD-RT-PEEK-001`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[must_use]
+    pub fn peek<V>(&self, local: usize) -> V
+    where
+        R: Register<V>,
+    {
+        self.memory.registers[self.view.physical(local)].peek()
+    }
+
     /// The permutation this view applies.
     #[must_use]
     pub fn permutation(&self) -> &View {
@@ -190,6 +225,26 @@ mod tests {
     fn mismatched_view_panics() {
         let mem: Mem = AnonymousMemory::new(4);
         let _ = mem.view(View::identity(3));
+    }
+
+    #[test]
+    fn from_registers_and_peek() {
+        use crate::Register;
+        let regs: Vec<PackedAtomicRegister<u64>> =
+            (0..3).map(|i| Register::new_register(i * 10)).collect();
+        let mem = AnonymousMemory::from_registers(regs);
+        assert_eq!(mem.len(), 3);
+        let v = mem.view(View::rotated(3, 1));
+        assert_eq!(v.read::<u64>(0), 10);
+        assert_eq!(v.peek::<u64>(0), 10);
+        v.write(0, 77u64);
+        assert_eq!(v.peek::<u64>(0), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn from_no_registers_panics() {
+        let _: Mem = AnonymousMemory::from_registers(vec![]);
     }
 
     #[test]

@@ -27,6 +27,17 @@ pub trait Register<V>: Send + Sync {
 
     /// Atomically writes the register.
     fn write(&self, value: V);
+
+    /// A *hint* read: may return a stale value and establishes no
+    /// happens-before edge. Only valid for change-detection (spin-loop
+    /// backoff peeks at a register until it moves, then re-reads through
+    /// [`read`](Register::read)); the peeked value must never feed
+    /// algorithm state. Certificate `ORD-RT-PEEK-001` (see
+    /// `check sanitize`) justifies the relaxed implementations; the
+    /// default is the full atomic read, which is always safe.
+    fn peek(&self) -> V {
+        self.read()
+    }
 }
 
 /// A wait-free register for [`Pack64`] values, backed by one `AtomicU64`
@@ -35,11 +46,13 @@ pub trait Register<V>: Send + Sync {
 /// Sequential consistency is deliberate: the paper's model gives processes
 /// a single serial order of all register operations, and the algorithms'
 /// proofs rely on it (e.g. Figure 1's "there is a single point in time
-/// where the value of each one of the m registers equals i"). Relaxed
-/// orderings would be measurably faster and — per the introduction's
-/// plasticity argument — memory-anonymous algorithms may in fact need
-/// fewer barriers, but correctness there is future work, as it is in the
-/// paper.
+/// where the value of each one of the m registers equals i"). The
+/// `anonreg-sanitizer` ordering-inference pass certifies per-family
+/// minima (`check sanitize`), but those certificates are bound to the
+/// sanitizer's observation model, so the general-purpose `read`/`write`
+/// here stay `SeqCst`; only the hint-read [`peek`](Register::peek) path,
+/// whose value never feeds algorithm state, runs relaxed (certificate
+/// `ORD-RT-PEEK-001`).
 pub struct PackedAtomicRegister<V> {
     cell: AtomicU64,
     _marker: PhantomData<fn(V) -> V>,
@@ -59,6 +72,14 @@ impl<V: Pack64> Register<V> for PackedAtomicRegister<V> {
 
     fn write(&self, value: V) {
         self.cell.store(value.pack(), Ordering::SeqCst);
+    }
+
+    /// Relaxed load — certificate `ORD-RT-PEEK-001`: the backoff spin
+    /// loop only compares the peeked value against the last written one
+    /// to decide *when* to re-read; every value a machine consumes still
+    /// goes through the `SeqCst` [`read`](Register::read).
+    fn peek(&self) -> V {
+        V::unpack(self.cell.load(Ordering::Relaxed))
     }
 }
 
@@ -121,6 +142,15 @@ mod tests {
         assert_eq!(reg.read(), 0);
         reg.write(42);
         assert_eq!(reg.read(), 42);
+        assert_eq!(reg.peek(), 42);
+    }
+
+    #[test]
+    fn default_peek_delegates_to_read() {
+        let reg: LockRegister<u64> = Register::new_register(3);
+        assert_eq!(reg.peek(), 3);
+        reg.write(9);
+        assert_eq!(reg.peek(), 9);
     }
 
     #[test]

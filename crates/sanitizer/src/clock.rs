@@ -1,0 +1,139 @@
+//! Vector clocks — the partial order the sanitizer tracks happens-before
+//! with.
+//!
+//! One clock entry per *slot* (a participant index assigned by the
+//! executor, or per thread in drop-in mode). Clocks grow on demand, and a
+//! missing entry reads as `0`, so clocks of different lengths compare
+//! without padding. The laws the property suite pins
+//! (`crates/sanitizer/tests/properties.rs`):
+//!
+//! * join is a least upper bound: `a ≤ a ⊔ b` and `b ≤ a ⊔ b`, and join is
+//!   monotone in both arguments;
+//! * `≤` is a partial order, so strict happens-before is transitive and
+//!   irreflexive;
+//! * two clocks are *concurrent* iff neither `≤` holds.
+
+use std::fmt;
+
+/// A grow-on-demand vector clock over participant slots.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    ticks: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens-before everything, equal only to itself).
+    #[must_use]
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// This clock's entry for `slot` (0 if never ticked).
+    #[must_use]
+    pub fn get(&self, slot: usize) -> u64 {
+        self.ticks.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Advances `slot`'s local component by one — the clock event every
+    /// memory operation performs before anything else.
+    pub fn tick(&mut self, slot: usize) {
+        if self.ticks.len() <= slot {
+            self.ticks.resize(slot + 1, 0);
+        }
+        self.ticks[slot] += 1;
+    }
+
+    /// Joins `other` into `self`: the component-wise maximum. This is how
+    /// a synchronizes-with edge transfers the writer's history to the
+    /// reader.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (mine, theirs) in self.ticks.iter_mut().zip(&other.ticks) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Component-wise `self ≤ other` — "everything I know, they know".
+    #[must_use]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        (0..self.ticks.len().max(other.ticks.len())).all(|s| self.get(s) <= other.get(s))
+    }
+
+    /// Strict happens-before: `self ≤ other` and the clocks differ.
+    #[must_use]
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Neither clock happens-before the other: the classic data-race
+    /// precondition.
+    #[must_use]
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, t) in self.ticks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VectorClock::new();
+        let mut other = VectorClock::new();
+        other.tick(3);
+        assert!(zero.le(&other));
+        assert!(zero.happens_before(&other));
+        assert!(!other.le(&zero));
+        assert!(zero.le(&zero));
+        assert!(!zero.happens_before(&zero));
+    }
+
+    #[test]
+    fn join_is_component_wise_max() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+        assert!(b.le(&a));
+    }
+
+    #[test]
+    fn concurrent_clocks_detected() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        a.join(&b);
+        assert!(!a.concurrent(&b));
+        assert!(b.happens_before(&a));
+    }
+
+    #[test]
+    fn display_renders_components() {
+        let mut a = VectorClock::new();
+        a.tick(1);
+        assert_eq!(a.to_string(), "⟨0,1⟩");
+    }
+}

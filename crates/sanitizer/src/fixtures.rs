@@ -1,0 +1,162 @@
+//! Deliberately broken ordering fixtures — the sanitizer's negative
+//! controls.
+//!
+//! A sanitizer that never fires proves nothing, so `check sanitize
+//! --broken` runs two plans that *must* be flagged (and CI asserts the
+//! command fails):
+//!
+//! * **`relaxed-doorway-write`** — the Figure 1 anonymous mutex with its
+//!   claim (doorway) writes demoted to `Relaxed`. A rival's `Acquire`
+//!   scan can then consume a doorway mark with no synchronizes-with edge:
+//!   exactly the bug a real port introduces by writing marks with a
+//!   relaxed store.
+//! * **`unreleased-consensus-decide`** — the consensus machine with its
+//!   record ("decide") writes demoted to `Relaxed`, so the record a rival
+//!   adopts its decision from was never released.
+//!
+//! Both fixtures keep reads at `Acquire` — the load side is *correct* —
+//! so what the sanitizer flags is specifically the missing release, and
+//! the violation's witness prints the unreleased store. Detection is a
+//! property of the seeded schedule, so [`run_fixture`] scans schedules in
+//! the standard [`schedule_seed`] derivation until one fires and reports
+//! that seed; [`replay_fixture`] reruns exactly one schedule, which is
+//! what `check sanitize --family F --replay SEED` does for fixtures.
+
+use std::sync::atomic::Ordering;
+
+use crate::infer::{run_family, schedule_seed};
+use crate::plan::OrderingPlan;
+use crate::report::OrderingViolation;
+
+/// One deliberately broken fixture.
+#[derive(Clone, Copy, Debug)]
+pub struct BrokenFixture {
+    /// Stable fixture name (accepted by `check sanitize --family`).
+    pub name: &'static str,
+    /// The correct family the fixture is a broken variant of.
+    pub family: &'static str,
+    /// The defective plan it runs under.
+    pub plan: OrderingPlan,
+    /// What the sanitizer is expected to report.
+    pub expect: &'static str,
+}
+
+/// The negative-control fixtures, both expected to be flagged.
+#[must_use]
+pub fn fixtures() -> Vec<BrokenFixture> {
+    let broken = OrderingPlan {
+        read: Ordering::Acquire,
+        claim: Ordering::Relaxed,
+        clear: Ordering::Release,
+    };
+    vec![
+        BrokenFixture {
+            name: "relaxed-doorway-write",
+            family: "mutex",
+            plan: broken,
+            expect: "an Acquire scan consumes a Relaxed doorway mark with no \
+                     happens-before edge",
+        },
+        BrokenFixture {
+            name: "unreleased-consensus-decide",
+            family: "consensus",
+            plan: broken,
+            expect: "a rival adopts a decision from a consensus record that was \
+                     never released",
+        },
+    ]
+}
+
+/// Looks up a fixture by name.
+#[must_use]
+pub fn fixture(name: &str) -> Option<BrokenFixture> {
+    fixtures().into_iter().find(|f| f.name == name)
+}
+
+/// How a fixture run ended.
+#[derive(Clone, Debug)]
+pub struct FixtureOutcome {
+    /// The fixture that ran.
+    pub name: &'static str,
+    /// Seed of the schedule that fired (replayable), if any did.
+    pub seed: Option<u64>,
+    /// Schedules tried before one fired (or the scan limit).
+    pub schedules_tried: u64,
+    /// The first flagged violation, witness included.
+    pub violation: Option<OrderingViolation>,
+}
+
+impl FixtureOutcome {
+    /// Did the sanitizer flag the fixture, as it must?
+    #[must_use]
+    pub fn flagged(&self) -> bool {
+        self.violation.is_some()
+    }
+}
+
+/// Scans up to `max_schedules` seeded schedules of `f` until the
+/// sanitizer fires, reporting the firing seed and witness. Fixture
+/// schedules run fault-free so a firing seed alone replays the exact
+/// witness (the missing release fires with or without injected faults;
+/// fault interaction is the inference sweep's job).
+#[must_use]
+pub fn run_fixture(f: &BrokenFixture, base_seed: u64, max_schedules: u64) -> FixtureOutcome {
+    for index in 0..max_schedules {
+        let seed = schedule_seed(base_seed, index);
+        let outcome = run_family(f.family, f.plan, seed, false);
+        if let Some(violation) = outcome.first_violation {
+            return FixtureOutcome {
+                name: f.name,
+                seed: Some(seed),
+                schedules_tried: index + 1,
+                violation: Some(violation),
+            };
+        }
+    }
+    FixtureOutcome {
+        name: f.name,
+        seed: None,
+        schedules_tried: max_schedules,
+        violation: None,
+    }
+}
+
+/// Reruns exactly one seeded (fault-free) schedule of `f` — the replay
+/// path behind a printed fixture seed.
+#[must_use]
+pub fn replay_fixture(f: &BrokenFixture, seed: u64) -> Option<OrderingViolation> {
+    run_family(f.family, f.plan, seed, false).first_violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_fixtures_are_flagged_and_replay() {
+        for f in fixtures() {
+            let outcome = run_fixture(&f, 0xF1C5, 16);
+            assert!(
+                outcome.flagged(),
+                "{} must be flagged within 16 schedules",
+                f.name
+            );
+            let seed = outcome.seed.expect("flagged outcome carries its seed");
+            let violation = outcome
+                .violation
+                .expect("flagged outcome carries a witness");
+            assert!(!violation.witness.is_empty(), "{}: witness present", f.name);
+            // The claim site is the relaxed one, and that's what fired.
+            assert_eq!(violation.write_ordering, Ordering::Relaxed, "{}", f.name);
+            let replay = replay_fixture(&f, seed).expect("seed replays the violation");
+            assert_eq!(replay.to_string(), violation.to_string(), "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn fixture_lookup_by_name() {
+        assert!(fixture("relaxed-doorway-write").is_some());
+        assert!(fixture("unreleased-consensus-decide").is_some());
+        assert!(fixture("nope").is_none());
+    }
+}

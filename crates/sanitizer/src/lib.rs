@@ -1,0 +1,78 @@
+//! anonreg-sanitizer — the memory-ordering sanitizer substrate.
+//!
+//! The paper's §2 model assumes *atomic* (linearizable) registers, and the
+//! thread runtime realizes them with `SeqCst` atomics. This crate is the
+//! third execution substrate, next to the simulator and the thread
+//! runtime, and answers the question neither can: **which of those
+//! `SeqCst` orderings does each algorithm actually need?**
+//!
+//! * [`SanitizedRegister`] implements the runtime's `Register<V>` trait
+//!   with explicit-`Ordering` operations, per-slot vector clocks
+//!   ([`VectorClock`]), per-register store histories, and
+//!   acquire/release synchronizes-with tracking. A read that consumes
+//!   another participant's store with no happens-before path is flagged
+//!   as a structured [`OrderingViolation`] with a replayable witness
+//!   trace (the same message-plus-numbered-witness shape as the lint
+//!   suite's findings).
+//! * [`SanitizedExec`] replays the e15 fault harness single-threaded and
+//!   seeded — including [`FaultPlan`](anonreg_runtime::FaultPlan)
+//!   crash/stall/restart injection — so every flagged violation
+//!   reproduces from its seed.
+//! * [`certify_family`] re-executes each of the seven algorithm families
+//!   under systematically weakened [`OrderingPlan`]s and emits per-site
+//!   minimal-ordering [`Certificate`]s; the runtime's relaxed hot-path
+//!   sites cite these certificate IDs, and `ci/seqcst_allowlist.txt`
+//!   holds the line against new uncertified `SeqCst` (or relaxed)
+//!   sites.
+//! * [`fixtures`](crate::fixtures::fixtures) are the negative controls —
+//!   a relaxed doorway write and an unreleased consensus decide — that
+//!   `check sanitize --broken` must flag for the clean verdicts to mean
+//!   anything.
+//!
+//! Drive it with `check sanitize` (certify + verify), `check sanitize
+//! --broken` (negative controls), and `check sanitize --family F
+//! --replay SEED` (rerun one schedule); `repro e17` renders the
+//! experiment tables.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod exec;
+pub mod fixtures;
+pub mod infer;
+pub mod plan;
+pub mod register;
+pub mod report;
+
+pub use clock::VectorClock;
+pub use exec::{ExecEvent, ExecEventKind, ExecReport, SanitizedExec};
+pub use fixtures::{fixture, fixtures as broken_fixtures, BrokenFixture, FixtureOutcome};
+pub use infer::{
+    certify_family, run_family, runtime_site_notes, schedule_seed, sweep_plan, FamilyCertification,
+    FamilyOutcome, PlanSweep, RejectedRung, FAMILIES,
+};
+pub use plan::{is_acquire, is_release, OrderingPlan, Site};
+pub use register::{CtxSnapshot, SanitizedRegister, SanitizerConfig, SanitizerCtx};
+pub use report::{Certificate, OrderingViolation, ViolationKind};
+
+use std::sync::Arc;
+
+use anonreg_model::RegisterValue;
+use anonreg_runtime::AnonymousMemory;
+
+/// Builds an [`AnonymousMemory`] of `m` sanitized registers sharing one
+/// context, so acquire/release edges compose across registers and one
+/// snapshot covers the whole memory. This is the drop-in path for running
+/// the *thread* runtime's drivers over sanitized registers; deterministic
+/// runs use [`SanitizedExec`] instead.
+#[must_use]
+pub fn sanitized_memory<V: RegisterValue>(
+    ctx: &Arc<SanitizerCtx>,
+    m: usize,
+) -> AnonymousMemory<SanitizedRegister<V>> {
+    AnonymousMemory::from_registers(
+        (0..m)
+            .map(|_| SanitizedRegister::attached(ctx, V::default()))
+            .collect(),
+    )
+}

@@ -1,0 +1,168 @@
+//! Ordering plans: which memory ordering each *site class* of an
+//! algorithm family runs at.
+//!
+//! The paper's machines perform exactly two kinds of memory operation
+//! (`Step::Read` / `Step::Write`), and every family's writes split cleanly
+//! into two semantic sites the sanitizer can classify by value alone:
+//! *claim* writes publish a non-default record (a doorway identifier, a
+//! consensus record, a renaming claim) and *clear* writes restore the
+//! initial `V::default()` (exit code, resets). A plan assigns one
+//! [`Ordering`] to each of the three site classes; the inference pass
+//! weakens them one at a time down the ladder
+//! `SeqCst → Acquire/Release → Relaxed`.
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+/// A site class within a family — the granularity certificates are issued
+/// at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Every `Step::Read` a machine performs.
+    Read,
+    /// Writes that publish a non-default value (doorway identifiers,
+    /// consensus/renaming records).
+    Claim,
+    /// Writes that restore `V::default()` (exit code, resets).
+    Clear,
+}
+
+impl Site {
+    /// All sites, in the order the inference pass weakens them.
+    pub const ALL: [Site; 3] = [Site::Read, Site::Claim, Site::Clear];
+
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Site::Read => "read",
+            Site::Claim => "claim",
+            Site::Clear => "clear",
+        }
+    }
+
+    /// The weakening ladder for this site, weakest first. Reads descend
+    /// `Relaxed → Acquire → SeqCst`; writes `Relaxed → Release → SeqCst`
+    /// (`AcqRel` belongs to read-modify-write sites, which the machines'
+    /// read/write step model does not emit — `SanitizedRegister`'s CAS
+    /// handles it for completeness).
+    #[must_use]
+    pub fn ladder(self) -> [Ordering; 3] {
+        match self {
+            Site::Read => [Ordering::Relaxed, Ordering::Acquire, Ordering::SeqCst],
+            Site::Claim | Site::Clear => [Ordering::Relaxed, Ordering::Release, Ordering::SeqCst],
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One ordering per site class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderingPlan {
+    /// Ordering for every load.
+    pub read: Ordering,
+    /// Ordering for non-default ("claim") stores.
+    pub claim: Ordering,
+    /// Ordering for default-restoring ("clear") stores.
+    pub clear: Ordering,
+}
+
+impl OrderingPlan {
+    /// The paper's baseline: everything sequentially consistent.
+    #[must_use]
+    pub fn seq_cst() -> Self {
+        OrderingPlan {
+            read: Ordering::SeqCst,
+            claim: Ordering::SeqCst,
+            clear: Ordering::SeqCst,
+        }
+    }
+
+    /// The ordering this plan assigns to `site`.
+    #[must_use]
+    pub fn of(&self, site: Site) -> Ordering {
+        match site {
+            Site::Read => self.read,
+            Site::Claim => self.claim,
+            Site::Clear => self.clear,
+        }
+    }
+
+    /// A copy of this plan with `site` set to `ordering`.
+    #[must_use]
+    pub fn with_site(mut self, site: Site, ordering: Ordering) -> Self {
+        match site {
+            Site::Read => self.read = ordering,
+            Site::Claim => self.claim = ordering,
+            Site::Clear => self.clear = ordering,
+        }
+        self
+    }
+
+    /// Compact human-readable label, e.g.
+    /// `read=Acquire claim=Release clear=Release`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "read={:?} claim={:?} clear={:?}",
+            self.read, self.claim, self.clear
+        )
+    }
+}
+
+impl Default for OrderingPlan {
+    fn default() -> Self {
+        OrderingPlan::seq_cst()
+    }
+}
+
+/// Does `ordering` carry release semantics on a store?
+#[must_use]
+pub fn is_release(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Does `ordering` carry acquire semantics on a load?
+#[must_use]
+pub fn is_acquire(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_end_at_seqcst() {
+        for site in Site::ALL {
+            assert_eq!(*site.ladder().last().unwrap(), Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn with_site_round_trips() {
+        let plan = OrderingPlan::seq_cst().with_site(Site::Read, Ordering::Acquire);
+        assert_eq!(plan.of(Site::Read), Ordering::Acquire);
+        assert_eq!(plan.of(Site::Claim), Ordering::SeqCst);
+        assert!(plan.label().contains("read=Acquire"));
+    }
+
+    #[test]
+    fn acquire_release_classification() {
+        assert!(is_release(Ordering::SeqCst) && is_acquire(Ordering::SeqCst));
+        assert!(is_release(Ordering::Release) && !is_acquire(Ordering::Release));
+        assert!(!is_release(Ordering::Acquire) && is_acquire(Ordering::Acquire));
+        assert!(!is_release(Ordering::Relaxed) && !is_acquire(Ordering::Relaxed));
+    }
+}

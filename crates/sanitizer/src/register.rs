@@ -1,0 +1,698 @@
+//! The sanitized register: store histories, per-slot vector clocks,
+//! acquire/release edge tracking, and the weak-read observation model.
+//!
+//! Modeled on the vector-clock atomic sanitizer the SNIPPETS exemplar
+//! describes: every register keeps a bounded history of stores, each
+//! stamped with the writer's clock and the store's ordering; every load
+//! picks a store the memory model permits, applies the synchronizes-with
+//! edge if (and only if) the store was a release and the load an acquire,
+//! and flags a [`MissingEdge`](crate::report::ViolationKind) when a
+//! foreign value is consumed with no happens-before path to its store.
+//!
+//! # The observation model
+//!
+//! This is "sequential consistency per location, with bounded staleness" —
+//! a deliberately checkable over-approximation of C11, documented rather
+//! than hidden:
+//!
+//! * Stores to one register are totally ordered (their `seq`), as C11
+//!   coherence orders them.
+//! * A `SeqCst` load returns the newest store and joins the global SC
+//!   clock — the linearizable register of the paper's §2.
+//! * A weaker load may return *any* store no older than the reader's
+//!   visibility floor: the newest store already happens-before the reader,
+//!   or the newest store the reader itself has observed on that register
+//!   (read-read coherence), whichever is later. The choice is made by the
+//!   context's seeded RNG, so runs replay deterministically.
+//! * `SeqCst` operations additionally join a global SC clock both ways,
+//!   modeling the single total order all `SeqCst` operations share.
+//!
+//! What the model does *not* capture (and the certificates therefore
+//! cannot speak to): reordering of operations on different registers
+//! within one thread, non-multi-copy-atomic propagation, and release
+//! sequences through read-modify-writes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+
+use anonreg_model::rng::Rng64;
+use anonreg_model::RegisterValue;
+use anonreg_obs::{Metric, Probe};
+use anonreg_runtime::Register;
+
+use crate::clock::VectorClock;
+use crate::plan::{is_acquire, is_release, OrderingPlan, Site};
+use crate::report::{OrderingViolation, ViolationKind};
+
+/// Tuning knobs for one sanitizer context.
+#[derive(Clone, Copy, Debug)]
+pub struct SanitizerConfig {
+    /// Stores retained per register (the stale-read window). The newest
+    /// store is always retained.
+    pub history: usize,
+    /// Whether non-`SeqCst` loads may return stale (older) stores. With
+    /// this off, only the happens-before edge check remains.
+    pub stale_reads: bool,
+    /// Seed for the deterministic stale-store choice.
+    pub seed: u64,
+    /// Operations kept in the witness ring buffer.
+    pub witness: usize,
+    /// Violations retained verbatim (the total is always counted).
+    pub max_violations: usize,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        SanitizerConfig {
+            history: 16,
+            stale_reads: true,
+            seed: 0,
+            witness: 48,
+            max_violations: 16,
+        }
+    }
+}
+
+/// Everything the sanitizer counted and flagged, cloned out of a context.
+#[derive(Clone, Debug, Default)]
+pub struct CtxSnapshot {
+    /// Sanitized loads performed.
+    pub reads: u64,
+    /// Sanitized stores performed.
+    pub writes: u64,
+    /// Unchecked relaxed peeks (hint loads) performed.
+    pub peeks: u64,
+    /// Synchronizes-with edges established (release store → acquire load).
+    pub hb_edges: u64,
+    /// Loads that returned a non-newest store.
+    pub stale_reads: u64,
+    /// Total ordering violations flagged (may exceed `violations.len()`
+    /// when the retention cap was hit).
+    pub violation_count: u64,
+    /// The retained violations, in order of discovery.
+    pub violations: Vec<OrderingViolation>,
+}
+
+impl CtxSnapshot {
+    /// Emits the sanitizer counters to a [`Probe`] under the schema-v1
+    /// metric names (`ordering_violations`, `hb_edges`, `stale_reads`).
+    pub fn emit<P: Probe>(&self, probe: &P) {
+        probe.counter(Metric::OrderingViolations, 0, self.violation_count);
+        probe.counter(Metric::HbEdges, 0, self.hb_edges);
+        probe.counter(Metric::StaleReads, 0, self.stale_reads);
+    }
+}
+
+/// Mutable sanitizer state, behind the context's single mutex.
+struct CtxState {
+    clocks: Vec<VectorClock>,
+    sc_clock: VectorClock,
+    rng: Rng64,
+    threads: HashMap<ThreadId, usize>,
+    next_register: usize,
+    op_index: u64,
+    oplog: Vec<String>,
+    reads: u64,
+    writes: u64,
+    hb_edges: u64,
+    stale_reads: u64,
+    violation_count: u64,
+    violations: Vec<OrderingViolation>,
+}
+
+impl CtxState {
+    fn ensure_slot(&mut self, slot: usize) {
+        if self.clocks.len() <= slot {
+            self.clocks.resize(slot + 1, VectorClock::new());
+        }
+    }
+
+    fn log_op(&mut self, witness: usize, line: String) {
+        self.op_index += 1;
+        if self.oplog.len() == witness {
+            self.oplog.remove(0);
+        }
+        self.oplog.push(format!("{}. {line}", self.op_index));
+    }
+}
+
+/// Shared sanitizer context: one per sanitized memory. All registers of a
+/// run attach to the same context so acquire/release edges compose across
+/// registers.
+pub struct SanitizerCtx {
+    plan: OrderingPlan,
+    config: SanitizerConfig,
+    peeks: AtomicU64,
+    state: Mutex<CtxState>,
+}
+
+impl SanitizerCtx {
+    /// Creates a context executing under `plan`.
+    #[must_use]
+    pub fn new(config: SanitizerConfig, plan: OrderingPlan) -> Self {
+        SanitizerCtx {
+            plan,
+            config,
+            peeks: AtomicU64::new(0),
+            state: Mutex::new(CtxState {
+                clocks: Vec::new(),
+                sc_clock: VectorClock::new(),
+                rng: Rng64::seed_from_u64(config.seed ^ 0x5a6e_1717_c0ff_ee00),
+                threads: HashMap::new(),
+                next_register: 0,
+                op_index: 0,
+                oplog: Vec::new(),
+                reads: 0,
+                writes: 0,
+                hb_edges: 0,
+                stale_reads: 0,
+                violation_count: 0,
+                violations: Vec::new(),
+            }),
+        }
+    }
+
+    /// The ordering plan this context executes under.
+    #[must_use]
+    pub fn plan(&self) -> OrderingPlan {
+        self.plan
+    }
+
+    /// The configuration this context was built with.
+    #[must_use]
+    pub fn config(&self) -> SanitizerConfig {
+        self.config
+    }
+
+    /// Clones out counters and retained violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context mutex was poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> CtxSnapshot {
+        let st = self.state.lock().expect("sanitizer state poisoned");
+        CtxSnapshot {
+            reads: st.reads,
+            writes: st.writes,
+            peeks: self.peeks.load(Ordering::Relaxed),
+            hb_edges: st.hb_edges,
+            stale_reads: st.stale_reads,
+            violation_count: st.violation_count,
+            violations: st.violations.clone(),
+        }
+    }
+
+    /// The slot assigned to the calling thread, assigning the next free
+    /// one on first use. Drop-in (`Register` trait) mode only; executor
+    /// runs pass explicit slots and must not mix with thread mode on the
+    /// same context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context mutex was poisoned.
+    #[must_use]
+    pub fn thread_slot(&self) -> usize {
+        let mut st = self.state.lock().expect("sanitizer state poisoned");
+        let next = st.threads.len();
+        *st.threads
+            .entry(std::thread::current().id())
+            .or_insert(next)
+    }
+
+    fn alloc_register(&self) -> usize {
+        let mut st = self.state.lock().expect("sanitizer state poisoned");
+        let id = st.next_register;
+        st.next_register += 1;
+        id
+    }
+}
+
+impl std::fmt::Debug for SanitizerCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("SanitizerCtx")
+            .field("plan", &self.plan.label())
+            .field("reads", &snap.reads)
+            .field("writes", &snap.writes)
+            .field("violations", &snap.violation_count)
+            .finish()
+    }
+}
+
+/// One store in a register's history.
+struct StoreRecord<V> {
+    seq: u64,
+    /// `None` marks the initial value (happens-before everything).
+    writer: Option<usize>,
+    value: V,
+    clock: VectorClock,
+    ordering: Ordering,
+}
+
+struct RegInner<V> {
+    stores: Vec<StoreRecord<V>>,
+    next_seq: u64,
+    /// Per-slot newest observed `seq` — read-read coherence.
+    last_seen: Vec<u64>,
+}
+
+/// A register whose every operation takes an explicit [`Ordering`] and is
+/// checked against the vector-clock happens-before model.
+///
+/// Implements [`Register<V>`], so it drops into [`AnonymousMemory`],
+/// [`Driver`](anonreg_runtime::Driver) and
+/// [`FaultyDriver`](anonreg_runtime::FaultyDriver) unchanged: trait reads
+/// and writes pick their orderings from the context's [`OrderingPlan`]
+/// (writes classified claim/clear by value), and the thread is mapped to a
+/// slot on first use. For deterministic runs use
+/// [`SanitizedExec`](crate::exec::SanitizedExec), which passes explicit
+/// slots.
+///
+/// [`AnonymousMemory`]: anonreg_runtime::AnonymousMemory
+pub struct SanitizedRegister<V> {
+    ctx: Arc<SanitizerCtx>,
+    id: usize,
+    inner: Mutex<RegInner<V>>,
+}
+
+impl<V: RegisterValue> SanitizedRegister<V> {
+    /// Creates a register attached to a shared context, holding `initial`.
+    #[must_use]
+    pub fn attached(ctx: &Arc<SanitizerCtx>, initial: V) -> Self {
+        let id = ctx.alloc_register();
+        SanitizedRegister {
+            ctx: Arc::clone(ctx),
+            id,
+            inner: Mutex::new(RegInner {
+                stores: vec![StoreRecord {
+                    seq: 0,
+                    writer: None,
+                    value: initial,
+                    clock: VectorClock::new(),
+                    ordering: Ordering::SeqCst,
+                }],
+                next_seq: 1,
+                last_seen: Vec::new(),
+            }),
+        }
+    }
+
+    /// The context this register reports to.
+    #[must_use]
+    pub fn ctx(&self) -> &Arc<SanitizerCtx> {
+        &self.ctx
+    }
+
+    /// This register's physical index within its context.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Loads with an explicit ordering on behalf of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sanitizer mutex was poisoned.
+    #[must_use]
+    pub fn read_as(&self, slot: usize, ordering: Ordering) -> V {
+        let mut st = self.ctx.state.lock().expect("sanitizer state poisoned");
+        let mut reg = self.inner.lock().expect("sanitized register poisoned");
+        let st = &mut *st;
+        st.ensure_slot(slot);
+        st.clocks[slot].tick(slot);
+        if ordering == Ordering::SeqCst {
+            let sc = st.sc_clock.clone();
+            st.clocks[slot].join(&sc);
+            st.sc_clock.join(&st.clocks[slot]);
+        }
+        if reg.last_seen.len() <= slot {
+            reg.last_seen.resize(slot + 1, 0);
+        }
+
+        // Visibility floor: the newest store already ordered before this
+        // read, or the newest store this slot has itself observed.
+        let hb_floor = reg
+            .stores
+            .iter()
+            .filter(|s| s.clock.le(&st.clocks[slot]))
+            .map(|s| s.seq)
+            .max()
+            .unwrap_or(0);
+        let floor = hb_floor.max(reg.last_seen[slot]);
+        let newest = reg.stores.last().expect("history never empty").seq;
+
+        let chosen = if ordering == Ordering::SeqCst || !self.ctx.config.stale_reads {
+            reg.stores.len() - 1
+        } else {
+            let candidates: Vec<usize> = reg
+                .stores
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.seq >= floor)
+                .map(|(i, _)| i)
+                .collect();
+            candidates[st.rng.gen_index(candidates.len())]
+        };
+        let store = &reg.stores[chosen];
+
+        if is_acquire(ordering) && is_release(store.ordering) {
+            let release_clock = store.clock.clone();
+            st.clocks[slot].join(&release_clock);
+            st.hb_edges += 1;
+        }
+        if store.seq != newest {
+            st.stale_reads += 1;
+        }
+
+        let value = store.value.clone();
+        let (store_seq, store_writer, store_ordering) = (store.seq, store.writer, store.ordering);
+        let store_clock_known = store.clock.le(&st.clocks[slot]);
+        reg.last_seen[slot] = reg.last_seen[slot].max(store_seq);
+        st.reads += 1;
+        st.log_op(
+            self.ctx.config.witness,
+            format!(
+                "p{slot} read r{}@{ordering:?} => {value:?} (seq {store_seq} of {newest})",
+                self.id
+            ),
+        );
+
+        if let Some(writer) = store_writer {
+            if writer != slot && !store_clock_known {
+                st.violation_count += 1;
+                if st.violations.len() < self.ctx.config.max_violations {
+                    let violation = OrderingViolation {
+                        kind: ViolationKind::MissingEdge,
+                        register: self.id,
+                        reader: slot,
+                        writer,
+                        read_ordering: ordering,
+                        write_ordering: store_ordering,
+                        store_seq,
+                        op_index: st.op_index,
+                        value: format!("{value:?}"),
+                        witness: st.oplog.clone(),
+                    };
+                    st.violations.push(violation);
+                }
+            }
+        }
+        value
+    }
+
+    /// Stores with an explicit ordering on behalf of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sanitizer mutex was poisoned.
+    pub fn write_as(&self, slot: usize, value: V, ordering: Ordering) {
+        let mut st = self.ctx.state.lock().expect("sanitizer state poisoned");
+        let mut reg = self.inner.lock().expect("sanitized register poisoned");
+        let st = &mut *st;
+        st.ensure_slot(slot);
+        st.clocks[slot].tick(slot);
+        if ordering == Ordering::SeqCst {
+            let sc = st.sc_clock.clone();
+            st.clocks[slot].join(&sc);
+            st.sc_clock.join(&st.clocks[slot]);
+        }
+        if reg.last_seen.len() <= slot {
+            reg.last_seen.resize(slot + 1, 0);
+        }
+        let seq = reg.next_seq;
+        reg.next_seq += 1;
+        reg.last_seen[slot] = seq;
+        st.writes += 1;
+        st.log_op(
+            self.ctx.config.witness,
+            format!(
+                "p{slot} write r{}@{ordering:?} := {value:?} (seq {seq})",
+                self.id
+            ),
+        );
+        reg.stores.push(StoreRecord {
+            seq,
+            writer: Some(slot),
+            value,
+            clock: st.clocks[slot].clone(),
+            ordering,
+        });
+        let cap = self.ctx.config.history.max(1);
+        if reg.stores.len() > cap {
+            let excess = reg.stores.len() - cap;
+            reg.stores.drain(..excess);
+        }
+    }
+
+    /// Compare-and-swap with explicit success/failure orderings, for API
+    /// completeness (the paper's machines emit only reads and writes).
+    /// Like a C11 RMW it always operates on the newest store in coherence
+    /// order; `AcqRel` success decomposes into its acquire and release
+    /// halves. Returns `Ok(previous)` on success, `Err(actual)` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sanitizer mutex was poisoned.
+    pub fn compare_exchange_as(
+        &self,
+        slot: usize,
+        current: &V,
+        new: V,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<V, V> {
+        let observed = {
+            let reg = self.inner.lock().expect("sanitized register poisoned");
+            reg.stores
+                .last()
+                .expect("history never empty")
+                .value
+                .clone()
+        };
+        if observed == *current {
+            // The acquire half: consume the newest store at the success
+            // ordering (this also runs the happens-before check)...
+            let previous = self.read_as(slot, success);
+            // ...then the release half publishes the replacement.
+            self.write_as(slot, new, success);
+            Ok(previous)
+        } else {
+            Err(self.read_as(slot, failure))
+        }
+    }
+
+    /// Uncertified relaxed *hint* load: returns the newest store without
+    /// ticking clocks, logging, or happens-before checking. This is the
+    /// sanitized counterpart of the runtime's certified
+    /// `Register::peek` spin-loop path (certificate `ORD-RT-PEEK-001`):
+    /// the value may be stale and must never feed back into algorithm
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register mutex was poisoned.
+    #[must_use]
+    pub fn peek_relaxed(&self) -> V {
+        self.ctx.peeks.fetch_add(1, Ordering::Relaxed);
+        let reg = self.inner.lock().expect("sanitized register poisoned");
+        reg.stores
+            .last()
+            .expect("history never empty")
+            .value
+            .clone()
+    }
+
+    /// The write site class for `value` under the claim/clear split.
+    #[must_use]
+    pub fn classify(value: &V) -> Site {
+        if *value == V::default() {
+            Site::Clear
+        } else {
+            Site::Claim
+        }
+    }
+}
+
+impl<V: RegisterValue> Register<V> for SanitizedRegister<V> {
+    /// Creates a register with a **private** context executing the
+    /// all-`SeqCst` plan — the degenerate drop-in case. Cross-register
+    /// happens-before needs a shared context: build the memory with
+    /// [`sanitized_memory`](crate::sanitized_memory) instead.
+    fn new_register(initial: V) -> Self {
+        let ctx = Arc::new(SanitizerCtx::new(
+            SanitizerConfig::default(),
+            OrderingPlan::seq_cst(),
+        ));
+        SanitizedRegister::attached(&ctx, initial)
+    }
+
+    fn read(&self) -> V {
+        let slot = self.ctx.thread_slot();
+        self.read_as(slot, self.ctx.plan.read)
+    }
+
+    fn write(&self, value: V) {
+        let slot = self.ctx.thread_slot();
+        let ordering = self.ctx.plan.of(Self::classify(&value));
+        self.write_as(slot, value, ordering);
+    }
+
+    fn peek(&self) -> V {
+        self.peek_relaxed()
+    }
+}
+
+impl<V: RegisterValue> std::fmt::Debug for SanitizedRegister<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SanitizedRegister(r{})", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(plan: OrderingPlan) -> Arc<SanitizerCtx> {
+        Arc::new(SanitizerCtx::new(SanitizerConfig::default(), plan))
+    }
+
+    #[test]
+    fn seqcst_reads_return_the_newest_store() {
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        reg.write_as(0, 7, Ordering::SeqCst);
+        reg.write_as(1, 9, Ordering::SeqCst);
+        for _ in 0..8 {
+            assert_eq!(reg.read_as(0, Ordering::SeqCst), 9);
+        }
+        assert_eq!(ctx.snapshot().violation_count, 0);
+    }
+
+    #[test]
+    fn relaxed_read_of_foreign_release_store_is_flagged() {
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        reg.write_as(0, 5, Ordering::Release);
+        // Slot 1 reads relaxed: even when it happens to observe the store,
+        // no synchronizes-with edge exists.
+        let mut saw_foreign = false;
+        for _ in 0..16 {
+            if reg.read_as(1, Ordering::Relaxed) == 5 {
+                saw_foreign = true;
+            }
+        }
+        assert!(saw_foreign, "the store must eventually be observed");
+        let snap = ctx.snapshot();
+        assert!(snap.violation_count > 0);
+        let v = &snap.violations[0];
+        assert_eq!(v.kind, ViolationKind::MissingEdge);
+        assert_eq!((v.reader, v.writer), (1, 0));
+        assert!(!v.witness.is_empty());
+    }
+
+    #[test]
+    fn acquire_read_of_release_store_synchronizes() {
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        reg.write_as(0, 5, Ordering::Release);
+        for _ in 0..16 {
+            let _ = reg.read_as(1, Ordering::Acquire);
+        }
+        let snap = ctx.snapshot();
+        assert_eq!(snap.violation_count, 0);
+        assert!(snap.hb_edges > 0);
+    }
+
+    #[test]
+    fn acquire_read_of_relaxed_store_is_flagged() {
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        reg.write_as(0, 5, Ordering::Relaxed);
+        let mut saw_foreign = false;
+        for _ in 0..16 {
+            if reg.read_as(1, Ordering::Acquire) == 5 {
+                saw_foreign = true;
+            }
+        }
+        assert!(saw_foreign);
+        assert!(ctx.snapshot().violation_count > 0);
+    }
+
+    #[test]
+    fn own_overwritten_stores_stay_invisible() {
+        // Read-read coherence: once a slot wrote seq 2 it can never read
+        // its own overwritten seq 1 again, even relaxed.
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        reg.write_as(0, 1, Ordering::Relaxed);
+        reg.write_as(0, 2, Ordering::Relaxed);
+        for _ in 0..32 {
+            assert_eq!(reg.read_as(0, Ordering::Relaxed), 2);
+        }
+    }
+
+    #[test]
+    fn relaxed_reads_can_be_stale() {
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        reg.write_as(0, 1, Ordering::Release);
+        reg.write_as(0, 2, Ordering::Release);
+        // A fresh slot has no happens-before to either store: both (plus
+        // the initial 0) are legal. One read per slot keeps the draws
+        // independent — read-read coherence would pin a single reader to
+        // the newest store as soon as it saw it once.
+        let mut values = std::collections::HashSet::new();
+        for slot in 1..64 {
+            values.insert(reg.read_as(slot, Ordering::Acquire));
+        }
+        assert!(values.len() > 1, "expected stale reads, got {values:?}");
+        assert!(ctx.snapshot().stale_reads > 0);
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        assert_eq!(
+            reg.compare_exchange_as(0, &0, 5, Ordering::AcqRel, Ordering::Acquire),
+            Ok(0)
+        );
+        assert_eq!(
+            reg.compare_exchange_as(1, &0, 9, Ordering::SeqCst, Ordering::SeqCst),
+            Err(5)
+        );
+        assert_eq!(reg.read_as(0, Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn peek_is_unchecked_and_counted() {
+        let ctx = ctx(OrderingPlan::seq_cst());
+        let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+        reg.write_as(0, 3, Ordering::Relaxed);
+        assert_eq!(reg.peek_relaxed(), 3);
+        let snap = ctx.snapshot();
+        assert_eq!(snap.peeks, 1);
+        // A peek is a hint: no violation even though the store was relaxed
+        // and the peeker foreign.
+        assert_eq!(snap.violation_count, 0);
+    }
+
+    #[test]
+    fn drop_in_trait_mode_assigns_thread_slots() {
+        let reg: SanitizedRegister<u64> = Register::new_register(0);
+        reg.write(4);
+        assert_eq!(reg.read(), 4);
+        assert_eq!(Register::peek(&reg), 4);
+        assert_eq!(reg.ctx().snapshot().violation_count, 0);
+    }
+
+    #[test]
+    fn classify_splits_claim_and_clear() {
+        assert_eq!(SanitizedRegister::<u64>::classify(&0), Site::Clear);
+        assert_eq!(SanitizedRegister::<u64>::classify(&7), Site::Claim);
+    }
+}

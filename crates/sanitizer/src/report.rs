@@ -1,0 +1,169 @@
+//! Structured sanitizer findings: ordering violations with replayable
+//! witnesses, and minimal-ordering certificates.
+//!
+//! The rendering deliberately mirrors the static analyzer's
+//! `Finding`/witness idiom (`crates/lint/src/report.rs`): one message line,
+//! then the numbered operation trace that exhibits the problem, so a
+//! violation from `check sanitize` reads exactly like a lint L1–L6 witness
+//! and replays from the printed seed.
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+use crate::plan::Site;
+
+/// What kind of ordering defect was observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// A read consumed another participant's store without any
+    /// happens-before edge from the store to the read — the store lacked
+    /// `Release`, the load lacked `Acquire`, or both. Under the paper's §2
+    /// atomic-register model this is exactly the assumption the algorithm
+    /// silently relied on and the weakened ordering no longer provides.
+    MissingEdge,
+}
+
+impl ViolationKind {
+    /// Stable short name (used in tables and JSONL).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::MissingEdge => "missing-hb-edge",
+        }
+    }
+}
+
+/// One flagged operation, with enough context to explain and replay it.
+#[derive(Clone, Debug)]
+pub struct OrderingViolation {
+    /// The defect class.
+    pub kind: ViolationKind,
+    /// Physical register index the racy read hit.
+    pub register: usize,
+    /// Slot (participant index) that performed the read.
+    pub reader: usize,
+    /// Slot that performed the store the read consumed.
+    pub writer: usize,
+    /// Ordering the load used.
+    pub read_ordering: Ordering,
+    /// Ordering the store used.
+    pub write_ordering: Ordering,
+    /// Per-register sequence number of the consumed store.
+    pub store_seq: u64,
+    /// Global operation index at which the read happened.
+    pub op_index: u64,
+    /// `Debug` rendering of the consumed value.
+    pub value: String,
+    /// The trailing operation log up to and including the flagged read —
+    /// re-running the same seed reproduces it verbatim.
+    pub witness: Vec<String>,
+}
+
+impl fmt::Display for OrderingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: p{} read r{}@{:?} consumed p{}'s {:?} store of {} (seq {}) with no \
+             happens-before edge — the store needs Release and the load needs Acquire \
+             (or both SeqCst)",
+            self.kind.name(),
+            self.reader,
+            self.register,
+            self.read_ordering,
+            self.writer,
+            self.write_ordering,
+            self.value,
+            self.store_seq,
+        )?;
+        writeln!(f, "  witness ({} ops):", self.witness.len())?;
+        for line in &self.witness {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A machine-produced justification for running one site of one family at
+/// a given (possibly relaxed) memory ordering.
+///
+/// A certificate is *empirical and model-bound*: it says the sanitizer
+/// re-executed the family over `schedules` seeded schedules (half of them
+/// under seeded [`FaultPlan`](anonreg_runtime::FaultPlan) crash/stall/
+/// restart schedules) with this site at this ordering — every weaker
+/// rung of the ladder having been rejected with a concrete witness — and
+/// observed neither a missing happens-before edge nor a safety violation.
+/// It is not a proof over all executions; `check sanitize` re-derives it
+/// deterministically from the same base seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Stable identifier, e.g. `ORD-MUTEX-READ` — the string relaxed code
+    /// sites cite in comments and `ci/seqcst_allowlist.txt` refers to.
+    pub id: String,
+    /// Algorithm family the certificate covers.
+    pub family: &'static str,
+    /// The site class within the family.
+    pub site: Site,
+    /// The certified minimal ordering.
+    pub ordering: Ordering,
+    /// Seeded schedules the certification sweep ran.
+    pub schedules: u64,
+    /// Base seed of the sweep (`check sanitize --seed` replays it).
+    pub base_seed: u64,
+}
+
+impl Certificate {
+    /// Builds the stable identifier for a family/site pair.
+    #[must_use]
+    pub fn id_for(family: &str, site: Site) -> String {
+        format!(
+            "ORD-{}-{}",
+            family.to_uppercase(),
+            site.as_str().to_uppercase()
+        )
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} {} = {:?} ({} schedules, base seed {})",
+            self.id, self.family, self.site, self.ordering, self.schedules, self.base_seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_renders_message_and_witness() {
+        let v = OrderingViolation {
+            kind: ViolationKind::MissingEdge,
+            register: 2,
+            reader: 1,
+            writer: 0,
+            read_ordering: Ordering::Relaxed,
+            write_ordering: Ordering::Release,
+            store_seq: 5,
+            op_index: 11,
+            value: "7".into(),
+            witness: vec!["10. p0 write r2@Release := 7 (seq 5)".into()],
+        };
+        let text = v.to_string();
+        assert!(text.contains("missing-hb-edge"));
+        assert!(text.contains("witness (1 ops):"));
+        assert!(text.contains("p0 write r2@Release"));
+    }
+
+    #[test]
+    fn certificate_ids_are_stable() {
+        assert_eq!(Certificate::id_for("mutex", Site::Read), "ORD-MUTEX-READ");
+        assert_eq!(
+            Certificate::id_for("consensus", Site::Claim),
+            "ORD-CONSENSUS-CLAIM"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Property suite for the ordering sanitizer: the vector-clock laws the
+//! happens-before analysis rests on, determinism of witness replay, and
+//! the clean-under-faults guarantee for correct families at `SeqCst`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use anonreg_model::rng::Rng64;
+use anonreg_obs::{MemProbe, Metric};
+use anonreg_sanitizer::fixtures::{replay_fixture, run_fixture};
+use anonreg_sanitizer::{
+    broken_fixtures, certify_family, run_family, OrderingPlan, SanitizedRegister, SanitizerConfig,
+    SanitizerCtx, VectorClock, FAMILIES,
+};
+
+/// A random clock over `slots` components, each ticked 0..=4 times.
+fn random_clock(rng: &mut Rng64, slots: usize) -> VectorClock {
+    let mut clock = VectorClock::new();
+    for slot in 0..slots {
+        for _ in 0..rng.gen_range_inclusive(0, 4) {
+            clock.tick(slot);
+        }
+    }
+    clock
+}
+
+#[test]
+fn join_is_a_least_upper_bound_and_monotone() {
+    let mut rng = Rng64::seed_from_u64(0xC10C);
+    for _ in 0..200 {
+        let a = random_clock(&mut rng, 4);
+        let b = random_clock(&mut rng, 4);
+        let mut joined = a.clone();
+        joined.join(&b);
+        // Upper bound of both arguments.
+        assert!(a.le(&joined), "{a} ≤ {a} ⊔ {b}");
+        assert!(b.le(&joined), "{b} ≤ {a} ⊔ {b}");
+        // Least: any other upper bound dominates the join.
+        let mut other = random_clock(&mut rng, 4);
+        other.join(&a);
+        other.join(&b);
+        assert!(joined.le(&other), "join must be the least upper bound");
+        // Monotone: growing an argument can only grow the join.
+        let mut grown = a.clone();
+        grown.tick(rng.gen_index(4));
+        let mut grown_join = grown.clone();
+        grown_join.join(&b);
+        assert!(joined.le(&grown_join), "join must be monotone");
+    }
+}
+
+#[test]
+fn happens_before_is_transitive_and_irreflexive() {
+    let mut rng = Rng64::seed_from_u64(0xBEEF);
+    for _ in 0..200 {
+        let a = random_clock(&mut rng, 4);
+        let b = random_clock(&mut rng, 4);
+        let c = random_clock(&mut rng, 4);
+        assert!(!a.happens_before(&a), "irreflexive: {a}");
+        if a.happens_before(&b) && b.happens_before(&c) {
+            assert!(a.happens_before(&c), "transitive: {a} → {b} → {c}");
+        }
+        // happens-before and concurrency are mutually exclusive.
+        if a.concurrent(&b) {
+            assert!(!a.happens_before(&b) && !b.happens_before(&a));
+        }
+    }
+}
+
+#[test]
+fn certification_and_witness_replay_are_deterministic() {
+    // Same (family, seed, schedules) ⇒ byte-identical certification,
+    // including every rejected rung's reason string.
+    let first = certify_family("mutex", 0xD5, 4);
+    let second = certify_family("mutex", 0xD5, 4);
+    assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    assert!(first.clean);
+
+    // A broken fixture's witness replays to the identical rendering from
+    // its seed alone.
+    for fixture in broken_fixtures() {
+        let outcome = run_fixture(&fixture, 7, 16);
+        let violation = outcome.violation.expect("fixture must be flagged");
+        let seed = outcome.seed.expect("flagged outcome carries its seed");
+        let replayed = replay_fixture(&fixture, seed).expect("the firing seed must fire again");
+        assert_eq!(violation.to_string(), replayed.to_string());
+    }
+}
+
+#[test]
+fn correct_families_are_clean_at_seqcst_even_under_faults() {
+    for family in FAMILIES {
+        for (index, faults) in [(0u64, false), (1, true)] {
+            let outcome = run_family(
+                family,
+                OrderingPlan::seq_cst(),
+                anonreg_sanitizer::schedule_seed(3, index),
+                faults,
+            );
+            assert!(
+                outcome.is_clean(),
+                "{family} (faults={faults}): {:?} / {:?}",
+                outcome.first_violation,
+                outcome.safety
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_emits_counters_through_a_probe() {
+    let ctx = Arc::new(SanitizerCtx::new(
+        SanitizerConfig::default(),
+        OrderingPlan::seq_cst(),
+    ));
+    let reg: SanitizedRegister<u64> = SanitizedRegister::attached(&ctx, 0);
+    // One synchronizes-with edge...
+    reg.write_as(0, 5, Ordering::Release);
+    assert_eq!(reg.read_as(1, Ordering::Acquire), 5);
+    // ...and one missing edge: a relaxed store consumed by a third slot.
+    reg.write_as(0, 9, Ordering::Relaxed);
+    while reg.read_as(2, Ordering::SeqCst) != 9 {}
+
+    let snapshot = ctx.snapshot();
+    assert!(snapshot.hb_edges > 0);
+    assert!(snapshot.violation_count > 0);
+
+    let probe = MemProbe::new();
+    snapshot.emit(&probe);
+    let metrics = probe.snapshot();
+    assert_eq!(metrics.counter_total(Metric::HbEdges), snapshot.hb_edges);
+    assert_eq!(
+        metrics.counter_total(Metric::OrderingViolations),
+        snapshot.violation_count
+    );
+    assert_eq!(
+        metrics.counter_total(Metric::StaleReads),
+        snapshot.stale_reads
+    );
+}

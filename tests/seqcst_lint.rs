@@ -1,0 +1,157 @@
+//! Grep-lint: every `Ordering::SeqCst` outside `crates/sanitizer` must be
+//! accounted for in `ci/seqcst_allowlist.txt`, with an exact per-file
+//! count. New `SeqCst` sites therefore force a deliberate decision — either
+//! justify the strong ordering in the allowlist, or weaken it and cite a
+//! sanitizer certificate (`check sanitize`) at the site, as
+//! `ORD-RT-PEEK-001` / `ORD-RT-HANDLE-002` do in the runtime.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The needle, assembled so this file never matches itself.
+const NEEDLE: &str = concat!("Ordering::", "SeqCst");
+
+/// Directories scanned, relative to the workspace root.
+const ROOTS: &[&str] = &["crates", "src", "tests"];
+
+/// Path prefixes exempt from the lint: the sanitizer substrate's whole
+/// job is to exercise every ordering, and this test assembles the needle
+/// from pieces but is skipped anyway for robustness.
+const EXEMPT: &[&str] = &["crates/sanitizer/", "tests/seqcst_lint.rs"];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn visit(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            visit(&path, files);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+/// Counts non-overlapping occurrences of [`NEEDLE`] in `text`.
+fn count_occurrences(text: &str) -> usize {
+    text.match_indices(NEEDLE).count()
+}
+
+fn actual_counts(root: &Path) -> BTreeMap<String, usize> {
+    let mut files = Vec::new();
+    for scan in ROOTS {
+        visit(&root.join(scan), &mut files);
+    }
+    files.sort();
+    let mut counts = BTreeMap::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .expect("scanned file under workspace root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if EXEMPT.iter().any(|prefix| rel.starts_with(prefix)) {
+            continue;
+        }
+        let text =
+            fs::read_to_string(&file).unwrap_or_else(|e| panic!("failed to read {rel}: {e}"));
+        let n = count_occurrences(&text);
+        if n > 0 {
+            counts.insert(rel, n);
+        }
+    }
+    counts
+}
+
+fn allowlisted_counts(root: &Path) -> BTreeMap<String, usize> {
+    let path = root.join("ci/seqcst_allowlist.txt");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("failed to read {}: {e}", path.display()));
+    let mut counts = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(count), Some(file)) = (parts.next(), parts.next()) else {
+            panic!("ci/seqcst_allowlist.txt:{}: malformed line", lineno + 1);
+        };
+        let count: usize = count.parse().unwrap_or_else(|_| {
+            panic!(
+                "ci/seqcst_allowlist.txt:{}: count must be an integer",
+                lineno + 1
+            )
+        });
+        assert!(
+            parts.next().is_some(),
+            "ci/seqcst_allowlist.txt:{}: every entry needs a justification",
+            lineno + 1
+        );
+        assert!(
+            counts.insert(file.to_string(), count).is_none(),
+            "ci/seqcst_allowlist.txt:{}: duplicate entry for {file}",
+            lineno + 1
+        );
+    }
+    counts
+}
+
+#[test]
+fn every_seqcst_site_is_allowlisted_with_an_exact_count() {
+    let root = workspace_root();
+    let actual = actual_counts(&root);
+    let allowed = allowlisted_counts(&root);
+
+    let mut problems = Vec::new();
+    for (file, &n) in &actual {
+        match allowed.get(file) {
+            None => problems.push(format!(
+                "{file}: {n} {NEEDLE} site(s) not in ci/seqcst_allowlist.txt"
+            )),
+            Some(&a) if a != n => {
+                problems.push(format!("{file}: {n} {NEEDLE} site(s), allowlist says {a}"));
+            }
+            Some(_) => {}
+        }
+    }
+    for (file, &a) in &allowed {
+        if !actual.contains_key(file) {
+            problems.push(format!(
+                "{file}: allowlisted ({a}) but has no {NEEDLE} sites — remove the stale entry"
+            ));
+        }
+    }
+
+    assert!(
+        problems.is_empty(),
+        "SeqCst allowlist out of date:\n  {}\n\
+         Either justify the sites in ci/seqcst_allowlist.txt, or weaken them\n\
+         and cite a certificate from `cargo run -p anonreg-bench --bin check -- sanitize`.",
+        problems.join("\n  ")
+    );
+}
+
+#[test]
+fn the_sanitizer_crate_really_is_exempt_not_empty() {
+    // Guard against the exemption silently rotting: the sanitizer must
+    // keep using the needle (it ladders orderings up to SeqCst), so if a
+    // rename ever makes this zero, the lint's exemption list needs a look.
+    let root = workspace_root();
+    let mut files = Vec::new();
+    visit(&root.join("crates/sanitizer"), &mut files);
+    let total: usize = files
+        .iter()
+        .map(|f| count_occurrences(&fs::read_to_string(f).unwrap_or_default()))
+        .sum();
+    assert!(total > 0, "crates/sanitizer no longer mentions {NEEDLE}");
+}

@@ -32,15 +32,25 @@ fn usage() -> ExitCode {
         "usage: check <mutex|hybrid|ordered|consensus|renaming> [--m N] [--n N] \
          [--registers N] [--shift N] [--max-states N] [--threads N] [--crashes] [--dot FILE]\n\
          \x20      check explore [--n N] [--registers N] [--threads N] [--max-states N] \
-         [--json FILE] [--min-speedup X]   parallel-explorer scaling benchmark (E14)\n\
+         [--json FILE] [--min-speedup X] [--stream FILE] [--stream-interval-ms N]   \
+         parallel-explorer scaling benchmark (E14); --stream tails live schema-v2 \
+         deltas + progress to FILE\n\
          \x20      check explore --symmetry <off|registers|full> [--n N] [--registers N] \
-         [--threads N] [--max-states N] [--json FILE] [--min-reduction X]   \
+         [--threads N] [--max-states N] [--json FILE] [--min-reduction X] [--stream FILE]   \
          symmetry-reduction benchmark (E16) with verdict parity\n\
+         \x20      check profile [--full] [--threads N] [--max-states N] [--entries N] \
+         [--flamegraph FILE] [--json FILE] [--min-coverage X]   wall-clock phase profiles \
+         (E18): explorer workers + runtime driver, collapsed-stack flamegraph export, \
+         self-time coverage gate (default 0.7)\n\
+         \x20      check bench-diff BEFORE AFTER [--max-time-ratio X] [--max-drop-ratio X] \
+         [--allow-missing] [--require NAME=FLOOR]   compare two bench JSONL files; \
+         exits non-zero on regression\n\
          \x20      check lint <--all|ALGO|fixtures>   static analysis (L1-L6); \
          ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}\n\
          \x20      check stress [--schedules N] [--seed N] [--family F] [--replay SEED] \
-         [--quick] [--json FILE] [--broken]   fault-injection stress sweeps (E15); \
-         violations print the seed and exit non-zero\n\
+         [--quick] [--json FILE] [--broken] [--stream FILE] [--stream-interval-ms N]   \
+         fault-injection stress sweeps (E15); violations print the seed and exit \
+         non-zero; --stream tails per-schedule heartbeats to FILE\n\
          \x20      check sanitize [--schedules N] [--seed N] [--family F] [--quick] \
          [--json FILE]   memory-ordering inference: certify per-site minimal orderings (E17)\n\
          \x20      check sanitize --broken [--quick]   negative controls: the broken fixtures \
@@ -129,7 +139,12 @@ fn obs_main(raw: &[String]) -> ExitCode {
             };
             return match validate_jsonl(&text) {
                 Ok(lines) => {
-                    println!("{path}: {lines} schema-v1 lines, all valid");
+                    let (v1, skipped) =
+                        anonreg_obs::schema::validate_jsonl_v1(&text).unwrap_or((lines, 0));
+                    println!(
+                        "{path}: {lines} schema-valid lines ({v1} v1, {skipped} v2 stream \
+                         records a v1 consumer would skip)"
+                    );
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -372,6 +387,70 @@ fn obs_main(raw: &[String]) -> ExitCode {
 /// is hard-asserted inside [`e16_symmetry::rows`]), print the reduction
 /// table, and enforce the stored-state reduction floor of the selected
 /// mode (`--min-reduction`).
+/// Live-stream plumbing shared by `check explore` and `check stress`:
+/// a probe + profiler pair with a background [`StreamExporter`] tailing
+/// schema-v2 deltas and progress lines to the requested file.
+struct LiveStream {
+    probe: std::sync::Arc<anonreg_obs::MemProbe>,
+    profiler: std::sync::Arc<anonreg_obs::Profiler>,
+    exporter: anonreg_obs::StreamExporter,
+    path: String,
+}
+
+impl LiveStream {
+    /// Opens the stream file and spawns the exporter thread; returns
+    /// `Err` with a printed message if the file cannot be created.
+    fn start(tool: &str, path: &str, interval_ms: u64) -> Result<LiveStream, ExitCode> {
+        use anonreg_obs::{MemProbe, Profiler, StreamExporter, StreamOptions};
+        use std::sync::Arc;
+
+        let probe = Arc::new(MemProbe::new());
+        let profiler = Arc::new(Profiler::new());
+        let mut opts = StreamOptions::new(tool, &format!("{tool}-{}", std::process::id()));
+        opts.interval = std::time::Duration::from_millis(interval_ms.max(1));
+        opts.echo = true;
+        match StreamExporter::start(path, opts, Arc::clone(&probe), Some(Arc::clone(&profiler))) {
+            Ok(exporter) => Ok(LiveStream {
+                probe,
+                profiler,
+                exporter,
+                path: path.to_string(),
+            }),
+            Err(e) => {
+                eprintln!("failed to open stream file {path}: {e}");
+                Err(ExitCode::FAILURE)
+            }
+        }
+    }
+
+    /// The instrumentation view the experiment modules accept.
+    fn instruments(&self) -> anonreg_bench::live::Instruments<'_> {
+        anonreg_bench::live::Instruments {
+            probe: Some(&self.probe),
+            profiler: Some(std::sync::Arc::clone(&self.profiler)),
+        }
+    }
+
+    /// Flushes the final delta/profile/snapshot records and reports.
+    fn finish(self) -> Result<(), ExitCode> {
+        match self.exporter.finish() {
+            Ok(summary) => {
+                println!(
+                    "live stream: {} delta(s), {} v2 record(s) over {} ms -> {} \
+                     (validate with `check obs validate {}`)",
+                    summary.deltas, summary.records, summary.elapsed_ms, self.path, self.path
+                );
+                Ok(())
+            }
+            Err(e) => {
+                eprintln!("stream export to {} failed: {e}", self.path);
+                Err(ExitCode::FAILURE)
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn explore_symmetry_main(
     mode: SymmetryMode,
     n: usize,
@@ -380,7 +459,9 @@ fn explore_symmetry_main(
     max_states: usize,
     json_path: Option<&String>,
     min_reduction: Option<f64>,
+    stream: Option<(&str, u64)>,
 ) -> ExitCode {
+    use anonreg_bench::live::Instruments;
     use anonreg_bench::{benchjson, e16_symmetry};
     use anonreg_obs::schema::meta_line;
     use anonreg_obs::Json;
@@ -390,13 +471,32 @@ fn explore_symmetry_main(
         "symmetry-reduced exploration: symmetric Figure 2 consensus, n = {n}, \
          {registers} registers, {threads} threads, off vs registers vs full"
     );
-    let rows = match e16_symmetry::rows(workload, threads, max_states) {
+    let live = match stream {
+        Some((path, interval_ms)) => {
+            match LiveStream::start("check-explore-symmetry", path, interval_ms) {
+                Ok(live) => Some(live),
+                Err(code) => return code,
+            }
+        }
+        None => None,
+    };
+    let ins = match &live {
+        Some(l) => l.instruments(),
+        None => Instruments::none(),
+    };
+    let rows = match e16_symmetry::rows_with(workload, threads, max_states, &ins) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("exploration failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    drop(ins);
+    if let Some(live) = live {
+        if let Err(code) = live.finish() {
+            return code;
+        }
+    }
     println!("{}", e16_symmetry::render(&rows));
     println!("verdict parity across off/registers/full: ok");
     let reduction = rows
@@ -453,6 +553,8 @@ fn explore_main(raw: &[String]) -> ExitCode {
     let mut min_speedup: Option<f64> = None;
     let mut symmetry: Option<SymmetryMode> = None;
     let mut min_reduction: Option<f64> = None;
+    let mut stream_path: Option<String> = None;
+    let mut stream_interval_ms = 50u64;
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -460,6 +562,13 @@ fn explore_main(raw: &[String]) -> ExitCode {
         };
         match flag.as_str() {
             "--json" => json_path = Some(value.clone()),
+            "--stream" => stream_path = Some(value.clone()),
+            "--stream-interval-ms" => {
+                let Ok(v) = value.parse::<u64>() else {
+                    return usage();
+                };
+                stream_interval_ms = v;
+            }
             "--min-speedup" => {
                 let Ok(v) = value.parse::<f64>() else {
                     return usage();
@@ -503,6 +612,7 @@ fn explore_main(raw: &[String]) -> ExitCode {
             max_states,
             json_path.as_ref(),
             min_reduction,
+            stream_path.as_deref().map(|p| (p, stream_interval_ms)),
         );
     }
     if min_reduction.is_some() {
@@ -514,13 +624,30 @@ fn explore_main(raw: &[String]) -> ExitCode {
         "parallel explorer scaling: Figure 2 consensus, n = {n}, {registers} registers, \
          1 vs {threads} threads"
     );
-    let rows = match e14_scaling::rows(n, registers, &[1, threads], max_states) {
+    let live = match &stream_path {
+        Some(path) => match LiveStream::start("check-explore", path, stream_interval_ms) {
+            Ok(live) => Some(live),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let ins = match &live {
+        Some(l) => l.instruments(),
+        None => anonreg_bench::live::Instruments::none(),
+    };
+    let rows = match e14_scaling::rows_with(n, registers, &[1, threads], max_states, &ins) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("exploration failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    drop(ins);
+    if let Some(live) = live {
+        if let Err(code) = live.finish() {
+            return code;
+        }
+    }
     println!("{}", e14_scaling::render(&rows));
     let speedup = rows.last().map_or(1.0, |r| r.speedup_over(&rows[0]));
 
@@ -572,11 +699,25 @@ fn stress_main(raw: &[String]) -> ExitCode {
     let mut quick = false;
     let mut broken = false;
     let mut json_path: Option<String> = None;
+    let mut stream_path: Option<String> = None;
+    let mut stream_interval_ms = 50u64;
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--quick" => quick = true,
             "--broken" => broken = true,
+            "--stream" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                stream_path = Some(v.clone());
+            }
+            "--stream-interval-ms" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                stream_interval_ms = v;
+            }
             "--schedules" | "--seed" | "--replay" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     return usage();
@@ -658,10 +799,31 @@ fn stress_main(raw: &[String]) -> ExitCode {
          base seed {seed}",
         selected.len()
     );
+    let live = match &stream_path {
+        Some(path) => match LiveStream::start("check-stress", path, stream_interval_ms) {
+            Ok(live) => Some(live),
+            Err(code) => return code,
+        },
+        None => None,
+    };
     let rows: Vec<e15_faults::Row> = selected
         .iter()
-        .map(|f| e15_faults::sweep(f, seed, per_family))
+        .enumerate()
+        .map(|(i, f)| {
+            e15_faults::sweep_with(
+                f,
+                seed,
+                per_family,
+                live.as_ref().map(|l| &*l.probe),
+                i as u64,
+            )
+        })
         .collect();
+    if let Some(live) = live {
+        if let Err(code) = live.finish() {
+            return code;
+        }
+    }
     println!("{}", e15_faults::render(&rows));
 
     if let Some(path) = &json_path {
@@ -708,6 +870,230 @@ fn stress_main(raw: &[String]) -> ExitCode {
             per_family * selected.len() as u64
         );
     }
+    ExitCode::SUCCESS
+}
+
+/// `check profile` — experiment E18's wall-clock phase profiles: every
+/// E16 workload explored under `off` and `full` symmetry with per-worker
+/// phase timers (`step`/`canon`/`dedup`/`steal`/`idle`), plus the
+/// Figure 1 mutex raced on real threads with the driver's protocol
+/// phases (`doorway`/`waiting`/`critical`). Prints the per-run phase
+/// breakdown, optionally writes a collapsed-stack flamegraph
+/// (`--flamegraph`, speedscope/inferno format) and bench JSONL
+/// (`--json`), and enforces that the explorer runs' self-times account
+/// for the measured wall-clock (`--min-coverage`, default 0.7, applied
+/// to runs long enough for setup cost to be noise — the wall includes
+/// final graph assembly, which is not worker self-time, so full-scale
+/// symmetry-off runs land around 0.75–0.86 and full-symmetry runs
+/// around 0.91).
+fn profile_main(raw: &[String]) -> ExitCode {
+    use anonreg_bench::{benchjson, e18_profile};
+    use anonreg_obs::schema::meta_line;
+    use anonreg_obs::Json;
+
+    let mut full = false;
+    let mut threads = 4usize;
+    let mut max_states = 8_000_000usize;
+    let mut entries = 200u64;
+    let mut min_coverage = 0.7f64;
+    let mut flamegraph: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--full" => full = true,
+            "--threads" | "--max-states" | "--entries" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--threads" => threads = v as usize,
+                    "--max-states" => max_states = v as usize,
+                    _ => entries = v,
+                }
+            }
+            "--min-coverage" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                min_coverage = v;
+            }
+            "--flamegraph" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                flamegraph = Some(v.clone());
+            }
+            "--json" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                json_path = Some(v.clone());
+            }
+            _ => return usage(),
+        }
+    }
+
+    println!(
+        "wall-clock phase profiles (E18): {} workloads x {{off, full}} at {threads} thread(s), \
+         + Figure 1 driver x2 threads ({entries} entries)",
+        if full { "full-scale" } else { "quick" }
+    );
+    let mut runs = match e18_profile::rows(full, threads, max_states) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let explorer_runs = runs.len();
+    runs.push(e18_profile::profile_runtime(3, entries));
+    println!("{}", e18_profile::render(&runs));
+
+    if let Some(path) = &flamegraph {
+        let collapsed: String = runs
+            .iter()
+            .map(e18_profile::ProfiledRun::collapsed)
+            .collect();
+        if let Err(e) = std::fs::write(path, &collapsed) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "collapsed-stack flamegraph ({} frames) written to {path} \
+             (render with inferno/speedscope)",
+            collapsed.lines().count()
+        );
+    }
+    if let Some(path) = &json_path {
+        let mut out = meta_line(
+            "check-profile",
+            &[
+                ("threads", Json::U64(threads as u64)),
+                ("full", Json::Bool(full)),
+            ],
+        )
+        .render();
+        out.push('\n');
+        out.push_str(&benchjson::to_jsonl(&e18_profile::metrics(&runs)));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+
+    // Coverage gate: on runs too short, thread spawn/graph assembly
+    // dominate and coverage is meaningless, so only gate explorer runs
+    // whose wall-clock clears a floor.
+    let mut bad = false;
+    for run in &runs[..explorer_runs] {
+        let gated = run.wall.as_millis() >= 20;
+        let verdict = if !gated {
+            "skipped (run too short)"
+        } else if run.coverage() >= min_coverage {
+            "ok"
+        } else {
+            bad = true;
+            "BELOW FLOOR"
+        };
+        println!(
+            "coverage {}: {:.1}% of {} worker(s) x {:?} wall — {verdict}",
+            run.slug,
+            run.coverage() * 100.0,
+            run.profiles.len(),
+            run.wall
+        );
+    }
+    if bad {
+        eprintln!("phase self-times fail to account for the wall-clock (floor {min_coverage})");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `check bench-diff` — compare two bench JSONL files (a committed
+/// baseline and a fresh run) and exit non-zero on regression: `ms`
+/// metrics may grow by at most `--max-time-ratio`, `x`/`ops_per_s`
+/// metrics may shrink by at most `--max-drop-ratio`, and counting units
+/// (states/edges/bool) must match exactly. `--require NAME=FLOOR` adds
+/// absolute floors on fresh metrics (suffix-matched), replacing
+/// bespoke per-experiment gates in CI.
+fn bench_diff_main(raw: &[String]) -> ExitCode {
+    use anonreg_bench::benchdiff;
+
+    let mut files: Vec<&String> = Vec::new();
+    let mut thresholds = benchdiff::Thresholds::default();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--allow-missing" => thresholds.allow_missing = true,
+            "--max-time-ratio" | "--max-drop-ratio" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if arg == "--max-time-ratio" {
+                    thresholds.max_time_ratio = v;
+                } else {
+                    thresholds.max_drop_ratio = v;
+                }
+            }
+            "--require" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                let Some((name, floor)) = v.split_once('=') else {
+                    eprintln!("--require wants NAME=FLOOR, got {v:?}");
+                    return usage();
+                };
+                let Ok(floor) = floor.parse::<f64>() else {
+                    return usage();
+                };
+                thresholds.require.push((name.to_string(), floor));
+            }
+            _ if arg.starts_with("--") => return usage(),
+            _ => files.push(arg),
+        }
+    }
+    let [before_path, after_path] = files.as_slice() else {
+        eprintln!("bench-diff wants exactly two files (BEFORE AFTER)");
+        return usage();
+    };
+
+    let read = |path: &str| -> Result<Vec<benchdiff::ParsedMetric>, ExitCode> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("failed to read {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        benchdiff::parse_bench_jsonl(&text).map_err(|e| {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        })
+    };
+    let before = match read(before_path) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    let after = match read(after_path) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+
+    println!(
+        "bench-diff: {before_path} ({} metric(s)) vs {after_path} ({} metric(s)); \
+         time limit {:.2}x, drop limit {:.2}x",
+        before.len(),
+        after.len(),
+        thresholds.max_time_ratio,
+        thresholds.max_drop_ratio
+    );
+    let diff = benchdiff::diff(&before, &after, &thresholds);
+    println!("{}", benchdiff::render(&diff));
+    if diff.regressed() {
+        eprintln!("{} regression(s) against {before_path}", diff.regressions());
+        return ExitCode::FAILURE;
+    }
+    println!("no regressions against {before_path}");
     ExitCode::SUCCESS
 }
 
@@ -1103,6 +1489,12 @@ fn main() -> ExitCode {
     }
     if kind == "sanitize" {
         return sanitize_main(&raw[1..]);
+    }
+    if kind == "profile" {
+        return profile_main(&raw[1..]);
+    }
+    if kind == "bench-diff" {
+        return bench_diff_main(&raw[1..]);
     }
     let Some(args) = parse(&raw[1..]) else {
         return usage();

@@ -18,7 +18,7 @@ use std::time::Instant;
 use anonreg_bench::benchjson::BenchMetric;
 use anonreg_bench::{
     e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e15_faults, e16_symmetry,
-    e17_ordering, e1_parity, e2_ring, e3_consensus, e4_consensus_space, e5_renaming,
+    e17_ordering, e18_profile, e1_parity, e2_ring, e3_consensus, e4_consensus_space, e5_renaming,
     e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
 };
 use anonreg_obs::schema::meta_line;
@@ -55,7 +55,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--json FILE] [e1 .. e17]\n\
+                    "usage: repro [--quick] [--json FILE] [e1 .. e18]\n\
                      Regenerates the experiment tables of the PODC'17\n\
                      'Coordination Without Prior Agreement' reproduction.\n\
                      --json FILE also writes every metric as schema-v1\n\
@@ -248,6 +248,17 @@ fn main() {
                 e17_ordering::render_fixtures(&fixtures)
             );
             (rendered, e17_ordering::metrics(&certs, &fixtures))
+        },
+    );
+
+    section(
+        "e18",
+        "wall-clock phase profiles: explorer workers + runtime driver (§2 on the clock)",
+        &|| {
+            let mut runs = e18_profile::rows(!q, if q { 2 } else { 4 }, 8_000_000)
+                .expect("profiled workloads fit the state budget");
+            runs.push(e18_profile::profile_runtime(3, if q { 50 } else { 200 }));
+            (e18_profile::render(&runs), e18_profile::metrics(&runs))
         },
     );
 

@@ -27,6 +27,7 @@ use anonreg::{Pid, View};
 use anonreg_sim::prelude::*;
 
 use crate::benchjson::BenchMetric;
+use crate::live::{self, Instruments};
 use crate::table::Table;
 
 /// One timed exploration of the consensus space.
@@ -88,12 +89,25 @@ pub fn timed_explore(
     threads: usize,
     max_states: usize,
 ) -> Result<Row, ExploreError> {
+    timed_explore_with(n, registers, threads, max_states, &Instruments::none())
+}
+
+/// [`timed_explore`] with live instrumentation (shared probe and/or
+/// profiler) attached to the run.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError::StateLimitExceeded`].
+pub fn timed_explore_with(
+    n: usize,
+    registers: usize,
+    threads: usize,
+    max_states: usize,
+    ins: &Instruments<'_>,
+) -> Result<Row, ExploreError> {
     let sim = consensus_sim(n, registers, 1);
     let start = Instant::now();
-    let graph = Explorer::new(sim)
-        .max_states(max_states)
-        .parallelism(threads)
-        .run()?;
+    let graph = live::explore(sim, SymmetryMode::Off, threads, max_states, ins)?;
     Ok(Row {
         n,
         registers,
@@ -123,9 +137,34 @@ pub fn rows(
     thread_counts: &[usize],
     max_states: usize,
 ) -> Result<Vec<Row>, ExploreError> {
+    rows_with(
+        n,
+        registers,
+        thread_counts,
+        max_states,
+        &Instruments::none(),
+    )
+}
+
+/// [`rows`] with live instrumentation attached to every exploration.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError::StateLimitExceeded`].
+///
+/// # Panics
+///
+/// Same divergence assertion as [`rows`].
+pub fn rows_with(
+    n: usize,
+    registers: usize,
+    thread_counts: &[usize],
+    max_states: usize,
+    ins: &Instruments<'_>,
+) -> Result<Vec<Row>, ExploreError> {
     let mut out: Vec<Row> = Vec::new();
     for &threads in thread_counts {
-        let row = timed_explore(n, registers, threads, max_states)?;
+        let row = timed_explore_with(n, registers, threads, max_states, ins)?;
         if let Some(first) = out.first() {
             assert_eq!(
                 (row.states, row.edges),

@@ -34,6 +34,7 @@ use anonreg::ordered::OrderedMutex;
 use anonreg::{Machine, Pid, View};
 use anonreg_model::rng::Rng64;
 use anonreg_model::Step;
+use anonreg_obs::{MemProbe, Metric, Probe as _};
 use anonreg_runtime::{
     AnonymousConsensus, AnonymousElection, AnonymousMemory, AnonymousMutex, AnonymousRenaming,
     DriveOutcome, FaultCell, FaultKind, FaultPlan, FaultProfile, FaultyDriver,
@@ -145,6 +146,21 @@ pub fn run_one(family: &str, seed: u64) -> CellReport {
 /// Sweeps `schedules` seeded schedules of one family.
 #[must_use]
 pub fn sweep(family: &'static str, base_seed: u64, schedules: u64) -> Row {
+    sweep_with(family, base_seed, schedules, None, 0)
+}
+
+/// [`sweep`] with a live heartbeat: after every schedule the probe's
+/// [`Metric::StressSchedules`] counter (keyed by `family_key`, the
+/// family's index in the sweep) ticks, and [`Metric::StressViolations`]
+/// ticks on violations — what `check stress --stream` snapshots.
+#[must_use]
+pub fn sweep_with(
+    family: &'static str,
+    base_seed: u64,
+    schedules: u64,
+    probe: Option<&MemProbe>,
+    family_key: u64,
+) -> Row {
     let mut row = Row {
         family,
         schedules,
@@ -172,6 +188,12 @@ pub fn sweep(family: &'static str, base_seed: u64, schedules: u64) -> Row {
             }
         } else if !report.timed_out {
             row.completed += 1;
+        }
+        if let Some(p) = probe {
+            p.counter(Metric::StressSchedules, family_key, 1);
+            if report.violation.is_some() {
+                p.counter(Metric::StressViolations, family_key, 1);
+            }
         }
     }
     row

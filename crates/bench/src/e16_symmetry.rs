@@ -37,6 +37,7 @@ use anonreg_sim::prelude::*;
 use anonreg_sim::symmetry::ring_views;
 
 use crate::benchjson::BenchMetric;
+use crate::live::{self, Instruments};
 use crate::table::Table;
 
 /// One of the two symmetric workloads.
@@ -201,6 +202,25 @@ pub fn rows(
     threads: usize,
     max_states: usize,
 ) -> Result<Vec<Row>, ExploreError> {
+    rows_with(workload, threads, max_states, &Instruments::none())
+}
+
+/// [`rows`] with live instrumentation attached: every mode's exploration
+/// feeds the shared probe (for `--stream`) and/or the profiler.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError::StateLimitExceeded`].
+///
+/// # Panics
+///
+/// Same divergence assertions as [`rows`].
+pub fn rows_with(
+    workload: Workload,
+    threads: usize,
+    max_states: usize,
+    ins: &Instruments<'_>,
+) -> Result<Vec<Row>, ExploreError> {
     const MODES: [SymmetryMode; 3] = [
         SymmetryMode::Off,
         SymmetryMode::Registers,
@@ -212,11 +232,8 @@ pub fn rows(
         let start = Instant::now();
         let (states, edges, violated) = match workload {
             Workload::MutexRing { m, procs } => {
-                let graph = Explorer::new(mutex_ring_sim(m, procs))
-                    .max_states(max_states)
-                    .parallelism(threads)
-                    .symmetry(mode)
-                    .run()?;
+                let graph =
+                    live::explore(mutex_ring_sim(m, procs), mode, threads, max_states, ins)?;
                 (
                     graph.state_count(),
                     graph.edge_count(),
@@ -224,11 +241,13 @@ pub fn rows(
                 )
             }
             Workload::SymmetricConsensus { n, registers } => {
-                let graph = Explorer::new(symmetric_consensus_sim(n, registers))
-                    .max_states(max_states)
-                    .parallelism(threads)
-                    .symmetry(mode)
-                    .run()?;
+                let graph = live::explore(
+                    symmetric_consensus_sim(n, registers),
+                    mode,
+                    threads,
+                    max_states,
+                    ins,
+                )?;
                 (
                     graph.state_count(),
                     graph.edge_count(),

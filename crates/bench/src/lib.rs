@@ -23,6 +23,7 @@
 //! | [`e15_faults`] | E15 | §2 failure model — seeded fault-injection stress sweeps across every family |
 //! | [`e16_symmetry`] | E16 | §2 anonymity + Theorem 3.4 symmetry — orbit-canonicalized exploration reductions |
 //! | [`e17_ordering`] | E17 | §2 atomic-register model — vector-clock sanitizer certifies minimal memory orderings per family |
+//! | [`e18_profile`] | E18 | §2 operations on the clock — per-worker wall-clock phase profiles of exploration and the runtime driver |
 //!
 //! `cargo run --release -p anonreg-bench --bin repro` prints them all; the
 //! Criterion benches in `benches/` time the underlying machinery.
@@ -38,6 +39,7 @@ pub mod e14_scaling;
 pub mod e15_faults;
 pub mod e16_symmetry;
 pub mod e17_ordering;
+pub mod e18_profile;
 pub mod e1_parity;
 pub mod e2_ring;
 pub mod e3_consensus;
@@ -48,8 +50,10 @@ pub mod e7_unknown_n;
 pub mod e8_election;
 pub mod e9_threads;
 
+pub mod benchdiff;
 pub mod benchjson;
 pub mod lintsuite;
+pub mod live;
 pub mod table;
 pub mod timing;
 pub mod workload;

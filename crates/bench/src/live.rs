@@ -1,0 +1,64 @@
+//! Shared plumbing for live-streamed and profiled experiment runs.
+//!
+//! The experiment modules normally explore silently; the `check`
+//! streaming flags (`--stream`, `check profile`) need the *same* runs
+//! with a shared [`MemProbe`] (snapshotted by the background
+//! [`anonreg_obs::StreamExporter`]) and/or a [`Profiler`] attached.
+//! [`Instruments`] carries both options so one extra parameter threads
+//! through instead of four, and [`explore`] centralizes the
+//! probe-type branching the [`Explorer`] builder requires.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use anonreg::{Machine, PidMap};
+use anonreg_obs::{MemProbe, Profiler};
+use anonreg_sim::prelude::*;
+
+/// Optional instrumentation attached to an experiment run.
+#[derive(Clone, Debug, Default)]
+pub struct Instruments<'a> {
+    /// Shared metrics sink, typically snapshotted live by a
+    /// [`anonreg_obs::StreamExporter`].
+    pub probe: Option<&'a MemProbe>,
+    /// Wall-clock phase profiler; workers flush their phase trees here.
+    pub profiler: Option<Arc<Profiler>>,
+}
+
+impl Instruments<'static> {
+    /// No instrumentation — the silent default every plain experiment
+    /// entry point uses.
+    #[must_use]
+    pub fn none() -> Self {
+        Instruments::default()
+    }
+}
+
+/// Explores `sim` under `mode` with whatever instruments are attached.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError::StateLimitExceeded`].
+pub fn explore<M>(
+    sim: Simulation<M>,
+    mode: SymmetryMode,
+    threads: usize,
+    max_states: usize,
+    ins: &Instruments<'_>,
+) -> Result<StateGraph<M>, ExploreError>
+where
+    M: Machine + Eq + Hash + PidMap,
+    M::Value: PidMap,
+{
+    let mut explorer = Explorer::new(sim)
+        .max_states(max_states)
+        .parallelism(threads)
+        .symmetry(mode);
+    if let Some(profiler) = &ins.profiler {
+        explorer = explorer.profiler(Arc::clone(profiler));
+    }
+    match ins.probe {
+        Some(probe) => explorer.probe(probe).run(),
+        None => explorer.run(),
+    }
+}

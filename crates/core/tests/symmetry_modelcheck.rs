@@ -367,3 +367,57 @@ fn registers_mode_is_bounded_by_off_and_full() {
         mutex_verdicts(&full, AnonMutex::section)
     );
 }
+
+/// The E16 sweeps measured *zero* `registers`-mode reduction on the ring
+/// mutex and symmetric consensus at full orbit-search cost: every slot
+/// carries a distinct identifier, which pins it, so canonicalization is
+/// injective on the reachable set. The encoder must detect this at build
+/// time and short-circuit to the plain identity path — state and edge
+/// counts stay exactly the `off` counts, the `canon_skipped` counter
+/// proves the fast path fired, and no canonicalization time is billed.
+#[test]
+fn registers_mode_skips_pid_pinned_orbits() {
+    use anonreg_obs::{MemProbe, Metric};
+
+    // The quick-scale E16 ring: procs == m, so the rotation group is
+    // *non-trivial* and only the pid-pinning argument can fire.
+    let views = ring_views(2, 2).unwrap();
+    let build = || {
+        let mut b = Simulation::builder();
+        for (i, v) in views.iter().enumerate() {
+            b = b.process(
+                AnonMutex::new(Pid::new(i as u64 + 1).unwrap(), 2)
+                    .unwrap()
+                    .with_cycles(1),
+                v.clone(),
+            );
+        }
+        b.build().unwrap()
+    };
+    let off = Explorer::new(build()).max_states(500_000).run().unwrap();
+
+    let probe = MemProbe::new();
+    let regs = Explorer::new(build())
+        .max_states(500_000)
+        .symmetry(SymmetryMode::Registers)
+        .probe(&probe)
+        .run()
+        .unwrap();
+    let snap = probe.into_snapshot();
+
+    // Pinned: the fast path must not change what `registers` stores.
+    assert_eq!(regs.state_count(), off.state_count());
+    assert_eq!(regs.edge_count(), off.edge_count());
+    // Every encode after the initial state's took the fast path: one
+    // per explored edge plus the initial encode.
+    let skipped = snap.counter_total(Metric::CanonSkipped);
+    assert_eq!(skipped, off.edge_count() as u64 + 1);
+    // ...and the canonical path never ran.
+    assert_eq!(snap.counter_total(Metric::SymmetryHits), 0);
+    assert_eq!(snap.counter_total(Metric::CanonTime), 0);
+    // The verdicts are the `off` verdicts by construction.
+    assert_eq!(
+        mutex_verdicts(&off, AnonMutex::section),
+        mutex_verdicts(&regs, AnonMutex::section)
+    );
+}

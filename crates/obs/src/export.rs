@@ -1,0 +1,1074 @@
+//! Live streaming export: schema-v2 delta records from a running
+//! [`MemProbe`].
+//!
+//! A [`StreamExporter`] owns a background thread that periodically
+//! snapshots a shared probe, diffs against the previous snapshot, and
+//! appends one `{"v":2,"t":"delta",...}` record per tick to a JSONL
+//! sink — counters as *deltas*, gauge/histogram stats as overwrites,
+//! new spans and events verbatim — followed by a `progress` record
+//! derived from the explorer's standard metrics. [`StreamExporter::finish`]
+//! writes the last delta, any [`Profiler`] frames as `profile` records,
+//! a `snapshot` end-marker, and then the complete plain **v1** snapshot,
+//! so a v1-only consumer that skips `v:2` lines still reads the final
+//! state (see [`crate::schema::validate_jsonl_v1`]).
+//!
+//! Replaying every delta in order reconstructs the final snapshot
+//! exactly: [`DeltaReplayer`] implements that, and [`replay_stream`]
+//! checks a whole stream file end to end. [`stream_status`] classifies
+//! a stream file as complete or detectably truncated (a killed run
+//! leaves either a partial last line or no end-marker — never a file
+//! that silently looks finished).
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::emit::snapshot_to_jsonl;
+use crate::json::Json;
+use crate::probe::{MemProbe, Metric, MetricsSnapshot};
+use crate::profile::Profiler;
+use crate::schema::{meta_line, SchemaError, SCHEMA_VERSION, STREAM_SCHEMA_VERSION};
+
+fn v2_envelope(t: &str, seq: u64, run: &str, elapsed_ms: u64) -> Vec<(&'static str, Json)> {
+    vec![
+        ("v", Json::U64(STREAM_SCHEMA_VERSION)),
+        ("t", Json::Str(t.to_string())),
+        ("seq", Json::U64(seq)),
+        ("run", Json::Str(run.to_string())),
+        ("elapsed_ms", Json::U64(elapsed_ms)),
+    ]
+}
+
+/// Trims trailing empty buckets, mirroring the v1 `hist` emitter so
+/// replayed and final representations agree byte for byte.
+fn trim_buckets(buckets: &[u64]) -> Vec<u64> {
+    let filled = buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+    buckets[..filled].to_vec()
+}
+
+/// Builds one schema-v2 `delta` record: everything that changed in
+/// `curr` relative to `prev`. Counters carry the increment; gauges and
+/// histograms carry their full new stat (overwrite semantics); spans
+/// and events carry only the records appended since `prev`.
+#[must_use]
+pub fn delta_record(
+    prev: &MetricsSnapshot,
+    curr: &MetricsSnapshot,
+    seq: u64,
+    run: &str,
+    elapsed_ms: u64,
+) -> Json {
+    let prev_counters: BTreeMap<(Metric, u64), u64> =
+        prev.counters.iter().map(|&(m, k, v)| ((m, k), v)).collect();
+    let counters = curr
+        .counters
+        .iter()
+        .filter_map(|&(m, k, v)| {
+            let before = prev_counters.get(&(m, k)).copied();
+            // New keys are reported even at zero so a replayer learns
+            // about them; known keys only when they moved.
+            let delta = v - before.unwrap_or(0);
+            (before.is_none() || delta > 0).then(|| {
+                Json::obj(vec![
+                    ("name", Json::Str(metric_wire_name(m))),
+                    ("key", Json::U64(k)),
+                    ("delta", Json::U64(delta)),
+                ])
+            })
+        })
+        .collect();
+    let prev_gauges: BTreeMap<(Metric, u64), _> =
+        prev.gauges.iter().map(|&(m, k, g)| ((m, k), g)).collect();
+    let gauges = curr
+        .gauges
+        .iter()
+        .filter(|&&(m, k, g)| prev_gauges.get(&(m, k)) != Some(&g))
+        .map(|&(m, k, g)| {
+            Json::obj(vec![
+                ("name", Json::Str(metric_wire_name(m))),
+                ("key", Json::U64(k)),
+                ("last", Json::U64(g.last)),
+                ("max", Json::U64(g.max)),
+                ("samples", Json::U64(g.samples)),
+            ])
+        })
+        .collect();
+    let prev_hists: BTreeMap<(Metric, u64), _> = prev
+        .histograms
+        .iter()
+        .map(|(m, k, h)| ((*m, *k), h))
+        .collect();
+    let hists = curr
+        .histograms
+        .iter()
+        .filter(|(m, k, h)| prev_hists.get(&(*m, *k)) != Some(&h))
+        .map(|(m, k, h)| {
+            Json::obj(vec![
+                ("name", Json::Str(metric_wire_name(*m))),
+                ("key", Json::U64(*k)),
+                ("count", Json::U64(h.count)),
+                ("sum", Json::U64(h.sum)),
+                ("min", Json::U64(h.min)),
+                ("max", Json::U64(h.max)),
+                (
+                    "buckets",
+                    Json::Arr(
+                        trim_buckets(&h.buckets)
+                            .into_iter()
+                            .map(Json::U64)
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let spans = curr.spans[prev.spans.len().min(curr.spans.len())..]
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("name", Json::Str(s.span.name().to_string())),
+                ("key", Json::U64(s.key)),
+                ("length", Json::U64(s.length)),
+            ])
+        })
+        .collect();
+    let events = curr.events[prev.events.len().min(curr.events.len())..]
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("name", Json::Str(e.name.to_string())),
+                (
+                    "fields",
+                    Json::Obj(
+                        e.fields
+                            .iter()
+                            .map(|&(k, v)| (k.to_string(), Json::U64(v)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let mut fields = v2_envelope("delta", seq, run, elapsed_ms);
+    fields.push(("counters", Json::Arr(counters)));
+    fields.push(("gauges", Json::Arr(gauges)));
+    fields.push(("hists", Json::Arr(hists)));
+    fields.push(("spans", Json::Arr(spans)));
+    fields.push(("events", Json::Arr(events)));
+    fields.push(("dropped_spans", Json::U64(curr.dropped_spans)));
+    fields.push(("dropped_events", Json::U64(curr.dropped_events)));
+    Json::obj(fields)
+}
+
+fn metric_wire_name(m: Metric) -> String {
+    m.name().to_string()
+}
+
+/// Live run statistics distilled from one snapshot, for `progress`
+/// records and human one-liners.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Progress {
+    /// Distinct states discovered so far.
+    pub states: u64,
+    /// Current frontier size (sum over workers' last-sampled gauges).
+    pub frontier: u64,
+    /// Deepest discovery depth sampled so far.
+    pub depth: u64,
+    /// Discovery rate since the previous observation.
+    pub states_per_sec: f64,
+    /// Fraction of transitions that landed on an already-known state.
+    pub dedup_rate: f64,
+    /// Completion estimate from the frontier drain trend, `0` when the
+    /// frontier is still growing (no estimate).
+    pub eta_ms: u64,
+}
+
+impl Progress {
+    /// Renders the schema-v2 `progress` record.
+    #[must_use]
+    pub fn record(&self, seq: u64, run: &str, elapsed_ms: u64) -> Json {
+        let mut fields = v2_envelope("progress", seq, run, elapsed_ms);
+        fields.push(("states", Json::U64(self.states)));
+        fields.push(("frontier", Json::U64(self.frontier)));
+        fields.push(("depth", Json::U64(self.depth)));
+        fields.push(("eta_ms", Json::U64(self.eta_ms)));
+        fields.push(("states_per_sec", Json::F64(self.states_per_sec)));
+        fields.push(("dedup_rate", Json::F64(self.dedup_rate)));
+        Json::obj(fields)
+    }
+
+    /// Renders the human live line the CLI echoes to stderr.
+    #[must_use]
+    pub fn human(&self, elapsed_ms: u64) -> String {
+        let eta = if self.eta_ms == 0 {
+            "eta ?".to_string()
+        } else {
+            format!("eta {:.1}s", self.eta_ms as f64 / 1000.0)
+        };
+        format!(
+            "[{:7.1}s] {} states ({:.0}/s) frontier {} depth {} dedup {:.0}% {eta}",
+            elapsed_ms as f64 / 1000.0,
+            self.states,
+            self.states_per_sec,
+            self.frontier,
+            self.depth,
+            self.dedup_rate * 100.0,
+        )
+    }
+}
+
+/// Derives [`Progress`] observations from successive snapshots,
+/// remembering just enough history for rates and the frontier trend.
+#[derive(Debug, Default)]
+pub struct ProgressTracker {
+    last_states: u64,
+    last_frontier: u64,
+    last_elapsed_ms: u64,
+    seeded: bool,
+}
+
+impl ProgressTracker {
+    /// Creates a fresh tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgressTracker::default()
+    }
+
+    /// Observes one snapshot taken `elapsed_ms` into the run.
+    pub fn observe(&mut self, snap: &MetricsSnapshot, elapsed_ms: u64) -> Progress {
+        let states = snap.counter_total(Metric::ExploreStates);
+        let frontier: u64 = snap
+            .gauges
+            .iter()
+            .filter(|(m, _, _)| *m == Metric::ExploreFrontier)
+            .map(|(_, _, g)| g.last)
+            .sum();
+        let depth = snap
+            .gauges
+            .iter()
+            .filter(|(m, _, _)| *m == Metric::ExploreDepth)
+            .map(|(_, _, g)| g.last)
+            .max()
+            .unwrap_or(0);
+        let edges = snap.counter_total(Metric::ExploreEdges);
+        let dedup = snap.counter_total(Metric::ExploreDedup);
+        let dt_ms = elapsed_ms.saturating_sub(self.last_elapsed_ms);
+        let states_per_sec = if self.seeded && dt_ms > 0 {
+            (states.saturating_sub(self.last_states)) as f64 * 1000.0 / dt_ms as f64
+        } else {
+            0.0
+        };
+        // ETA from the frontier trend: a draining frontier at the
+        // current drain rate empties in frontier / rate ticks.
+        let eta_ms = if self.seeded && frontier > 0 && frontier < self.last_frontier && dt_ms > 0 {
+            let drain_per_ms = (self.last_frontier - frontier) as f64 / dt_ms as f64;
+            (frontier as f64 / drain_per_ms) as u64
+        } else {
+            0
+        };
+        self.last_states = states;
+        self.last_frontier = frontier;
+        self.last_elapsed_ms = elapsed_ms;
+        self.seeded = true;
+        Progress {
+            states,
+            frontier,
+            depth,
+            states_per_sec,
+            dedup_rate: if edges > 0 {
+                dedup as f64 / edges as f64
+            } else {
+                0.0
+            },
+            eta_ms,
+        }
+    }
+}
+
+/// Options for [`StreamExporter::start`].
+#[derive(Clone, Debug)]
+pub struct StreamOptions {
+    /// Tool name stamped into the leading v1 `meta` line.
+    pub tool: String,
+    /// Run identifier carried by every v2 record.
+    pub run: String,
+    /// Snapshot/emit period.
+    pub interval: Duration,
+    /// Echo the human progress line to stderr on every tick.
+    pub echo: bool,
+}
+
+impl StreamOptions {
+    /// Sensible defaults: 50 ms ticks (so even sub-second runs emit
+    /// several deltas), no echo.
+    #[must_use]
+    pub fn new(tool: &str, run: &str) -> Self {
+        StreamOptions {
+            tool: tool.to_string(),
+            run: run.to_string(),
+            interval: Duration::from_millis(50),
+            echo: false,
+        }
+    }
+}
+
+/// What [`StreamExporter::finish`] reports back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// `delta` records written (including the final flush delta).
+    pub deltas: u64,
+    /// Total v2 records written (deltas + progress + profiles + marker).
+    pub records: u64,
+    /// Wall-clock covered by the stream.
+    pub elapsed_ms: u64,
+}
+
+/// The background streaming exporter. Construct with
+/// [`StreamExporter::start`] *before* the instrumented run begins and
+/// call [`StreamExporter::finish`] after it ends (and after any
+/// profiler timers have been flushed).
+#[derive(Debug)]
+pub struct StreamExporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<io::Result<StreamSummary>>>,
+}
+
+impl StreamExporter {
+    /// Opens `path`, writes the v1 `meta` header, and spawns the
+    /// exporter thread over `probe` (and optionally `profiler`, whose
+    /// flushed frames become `profile` records at finish time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation/write errors.
+    pub fn start(
+        path: impl AsRef<Path>,
+        opts: StreamOptions,
+        probe: Arc<MemProbe>,
+        profiler: Option<Arc<Profiler>>,
+    ) -> io::Result<StreamExporter> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        let header = meta_line(
+            &opts.tool,
+            &[
+                ("run", Json::Str(opts.run.clone())),
+                (
+                    "stream_interval_ms",
+                    Json::U64(opts.interval.as_millis() as u64),
+                ),
+            ],
+        );
+        writer.write_all(header.render().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-stream".to_string())
+            .spawn(move || {
+                stream_loop(
+                    &mut writer,
+                    &opts,
+                    &probe,
+                    profiler.as_deref(),
+                    &thread_stop,
+                )
+            })
+            .expect("spawn exporter thread");
+        Ok(StreamExporter {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops the exporter: writes the final delta, profile records, the
+    /// `snapshot` end-marker and the full v1 snapshot, then joins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any write error the exporter thread hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exporter thread itself panicked.
+    pub fn finish(mut self) -> io::Result<StreamSummary> {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("exporter thread panicked")
+    }
+}
+
+impl Drop for StreamExporter {
+    fn drop(&mut self) {
+        // A dropped (not finished) exporter still stops its thread; the
+        // stream is left without an end-marker, i.e. detectably
+        // truncated — see [`stream_status`].
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn stream_loop(
+    writer: &mut BufWriter<File>,
+    opts: &StreamOptions,
+    probe: &MemProbe,
+    profiler: Option<&Profiler>,
+    stop: &AtomicBool,
+) -> io::Result<StreamSummary> {
+    let start = Instant::now();
+    let mut prev = MetricsSnapshot::default();
+    let mut tracker = ProgressTracker::new();
+    let mut seq = 0u64;
+    let mut deltas = 0u64;
+    let mut tick = |writer: &mut BufWriter<File>,
+                    prev: &mut MetricsSnapshot,
+                    seq: &mut u64,
+                    deltas: &mut u64|
+     -> io::Result<()> {
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        let curr = probe.snapshot();
+        let delta = delta_record(prev, &curr, *seq, &opts.run, elapsed_ms);
+        *seq += 1;
+        *deltas += 1;
+        writer.write_all(delta.render().as_bytes())?;
+        writer.write_all(b"\n")?;
+        let progress = tracker.observe(&curr, elapsed_ms);
+        let record = progress.record(*seq, &opts.run, elapsed_ms);
+        *seq += 1;
+        writer.write_all(record.render().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if opts.echo {
+            eprintln!("{}", progress.human(elapsed_ms));
+        }
+        *prev = curr;
+        Ok(())
+    };
+    while !stop.load(Ordering::Acquire) {
+        // Sleep in short slices so finish() is prompt even with long
+        // intervals.
+        let deadline = Instant::now() + opts.interval;
+        while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(2).min(opts.interval));
+        }
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        tick(writer, &mut prev, &mut seq, &mut deltas)?;
+    }
+    // Final flush: one last delta so nothing recorded after the last
+    // tick is lost, then profiles, marker, and the v1 snapshot.
+    tick(writer, &mut prev, &mut seq, &mut deltas)?;
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    if let Some(profiler) = profiler {
+        for line in profiler.profile_lines(seq, &opts.run, elapsed_ms) {
+            seq += 1;
+            writer.write_all(line.render().as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    let marker = Json::obj(v2_envelope("snapshot", seq, &opts.run, elapsed_ms));
+    seq += 1;
+    writer.write_all(marker.render().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.write_all(snapshot_to_jsonl(&prev).as_bytes())?;
+    writer.flush()?;
+    Ok(StreamSummary {
+        deltas,
+        records: seq,
+        elapsed_ms,
+    })
+}
+
+/// Histogram stats as reconstructed by replay: `(count, sum, min, max,
+/// trimmed buckets)`.
+pub type ReplayHist = (u64, u64, u64, u64, Vec<u64>);
+
+/// A fully string-keyed snapshot reconstruction — the common ground on
+/// which a delta replay and the stream's trailing v1 snapshot can be
+/// compared exactly (v1 lines carry wire names, not [`Metric`] values).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplaySnapshot {
+    /// Counter totals by `(wire name, key)`.
+    pub counters: BTreeMap<(String, u64), u64>,
+    /// Gauge stats `(last, max, samples)` by `(wire name, key)`.
+    pub gauges: BTreeMap<(String, u64), (u64, u64, u64)>,
+    /// Histogram stats `(count, sum, min, max, trimmed buckets)` by
+    /// `(wire name, key)`.
+    pub hists: BTreeMap<(String, u64), ReplayHist>,
+    /// Spans `(wire name, key, length)` in close order.
+    pub spans: Vec<(String, u64, u64)>,
+    /// Events `(name, fields)` in announce order.
+    pub events: Vec<(String, Vec<(String, u64)>)>,
+    /// Spans dropped beyond the probe cap.
+    pub dropped_spans: u64,
+    /// Events dropped beyond the probe cap.
+    pub dropped_events: u64,
+}
+
+fn bad(line: usize, reason: impl Into<String>) -> SchemaError {
+    SchemaError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn field_u64(obj: &Json, field: &str, line: usize) -> Result<u64, SchemaError> {
+    obj.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(line, format!("missing or non-u64 field `{field}`")))
+}
+
+fn field_str(obj: &Json, field: &str, line: usize) -> Result<String, SchemaError> {
+    obj.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(line, format!("missing or non-string field `{field}`")))
+}
+
+fn event_fields(obj: &Json, line: usize) -> Result<Vec<(String, u64)>, SchemaError> {
+    match obj.get("fields") {
+        Some(Json::Obj(entries)) => entries
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|v| (k.clone(), v))
+                    .ok_or_else(|| bad(line, "non-u64 value in `fields`"))
+            })
+            .collect(),
+        _ => Err(bad(line, "missing or non-object field `fields`")),
+    }
+}
+
+impl ReplaySnapshot {
+    /// Parses the v1 snapshot section of a stream (or any v1 JSONL
+    /// document): `counter`/`gauge`/`hist`/`span`/`event` lines are
+    /// loaded, the synthetic `records_dropped` event becomes the drop
+    /// counters, and every other v1 line type is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] for malformed JSON or field shapes.
+    pub fn from_v1_jsonl(text: &str) -> Result<ReplaySnapshot, SchemaError> {
+        let mut snap = ReplaySnapshot::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let value = Json::parse(raw).map_err(|e| {
+                bad(
+                    line,
+                    format!("invalid JSON at byte {}: {}", e.pos, e.reason),
+                )
+            })?;
+            if field_u64(&value, "v", line)? != SCHEMA_VERSION {
+                continue;
+            }
+            snap.load_v1_value(&value, line)?;
+        }
+        Ok(snap)
+    }
+
+    fn load_v1_value(&mut self, value: &Json, line: usize) -> Result<(), SchemaError> {
+        match field_str(value, "t", line)?.as_str() {
+            "counter" => {
+                let key = (
+                    field_str(value, "name", line)?,
+                    field_u64(value, "key", line)?,
+                );
+                *self.counters.entry(key).or_insert(0) += field_u64(value, "value", line)?;
+            }
+            "gauge" => {
+                let key = (
+                    field_str(value, "name", line)?,
+                    field_u64(value, "key", line)?,
+                );
+                self.gauges.insert(
+                    key,
+                    (
+                        field_u64(value, "last", line)?,
+                        field_u64(value, "max", line)?,
+                        field_u64(value, "samples", line)?,
+                    ),
+                );
+            }
+            "hist" => {
+                let key = (
+                    field_str(value, "name", line)?,
+                    field_u64(value, "key", line)?,
+                );
+                let buckets = value
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad(line, "missing or non-array field `buckets`"))?
+                    .iter()
+                    .map(|b| {
+                        b.as_u64()
+                            .ok_or_else(|| bad(line, "non-u64 entry in `buckets`"))
+                    })
+                    .collect::<Result<Vec<u64>, _>>()?;
+                self.hists.insert(
+                    key,
+                    (
+                        field_u64(value, "count", line)?,
+                        field_u64(value, "sum", line)?,
+                        field_u64(value, "min", line)?,
+                        field_u64(value, "max", line)?,
+                        trim_buckets(&buckets),
+                    ),
+                );
+            }
+            "span" => {
+                self.spans.push((
+                    field_str(value, "name", line)?,
+                    field_u64(value, "key", line)?,
+                    field_u64(value, "length", line)?,
+                ));
+            }
+            "event" => {
+                let name = field_str(value, "name", line)?;
+                let fields = event_fields(value, line)?;
+                if name == "records_dropped" {
+                    // The v1 emitter folds the drop counters into a
+                    // synthetic event; unfold it here.
+                    for (k, v) in fields {
+                        match k.as_str() {
+                            "spans" => self.dropped_spans = v,
+                            "events" => self.dropped_events = v,
+                            _ => {}
+                        }
+                    }
+                } else {
+                    self.events.push((name, fields));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Reconstructs a [`ReplaySnapshot`] by applying `delta` records in
+/// sequence order. Counters accumulate, gauge/hist stats overwrite,
+/// spans/events append — the exact inverse of [`delta_record`].
+#[derive(Debug, Default)]
+pub struct DeltaReplayer {
+    snap: ReplaySnapshot,
+    next_seq: Option<u64>,
+    applied: u64,
+}
+
+impl DeltaReplayer {
+    /// Creates an empty replayer.
+    #[must_use]
+    pub fn new() -> Self {
+        DeltaReplayer::default()
+    }
+
+    /// Number of delta records applied so far.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies one parsed v2 `delta` record.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed records and sequence-number regressions (a
+    /// `seq` at or below the previous delta's means a corrupt or
+    /// re-ordered stream).
+    pub fn apply(&mut self, delta: &Json, line: usize) -> Result<(), SchemaError> {
+        let seq = field_u64(delta, "seq", line)?;
+        if let Some(prev) = self.next_seq {
+            if seq < prev {
+                return Err(bad(
+                    line,
+                    format!("sequence regression: {seq} after {prev}"),
+                ));
+            }
+        }
+        self.next_seq = Some(seq + 1);
+        for entry in delta.get("counters").and_then(Json::as_arr).unwrap_or(&[]) {
+            let key = (
+                field_str(entry, "name", line)?,
+                field_u64(entry, "key", line)?,
+            );
+            *self.snap.counters.entry(key).or_insert(0) += field_u64(entry, "delta", line)?;
+        }
+        for entry in delta.get("gauges").and_then(Json::as_arr).unwrap_or(&[]) {
+            let key = (
+                field_str(entry, "name", line)?,
+                field_u64(entry, "key", line)?,
+            );
+            self.snap.gauges.insert(
+                key,
+                (
+                    field_u64(entry, "last", line)?,
+                    field_u64(entry, "max", line)?,
+                    field_u64(entry, "samples", line)?,
+                ),
+            );
+        }
+        for entry in delta.get("hists").and_then(Json::as_arr).unwrap_or(&[]) {
+            let key = (
+                field_str(entry, "name", line)?,
+                field_u64(entry, "key", line)?,
+            );
+            let buckets = entry
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad(line, "missing or non-array field `buckets`"))?
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .ok_or_else(|| bad(line, "non-u64 entry in `buckets`"))
+                })
+                .collect::<Result<Vec<u64>, _>>()?;
+            self.snap.hists.insert(
+                key,
+                (
+                    field_u64(entry, "count", line)?,
+                    field_u64(entry, "sum", line)?,
+                    field_u64(entry, "min", line)?,
+                    field_u64(entry, "max", line)?,
+                    trim_buckets(&buckets),
+                ),
+            );
+        }
+        for entry in delta.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
+            self.snap.spans.push((
+                field_str(entry, "name", line)?,
+                field_u64(entry, "key", line)?,
+                field_u64(entry, "length", line)?,
+            ));
+        }
+        for entry in delta.get("events").and_then(Json::as_arr).unwrap_or(&[]) {
+            self.snap
+                .events
+                .push((field_str(entry, "name", line)?, event_fields(entry, line)?));
+        }
+        if let Some(v) = delta.get("dropped_spans").and_then(Json::as_u64) {
+            self.snap.dropped_spans = v;
+        }
+        if let Some(v) = delta.get("dropped_events").and_then(Json::as_u64) {
+            self.snap.dropped_events = v;
+        }
+        self.applied += 1;
+        Ok(())
+    }
+
+    /// The reconstructed snapshot.
+    #[must_use]
+    pub fn finish(self) -> ReplaySnapshot {
+        self.snap
+    }
+}
+
+/// The outcome of replaying a whole stream file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamReplay {
+    /// The snapshot reconstructed from the delta records alone.
+    pub replayed: ReplaySnapshot,
+    /// The final v1 snapshot section after the `snapshot` marker.
+    pub final_snapshot: ReplaySnapshot,
+    /// Number of delta records applied.
+    pub deltas: u64,
+}
+
+impl StreamReplay {
+    /// Whether the delta replay reconstructs the final snapshot exactly
+    /// — the stream's core integrity invariant.
+    #[must_use]
+    pub fn reconstructs_exactly(&self) -> bool {
+        self.replayed == self.final_snapshot
+    }
+}
+
+/// Replays a complete stream file: applies every `delta`, locates the
+/// `snapshot` end-marker, parses the trailing v1 snapshot, and returns
+/// both sides for comparison.
+///
+/// # Errors
+///
+/// Rejects malformed lines, sequence regressions, and streams without
+/// an end-marker (i.e. truncated streams).
+pub fn replay_stream(text: &str) -> Result<StreamReplay, SchemaError> {
+    let mut replayer = DeltaReplayer::new();
+    let mut v1_tail = String::new();
+    let mut after_marker = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        if after_marker {
+            v1_tail.push_str(raw);
+            v1_tail.push('\n');
+            continue;
+        }
+        let value = Json::parse(raw).map_err(|e| {
+            bad(
+                line,
+                format!("invalid JSON at byte {}: {}", e.pos, e.reason),
+            )
+        })?;
+        if field_u64(&value, "v", line)? != STREAM_SCHEMA_VERSION {
+            continue;
+        }
+        match field_str(&value, "t", line)?.as_str() {
+            "delta" => replayer.apply(&value, line)?,
+            "snapshot" => after_marker = true,
+            _ => {}
+        }
+    }
+    if !after_marker {
+        return Err(bad(0, "stream has no `snapshot` end-marker (truncated?)"));
+    }
+    let deltas = replayer.applied();
+    Ok(StreamReplay {
+        replayed: replayer.finish(),
+        final_snapshot: ReplaySnapshot::from_v1_jsonl(&v1_tail)?,
+        deltas,
+    })
+}
+
+/// Integrity classification of a stream file — what a reader can tell
+/// about a run that may have been killed mid-stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// The stream carries its `snapshot` end-marker and every line is
+    /// complete: the run finished and the v1 tail is authoritative.
+    Complete {
+        /// `delta` records seen.
+        deltas: u64,
+    },
+    /// No end-marker (and possibly a torn final line): the run died
+    /// mid-stream. Every complete `delta` up to the tear is still
+    /// usable.
+    Truncated {
+        /// Complete, parseable lines before the tear.
+        complete_lines: u64,
+        /// Whether the final line itself is torn (no trailing newline
+        /// or unparseable JSON).
+        torn_tail: bool,
+    },
+}
+
+/// Classifies a stream file's integrity. A file ending without the v2
+/// `snapshot` marker — or with a torn last line — is reported as
+/// [`StreamStatus::Truncated`], never silently treated as finished;
+/// this is the streaming analogue of the trace reader's declared-count
+/// truncation check.
+#[must_use]
+pub fn stream_status(text: &str) -> StreamStatus {
+    let torn_tail = !text.is_empty() && !text.ends_with('\n') || {
+        text.lines()
+            .rfind(|l| !l.trim().is_empty())
+            .is_some_and(|l| Json::parse(l).is_err())
+    };
+    let mut complete_lines = 0u64;
+    let mut deltas = 0u64;
+    let mut saw_marker = false;
+    for raw in text.lines() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let Ok(value) = Json::parse(raw) else { break };
+        complete_lines += 1;
+        if value.get("v").and_then(Json::as_u64) == Some(STREAM_SCHEMA_VERSION) {
+            match value.get("t").and_then(Json::as_str) {
+                Some("delta") => deltas += 1,
+                Some("snapshot") => saw_marker = true,
+                _ => {}
+            }
+        }
+    }
+    if saw_marker && !torn_tail {
+        StreamStatus::Complete { deltas }
+    } else {
+        StreamStatus::Truncated {
+            complete_lines,
+            torn_tail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{Probe, Span};
+    use crate::schema::validate_jsonl;
+
+    fn snap(probe: &MemProbe) -> MetricsSnapshot {
+        probe.snapshot()
+    }
+
+    #[test]
+    fn delta_record_reports_only_changes() {
+        let probe = MemProbe::new();
+        probe.counter(Metric::ExploreStates, 0, 10);
+        probe.gauge(Metric::ExploreFrontier, 0, 4);
+        let first = snap(&probe);
+        probe.counter(Metric::ExploreStates, 0, 5);
+        probe.span_close(Span::Explore, 0, 15);
+        let second = snap(&probe);
+        let d = delta_record(&first, &second, 3, "r", 100);
+        crate::schema::validate_value(&d, 1).unwrap();
+        let counters = d.get("counters").and_then(Json::as_arr).unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].get("delta").and_then(Json::as_u64), Some(5));
+        // The gauge did not change between snapshots: not re-sent.
+        assert!(d.get("gauges").and_then(Json::as_arr).unwrap().is_empty());
+        assert_eq!(d.get("spans").and_then(Json::as_arr).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn replaying_deltas_reconstructs_final_snapshot() {
+        let probe = MemProbe::new();
+        let mut prev = MetricsSnapshot::default();
+        let mut replayer = DeltaReplayer::new();
+        // Three "ticks" of recording, diffing, and replaying.
+        for tick in 0..3u64 {
+            probe.counter(Metric::ExploreStates, 0, 7 + tick);
+            probe.counter(Metric::ExploreEdges, tick, 2);
+            probe.gauge(Metric::ExploreFrontier, 0, 10 - tick);
+            probe.histogram(Metric::BackoffSpins, 0, 1 << tick);
+            probe.span_close(Span::Explore, tick, tick + 1);
+            probe.event("explore_done", &[("states", tick)]);
+            let curr = snap(&probe);
+            let d = delta_record(&prev, &curr, tick, "r", tick * 50);
+            replayer.apply(&d, 1).unwrap();
+            prev = curr;
+        }
+        let replayed = replayer.finish();
+        let from_v1 = ReplaySnapshot::from_v1_jsonl(&snapshot_to_jsonl(&prev)).unwrap();
+        assert_eq!(replayed, from_v1);
+    }
+
+    #[test]
+    fn replayer_rejects_sequence_regression() {
+        let probe = MemProbe::new();
+        probe.counter(Metric::RegRead, 0, 1);
+        let curr = snap(&probe);
+        let base = MetricsSnapshot::default();
+        let d5 = delta_record(&base, &curr, 5, "r", 0);
+        let d4 = delta_record(&base, &curr, 4, "r", 0);
+        let mut replayer = DeltaReplayer::new();
+        replayer.apply(&d5, 1).unwrap();
+        assert!(replayer.apply(&d4, 2).is_err());
+    }
+
+    #[test]
+    fn exporter_end_to_end_stream_is_valid_and_replayable() {
+        let dir = std::env::temp_dir().join(format!("obs_export_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let probe = Arc::new(MemProbe::new());
+        let opts = StreamOptions {
+            interval: Duration::from_millis(10),
+            ..StreamOptions::new("test", "run-exporter")
+        };
+        let exporter = StreamExporter::start(&path, opts, Arc::clone(&probe), None).unwrap();
+        for i in 0..20 {
+            probe.counter(Metric::ExploreStates, 0, 3);
+            probe.gauge(Metric::ExploreFrontier, 0, 20 - i);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let summary = exporter.finish().unwrap();
+        assert!(summary.deltas >= 3, "expected >= 3 deltas: {summary:?}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Every line (v1 and v2) validates.
+        validate_jsonl(&text).unwrap();
+        // A v1-only consumer skips the stream records without error.
+        let (v1, skipped) = crate::schema::validate_jsonl_v1(&text).unwrap();
+        assert!(v1 >= 2 && skipped as u64 >= summary.deltas);
+        // And the delta replay reconstructs the final snapshot exactly.
+        let replay = replay_stream(&text).unwrap();
+        assert!(replay.reconstructs_exactly());
+        assert_eq!(replay.deltas, summary.deltas);
+        assert_eq!(
+            stream_status(&text),
+            StreamStatus::Complete {
+                deltas: summary.deltas
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_stream_is_detectably_truncated() {
+        let probe = MemProbe::new();
+        probe.counter(Metric::ExploreStates, 0, 4);
+        let curr = snap(&probe);
+        let base = MetricsSnapshot::default();
+        let mut text = String::from("{\"v\":1,\"t\":\"meta\",\"tool\":\"test\"}\n");
+        text.push_str(&delta_record(&base, &curr, 0, "r", 10).render());
+        text.push('\n');
+        // Killed mid-write: the second delta is torn.
+        let torn = delta_record(&curr, &curr, 1, "r", 20).render();
+        text.push_str(&torn[..torn.len() / 2]);
+        match stream_status(&text) {
+            StreamStatus::Truncated {
+                complete_lines,
+                torn_tail,
+            } => {
+                assert_eq!(complete_lines, 2);
+                assert!(torn_tail);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // Killed between lines: whole lines, but no end-marker.
+        let mut clean_cut = String::from("{\"v\":1,\"t\":\"meta\",\"tool\":\"test\"}\n");
+        clean_cut.push_str(&delta_record(&base, &curr, 0, "r", 10).render());
+        clean_cut.push('\n');
+        match stream_status(&clean_cut) {
+            StreamStatus::Truncated {
+                complete_lines,
+                torn_tail,
+            } => {
+                assert_eq!(complete_lines, 2);
+                assert!(!torn_tail);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert!(replay_stream(&clean_cut).is_err());
+    }
+
+    #[test]
+    fn progress_tracker_rates_and_eta() {
+        let probe = MemProbe::new();
+        probe.counter(Metric::ExploreStates, 0, 100);
+        probe.counter(Metric::ExploreEdges, 0, 200);
+        probe.counter(Metric::ExploreDedup, 0, 50);
+        probe.gauge(Metric::ExploreFrontier, 0, 40);
+        probe.gauge(Metric::ExploreDepth, 0, 7);
+        let mut tracker = ProgressTracker::new();
+        let first = tracker.observe(&snap(&probe), 100);
+        assert_eq!(first.states, 100);
+        assert_eq!(first.frontier, 40);
+        assert_eq!(first.depth, 7);
+        assert!((first.dedup_rate - 0.25).abs() < 1e-9);
+        assert_eq!(first.eta_ms, 0); // no history yet
+        probe.counter(Metric::ExploreStates, 0, 100);
+        probe.gauge(Metric::ExploreFrontier, 0, 20);
+        let second = tracker.observe(&snap(&probe), 200);
+        assert!((second.states_per_sec - 1000.0).abs() < 1e-6);
+        // Frontier drained 40 -> 20 in 100 ms: ~100 ms to empty.
+        assert_eq!(second.eta_ms, 100);
+        let rec = second.record(9, "r", 200);
+        crate::schema::validate_value(&rec, 1).unwrap();
+        assert!(second.human(200).contains("states"));
+    }
+}

@@ -21,7 +21,17 @@
 //!   [`JsonEncode`]/[`JsonDecode`] codec traits register values and
 //!   events implement for lossless trace round-trips.
 //! * [`schema`] — the versioned JSONL wire format every tool emits, with
-//!   a validator CI runs against real output.
+//!   a validator CI runs against real output. Schema v1 is the snapshot
+//!   format; schema v2 adds the live-stream record types
+//!   (`delta`/`progress`/`profile`/`snapshot`).
+//! * [`export`] — the live streaming exporter: a background thread
+//!   diffs successive [`MemProbe`] snapshots into schema-v2 delta
+//!   records while a run is in flight, plus the [`export::DeltaReplayer`]
+//!   that reconstructs the final snapshot from the deltas.
+//! * [`profile`] — the wall-clock profiler: per-worker
+//!   [`profile::PhaseTimer`] phase stacks collected by a
+//!   [`profile::Profiler`], exported as schema-v2 `profile` records and
+//!   collapsed-stack flamegraph text.
 //! * [`trace_io`] — `Trace` ⇄ JSONL with a replay schedule, so any
 //!   recorded run is a shareable, re-checkable artifact.
 //! * [`heatmap`] — an ASCII per-register contention heatmap for quick
@@ -44,17 +54,24 @@
 #![warn(missing_docs)]
 
 pub mod emit;
+pub mod export;
 pub mod heatmap;
 pub mod json;
 pub mod probe;
+pub mod profile;
 pub mod schema;
 pub mod trace_io;
 
+pub use export::{
+    delta_record, replay_stream, stream_status, DeltaReplayer, Progress, ProgressTracker,
+    ReplaySnapshot, StreamExporter, StreamOptions, StreamStatus, StreamSummary,
+};
 pub use heatmap::Heatmap;
 pub use json::{Json, JsonDecode, JsonEncode, JsonError};
 pub use probe::{
     EventRecord, GaugeStat, HistogramStat, MemProbe, Metric, MetricsSnapshot, NoopProbe, Probe,
     Span, SpanRecord,
 };
-pub use schema::{SchemaError, SCHEMA_VERSION};
+pub use profile::{Phase, PhaseTimer, Profiler, WorkerProfile};
+pub use schema::{SchemaError, SCHEMA_VERSION, STREAM_SCHEMA_VERSION};
 pub use trace_io::{register_stats, schedule_of, trace_from_jsonl, trace_to_jsonl, TraceMeta};

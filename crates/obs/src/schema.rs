@@ -15,15 +15,39 @@
 //! | `trace_meta` | `procs` (u64), `registers` (u64), `ops` (u64)            |
 //! | `op`         | `proc` (u64), `pid` (u64), `kind` (str: `read`/`write`/`event`/`halt`) |
 //!
-//! [`validate_line`] and [`validate_jsonl`] enforce exactly this table;
-//! the golden-file test in `crates/obs/tests` pins concrete encodings so
-//! the format cannot drift without a deliberate version bump.
+//! Schema v2 adds the *live stream* record types. Every v2 line carries
+//! a monotonic sequence number `seq` (u64), the run id `run` (str), and
+//! `elapsed_ms` (u64) since the stream opened:
+//!
+//! | `t`        | additional required fields                                 |
+//! |------------|------------------------------------------------------------|
+//! | `delta`    | `counters` (arr of `{name,key,delta}`), `gauges`/`hists` (arr of full v1-shaped stats, overwrite semantics), `spans`/`events` (arr, new records only) |
+//! | `progress` | `states`, `frontier`, `depth`, `eta_ms` (u64), `states_per_sec`, `dedup_rate` (num) |
+//! | `profile`  | `worker` (u64), `frames` (arr of `{stack` (str)`, self_ns` (u64)`}`) |
+//! | `snapshot` | none — end-of-stream marker; plain v1 snapshot lines follow |
+//!
+//! Counters stream as *deltas* (replaying every `delta` record in order
+//! reconstructs the final totals exactly); gauge and histogram stats
+//! are full overwrites; spans and events appear once, in the delta that
+//! first observed them. A v1 consumer must skip any line whose `v` is
+//! `2` without error and read the trailing v1 snapshot —
+//! [`validate_jsonl_v1`] models exactly that behavior.
+//!
+//! [`validate_line`] and [`validate_jsonl`] enforce exactly these
+//! tables (both versions); the golden-file tests in `crates/obs/tests`
+//! pin concrete encodings so the format cannot drift without a
+//! deliberate version bump.
 
 use crate::json::{Json, JsonError};
 
 /// The current wire schema version. Bump when any line shape changes
 /// incompatibly.
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// The live-stream schema version: `delta`, `progress`, `profile` and
+/// `snapshot` records emitted while a run is in flight. Streams end
+/// with a plain v1 snapshot so v1 consumers stay compatible.
+pub const STREAM_SCHEMA_VERSION: u64 = 2;
 
 /// A schema violation found by [`validate_line`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,7 +99,8 @@ fn require_num(obj: &Json, field: &str, line: usize) -> Result<f64, SchemaError>
         .ok_or_else(|| err(line, format!("missing or non-numeric field `{field}`")))
 }
 
-/// Validates one already-parsed JSONL object against schema v1.
+/// Validates one already-parsed JSONL object against the schema (v1 or
+/// v2 — the version is read from the line's own `v` field).
 ///
 /// # Errors
 ///
@@ -85,12 +110,19 @@ pub fn validate_value(value: &Json, line: usize) -> Result<(), SchemaError> {
         return Err(err(line, "line is not a JSON object"));
     }
     let v = require_u64(value, "v", line)?;
-    if v != SCHEMA_VERSION {
-        return Err(err(
+    match v {
+        SCHEMA_VERSION => validate_v1(value, line),
+        STREAM_SCHEMA_VERSION => validate_v2(value, line),
+        other => Err(err(
             line,
-            format!("unsupported schema version {v} (expected {SCHEMA_VERSION})"),
-        ));
+            format!(
+                "unsupported schema version {other} (expected {SCHEMA_VERSION} or {STREAM_SCHEMA_VERSION})"
+            ),
+        )),
     }
+}
+
+fn validate_v1(value: &Json, line: usize) -> Result<(), SchemaError> {
     let t = require_str(value, "t", line)?;
     match t {
         "meta" => {
@@ -177,6 +209,80 @@ pub fn validate_value(value: &Json, line: usize) -> Result<(), SchemaError> {
     Ok(())
 }
 
+/// A required array field whose entries are validated one by one.
+fn require_arr<'a>(obj: &'a Json, field: &str, line: usize) -> Result<&'a [Json], SchemaError> {
+    obj.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(line, format!("missing or non-array field `{field}`")))
+}
+
+fn validate_v2(value: &Json, line: usize) -> Result<(), SchemaError> {
+    // Every stream record carries the envelope: a monotonic sequence
+    // number, the run id, and elapsed wall-clock.
+    require_u64(value, "seq", line)?;
+    require_str(value, "run", line)?;
+    require_u64(value, "elapsed_ms", line)?;
+    let t = require_str(value, "t", line)?;
+    match t {
+        "delta" => {
+            for entry in require_arr(value, "counters", line)? {
+                require_str(entry, "name", line)?;
+                require_u64(entry, "key", line)?;
+                require_u64(entry, "delta", line)?;
+            }
+            for entry in require_arr(value, "gauges", line)? {
+                require_str(entry, "name", line)?;
+                for field in ["key", "last", "max", "samples"] {
+                    require_u64(entry, field, line)?;
+                }
+            }
+            for entry in require_arr(value, "hists", line)? {
+                require_str(entry, "name", line)?;
+                for field in ["key", "count", "sum", "min", "max"] {
+                    require_u64(entry, field, line)?;
+                }
+                let buckets = require_arr(entry, "buckets", line)?;
+                if buckets.iter().any(|b| b.as_u64().is_none()) {
+                    return Err(err(line, "non-u64 entry in `buckets`"));
+                }
+            }
+            for entry in require_arr(value, "spans", line)? {
+                require_str(entry, "name", line)?;
+                require_u64(entry, "key", line)?;
+                require_u64(entry, "length", line)?;
+            }
+            for entry in require_arr(value, "events", line)? {
+                require_str(entry, "name", line)?;
+                match entry.get("fields") {
+                    Some(Json::Obj(fields)) => {
+                        if fields.iter().any(|(_, v)| v.as_u64().is_none()) {
+                            return Err(err(line, "non-u64 value in `fields`"));
+                        }
+                    }
+                    _ => return Err(err(line, "missing or non-object field `fields`")),
+                }
+            }
+        }
+        "progress" => {
+            for field in ["states", "frontier", "depth", "eta_ms"] {
+                require_u64(value, field, line)?;
+            }
+            require_num(value, "states_per_sec", line)?;
+            require_num(value, "dedup_rate", line)?;
+        }
+        "profile" => {
+            require_u64(value, "worker", line)?;
+            for entry in require_arr(value, "frames", line)? {
+                require_str(entry, "stack", line)?;
+                require_u64(entry, "self_ns", line)?;
+            }
+        }
+        "snapshot" => {}
+        other => return Err(err(line, format!("unknown v2 line type `{other}`"))),
+    }
+    Ok(())
+}
+
 /// Parses and validates one JSONL line against schema v1.
 ///
 /// # Errors
@@ -207,6 +313,41 @@ pub fn validate_jsonl(text: &str) -> Result<usize, SchemaError> {
         validated += 1;
     }
     Ok(validated)
+}
+
+/// Validates a JSONL document the way a *v1-only consumer* reads it:
+/// lines whose `v` field is anything other than [`SCHEMA_VERSION`] are
+/// skipped without error (they must still be well-formed JSON objects
+/// carrying a u64 `v`), and every v1 line must satisfy the v1 table.
+///
+/// Returns `(validated_v1_lines, skipped_other_version_lines)`. This is
+/// the compatibility contract for stream files: old tooling reads the
+/// trailing v1 snapshot and ignores the live-stream records.
+///
+/// # Errors
+///
+/// Returns the first violation among v1 lines (or any malformed line),
+/// tagged with its 1-based line number.
+pub fn validate_jsonl_v1(text: &str) -> Result<(usize, usize), SchemaError> {
+    let mut validated = 0;
+    let mut skipped = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(raw).map_err(|e| parse_err(line, &e))?;
+        if !matches!(value, Json::Obj(_)) {
+            return Err(err(line, "line is not a JSON object"));
+        }
+        if require_u64(&value, "v", line)? != SCHEMA_VERSION {
+            skipped += 1;
+            continue;
+        }
+        validate_v1(&value, line)?;
+        validated += 1;
+    }
+    Ok((validated, skipped))
 }
 
 /// Builds the `meta` header line every emitted document should start
@@ -258,8 +399,28 @@ mod tests {
             (r#"[1,2,3]"#, "not a JSON object"),
             (r#"{"t":"counter","name":"x","key":0,"value":1}"#, "`v`"),
             (
-                r#"{"v":2,"t":"meta","tool":"x"}"#,
+                r#"{"v":3,"t":"meta","tool":"x"}"#,
                 "unsupported schema version",
+            ),
+            (
+                r#"{"v":2,"t":"meta","seq":0,"run":"r","elapsed_ms":0,"tool":"x"}"#,
+                "unknown v2 line type",
+            ),
+            (
+                r#"{"v":2,"t":"delta","run":"r","elapsed_ms":0,"counters":[],"gauges":[],"hists":[],"spans":[],"events":[]}"#,
+                "`seq`",
+            ),
+            (
+                r#"{"v":2,"t":"delta","seq":1,"run":"r","elapsed_ms":5,"counters":[{"name":"x","key":0}],"gauges":[],"hists":[],"spans":[],"events":[]}"#,
+                "`delta`",
+            ),
+            (
+                r#"{"v":2,"t":"progress","seq":1,"run":"r","elapsed_ms":5,"states":10,"frontier":2,"depth":3,"eta_ms":0,"states_per_sec":5.0}"#,
+                "`dedup_rate`",
+            ),
+            (
+                r#"{"v":2,"t":"profile","seq":1,"run":"r","elapsed_ms":5,"worker":0,"frames":[{"stack":"w0;step"}]}"#,
+                "`self_ns`",
             ),
             (r#"{"v":1,"t":"mystery"}"#, "unknown line type"),
             (r#"{"v":1,"t":"counter","name":"x","key":0}"#, "`value`"),
@@ -284,6 +445,40 @@ mod tests {
                 e.reason
             );
         }
+    }
+
+    #[test]
+    fn accepts_every_v2_line_type() {
+        let lines = [
+            r#"{"v":2,"t":"delta","seq":0,"run":"r1","elapsed_ms":50,"counters":[{"name":"explore_states","key":0,"delta":120}],"gauges":[{"name":"explore_frontier","key":0,"last":3,"max":17,"samples":9}],"hists":[{"name":"backoff_spins","key":0,"count":2,"sum":10,"min":3,"max":7,"buckets":[0,1,1]}],"spans":[{"name":"explore","key":0,"length":5}],"events":[{"name":"explore_done","fields":{"states":5}}]}"#,
+            r#"{"v":2,"t":"delta","seq":1,"run":"r1","elapsed_ms":100,"counters":[],"gauges":[],"hists":[],"spans":[],"events":[]}"#,
+            r#"{"v":2,"t":"progress","seq":2,"run":"r1","elapsed_ms":100,"states":500,"frontier":40,"depth":9,"eta_ms":1200,"states_per_sec":5000.0,"dedup_rate":0.35}"#,
+            r#"{"v":2,"t":"profile","seq":3,"run":"r1","elapsed_ms":150,"worker":1,"frames":[{"stack":"worker1;step","self_ns":12345}]}"#,
+            r#"{"v":2,"t":"snapshot","seq":4,"run":"r1","elapsed_ms":150}"#,
+        ];
+        for line in lines {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert_eq!(validate_jsonl(&lines.join("\n")).unwrap(), lines.len());
+    }
+
+    #[test]
+    fn v1_consumers_skip_v2_lines() {
+        let doc = concat!(
+            "{\"v\":1,\"t\":\"meta\",\"tool\":\"check\"}\n",
+            "{\"v\":2,\"t\":\"delta\",\"seq\":0,\"run\":\"r\",\"elapsed_ms\":1,",
+            "\"counters\":[],\"gauges\":[],\"hists\":[],\"spans\":[],\"events\":[]}\n",
+            "{\"v\":2,\"t\":\"snapshot\",\"seq\":1,\"run\":\"r\",\"elapsed_ms\":2}\n",
+            "{\"v\":1,\"t\":\"counter\",\"name\":\"reg_read\",\"key\":0,\"value\":42}\n",
+        );
+        assert_eq!(validate_jsonl_v1(doc).unwrap(), (2, 2));
+        // Garbage inside a v2 line does not bother a v1 consumer either:
+        // only the version tag is inspected before skipping.
+        let with_junk = "{\"v\":2,\"t\":\"delta\",\"seq\":\"not-a-number\"}\n";
+        assert_eq!(validate_jsonl_v1(with_junk).unwrap(), (0, 1));
+        // But a broken v1 line is still an error.
+        let bad_v1 = "{\"v\":1,\"t\":\"mystery\"}\n";
+        assert!(validate_jsonl_v1(bad_v1).is_err());
     }
 
     #[test]

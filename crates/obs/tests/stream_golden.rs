@@ -1,0 +1,143 @@
+//! Golden-file pin for the schema-v2 live stream format.
+//!
+//! `golden_v2_stream.jsonl` is a real `check explore --stream` capture:
+//! a v1 `meta` header, interleaved v2 `delta`/`progress` records, the
+//! flushed `profile` records, the v2 `snapshot` end-marker, and the
+//! authoritative v1 snapshot tail. Freezing the bytes pins the format —
+//! the validator and replayer must keep accepting this exact file, so
+//! the stream schema cannot drift without deliberately regenerating the
+//! golden (the intended signal for a stream-schema bump).
+
+use anonreg_obs::schema::{validate_jsonl, validate_jsonl_v1};
+use anonreg_obs::{replay_stream, stream_status, Json, StreamStatus};
+
+const GOLDEN: &str = include_str!("golden_v2_stream.jsonl");
+
+#[test]
+fn golden_stream_validates_under_both_validators() {
+    let total = validate_jsonl(GOLDEN).expect("golden stream must stay schema-valid");
+    let (v1, skipped) = validate_jsonl_v1(GOLDEN).expect("v1 validator must tolerate v2 records");
+    // The v1-consumers-skip rule: every line is either validated as v1
+    // or counted as a skipped v2 stream record, nothing is dropped.
+    assert_eq!(total, v1 + skipped);
+    assert!(skipped > 0, "golden stream must carry v2 records");
+    assert!(v1 > 0, "golden stream must carry the meta header + v1 tail");
+}
+
+#[test]
+fn golden_stream_carries_every_v2_record_type() {
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in GOLDEN.lines().filter(|l| !l.trim().is_empty()) {
+        let json = Json::parse(line).expect("golden line parses");
+        if json.get("v").and_then(Json::as_u64) == Some(2) {
+            kinds.insert(
+                json.get("t")
+                    .and_then(Json::as_str)
+                    .expect("v2 record has `t`")
+                    .to_string(),
+            );
+        }
+    }
+    for kind in ["delta", "progress", "profile", "snapshot"] {
+        assert!(kinds.contains(kind), "golden stream lost `{kind}` records");
+    }
+}
+
+#[test]
+fn golden_stream_has_several_deltas_before_the_final_snapshot() {
+    let marker = GOLDEN
+        .lines()
+        .position(|l| l.contains("\"t\":\"snapshot\""))
+        .expect("end marker present");
+    let deltas_before = GOLDEN
+        .lines()
+        .take(marker)
+        .filter(|l| l.contains("\"t\":\"delta\""))
+        .count();
+    assert!(
+        deltas_before >= 3,
+        "want >= 3 live deltas before the end marker, got {deltas_before}"
+    );
+}
+
+#[test]
+fn golden_stream_replays_to_its_final_snapshot() {
+    let replay = replay_stream(GOLDEN).expect("golden stream must stay replayable");
+    assert!(replay.deltas >= 3);
+    assert!(
+        replay.reconstructs_exactly(),
+        "delta replay diverged from the v1 tail"
+    );
+    // The stream reports itself complete.
+    assert_eq!(
+        stream_status(GOLDEN),
+        StreamStatus::Complete {
+            deltas: replay.deltas
+        }
+    );
+}
+
+#[test]
+fn truncating_the_golden_stream_is_detected() {
+    // Kill the stream mid-flight: drop everything from the end marker on.
+    let marker = GOLDEN
+        .lines()
+        .position(|l| l.contains("\"t\":\"snapshot\""))
+        .expect("end marker present");
+    let truncated: String = GOLDEN
+        .lines()
+        .take(marker)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    match stream_status(&truncated) {
+        StreamStatus::Truncated {
+            complete_lines,
+            torn_tail,
+        } => {
+            assert_eq!(complete_lines as usize, marker);
+            assert!(!torn_tail, "clean line boundary is not a torn tail");
+        }
+        StreamStatus::Complete { .. } => panic!("truncated stream reported complete"),
+    }
+    assert!(replay_stream(&truncated).is_err());
+
+    // Tear the final line mid-record as a crash would.
+    let torn = &truncated[..truncated.len() - 20];
+    match stream_status(torn) {
+        StreamStatus::Truncated { torn_tail, .. } => assert!(torn_tail),
+        StreamStatus::Complete { .. } => panic!("torn stream reported complete"),
+    }
+}
+
+#[test]
+fn golden_deltas_have_monotonic_seq_and_elapsed() {
+    let mut last_seq = None;
+    let mut last_elapsed = None;
+    let mut run_ids = std::collections::BTreeSet::new();
+    for line in GOLDEN.lines().filter(|l| l.contains("\"v\":2")) {
+        let json = Json::parse(line).unwrap();
+        if json.get("v").and_then(Json::as_u64) != Some(2) {
+            continue;
+        }
+        let seq = json.get("seq").and_then(Json::as_u64).expect("seq");
+        let elapsed = json
+            .get("elapsed_ms")
+            .and_then(Json::as_u64)
+            .expect("elapsed_ms");
+        run_ids.insert(
+            json.get("run")
+                .and_then(Json::as_str)
+                .expect("run id")
+                .to_string(),
+        );
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq regressed: {prev} -> {seq}");
+        }
+        if let Some(prev) = last_elapsed {
+            assert!(elapsed >= prev, "elapsed_ms regressed: {prev} -> {elapsed}");
+        }
+        last_seq = Some(seq);
+        last_elapsed = Some(elapsed);
+    }
+    assert_eq!(run_ids.len(), 1, "one run id across the whole stream");
+}

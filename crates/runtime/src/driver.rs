@@ -1,12 +1,19 @@
 //! Driving a [`Machine`] on a real thread.
 
 use std::fmt;
+use std::sync::Arc;
 
 use anonreg_model::rng::Rng64;
 use anonreg_model::{Machine, Step};
-use anonreg_obs::{Metric, NoopProbe, Probe, Span};
+use anonreg_obs::{Metric, NoopProbe, Phase, PhaseTimer, Probe, Profiler, Span};
 
 use crate::{MemoryView, Register};
+
+/// Maps a machine event to the wall-clock [`Phase`] the process enters
+/// *after* announcing it, or `None` to stay in the current phase. For the
+/// mutex families: `Enter` → [`Phase::Critical`], `Exit`/`Aborted` →
+/// [`Phase::Doorway`].
+pub type PhaseClassifier<E> = fn(&E) -> Option<Phase>;
 
 /// Randomized exponential backoff inserted after writes.
 ///
@@ -119,6 +126,12 @@ pub struct Driver<M: Machine, R, P: Probe = NoopProbe> {
     last_seen: Vec<Option<M::Value>>,
     /// Memory ops in the current contention-free window.
     solo_window: u64,
+    /// Wall-clock profiler sink, phase timer and event→phase map; all
+    /// `None` (and cost nothing) unless
+    /// [`with_profiler`](Driver::with_profiler) was called.
+    profiler: Option<Arc<Profiler>>,
+    timer: Option<PhaseTimer>,
+    classify: Option<PhaseClassifier<M::Event>>,
 }
 
 impl<M, R> Driver<M, R, NoopProbe>
@@ -153,6 +166,9 @@ where
             probe: NoopProbe,
             last_seen: Vec::new(),
             solo_window: 0,
+            profiler: None,
+            timer: None,
+            classify: None,
         }
     }
 }
@@ -189,7 +205,33 @@ where
             probe,
             last_seen: vec![None; registers],
             solo_window: 0,
+            profiler: self.profiler,
+            timer: self.timer,
+            classify: self.classify,
         }
+    }
+
+    /// Attaches a wall-clock [`Profiler`]: the driver keeps a per-process
+    /// [`PhaseTimer`] (keyed by pid), starting in [`Phase::Doorway`],
+    /// switching on announced events as `classify` directs, and pushing
+    /// [`Phase::Waiting`] around each randomized-backoff window (so
+    /// flamegraph stacks show e.g. `doorway;waiting`). The profile is
+    /// recorded when the machine halts, or at
+    /// [`into_parts`](Driver::into_parts) for drives stopped early.
+    /// Profiling never touches the driver's RNG or memory operations, so
+    /// runs are bit-identical with and without it.
+    #[must_use]
+    pub fn with_profiler(
+        mut self,
+        profiler: Arc<Profiler>,
+        classify: PhaseClassifier<M::Event>,
+    ) -> Self {
+        let mut timer = profiler.timer(self.machine.pid().get());
+        timer.switch(Phase::Doorway);
+        self.timer = Some(timer);
+        self.profiler = Some(profiler);
+        self.classify = Some(classify);
+        self
     }
 
     /// Enables randomized backoff after writes.
@@ -253,6 +295,11 @@ where
             }
             Step::Event(event) => {
                 self.note_event();
+                if let (Some(timer), Some(classify)) = (self.timer.as_mut(), self.classify) {
+                    if let Some(phase) = classify(&event) {
+                        timer.switch(phase);
+                    }
+                }
                 DriverStep::Event(event)
             }
             Step::Halt => {
@@ -324,10 +371,20 @@ where
         events
     }
 
-    /// Consumes the driver, returning the machine and its report.
+    /// Consumes the driver, returning the machine and its report. If a
+    /// profiler is attached and the machine never halted, the phase
+    /// profile accumulated so far is recorded here instead.
     #[must_use]
-    pub fn into_parts(self) -> (M, DriverReport) {
+    pub fn into_parts(mut self) -> (M, DriverReport) {
+        self.flush_profile();
         (self.machine, self.report)
+    }
+
+    /// Hands the finished phase timer to the profiler, once.
+    fn flush_profile(&mut self) {
+        if let (Some(profiler), Some(timer)) = (self.profiler.as_ref(), self.timer.take()) {
+            profiler.record(timer.finish());
+        }
     }
 
     fn do_read(&mut self, local: usize) {
@@ -384,6 +441,7 @@ where
 
     fn do_halt(&mut self) {
         self.halted = true;
+        self.flush_profile();
         if P::ENABLED {
             // Close the trailing (possibly never-contended) solo window.
             self.probe
@@ -400,6 +458,13 @@ where
         let Some(backoff) = self.backoff else { return };
         let drawn = self.rng.gen_range_inclusive(0, self.current_spins as usize) as u32;
         self.report.backoff_invocations += 1;
+        // Nest the backoff window under the current phase (flamegraph
+        // stacks read e.g. `doorway;waiting`). The timer only brackets the
+        // loop — the RNG draw above and the iteration count below are
+        // untouched, keeping profiled runs bit-identical to unprofiled.
+        if let Some(timer) = self.timer.as_mut() {
+            timer.push(Phase::Waiting);
+        }
         // Spin out the drawn window, but every PEEK_STRIDE iterations
         // hint-read the register we just wrote (Relaxed, certificate
         // ORD-RT-PEEK-001): if a rival has already overwritten it, the
@@ -424,6 +489,9 @@ where
             }
         }
         self.report.spin_iterations += u64::from(spun);
+        if let Some(timer) = self.timer.as_mut() {
+            timer.pop();
+        }
         if P::ENABLED {
             self.probe.counter(Metric::BackoffInvoked, 0, 1);
             self.probe
@@ -852,6 +920,83 @@ mod tests {
             report.spin_iterations <= 2 * 1023,
             "spin total {} exceeds the two-cycle reset bound",
             report.spin_iterations
+        );
+    }
+
+    fn mutex_phase(event: &MutexEvent) -> Option<Phase> {
+        match event {
+            MutexEvent::Enter => Some(Phase::Critical),
+            MutexEvent::Exit | MutexEvent::Aborted => Some(Phase::Doorway),
+        }
+    }
+
+    #[test]
+    fn profiler_records_doorway_waiting_and_critical_phases() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let profiler = Arc::new(Profiler::new());
+        let machine = AnonMutex::new(pid(7), 3).unwrap().with_cycles(2);
+        let mut driver = Driver::new(machine, mem.view(View::identity(3)))
+            .with_backoff(Backoff {
+                min_spins: 4,
+                max_spins: 64,
+            })
+            .with_profiler(Arc::clone(&profiler), mutex_phase);
+        driver.run_to_halt();
+
+        let profiles = profiler.profiles();
+        assert_eq!(profiles.len(), 1, "halt must flush exactly one profile");
+        let profile = &profiles[0];
+        assert_eq!(profile.worker, 7, "timer is keyed by pid");
+        let stacks: Vec<&str> = profile.frames.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(stacks.contains(&"doorway"), "missing doorway in {stacks:?}");
+        assert!(
+            stacks.contains(&"critical"),
+            "missing critical in {stacks:?}"
+        );
+        assert!(
+            stacks.iter().any(|s| s.ends_with(";waiting")),
+            "backoff windows must nest as `<phase>;waiting`, got {stacks:?}"
+        );
+        assert!(profile.total_self_ns() > 0);
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_drive() {
+        // Same seeded RNG, same machine, with and without a profiler
+        // attached: every report field must be bit-identical.
+        let run = |profiled: bool| {
+            let mem: Mem = AnonymousMemory::new(3);
+            let machine = AnonMutex::new(pid(3), 3).unwrap().with_cycles(3);
+            let mut driver =
+                Driver::new(machine, mem.view(View::identity(3))).with_backoff(Backoff {
+                    min_spins: 8,
+                    max_spins: 1 << 10,
+                });
+            if profiled {
+                driver = driver.with_profiler(Arc::new(Profiler::new()), mutex_phase);
+            }
+            let events = driver.run_to_halt();
+            let (_, report) = driver.into_parts();
+            (events, report)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn into_parts_flushes_an_unhalted_profile() {
+        let mem: Mem = AnonymousMemory::new(3);
+        let profiler = Arc::new(Profiler::new());
+        let machine = AnonMutex::new(pid(2), 3).unwrap().with_cycles(2);
+        let mut driver = Driver::new(machine, mem.view(View::identity(3)))
+            .with_profiler(Arc::clone(&profiler), mutex_phase);
+        assert_eq!(driver.run_until_event(), Some(MutexEvent::Enter));
+        let (_, _) = driver.into_parts();
+        let profiles = profiler.profiles();
+        assert_eq!(profiles.len(), 1, "into_parts must flush the live timer");
+        let stacks: Vec<&str> = profiles[0].frames.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(
+            stacks.contains(&"critical"),
+            "stopped inside the CS: {stacks:?}"
         );
     }
 }

@@ -64,6 +64,7 @@ pub(crate) struct StateEncoder<M: Machine> {
     mode: SymmetryMode,
     syms: Vec<ViewSymmetry>,
     encode: EncodeFn<M>,
+    skipped: bool,
 }
 
 impl<M: Machine + Eq + Hash> StateEncoder<M> {
@@ -74,12 +75,21 @@ impl<M: Machine + Eq + Hash> StateEncoder<M> {
             mode: SymmetryMode::Off,
             syms: Vec::new(),
             encode: plain_entry::<M>,
+            skipped: false,
         }
     }
 
     /// The symmetry mode this encoder canonicalizes under.
     pub(crate) fn mode(&self) -> SymmetryMode {
         self.mode
+    }
+
+    /// Whether canonical encoding was short-circuited to the identity
+    /// path because the admissible group is trivial (identity register
+    /// permutation, no exchangeable slots). Engines report this via the
+    /// `canon_skipped` counter so the fast path is observable.
+    pub(crate) fn skips_trivial_orbits(&self) -> bool {
+        self.skipped
     }
 
     /// Encodes `sim`, returning its state code and whether canonicalization
@@ -94,19 +104,114 @@ where
     M: Machine + Eq + Hash + PidMap,
     M::Value: PidMap,
 {
-    /// An encoder for `mode` over the fixed view assignment `views`
-    /// (views never change within one exploration — crashes halt a slot
-    /// in place — so the admissible permutation group is computed once).
-    pub(crate) fn for_mode(mode: SymmetryMode, views: &[View]) -> Self {
+    /// An encoder for `mode` over the fixed view assignment `views` of
+    /// `initial` (views never change within one exploration — crashes
+    /// halt a slot in place — so the admissible permutation group is
+    /// computed once).
+    ///
+    /// # The trivial-orbit fast path
+    ///
+    /// Under `Registers` the orbit search is short-circuited to the
+    /// plain identity encoding when it provably cannot merge two
+    /// distinct states *of this exploration*:
+    ///
+    /// * **Trivial group** — only the identity symmetry is admissible.
+    ///   With no renaming, the identity candidate's bytes equal the
+    ///   plain encoding, so state codes are unchanged by construction.
+    /// * **Pid-pinned slots** — the initial machines carry pairwise
+    ///   distinct identifiers that are visible in their encodings (see
+    ///   [`pids_pin_slots`]). A process's identifier is fixed for its
+    ///   lifetime, so every reachable state keeps pid `p_j` at slot
+    ///   `j`. Suppose two reachable states `X`, `Y` shared a canonical
+    ///   code: some admissible `(π₁, σ₁)` image of `X` equals some
+    ///   `(π₂, σ₂)` image of `Y` byte for byte. The encoding is
+    ///   prefix-free, so the slot written at target `t` matches:
+    ///   `X`'s slot `σ₁(t)` equals `Y`'s slot `σ₂(t)` — including the
+    ///   embedded pid, forcing `σ₁ = σ₂` (pids are distinct). A
+    ///   symmetry's register permutation is determined by where it
+    ///   sends slot 0 (`π = v_{σ(0)} ∘ v₀⁻¹`), so `π₁ = π₂` too, and
+    ///   the register sections then force `X = Y`. Canonicalization is
+    ///   therefore injective on the reachable set — zero reduction at
+    ///   full orbit-search cost, exactly what E16 measured on the ring
+    ///   mutex and symmetric consensus. Substituting the (also
+    ///   injective) plain encoding preserves state and edge counts.
+    ///
+    /// The fast path can only ever *skip* reduction, never introduce a
+    /// spurious merge — in the worst case (a machine whose encoding
+    /// hides its pid in later states, defeating the build-time probe)
+    /// the explorer falls back to the unreduced graph, which is always
+    /// a sound model. `Full` renames identifiers, which un-pins the
+    /// slots, so it always keeps the canonical path.
+    pub(crate) fn for_mode(mode: SymmetryMode, views: &[View], initial: &Simulation<M>) -> Self {
         match mode {
             SymmetryMode::Off => Self::plain(),
-            SymmetryMode::Registers | SymmetryMode::Full => StateEncoder {
-                mode,
-                syms: view_symmetries(views),
-                encode: symmetric_entry::<M>,
-            },
+            SymmetryMode::Registers | SymmetryMode::Full => {
+                let syms = view_symmetries(views);
+                if mode == SymmetryMode::Registers
+                    && (group_is_trivial(&syms) || pids_pin_slots(initial))
+                {
+                    return StateEncoder {
+                        mode,
+                        syms: Vec::new(),
+                        encode: plain_entry::<M>,
+                        skipped: true,
+                    };
+                }
+                StateEncoder {
+                    mode,
+                    syms,
+                    encode: symmetric_entry::<M>,
+                    skipped: false,
+                }
+            }
         }
     }
+}
+
+/// Whether the admissible group contains only the identity: a single
+/// symmetry whose register permutation is the identity and whose
+/// classes admit no slot exchange (every class has at most one source).
+fn group_is_trivial(syms: &[ViewSymmetry]) -> bool {
+    match syms {
+        [only] => {
+            only.perm.iter().enumerate().all(|(i, &p)| i == p)
+                && only.classes.iter().all(|c| c.sources.len() <= 1)
+        }
+        _ => false,
+    }
+}
+
+/// Whether the initial machines carry pairwise distinct identifiers
+/// *and* those identifiers are visible in the machines' encodings —
+/// checked by renaming every pid in a machine to a fresh one and
+/// requiring the encoding to change. A machine whose `Hash` ignores its
+/// pid (a genuinely anonymous local state, where two slots can become
+/// byte-identical and `Registers`-mode merging is real) fails the probe,
+/// keeping the canonical path. The probe inspects initial states only;
+/// identifiers are lifetime-constant per the [`Machine::pid`] contract,
+/// and a machine that *stops* encoding its pid mid-run would at worst
+/// re-enable a reduction this fast path skips — never unsoundness.
+fn pids_pin_slots<M>(sim: &Simulation<M>) -> bool
+where
+    M: Machine + Eq + Hash + PidMap,
+{
+    let n = sim.process_count();
+    let mut pids: Vec<u64> = (0..n).map(|j| sim.slot(j).machine.pid().get()).collect();
+    let fresh =
+        Pid::new(pids.iter().copied().max().unwrap_or(0) + 1).expect("max pid + 1 is nonzero");
+    pids.sort_unstable();
+    pids.dedup();
+    if pids.len() != n {
+        return false;
+    }
+    (0..n).all(|j| {
+        let machine = &sim.slot(j).machine;
+        let mut original = ByteSink::new();
+        machine.hash(&mut original);
+        let mut renamed = ByteSink::new();
+        machine.map_pids(&mut |_| fresh).hash(&mut renamed);
+        original.into_bytes() != renamed.into_bytes()
+    })
 }
 
 fn plain_entry<M: Machine + Eq + Hash>(

@@ -48,11 +48,12 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
 use anonreg_model::fingerprint::Fnv64;
 use anonreg_model::{Machine, PidMap, SymmetryMode, View};
-use anonreg_obs::{Metric, NoopProbe, Probe, Span};
+use anonreg_obs::{Metric, NoopProbe, Phase, Probe, Profiler, Span};
 
 use crate::canon::StateEncoder;
 use crate::Simulation;
@@ -162,6 +163,7 @@ pub struct Explorer<'p, M: Machine, P: Probe = NoopProbe> {
     config: ExploreConfig,
     probe: &'p P,
     encoder: StateEncoder<M>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 /// The probe target for unprobed explorations.
@@ -181,6 +183,7 @@ where
             config: ExploreConfig::default(),
             probe: &SILENT,
             encoder: StateEncoder::plain(),
+            profiler: None,
         }
     }
 }
@@ -220,11 +223,14 @@ where
     ///
     /// The exploration then emits `explore_states`/`explore_edges`/
     /// `explore_dedup` counters (the parallel engine keys dedup counters
-    /// by shard and adds per-worker `explore_steals`), sampled
+    /// and `explore_steals` by worker), sampled
     /// `explore_frontier`/`explore_depth` gauges (final values exact),
     /// one `explore` span whose length is the number of distinct states,
     /// and — parallel engine only — one `explore_worker` span per worker
-    /// whose length is the number of states that worker expanded. With
+    /// whose length is the number of states that worker expanded.
+    /// Counters are flushed incrementally on the gauge sampling cadence
+    /// (totals stay exact), so a live stream attached to the probe sees
+    /// the exploration progress while it is still running. With
     /// [`NoopProbe`] the instrumentation compiles away.
     pub fn probe<'q, Q: Probe>(self, probe: &'q Q) -> Explorer<'q, M, Q> {
         Explorer {
@@ -232,7 +238,21 @@ where
             config: self.config,
             probe,
             encoder: self.encoder,
+            profiler: self.profiler,
         }
+    }
+
+    /// Attaches a wall-clock [`Profiler`].
+    ///
+    /// Each engine worker then keeps a [`Phase`] timer — `step` (clone +
+    /// machine step), `canon` (canonical/plain encoding), `dedup`
+    /// (intern-table probe), plus `steal`/`idle` in the parallel engine —
+    /// and records its per-phase self-times into the profiler when the
+    /// exploration ends, including on the state-limit error path. Runs
+    /// without a profiler pay nothing.
+    pub fn profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
     }
 
     /// Enables symmetry reduction: states are deduplicated by the
@@ -261,7 +281,7 @@ where
         let views: Vec<View> = (0..self.initial.process_count())
             .map(|i| self.initial.view(i).clone())
             .collect();
-        self.encoder = StateEncoder::for_mode(mode, &views);
+        self.encoder = StateEncoder::for_mode(mode, &views, &self.initial);
         self
     }
 
@@ -280,7 +300,13 @@ where
             t => t,
         };
         if threads <= 1 {
-            run_sequential(self.initial, &self.config, self.probe, &self.encoder)
+            run_sequential(
+                self.initial,
+                &self.config,
+                self.probe,
+                &self.encoder,
+                self.profiler.as_deref(),
+            )
         } else {
             par::run_parallel(
                 self.initial,
@@ -288,6 +314,7 @@ where
                 self.probe,
                 threads,
                 &self.encoder,
+                self.profiler.as_deref(),
             )
         }
     }
@@ -357,6 +384,7 @@ fn run_sequential<M, P>(
     limits: &ExploreConfig,
     probe: &P,
     encoder: &StateEncoder<M>,
+    profiler: Option<&Profiler>,
 ) -> Result<StateGraph<M>, ExploreError>
 where
     M: Machine + Eq + Hash,
@@ -368,10 +396,18 @@ where
     if P::ENABLED {
         probe.span_open(Span::Explore, 0);
     }
+    let mut timer = profiler.map(|p| p.timer(0));
 
     let mut canon_nanos = 0u64;
     let mut symmetry_hits = 0u64;
-    let track_canon = P::ENABLED && encoder.mode() != SymmetryMode::Off;
+    let mut canon_skipped = 0u64;
+    // When the encoder detected a trivial symmetry group it already
+    // short-circuits to the plain identity path, so timing it as
+    // canonicalization would charge symmetry reduction for work it no
+    // longer does; count the skipped encodes instead.
+    let track_canon =
+        P::ENABLED && encoder.mode() != SymmetryMode::Off && !encoder.skips_trivial_orbits();
+    let track_skipped = P::ENABLED && encoder.skips_trivial_orbits();
     let mut encode = |sim: &Simulation<M>| {
         if track_canon {
             let start = Instant::now();
@@ -380,6 +416,7 @@ where
             symmetry_hits += u64::from(moved);
             code
         } else {
+            canon_skipped += u64::from(track_skipped);
             encoder.encode(sim).0
         }
     };
@@ -395,6 +432,7 @@ where
     let mut max_depth = 0u32;
     let mut dedup_hits = 0u64;
     let mut edge_total = 0u64;
+    let mut flushed = FlushedCounters::default();
 
     let mut frontier = vec![0usize];
     while let Some(id) = frontier.pop() {
@@ -407,6 +445,9 @@ where
                 if crash && !limits.crashes {
                     continue;
                 }
+                if let Some(t) = timer.as_mut() {
+                    t.switch(Phase::Step);
+                }
                 let mut next = states[id].clone();
                 next.clear_trace();
                 if crash {
@@ -417,7 +458,13 @@ where
                 let events: Vec<M::Event> =
                     next.trace().events().map(|(_, _, e)| e.clone()).collect();
                 next.clear_trace();
+                if let Some(t) = timer.as_mut() {
+                    t.switch(Phase::Canon);
+                }
                 let code = encode(&next);
+                if let Some(t) = timer.as_mut() {
+                    t.switch(Phase::Dedup);
+                }
                 let target = match table.find(&code) {
                     Some(t) => {
                         if P::ENABLED {
@@ -430,11 +477,24 @@ where
                         if t >= limits.max_states {
                             if P::ENABLED {
                                 report_explore(
-                                    probe, t as u64, edge_total, dedup_hits, &frontier, max_depth,
+                                    probe,
+                                    t as u64,
+                                    edge_total,
+                                    dedup_hits,
+                                    &frontier,
+                                    max_depth,
+                                    &mut flushed,
                                 );
-                                report_symmetry(probe, 0, symmetry_hits, canon_nanos);
+                                report_symmetry(
+                                    probe,
+                                    0,
+                                    symmetry_hits,
+                                    canon_nanos,
+                                    canon_skipped,
+                                );
                                 probe.span_close(Span::Explore, 0, t as u64);
                             }
+                            record_timer(profiler, timer);
                             return Err(ExploreError::StateLimitExceeded {
                                 limit: limits.max_states,
                             });
@@ -450,6 +510,13 @@ where
                             if t % GAUGE_SAMPLE_EVERY == 0 {
                                 probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
                                 probe.gauge(Metric::ExploreDepth, 0, u64::from(max_depth));
+                                flushed.flush(
+                                    probe,
+                                    0,
+                                    states.len() as u64,
+                                    edge_total,
+                                    dedup_hits,
+                                );
                             }
                         }
                         t
@@ -482,10 +549,12 @@ where
             dedup_hits,
             &frontier,
             max_depth,
+            &mut flushed,
         );
-        report_symmetry(probe, 0, symmetry_hits, canon_nanos);
+        report_symmetry(probe, 0, symmetry_hits, canon_nanos, canon_skipped);
         probe.span_close(Span::Explore, 0, states.len() as u64);
     }
+    record_timer(profiler, timer);
 
     Ok(StateGraph {
         states,
@@ -494,7 +563,67 @@ where
     })
 }
 
-/// Final (exact) gauge/counter emission for one exploration.
+/// Hands a finished engine worker's phase timer to the profiler, if both
+/// are attached.
+pub(crate) fn record_timer(profiler: Option<&Profiler>, timer: Option<anonreg_obs::PhaseTimer>) {
+    if let (Some(p), Some(t)) = (profiler, timer) {
+        p.record(t.finish());
+    }
+}
+
+/// Running totals already emitted as incremental `explore_*` counter
+/// flushes. The engines flush on the gauge sampling cadence so a live
+/// stream sees progress mid-run; the final report emits only the
+/// remainder, keeping every counter total exact.
+#[derive(Default)]
+pub(crate) struct FlushedCounters {
+    states: u64,
+    edges: u64,
+    dedup: u64,
+}
+
+impl FlushedCounters {
+    /// Emits the not-yet-flushed part of each running total.
+    fn flush<P: Probe>(&mut self, probe: &P, dedup_key: u64, states: u64, edges: u64, dedup: u64) {
+        if states > self.states {
+            probe.counter(Metric::ExploreStates, 0, states - self.states);
+            self.states = states;
+        }
+        if edges > self.edges {
+            probe.counter(Metric::ExploreEdges, 0, edges - self.edges);
+            self.edges = edges;
+        }
+        if dedup > self.dedup {
+            probe.counter(Metric::ExploreDedup, dedup_key, dedup - self.dedup);
+            self.dedup = dedup;
+        }
+    }
+
+    /// Final emission: like [`FlushedCounters::flush`] but unconditional,
+    /// so each counter has an entry even when its total is zero.
+    pub(crate) fn finish<P: Probe>(
+        &mut self,
+        probe: &P,
+        dedup_key: u64,
+        states: u64,
+        edges: u64,
+        dedup: u64,
+    ) {
+        probe.counter(Metric::ExploreStates, 0, states.saturating_sub(self.states));
+        probe.counter(Metric::ExploreEdges, 0, edges.saturating_sub(self.edges));
+        probe.counter(
+            Metric::ExploreDedup,
+            dedup_key,
+            dedup.saturating_sub(self.dedup),
+        );
+        self.states = states.max(self.states);
+        self.edges = edges.max(self.edges);
+        self.dedup = dedup.max(self.dedup);
+    }
+}
+
+/// Final (exact) gauge/counter emission for one sequential exploration:
+/// flushes the counter remainders and reports the exact final gauges.
 fn report_explore<P: Probe>(
     probe: &P,
     states: u64,
@@ -502,10 +631,9 @@ fn report_explore<P: Probe>(
     dedup: u64,
     frontier: &[usize],
     max_depth: u32,
+    flushed: &mut FlushedCounters,
 ) {
-    probe.counter(Metric::ExploreStates, 0, states);
-    probe.counter(Metric::ExploreEdges, 0, edges);
-    probe.counter(Metric::ExploreDedup, 0, dedup);
+    flushed.finish(probe, 0, states, edges, dedup);
     probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
     probe.gauge(Metric::ExploreDepth, 0, u64::from(max_depth));
 }
@@ -513,13 +641,18 @@ fn report_explore<P: Probe>(
 /// Symmetry-reduction counters for one engine (`key` is 0 for the
 /// sequential engine, the worker index for the parallel one). Emitted
 /// only when canonicalization actually did something, so plain
-/// explorations keep their probe output unchanged.
-pub(crate) fn report_symmetry<P: Probe>(probe: &P, key: u64, hits: u64, nanos: u64) {
+/// explorations keep their probe output unchanged. `skipped` counts the
+/// encodes that took the trivial-orbit fast path instead of a canonical
+/// search — proof in the metrics that the short-circuit fired.
+pub(crate) fn report_symmetry<P: Probe>(probe: &P, key: u64, hits: u64, nanos: u64, skipped: u64) {
     if hits > 0 {
         probe.counter(Metric::SymmetryHits, key, hits);
     }
     if nanos > 0 {
         probe.counter(Metric::CanonTime, key, nanos);
+    }
+    if skipped > 0 {
+        probe.counter(Metric::CanonSkipped, key, skipped);
     }
 }
 

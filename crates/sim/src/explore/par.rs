@@ -42,11 +42,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use anonreg_model::{Machine, SymmetryMode};
-use anonreg_obs::{Metric, Probe, Span};
+use anonreg_obs::{Metric, Phase, Probe, Profiler, Span};
 
 use super::{
-    code_fingerprint, report_symmetry, Edge, ExploreConfig, ExploreError, StateGraph,
-    GAUGE_SAMPLE_EVERY,
+    code_fingerprint, record_timer, report_symmetry, Edge, ExploreConfig, ExploreError,
+    FlushedCounters, StateGraph, GAUGE_SAMPLE_EVERY,
 };
 use crate::canon::StateEncoder;
 use crate::Simulation;
@@ -75,11 +75,11 @@ type CodeBucket = Vec<(u32, Box<[u8]>)>;
 /// One dedup shard: code fingerprint → `(id, code)` pairs carrying it.
 /// Keeping the flat code next to the id lets the equality probe run
 /// entirely under the shard lock, without touching the state store.
+/// Dedup hits are tallied by the worker that observed them (so they can
+/// be flushed live), not by the shard.
 #[derive(Default)]
 struct Shard {
     map: HashMap<u64, CodeBucket>,
-    /// Dedup hits resolved by this shard.
-    hits: u64,
 }
 
 /// The interned states, striped by `id % STRIPES`.
@@ -174,9 +174,7 @@ where
     if let Some(entries) = shard.map.get(&fp) {
         for (known, known_code) in entries {
             if **known_code == *code {
-                let known = *known;
-                shard.hits += 1;
-                return Interned::Known(known);
+                return Interned::Known(*known);
             }
         }
     }
@@ -199,6 +197,10 @@ struct WorkerOut<M: Machine> {
     parents: Vec<(u32, u32, u32, bool)>,
     /// States expanded.
     expanded: u64,
+    /// States this worker discovered (interned as `Fresh`).
+    fresh: u64,
+    /// Dedup hits this worker observed (interned as `Known`).
+    dedup: u64,
     /// Work items stolen from other workers.
     steals: u64,
     /// Transitions recorded.
@@ -223,7 +225,13 @@ fn pop_work<M: Machine>(me: usize, ctx: &Ctx<M>, steals: &mut u64) -> Option<Wor
 }
 
 /// One worker's main loop.
-fn worker<M, P>(me: usize, ctx: &Ctx<M>, probe: &P, encoder: &StateEncoder<M>) -> WorkerOut<M>
+fn worker<M, P>(
+    me: usize,
+    ctx: &Ctx<M>,
+    probe: &P,
+    encoder: &StateEncoder<M>,
+    profiler: Option<&Profiler>,
+) -> WorkerOut<M>
 where
     M: Machine + Eq + Hash,
     P: Probe,
@@ -231,21 +239,37 @@ where
     if P::ENABLED {
         probe.span_open(Span::ExploreWorker, me as u64);
     }
+    let mut timer = profiler.map(|p| p.timer(me as u64));
     let mut out = WorkerOut {
         edges: Vec::new(),
         parents: Vec::new(),
         expanded: 0,
+        fresh: 0,
+        dedup: 0,
         steals: 0,
         edge_total: 0,
     };
-    let track_canon = P::ENABLED && encoder.mode() != SymmetryMode::Off;
+    // See `run_sequential`: the trivial-orbit fast path is plain
+    // encoding, so count it as skipped rather than timing it as
+    // canonicalization.
+    let track_canon =
+        P::ENABLED && encoder.mode() != SymmetryMode::Off && !encoder.skips_trivial_orbits();
+    let track_skipped = P::ENABLED && encoder.skips_trivial_orbits();
     let mut canon_nanos = 0u64;
     let mut symmetry_hits = 0u64;
+    let mut canon_skipped = 0u64;
+    let mut flushed = FlushedCounters::default();
     let mut idle = 0u32;
     'outer: while !ctx.aborted.load(Ordering::SeqCst) {
+        if let Some(t) = timer.as_mut() {
+            t.switch(Phase::Steal);
+        }
         let Some((id, depth)) = pop_work(me, ctx, &mut out.steals) else {
             if ctx.pending.load(Ordering::SeqCst) == 0 {
                 break;
+            }
+            if let Some(t) = timer.as_mut() {
+                t.switch(Phase::Idle);
             }
             idle += 1;
             if idle >= IDLE_SPINS {
@@ -256,6 +280,9 @@ where
             continue;
         };
         idle = 0;
+        if let Some(t) = timer.as_mut() {
+            t.switch(Phase::Step);
+        }
         let state = ctx.store.clone_state(id as usize);
         let mut edges_out = Vec::new();
         for proc in 0..state.process_count() {
@@ -266,6 +293,9 @@ where
                 if crash && !ctx.crashes {
                     continue;
                 }
+                if let Some(t) = timer.as_mut() {
+                    t.switch(Phase::Step);
+                }
                 let mut next = state.clone();
                 if crash {
                     next.crash(proc).expect("slot is valid");
@@ -275,6 +305,9 @@ where
                 let events: Vec<M::Event> =
                     next.trace().events().map(|(_, _, e)| e.clone()).collect();
                 next.clear_trace();
+                if let Some(t) = timer.as_mut() {
+                    t.switch(Phase::Canon);
+                }
                 let code = if track_canon {
                     let start = Instant::now();
                     let (code, moved) = encoder.encode(&next);
@@ -282,12 +315,20 @@ where
                     symmetry_hits += u64::from(moved);
                     code
                 } else {
+                    canon_skipped += u64::from(track_skipped);
                     encoder.encode(&next).0
                 };
                 let fp = code_fingerprint(&code);
+                if let Some(t) = timer.as_mut() {
+                    t.switch(Phase::Dedup);
+                }
                 let target = match intern(ctx, fp, code, next) {
-                    Interned::Known(t) => t,
+                    Interned::Known(t) => {
+                        out.dedup += 1;
+                        t
+                    }
                     Interned::Fresh(t) => {
+                        out.fresh += 1;
                         out.parents.push((t, id, proc as u32, crash));
                         // Count the child before enqueueing it so `pending`
                         // never under-reports outstanding work.
@@ -330,13 +371,16 @@ where
                 0,
                 ctx.max_depth.load(Ordering::Relaxed),
             );
+            flushed.flush(probe, me as u64, out.fresh, out.edge_total, out.dedup);
         }
     }
     if P::ENABLED {
+        flushed.finish(probe, me as u64, out.fresh, out.edge_total, out.dedup);
         probe.counter(Metric::ExploreSteals, me as u64, out.steals);
-        report_symmetry(probe, me as u64, symmetry_hits, canon_nanos);
+        report_symmetry(probe, me as u64, symmetry_hits, canon_nanos, canon_skipped);
         probe.span_close(Span::ExploreWorker, me as u64, out.expanded);
     }
+    record_timer(profiler, timer);
     out
 }
 
@@ -347,6 +391,7 @@ pub(super) fn run_parallel<M, P>(
     probe: &P,
     threads: usize,
     encoder: &StateEncoder<M>,
+    profiler: Option<&Profiler>,
 ) -> Result<StateGraph<M>, ExploreError>
 where
     M: Machine + Eq + Hash,
@@ -380,7 +425,7 @@ where
         Interned::Known(_) => unreachable!("the dedup table starts empty"),
         Interned::Limit => {
             if P::ENABLED {
-                report_totals(&ctx, probe, 0, 0);
+                report_totals::<M, P>(probe, 0, 0, &[]);
                 probe.span_close(Span::Explore, 0, 0);
             }
             return Err(ExploreError::StateLimitExceeded {
@@ -395,7 +440,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|i| {
                 let ctx = &ctx;
-                s.spawn(move || worker(i, ctx, probe, encoder))
+                s.spawn(move || worker(i, ctx, probe, encoder, profiler))
             })
             .collect();
         handles
@@ -409,7 +454,7 @@ where
 
     if ctx.aborted.load(Ordering::SeqCst) {
         if P::ENABLED {
-            report_totals(&ctx, probe, total as u64, edge_total);
+            report_totals(probe, total as u64, edge_total, &outs);
             probe.span_close(Span::Explore, 0, total as u64);
         }
         return Err(ExploreError::StateLimitExceeded {
@@ -418,7 +463,7 @@ where
     }
 
     if P::ENABLED {
-        report_totals(&ctx, probe, total as u64, edge_total);
+        report_totals(probe, total as u64, edge_total, &outs);
         probe.gauge(Metric::ExploreFrontier, 0, 0);
         probe.gauge(
             Metric::ExploreDepth,
@@ -448,15 +493,18 @@ where
     })
 }
 
-/// Emits the exploration-wide counters: state/edge totals plus the dedup
-/// hits of every shard (keyed by shard index).
-fn report_totals<M: Machine, P: Probe>(ctx: &Ctx<M>, probe: &P, states: u64, edges: u64) {
-    probe.counter(Metric::ExploreStates, 0, states);
-    probe.counter(Metric::ExploreEdges, 0, edges);
-    for (idx, shard) in ctx.shards.iter().enumerate() {
-        let hits = shard.lock().expect("shard lock").hits;
-        if hits > 0 {
-            probe.counter(Metric::ExploreDedup, idx as u64, hits);
-        }
-    }
+/// Emits the counter remainders the workers did not flush themselves:
+/// the initial interned state (discovered by `run_parallel`, not by any
+/// worker) and, on an aborted run, ids assigned past the flushed counts.
+/// Dedup hits are fully flushed per worker (keyed by worker index), so
+/// only states and edges can have a remainder.
+fn report_totals<M: Machine, P: Probe>(probe: &P, states: u64, edges: u64, outs: &[WorkerOut<M>]) {
+    let flushed_states: u64 = outs.iter().map(|o| o.fresh).sum();
+    let flushed_edges: u64 = outs.iter().map(|o| o.edge_total).sum();
+    probe.counter(
+        Metric::ExploreStates,
+        0,
+        states.saturating_sub(flushed_states),
+    );
+    probe.counter(Metric::ExploreEdges, 0, edges.saturating_sub(flushed_edges));
 }

@@ -10,8 +10,14 @@
 //! * `x` and `ops_per_s` are **higher-better**: the fresh value may
 //!   shrink to no less than `1 / max_drop_ratio` of the baseline.
 //! * counting units (`states`, `edges`, `bool`, …) must match
-//!   **exactly** — a parallel exploration that loses states is a bug,
-//!   not noise.
+//!   **exactly** for parity runs — a parallel exploration that loses
+//!   states is a bug, not noise. Runs that *declare* a state-space
+//!   reduction (a symmetry mode other than `off`, or POR — detected by
+//!   the [`Thresholds::reduced_markers`] name segments the experiment
+//!   naming schemes embed) compare `states`/`edges` **lower-better**
+//!   instead: a tighter reduction is an improvement, only a *grown*
+//!   count regresses. Exact-match semantics would flag every reduction
+//!   improvement as a failure.
 //!
 //! `--require NAME=FLOOR` adds absolute floors on fresh metrics (suffix
 //! match, so `reduction=2` covers every `*_reduction`), which is how
@@ -80,6 +86,12 @@ pub struct Thresholds {
     pub allow_missing: bool,
     /// Absolute floors on fresh metrics, matched by name suffix.
     pub require: Vec<(String, f64)>,
+    /// Underscore-delimited name segments that mark a run as using a
+    /// state-space reduction. `states`/`edges` metrics whose name
+    /// contains one of these segments compare lower-better; all other
+    /// counting metrics stay exact-match. Clear this to restore
+    /// exact-count semantics everywhere (`--exact-counts`).
+    pub reduced_markers: Vec<String>,
 }
 
 impl Default for Thresholds {
@@ -89,6 +101,7 @@ impl Default for Thresholds {
             max_drop_ratio: 1.5,
             allow_missing: false,
             require: Vec::new(),
+            reduced_markers: ["registers", "full", "por"].map(str::to_string).to_vec(),
         }
     }
 }
@@ -159,6 +172,13 @@ fn is_lower_better(unit: &str) -> bool {
 
 fn is_higher_better(unit: &str) -> bool {
     unit == "x" || unit == "ops_per_s"
+}
+
+/// `true` when the metric's name declares a state-space reduction: one
+/// of its underscore-delimited segments is a reduction marker. Segment
+/// matching (not substring) keeps `full` from hitting `fullness` etc.
+fn is_reduced_run(name: &str, markers: &[String]) -> bool {
+    name.split('_').any(|seg| markers.iter().any(|m| m == seg))
 }
 
 /// Compares fresh metrics against a baseline under the thresholds.
@@ -263,6 +283,20 @@ fn compare(key: &str, b: &ParsedMetric, a: &ParsedMetric, thresholds: &Threshold
                 b.value, a.value, thresholds.max_drop_ratio
             );
         }
+    } else if matches!(a.unit.as_str(), "states" | "edges")
+        && is_reduced_run(&a.name, &thresholds.reduced_markers)
+    {
+        // A reduction-mode run may legitimately visit fewer states when
+        // the reduction tightens; only a grown count regresses.
+        if a.value > b.value {
+            verdict = Verdict::Regressed;
+            note = format!(
+                "reduced run grew its `{}` count {} -> {}",
+                a.unit, b.value, a.value
+            );
+        } else if a.value < b.value {
+            note = "reduction tightened (lower-better)".to_string();
+        }
     } else if (a.value - b.value).abs() > f64::EPSILON {
         verdict = Verdict::Regressed;
         note = format!(
@@ -357,6 +391,67 @@ mod tests {
     fn state_count_must_match_exactly() {
         let before = vec![metric("a_states", 5000.0, "states")];
         let after = vec![metric("a_states", 4999.0, "states")];
+        assert!(diff(&before, &after, &Thresholds::default()).regressed());
+    }
+
+    #[test]
+    fn parity_run_counts_stay_exact_in_both_directions() {
+        // `off` is not a reduction marker: both shrinking and growing
+        // the count regress, exactly as before.
+        let before = vec![metric("mutex_m3_l3_off_t4_states", 5000.0, "states")];
+        for fresh in [4999.0, 5001.0] {
+            let after = vec![metric("mutex_m3_l3_off_t4_states", fresh, "states")];
+            assert!(
+                diff(&before, &after, &Thresholds::default()).regressed(),
+                "off-mode count {fresh} must be exact-match"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_run_counts_are_lower_better() {
+        for name in [
+            "mutex_m3_l3_full_t4_states",
+            "consensus_n3_r2_registers_t4_edges",
+            "mutex_m4_l3_por_t1_states",
+        ] {
+            let before = vec![metric(name, 5000.0, "states")];
+            let tighter = vec![metric(name, 4000.0, "states")];
+            let d = diff(&before, &tighter, &Thresholds::default());
+            assert!(!d.regressed(), "tighter reduction flagged: {}", render(&d));
+            let grown = vec![metric(name, 5001.0, "states")];
+            assert!(
+                diff(&before, &grown, &Thresholds::default()).regressed(),
+                "{name}: grown count must regress"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_marker_matches_segments_not_substrings() {
+        // `fullness` contains `full` but is not the `full` segment.
+        let before = vec![metric("queue_fullness_t4_states", 5000.0, "states")];
+        let after = vec![metric("queue_fullness_t4_states", 4999.0, "states")];
+        assert!(diff(&before, &after, &Thresholds::default()).regressed());
+    }
+
+    #[test]
+    fn exact_counts_override_disables_lower_better() {
+        let exact = Thresholds {
+            reduced_markers: Vec::new(),
+            ..Thresholds::default()
+        };
+        let before = vec![metric("mutex_m3_l3_full_t4_states", 5000.0, "states")];
+        let after = vec![metric("mutex_m3_l3_full_t4_states", 4000.0, "states")];
+        assert!(diff(&before, &after, &exact).regressed());
+    }
+
+    #[test]
+    fn reduced_runs_keep_non_count_units_exact() {
+        // Lower-better applies to states/edges only; a bool verdict on a
+        // reduced run must still match exactly.
+        let before = vec![metric("mutex_m3_l3_full_t4_parity", 1.0, "bool")];
+        let after = vec![metric("mutex_m3_l3_full_t4_parity", 0.0, "bool")];
         assert!(diff(&before, &after, &Thresholds::default()).regressed());
     }
 

@@ -30,7 +30,8 @@ use anonreg_sim::viz::{to_dot, DotOptions};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: check <mutex|hybrid|ordered|consensus|renaming> [--m N] [--n N] \
-         [--registers N] [--shift N] [--max-states N] [--threads N] [--crashes] [--dot FILE]\n\
+         [--registers N] [--shift N] [--max-states N] [--threads N] [--crashes] [--por] \
+         [--spill] [--dot FILE]\n\
          \x20      check explore [--n N] [--registers N] [--threads N] [--max-states N] \
          [--json FILE] [--min-speedup X] [--stream FILE] [--stream-interval-ms N]   \
          parallel-explorer scaling benchmark (E14); --stream tails live schema-v2 \
@@ -38,13 +39,17 @@ fn usage() -> ExitCode {
          \x20      check explore --symmetry <off|registers|full> [--n N] [--registers N] \
          [--threads N] [--max-states N] [--json FILE] [--min-reduction X] [--stream FILE]   \
          symmetry-reduction benchmark (E16) with verdict parity\n\
+         \x20      check explore --scale [--quick] [--threads N] [--max-states N] \
+         [--json FILE] [--min-throughput X] [--stream FILE]   stats-mode scale run (E19) \
+         with POR + disk spill; --quick runs the CI-sized space with the exact-count anchor\n\
          \x20      check profile [--full] [--threads N] [--max-states N] [--entries N] \
          [--flamegraph FILE] [--json FILE] [--min-coverage X]   wall-clock phase profiles \
          (E18): explorer workers + runtime driver, collapsed-stack flamegraph export, \
          self-time coverage gate (default 0.7)\n\
          \x20      check bench-diff BEFORE AFTER [--max-time-ratio X] [--max-drop-ratio X] \
-         [--allow-missing] [--require NAME=FLOOR]   compare two bench JSONL files; \
-         exits non-zero on regression\n\
+         [--allow-missing] [--require NAME=FLOOR] [--exact-counts] [--reduced-marker SEG]   \
+         compare two bench JSONL files (reduction-mode runs compare states/edges \
+         lower-better; parity runs exact); exits non-zero on regression\n\
          \x20      check lint <--all|ALGO|fixtures>   static analysis (L1-L6); \
          ALGO in {{mutex,hybrid,ordered,consensus,election,renaming,baselines}}\n\
          \x20      check stress [--schedules N] [--seed N] [--family F] [--replay SEED] \
@@ -242,6 +247,7 @@ fn obs_main(raw: &[String]) -> ExitCode {
         max_states: args.max_states,
         crashes: args.crashes,
         parallelism: args.threads,
+        ..ExploreConfig::default()
     };
     if let Err(e) = Explorer::new(sim).limits(limits).probe(&probe).run() {
         eprintln!("exploration failed: {e}");
@@ -533,6 +539,104 @@ fn explore_symmetry_main(
     ExitCode::SUCCESS
 }
 
+/// `check explore --scale` — experiment E19: stats-mode exploration at
+/// scale with ample-set POR and disk spill. Runs the full-scale trio
+/// (fully loaded m = 3 ring, m = 4 ring, consensus n = 4) under `por`
+/// and `por_spill` configurations, or with `--quick` the CI-sized
+/// consensus space with the exact-count `off` anchor included; prints
+/// the throughput table, optionally exports JSONL (`--json`) and
+/// enforces a states/s floor (`--min-throughput`).
+fn explore_scale_main(
+    quick: bool,
+    threads: usize,
+    max_states: usize,
+    json_path: Option<&String>,
+    min_throughput: Option<f64>,
+    stream: Option<(&str, u64)>,
+) -> ExitCode {
+    use anonreg_bench::e16_symmetry::Workload;
+    use anonreg_bench::live::Instruments;
+    use anonreg_bench::{benchjson, e19_scale};
+    use anonreg_obs::schema::meta_line;
+    use anonreg_obs::Json;
+
+    let workloads: Vec<_> = if quick {
+        e19_scale::quick().to_vec()
+    } else {
+        e19_scale::full_scale().to_vec()
+    };
+    let slugs: Vec<String> = workloads.iter().map(Workload::slug).collect();
+    println!(
+        "model checking at scale (E19): {} at {threads} threads, stats mode, \
+         max {max_states} states{}",
+        slugs.join(" + "),
+        if quick {
+            " [quick: off anchor + por + por_spill]"
+        } else {
+            " [por + por_spill]"
+        }
+    );
+    let live = match stream {
+        Some((path, interval_ms)) => {
+            match LiveStream::start("check-explore-scale", path, interval_ms) {
+                Ok(live) => Some(live),
+                Err(code) => return code,
+            }
+        }
+        None => None,
+    };
+    let ins = match &live {
+        Some(l) => l.instruments(),
+        None => Instruments::none(),
+    };
+    let rows = match e19_scale::rows_with(&workloads, quick, threads, max_states, &ins) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    drop(ins);
+    if let Some(live) = live {
+        if let Err(code) = live.finish() {
+            return code;
+        }
+    }
+    println!("{}", e19_scale::render(&rows));
+    println!("spill count-invariance and POR monotonicity: ok");
+
+    if let Some(path) = json_path {
+        let mut out = meta_line(
+            "check-explore-scale",
+            &[
+                ("threads", Json::U64(threads as u64)),
+                ("max_states", Json::U64(max_states as u64)),
+                ("quick", Json::Bool(quick)),
+            ],
+        )
+        .render();
+        out.push('\n');
+        out.push_str(&benchjson::to_jsonl(&e19_scale::metrics(&rows)));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+    if let Some(floor) = min_throughput {
+        let slowest = rows
+            .iter()
+            .map(e19_scale::Row::throughput)
+            .fold(f64::INFINITY, f64::min);
+        if slowest < floor {
+            eprintln!("throughput {slowest:.0} states/s is below the required {floor:.0}");
+            return ExitCode::FAILURE;
+        }
+        println!("throughput {slowest:.0} states/s meets the required {floor:.0}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// `check explore` — the parallel-explorer scaling benchmark (experiment
 /// E14): explore the Figure 2 consensus space once at 1 thread and once at
 /// `--threads`, refuse to report a speedup unless both runs produce the
@@ -548,15 +652,29 @@ fn explore_main(raw: &[String]) -> ExitCode {
     let mut n = 3usize;
     let mut registers = 2usize;
     let mut threads = 4usize;
-    let mut max_states = 4_000_000usize;
+    let mut max_states: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
     let mut symmetry: Option<SymmetryMode> = None;
     let mut min_reduction: Option<f64> = None;
+    let mut min_throughput: Option<f64> = None;
+    let mut scale = false;
+    let mut quick = false;
     let mut stream_path: Option<String> = None;
     let mut stream_interval_ms = 50u64;
     let mut it = raw.iter();
     while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                scale = true;
+                continue;
+            }
+            "--quick" => {
+                quick = true;
+                continue;
+            }
+            _ => {}
+        }
         let Some(value) = it.next() else {
             return usage();
         };
@@ -581,6 +699,12 @@ fn explore_main(raw: &[String]) -> ExitCode {
                 };
                 min_reduction = Some(v);
             }
+            "--min-throughput" => {
+                let Ok(v) = value.parse::<f64>() else {
+                    return usage();
+                };
+                min_throughput = Some(v);
+            }
             "--symmetry" => {
                 symmetry = Some(match value.as_str() {
                     "off" => SymmetryMode::Off,
@@ -597,12 +721,25 @@ fn explore_main(raw: &[String]) -> ExitCode {
                     "--n" => n = v,
                     "--registers" => registers = v,
                     "--threads" => threads = v,
-                    _ => max_states = v,
+                    _ => max_states = Some(v),
                 }
             }
             _ => return usage(),
         }
     }
+    if scale {
+        return explore_scale_main(
+            quick,
+            threads,
+            // Stats mode stores fingerprints, not states: the scale
+            // default is an order of magnitude past the E14/E16 cap.
+            max_states.unwrap_or(100_000_000),
+            json_path.as_ref(),
+            min_throughput,
+            stream_path.as_deref().map(|p| (p, stream_interval_ms)),
+        );
+    }
+    let max_states = max_states.unwrap_or(4_000_000);
     if let Some(mode) = symmetry {
         return explore_symmetry_main(
             mode,
@@ -617,6 +754,10 @@ fn explore_main(raw: &[String]) -> ExitCode {
     }
     if min_reduction.is_some() {
         eprintln!("--min-reduction requires --symmetry");
+        return usage();
+    }
+    if min_throughput.is_some() || quick {
+        eprintln!("--min-throughput/--quick require --scale");
         return usage();
     }
 
@@ -1028,6 +1169,13 @@ fn bench_diff_main(raw: &[String]) -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--allow-missing" => thresholds.allow_missing = true,
+            "--exact-counts" => thresholds.reduced_markers.clear(),
+            "--reduced-marker" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                thresholds.reduced_markers.push(v.clone());
+            }
             "--max-time-ratio" | "--max-drop-ratio" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
                     return usage();
@@ -1112,7 +1260,8 @@ fn sanitize_main(raw: &[String]) -> ExitCode {
     use anonreg_obs::schema::meta_line;
     use anonreg_obs::Json;
     use anonreg_sanitizer::{
-        certify_family, fixtures, run_family, runtime_site_notes, OrderingPlan, FAMILIES,
+        certify_family, explorer_site_notes, fixtures, run_family, runtime_site_notes,
+        OrderingPlan, FAMILIES,
     };
     use std::sync::atomic::Ordering as MemOrdering;
 
@@ -1302,6 +1451,10 @@ fn sanitize_main(raw: &[String]) -> ExitCode {
     for (id, why) in runtime_site_notes() {
         println!("  {id}: {why}");
     }
+    println!("structural explorer certificates:");
+    for (id, why) in explorer_site_notes() {
+        println!("  {id}: {why}");
+    }
 
     if let Some(path) = &json_path {
         let mut out = meta_line(
@@ -1353,6 +1506,8 @@ struct Args {
     max_states: usize,
     threads: usize,
     crashes: bool,
+    por: bool,
+    spill: bool,
     dot: Option<String>,
 }
 
@@ -1365,6 +1520,8 @@ fn parse(raw: &[String]) -> Option<Args> {
         max_states: 4_000_000,
         threads: 1,
         crashes: false,
+        por: false,
+        spill: false,
         dot: None,
     };
     let mut map: HashMap<String, String> = HashMap::new();
@@ -1372,6 +1529,14 @@ fn parse(raw: &[String]) -> Option<Args> {
     while let Some(flag) = it.next() {
         if flag == "--crashes" {
             args.crashes = true;
+            continue;
+        }
+        if flag == "--por" {
+            args.por = true;
+            continue;
+        }
+        if flag == "--spill" {
+            args.spill = true;
             continue;
         }
         let value = it.next()?;
@@ -1503,6 +1668,8 @@ fn main() -> ExitCode {
         max_states: args.max_states,
         crashes: args.crashes,
         parallelism: args.threads,
+        por: args.por,
+        spill: args.spill,
     };
 
     match kind.as_str() {

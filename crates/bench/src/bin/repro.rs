@@ -18,8 +18,8 @@ use std::time::Instant;
 use anonreg_bench::benchjson::BenchMetric;
 use anonreg_bench::{
     e10_solo_steps, e11_hybrid, e12_starvation, e13_ordered, e14_scaling, e15_faults, e16_symmetry,
-    e17_ordering, e18_profile, e1_parity, e2_ring, e3_consensus, e4_consensus_space, e5_renaming,
-    e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
+    e17_ordering, e18_profile, e19_scale, e1_parity, e2_ring, e3_consensus, e4_consensus_space,
+    e5_renaming, e6_renaming_space, e7_unknown_n, e8_election, e9_threads,
 };
 use anonreg_obs::schema::meta_line;
 use anonreg_obs::Json;
@@ -55,7 +55,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--json FILE] [e1 .. e18]\n\
+                    "usage: repro [--quick] [--json FILE] [e1 .. e19]\n\
                      Regenerates the experiment tables of the PODC'17\n\
                      'Coordination Without Prior Agreement' reproduction.\n\
                      --json FILE also writes every metric as schema-v1\n\
@@ -259,6 +259,21 @@ fn main() {
                 .expect("profiled workloads fit the state budget");
             runs.push(e18_profile::profile_runtime(3, if q { 50 } else { 200 }));
             (e18_profile::render(&runs), e18_profile::metrics(&runs))
+        },
+    );
+
+    section(
+        "e19",
+        "model checking at scale: stats mode + POR + disk spill",
+        &|| {
+            let (workloads, with_baseline) = if q {
+                (e19_scale::quick().to_vec(), true)
+            } else {
+                (e19_scale::full_scale().to_vec(), false)
+            };
+            let rows = e19_scale::rows(&workloads, with_baseline, 4, 100_000_000)
+                .expect("scale workload exceeded its state limit");
+            (e19_scale::render(&rows), e19_scale::metrics(&rows))
         },
     );
 

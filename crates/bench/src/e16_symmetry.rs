@@ -403,6 +403,87 @@ mod tests {
         assert!(metrics.iter().all(|m| m.experiment == "E16"));
     }
 
+    /// The E16 regression this PR fixes: `Registers` mode on workloads
+    /// whose pids pin every slot (the ring mutex, the symmetric
+    /// consensus) used to pay full orbit-search cost for provably zero
+    /// reduction — 14% slower than `off` at identical counts in
+    /// `BENCH_explore.json`. The encoder now detects that at build time
+    /// and takes the identity fast path. Deterministic assertion, not a
+    /// wall-clock one: the probe must report *skipped* encodes and no
+    /// canonicalization time on both engines.
+    #[test]
+    fn registers_fast_path_skips_trivial_orbits_on_both_engines() {
+        use anonreg_obs::{MemProbe, Metric};
+
+        for workload in [
+            Workload::MutexRing { m: 2, procs: 2 },
+            Workload::SymmetricConsensus { n: 2, registers: 2 },
+        ] {
+            let baseline = {
+                let probe = MemProbe::new();
+                match workload {
+                    Workload::MutexRing { m, procs } => Explorer::new(mutex_ring_sim(m, procs))
+                        .max_states(200_000)
+                        .probe(&probe)
+                        .run_stats()
+                        .unwrap(),
+                    Workload::SymmetricConsensus { n, registers } => {
+                        Explorer::new(symmetric_consensus_sim(n, registers))
+                            .max_states(200_000)
+                            .probe(&probe)
+                            .run_stats()
+                            .unwrap()
+                    }
+                }
+            };
+            for threads in [1usize, 2] {
+                let probe = MemProbe::new();
+                let run = |probe: &MemProbe| match workload {
+                    Workload::MutexRing { m, procs } => Explorer::new(mutex_ring_sim(m, procs))
+                        .max_states(200_000)
+                        .parallelism(threads)
+                        .probe(probe)
+                        .symmetry(SymmetryMode::Registers)
+                        .run_stats()
+                        .unwrap(),
+                    Workload::SymmetricConsensus { n, registers } => {
+                        Explorer::new(symmetric_consensus_sim(n, registers))
+                            .max_states(200_000)
+                            .parallelism(threads)
+                            .probe(probe)
+                            .symmetry(SymmetryMode::Registers)
+                            .run_stats()
+                            .unwrap()
+                    }
+                };
+                let stats = run(&probe);
+                let snap = probe.snapshot();
+                let slug = workload.slug();
+                assert!(
+                    snap.counter_total(Metric::CanonSkipped) > 0,
+                    "{slug} t{threads}: fast path did not engage"
+                );
+                assert_eq!(
+                    snap.counter_total(Metric::CanonTime),
+                    0,
+                    "{slug} t{threads}: canonicalization was still timed"
+                );
+                assert_eq!(
+                    snap.counter_total(Metric::SymmetryHits),
+                    0,
+                    "{slug} t{threads}: fast path cannot move configurations"
+                );
+                // Pid-pinned slots ⇒ zero reduction was already the
+                // status quo; the fast path must preserve the counts.
+                assert_eq!(
+                    (stats.states, stats.edges),
+                    (baseline.states, baseline.edges),
+                    "{slug} t{threads}: fast path changed the graph"
+                );
+            }
+        }
+    }
+
     #[test]
     fn limit_error_propagates() {
         assert!(matches!(

@@ -40,6 +40,7 @@ pub mod e15_faults;
 pub mod e16_symmetry;
 pub mod e17_ordering;
 pub mod e18_profile;
+pub mod e19_scale;
 pub mod e1_parity;
 pub mod e2_ring;
 pub mod e3_consensus;

@@ -62,3 +62,35 @@ where
         None => explorer.run(),
     }
 }
+
+/// Explores `sim` in stats-only mode (no graph is materialised) with
+/// POR and disk spill switches — the E19 scale path, where the state
+/// space is the product, not the graph.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError::StateLimitExceeded`].
+pub fn explore_stats<M>(
+    sim: Simulation<M>,
+    por: bool,
+    spill: bool,
+    threads: usize,
+    max_states: usize,
+    ins: &Instruments<'_>,
+) -> Result<ExploreStats, ExploreError>
+where
+    M: Machine + Eq + Hash,
+{
+    let mut explorer = Explorer::new(sim)
+        .max_states(max_states)
+        .parallelism(threads)
+        .por(por)
+        .spill(spill);
+    if let Some(profiler) = &ins.profiler {
+        explorer = explorer.profiler(Arc::clone(profiler));
+    }
+    match ins.probe {
+        Some(probe) => explorer.probe(probe).run_stats(),
+        None => explorer.run_stats(),
+    }
+}

@@ -21,6 +21,9 @@ use std::hash::{Hash, Hasher};
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
 /// The FNV-1a 64-bit hash as a deterministic [`Hasher`].
 ///
 /// Unlike [`std::collections::hash_map::RandomState`], two `Fnv64` values
@@ -51,10 +54,22 @@ impl Hasher for Fnv64 {
     }
 
     fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(FNV_PRIME);
+        // FNV-1a is inherently byte-serial, but splitting the loop into
+        // fixed four-byte batches lets the compiler keep the state in a
+        // register and unroll the multiply chain; the output is byte-exact
+        // with the naive loop (checked against the reference vectors).
+        let mut state = self.state;
+        let mut chunks = bytes.chunks_exact(4);
+        for chunk in &mut chunks {
+            state = (state ^ u64::from(chunk[0])).wrapping_mul(FNV_PRIME);
+            state = (state ^ u64::from(chunk[1])).wrapping_mul(FNV_PRIME);
+            state = (state ^ u64::from(chunk[2])).wrapping_mul(FNV_PRIME);
+            state = (state ^ u64::from(chunk[3])).wrapping_mul(FNV_PRIME);
         }
+        for &b in chunks.remainder() {
+            state = (state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.state = state;
     }
 
     fn write_u8(&mut self, i: u8) {
@@ -116,6 +131,47 @@ pub fn fingerprint_of<T: Hash + ?Sized>(value: &T) -> u64 {
     hasher.finish()
 }
 
+/// A 128-bit FNV-1a fingerprint split into two independent 64-bit halves.
+///
+/// The lock-free dedup table in `anonreg-sim` keys probe sequences on
+/// `lo` and stores (part of) `hi` alongside the interned id, so a match
+/// on both halves carries ~96–128 bits of discrimination before the full
+/// canonical-code comparison. At 10⁸ interned states the birthday bound
+/// for a 128-bit hash puts the collision probability below 2⁻⁷⁰, which is
+/// what lets the spill tier fall back to fingerprint-only matching when a
+/// code is neither cached nor yet flushed to disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fp128 {
+    /// Low half: selects the probe sequence in open-addressing tables.
+    pub lo: u64,
+    /// High half: verified in-slot before any code comparison.
+    pub hi: u64,
+}
+
+/// Hashes `bytes` with FNV-1a 128 (standard offset basis and prime) and
+/// returns the two 64-bit halves.
+///
+/// Like [`Fnv64`], the loop is batched four bytes at a time without
+/// changing the byte-serial result.
+#[must_use]
+pub fn fp128(bytes: &[u8]) -> Fp128 {
+    let mut state = FNV128_OFFSET;
+    let mut chunks = bytes.chunks_exact(4);
+    for chunk in &mut chunks {
+        state = (state ^ u128::from(chunk[0])).wrapping_mul(FNV128_PRIME);
+        state = (state ^ u128::from(chunk[1])).wrapping_mul(FNV128_PRIME);
+        state = (state ^ u128::from(chunk[2])).wrapping_mul(FNV128_PRIME);
+        state = (state ^ u128::from(chunk[3])).wrapping_mul(FNV128_PRIME);
+    }
+    for &b in chunks.remainder() {
+        state = (state ^ u128::from(b)).wrapping_mul(FNV128_PRIME);
+    }
+    Fp128 {
+        lo: state as u64,
+        hi: (state >> 64) as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +201,57 @@ mod tests {
         let mut h = Fnv64::new();
         h.write(b"foobar");
         assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn batched_write_matches_serial_fnv() {
+        // Lengths straddling the 4-byte batch boundary must agree with a
+        // plain byte-at-a-time FNV-1a evaluation.
+        for len in 0..32usize {
+            let bytes: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            let mut serial = FNV_OFFSET;
+            for &b in &bytes {
+                serial = (serial ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+            let mut h = Fnv64::new();
+            h.write(&bytes);
+            assert_eq!(h.finish(), serial, "length {len}");
+        }
+    }
+
+    #[test]
+    fn fp128_matches_reference_vectors() {
+        // FNV-1a 128 reference values (lo = low 64 bits, hi = high 64).
+        let empty = fp128(b"");
+        assert_eq!(empty.hi, 0x6c62_272e_07bb_0142);
+        assert_eq!(empty.lo, 0x62b8_2175_6295_c58d);
+        // "a": 0xd228cb696f1a8caf78912b704e4a8964
+        let a = fp128(b"a");
+        assert_eq!(a.hi, 0xd228_cb69_6f1a_8caf);
+        assert_eq!(a.lo, 0x7891_2b70_4e4a_8964);
+    }
+
+    #[test]
+    fn fp128_batches_match_serial() {
+        for len in 0..32usize {
+            let bytes: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(91)).collect();
+            let mut serial = FNV128_OFFSET;
+            for &b in &bytes {
+                serial = (serial ^ u128::from(b)).wrapping_mul(FNV128_PRIME);
+            }
+            let got = fp128(&bytes);
+            assert_eq!(got.lo, serial as u64, "length {len}");
+            assert_eq!(got.hi, (serial >> 64) as u64, "length {len}");
+        }
+    }
+
+    #[test]
+    fn fp128_halves_are_independent_discriminators() {
+        let a = fp128(b"configuration-a");
+        let b = fp128(b"configuration-b");
+        assert_ne!(a, b);
+        assert_ne!(a.lo, b.lo);
+        assert_ne!(a.hi, b.hi);
     }
 
     #[test]

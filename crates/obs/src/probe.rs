@@ -91,6 +91,27 @@ pub enum Metric {
     /// Stress schedules whose safety invariant was violated, same keying
     /// as [`Metric::StressSchedules`].
     StressViolations,
+    /// Expanded states whose ample-set reduction fired: at least one
+    /// register-free successor existed, so the register successors were
+    /// pruned. Keyed like [`Metric::SymmetryHits`]. Only emitted when
+    /// partial-order reduction is enabled.
+    PorAmple,
+    /// Successor transitions the ample-set reduction pruned, same keying
+    /// as [`Metric::PorAmple`].
+    PorPruned,
+    /// Definite bloom-filter misses during dedup: probes the pre-screen
+    /// proved fresh without consulting the exact table. Keyed like
+    /// [`Metric::SymmetryHits`].
+    BloomNeg,
+    /// Canonical code bytes written to the on-disk spill tier.
+    SpillBytes,
+    /// Dedup verifications served by reading a spilled code back from
+    /// disk (LRU miss).
+    SpillReads,
+    /// Dedup hits accepted on the 128-bit fingerprint alone because the
+    /// candidate's code was still buffered in another worker's unflushed
+    /// spill chunk.
+    DedupUnverified,
 }
 
 impl Metric {
@@ -121,6 +142,12 @@ impl Metric {
             Metric::StaleReads => "stale_reads",
             Metric::StressSchedules => "stress_schedules",
             Metric::StressViolations => "stress_violations",
+            Metric::PorAmple => "por_ample",
+            Metric::PorPruned => "por_pruned",
+            Metric::BloomNeg => "bloom_neg",
+            Metric::SpillBytes => "spill_bytes",
+            Metric::SpillReads => "spill_reads",
+            Metric::DedupUnverified => "dedup_unverified",
         }
     }
 }
@@ -627,6 +654,12 @@ mod tests {
         assert_eq!(Metric::OrderingViolations.name(), "ordering_violations");
         assert_eq!(Metric::HbEdges.name(), "hb_edges");
         assert_eq!(Metric::StaleReads.name(), "stale_reads");
+        assert_eq!(Metric::PorAmple.name(), "por_ample");
+        assert_eq!(Metric::PorPruned.name(), "por_pruned");
+        assert_eq!(Metric::BloomNeg.name(), "bloom_neg");
+        assert_eq!(Metric::SpillBytes.name(), "spill_bytes");
+        assert_eq!(Metric::SpillReads.name(), "spill_reads");
+        assert_eq!(Metric::DedupUnverified.name(), "dedup_unverified");
         assert_eq!(Span::SoloWindow.name(), "solo_window");
         assert_eq!(Span::CoverBlock.name(), "cover_block");
         assert_eq!(Span::ExploreWorker.name(), "explore_worker");

@@ -49,10 +49,17 @@ pub enum Phase {
     Waiting,
     /// A runtime process inside its critical section.
     Critical,
+    /// Dedup lookup/insert against the spill-backed code store — the
+    /// lock-free table probe plus the LRU/disk verification tier. The
+    /// parallel engine charges interns here instead of
+    /// [`Phase::Dedup`] when spilling is on, so profiles separate table
+    /// time from IO.
+    Spill,
 }
 
-/// All phases, in wire order. `Phase::from_code` relies on this.
-const PHASES: [Phase; 8] = [
+/// All phases, in wire order. `Phase::from_code` relies on this; new
+/// phases append so existing packed codes stay stable.
+const PHASES: [Phase; 9] = [
     Phase::Step,
     Phase::Canon,
     Phase::Dedup,
@@ -61,6 +68,7 @@ const PHASES: [Phase; 8] = [
     Phase::Doorway,
     Phase::Waiting,
     Phase::Critical,
+    Phase::Spill,
 ];
 
 impl Phase {
@@ -76,6 +84,7 @@ impl Phase {
             Phase::Doorway => "doorway",
             Phase::Waiting => "waiting",
             Phase::Critical => "critical",
+            Phase::Spill => "spill",
         }
     }
 
@@ -349,6 +358,7 @@ mod tests {
         assert_eq!(Phase::Doorway.name(), "doorway");
         assert_eq!(Phase::Waiting.name(), "waiting");
         assert_eq!(Phase::Critical.name(), "critical");
+        assert_eq!(Phase::Spill.name(), "spill");
     }
 
     #[test]

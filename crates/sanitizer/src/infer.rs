@@ -310,6 +310,68 @@ pub fn runtime_site_notes() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// Structural certificates for the parallel explorer's lock-free dedup
+/// substrate (`anonreg-sim`'s `explore/dedup.rs` and `explore/par.rs`).
+/// Like [`runtime_site_notes`] these are architectural arguments, not
+/// family sweeps: each justifies why an ordering weaker than `SeqCst` is
+/// already minimal at its site. The code sites cite these IDs.
+#[must_use]
+pub fn explorer_site_notes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "ORD-DEDUP-CLAIM-001",
+            "FpTable slot claim (Relaxed/Relaxed compare_exchange on fp): the CAS transfers \
+             slot *ownership* only, which its atomicity alone guarantees — no payload is \
+             read through fp, so the claim needs no happens-before edge; all code/location \
+             publication synchronises through meta",
+        ),
+        (
+            "ORD-DEDUP-META-002",
+            "FpTable meta publish (Release store) / probe (Acquire load): the table's one \
+             true synchronisation edge, the Arc-style publication idiom — the claimant \
+             stores meta only after the canonical code (arena slot or spill location) is \
+             in place, and a reader that acquires a published meta therefore sees the code",
+        ),
+        (
+            "ORD-DEDUP-SPIN-003",
+            "FpTable publication-wait spin (Acquire loads of meta with periodic abort \
+             checks): bounded by the claim-to-publish window because claimants always \
+             publish — the state-limit path publishes a sentinel instead of an id — so a \
+             spinning reader can only wait on live progress or observe the abort flag",
+        ),
+        (
+            "ORD-DEDUP-BLOOM-004",
+            "Bloom filter words (Relaxed fetch_or / load): bits are set before the claim \
+             CAS, so a single-threaded probe sequence is never-false-negative; under \
+             concurrency a query may race a sibling's insert, so the parallel engine \
+             treats a miss as a statistic and never skips slot verification on it",
+        ),
+        (
+            "ORD-EXP-PENDING-005",
+            "parallel explorer pending counter (Relaxed fetch_add/fetch_sub/load): on this \
+             single atomic, every child's increment precedes its parent's decrement in the \
+             incrementing thread's program order, so coherence of the counter's \
+             modification order alone guarantees an observed zero means the frontier is \
+             truly drained — no cross-variable ordering is consumed",
+        ),
+        (
+            "ORD-DEDUP-FLUSH-006",
+            "SpillStore flushed watermark (Release store after write_all_at / Acquire \
+             load before read_at): the writer advances the watermark only once the bytes \
+             are durably written, so a reader that acquires a covering watermark may \
+             read_at the range; codes not yet covered fall back to fingerprint-trust and \
+             are counted dedup_unverified",
+        ),
+        (
+            "ORD-EXP-ABORT-007",
+            "parallel explorer abort flag (Relaxed store/load): advisory teardown signal \
+             only — no data is published through it, the authoritative error is decided \
+             on the main thread after the worker joins, and finite-time visibility \
+             bounds the overshoot to a handful of extra expansions",
+        ),
+    ]
+}
+
 // ---------------------------------------------------------------------------
 // Family cells
 // ---------------------------------------------------------------------------
@@ -663,5 +725,28 @@ mod tests {
         let notes = runtime_site_notes();
         assert!(notes.iter().any(|(id, _)| *id == "ORD-RT-PEEK-001"));
         assert!(notes.iter().any(|(id, _)| *id == "ORD-RT-HANDLE-002"));
+    }
+
+    #[test]
+    fn explorer_notes_cover_the_cited_ids() {
+        // One note per certificate the dedup/par code comments cite, with
+        // unique IDs.
+        let notes = explorer_site_notes();
+        let cited = [
+            "ORD-DEDUP-CLAIM-001",
+            "ORD-DEDUP-META-002",
+            "ORD-DEDUP-SPIN-003",
+            "ORD-DEDUP-BLOOM-004",
+            "ORD-EXP-PENDING-005",
+            "ORD-DEDUP-FLUSH-006",
+            "ORD-EXP-ABORT-007",
+        ];
+        for id in cited {
+            assert!(notes.iter().any(|(n, _)| *n == id), "missing note {id}");
+        }
+        let mut ids: Vec<&str> = notes.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), notes.len(), "duplicate note ids");
     }
 }

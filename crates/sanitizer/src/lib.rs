@@ -48,8 +48,8 @@ pub use clock::VectorClock;
 pub use exec::{ExecEvent, ExecEventKind, ExecReport, SanitizedExec};
 pub use fixtures::{fixture, fixtures as broken_fixtures, BrokenFixture, FixtureOutcome};
 pub use infer::{
-    certify_family, run_family, runtime_site_notes, schedule_seed, sweep_plan, FamilyCertification,
-    FamilyOutcome, PlanSweep, RejectedRung, FAMILIES,
+    certify_family, explorer_site_notes, run_family, runtime_site_notes, schedule_seed, sweep_plan,
+    FamilyCertification, FamilyOutcome, PlanSweep, RejectedRung, FAMILIES,
 };
 pub use plan::{is_acquire, is_release, OrderingPlan, Site};
 pub use register::{CtxSnapshot, SanitizedRegister, SanitizerConfig, SanitizerCtx};

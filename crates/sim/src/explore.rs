@@ -47,17 +47,20 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::Arc;
 use std::time::Instant;
 
-use anonreg_model::fingerprint::Fnv64;
+use anonreg_model::fingerprint::{fp128, Fp128};
 use anonreg_model::{Machine, PidMap, SymmetryMode, View};
 use anonreg_obs::{Metric, NoopProbe, Phase, Probe, Profiler, Span};
 
 use crate::canon::StateEncoder;
-use crate::Simulation;
+use crate::{Simulation, StepOutcome};
 
+use self::dedup::Bloom;
+
+mod dedup;
 mod par;
 
 /// Configuration for an [`Explorer`] run: resource limits, the failure
@@ -74,6 +77,17 @@ pub struct ExploreConfig {
     /// sequential engine with canonical state ids; `0` means "one worker
     /// per available CPU"; anything else runs the breadth-parallel engine.
     pub parallelism: usize,
+    /// Ample-set partial-order reduction: when some live processes are
+    /// poised at a register-free local step (an event or a halt), explore
+    /// only those processes from that state and prune the other
+    /// interleavings. See [`Explorer::por`] for the soundness argument.
+    /// Incompatible with [`crashes`](ExploreConfig::crashes).
+    pub por: bool,
+    /// Parallel engine only: spill interned canonical codes to disk
+    /// behind an in-memory LRU tier, so the dedup table's memory use no
+    /// longer grows with the code bytes of every distinct state. See
+    /// [`Explorer::spill`].
+    pub spill: bool,
 }
 
 impl Default for ExploreConfig {
@@ -82,6 +96,8 @@ impl Default for ExploreConfig {
             max_states: 1_000_000,
             crashes: false,
             parallelism: 1,
+            por: false,
+            spill: false,
         }
     }
 }
@@ -94,6 +110,17 @@ pub enum ExploreError {
         /// The configured limit.
         limit: usize,
     },
+    /// A parallel-engine worker panicked mid-expansion. The run shut
+    /// down cleanly (the panicking worker's pending count was released
+    /// by a drop guard, so the siblings drained and exited), but the
+    /// graph is incomplete and no verdict can be drawn from it.
+    WorkerPanicked,
+    /// Partial-order reduction was requested together with crash
+    /// transitions. §2's crash is enabled from *every* state and is
+    /// never independent of the crashing process's own pending step, so
+    /// no ample set smaller than the full successor set is sound there;
+    /// the combination is rejected rather than silently unsound.
+    PorWithCrashes,
 }
 
 impl fmt::Display for ExploreError {
@@ -101,6 +128,16 @@ impl fmt::Display for ExploreError {
         match self {
             ExploreError::StateLimitExceeded { limit } => {
                 write!(f, "state space exceeds the limit of {limit} states")
+            }
+            ExploreError::WorkerPanicked => {
+                write!(f, "an exploration worker panicked; the run was aborted")
+            }
+            ExploreError::PorWithCrashes => {
+                write!(
+                    f,
+                    "partial-order reduction cannot be combined with crash \
+                     transitions (no ample set is sound under §2's crash model)"
+                )
             }
         }
     }
@@ -211,6 +248,64 @@ where
         self
     }
 
+    /// Enables ample-set partial-order reduction.
+    ///
+    /// When one or more live processes are poised at a **register-free
+    /// local step** — their next step is an event announcement or a halt,
+    /// not a read or a write — those processes form the state's *ample
+    /// set* and only their transitions are explored; the reads and writes
+    /// of the remaining processes are deferred to the successor states.
+    ///
+    /// Soundness rests on three facts about this substrate:
+    ///
+    /// 1. **Independence.** An event/halt step touches no shared register
+    ///    and only its own process slot, so it commutes with every step
+    ///    of every other process: both orders reach the same
+    ///    configuration, and the deferred steps are still enabled after
+    ///    it (events never disable a read or write of another process).
+    /// 2. **Invisibility of the pruned orders.** The crate-wide contract
+    ///    (see [`Simulation::step`] and the family machines) is that
+    ///    observable milestones — critical-section membership, decision
+    ///    values, leadership — change *only at event steps*. The pruned
+    ///    interleavings differ from the kept one only in where another
+    ///    process's read/write lands relative to the event, and reads
+    ///    and writes change no milestone, so every predicate checked by
+    ///    the analyses sees a stutter-equivalent run. Note the ample set
+    ///    is **all** event-poised processes, never a proper subset: two
+    ///    simultaneously poised events (say, two `Enter`s) are genuinely
+    ///    dependent — dropping one would hide the overlap state that
+    ///    mutual-exclusion checking exists to find.
+    /// 3. **No event cycles.** A machine performs a memory operation or
+    ///    halts after finitely many events ([`Simulation::run_solo`]
+    ///    enforces this with a fuse), so ample-only expansion cannot
+    ///    postpone the rest of the system forever.
+    ///
+    /// Crash transitions break fact 1 — §2's crash is enabled everywhere
+    /// and races the crashing process's own poised step — so
+    /// [`Explorer::run`] rejects `por` + `crashes` with
+    /// [`ExploreError::PorWithCrashes`].
+    ///
+    /// The reduced graph has fewer states and edges; safety, fair-
+    /// livelock and starvation verdicts are unchanged (enforced across
+    /// every family and both engines by the POR parity suite).
+    pub fn por(mut self, por: bool) -> Self {
+        self.config.por = por;
+        self
+    }
+
+    /// Parallel engine only: spills interned canonical codes to
+    /// per-worker temp files behind a sharded in-memory LRU tier.
+    ///
+    /// Dedup candidates are verified against the LRU, then against the
+    /// spill file when the bytes are already flushed; a candidate whose
+    /// code is still buffered by another worker is matched on its
+    /// 128-bit fingerprint alone (collision probability below 2⁻⁷⁰ at
+    /// 10⁸ states) and counted in the `dedup_unverified` probe metric.
+    pub fn spill(mut self, spill: bool) -> Self {
+        self.config.spill = spill;
+        self
+    }
+
     /// Sets the number of worker threads: `1` for the deterministic
     /// sequential engine (canonical state ids), `0` for one worker per
     /// available CPU, `n > 1` for the breadth-parallel engine.
@@ -295,10 +390,7 @@ where
     /// emitted up to that point are still in the probe, so a budget-blown
     /// exploration is still measurable.
     pub fn run(self) -> Result<StateGraph<M>, ExploreError> {
-        let threads = match self.config.parallelism {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            t => t,
-        };
+        let threads = self.validate()?;
         if threads <= 1 {
             run_sequential(
                 self.initial,
@@ -318,6 +410,65 @@ where
             )
         }
     }
+
+    /// Runs the exploration for its **counts only** — states, edges,
+    /// maximum depth, dedup hits — without materialising a
+    /// [`StateGraph`].
+    ///
+    /// Expanded configurations are dropped as soon as their successors
+    /// are interned, so memory scales with the frontier plus the dedup
+    /// table (plus nothing at all for codes when
+    /// [`spill`](Explorer::spill) is on), not with the full graph. This
+    /// is the mode the E19 scale experiment runs in.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Explorer::run`].
+    pub fn run_stats(self) -> Result<ExploreStats, ExploreError> {
+        let threads = self.validate()?;
+        if threads <= 1 {
+            run_sequential_stats(
+                self.initial,
+                &self.config,
+                self.probe,
+                &self.encoder,
+                self.profiler.as_deref(),
+            )
+        } else {
+            par::run_parallel_stats(
+                self.initial,
+                &self.config,
+                self.probe,
+                threads,
+                &self.encoder,
+                self.profiler.as_deref(),
+            )
+        }
+    }
+
+    /// Shared run-time validation; returns the resolved thread count.
+    fn validate(&self) -> Result<usize, ExploreError> {
+        if self.config.por && self.config.crashes {
+            return Err(ExploreError::PorWithCrashes);
+        }
+        Ok(match self.config.parallelism {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        })
+    }
+}
+
+/// The counts of an exploration run in [`Explorer::run_stats`] mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states interned.
+    pub states: u64,
+    /// Transitions taken (after any partial-order pruning).
+    pub edges: u64,
+    /// Dedup hits (edges whose target was already interned).
+    pub dedup: u64,
+    /// Maximum discovery depth.
+    pub max_depth: u32,
 }
 
 /// How often the explorer samples its frontier/depth gauges, in
@@ -326,38 +477,42 @@ where
 /// reported exactly.
 const GAUGE_SAMPLE_EVERY: usize = 1024;
 
-/// The stable FNV-1a fingerprint of a state code — the fast first probe
-/// of the interning tables; full codes decide.
-pub(crate) fn code_fingerprint(code: &[u8]) -> u64 {
-    let mut hasher = Fnv64::new();
-    hasher.write(code);
-    hasher.finish()
-}
-
-/// The sequential engine's interning table: a fingerprint-first index into
-/// an arena of flat state codes. Probing compares `Box<[u8]>` codes —
-/// never whole `Simulation`s — so a dedup hit costs one hash lookup plus
-/// one byte-string compare instead of cloning registers and slots.
+/// The sequential engine's interning table: a bloom-screened,
+/// fingerprint-first index into an arena of flat state codes. Probing
+/// compares `Box<[u8]>` codes — never whole `Simulation`s — so a dedup
+/// hit costs one hash lookup plus one byte-string compare instead of
+/// cloning registers and slots; a definite bloom miss (the common case
+/// for a fresh state) skips even the hash lookup. Single-threaded, so
+/// the bloom's never-false-negative contract is unconditional here.
 struct InternTable {
-    /// fingerprint → candidate state ids (almost always a single entry).
+    /// low fingerprint half → candidate state ids (almost always one).
     ids: HashMap<u64, Vec<u32>>,
     /// Arena of state codes, indexed by state id.
     codes: Vec<Box<[u8]>>,
+    bloom: Bloom,
+    /// Definite bloom misses: map lookups skipped.
+    bloom_neg: u64,
 }
 
 impl InternTable {
-    fn with_first(code: Box<[u8]>) -> Self {
+    fn new(max_states: usize, first: Box<[u8]>) -> Self {
         let mut table = InternTable {
             ids: HashMap::new(),
             codes: Vec::new(),
+            bloom: Bloom::new(max_states),
+            bloom_neg: 0,
         };
-        table.insert(code);
+        table.insert(fp128(&first), first);
         table
     }
 
-    /// The id already holding `code`, if any.
-    fn find(&self, code: &[u8]) -> Option<usize> {
-        let candidates = self.ids.get(&code_fingerprint(code))?;
+    /// The id already holding `code` (fingerprinted as `fp`), if any.
+    fn find(&mut self, fp: Fp128, code: &[u8]) -> Option<usize> {
+        if !self.bloom.query(fp) {
+            self.bloom_neg += 1;
+            return None;
+        }
+        let candidates = self.ids.get(&fp.lo)?;
         candidates
             .iter()
             .find(|&&id| &*self.codes[id as usize] == code)
@@ -365,14 +520,106 @@ impl InternTable {
     }
 
     /// Interns `code` as the next state id.
-    fn insert(&mut self, code: Box<[u8]>) -> usize {
+    fn insert(&mut self, fp: Fp128, code: Box<[u8]>) -> usize {
         let id = self.codes.len();
-        self.ids
-            .entry(code_fingerprint(&code))
-            .or_default()
-            .push(id as u32);
+        self.bloom.insert(fp);
+        self.ids.entry(fp.lo).or_default().push(id as u32);
         self.codes.push(code);
         id
+    }
+}
+
+/// One computed successor of a state, before interning.
+struct Successor<M: Machine> {
+    proc: usize,
+    crash: bool,
+    sim: Simulation<M>,
+    event: Option<M::Event>,
+    /// The step was a register-free local step (event announcement or
+    /// halt) — membership in the state's ample set.
+    local: bool,
+}
+
+/// Expands `state` into `out` (cleared first): one successor per live
+/// process, plus one crash successor each under the crash model. With
+/// `por`, and when at least one process is poised at a register-free
+/// local step, only those processes' successors are kept (the ample
+/// set — see [`Explorer::por`] for why this is sound and why the ample
+/// set is *all* such processes, never fewer). Returns how many
+/// successors were pruned.
+fn expand_into<M: Machine + Eq>(
+    state: &Simulation<M>,
+    crashes: bool,
+    por: bool,
+    out: &mut Vec<Successor<M>>,
+) -> u64 {
+    out.clear();
+    for proc in 0..state.process_count() {
+        if state.is_halted(proc) {
+            continue;
+        }
+        let mut sim = state.clone();
+        let (outcome, event) = sim.step_quiet(proc).expect("slot is valid and not halted");
+        let local = matches!(outcome, StepOutcome::Event | StepOutcome::Halted);
+        out.push(Successor {
+            proc,
+            crash: false,
+            sim,
+            event,
+            local,
+        });
+        if crashes {
+            let mut sim = state.clone();
+            sim.crash_quiet(proc).expect("slot is valid");
+            out.push(Successor {
+                proc,
+                crash: true,
+                sim,
+                event: None,
+                local: false,
+            });
+        }
+    }
+    if por && out.iter().any(|s| s.local) {
+        let before = out.len();
+        out.retain(|s| s.local);
+        (before - out.len()) as u64
+    } else {
+        0
+    }
+}
+
+/// POR counters for one engine worker, reported only when the reduction
+/// actually fired so unreduced runs keep their probe output unchanged.
+#[derive(Default)]
+pub(crate) struct PorTally {
+    /// States at which the ample set was a proper subset.
+    pub(crate) ample: u64,
+    /// Successors pruned across those states.
+    pub(crate) pruned: u64,
+}
+
+impl PorTally {
+    pub(crate) fn absorb(&mut self, pruned: u64) {
+        if pruned > 0 {
+            self.ample += 1;
+            self.pruned += pruned;
+        }
+    }
+
+    pub(crate) fn report<P: Probe>(&self, probe: &P, key: u64) {
+        if self.ample > 0 {
+            probe.counter(Metric::PorAmple, key, self.ample);
+            probe.counter(Metric::PorPruned, key, self.pruned);
+        }
+    }
+}
+
+/// Reports the sequential intern table's bloom statistics (definite
+/// misses that skipped a map lookup), if any.
+fn report_bloom<P: Probe>(probe: &P, table: &InternTable) {
+    if table.bloom_neg > 0 {
+        probe.counter(Metric::BloomNeg, 0, table.bloom_neg);
     }
 }
 
@@ -421,7 +668,7 @@ where
         }
     };
 
-    let mut table = InternTable::with_first(encode(&initial));
+    let mut table = InternTable::new(limits.max_states, encode(&initial));
     let mut states = vec![initial];
     let mut edges: Vec<Vec<Edge<M::Event>>> = Vec::new();
     let mut parents = vec![None];
@@ -433,105 +680,86 @@ where
     let mut dedup_hits = 0u64;
     let mut edge_total = 0u64;
     let mut flushed = FlushedCounters::default();
+    let mut por = PorTally::default();
+    let mut successors: Vec<Successor<M>> = Vec::new();
 
     let mut frontier = vec![0usize];
     while let Some(id) = frontier.pop() {
-        let mut out = Vec::new();
-        for proc in 0..states[id].process_count() {
-            if states[id].is_halted(proc) {
-                continue;
+        if let Some(t) = timer.as_mut() {
+            t.switch(Phase::Step);
+        }
+        por.absorb(expand_into(
+            &states[id],
+            limits.crashes,
+            limits.por,
+            &mut successors,
+        ));
+        let mut out = Vec::with_capacity(successors.len());
+        for succ in successors.drain(..) {
+            if let Some(t) = timer.as_mut() {
+                t.switch(Phase::Canon);
             }
-            for crash in [false, true] {
-                if crash && !limits.crashes {
-                    continue;
-                }
-                if let Some(t) = timer.as_mut() {
-                    t.switch(Phase::Step);
-                }
-                let mut next = states[id].clone();
-                next.clear_trace();
-                if crash {
-                    next.crash(proc).expect("slot is valid");
-                } else {
-                    next.step(proc).expect("slot is valid and not halted");
-                }
-                let events: Vec<M::Event> =
-                    next.trace().events().map(|(_, _, e)| e.clone()).collect();
-                next.clear_trace();
-                if let Some(t) = timer.as_mut() {
-                    t.switch(Phase::Canon);
-                }
-                let code = encode(&next);
-                if let Some(t) = timer.as_mut() {
-                    t.switch(Phase::Dedup);
-                }
-                let target = match table.find(&code) {
-                    Some(t) => {
-                        if P::ENABLED {
-                            dedup_hits += 1;
-                        }
-                        t
-                    }
-                    None => {
-                        let t = states.len();
-                        if t >= limits.max_states {
-                            if P::ENABLED {
-                                report_explore(
-                                    probe,
-                                    t as u64,
-                                    edge_total,
-                                    dedup_hits,
-                                    &frontier,
-                                    max_depth,
-                                    &mut flushed,
-                                );
-                                report_symmetry(
-                                    probe,
-                                    0,
-                                    symmetry_hits,
-                                    canon_nanos,
-                                    canon_skipped,
-                                );
-                                probe.span_close(Span::Explore, 0, t as u64);
-                            }
-                            record_timer(profiler, timer);
-                            return Err(ExploreError::StateLimitExceeded {
-                                limit: limits.max_states,
-                            });
-                        }
-                        table.insert(code);
-                        states.push(next);
-                        parents.push(Some((id, proc, crash)));
-                        frontier.push(t);
-                        if P::ENABLED {
-                            let depth = depths[id] + 1;
-                            depths.push(depth);
-                            max_depth = max_depth.max(depth);
-                            if t % GAUGE_SAMPLE_EVERY == 0 {
-                                probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
-                                probe.gauge(Metric::ExploreDepth, 0, u64::from(max_depth));
-                                flushed.flush(
-                                    probe,
-                                    0,
-                                    states.len() as u64,
-                                    edge_total,
-                                    dedup_hits,
-                                );
-                            }
-                        }
-                        t
-                    }
-                };
-                if P::ENABLED {
-                    edge_total += 1;
-                }
-                out.push(Edge {
-                    proc,
-                    target,
-                    events,
-                    crash,
-                });
+            let code = encode(&succ.sim);
+            if let Some(t) = timer.as_mut() {
+                t.switch(Phase::Dedup);
             }
+            let fp = fp128(&code);
+            let target = match table.find(fp, &code) {
+                Some(t) => {
+                    if P::ENABLED {
+                        dedup_hits += 1;
+                    }
+                    t
+                }
+                None => {
+                    let t = states.len();
+                    if t >= limits.max_states {
+                        if P::ENABLED {
+                            report_explore(
+                                probe,
+                                t as u64,
+                                edge_total,
+                                dedup_hits,
+                                &frontier,
+                                max_depth,
+                                &mut flushed,
+                            );
+                            report_symmetry(probe, 0, symmetry_hits, canon_nanos, canon_skipped);
+                            report_bloom(probe, &table);
+                            por.report(probe, 0);
+                            probe.span_close(Span::Explore, 0, t as u64);
+                        }
+                        record_timer(profiler, timer);
+                        return Err(ExploreError::StateLimitExceeded {
+                            limit: limits.max_states,
+                        });
+                    }
+                    table.insert(fp, code);
+                    states.push(succ.sim);
+                    parents.push(Some((id, succ.proc, succ.crash)));
+                    frontier.push(t);
+                    if P::ENABLED {
+                        let depth = depths[id] + 1;
+                        depths.push(depth);
+                        max_depth = max_depth.max(depth);
+                        if t % GAUGE_SAMPLE_EVERY == 0 {
+                            probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
+                            probe.gauge(Metric::ExploreDepth, 0, u64::from(max_depth));
+                            flushed.flush(probe, 0, states.len() as u64, edge_total, dedup_hits);
+                        }
+                    }
+                    t
+                }
+            };
+            if P::ENABLED {
+                edge_total += 1;
+            }
+            out.push(Edge {
+                proc: succ.proc,
+                target,
+                events: succ.event.into_iter().collect(),
+                crash: succ.crash,
+            });
         }
         // `edges` is indexed by discovery order; fill gaps lazily.
         if edges.len() <= id {
@@ -552,6 +780,8 @@ where
             &mut flushed,
         );
         report_symmetry(probe, 0, symmetry_hits, canon_nanos, canon_skipped);
+        report_bloom(probe, &table);
+        por.report(probe, 0);
         probe.span_close(Span::Explore, 0, states.len() as u64);
     }
     record_timer(profiler, timer);
@@ -561,6 +791,123 @@ where
         edges,
         parents,
     })
+}
+
+/// The counting sibling of [`run_sequential`]: same interning, same
+/// discovery order, but expanded configurations are dropped immediately —
+/// the frontier owns the only copy of each undiscovered state and no
+/// graph is materialised.
+fn run_sequential_stats<M, P>(
+    initial: Simulation<M>,
+    limits: &ExploreConfig,
+    probe: &P,
+    encoder: &StateEncoder<M>,
+    profiler: Option<&Profiler>,
+) -> Result<ExploreStats, ExploreError>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
+    let mut initial = initial;
+    initial.clear_trace();
+
+    if P::ENABLED {
+        probe.span_open(Span::Explore, 0);
+    }
+    let mut timer = profiler.map(|p| p.timer(0));
+
+    // Same symmetry instrumentation as the graph path: canonical encodes
+    // are timed, trivial-orbit fast-path encodes are counted instead.
+    let mut canon_nanos = 0u64;
+    let mut symmetry_hits = 0u64;
+    let mut canon_skipped = 0u64;
+    let track_canon =
+        P::ENABLED && encoder.mode() != SymmetryMode::Off && !encoder.skips_trivial_orbits();
+    let track_skipped = P::ENABLED && encoder.skips_trivial_orbits();
+    let mut encode = |sim: &Simulation<M>| {
+        if track_canon {
+            let start = Instant::now();
+            let (code, moved) = encoder.encode(sim);
+            canon_nanos += start.elapsed().as_nanos() as u64;
+            symmetry_hits += u64::from(moved);
+            code
+        } else {
+            canon_skipped += u64::from(track_skipped);
+            encoder.encode(sim).0
+        }
+    };
+
+    let mut table = InternTable::new(limits.max_states, encode(&initial));
+    let mut stats = ExploreStats {
+        states: 1,
+        ..ExploreStats::default()
+    };
+    let mut flushed = FlushedCounters::default();
+    let mut por = PorTally::default();
+    let mut successors: Vec<Successor<M>> = Vec::new();
+
+    let mut frontier: Vec<(Simulation<M>, u32)> = vec![(initial, 0)];
+    while let Some((state, depth)) = frontier.pop() {
+        if let Some(t) = timer.as_mut() {
+            t.switch(Phase::Step);
+        }
+        por.absorb(expand_into(
+            &state,
+            limits.crashes,
+            limits.por,
+            &mut successors,
+        ));
+        drop(state);
+        for succ in successors.drain(..) {
+            if let Some(t) = timer.as_mut() {
+                t.switch(Phase::Canon);
+            }
+            let code = encode(&succ.sim);
+            if let Some(t) = timer.as_mut() {
+                t.switch(Phase::Dedup);
+            }
+            let fp = fp128(&code);
+            stats.edges += 1;
+            if table.find(fp, &code).is_some() {
+                stats.dedup += 1;
+            } else {
+                if stats.states >= limits.max_states as u64 {
+                    if P::ENABLED {
+                        flushed.finish(probe, 0, stats.states, stats.edges, stats.dedup);
+                        report_symmetry(probe, 0, symmetry_hits, canon_nanos, canon_skipped);
+                        por.report(probe, 0);
+                        report_bloom(probe, &table);
+                        probe.span_close(Span::Explore, 0, stats.states);
+                    }
+                    record_timer(profiler, timer);
+                    return Err(ExploreError::StateLimitExceeded {
+                        limit: limits.max_states,
+                    });
+                }
+                table.insert(fp, code);
+                stats.states += 1;
+                stats.max_depth = stats.max_depth.max(depth + 1);
+                frontier.push((succ.sim, depth + 1));
+                if P::ENABLED && stats.states.is_multiple_of(GAUGE_SAMPLE_EVERY as u64) {
+                    probe.gauge(Metric::ExploreFrontier, 0, frontier.len() as u64);
+                    probe.gauge(Metric::ExploreDepth, 0, u64::from(stats.max_depth));
+                    flushed.flush(probe, 0, stats.states, stats.edges, stats.dedup);
+                }
+            }
+        }
+    }
+
+    if P::ENABLED {
+        flushed.finish(probe, 0, stats.states, stats.edges, stats.dedup);
+        probe.gauge(Metric::ExploreFrontier, 0, 0);
+        probe.gauge(Metric::ExploreDepth, 0, u64::from(stats.max_depth));
+        report_symmetry(probe, 0, symmetry_hits, canon_nanos, canon_skipped);
+        por.report(probe, 0);
+        report_bloom(probe, &table);
+        probe.span_close(Span::Explore, 0, stats.states);
+    }
+    record_timer(profiler, timer);
+    Ok(stats)
 }
 
 /// Hands a finished engine worker's phase timer to the profiler, if both
@@ -1547,5 +1894,221 @@ mod tests {
             sccs.windows(2).all(|w| w[0][0] < w[1][0]),
             "components ordered by smallest id"
         );
+    }
+
+    /// `step_quiet` must be `step` minus the trace: identical machine,
+    /// register and halt evolution under a lockstep schedule.
+    #[test]
+    fn step_quiet_matches_step_in_lockstep() {
+        let mut traced = two_toys();
+        let mut quiet = two_toys();
+        for round in 0..6 {
+            for p in 0..2 {
+                let r1 = traced.step(p);
+                let r2 = quiet.step_quiet(p);
+                match (r1, r2) {
+                    (Ok(o1), Ok((o2, _event))) => assert_eq!(o1, o2, "round {round} proc {p}"),
+                    (Err(e1), Err(e2)) => assert_eq!(e1, e2, "round {round} proc {p}"),
+                    (a, b) => panic!("divergence at round {round} proc {p}: {a:?} vs {b:?}"),
+                }
+            }
+            traced.clear_trace();
+            assert!(
+                traced.same_configuration(&quiet),
+                "configurations diverged at round {round}"
+            );
+        }
+        assert!(quiet.all_halted());
+    }
+
+    #[test]
+    fn por_with_crashes_is_rejected() {
+        let err = Explorer::new(two_toys())
+            .por(true)
+            .crashes(true)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExploreError::PorWithCrashes);
+        assert!(!err.to_string().is_empty());
+        let err = Explorer::new(two_toys())
+            .por(true)
+            .crashes(true)
+            .run_stats()
+            .unwrap_err();
+        assert_eq!(err, ExploreError::PorWithCrashes);
+    }
+
+    /// POR prunes interleavings of the Toys' local (event/halt) steps but
+    /// must preserve reachability of the terminal configurations and the
+    /// engines must agree on the reduced graph exactly.
+    #[test]
+    fn por_reduces_and_engines_agree() {
+        let full = Explorer::new(two_toys()).run().unwrap();
+        let reduced = Explorer::new(two_toys()).por(true).run().unwrap();
+        assert!(reduced.state_count() < full.state_count(), "nothing pruned");
+        assert!(reduced.edge_count() < full.edge_count());
+        // Both terminal register outcomes stay reachable.
+        for winner in [1u64, 2] {
+            assert!(
+                reduced
+                    .find_state(|s| s.all_halted() && s.registers()[0] == winner)
+                    .is_some(),
+                "terminal state with register {winner} lost by the reduction"
+            );
+        }
+        for threads in [2, 4] {
+            let parallel = Explorer::new(two_toys())
+                .por(true)
+                .parallelism(threads)
+                .run()
+                .unwrap();
+            assert_isomorphic(&parallel, &reduced);
+        }
+    }
+
+    #[test]
+    fn por_counters_are_reported() {
+        use anonreg_obs::MemProbe;
+        let probe = MemProbe::new();
+        let reduced = Explorer::new(two_toys())
+            .por(true)
+            .probe(&probe)
+            .run()
+            .unwrap();
+        let snap = probe.into_snapshot();
+        let ample = snap.counter_total(Metric::PorAmple);
+        let pruned = snap.counter_total(Metric::PorPruned);
+        assert!(ample > 0, "no ample sets fired on the Toy space");
+        assert!(pruned > 0, "ample sets fired but nothing was pruned");
+        // An ample set fires at most once per expanded state.
+        assert!(ample <= reduced.state_count() as u64);
+    }
+
+    /// `run_stats` must count exactly what `run` materialises, on both
+    /// engines, with and without POR.
+    #[test]
+    fn run_stats_matches_graph_counts() {
+        for por in [false, true] {
+            let graph = Explorer::new(two_toys()).por(por).run().unwrap();
+            for threads in [1, 3] {
+                let stats = Explorer::new(two_toys())
+                    .por(por)
+                    .parallelism(threads)
+                    .run_stats()
+                    .unwrap();
+                assert_eq!(stats.states as usize, graph.state_count(), "por={por}");
+                assert_eq!(stats.edges as usize, graph.edge_count(), "por={por}");
+                assert_eq!(
+                    stats.dedup as usize,
+                    graph.edge_count() - (graph.state_count() - 1),
+                    "por={por}"
+                );
+                assert!(stats.max_depth > 0);
+            }
+        }
+    }
+
+    /// Spilling codes to disk must not change the graph.
+    #[test]
+    fn spilled_graph_is_isomorphic_to_in_memory() {
+        let baseline = Explorer::new(two_toys()).run().unwrap();
+        for threads in [2, 4] {
+            let spilled = Explorer::new(two_toys())
+                .spill(true)
+                .parallelism(threads)
+                .run()
+                .unwrap();
+            assert_isomorphic(&spilled, &baseline);
+        }
+        let stats = Explorer::new(two_toys())
+            .spill(true)
+            .parallelism(2)
+            .run_stats()
+            .unwrap();
+        assert_eq!(stats.states as usize, baseline.state_count());
+        assert_eq!(stats.edges as usize, baseline.edge_count());
+    }
+
+    /// Blows up mid-exploration: halves a fuse per write, panics at zero.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Grenade {
+        pid: Pid,
+        fuse: u8,
+    }
+
+    impl Machine for Grenade {
+        type Value = u64;
+        type Event = &'static str;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn register_count(&self) -> usize {
+            1
+        }
+
+        fn resume(&mut self, _read: Option<u64>) -> Step<u64, &'static str> {
+            assert!(self.fuse > 0, "grenade went off (injected worker panic)");
+            self.fuse -= 1;
+            Step::Write(0, u64::from(self.fuse))
+        }
+    }
+
+    /// A worker that panics mid-expansion must not hang the run: the
+    /// drop guard releases its pending slot and trips the abort flag, and
+    /// the main thread reports the panic as an error verdict.
+    #[test]
+    fn worker_panic_is_reported_not_hung() {
+        let build = || {
+            Simulation::builder()
+                .process(
+                    Grenade {
+                        pid: pid(1),
+                        fuse: 3,
+                    },
+                    View::identity(1),
+                )
+                .process(
+                    Grenade {
+                        pid: pid(2),
+                        fuse: 3,
+                    },
+                    View::identity(1),
+                )
+                .build()
+                .unwrap()
+        };
+        for threads in [2, 4] {
+            let err = Explorer::new(build())
+                .parallelism(threads)
+                .run()
+                .unwrap_err();
+            assert_eq!(err, ExploreError::WorkerPanicked, "{threads} threads");
+            assert!(!err.to_string().is_empty());
+            let err = Explorer::new(build())
+                .parallelism(threads)
+                .run_stats()
+                .unwrap_err();
+            assert_eq!(err, ExploreError::WorkerPanicked, "{threads} threads");
+        }
+    }
+
+    /// Seeded cross-thread dedup races: many short-lived explorations of
+    /// the same space, varying thread counts, must all agree with the
+    /// sequential graph (exercises the claim-CAS/publish/spin protocol
+    /// under real interleavings).
+    #[test]
+    fn seeded_parallel_runs_agree_with_sequential() {
+        let baseline = Explorer::new(two_toys()).run().unwrap();
+        for seed in 0..8u32 {
+            let threads = 2 + (seed as usize % 3);
+            let parallel = Explorer::new(two_toys())
+                .parallelism(threads)
+                .spill(seed % 2 == 1)
+                .run()
+                .unwrap();
+            assert_isomorphic(&parallel, &baseline);
+        }
     }
 }

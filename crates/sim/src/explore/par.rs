@@ -3,18 +3,23 @@
 //! `run_parallel` explores the same reachable graph as the sequential
 //! engine, split across worker threads:
 //!
-//! * **Sharded dedup table** — state identity lives in `SHARDS`
-//!   mutex-striped shards, each mapping a 64-bit code fingerprint to the
-//!   `(id, code)` pairs carrying it, where a *code* is the flat canonical
-//!   byte encoding produced by the engine's
-//!   [`StateEncoder`](crate::canon::StateEncoder). Workers exchange ids,
-//!   fingerprints and codes, never full `Simulation` clones; fingerprint
-//!   collisions are resolved by comparing code bytes under the shard lock
-//!   alone — no cross-stripe probe is needed.
-//! * **Interned state store** — the authoritative `Simulation` for each id
-//!   is kept once, in `STRIPES` mutex-striped slabs indexed by id. Locks
-//!   are always taken shard-then-stripe, so the two stripe sets cannot
-//!   deadlock.
+//! * **Lock-free dedup table** — state identity lives in a fixed-capacity
+//!   open-addressing fingerprint table ([`FpTable`]): one CAS claims a
+//!   slot, one release store publishes the id, and readers acquire
+//!   through the same word before touching the canonical code (the
+//!   Arc-style publication idiom; orderings are certified in
+//!   `explore/dedup.rs` and `anonreg_sanitizer::explorer_site_notes`).
+//!   A blocked atomic bloom filter ([`Bloom`]) is fed before every claim
+//!   and screens the sequential engine's probes; here it doubles as a
+//!   dedup statistic. Canonical codes live in an id-indexed `OnceLock`
+//!   arena, or — with [`ExploreConfig::spill`] — in per-worker temp
+//!   files behind a sharded LRU tier ([`SpillStore`]), so code bytes no
+//!   longer bound the state count by RAM.
+//! * **States travel with the work items** — a discovered state's
+//!   `Simulation` is moved into its frontier entry and, in graph mode,
+//!   into the striped state store only after its expansion, eliminating
+//!   the store-then-reclone round trip per state the mutex-sharded
+//!   design paid.
 //! * **Per-worker frontier deques with work stealing** — each worker pops
 //!   depth-first from the back of its own deque (keeps the hot end of the
 //!   frontier in cache) and steals breadth-first from the front of a
@@ -22,43 +27,44 @@
 //!
 //! Termination uses a `pending` counter of discovered-but-unexpanded
 //! states: a child is counted *before* it is enqueued and its parent is
-//! uncounted only *after* every child has been enqueued, so `pending == 0`
-//! with an empty local scan really means the frontier is globally drained.
+//! uncounted only *after* every child has been enqueued — by a drop
+//! guard, so a worker that panics mid-expansion still releases its item
+//! and trips the abort flag instead of hanging the run
+//! (`pending == 0` with an empty local scan really means the frontier is
+//! globally drained; see `ORD-EXP-PENDING-005` for why Relaxed suffices).
 //!
 //! State ids are assigned in race order, so two parallel runs (or a
 //! parallel and a sequential run) number states differently. The *graph*
 //! is identical up to that renumbering — the property tests in
 //! `crates/core/tests/parallel_modelcheck.rs` check graph isomorphism
-//! against the sequential engine family by family. Under a symmetry mode
-//! the stored representative of an orbit is the first *concrete* state to
-//! reach the dedup table, so which member represents an orbit (and hence
-//! edge event labels) is racy, but the orbit set — state and edge counts,
-//! and every verdict — is deterministic.
+//! against the sequential engine family by family, and
+//! `por_modelcheck.rs` does the same for the partial-order-reduced
+//! graphs. Under a symmetry mode the stored representative of an orbit
+//! is the first *concrete* state to reach the dedup table, so which
+//! member represents an orbit (and hence edge event labels) is racy, but
+//! the orbit set — state and edge counts, and every verdict — is
+//! deterministic.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+use anonreg_model::fingerprint::{fp128, Fp128};
 use anonreg_model::{Machine, SymmetryMode};
 use anonreg_obs::{Metric, Phase, Probe, Profiler, Span};
 
+use super::dedup::{Bloom, FpTable, Probe as TableProbe, SpillStore};
 use super::{
-    code_fingerprint, record_timer, report_symmetry, Edge, ExploreConfig, ExploreError,
-    FlushedCounters, StateGraph, GAUGE_SAMPLE_EVERY,
+    expand_into, record_timer, report_symmetry, Edge, ExploreConfig, ExploreError, ExploreStats,
+    FlushedCounters, PorTally, StateGraph, Successor, GAUGE_SAMPLE_EVERY,
 };
 use crate::canon::StateEncoder;
 use crate::Simulation;
 
-/// Number of dedup-table shards. More shards mean less lock contention on
-/// interning; 64 keeps per-shard maps dense at a few hundred thousand
-/// states while making same-shard collisions between a handful of workers
-/// unlikely.
-const SHARDS: usize = 64;
-
-/// Number of state-store stripes (independent of `SHARDS`; a state's
-/// stripe is chosen by id, its shard by fingerprint).
+/// Number of state-store stripes (graph mode only; a state's stripe is
+/// chosen by id).
 const STRIPES: usize = 64;
 
 /// How many consecutive empty steal sweeps before an idle worker sleeps
@@ -66,23 +72,21 @@ const STRIPES: usize = 64;
 /// momentarily narrower than the worker count (and on single-CPU hosts).
 const IDLE_SPINS: u32 = 64;
 
-/// A discovered-but-unexpanded state: its interned id and discovery depth.
-type WorkItem = (u32, u32);
+/// In-memory budget for the spill tier's LRU code cache.
+const SPILL_LRU_BUDGET: usize = 64 << 20;
 
-/// The interned states sharing one code fingerprint: `(id, code)` pairs.
-type CodeBucket = Vec<(u32, Box<[u8]>)>;
-
-/// One dedup shard: code fingerprint → `(id, code)` pairs carrying it.
-/// Keeping the flat code next to the id lets the equality probe run
-/// entirely under the shard lock, without touching the state store.
-/// Dedup hits are tallied by the worker that observed them (so they can
-/// be flushed live), not by the shard.
-#[derive(Default)]
-struct Shard {
-    map: HashMap<u64, CodeBucket>,
+/// A discovered-but-unexpanded state. The frontier owns the only
+/// `Simulation` clone of the state until it is expanded (the old design
+/// stored it at discovery and recloned it at expansion — one full state
+/// copy per state, for nothing).
+struct WorkItem<M: Machine> {
+    id: u32,
+    depth: u32,
+    sim: Simulation<M>,
 }
 
-/// The interned states, striped by `id % STRIPES`.
+/// The interned states, striped by `id % STRIPES`. Only graph mode keeps
+/// one; stats mode drops every expanded state on the floor.
 struct StateStore<M: Machine> {
     stripes: Vec<Mutex<Vec<Option<Simulation<M>>>>>,
 }
@@ -103,14 +107,6 @@ impl<M: Machine + Eq> StateStore<M> {
         stripe[slot] = Some(state);
     }
 
-    fn clone_state(&self, id: usize) -> Simulation<M> {
-        let stripe = self.stripes[id % STRIPES].lock().expect("store lock");
-        stripe[id / STRIPES]
-            .as_ref()
-            .expect("work items reference interned states")
-            .clone()
-    }
-
     /// Drains the store into an id-ordered state vector.
     fn into_states(self, total: usize) -> Vec<Simulation<M>> {
         let mut stripes: Vec<Vec<Option<Simulation<M>>>> = self
@@ -122,78 +118,110 @@ impl<M: Machine + Eq> StateStore<M> {
             .map(|id| {
                 stripes[id % STRIPES][id / STRIPES]
                     .take()
-                    .expect("every assigned id was interned")
+                    .expect("every expanded id was stored")
             })
             .collect()
     }
 }
 
+/// Canonical code arena: one write-once slot per interned id.
+type CodeArena = Box<[OnceLock<Box<[u8]>>]>;
+
 /// Everything the workers share.
 struct Ctx<M: Machine> {
-    shards: Vec<Mutex<Shard>>,
-    store: StateStore<M>,
+    table: FpTable,
+    bloom: Bloom,
+    /// Canonical code arena, indexed by id (`None` when spilling).
+    /// A code is set before its id's table slot is published, so a
+    /// reader that found the id always finds the code
+    /// (ORD-DEDUP-META-002).
+    codes: Option<CodeArena>,
+    /// On-disk code store (`Some` exactly when `codes` is `None`).
+    spill: Option<SpillStore>,
+    /// Graph mode: the authoritative `Simulation` per expanded id.
+    store: Option<StateStore<M>>,
     /// One frontier deque per worker.
-    queues: Vec<Mutex<VecDeque<WorkItem>>>,
-    /// Next state id to assign.
-    next_id: AtomicUsize,
+    queues: Vec<Mutex<VecDeque<WorkItem<M>>>>,
     /// Discovered-but-unexpanded states (see module docs).
+    /// ORD-EXP-PENDING-005: Relaxed — on this single counter, every
+    /// child's increment precedes its parent's decrement in the
+    /// incrementing thread's program order, so coherence alone
+    /// guarantees a zero is only ever observed once the frontier is
+    /// truly drained.
     pending: AtomicUsize,
-    /// Set when the state limit is hit; all workers stop.
+    /// Advisory stop flag (state limit hit or a sibling panicked).
+    /// ORD-EXP-ABORT-007: Relaxed — no data rides on it; the authoritative
+    /// error is decided on the main thread after the joins.
     aborted: AtomicBool,
-    /// Maximum discovery depth seen (probe bookkeeping only).
+    /// Maximum discovery depth seen.
     max_depth: AtomicU64,
-    /// Effective state cap (`config.max_states`, clamped to id range).
-    max_states: usize,
     crashes: bool,
+    por: bool,
 }
 
-/// The outcome of offering a state to the dedup table.
-enum Interned {
-    /// The state was new; it now owns this id.
-    Fresh(u32),
-    /// An equal state was already interned under this id.
-    Known(u32),
-    /// Interning it would exceed the state limit.
-    Limit,
-}
-
-/// Offers `state` (with canonical code `code`, fingerprinted as `fp`) to
-/// the dedup table.
-///
-/// Lock order: the fingerprint's shard first, then (inside
-/// [`StateStore::insert`]) a store stripe. Equality is decided by code
-/// bytes under the shard lock, so a `Known` verdict never touches the
-/// state store at all.
-fn intern<M>(ctx: &Ctx<M>, fp: u64, code: Box<[u8]>, state: Simulation<M>) -> Interned
-where
-    M: Machine + Eq + Hash,
-{
-    let mut shard = ctx.shards[(fp % SHARDS as u64) as usize]
-        .lock()
-        .expect("shard lock");
-    if let Some(entries) = shard.map.get(&fp) {
-        for (known, known_code) in entries {
-            if **known_code == *code {
-                return Interned::Known(*known);
-            }
+impl<M: Machine + Eq + Hash> Ctx<M> {
+    /// Offers `code` (fingerprinted as `fp`) to the dedup table on
+    /// behalf of worker `me`. The bloom bits are set before any claim,
+    /// preserving the filter's never-false-negative contract.
+    fn intern(&self, me: usize, fp: Fp128, code: &[u8]) -> TableProbe {
+        self.bloom.insert(fp);
+        let should_abort = || self.aborted.load(Ordering::Relaxed);
+        if let Some(spill) = &self.spill {
+            self.table.intern(
+                fp,
+                |id| match spill.matches(id, code) {
+                    Some(equal) => equal,
+                    None => {
+                        // Still buffered by another worker: trust the
+                        // 128-bit fingerprint, count the leap of faith.
+                        spill.counters.unverified.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                },
+                |id| spill.publish(me, id, code),
+                should_abort,
+            )
+        } else {
+            let codes = self.codes.as_ref().expect("no-spill mode has a code arena");
+            self.table.intern(
+                fp,
+                |id| codes[id as usize].get().is_some_and(|c| &**c == code),
+                |id| {
+                    let stored = codes[id as usize].set(code.into());
+                    debug_assert!(stored.is_ok(), "each id is published exactly once");
+                },
+                should_abort,
+            )
         }
     }
-    let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
-    if id >= ctx.max_states {
-        return Interned::Limit;
+}
+
+/// Releases one unit of `pending` when an expansion ends — normally or
+/// by unwinding. A panicking worker additionally trips the abort flag so
+/// its siblings drain and exit instead of waiting for work that will
+/// never come; the main thread turns the panicked join into
+/// [`ExploreError::WorkerPanicked`].
+struct PendingGuard<'a> {
+    pending: &'a AtomicUsize,
+    aborted: &'a AtomicBool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.aborted.store(true, Ordering::Relaxed);
+        }
+        // ORD-EXP-PENDING-005.
+        self.pending.fetch_sub(1, Ordering::Relaxed);
     }
-    ctx.store.insert(id, state);
-    let id = u32::try_from(id).expect("max_states clamped to u32 range");
-    shard.map.entry(fp).or_default().push((id, code));
-    Interned::Fresh(id)
 }
 
 /// What one worker brings home: its slice of the graph plus its tallies.
 struct WorkerOut<M: Machine> {
-    /// Outgoing edges of every state this worker expanded.
+    /// Outgoing edges of every state this worker expanded (graph mode).
     edges: Vec<(u32, Vec<Edge<M::Event>>)>,
     /// Discovery parents of every state this worker discovered:
-    /// `(child, parent, proc, crash)`.
+    /// `(child, parent, proc, crash)` (graph mode).
     parents: Vec<(u32, u32, u32, bool)>,
     /// States expanded.
     expanded: u64,
@@ -205,11 +233,15 @@ struct WorkerOut<M: Machine> {
     steals: u64,
     /// Transitions recorded.
     edge_total: u64,
+    /// Definite bloom misses among this worker's interns.
+    bloom_neg: u64,
+    /// Ample-set reduction tallies.
+    por: PorTally,
 }
 
 /// Pops the next work item: own deque from the back, else a sweep of the
 /// other workers' deques from the front.
-fn pop_work<M: Machine>(me: usize, ctx: &Ctx<M>, steals: &mut u64) -> Option<WorkItem> {
+fn pop_work<M: Machine>(me: usize, ctx: &Ctx<M>, steals: &mut u64) -> Option<WorkItem<M>> {
     if let Some(item) = ctx.queues[me].lock().expect("queue lock").pop_back() {
         return Some(item);
     }
@@ -248,6 +280,8 @@ where
         dedup: 0,
         steals: 0,
         edge_total: 0,
+        bloom_neg: 0,
+        por: PorTally::default(),
     };
     // See `run_sequential`: the trivial-orbit fast path is plain
     // encoding, so count it as skipped rather than timing it as
@@ -255,17 +289,26 @@ where
     let track_canon =
         P::ENABLED && encoder.mode() != SymmetryMode::Off && !encoder.skips_trivial_orbits();
     let track_skipped = P::ENABLED && encoder.skips_trivial_orbits();
+    // In spill mode the intern probe includes the LRU/file tier; charge
+    // it to the spill phase so profiles separate table time from IO.
+    let intern_phase = if ctx.spill.is_some() {
+        Phase::Spill
+    } else {
+        Phase::Dedup
+    };
+    let collect_graph = ctx.store.is_some();
     let mut canon_nanos = 0u64;
     let mut symmetry_hits = 0u64;
     let mut canon_skipped = 0u64;
     let mut flushed = FlushedCounters::default();
+    let mut successors: Vec<Successor<M>> = Vec::new();
     let mut idle = 0u32;
-    'outer: while !ctx.aborted.load(Ordering::SeqCst) {
+    'outer: while !ctx.aborted.load(Ordering::Relaxed) {
         if let Some(t) = timer.as_mut() {
             t.switch(Phase::Steal);
         }
-        let Some((id, depth)) = pop_work(me, ctx, &mut out.steals) else {
-            if ctx.pending.load(Ordering::SeqCst) == 0 {
+        let Some(item) = pop_work(me, ctx, &mut out.steals) else {
+            if ctx.pending.load(Ordering::Relaxed) == 0 {
                 break;
             }
             if let Some(t) = timer.as_mut() {
@@ -280,86 +323,89 @@ where
             continue;
         };
         idle = 0;
+        let WorkItem {
+            id,
+            depth,
+            sim: state,
+        } = item;
+        // From here the popped item is accounted for even if a machine
+        // panics mid-step.
+        let _guard = PendingGuard {
+            pending: &ctx.pending,
+            aborted: &ctx.aborted,
+        };
         if let Some(t) = timer.as_mut() {
             t.switch(Phase::Step);
         }
-        let state = ctx.store.clone_state(id as usize);
-        let mut edges_out = Vec::new();
-        for proc in 0..state.process_count() {
-            if state.is_halted(proc) {
-                continue;
+        out.por
+            .absorb(expand_into(&state, ctx.crashes, ctx.por, &mut successors));
+        let mut edges_out = Vec::with_capacity(if collect_graph { successors.len() } else { 0 });
+        for succ in successors.drain(..) {
+            if let Some(t) = timer.as_mut() {
+                t.switch(Phase::Canon);
             }
-            for crash in [false, true] {
-                if crash && !ctx.crashes {
-                    continue;
+            let code = if track_canon {
+                let start = Instant::now();
+                let (code, moved) = encoder.encode(&succ.sim);
+                canon_nanos += start.elapsed().as_nanos() as u64;
+                symmetry_hits += u64::from(moved);
+                code
+            } else {
+                canon_skipped += u64::from(track_skipped);
+                encoder.encode(&succ.sim).0
+            };
+            if let Some(t) = timer.as_mut() {
+                t.switch(intern_phase);
+            }
+            let fp = fp128(&code);
+            if P::ENABLED && !ctx.bloom.query(fp) {
+                out.bloom_neg += 1;
+            }
+            let target = match ctx.intern(me, fp, &code) {
+                TableProbe::Known(t) => {
+                    out.dedup += 1;
+                    t
                 }
-                if let Some(t) = timer.as_mut() {
-                    t.switch(Phase::Step);
-                }
-                let mut next = state.clone();
-                if crash {
-                    next.crash(proc).expect("slot is valid");
-                } else {
-                    next.step(proc).expect("slot is valid and not halted");
-                }
-                let events: Vec<M::Event> =
-                    next.trace().events().map(|(_, _, e)| e.clone()).collect();
-                next.clear_trace();
-                if let Some(t) = timer.as_mut() {
-                    t.switch(Phase::Canon);
-                }
-                let code = if track_canon {
-                    let start = Instant::now();
-                    let (code, moved) = encoder.encode(&next);
-                    canon_nanos += start.elapsed().as_nanos() as u64;
-                    symmetry_hits += u64::from(moved);
-                    code
-                } else {
-                    canon_skipped += u64::from(track_skipped);
-                    encoder.encode(&next).0
-                };
-                let fp = code_fingerprint(&code);
-                if let Some(t) = timer.as_mut() {
-                    t.switch(Phase::Dedup);
-                }
-                let target = match intern(ctx, fp, code, next) {
-                    Interned::Known(t) => {
-                        out.dedup += 1;
-                        t
+                TableProbe::Fresh(t) => {
+                    out.fresh += 1;
+                    if collect_graph {
+                        out.parents.push((t, id, succ.proc as u32, succ.crash));
                     }
-                    Interned::Fresh(t) => {
-                        out.fresh += 1;
-                        out.parents.push((t, id, proc as u32, crash));
-                        // Count the child before enqueueing it so `pending`
-                        // never under-reports outstanding work.
-                        ctx.pending.fetch_add(1, Ordering::SeqCst);
-                        ctx.queues[me]
-                            .lock()
-                            .expect("queue lock")
-                            .push_back((t, depth + 1));
-                        if P::ENABLED {
-                            ctx.max_depth
-                                .fetch_max(u64::from(depth) + 1, Ordering::Relaxed);
-                        }
-                        t
-                    }
-                    Interned::Limit => {
-                        ctx.aborted.store(true, Ordering::SeqCst);
-                        break 'outer;
-                    }
-                };
-                out.edge_total += 1;
+                    // Count the child before enqueueing it so `pending`
+                    // never under-reports outstanding work.
+                    ctx.pending.fetch_add(1, Ordering::Relaxed);
+                    ctx.queues[me]
+                        .lock()
+                        .expect("queue lock")
+                        .push_back(WorkItem {
+                            id: t,
+                            depth: depth + 1,
+                            sim: succ.sim,
+                        });
+                    ctx.max_depth
+                        .fetch_max(u64::from(depth) + 1, Ordering::Relaxed);
+                    t
+                }
+                TableProbe::Limit | TableProbe::Aborted => {
+                    ctx.aborted.store(true, Ordering::Relaxed);
+                    break 'outer;
+                }
+            };
+            out.edge_total += 1;
+            if collect_graph {
                 edges_out.push(Edge {
-                    proc,
+                    proc: succ.proc,
                     target: target as usize,
-                    events,
-                    crash,
+                    events: succ.event.into_iter().collect(),
+                    crash: succ.crash,
                 });
             }
         }
-        out.edges.push((id, edges_out));
+        if let Some(store) = &ctx.store {
+            out.edges.push((id, edges_out));
+            store.insert(id as usize, state);
+        }
         out.expanded += 1;
-        ctx.pending.fetch_sub(1, Ordering::SeqCst);
         if P::ENABLED && out.expanded % GAUGE_SAMPLE_EVERY as u64 == 0 {
             probe.gauge(
                 Metric::ExploreFrontier,
@@ -378,6 +424,10 @@ where
         flushed.finish(probe, me as u64, out.fresh, out.edge_total, out.dedup);
         probe.counter(Metric::ExploreSteals, me as u64, out.steals);
         report_symmetry(probe, me as u64, symmetry_hits, canon_nanos, canon_skipped);
+        out.por.report(probe, me as u64);
+        if out.bloom_neg > 0 {
+            probe.counter(Metric::BloomNeg, me as u64, out.bloom_neg);
+        }
         probe.span_close(Span::ExploreWorker, me as u64, out.expanded);
     }
     record_timer(profiler, timer);
@@ -397,33 +447,95 @@ where
     M: Machine + Eq + Hash,
     P: Probe,
 {
+    let (graph, _) = run_impl(initial, config, probe, threads, encoder, profiler, true)?;
+    Ok(graph.expect("graph mode materialises a graph"))
+}
+
+/// Count-only sibling of [`run_parallel`]: same exploration, no
+/// [`StateGraph`].
+pub(super) fn run_parallel_stats<M, P>(
+    initial: Simulation<M>,
+    config: &ExploreConfig,
+    probe: &P,
+    threads: usize,
+    encoder: &StateEncoder<M>,
+    profiler: Option<&Profiler>,
+) -> Result<ExploreStats, ExploreError>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
+    let (_, stats) = run_impl(initial, config, probe, threads, encoder, profiler, false)?;
+    Ok(stats)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_impl<M, P>(
+    initial: Simulation<M>,
+    config: &ExploreConfig,
+    probe: &P,
+    threads: usize,
+    encoder: &StateEncoder<M>,
+    profiler: Option<&Profiler>,
+    collect_graph: bool,
+) -> Result<(Option<StateGraph<M>>, ExploreStats), ExploreError>
+where
+    M: Machine + Eq + Hash,
+    P: Probe,
+{
     let mut initial = initial;
     initial.clear_trace();
+
+    // The spill location packs a 5-bit worker index.
+    let threads = if config.spill {
+        threads.min(32)
+    } else {
+        threads
+    };
 
     if P::ENABLED {
         probe.span_open(Span::Explore, 0);
     }
 
+    let table = FpTable::new(config.max_states);
+    let arena_len = table.limit();
+    let spill = if config.spill {
+        Some(
+            SpillStore::new(threads, arena_len, SPILL_LRU_BUDGET)
+                .expect("spill temp files must be creatable"),
+        )
+    } else {
+        None
+    };
+    let codes = if config.spill {
+        None
+    } else {
+        let mut arena = Vec::with_capacity(arena_len);
+        arena.resize_with(arena_len, OnceLock::new);
+        Some(arena.into_boxed_slice())
+    };
     let ctx = Ctx {
-        shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-        store: StateStore::new(),
+        bloom: Bloom::new(table.limit()),
+        table,
+        codes,
+        spill,
+        store: collect_graph.then(StateStore::new),
         queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-        next_id: AtomicUsize::new(0),
         pending: AtomicUsize::new(0),
         aborted: AtomicBool::new(false),
         max_depth: AtomicU64::new(0),
-        // Ids are u32; clamp so `intern`'s cast cannot overflow. A graph
-        // needing more than 2^32 - 1 states would exhaust memory first.
-        max_states: config.max_states.min(u32::MAX as usize),
         crashes: config.crashes,
+        por: config.por,
     };
 
     let (code, _) = encoder.encode(&initial);
-    let fp = code_fingerprint(&code);
-    match intern(&ctx, fp, code, initial) {
-        Interned::Fresh(id) => debug_assert_eq!(id, 0, "first interned state is state 0"),
-        Interned::Known(_) => unreachable!("the dedup table starts empty"),
-        Interned::Limit => {
+    let fp = fp128(&code);
+    match ctx.intern(0, fp, &code) {
+        TableProbe::Fresh(id) => debug_assert_eq!(id, 0, "first interned state is state 0"),
+        TableProbe::Known(_) | TableProbe::Aborted => {
+            unreachable!("the dedup table starts empty and nothing can abort yet")
+        }
+        TableProbe::Limit => {
             if P::ENABLED {
                 report_totals::<M, P>(probe, 0, 0, &[]);
                 probe.span_close(Span::Explore, 0, 0);
@@ -433,10 +545,17 @@ where
             });
         }
     }
-    ctx.pending.store(1, Ordering::SeqCst);
-    ctx.queues[0].lock().expect("queue lock").push_back((0, 0));
+    ctx.pending.store(1, Ordering::Relaxed);
+    ctx.queues[0]
+        .lock()
+        .expect("queue lock")
+        .push_back(WorkItem {
+            id: 0,
+            depth: 0,
+            sim: initial,
+        });
 
-    let outs: Vec<WorkerOut<M>> = std::thread::scope(|s| {
+    let joins: Vec<std::thread::Result<WorkerOut<M>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|i| {
                 let ctx = &ctx;
@@ -445,25 +564,40 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("explorer worker panicked"))
+            .map(std::thread::ScopedJoinHandle::join)
             .collect()
     });
+    let panicked = joins.iter().any(std::thread::Result::is_err);
+    let outs: Vec<WorkerOut<M>> = joins.into_iter().filter_map(Result::ok).collect();
 
-    let total = ctx.next_id.load(Ordering::SeqCst).min(ctx.max_states);
+    let total = ctx.table.len();
     let edge_total: u64 = outs.iter().map(|o| o.edge_total).sum();
-
-    if ctx.aborted.load(Ordering::SeqCst) {
-        if P::ENABLED {
-            report_totals(probe, total as u64, edge_total, &outs);
-            probe.span_close(Span::Explore, 0, total as u64);
-        }
-        return Err(ExploreError::StateLimitExceeded {
-            limit: config.max_states,
-        });
-    }
+    let stats = ExploreStats {
+        states: total as u64,
+        edges: edge_total,
+        dedup: outs.iter().map(|o| o.dedup).sum(),
+        max_depth: u32::try_from(ctx.max_depth.load(Ordering::Relaxed)).unwrap_or(u32::MAX),
+    };
 
     if P::ENABLED {
         report_totals(probe, total as u64, edge_total, &outs);
+        if let Some(spill) = &ctx.spill {
+            probe.counter(
+                Metric::SpillBytes,
+                0,
+                spill.counters.bytes_spilled.load(Ordering::Relaxed),
+            );
+            probe.counter(
+                Metric::SpillReads,
+                0,
+                spill.counters.disk_reads.load(Ordering::Relaxed),
+            );
+            probe.counter(
+                Metric::DedupUnverified,
+                0,
+                spill.counters.unverified.load(Ordering::Relaxed),
+            );
+        }
         probe.gauge(Metric::ExploreFrontier, 0, 0);
         probe.gauge(
             Metric::ExploreDepth,
@@ -471,6 +605,19 @@ where
             ctx.max_depth.load(Ordering::Relaxed),
         );
         probe.span_close(Span::Explore, 0, total as u64);
+    }
+
+    if panicked {
+        return Err(ExploreError::WorkerPanicked);
+    }
+    if ctx.aborted.load(Ordering::Relaxed) {
+        return Err(ExploreError::StateLimitExceeded {
+            limit: config.max_states,
+        });
+    }
+
+    if !collect_graph {
+        return Ok((None, stats));
     }
 
     let mut edges: Vec<Vec<Edge<M::Event>>> = Vec::new();
@@ -484,17 +631,20 @@ where
             parents[child as usize] = Some((parent as usize, proc as usize, crash));
         }
     }
-    let states = ctx.store.into_states(total);
+    let states = ctx.store.expect("graph mode").into_states(total);
 
-    Ok(StateGraph {
-        states,
-        edges,
-        parents,
-    })
+    Ok((
+        Some(StateGraph {
+            states,
+            edges,
+            parents,
+        }),
+        stats,
+    ))
 }
 
 /// Emits the counter remainders the workers did not flush themselves:
-/// the initial interned state (discovered by `run_parallel`, not by any
+/// the initial interned state (discovered by `run_impl`, not by any
 /// worker) and, on an aborted run, ids assigned past the flushed counts.
 /// Dedup hits are fully flushed per worker (keyed by worker index), so
 /// only states and edges can have a remainder.

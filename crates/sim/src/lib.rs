@@ -82,7 +82,7 @@ pub mod prelude {
     //! [`StateGraph`] it produces, and the [`Simulation`] it consumes.
 
     pub use crate::explore::{
-        Edge, ExploreConfig, ExploreError, Explorer, ScheduleAction, StateGraph,
+        Edge, ExploreConfig, ExploreError, ExploreStats, Explorer, ScheduleAction, StateGraph,
     };
     pub use crate::{SimError, Simulation, SimulationBuilder};
     pub use anonreg_model::SymmetryMode;

@@ -508,6 +508,73 @@ impl<M: Machine> Simulation<M> {
         self.trace = Trace::new();
     }
 
+    /// One atomic step for `proc` that bypasses trace recording entirely,
+    /// returning the emitted event (if any) directly.
+    ///
+    /// Semantically identical to [`step`](Simulation::step) — same outcome,
+    /// same configuration afterwards — but the explorer takes billions of
+    /// steps on cloned simulations whose traces it immediately discards, so
+    /// the per-step trace allocation and value clones are pure overhead on
+    /// that path. A single step emits at most one event (`resume` is called
+    /// exactly once).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Simulation::step).
+    pub(crate) fn step_quiet(
+        &mut self,
+        proc: usize,
+    ) -> Result<(StepOutcome, Option<M::Event>), SimError> {
+        let slot = self
+            .slots
+            .get(proc)
+            .ok_or(SimError::NoSuchProcess { proc })?;
+        if slot.halted {
+            return Err(SimError::ProcessHalted { proc });
+        }
+        if let Some((local, value)) = self.slots[proc].poised.take() {
+            let physical = self.slots[proc].view.physical(local);
+            self.registers[physical] = value;
+            return Ok((StepOutcome::Write, None));
+        }
+        let input = self.slots[proc].pending_input.take();
+        match self.slots[proc].machine.resume(input) {
+            Step::Read(local) => {
+                let physical = self.slots[proc].view.physical(local);
+                self.slots[proc].pending_input = Some(self.registers[physical].clone());
+                Ok((StepOutcome::Read, None))
+            }
+            Step::Write(local, value) => {
+                let physical = self.slots[proc].view.physical(local);
+                self.registers[physical] = value;
+                Ok((StepOutcome::Write, None))
+            }
+            Step::Event(event) => Ok((StepOutcome::Event, Some(event))),
+            Step::Halt => {
+                self.slots[proc].halted = true;
+                Ok((StepOutcome::Halted, None))
+            }
+        }
+    }
+
+    /// [`crash`](Simulation::crash) without the trace record — the
+    /// explorer's counterpart to [`step_quiet`](Simulation::step_quiet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] for an out-of-range slot.
+    pub(crate) fn crash_quiet(&mut self, proc: usize) -> Result<(), SimError> {
+        let slot = self
+            .slots
+            .get_mut(proc)
+            .ok_or(SimError::NoSuchProcess { proc })?;
+        if !slot.halted {
+            slot.halted = true;
+            slot.poised = None;
+        }
+        Ok(())
+    }
+
     /// A stable 64-bit fingerprint of the current configuration — register
     /// contents plus every process slot (machine state, pending read,
     /// poised write, crash flag). The trace is excluded: two executions

@@ -46,6 +46,10 @@ fn usage() -> ExitCode {
          [--flamegraph FILE] [--json FILE] [--min-coverage X]   wall-clock phase profiles \
          (E18): explorer workers + runtime driver, collapsed-stack flamegraph export, \
          self-time coverage gate (default 0.7)\n\
+         \x20      check verify-cache [--threads N] [--max-states N] [--cache-dir DIR] \
+         [--invalidate] [--json FILE] [--min-speedup X]   proof-carrying reachability cache \
+         (E20): cold explore + certify vs warm certificate replay across the seven families, \
+         parity hard-asserted; --invalidate clears the store first (the cold leg)\n\
          \x20      check bench-diff BEFORE AFTER [--max-time-ratio X] [--max-drop-ratio X] \
          [--allow-missing] [--require NAME=FLOOR] [--exact-counts] [--reduced-marker SEG]   \
          compare two bench JSONL files (reduction-mode runs compare states/edges \
@@ -1635,6 +1639,133 @@ where
     }
 }
 
+/// `check verify-cache` — experiment E20: run the seven verified
+/// families through the proof-carrying cache, cold-explore-and-certify
+/// vs warm-replay, with cold/warm parity hard-asserted. `--invalidate`
+/// clears the store first (the cold leg); without it a previously
+/// populated store answers every family by replay (the warm leg — the
+/// summary line reports how many families were warm on their *first*
+/// run). `--json` exports schema-v1 JSONL including a `warm_first_runs`
+/// summary metric, and `--min-speedup` enforces a floor on the `mutex`
+/// row's cold/warm ratio (meaningful with `--invalidate`).
+fn verify_cache_main(raw: &[String]) -> ExitCode {
+    use anonreg_bench::{benchjson, e20_incremental};
+    use anonreg_obs::schema::meta_line;
+    use anonreg_obs::Json;
+
+    let mut threads = 1usize;
+    let mut max_states = 2_000_000usize;
+    let mut cache_dir: Option<String> = None;
+    let mut invalidate = false;
+    let mut json_path: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage(),
+            },
+            "--max-states" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_states = n,
+                None => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--invalidate" => invalidate = true,
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => return usage(),
+            },
+            "--min-speedup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(x) => min_speedup = Some(x),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let store = match cache_dir {
+        Some(dir) => match CacheStore::new(&dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("cannot open cache dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => CacheStore::from_env(),
+    };
+    println!(
+        "incremental verification (E20): seven families through {}, {threads} thread(s), \
+         max {max_states} states{}",
+        store.dir().display(),
+        if cache_disabled() {
+            " [ANONREG_NO_CACHE set: replay disabled]"
+        } else {
+            ""
+        }
+    );
+    if invalidate {
+        let removed = store.clear();
+        println!("invalidated {removed} stored certificate(s)");
+    }
+    let rows = match e20_incremental::rows(&store, threads, max_states) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", e20_incremental::render(&rows));
+    println!("cold/warm count + verdict parity across all seven families: ok");
+    let warm_first = rows.iter().filter(|r| r.cold_hit).count();
+    println!(
+        "{warm_first}/{} families answered from the cache on their first run",
+        rows.len()
+    );
+
+    if let Some(path) = &json_path {
+        let mut out = meta_line(
+            "check-verify-cache",
+            &[
+                ("threads", Json::U64(threads as u64)),
+                ("max_states", Json::U64(max_states as u64)),
+                ("invalidate", Json::Bool(invalidate)),
+                ("cache_dir", Json::Str(store.dir().display().to_string())),
+            ],
+        )
+        .render();
+        out.push('\n');
+        let mut metrics = e20_incremental::metrics(&rows);
+        metrics.push(benchjson::BenchMetric::new(
+            "E20",
+            "all",
+            "warm_first_runs".to_string(),
+            warm_first as f64,
+            "runs",
+        ));
+        out.push_str(&benchjson::to_jsonl(&metrics));
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path} (validate with `check obs validate {path}`)");
+    }
+    if let Some(floor) = min_speedup {
+        let mutex = rows
+            .iter()
+            .find(|r| r.family == "mutex")
+            .map_or(0.0, e20_incremental::Row::speedup);
+        if mutex < floor {
+            eprintln!("mutex warm-replay speedup {mutex:.2}x is below the required {floor:.2}x");
+            return ExitCode::FAILURE;
+        }
+        println!("mutex warm-replay speedup {mutex:.2}x meets the required {floor:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(kind) = raw.first().cloned() else {
@@ -1660,6 +1791,9 @@ fn main() -> ExitCode {
     }
     if kind == "bench-diff" {
         return bench_diff_main(&raw[1..]);
+    }
+    if kind == "verify-cache" {
+        return verify_cache_main(&raw[1..]);
     }
     let Some(args) = parse(&raw[1..]) else {
         return usage();

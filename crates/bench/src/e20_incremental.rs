@@ -1,0 +1,421 @@
+//! E20 — incremental verification: cold exploration vs warm certificate
+//! replay.
+//!
+//! A finished exploration is a *proof*: the reachable set is closed under
+//! the transition relation and the verdicts are predicates of that set.
+//! [`run_cached`] makes the proof durable — the first run explores cold
+//! and writes an `anonreg-cache` certificate keyed by the problem's
+//! structural hash; every later run with the same machines, views and
+//! limits *replays* the certificate (a linear streaming membership +
+//! closure check) instead of searching. This experiment measures the
+//! payoff across all seven verified families, with parity hard-asserted:
+//! a warm replay that changed a count or a verdict would be a cache
+//! soundness bug, not a measurement.
+//!
+//! The `mutex` row is the E16 quick workload (the `m = 2, ℓ = 2` ring)
+//! — the acceptance gate for the cache PR pins its warm/cold speedup.
+//! The other six rows are the `por_modelcheck` tier-1 configurations, so
+//! the table doubles as evidence that the suite's cached mode answers
+//! the same verdicts the cold suite does.
+
+use std::hash::Hash;
+use std::time::Duration;
+
+use anonreg::baseline::Peterson;
+use anonreg::consensus::AnonConsensus;
+use anonreg::election::AnonElection;
+use anonreg::hybrid::{named_view, HybridMutex};
+use anonreg::mutex::{AnonMutex, Section};
+use anonreg::ordered::OrderedMutex;
+use anonreg::renaming::AnonRenaming;
+use anonreg::{Machine, Pid, View};
+use anonreg_obs::Probe;
+use anonreg_sim::prelude::*;
+
+use crate::benchjson::BenchMetric;
+use crate::e16_symmetry::mutex_ring_sim;
+use crate::table::Table;
+
+/// The seven families measured, in table order.
+pub const FAMILIES: [&str; 7] = [
+    "mutex",
+    "ordered",
+    "hybrid",
+    "peterson",
+    "consensus",
+    "renaming",
+    "election",
+];
+
+/// One family's cold-explore vs warm-replay measurement.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Family name (one of [`FAMILIES`]).
+    pub family: &'static str,
+    /// Certified reachable states.
+    pub states: u64,
+    /// Certified transitions.
+    pub edges: u64,
+    /// The family's safety verdict (`true` = violation reachable),
+    /// identical on both paths by assertion.
+    pub violated: bool,
+    /// Wall time of the first run: a cold exploration + certificate
+    /// emission against a fresh store, or a replay when a prior
+    /// invocation already populated it (see [`Row::cold_hit`]).
+    pub cold: Duration,
+    /// Wall time of the second run: a warm certificate replay (or a
+    /// recomputation when the cache is disabled — see
+    /// [`Row::warm_hit`]).
+    pub warm: Duration,
+    /// Whether the *first* run already found a replayable certificate.
+    /// `false` against a fresh or just-invalidated store — the
+    /// cold-vs-warm speedup is only meaningful then.
+    pub cold_hit: bool,
+    /// Whether the second run actually replayed a certificate. `false`
+    /// only under `ANONREG_NO_CACHE`.
+    pub warm_hit: bool,
+}
+
+impl Row {
+    /// Cold/warm wall-clock ratio (how much faster replay is).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the family twice through the store and asserts parity.
+///
+/// Against a fresh (or just-invalidated) store the first run explores
+/// cold and certifies, the second replays — the cold-vs-warm
+/// measurement. Against a populated store both runs replay, which is
+/// what the warm CI leg asserts via [`Row::cold_hit`].
+///
+/// # Panics
+///
+/// Panics if the second outcome's counts or verdicts differ from the
+/// first — certificate replay must be bit-identical to exploration.
+fn measure<'p, M, P, F>(
+    family: &'static str,
+    store: &CacheStore,
+    make: F,
+) -> Result<Row, ExploreError>
+where
+    M: Machine + Eq + Hash,
+    P: Probe + 'p,
+    F: Fn() -> Explorer<'p, M, P>,
+{
+    let cold = run_cached(store, &make)?;
+    let warm = run_cached(store, &make)?;
+    if !cache_disabled() {
+        assert!(warm.warm, "{family}: second run did not replay the cache");
+    }
+    assert_eq!(
+        (cold.states, cold.edges),
+        (warm.states, warm.edges),
+        "{family}: warm replay changed the counts"
+    );
+    assert_eq!(
+        cold.verdicts, warm.verdicts,
+        "{family}: warm replay changed a verdict"
+    );
+    let violated = cold.verdicts.first().is_some_and(|(_, violated)| *violated);
+    Ok(Row {
+        family,
+        states: cold.states,
+        edges: cold.edges,
+        violated,
+        cold: cold.elapsed,
+        warm: warm.elapsed,
+        cold_hit: cold.warm,
+        warm_hit: warm.warm,
+    })
+}
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+/// The ≥2-in-critical-section overlap verdict shared by the mutex-like
+/// families.
+fn overlap<M>(
+    section: impl Fn(&M) -> Section + Copy + 'static,
+) -> impl Fn(&StateGraph<M>) -> bool + 'static
+where
+    M: Machine + Eq + Hash,
+{
+    move |g: &StateGraph<M>| {
+        g.find_state(|s| {
+            (0..s.process_count())
+                .filter(|&p| section(s.machine(p)) == Section::Critical)
+                .count()
+                >= 2
+        })
+        .is_some()
+    }
+}
+
+/// Measures all seven families: cold explore + certify, then warm
+/// replay, through `store`.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError`] from any cold exploration (e.g.
+/// [`ExploreError::StateLimitExceeded`] if `max_states` is too tight).
+///
+/// # Panics
+///
+/// Panics on any cold/warm parity divergence (see [`measure`]).
+pub fn rows(
+    store: &CacheStore,
+    threads: usize,
+    max_states: usize,
+) -> Result<Vec<Row>, ExploreError> {
+    let mut out = Vec::new();
+    out.push(measure("mutex", store, || {
+        Explorer::new(mutex_ring_sim(2, 2))
+            .max_states(max_states)
+            .parallelism(threads)
+            .verdict("safety", overlap(AnonMutex::section))
+    })?);
+    out.push(measure("ordered", store, || {
+        let sim = Simulation::builder()
+            .process(OrderedMutex::new(pid(1), 3).unwrap(), View::identity(3))
+            .process(OrderedMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap();
+        Explorer::new(sim)
+            .max_states(max_states)
+            .parallelism(threads)
+            .verdict("safety", overlap(OrderedMutex::section))
+    })?);
+    out.push(measure("hybrid", store, || {
+        let anon: Vec<usize> = (0..3).map(|j| (j + 1) % 3).collect();
+        let sim = Simulation::builder()
+            .process(
+                HybridMutex::new(pid(1), 3).unwrap(),
+                named_view(3, (0..3).collect()).unwrap(),
+            )
+            .process(
+                HybridMutex::new(pid(2), 3).unwrap(),
+                named_view(3, anon).unwrap(),
+            )
+            .build()
+            .unwrap();
+        Explorer::new(sim)
+            .max_states(max_states)
+            .parallelism(threads)
+            .verdict("safety", overlap(HybridMutex::section))
+    })?);
+    out.push(measure("peterson", store, || {
+        let sim = Simulation::builder()
+            .process_identity(Peterson::new(pid(1), 0).unwrap())
+            .process_identity(Peterson::new(pid(2), 1).unwrap())
+            .build()
+            .unwrap();
+        Explorer::new(sim)
+            .max_states(max_states)
+            .parallelism(threads)
+            .verdict("safety", overlap(Peterson::section))
+    })?);
+    out.push(measure("consensus", store, || {
+        let sim = Simulation::builder()
+            .process(
+                AnonConsensus::new(pid(1), 2, 1).unwrap().with_registers(2),
+                View::identity(2),
+            )
+            .process(
+                AnonConsensus::new(pid(2), 2, 2).unwrap().with_registers(2),
+                View::rotated(2, 1),
+            )
+            .build()
+            .unwrap();
+        Explorer::new(sim)
+            .max_states(max_states)
+            .parallelism(threads)
+            .verdict("safety", |g: &StateGraph<AnonConsensus>| {
+                g.find_state(|s| {
+                    let decided: Vec<u64> = (0..s.process_count())
+                        .map(|p| s.machine(p))
+                        .filter(|m| m.has_decided())
+                        .map(AnonConsensus::preference)
+                        .collect();
+                    decided.len() == 2 && decided[0] != decided[1]
+                })
+                .is_some()
+            })
+    })?);
+    out.push(measure("renaming", store, || {
+        let sim = Simulation::builder()
+            .process(AnonRenaming::new(pid(1), 2).unwrap(), View::identity(3))
+            .process(AnonRenaming::new(pid(2), 2).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap();
+        Explorer::new(sim)
+            .max_states(max_states)
+            .parallelism(threads)
+            .verdict("safety", |g: &StateGraph<AnonRenaming>| {
+                g.find_state(|s| {
+                    s.all_halted() && (0..s.process_count()).any(|p| !s.machine(p).has_name())
+                })
+                .is_some()
+            })
+    })?);
+    out.push(measure("election", store, || {
+        let sim = Simulation::builder()
+            .process(AnonElection::new(pid(1), 2).unwrap(), View::identity(3))
+            .process(AnonElection::new(pid(2), 2).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap();
+        Explorer::new(sim)
+            .max_states(max_states)
+            .parallelism(threads)
+            .verdict("safety", |g: &StateGraph<AnonElection>| {
+                g.find_state(|s| {
+                    s.all_halted() && (0..s.process_count()).any(|p| !s.machine(p).has_elected())
+                })
+                .is_some()
+            })
+    })?);
+    debug_assert_eq!(out.len(), FAMILIES.len());
+    Ok(out)
+}
+
+/// Renders the cold/warm comparison table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "family", "states", "edges", "violated", "cold", "warm", "speedup", "path",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.family.to_string(),
+            r.states.to_string(),
+            r.edges.to_string(),
+            r.violated.to_string(),
+            format!("{:?}", r.cold),
+            format!("{:?}", r.warm),
+            format!("{:.2}x", r.speedup()),
+            match (r.cold_hit, r.warm_hit) {
+                (false, true) => "cold→replay",
+                (true, true) => "replay×2",
+                _ => "recompute",
+            }
+            .to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Machine-readable metrics for the given rows (experiment `E20`).
+#[must_use]
+pub fn metrics(rows: &[Row]) -> Vec<BenchMetric> {
+    let mut out = Vec::new();
+    for r in rows {
+        out.push(BenchMetric::new(
+            "E20",
+            r.family,
+            format!("{}_states", r.family),
+            r.states as f64,
+            "states",
+        ));
+        out.push(BenchMetric::new(
+            "E20",
+            r.family,
+            format!("{}_edges", r.family),
+            r.edges as f64,
+            "edges",
+        ));
+        out.push(BenchMetric::new(
+            "E20",
+            r.family,
+            format!("{}_cold_time", r.family),
+            r.cold.as_secs_f64() * 1000.0,
+            "ms",
+        ));
+        out.push(BenchMetric::new(
+            "E20",
+            r.family,
+            format!("{}_warm_time", r.family),
+            r.warm.as_secs_f64() * 1000.0,
+            "ms",
+        ));
+        out.push(BenchMetric::new(
+            "E20",
+            r.family,
+            format!("{}_speedup", r.family),
+            r.speedup(),
+            "x",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_store(name: &str) -> CacheStore {
+        let dir = std::env::temp_dir().join(format!("anonreg-e20-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheStore::new(dir).unwrap()
+    }
+
+    #[test]
+    fn seven_families_warm_up_with_identical_counts() {
+        let store = test_store("families");
+        let first = rows(&store, 1, 2_000_000).unwrap();
+        assert_eq!(first.len(), FAMILIES.len());
+        for (row, family) in first.iter().zip(FAMILIES) {
+            assert_eq!(row.family, family);
+            assert!(row.states > 0, "{family}: empty graph");
+            assert!(!row.cold_hit, "{family}: fresh store had a certificate");
+            assert!(row.warm_hit, "{family}: warm run did not replay");
+            // Only the deliberately under-provisioned consensus (2
+            // registers < 2n − 1 = 3, the Theorem 6.3 regime) reaches a
+            // violation; anything else would mean replay returned
+            // verdicts for the wrong problem.
+            assert_eq!(
+                row.violated,
+                family == "consensus",
+                "{family}: safety verdict flipped"
+            );
+        }
+        // A second invocation against the now-populated store replays on
+        // the first run too — the cross-invocation warm path.
+        let again = rows(&store, 1, 2_000_000).unwrap();
+        for row in &again {
+            assert!(row.cold_hit, "{}: populated store missed", row.family);
+            assert_eq!(
+                (row.states, row.edges),
+                (
+                    first
+                        .iter()
+                        .find(|r| r.family == row.family)
+                        .unwrap()
+                        .states,
+                    first.iter().find(|r| r.family == row.family).unwrap().edges,
+                ),
+                "{}: replay counts drifted across invocations",
+                row.family
+            );
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn render_and_metrics_cover_all_rows() {
+        let store = test_store("render");
+        let rows = rows(&store, 1, 2_000_000).unwrap();
+        let table = render(&rows);
+        assert!(table.contains("speedup"));
+        assert!(table.contains("mutex"));
+        let metrics = metrics(&rows);
+        assert_eq!(metrics.len(), 5 * rows.len());
+        assert!(metrics.iter().all(|m| m.experiment == "E20"));
+        assert!(metrics
+            .iter()
+            .any(|m| m.name == "mutex_speedup" && m.unit == "x"));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

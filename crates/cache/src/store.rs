@@ -1,0 +1,143 @@
+//! The on-disk certificate store: one file per structural key.
+//!
+//! A [`CacheStore`] is just a directory whose entries are named by the
+//! 32-hex-digit structural key they certify (`<hi><lo>.cert`). Because
+//! the key *is* the identity of the verification problem, there is no
+//! index to maintain and no locking to get wrong: writers land files
+//! atomically (see [`crate::cert::CertWriter`]), lookups are a single
+//! `exists`, and invalidation is `remove_file`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use anonreg_model::fingerprint::Fp128;
+
+/// Environment variable overriding the default store directory.
+pub const CACHE_DIR_ENV: &str = "ANONREG_CACHE_DIR";
+
+/// Escape-hatch environment variable: when set (and non-empty), cached
+/// certificates are never *served* — explorations run cold. Emission
+/// still happens, so the cache stays fresh for the next run that wants
+/// it.
+pub const NO_CACHE_ENV: &str = "ANONREG_NO_CACHE";
+
+/// Returns whether the `ANONREG_NO_CACHE` escape hatch is engaged.
+#[must_use]
+pub fn cache_disabled() -> bool {
+    std::env::var_os(NO_CACHE_ENV).is_some_and(|v| !v.is_empty())
+}
+
+/// A directory of reachability certificates keyed by structural hash.
+#[derive(Clone, Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CacheStore { dir })
+    }
+
+    /// Opens the store named by `ANONREG_CACHE_DIR`, defaulting to
+    /// `anonreg-cache` under the system temp directory. Creation
+    /// failures fall back to the (possibly uncreatable) path itself —
+    /// lookups against it simply miss, which degrades to cold runs
+    /// rather than errors.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let dir = std::env::var_os(CACHE_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("anonreg-cache"));
+        let _ = std::fs::create_dir_all(&dir);
+        CacheStore { dir }
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The certificate path for `key` — `<hi:016x><lo:016x>.cert`.
+    #[must_use]
+    pub fn path(&self, key: Fp128) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}{:016x}.cert", key.hi, key.lo))
+    }
+
+    /// Whether a certificate for `key` is present.
+    #[must_use]
+    pub fn contains(&self, key: Fp128) -> bool {
+        self.path(key).exists()
+    }
+
+    /// Removes the certificate for `key`, reporting whether one existed.
+    #[must_use]
+    pub fn invalidate(&self, key: Fp128) -> bool {
+        std::fs::remove_file(self.path(key)).is_ok()
+    }
+
+    /// Removes every `.cert` file in the store, returning how many were
+    /// deleted.
+    #[must_use]
+    pub fn clear(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "cert") && std::fs::remove_file(&path).is_ok()
+            {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_store(name: &str) -> CacheStore {
+        let dir =
+            std::env::temp_dir().join(format!("anonreg-store-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheStore::new(dir).unwrap()
+    }
+
+    #[test]
+    fn paths_are_keyed_by_full_128_bits() {
+        let store = fresh_store("paths");
+        let a = Fp128 { lo: 1, hi: 2 };
+        let b = Fp128 { lo: 2, hi: 1 };
+        assert_ne!(store.path(a), store.path(b));
+        assert!(store
+            .path(a)
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .ends_with(".cert"));
+    }
+
+    #[test]
+    fn contains_invalidate_clear_lifecycle() {
+        let store = fresh_store("lifecycle");
+        let key = Fp128 { lo: 42, hi: 7 };
+        assert!(!store.contains(key));
+        assert!(!store.invalidate(key));
+        std::fs::write(store.path(key), b"stub").unwrap();
+        assert!(store.contains(key));
+        assert!(store.invalidate(key));
+        assert!(!store.contains(key));
+        std::fs::write(store.path(key), b"stub").unwrap();
+        std::fs::write(store.dir().join("unrelated.txt"), b"keep").unwrap();
+        assert_eq!(store.clear(), 1);
+        assert!(store.dir().join("unrelated.txt").exists());
+    }
+}

@@ -1,0 +1,66 @@
+//! The `ANONREG_NO_CACHE` escape hatch, in its own test binary: the
+//! variable is process-global, so it cannot be toggled inside the
+//! shared `incremental_modelcheck` binary without racing its tests.
+//!
+//! With the variable set, [`run_cached`] must never answer from a
+//! stored certificate — every run explores cold — while still
+//! refreshing the store so that dropping the variable warms back up.
+
+use anonreg::mutex::{AnonMutex, Section};
+use anonreg::{Pid, View};
+use anonreg_sim::prelude::*;
+use anonreg_sim::Simulation;
+
+fn pid(n: u64) -> Pid {
+    Pid::new(n).unwrap()
+}
+
+#[test]
+fn no_cache_env_forces_cold_runs_but_keeps_certifying() {
+    std::env::set_var("ANONREG_NO_CACHE", "1");
+    assert!(cache_disabled(), "escape hatch not visible");
+
+    let dir = std::env::temp_dir().join(format!("anonreg-escape-hatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CacheStore::new(&dir).unwrap();
+    let make = || {
+        Explorer::new(
+            Simulation::builder()
+                .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+                .process(AnonMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+                .build()
+                .unwrap(),
+        )
+        .verdict("safety", |g: &StateGraph<AnonMutex>| {
+            g.find_state(|s| {
+                s.machines()
+                    .filter(|m| m.section() == Section::Critical)
+                    .count()
+                    >= 2
+            })
+            .is_some()
+        })
+    };
+
+    let first = run_cached(&store, make).unwrap();
+    let second = run_cached(&store, make).unwrap();
+    assert!(!first.warm, "escape hatch did not disable replay");
+    assert!(!second.warm, "escape hatch stopped applying on rerun");
+    assert_eq!((first.states, first.edges), (second.states, second.edges));
+    assert_eq!(first.verdicts, second.verdicts);
+    // The store is still refreshed: the certificate exists for the day
+    // the variable is dropped.
+    assert!(
+        store.contains(make().structural_hash()),
+        "cold runs stopped certifying"
+    );
+
+    // An empty value does not count as set.
+    std::env::set_var("ANONREG_NO_CACHE", "");
+    assert!(!cache_disabled(), "empty value should re-enable the cache");
+    let third = run_cached(&store, make).unwrap();
+    assert!(third.warm, "cache did not warm back up");
+    assert_eq!((first.states, first.edges), (third.states, third.edges));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -13,6 +13,11 @@
 //! * the sequential and parallel engines agree on the reduced graph
 //!   exactly (isomorphism up to state renumbering);
 //! * `run_stats` counts exactly what `run` materialises under POR;
+//! * POR composed with `SymmetryMode::Registers` — sound because
+//!   register renaming never touches process slots, so ample sets are
+//!   orbit-invariant — keeps the safety verdict and never grows the
+//!   reduced graph, while `SymmetryMode::Full` × POR is an explicit
+//!   `ExploreError`;
 //! * the mutex fairness verdicts (fair livelock, per-victim starvation)
 //!   are identical with POR on and off.
 
@@ -27,7 +32,7 @@ use anonreg::hybrid::{named_view, HybridMutex};
 use anonreg::mutex::{AnonMutex, MutexEvent, Section};
 use anonreg::ordered::OrderedMutex;
 use anonreg::renaming::AnonRenaming;
-use anonreg::{Machine, Pid, View};
+use anonreg::{Machine, Pid, PidMap, View};
 use anonreg_sim::prelude::*;
 
 fn pid(n: u64) -> Pid {
@@ -101,7 +106,8 @@ fn check_por_parity<M>(
     build: impl Fn() -> Simulation<M>,
     violated: impl Fn(&Simulation<M>) -> bool + Copy,
 ) where
-    M: Machine + Eq + Hash,
+    M: Machine + Eq + Hash + PidMap,
+    M::Value: PidMap,
     M::Event: Debug,
 {
     let full = Explorer::new(build()).max_states(500_000).run().unwrap();
@@ -152,6 +158,62 @@ fn check_por_parity<M>(
             "{family} stats at {threads} threads: edge count"
         );
     }
+
+    // POR composed with register-symmetry reduction: the quotient of the
+    // reduced graph can only shrink it further, the safety verdict must
+    // not move, and `run_stats` must count what `run` stores.
+    let composed = Explorer::new(build())
+        .max_states(500_000)
+        .por(true)
+        .symmetry(SymmetryMode::Registers)
+        .run()
+        .unwrap();
+    assert!(
+        composed.state_count() <= reduced.state_count(),
+        "{family}: POR × Registers grew the state space"
+    );
+    assert!(
+        composed.edge_count() <= reduced.edge_count(),
+        "{family}: POR × Registers grew the edge set"
+    );
+    assert_eq!(
+        full.find_state(&violated).is_some(),
+        composed.find_state(&violated).is_some(),
+        "{family}: safety verdict moved under POR × Registers"
+    );
+    let composed_stats = Explorer::new(build())
+        .max_states(500_000)
+        .por(true)
+        .symmetry(SymmetryMode::Registers)
+        .parallelism(2)
+        .run_stats()
+        .unwrap();
+    assert_eq!(
+        composed_stats.states as usize,
+        composed.state_count(),
+        "{family} composed stats: state count"
+    );
+    assert_eq!(
+        composed_stats.edges as usize,
+        composed.edge_count(),
+        "{family} composed stats: edge count"
+    );
+
+    // Full-mode canonicalization un-pins process slots; composing it
+    // with POR must stay an explicit error on both run paths.
+    let err = Explorer::new(build())
+        .por(true)
+        .symmetry(SymmetryMode::Full)
+        .run()
+        .unwrap_err();
+    assert_eq!(err, ExploreError::PorWithFullSymmetry, "{family}");
+    let err = Explorer::new(build())
+        .por(true)
+        .symmetry(SymmetryMode::Full)
+        .run_stats()
+        .unwrap_err();
+    assert_eq!(err, ExploreError::PorWithFullSymmetry, "{family}");
+    assert!(!err.to_string().is_empty());
 }
 
 /// Two processes are simultaneously critical — the mutual-exclusion

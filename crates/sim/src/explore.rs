@@ -48,10 +48,12 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use anonreg_model::fingerprint::{fp128, Fp128};
+use anonreg_model::structural::StructuralHasher;
 use anonreg_model::{Machine, PidMap, SymmetryMode, View};
 use anonreg_obs::{Metric, NoopProbe, Phase, Probe, Profiler, Span};
 
@@ -60,6 +62,7 @@ use crate::{Simulation, StepOutcome};
 
 use self::dedup::Bloom;
 
+pub mod cert;
 mod dedup;
 mod par;
 
@@ -121,6 +124,21 @@ pub enum ExploreError {
     /// no ample set smaller than the full successor set is sound there;
     /// the combination is rejected rather than silently unsound.
     PorWithCrashes,
+    /// Partial-order reduction was requested together with
+    /// [`SymmetryMode::Full`]. Full-mode canonicalization renumbers
+    /// identifiers, which un-pins process slots: an orbit
+    /// representative's ample set need not match its siblings', so the
+    /// reduction could prune interleavings the symmetry quotient still
+    /// needs. [`SymmetryMode::Registers`] keeps slots pinned and
+    /// composes soundly (see [`Explorer::por`]).
+    PorWithFullSymmetry,
+    /// Emitting or re-reading a reachability certificate failed after
+    /// the exploration itself succeeded. The message carries the
+    /// underlying [`anonreg_cache::CertError`] or IO failure.
+    Certificate {
+        /// Human-readable cause.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -138,6 +156,19 @@ impl fmt::Display for ExploreError {
                     "partial-order reduction cannot be combined with crash \
                      transitions (no ample set is sound under §2's crash model)"
                 )
+            }
+            ExploreError::PorWithFullSymmetry => {
+                write!(
+                    f,
+                    "partial-order reduction cannot be combined with \
+                     SymmetryMode::Full (identifier renumbering un-pins process \
+                     slots, so an orbit representative's ample set need not \
+                     match its siblings'); SymmetryMode::Registers composes \
+                     soundly"
+                )
+            }
+            ExploreError::Certificate { message } => {
+                write!(f, "certificate error: {message}")
             }
         }
     }
@@ -201,6 +232,12 @@ pub struct Explorer<'p, M: Machine, P: Probe = NoopProbe> {
     probe: &'p P,
     encoder: StateEncoder<M>,
     profiler: Option<Arc<Profiler>>,
+    /// Where [`Explorer::run`] writes a reachability certificate, if
+    /// anywhere.
+    certify: Option<PathBuf>,
+    /// Named verdict predicates evaluated on the finished graph and
+    /// recorded in the certificate.
+    verdicts: Vec<(String, cert::VerdictFn<M>)>,
 }
 
 /// The probe target for unprobed explorations.
@@ -221,6 +258,8 @@ where
             probe: &SILENT,
             encoder: StateEncoder::plain(),
             profiler: None,
+            certify: None,
+            verdicts: Vec::new(),
         }
     }
 }
@@ -285,6 +324,18 @@ where
     /// [`Explorer::run`] rejects `por` + `crashes` with
     /// [`ExploreError::PorWithCrashes`].
     ///
+    /// Composition with [`Explorer::symmetry`]:
+    /// [`SymmetryMode::Registers`] is allowed — register renaming never
+    /// touches process slots, so the ample set (a set of process
+    /// *indices* poised at local steps) is identical across every member
+    /// of an orbit, and the reduced quotient graph is the quotient of
+    /// the reduced graph. In practice the view-compatible register group
+    /// is trivial for the pinned-view families, so the trivial-orbit
+    /// fast path makes the composition exact as well as sound.
+    /// [`SymmetryMode::Full`] renumbers identifiers and can merge states
+    /// whose ample sets differ; that combination is rejected with
+    /// [`ExploreError::PorWithFullSymmetry`].
+    ///
     /// The reduced graph has fewer states and edges; safety, fair-
     /// livelock and starvation verdicts are unchanged (enforced across
     /// every family and both engines by the POR parity suite).
@@ -334,6 +385,8 @@ where
             probe,
             encoder: self.encoder,
             profiler: self.profiler,
+            certify: self.certify,
+            verdicts: self.verdicts,
         }
     }
 
@@ -380,6 +433,61 @@ where
         self
     }
 
+    /// Also writes a reachability certificate to `path` when the
+    /// exploration completes (see [`Explorer::run`] and the
+    /// `anonreg-cache` crate). The certificate is keyed by
+    /// [`Explorer::structural_hash`] and records the canonical state
+    /// set, the edge multiset, and every [`Explorer::verdict`]'s value
+    /// on the finished graph.
+    pub fn certify(mut self, path: impl Into<PathBuf>) -> Self {
+        self.certify = Some(path.into());
+        self
+    }
+
+    /// Registers a named verdict predicate — e.g. `"safety"` = "no
+    /// reachable state violates mutual exclusion" — to be evaluated on
+    /// the finished [`StateGraph`] and pinned into the certificate, so a
+    /// warm [`Explorer::replay_certificate`] can return it without
+    /// re-running the analysis.
+    pub fn verdict(
+        mut self,
+        name: impl Into<String>,
+        pred: impl Fn(&StateGraph<M>) -> bool + 'static,
+    ) -> Self {
+        self.verdicts.push((name.into(), Box::new(pred)));
+        self
+    }
+
+    /// The 128-bit structural key of this verification problem: the
+    /// initial configuration (registers, machine states, per-process
+    /// views), the exploration limits, the failure model and the
+    /// symmetry mode — everything that can change the reachable set or
+    /// a verdict drawn from it. Thread count and spilling are
+    /// deliberately excluded: they change *how* the same graph is
+    /// enumerated, never *what* it is.
+    #[must_use]
+    pub fn structural_hash(&self) -> Fp128 {
+        let mut hasher = StructuralHasher::new("anonreg-cert-v1")
+            .raw("initial", &crate::canon::encode_plain(&self.initial));
+        // The plain encoding omits views (constant within one run, so
+        // they never distinguish states) — but across runs a changed
+        // view changes reachability, so fold them in here.
+        for i in 0..self.initial.process_count() {
+            hasher = hasher.component("view", self.initial.view(i));
+        }
+        let mode = match self.encoder.mode() {
+            SymmetryMode::Off => "off",
+            SymmetryMode::Registers => "registers",
+            SymmetryMode::Full => "full",
+        };
+        hasher
+            .component("max_states", &(self.config.max_states as u64))
+            .component("crashes", &self.config.crashes)
+            .component("por", &self.config.por)
+            .component("symmetry", mode)
+            .finish()
+    }
+
     /// Runs the exploration and returns the complete reachable
     /// [`StateGraph`].
     ///
@@ -388,15 +496,23 @@ where
     /// Returns [`ExploreError::StateLimitExceeded`] if the reachable
     /// state space is larger than the configured `max_states`. Counters
     /// emitted up to that point are still in the probe, so a budget-blown
-    /// exploration is still measurable.
-    pub fn run(self) -> Result<StateGraph<M>, ExploreError> {
+    /// exploration is still measurable. With [`Explorer::certify`],
+    /// failures while writing the certificate surface as
+    /// [`ExploreError::Certificate`].
+    pub fn run(mut self) -> Result<StateGraph<M>, ExploreError> {
         let threads = self.validate()?;
-        if threads <= 1 {
+        let emit = self
+            .certify
+            .take()
+            .map(|path| (path, self.structural_hash()));
+        let verdicts = std::mem::take(&mut self.verdicts);
+        let encoder = self.encoder;
+        let graph = if threads <= 1 {
             run_sequential(
                 self.initial,
                 &self.config,
                 self.probe,
-                &self.encoder,
+                &encoder,
                 self.profiler.as_deref(),
             )
         } else {
@@ -405,10 +521,55 @@ where
                 &self.config,
                 self.probe,
                 threads,
-                &self.encoder,
+                &encoder,
                 self.profiler.as_deref(),
             )
+        }?;
+        if let Some((path, structural)) = emit {
+            cert::write_graph(&graph, &encoder, structural, &verdicts, &path).map_err(|e| {
+                ExploreError::Certificate {
+                    message: e.to_string(),
+                }
+            })?;
         }
+        Ok(graph)
+    }
+
+    /// Re-validates the certificate at `path` against this explorer's
+    /// configuration **without exploring**: no frontier, no dedup table —
+    /// one streaming membership/closure pass over the recorded graph
+    /// (see [`anonreg_cache::replay`]), in memory bounded by two state
+    /// codes. On success the probe receives one `cache_hit` count and
+    /// the replay's wall-clock nanoseconds under `cache_replay_time`.
+    ///
+    /// # Errors
+    ///
+    /// [`anonreg_cache::CertError::Stale`] when the certificate pins a
+    /// different structural key than [`Explorer::structural_hash`] — the
+    /// machines, limits or symmetry mode changed since it was written —
+    /// and the other [`anonreg_cache::CertError`] variants for damaged
+    /// or unreadable files.
+    pub fn replay_certificate(
+        mut self,
+        path: &std::path::Path,
+    ) -> Result<cert::ReplayReport, anonreg_cache::CertError> {
+        let expected = self.structural_hash();
+        self.initial.clear_trace();
+        let initial_code = self.encoder.encode(&self.initial).0;
+        let start = Instant::now();
+        let summary = anonreg_cache::replay(path, expected, &initial_code)?;
+        let elapsed = start.elapsed();
+        if P::ENABLED {
+            self.probe.counter(Metric::CacheHit, 0, 1);
+            self.probe
+                .counter(Metric::CacheReplayTime, 0, elapsed.as_nanos() as u64);
+        }
+        Ok(cert::ReplayReport {
+            states: summary.states,
+            edges: summary.edges,
+            verdicts: summary.verdicts,
+            elapsed,
+        })
     }
 
     /// Runs the exploration for its **counts only** — states, edges,
@@ -450,6 +611,9 @@ where
     fn validate(&self) -> Result<usize, ExploreError> {
         if self.config.por && self.config.crashes {
             return Err(ExploreError::PorWithCrashes);
+        }
+        if self.config.por && self.encoder.mode() == SymmetryMode::Full {
+            return Err(ExploreError::PorWithFullSymmetry);
         }
         Ok(match self.config.parallelism {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -2110,5 +2274,256 @@ mod tests {
                 .unwrap();
             assert_isomorphic(&parallel, &baseline);
         }
+    }
+
+    /// The batched fingerprint path (encode+hash `FP_BATCH` successors,
+    /// then probe the table) must leave every count bit-identical to the
+    /// sequential engine under seeded race variation — the batching
+    /// reorders nothing, it only groups.
+    #[test]
+    fn batched_fingerprinting_counts_are_bit_identical() {
+        let baseline = Explorer::new(two_toys()).run_stats().unwrap();
+        for seed in 0..8u32 {
+            let threads = 2 + (seed as usize % 3);
+            let stats = Explorer::new(two_toys())
+                .parallelism(threads)
+                .spill(seed % 2 == 1)
+                .run_stats()
+                .unwrap();
+            assert_eq!(stats.states, baseline.states, "seed {seed}");
+            assert_eq!(stats.edges, baseline.edges, "seed {seed}");
+            assert_eq!(stats.dedup, baseline.dedup, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn por_with_full_symmetry_is_rejected() {
+        // Toy lacks PidMap, so exercise the validation through config
+        // alone is impossible here — the mode check needs an encoder in
+        // Full mode, which `symmetry()` gates on PidMap. The family-level
+        // rejection test lives in por_modelcheck.rs; this one pins the
+        // error's Display text.
+        let err = ExploreError::PorWithFullSymmetry;
+        assert!(err.to_string().contains("SymmetryMode::Full"));
+        assert!(err.to_string().contains("Registers"));
+    }
+
+    fn cert_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "anonreg-explore-cert-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Certify → replay round-trip: the replay's counts and verdicts
+    /// match the explored graph, with zero exploration on the warm path.
+    #[test]
+    fn certificate_round_trips_counts_and_verdicts() {
+        let path = cert_dir("roundtrip").join("toys.cert");
+        let graph = Explorer::new(two_toys())
+            .certify(&path)
+            .verdict("terminates", |g: &StateGraph<Toy>| {
+                g.find_state(Simulation::all_halted).is_some()
+            })
+            .verdict("livelock", |g: &StateGraph<Toy>| {
+                g.find_fair_livelock(|_| true, |_| false).is_some()
+            })
+            .run()
+            .unwrap();
+        let report = Explorer::new(two_toys()).replay_certificate(&path).unwrap();
+        assert_eq!(report.states, graph.state_count() as u64);
+        assert_eq!(report.edges, graph.edge_count() as u64);
+        assert_eq!(
+            report.verdicts,
+            vec![
+                ("terminates".to_string(), true),
+                ("livelock".to_string(), false)
+            ]
+        );
+    }
+
+    /// Both engines must emit byte-identical certificates: the canonical
+    /// code sort erases discovery order.
+    #[test]
+    fn parallel_certificate_matches_sequential_bytes() {
+        let dir = cert_dir("engines");
+        let seq_path = dir.join("seq.cert");
+        let par_path = dir.join("par.cert");
+        Explorer::new(two_toys()).certify(&seq_path).run().unwrap();
+        Explorer::new(two_toys())
+            .parallelism(4)
+            .certify(&par_path)
+            .run()
+            .unwrap();
+        let seq = std::fs::read(&seq_path).unwrap();
+        let par = std::fs::read(&par_path).unwrap();
+        assert_eq!(seq, par, "certificates diverge between engines");
+    }
+
+    /// A certificate is refused once the problem changes: different
+    /// machine behavior, different limits, different failure model.
+    #[test]
+    fn stale_certificates_are_refused() {
+        use anonreg_cache::CertError;
+        let path = cert_dir("stale").join("toys.cert");
+        Explorer::new(two_toys()).certify(&path).run().unwrap();
+        // Same machines, different limits.
+        let err = Explorer::new(two_toys())
+            .max_states(77)
+            .replay_certificate(&path)
+            .unwrap_err();
+        assert!(matches!(err, CertError::Stale { .. }), "{err}");
+        assert!(err.to_string().contains("stale"), "{err}");
+        // Same machines, crash model on.
+        let err = Explorer::new(two_toys())
+            .crashes(true)
+            .replay_certificate(&path)
+            .unwrap_err();
+        assert!(matches!(err, CertError::Stale { .. }), "{err}");
+        // Different initial configuration (three toys, not two).
+        let three = Simulation::builder()
+            .process(
+                Toy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                Toy {
+                    pid: pid(2),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                Toy {
+                    pid: pid(3),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .build()
+            .unwrap();
+        let err = Explorer::new(three).replay_certificate(&path).unwrap_err();
+        assert!(matches!(err, CertError::Stale { .. }), "{err}");
+        // The unchanged problem still replays.
+        assert!(Explorer::new(two_toys()).replay_certificate(&path).is_ok());
+    }
+
+    /// The structural hash must also see the *views*: the plain state
+    /// encoding omits them, so a rotated view with identical machines
+    /// must still produce a different key.
+    #[test]
+    fn structural_hash_distinguishes_views() {
+        /// Two-register toy so a non-identity view exists.
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct Wide {
+            pid: Pid,
+            done: bool,
+        }
+        impl Machine for Wide {
+            type Value = u64;
+            type Event = ();
+            fn pid(&self) -> Pid {
+                self.pid
+            }
+            fn register_count(&self) -> usize {
+                2
+            }
+            fn resume(&mut self, _read: Option<u64>) -> Step<u64, ()> {
+                if self.done {
+                    Step::Halt
+                } else {
+                    self.done = true;
+                    Step::Write(0, self.pid.get())
+                }
+            }
+        }
+        let build = |second_view: View| {
+            Simulation::builder()
+                .process(
+                    Wide {
+                        pid: pid(1),
+                        done: false,
+                    },
+                    View::identity(2),
+                )
+                .process(
+                    Wide {
+                        pid: pid(2),
+                        done: false,
+                    },
+                    second_view,
+                )
+                .build()
+                .unwrap()
+        };
+        assert_ne!(
+            Explorer::new(build(View::rotated(2, 1))).structural_hash(),
+            Explorer::new(build(View::identity(2))).structural_hash()
+        );
+    }
+
+    /// `run_cached` — cold populates, warm replays, counts agree, and
+    /// the escape hatch is honored by the store layer.
+    #[test]
+    fn run_cached_warm_matches_cold() {
+        use crate::explore::cert::run_cached;
+        let store = anonreg_cache::CacheStore::new(cert_dir("runcached")).unwrap();
+        let key = Explorer::new(two_toys()).structural_hash();
+        let _ = store.invalidate(key);
+        let cold = run_cached(&store, || {
+            Explorer::new(two_toys()).verdict("terminates", |g: &StateGraph<Toy>| {
+                g.find_state(Simulation::all_halted).is_some()
+            })
+        })
+        .unwrap();
+        assert!(!cold.warm);
+        let warm = run_cached(&store, || {
+            Explorer::new(two_toys()).verdict("terminates", |g: &StateGraph<Toy>| {
+                g.find_state(Simulation::all_halted).is_some()
+            })
+        })
+        .unwrap();
+        assert!(warm.warm, "second run should replay the certificate");
+        assert_eq!(warm.states, cold.states);
+        assert_eq!(warm.edges, cold.edges);
+        assert_eq!(warm.verdicts, cold.verdicts);
+    }
+
+    /// A damaged certificate degrades to a cold recomputation, never an
+    /// error.
+    #[test]
+    fn run_cached_recovers_from_corruption() {
+        use crate::explore::cert::run_cached;
+        let store = anonreg_cache::CacheStore::new(cert_dir("corrupt")).unwrap();
+        let key = Explorer::new(two_toys()).structural_hash();
+        let cold = run_cached(&store, || Explorer::new(two_toys())).unwrap();
+        std::fs::write(store.path(key), b"not a certificate").unwrap();
+        let recomputed = run_cached(&store, || Explorer::new(two_toys())).unwrap();
+        assert!(!recomputed.warm);
+        assert_eq!(recomputed.states, cold.states);
+        // And the refreshed certificate serves the next run warm.
+        let warm = run_cached(&store, || Explorer::new(two_toys())).unwrap();
+        assert!(warm.warm);
+    }
+
+    /// Warm replays emit the cache probe counters.
+    #[test]
+    fn replay_emits_cache_metrics() {
+        use anonreg_obs::MemProbe;
+        let path = cert_dir("metrics").join("toys.cert");
+        Explorer::new(two_toys()).certify(&path).run().unwrap();
+        let probe = MemProbe::new();
+        Explorer::new(two_toys())
+            .probe(&probe)
+            .replay_certificate(&path)
+            .unwrap();
+        let snap = probe.into_snapshot();
+        assert_eq!(snap.counter_total(Metric::CacheHit), 1);
+        assert!(snap.counter_total(Metric::CacheReplayTime) > 0);
     }
 }

@@ -1,11 +1,12 @@
 //! The certificate container: writer, streaming replay verifier, errors.
 //!
-//! # On-disk layout (version 1, all integers little-endian)
+//! # On-disk layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! header   96 bytes  magic "ANRGCERT" | version u32 | verdict_count u32
 //!                    | structural lo,hi | state_count | edge_count
-//!                    | state_set_fp lo,hi | edge_fp lo,hi | 16 reserved
+//!                    | state_set_fp lo,hi | edge_fp lo,hi
+//!                    | verdict_fp lo,hi
 //! states   per state, in strictly ascending code order:
 //!                    varint(shared prefix with previous code)
 //!                    varint(suffix length) + suffix bytes
@@ -20,9 +21,11 @@
 //! matter which engine — or which run — produced the certificate; edges
 //! are recorded against those ranks, which is what makes certificates
 //! from the race-ordered parallel engine byte-comparable to sequential
-//! ones. The section fingerprints are wrapping sums of per-item
+//! ones. The state and edge fingerprints are wrapping sums of per-item
 //! [`fp128`] values, so they are order-independent and recomputable in
-//! one streaming pass.
+//! one streaming pass; the verdict fingerprint additionally folds each
+//! record's index in, because verdict *order* is meaningful (it is the
+//! registration order the explorer reports back).
 
 use std::fmt;
 use std::fs::File;
@@ -35,7 +38,7 @@ use anonreg_model::fingerprint::{fp128, Fp128};
 /// File magic: an anonreg reachability certificate.
 const MAGIC: [u8; 8] = *b"ANRGCERT";
 /// Container version this crate reads and writes.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 /// Fixed header length in bytes.
 const HEADER_LEN: usize = 96;
 /// Sanity cap on a single state code's length (codes are flat register +
@@ -44,6 +47,10 @@ const HEADER_LEN: usize = 96;
 const MAX_CODE_LEN: u64 = 1 << 24;
 /// Sanity cap on a verdict name's length.
 const MAX_NAME_LEN: u64 = 1 << 12;
+/// Sanity cap on the header's verdict count — same rule as
+/// [`MAX_CODE_LEN`]: a corrupt count must not drive an allocation by
+/// gigabytes (explorations register a handful of verdicts, not 2³²).
+const MAX_VERDICTS: u32 = 1 << 16;
 
 /// Why a certificate could not be written or replayed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +75,19 @@ pub enum CertError {
     Version {
         /// The version field found in the header.
         found: u32,
+    },
+    /// The certificate is intact and pins the right structural key, but
+    /// the verdict set it records is not the one registered on the
+    /// replaying explorer. The structural key already covers the
+    /// registered verdict names, so reaching this means a key collision
+    /// or a tampered store — either way the recorded verdicts cannot be
+    /// trusted to answer the current question.
+    VerdictMismatch {
+        /// Verdict names the certificate records, in recorded order.
+        recorded: Vec<String>,
+        /// Verdict names registered on the replaying explorer, in
+        /// registration order.
+        registered: Vec<String>,
     },
 }
 
@@ -94,6 +114,16 @@ impl fmt::Display for CertError {
             CertError::Version { found } => write!(
                 f,
                 "unsupported certificate version {found} (this build reads version {VERSION})"
+            ),
+            CertError::VerdictMismatch {
+                recorded,
+                registered,
+            } => write!(
+                f,
+                "verdict-set mismatch: the certificate records [{}] but the replaying \
+                 explorer registers [{}]; re-run a cold exploration to refresh it",
+                recorded.join(", "),
+                registered.join(", "),
             ),
         }
     }
@@ -132,12 +162,21 @@ fn write_varint(out: &mut impl Write, mut value: u64) -> io::Result<()> {
 }
 
 /// Decodes one LEB128 value, rejecting encodings longer than 10 bytes.
+/// A file that ends mid-varint is damage, not an IO failure, so EOF maps
+/// to [`CertError::Corrupt`] like every other truncation; callers inside
+/// section decoding add the section/index context via [`in_section`].
 fn read_varint(input: &mut impl Read) -> Result<u64, CertError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
         let mut byte = [0u8; 1];
-        input.read_exact(&mut byte)?;
+        input.read_exact(&mut byte).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                CertError::Corrupt("truncated varint".into())
+            } else {
+                CertError::Io(e.to_string())
+            }
+        })?;
         if shift >= 63 && byte[0] > 1 {
             return Err(CertError::Corrupt("varint overflows 64 bits".into()));
         }
@@ -149,6 +188,16 @@ fn read_varint(input: &mut impl Read) -> Result<u64, CertError> {
         if shift > 63 {
             return Err(CertError::Corrupt("varint longer than 10 bytes".into()));
         }
+    }
+}
+
+/// Prefixes a corruption report with its section/index context, so a
+/// truncation inside `read_varint` names where the damage was found just
+/// like the neighbouring `read_exact` sites. Other variants pass through.
+fn in_section(e: CertError, context: impl FnOnce() -> String) -> CertError {
+    match e {
+        CertError::Corrupt(msg) => CertError::Corrupt(format!("{}: {msg}", context())),
+        other => other,
     }
 }
 
@@ -181,6 +230,20 @@ fn edge_fp(src: u64, tgt: u64, proc: u64, crash: bool) -> Fp128 {
     buf[8..16].copy_from_slice(&tgt.to_le_bytes());
     buf[16..24].copy_from_slice(&proc.to_le_bytes());
     buf[24] = u8::from(crash);
+    fp128(&buf)
+}
+
+/// The fingerprint of one verdict record. The state and edge sections
+/// are fingerprinted order-independently, but verdict *order* carries
+/// meaning (it is the registration order the explorer reports back), so
+/// the record's index is folded in — reordering, renaming or flipping a
+/// verdict all change the section fingerprint.
+fn verdict_fp(index: u64, name: &str, value: bool) -> Fp128 {
+    let mut buf = Vec::with_capacity(17 + name.len());
+    buf.extend_from_slice(&index.to_le_bytes());
+    buf.extend_from_slice(&(name.len() as u64).to_le_bytes());
+    buf.extend_from_slice(name.as_bytes());
+    buf.push(u8::from(value));
     fp128(&buf)
 }
 
@@ -311,10 +374,12 @@ impl CertWriter {
     /// the finished certificate into place.
     pub fn finish(mut self, verdicts: &[(String, bool)]) -> Result<(), CertError> {
         let out = self.out.as_mut().expect("writer already finished");
-        for (name, value) in verdicts {
+        let mut verdicts_fp = FpSum::default();
+        for (index, (name, value)) in verdicts.iter().enumerate() {
             write_varint(out, name.len() as u64)?;
             out.write_all(name.as_bytes())?;
             out.write_all(&[u8::from(*value)])?;
+            verdicts_fp.absorb(verdict_fp(index as u64, name, *value));
         }
         let mut header = [0u8; HEADER_LEN];
         header[0..8].copy_from_slice(&MAGIC);
@@ -332,7 +397,8 @@ impl CertWriter {
         header[56..64].copy_from_slice(&self.state_fp.hi.to_le_bytes());
         header[64..72].copy_from_slice(&self.edge_fp.lo.to_le_bytes());
         header[72..80].copy_from_slice(&self.edge_fp.hi.to_le_bytes());
-        // bytes 80..96 reserved, zero.
+        header[80..88].copy_from_slice(&verdicts_fp.lo.to_le_bytes());
+        header[88..96].copy_from_slice(&verdicts_fp.hi.to_le_bytes());
 
         let mut file = self
             .out
@@ -374,8 +440,9 @@ fn read_u64(buf: &[u8]) -> u64 {
 /// match, the code list must be strictly ascending (so its entries are
 /// distinct and their ranks well-defined), `initial_code` must be a
 /// member, every edge endpoint must land inside the recorded set (the
-/// closure check: no recorded successor escapes), and both section
-/// fingerprints must re-derive bit-exactly from the streamed items.
+/// closure check: no recorded successor escapes), and all three section
+/// fingerprints — states, edges, verdicts — must re-derive bit-exactly
+/// from the streamed items.
 ///
 /// # Errors
 ///
@@ -403,6 +470,11 @@ pub fn replay(
         return Err(CertError::Version { found: version });
     }
     let verdict_count = read_u32(&header[12..16]);
+    if verdict_count > MAX_VERDICTS {
+        return Err(CertError::Corrupt(format!(
+            "verdict count {verdict_count} exceeds the {MAX_VERDICTS} sanity cap"
+        )));
+    }
     let found = Fp128 {
         lo: read_u64(&header[16..24]),
         hi: read_u64(&header[24..32]),
@@ -420,6 +492,10 @@ pub fn replay(
         lo: read_u64(&header[64..72]),
         hi: read_u64(&header[72..80]),
     };
+    let verdict_fp_want = Fp128 {
+        lo: read_u64(&header[80..88]),
+        hi: read_u64(&header[88..96]),
+    };
     if state_count == 0 {
         return Err(CertError::Corrupt("certificate records zero states".into()));
     }
@@ -431,8 +507,9 @@ pub fn replay(
     let mut state_fp_got = FpSum::default();
     let mut initial_found = false;
     for index in 0..state_count {
-        let prefix = read_varint(&mut input)?;
-        let suffix = read_varint(&mut input)?;
+        let ctx = |e| in_section(e, || format!("state {index}"));
+        let prefix = read_varint(&mut input).map_err(ctx)?;
+        let suffix = read_varint(&mut input).map_err(ctx)?;
         if suffix > MAX_CODE_LEN {
             return Err(CertError::Corrupt(format!(
                 "state {index}: suffix length {suffix} exceeds the {MAX_CODE_LEN}-byte cap"
@@ -476,7 +553,8 @@ pub fn replay(
     let mut src = 0u64;
     let mut started = false;
     for index in 0..edge_count {
-        let delta = read_varint(&mut input)?;
+        let ctx = |e| in_section(e, || format!("edge {index}"));
+        let delta = read_varint(&mut input).map_err(ctx)?;
         src = if started {
             src.checked_add(delta).ok_or_else(|| {
                 CertError::Corrupt(format!("edge {index}: source index overflows"))
@@ -485,8 +563,8 @@ pub fn replay(
             delta
         };
         started = true;
-        let tgt = read_varint(&mut input)?;
-        let proc = read_varint(&mut input)?;
+        let tgt = read_varint(&mut input).map_err(ctx)?;
+        let proc = read_varint(&mut input).map_err(ctx)?;
         let mut crash = [0u8; 1];
         input
             .read_exact(&mut crash)
@@ -510,10 +588,13 @@ pub fn replay(
         ));
     }
 
-    // Verdicts, then a hard end-of-file.
+    // Verdicts (count already capped at MAX_VERDICTS, so the
+    // pre-allocation is bounded), then a hard end-of-file.
+    let mut verdict_fp_got = FpSum::default();
     let mut verdicts = Vec::with_capacity(verdict_count as usize);
     for index in 0..verdict_count {
-        let len = read_varint(&mut input)?;
+        let len =
+            read_varint(&mut input).map_err(|e| in_section(e, || format!("verdict {index}")))?;
         if len > MAX_NAME_LEN {
             return Err(CertError::Corrupt(format!(
                 "verdict {index}: name length {len} exceeds the {MAX_NAME_LEN}-byte cap"
@@ -534,7 +615,13 @@ pub fn replay(
                 "verdict {index}: value must be 0 or 1"
             )));
         }
+        verdict_fp_got.absorb(verdict_fp(u64::from(index), &name, value[0] == 1));
         verdicts.push((name, value[0] == 1));
+    }
+    if verdict_fp_got.as_fp() != verdict_fp_want {
+        return Err(CertError::Corrupt(
+            "verdict-section fingerprint does not re-derive from the recorded verdicts".into(),
+        ));
     }
     let mut trailing = [0u8; 1];
     if input.read(&mut trailing)? != 0 {
@@ -647,6 +734,59 @@ mod tests {
         std::fs::write(&path, bytes).unwrap();
         let err = replay(&path, key(7), b"alpha").unwrap_err();
         assert!(matches!(err, CertError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn huge_verdict_count_is_refused_before_allocating() {
+        let path = tmp_path("verdictcount");
+        write_sample(&path, key(7));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Patch the header's verdict_count to u32::MAX: replay must
+        // report corruption, not attempt a multi-gigabyte allocation.
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let err = replay(&path, key(7), b"alpha").unwrap_err();
+        assert!(matches!(err, CertError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("sanity cap"), "{err}");
+    }
+
+    #[test]
+    fn truncation_mid_varint_is_corrupt_with_section_context() {
+        let path = tmp_path("midvarint");
+        write_sample(&path, key(7));
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut inside the states section: the first record's prefix
+        // varint survives, its suffix-length varint does not.
+        std::fs::write(&path, &bytes[..HEADER_LEN + 1]).unwrap();
+        let err = replay(&path, key(7), b"alpha").unwrap_err();
+        assert!(
+            matches!(err, CertError::Corrupt(_)),
+            "truncation is damage, not io: {err}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("state 0") && msg.contains("truncated varint"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn flipped_verdict_value_breaks_the_verdict_fingerprint() {
+        let path = tmp_path("verdictflip");
+        write_sample(&path, key(7));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The last byte is the "livelock" verdict's value; names and
+        // values are pinned by the verdict fingerprint, so a flip must
+        // not replay as a clean (wrong) answer.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(&path, bytes).unwrap();
+        let err = replay(&path, key(7), b"alpha").unwrap_err();
+        assert!(matches!(err, CertError::Corrupt(_)), "{err}");
+        assert!(
+            err.to_string().contains("verdict-section fingerprint"),
+            "{err}"
+        );
     }
 
     #[test]

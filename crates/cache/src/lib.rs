@@ -9,8 +9,9 @@
 //! * [`cert::CertWriter`] serializes the reachable set as a delta-encoded,
 //!   lexicographically sorted list of canonical state codes, the edge
 //!   multiset as `(source, target, process, crash)` index tuples over that
-//!   sorted order, an order-independent 128-bit fingerprint of each
-//!   section, and the named safety/liveness verdicts the run established.
+//!   sorted order, a 128-bit fingerprint of each section (including the
+//!   verdict section, so a tampered verdict cannot replay cleanly), and
+//!   the named safety/liveness verdicts the run established.
 //! * [`cert::replay`] re-validates a certificate from disk in **bounded
 //!   memory** (one previous-code buffer, buffered sequential IO — the same
 //!   discipline as the explorer's spill tier): codes must be strictly
@@ -19,8 +20,9 @@
 //!   set, and both section fingerprints must re-derive bit-exactly.
 //! * [`store::CacheStore`] keys certificates by the 128-bit *structural
 //!   hash* of the verification problem
-//!   ([`anonreg_model::structural::StructuralHasher`]): machines, initial
-//!   configuration, views, limits, failure model and symmetry mode. A
+//!   ([`anonreg_model::structural::StructuralHasher`]): machine type
+//!   identity and build version, initial configuration, views, limits,
+//!   failure model, symmetry mode and the registered verdict names. A
 //!   certificate whose embedded key no longer matches is refused as
 //!   [`cert::CertError::Stale`] — the cache can serve wrong-but-fast
 //!   answers only by breaking a 128-bit FNV collision.
@@ -28,8 +30,13 @@
 //! What replay does **not** re-establish is that the recorded set is the
 //! true reachable set of the machines — that is exactly the part pinned by
 //! the structural key, which changes whenever the machines, limits or
-//! symmetry mode do. The scheme mirrors the sanitizer's `ORD-*`
-//! certificates: derive once, re-check cheaply, invalidate structurally.
+//! symmetry mode do. One caveat lives there: a transition function is
+//! code, so the key pins its type name and crate version, not its logic —
+//! editing `resume()` without bumping the crate version requires a manual
+//! invalidation (`check verify-cache --invalidate` or
+//! [`store::CacheStore::clear`]) before persisted stores can be trusted
+//! again. The scheme mirrors the sanitizer's `ORD-*` certificates: derive
+//! once, re-check cheaply, invalidate structurally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -302,6 +302,62 @@ fn structural_hash_tracks_the_transition_table() {
     assert_eq!(base, build(3, 1).structural_hash());
 }
 
+/// `AnonMutex` and `OrderedMutex` share a field layout, so their initial
+/// configurations can encode identically — only the machine's type
+/// identity in the key separates them. Without it, one family's
+/// certificate would replay as the other's verdicts.
+#[test]
+fn structural_hash_distinguishes_machine_types() {
+    let anon = Explorer::new(
+        Simulation::builder()
+            .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+            .process(AnonMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap(),
+    )
+    .structural_hash();
+    let ordered = Explorer::new(
+        Simulation::builder()
+            .process(OrderedMutex::new(pid(1), 3).unwrap(), View::identity(3))
+            .process(OrderedMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+            .build()
+            .unwrap(),
+    )
+    .structural_hash();
+    assert_ne!(anon, ordered);
+}
+
+/// The registered verdict set is part of the key: a run asking a new or
+/// renamed verdict must explore cold, never warm-hit a certificate that
+/// recorded different questions.
+#[test]
+fn structural_hash_tracks_the_verdict_set() {
+    let bare = || {
+        Explorer::new(
+            Simulation::builder()
+                .process(AnonMutex::new(pid(1), 3).unwrap(), View::identity(3))
+                .process(AnonMutex::new(pid(2), 3).unwrap(), View::rotated(3, 1))
+                .build()
+                .unwrap(),
+        )
+    };
+    let base = bare().structural_hash();
+    let safety = bare()
+        .verdict("safety", |_: &StateGraph<AnonMutex>| false)
+        .structural_hash();
+    let renamed = bare()
+        .verdict("liveness", |_: &StateGraph<AnonMutex>| false)
+        .structural_hash();
+    assert_ne!(base, safety);
+    assert_ne!(safety, renamed);
+    assert_eq!(
+        safety,
+        bare()
+            .verdict("safety", |_: &StateGraph<AnonMutex>| true)
+            .structural_hash()
+    );
+}
+
 #[test]
 fn structural_hash_tracks_limits_and_symmetry() {
     let build = || {

@@ -459,15 +459,29 @@ where
     }
 
     /// The 128-bit structural key of this verification problem: the
+    /// machine type and the crate version it was compiled under, the
     /// initial configuration (registers, machine states, per-process
-    /// views), the exploration limits, the failure model and the
-    /// symmetry mode — everything that can change the reachable set or
-    /// a verdict drawn from it. Thread count and spilling are
-    /// deliberately excluded: they change *how* the same graph is
-    /// enumerated, never *what* it is.
+    /// views), the exploration limits, the failure model, the symmetry
+    /// mode and the registered verdict names — everything that can
+    /// change the reachable set or a verdict drawn from it. Thread
+    /// count and spilling are deliberately excluded: they change *how*
+    /// the same graph is enumerated, never *what* it is.
+    ///
+    /// The machine's transition function is code, not data, so the key
+    /// can only pin its closest stable proxies: the machine's
+    /// [`type_name`](std::any::type_name) (two types whose initial
+    /// fields encode identically still get distinct keys) and this
+    /// crate's `CARGO_PKG_VERSION`. Editing transition logic *without*
+    /// bumping the crate version is invisible to the key — after such
+    /// an edit, invalidate persisted stores by hand
+    /// (`check verify-cache --invalidate`,
+    /// [`anonreg_cache::CacheStore::clear`], or point
+    /// `ANONREG_CACHE_DIR` somewhere fresh).
     #[must_use]
     pub fn structural_hash(&self) -> Fp128 {
-        let mut hasher = StructuralHasher::new("anonreg-cert-v1")
+        let mut hasher = StructuralHasher::new("anonreg-cert-v2")
+            .component("machine", std::any::type_name::<M>())
+            .component("code_version", env!("CARGO_PKG_VERSION"))
             .raw("initial", &crate::canon::encode_plain(&self.initial));
         // The plain encoding omits views (constant within one run, so
         // they never distinguish states) — but across runs a changed
@@ -480,12 +494,18 @@ where
             SymmetryMode::Registers => "registers",
             SymmetryMode::Full => "full",
         };
-        hasher
+        hasher = hasher
             .component("max_states", &(self.config.max_states as u64))
             .component("crashes", &self.config.crashes)
             .component("por", &self.config.por)
-            .component("symmetry", mode)
-            .finish()
+            .component("symmetry", mode);
+        // A certificate answers exactly the verdict set it was asked;
+        // registering, dropping or renaming a verdict is a different
+        // question and must miss the cache.
+        for (name, _) in &self.verdicts {
+            hasher = hasher.component("verdict", name.as_str());
+        }
+        hasher.finish()
     }
 
     /// Runs the exploration and returns the complete reachable
@@ -546,9 +566,13 @@ where
     ///
     /// [`anonreg_cache::CertError::Stale`] when the certificate pins a
     /// different structural key than [`Explorer::structural_hash`] — the
-    /// machines, limits or symmetry mode changed since it was written —
-    /// and the other [`anonreg_cache::CertError`] variants for damaged
-    /// or unreadable files.
+    /// machines, limits, symmetry mode or verdict set changed since it
+    /// was written — [`anonreg_cache::CertError::VerdictMismatch`] when
+    /// an intact certificate with the right key records a different
+    /// verdict set than the one registered here (possible only through
+    /// a key collision or a tampered store, since the key covers the
+    /// verdict names), and the other [`anonreg_cache::CertError`]
+    /// variants for damaged or unreadable files.
     pub fn replay_certificate(
         mut self,
         path: &std::path::Path,
@@ -558,6 +582,17 @@ where
         let initial_code = self.encoder.encode(&self.initial).0;
         let start = Instant::now();
         let summary = anonreg_cache::replay(path, expected, &initial_code)?;
+        if !summary
+            .verdicts
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .eq(self.verdicts.iter().map(|(name, _)| name.as_str()))
+        {
+            return Err(anonreg_cache::CertError::VerdictMismatch {
+                recorded: summary.verdicts.into_iter().map(|(name, _)| name).collect(),
+                registered: self.verdicts.iter().map(|(name, _)| name.clone()).collect(),
+            });
+        }
         let elapsed = start.elapsed();
         if P::ENABLED {
             self.probe.counter(Metric::CacheHit, 0, 1);
@@ -2332,7 +2367,14 @@ mod tests {
             })
             .run()
             .unwrap();
-        let report = Explorer::new(two_toys()).replay_certificate(&path).unwrap();
+        // The replaying explorer must register the same verdict set —
+        // the names are part of the structural key (the predicates are
+        // not evaluated on a warm path, so any bodies do).
+        let report = Explorer::new(two_toys())
+            .verdict("terminates", |_: &StateGraph<Toy>| false)
+            .verdict("livelock", |_: &StateGraph<Toy>| false)
+            .replay_certificate(&path)
+            .unwrap();
         assert_eq!(report.states, graph.state_count() as u64);
         assert_eq!(report.edges, graph.edge_count() as u64);
         assert_eq!(
@@ -2411,6 +2453,123 @@ mod tests {
         assert!(matches!(err, CertError::Stale { .. }), "{err}");
         // The unchanged problem still replays.
         assert!(Explorer::new(two_toys()).replay_certificate(&path).is_ok());
+    }
+
+    /// Two machine *types* whose initial fields encode identically must
+    /// still key differently: their transition functions live in code,
+    /// not in the encoded bytes, so without the type identity in the key
+    /// one family's certificate could answer for the other.
+    #[test]
+    fn structural_hash_distinguishes_machine_types() {
+        /// Field-for-field clone of [`Toy`] with different `resume`
+        /// logic — it halts immediately, so its reachable set is a
+        /// single state while `Toy`'s is not.
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct TwinToy {
+            pid: Pid,
+            phase: u8,
+        }
+        impl Machine for TwinToy {
+            type Value = u64;
+            type Event = &'static str;
+            fn pid(&self) -> Pid {
+                self.pid
+            }
+            fn register_count(&self) -> usize {
+                1
+            }
+            fn resume(&mut self, _read: Option<u64>) -> Step<u64, &'static str> {
+                Step::Halt
+            }
+        }
+        let twins = Simulation::builder()
+            .process(
+                TwinToy {
+                    pid: pid(1),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .process(
+                TwinToy {
+                    pid: pid(2),
+                    phase: 0,
+                },
+                View::identity(1),
+            )
+            .build()
+            .unwrap();
+        // The premise: both initial configurations encode to the same
+        // bytes, so only the machine's type identity can separate them.
+        assert_eq!(
+            crate::canon::encode_plain(&two_toys()),
+            crate::canon::encode_plain(&twins)
+        );
+        assert_ne!(
+            Explorer::new(two_toys()).structural_hash(),
+            Explorer::new(twins).structural_hash()
+        );
+    }
+
+    /// The registered verdict set is part of the key: adding, renaming
+    /// or dropping a verdict asks a different question, so it must miss
+    /// the cache rather than warm-hit a certificate that never recorded
+    /// the answer.
+    #[test]
+    fn structural_hash_tracks_the_verdict_set() {
+        let bare = || Explorer::new(two_toys());
+        let base = bare().structural_hash();
+        let safety = bare()
+            .verdict("safety", |_: &StateGraph<Toy>| false)
+            .structural_hash();
+        let renamed = bare()
+            .verdict("liveness", |_: &StateGraph<Toy>| false)
+            .structural_hash();
+        let both = bare()
+            .verdict("safety", |_: &StateGraph<Toy>| false)
+            .verdict("liveness", |_: &StateGraph<Toy>| false)
+            .structural_hash();
+        assert_ne!(base, safety);
+        assert_ne!(safety, renamed);
+        assert_ne!(safety, both);
+        // The predicate body is code, not identity: same names, same key.
+        assert_eq!(
+            safety,
+            bare()
+                .verdict("safety", |g: &StateGraph<Toy>| g.state_count() > 0)
+                .structural_hash()
+        );
+    }
+
+    /// Defense in depth behind the key: an intact certificate carrying
+    /// the *right* structural key but the wrong verdict set (a key
+    /// collision, or a store written by a tampered tool) is refused by
+    /// the replay-side name comparison instead of answering the wrong
+    /// question.
+    #[test]
+    fn replay_refuses_a_verdict_set_mismatch() {
+        use anonreg_cache::{CertError, CertWriter};
+        let path = cert_dir("verdict-mismatch").join("toys.cert");
+        let expect = || Explorer::new(two_toys()).verdict("expected", |_: &StateGraph<Toy>| false);
+        // Hand-build a certificate under the explorer's own key whose
+        // recorded state set is just the initial configuration and whose
+        // verdict section names something else entirely.
+        let mut writer = CertWriter::create(&path, expect().structural_hash()).unwrap();
+        writer
+            .push_code(&crate::canon::encode_plain(&two_toys()))
+            .unwrap();
+        writer.finish(&[("other".to_string(), true)]).unwrap();
+        let err = expect().replay_certificate(&path).unwrap_err();
+        match err {
+            CertError::VerdictMismatch {
+                recorded,
+                registered,
+            } => {
+                assert_eq!(recorded, vec!["other".to_string()]);
+                assert_eq!(registered, vec!["expected".to_string()]);
+            }
+            other => panic!("expected a verdict-set mismatch, got: {other}"),
+        }
     }
 
     /// The structural hash must also see the *views*: the plain state
